@@ -1,0 +1,51 @@
+//! Errors of the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by plan construction, compilation or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgebraError {
+    /// The compiler met an expression outside the supported subset.
+    Unsupported(String),
+    /// A plan referenced a node id that does not exist.
+    InvalidPlan(String),
+    /// Execution failed (missing document, schema mismatch, …).
+    Execution(String),
+    /// A fixpoint did not converge within the configured limits.
+    NoFixpoint {
+        /// Iterations performed.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::Unsupported(msg) => {
+                write!(f, "expression not supported by the algebraic compiler: {msg}")
+            }
+            AlgebraError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            AlgebraError::Execution(msg) => write!(f, "plan execution error: {msg}"),
+            AlgebraError::NoFixpoint { iterations } => {
+                write!(f, "fixpoint did not converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_cause() {
+        assert!(AlgebraError::Unsupported("order by".into())
+            .to_string()
+            .contains("order by"));
+        assert!(AlgebraError::NoFixpoint { iterations: 7 }
+            .to_string()
+            .contains('7'));
+    }
+}

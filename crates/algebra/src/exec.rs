@@ -1,0 +1,988 @@
+//! Plan execution over relational encodings of the node store.
+//!
+//! The executor evaluates a [`Plan`] bottom-up (with memoisation over the
+//! DAG) into [`Table`]s.  Its most important entry point for the
+//! reproduction is [`Executor::run_fixpoint`]: given a compiled recursion
+//! body plan and a seed node set, it drives the Naïve (`µ`) or Delta (`µ∆`)
+//! iteration and records how many rows were fed back into the body — the
+//! quantity Table 2 of the paper reports.
+
+use std::collections::{HashMap, HashSet};
+
+use xqy_xdm::{DocId, NodeId, NodeStore};
+
+use crate::error::AlgebraError;
+use crate::plan::{FunKind, Operator, Plan, PlanNodeId};
+use crate::Result;
+
+/// A cell value in a relational table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A node reference.
+    Node(NodeId),
+    /// A string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// String rendering used by selections and joins on mixed columns.
+    pub fn as_key(&self) -> String {
+        match self {
+            Value::Node(n) => format!("node:{n}"),
+            Value::Str(s) => s.clone(),
+            Value::Int(i) => i.to_string(),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+
+    /// The node, if this value is one.
+    pub fn as_node(&self) -> Option<NodeId> {
+        match self {
+            Value::Node(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// A flat relational table: named columns and rows of [`Value`]s.
+///
+/// The executor works with *set* semantics: operators that would produce
+/// duplicate rows may keep them, but the fixpoint driver always reduces its
+/// accumulator to a set of nodes, matching the set-based IFP semantics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Row data; every row has `columns.len()` values.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// An empty table with the given columns.
+    pub fn new(columns: Vec<String>) -> Self {
+        Table {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// A single-column `item` table of nodes.
+    pub fn from_nodes(nodes: &[NodeId]) -> Self {
+        Table {
+            columns: vec!["item".to_string()],
+            rows: nodes.iter().map(|&n| vec![Value::Node(n)]).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of column `name`.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| {
+                AlgebraError::Execution(format!(
+                    "column '{name}' not found (have: {})",
+                    self.columns.join(", ")
+                ))
+            })
+    }
+
+    /// The node values of the `item` column (non-node rows are skipped).
+    pub fn item_nodes(&self) -> Vec<NodeId> {
+        let Ok(idx) = self.column_index("item") else {
+            return Vec::new();
+        };
+        self.rows
+            .iter()
+            .filter_map(|r| r[idx].as_node())
+            .collect()
+    }
+
+    /// Deduplicate rows (set semantics).
+    pub fn distinct(mut self) -> Table {
+        let mut seen = HashSet::new();
+        self.rows.retain(|row| {
+            let key: Vec<String> = row.iter().map(Value::as_key).collect();
+            seen.insert(key)
+        });
+        self
+    }
+}
+
+/// Strategy of the fixpoint driver — mirrors the µ / µ∆ operator pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MuStrategy {
+    /// The Naïve operator µ.
+    #[default]
+    Mu,
+    /// The Delta operator µ∆.
+    MuDelta,
+}
+
+impl MuStrategy {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MuStrategy::Mu => "mu",
+            MuStrategy::MuDelta => "mu-delta",
+        }
+    }
+}
+
+/// Statistics of one fixpoint execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Iterations of the do-while loop.
+    pub iterations: usize,
+    /// Total rows fed into the recursion body plan across all evaluations.
+    pub rows_fed_back: u64,
+    /// Number of body plan evaluations.
+    pub body_evaluations: usize,
+    /// Rows in the final result.
+    pub result_rows: usize,
+}
+
+/// The plan executor.
+pub struct Executor<'s> {
+    store: &'s mut NodeStore,
+    /// Document used to resolve `IdLookup` when the looked-up strings do not
+    /// come with an obvious anchor node; set from the fixpoint seed.
+    context_doc: Option<DocId>,
+    /// Cache of plan nodes that do not depend on the recursion input —
+    /// their tables are reused across fixpoint iterations.
+    static_cache: HashMap<PlanNodeId, Table>,
+    /// Fingerprint of the plan the static cache was built for; evaluating a
+    /// different plan invalidates the cache.
+    static_cache_key: Option<u64>,
+    /// Maximum fixpoint iterations before reporting divergence.
+    pub max_iterations: usize,
+}
+
+impl<'s> Executor<'s> {
+    /// Create an executor over `store`.
+    pub fn new(store: &'s mut NodeStore) -> Self {
+        Executor {
+            store,
+            context_doc: None,
+            static_cache: HashMap::new(),
+            static_cache_key: None,
+            max_iterations: 100_000,
+        }
+    }
+
+    /// Set the document used for `IdLookup` resolution.
+    pub fn set_context_doc(&mut self, doc: DocId) {
+        self.context_doc = Some(doc);
+    }
+
+    /// Evaluate `plan` with the recursion input bound to `rec` (pass an
+    /// empty table when the plan has no `RecInput` leaf).
+    pub fn eval_plan(&mut self, plan: &Plan, rec: &Table) -> Result<Table> {
+        let root = plan
+            .root()
+            .ok_or_else(|| AlgebraError::InvalidPlan("plan has no root".into()))?;
+        // The rec-independent cache is only valid for the plan it was built
+        // for (plan node ids are arena indices, not globally unique).
+        let key = {
+            use std::hash::{Hash, Hasher};
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            format!("{plan:?}").hash(&mut hasher);
+            hasher.finish()
+        };
+        if self.static_cache_key != Some(key) {
+            self.static_cache.clear();
+            self.static_cache_key = Some(key);
+        }
+        let rec_dependent: HashSet<PlanNodeId> = plan
+            .dependents_of(&plan.rec_inputs())
+            .into_iter()
+            .chain(plan.rec_inputs())
+            .collect();
+        let mut memo: HashMap<PlanNodeId, Table> = HashMap::new();
+        self.eval_node(plan, root, rec, &rec_dependent, &mut memo)
+    }
+
+    fn eval_node(
+        &mut self,
+        plan: &Plan,
+        id: PlanNodeId,
+        rec: &Table,
+        rec_dependent: &HashSet<PlanNodeId>,
+        memo: &mut HashMap<PlanNodeId, Table>,
+    ) -> Result<Table> {
+        if let Some(cached) = memo.get(&id) {
+            return Ok(cached.clone());
+        }
+        if !rec_dependent.contains(&id) {
+            if let Some(cached) = self.static_cache.get(&id) {
+                return Ok(cached.clone());
+            }
+        }
+        let node = plan.node(id).clone();
+        let mut inputs = Vec::with_capacity(node.inputs.len());
+        for &input in &node.inputs {
+            inputs.push(self.eval_node(plan, input, rec, rec_dependent, memo)?);
+        }
+        let table = self.apply(plan, &node.op, &node.inputs, inputs, rec)?;
+        if rec_dependent.contains(&id) {
+            memo.insert(id, table.clone());
+        } else {
+            self.static_cache.insert(id, table.clone());
+        }
+        Ok(table)
+    }
+
+    fn apply(
+        &mut self,
+        plan: &Plan,
+        op: &Operator,
+        input_ids: &[PlanNodeId],
+        mut inputs: Vec<Table>,
+        rec: &Table,
+    ) -> Result<Table> {
+        match op {
+            Operator::RecInput => Ok(rec.clone()),
+            Operator::Literal(values) => Ok(Table {
+                columns: vec!["item".into()],
+                rows: values.iter().map(|v| vec![Value::Str(v.clone())]).collect(),
+            }),
+            Operator::DocRoot(uri) => {
+                let doc = self
+                    .store
+                    .doc(uri)
+                    .ok_or_else(|| AlgebraError::Execution(format!("document not found: {uri}")))?;
+                let node = self
+                    .store
+                    .document_node(doc)
+                    .ok_or_else(|| AlgebraError::Execution(format!("document has no root: {uri}")))?;
+                Ok(Table::from_nodes(&[node]))
+            }
+            Operator::Project(renames) => {
+                let input = inputs.remove(0);
+                let mut indices = Vec::with_capacity(renames.len());
+                for (_, source) in renames {
+                    indices.push(input.column_index(source)?);
+                }
+                Ok(Table {
+                    columns: renames.iter().map(|(out, _)| out.clone()).collect(),
+                    rows: input
+                        .rows
+                        .iter()
+                        .map(|row| indices.iter().map(|&i| row[i].clone()).collect())
+                        .collect(),
+                })
+            }
+            Operator::Select { column, value } => {
+                let input = inputs.remove(0);
+                let idx = input.column_index(column)?;
+                let rows = input
+                    .rows
+                    .into_iter()
+                    .filter(|row| row[idx].as_key() == *value)
+                    .collect();
+                Ok(Table {
+                    columns: input.columns,
+                    rows,
+                })
+            }
+            Operator::Join { left, right } => {
+                let right_table = inputs.remove(1);
+                let left_table = inputs.remove(0);
+                let li = left_table.column_index(left)?;
+                let ri = right_table.column_index(right)?;
+                // Build a hash index over the right input.
+                let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+                for (row_idx, row) in right_table.rows.iter().enumerate() {
+                    index.entry(row[ri].as_key()).or_default().push(row_idx);
+                }
+                // Output columns: left columns plus the right columns except
+                // the join column, suffixing clashes.
+                let mut columns = left_table.columns.clone();
+                let mut right_cols = Vec::new();
+                for (i, c) in right_table.columns.iter().enumerate() {
+                    if i == ri {
+                        continue;
+                    }
+                    let name = if columns.contains(c) {
+                        format!("{c}_r")
+                    } else {
+                        c.clone()
+                    };
+                    columns.push(name);
+                    right_cols.push(i);
+                }
+                let mut rows = Vec::new();
+                for lrow in &left_table.rows {
+                    if let Some(matches) = index.get(&lrow[li].as_key()) {
+                        for &m in matches {
+                            let mut out = lrow.clone();
+                            for &ci in &right_cols {
+                                out.push(right_table.rows[m][ci].clone());
+                            }
+                            rows.push(out);
+                        }
+                    }
+                }
+                Ok(Table { columns, rows })
+            }
+            Operator::Cross => {
+                let right = inputs.remove(1);
+                let left = inputs.remove(0);
+                let mut columns = left.columns.clone();
+                for c in &right.columns {
+                    let name = if columns.contains(c) {
+                        format!("{c}_r")
+                    } else {
+                        c.clone()
+                    };
+                    columns.push(name);
+                }
+                let mut rows = Vec::new();
+                for l in &left.rows {
+                    for r in &right.rows {
+                        let mut out = l.clone();
+                        out.extend(r.clone());
+                        rows.push(out);
+                    }
+                }
+                Ok(Table { columns, rows })
+            }
+            Operator::Distinct => Ok(inputs.remove(0).distinct()),
+            Operator::Union => {
+                let right = inputs.remove(1);
+                let mut left = inputs.remove(0);
+                if left.columns != right.columns {
+                    return Err(AlgebraError::Execution(
+                        "union over tables with different schemas".into(),
+                    ));
+                }
+                left.rows.extend(right.rows);
+                Ok(left.distinct())
+            }
+            Operator::Difference => {
+                let right = inputs.remove(1);
+                let left = inputs.remove(0);
+                let keys: HashSet<Vec<String>> = right
+                    .rows
+                    .iter()
+                    .map(|r| r.iter().map(Value::as_key).collect())
+                    .collect();
+                let rows = left
+                    .rows
+                    .into_iter()
+                    .filter(|r| !keys.contains(&r.iter().map(Value::as_key).collect::<Vec<_>>()))
+                    .collect();
+                Ok(Table {
+                    columns: left.columns,
+                    rows,
+                })
+            }
+            Operator::Count { group_by } => {
+                let input = inputs.remove(0);
+                match group_by {
+                    None => Ok(Table {
+                        columns: vec!["count".into()],
+                        rows: vec![vec![Value::Int(input.len() as i64)]],
+                    }),
+                    Some(col) => {
+                        let idx = input.column_index(col)?;
+                        let mut groups: HashMap<String, (Value, i64)> = HashMap::new();
+                        for row in &input.rows {
+                            let key = row[idx].as_key();
+                            let entry = groups.entry(key).or_insert((row[idx].clone(), 0));
+                            entry.1 += 1;
+                        }
+                        Ok(Table {
+                            columns: vec![col.clone(), "count".into()],
+                            rows: groups
+                                .into_values()
+                                .map(|(v, c)| vec![v, Value::Int(c)])
+                                .collect(),
+                        })
+                    }
+                }
+            }
+            Operator::Fun { kind, left, right } => {
+                let input = inputs.remove(0);
+                let li = input.column_index(left)?;
+                let ri = input.column_index(right)?;
+                let mut columns = input.columns.clone();
+                columns.push("res".into());
+                let rows = input
+                    .rows
+                    .into_iter()
+                    .map(|mut row| {
+                        let result = apply_fun(*kind, &row[li], &row[ri]);
+                        row.push(result);
+                        row
+                    })
+                    .collect();
+                Ok(Table { columns, rows })
+            }
+            Operator::RowTag | Operator::RowNum => {
+                let input = inputs.remove(0);
+                let mut columns = input.columns.clone();
+                columns.push(if matches!(op, Operator::RowTag) {
+                    "tag".into()
+                } else {
+                    "rownum".into()
+                });
+                let rows = input
+                    .rows
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, mut row)| {
+                        row.push(Value::Int(i as i64 + 1));
+                        row
+                    })
+                    .collect();
+                Ok(Table { columns, rows })
+            }
+            Operator::Step { axis, test } => {
+                let input = inputs.remove(0);
+                let idx = input.column_index("item")?;
+                let mut rows = Vec::new();
+                for row in &input.rows {
+                    let Some(node) = row[idx].as_node() else {
+                        continue;
+                    };
+                    for result in self.store.axis_nodes(node, *axis, test) {
+                        let mut out = row.clone();
+                        out[idx] = Value::Node(result);
+                        rows.push(out);
+                    }
+                }
+                Ok(Table {
+                    columns: input.columns,
+                    rows,
+                }
+                .distinct())
+            }
+            Operator::AttrValue(name) => {
+                let input = inputs.remove(0);
+                let idx = input.column_index("item")?;
+                let mut rows = Vec::new();
+                for row in &input.rows {
+                    let Some(node) = row[idx].as_node() else {
+                        continue;
+                    };
+                    if let Some(value) = self.store.attribute_value(node, name) {
+                        let mut out = row.clone();
+                        out[idx] = Value::Str(value.to_string());
+                        rows.push(out);
+                    }
+                }
+                Ok(Table {
+                    columns: input.columns,
+                    rows,
+                })
+            }
+            Operator::StringValue => {
+                let input = inputs.remove(0);
+                let idx = input.column_index("item")?;
+                let rows = input
+                    .rows
+                    .iter()
+                    .map(|row| {
+                        let mut out = row.clone();
+                        if let Some(node) = row[idx].as_node() {
+                            out[idx] = Value::Str(self.store.string_value(node));
+                        }
+                        out
+                    })
+                    .collect();
+                Ok(Table {
+                    columns: input.columns,
+                    rows,
+                })
+            }
+            Operator::IdLookup => {
+                let input = inputs.remove(0);
+                let idx = input.column_index("item")?;
+                let doc = self.context_doc.ok_or_else(|| {
+                    AlgebraError::Execution(
+                        "IdLookup requires a context document (Executor::set_context_doc)".into(),
+                    )
+                })?;
+                let mut rows = Vec::new();
+                for row in &input.rows {
+                    let key = row[idx].as_key();
+                    for token in key.split_whitespace() {
+                        if let Some(node) = self.store.lookup_id(doc, token) {
+                            let mut out = row.clone();
+                            out[idx] = Value::Node(node);
+                            rows.push(out);
+                        }
+                    }
+                }
+                Ok(Table {
+                    columns: input.columns,
+                    rows,
+                }
+                .distinct())
+            }
+            Operator::IfThenElse => {
+                let else_table = inputs.remove(2);
+                let then_table = inputs.remove(1);
+                let cond = inputs.remove(0);
+                let truthy = effective_boolean(&cond);
+                Ok(if truthy { then_table } else { else_table })
+            }
+            Operator::Construct(name) => {
+                let input = inputs.remove(0);
+                let frag = self.store.new_fragment();
+                let element = self
+                    .store
+                    .create_element(frag, xqy_xdm::QName::local(name.clone()));
+                let _ = input;
+                Ok(Table::from_nodes(&[element]))
+            }
+            Operator::Mu | Operator::MuDelta => {
+                // input 0: seed plan result; input 1 is the body sub-plan,
+                // which must be re-evaluated per iteration — so it cannot be
+                // passed as a pre-computed table.  We re-drive it here.
+                let seed = inputs.remove(0);
+                let body_root = input_ids[1];
+                let body_plan = subplan(plan, body_root);
+                let strategy = if matches!(op, Operator::Mu) {
+                    MuStrategy::Mu
+                } else {
+                    MuStrategy::MuDelta
+                };
+                let (table, _stats) =
+                    self.run_fixpoint(&body_plan, &seed.item_nodes(), strategy, false)?;
+                Ok(table)
+            }
+        }
+    }
+
+    /// Drive a fixpoint over `body` seeded with `seed` using `strategy`.
+    ///
+    /// With `seed_in_result = false` the accumulation starts from the body
+    /// applied to the seed (Definition 2.1); with `true` it starts from the
+    /// seed itself (the paper's Example 2.4 reading).
+    pub fn run_fixpoint(
+        &mut self,
+        body: &Plan,
+        seed: &[NodeId],
+        strategy: MuStrategy,
+        seed_in_result: bool,
+    ) -> Result<(Table, ExecStats)> {
+        if let Some(first) = seed.first() {
+            // Resolve id() lookups against the seed's document by default.
+            if self.context_doc.is_none() {
+                self.context_doc = Some(DocId(first.doc));
+            }
+        }
+        let mut stats = ExecStats::default();
+        let mut res: Vec<NodeId> = if seed_in_result {
+            let mut nodes = seed.to_vec();
+            self.store.sort_distinct(&mut nodes);
+            nodes
+        } else {
+            self.eval_body(body, seed, &mut stats)?
+        };
+        let mut delta = res.clone();
+        loop {
+            if stats.iterations >= self.max_iterations {
+                return Err(AlgebraError::NoFixpoint {
+                    iterations: stats.iterations,
+                });
+            }
+            stats.iterations += 1;
+            match strategy {
+                MuStrategy::Mu => {
+                    let step = self.eval_body(body, &res, &mut stats)?;
+                    let next = xqy_xdm::node_union(self.store, &step, &res);
+                    if next == res {
+                        break;
+                    }
+                    res = next;
+                }
+                MuStrategy::MuDelta => {
+                    let step = self.eval_body(body, &delta, &mut stats)?;
+                    delta = xqy_xdm::node_except(self.store, &step, &res);
+                    if delta.is_empty() {
+                        break;
+                    }
+                    res = xqy_xdm::node_union(self.store, &delta, &res);
+                }
+            }
+        }
+        stats.result_rows = res.len();
+        Ok((Table::from_nodes(&res), stats))
+    }
+
+    fn eval_body(
+        &mut self,
+        body: &Plan,
+        input: &[NodeId],
+        stats: &mut ExecStats,
+    ) -> Result<Vec<NodeId>> {
+        stats.rows_fed_back += input.len() as u64;
+        stats.body_evaluations += 1;
+        let rec = Table::from_nodes(input);
+        let out = self.eval_plan(body, &rec)?;
+        let mut nodes = out.item_nodes();
+        self.store.sort_distinct(&mut nodes);
+        Ok(nodes)
+    }
+}
+
+fn apply_fun(kind: FunKind, left: &Value, right: &Value) -> Value {
+    match kind {
+        FunKind::Eq => Value::Bool(left.as_key() == right.as_key()),
+        FunKind::Ne => Value::Bool(left.as_key() != right.as_key()),
+        FunKind::Lt | FunKind::Gt => {
+            let (l, r) = (numeric(left), numeric(right));
+            Value::Bool(if matches!(kind, FunKind::Lt) { l < r } else { l > r })
+        }
+        FunKind::Add | FunKind::Sub => {
+            let (l, r) = (numeric(left), numeric(right));
+            Value::Int(if matches!(kind, FunKind::Add) { l + r } else { l - r })
+        }
+    }
+}
+
+fn numeric(value: &Value) -> i64 {
+    match value {
+        Value::Int(i) => *i,
+        Value::Bool(b) => *b as i64,
+        Value::Str(s) => s.trim().parse().unwrap_or(0),
+        Value::Node(_) => 0,
+    }
+}
+
+/// Effective boolean value of a condition table: a single `count`/integer
+/// cell is tested against zero; otherwise any row counts as true.
+fn effective_boolean(table: &Table) -> bool {
+    if table.columns.len() == 1 && table.rows.len() == 1 {
+        if let Value::Int(i) = &table.rows[0][0] {
+            return *i != 0;
+        }
+        if let Value::Bool(b) = &table.rows[0][0] {
+            return *b;
+        }
+    }
+    !table.is_empty()
+}
+
+/// Extract the sub-plan rooted at `root` as its own [`Plan`] (used to
+/// re-drive the body input of a µ / µ∆ operator).
+fn subplan(plan: &Plan, root: PlanNodeId) -> Plan {
+    let mut mapping: HashMap<PlanNodeId, PlanNodeId> = HashMap::new();
+    let mut out = Plan::new();
+    let new_root = copy_into(plan, root, &mut out, &mut mapping);
+    out.set_root(new_root);
+    out
+}
+
+fn copy_into(
+    plan: &Plan,
+    id: PlanNodeId,
+    out: &mut Plan,
+    mapping: &mut HashMap<PlanNodeId, PlanNodeId>,
+) -> PlanNodeId {
+    if let Some(&mapped) = mapping.get(&id) {
+        return mapped;
+    }
+    let node = plan.node(id).clone();
+    let inputs = node
+        .inputs
+        .iter()
+        .map(|&i| copy_into(plan, i, out, mapping))
+        .collect();
+    let new_id = out.add(node.op, inputs);
+    mapping.insert(id, new_id);
+    new_id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqy_xdm::{Axis, NodeTest};
+
+    const CURRICULUM: &str = r#"<curriculum>
+        <course code="c1"><prerequisites><pre_code>c2</pre_code><pre_code>c3</pre_code></prerequisites></course>
+        <course code="c2"><prerequisites><pre_code>c4</pre_code></prerequisites></course>
+        <course code="c3"><prerequisites/></course>
+        <course code="c4"><prerequisites/></course>
+    </curriculum>"#;
+
+    fn store_with_curriculum() -> (NodeStore, DocId) {
+        let mut store = NodeStore::new();
+        let doc = store
+            .parse_document_with_uri("curriculum.xml", CURRICULUM)
+            .unwrap();
+        store.register_id_attribute(doc, "code");
+        (store, doc)
+    }
+
+    /// The Q1 recursion body as a hand-built plan.
+    fn q1_plan() -> Plan {
+        let mut plan = Plan::new();
+        let rec = plan.add(Operator::RecInput, vec![]);
+        let prereq = plan.add(
+            Operator::Step {
+                axis: Axis::Child,
+                test: NodeTest::Name("prerequisites".into()),
+            },
+            vec![rec],
+        );
+        let code = plan.add(
+            Operator::Step {
+                axis: Axis::Child,
+                test: NodeTest::Name("pre_code".into()),
+            },
+            vec![prereq],
+        );
+        let value = plan.add(Operator::StringValue, vec![code]);
+        let lookup = plan.add(Operator::IdLookup, vec![value]);
+        plan.set_root(lookup);
+        plan
+    }
+
+    fn seed_course(store: &mut NodeStore, doc: DocId, code: &str) -> Vec<NodeId> {
+        let root = store.document_element(doc).unwrap();
+        store
+            .axis_nodes(root, Axis::Child, &NodeTest::Name("course".into()))
+            .into_iter()
+            .filter(|&c| store.attribute_value(c, "code") == Some(code))
+            .collect()
+    }
+
+    #[test]
+    fn step_and_select_operators() {
+        let (mut store, doc) = store_with_curriculum();
+        let root_elem = store.document_element(doc).unwrap();
+        let mut plan = Plan::new();
+        let rec = plan.add(Operator::RecInput, vec![]);
+        let courses = plan.add(
+            Operator::Step {
+                axis: Axis::Child,
+                test: NodeTest::Name("course".into()),
+            },
+            vec![rec],
+        );
+        let keep = plan.add(
+            Operator::Project(vec![("node".into(), "item".into()), ("item".into(), "item".into())]),
+            vec![courses],
+        );
+        let attr = plan.add(Operator::AttrValue("code".into()), vec![keep]);
+        let select = plan.add(
+            Operator::Select {
+                column: "item".into(),
+                value: "c2".into(),
+            },
+            vec![attr],
+        );
+        let back = plan.add(Operator::Project(vec![("item".into(), "node".into())]), vec![select]);
+        plan.set_root(back);
+
+        let mut exec = Executor::new(&mut store);
+        let result = exec
+            .eval_plan(&plan, &Table::from_nodes(&[root_elem]))
+            .unwrap();
+        assert_eq!(result.len(), 1);
+        let node = result.item_nodes()[0];
+        assert_eq!(store.attribute_value(node, "code"), Some("c2"));
+    }
+
+    #[test]
+    fn mu_computes_transitive_closure() {
+        let (mut store, doc) = store_with_curriculum();
+        let seed = seed_course(&mut store, doc, "c1");
+        let plan = q1_plan();
+        let mut exec = Executor::new(&mut store);
+        let (result, stats) = exec
+            .run_fixpoint(&plan, &seed, MuStrategy::Mu, false)
+            .unwrap();
+        let mut codes: Vec<String> = result
+            .item_nodes()
+            .iter()
+            .map(|&n| store.attribute_value(n, "code").unwrap().to_string())
+            .collect();
+        codes.sort();
+        assert_eq!(codes, vec!["c2", "c3", "c4"]);
+        assert!(stats.iterations >= 2);
+    }
+
+    #[test]
+    fn mu_delta_matches_mu_and_feeds_fewer_rows() {
+        let (mut store, doc) = store_with_curriculum();
+        let seed = seed_course(&mut store, doc, "c1");
+        let plan = q1_plan();
+
+        let (naive_result, naive_stats) = {
+            let mut exec = Executor::new(&mut store);
+            exec.run_fixpoint(&plan, &seed, MuStrategy::Mu, false).unwrap()
+        };
+        let (delta_result, delta_stats) = {
+            let mut exec = Executor::new(&mut store);
+            exec.run_fixpoint(&plan, &seed, MuStrategy::MuDelta, false)
+                .unwrap()
+        };
+        let mut a = naive_result.item_nodes();
+        let mut b = delta_result.item_nodes();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert!(delta_stats.rows_fed_back < naive_stats.rows_fed_back);
+    }
+
+    #[test]
+    fn mu_operator_embedded_in_a_plan() {
+        let (mut store, doc) = store_with_curriculum();
+        let _ = doc;
+        let mut plan = Plan::new();
+        // Seed: doc root -> child::course -> select code = c1 (via carry).
+        let docroot = plan.add(Operator::DocRoot("curriculum.xml".into()), vec![]);
+        let curriculum = plan.add(
+            Operator::Step {
+                axis: Axis::Child,
+                test: NodeTest::Name("curriculum".into()),
+            },
+            vec![docroot],
+        );
+        let courses = plan.add(
+            Operator::Step {
+                axis: Axis::Child,
+                test: NodeTest::Name("course".into()),
+            },
+            vec![curriculum],
+        );
+        let keep = plan.add(
+            Operator::Project(vec![("node".into(), "item".into()), ("item".into(), "item".into())]),
+            vec![courses],
+        );
+        let attr = plan.add(Operator::AttrValue("code".into()), vec![keep]);
+        let select = plan.add(
+            Operator::Select {
+                column: "item".into(),
+                value: "c1".into(),
+            },
+            vec![attr],
+        );
+        let seed = plan.add(Operator::Project(vec![("item".into(), "node".into())]), vec![select]);
+        // Body: the Q1 recursion body.
+        let rec = plan.add(Operator::RecInput, vec![]);
+        let prereq = plan.add(
+            Operator::Step {
+                axis: Axis::Child,
+                test: NodeTest::Name("prerequisites".into()),
+            },
+            vec![rec],
+        );
+        let code = plan.add(
+            Operator::Step {
+                axis: Axis::Child,
+                test: NodeTest::Name("pre_code".into()),
+            },
+            vec![prereq],
+        );
+        let value = plan.add(Operator::StringValue, vec![code]);
+        let lookup = plan.add(Operator::IdLookup, vec![value]);
+        let mu = plan.add(Operator::Mu, vec![seed, lookup]);
+        plan.set_root(mu);
+
+        let doc_id = store.doc("curriculum.xml").unwrap();
+        let mut exec = Executor::new(&mut store);
+        exec.set_context_doc(doc_id);
+        let result = exec.eval_plan(&plan, &Table::new(vec!["item".into()])).unwrap();
+        assert_eq!(result.len(), 3);
+    }
+
+    #[test]
+    fn join_and_count_operators() {
+        let mut store = NodeStore::new();
+        let mut plan = Plan::new();
+        let left = plan.add(
+            Operator::Literal(vec!["a".into(), "b".into(), "c".into()]),
+            vec![],
+        );
+        let right = plan.add(Operator::Literal(vec!["b".into(), "c".into(), "d".into()]), vec![]);
+        let join = plan.add(
+            Operator::Join {
+                left: "item".into(),
+                right: "item".into(),
+            },
+            vec![left, right],
+        );
+        let count = plan.add(Operator::Count { group_by: None }, vec![join]);
+        plan.set_root(count);
+        let mut exec = Executor::new(&mut store);
+        let result = exec.eval_plan(&plan, &Table::new(vec!["item".into()])).unwrap();
+        assert_eq!(result.rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn union_difference_and_distinct() {
+        let mut store = NodeStore::new();
+        let mut plan = Plan::new();
+        let a = plan.add(Operator::Literal(vec!["x".into(), "y".into(), "y".into()]), vec![]);
+        let b = plan.add(Operator::Literal(vec!["y".into(), "z".into()]), vec![]);
+        let union = plan.add(Operator::Union, vec![a, b]);
+        plan.set_root(union);
+        let mut exec = Executor::new(&mut store);
+        let result = exec.eval_plan(&plan, &Table::new(vec!["item".into()])).unwrap();
+        assert_eq!(result.len(), 3); // x, y, z — set semantics
+
+        let mut plan2 = Plan::new();
+        let a = plan2.add(Operator::Literal(vec!["x".into(), "y".into()]), vec![]);
+        let b = plan2.add(Operator::Literal(vec!["y".into()]), vec![]);
+        let diff = plan2.add(Operator::Difference, vec![a, b]);
+        plan2.set_root(diff);
+        let result = exec.eval_plan(&plan2, &Table::new(vec!["item".into()])).unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.rows[0][0], Value::Str("x".into()));
+    }
+
+    #[test]
+    fn if_then_else_executes_on_count_condition() {
+        let mut store = NodeStore::new();
+        let mut plan = Plan::new();
+        let input = plan.add(Operator::Literal(vec!["a".into()]), vec![]);
+        let cond = plan.add(Operator::Count { group_by: None }, vec![input]);
+        let then_branch = plan.add(Operator::Literal(vec!["then".into()]), vec![]);
+        let else_branch = plan.add(Operator::Literal(vec!["else".into()]), vec![]);
+        let ite = plan.add(Operator::IfThenElse, vec![cond, then_branch, else_branch]);
+        plan.set_root(ite);
+        let mut exec = Executor::new(&mut store);
+        let result = exec.eval_plan(&plan, &Table::new(vec!["item".into()])).unwrap();
+        assert_eq!(result.rows[0][0], Value::Str("then".into()));
+    }
+
+    #[test]
+    fn missing_column_reports_schema() {
+        let mut store = NodeStore::new();
+        let mut plan = Plan::new();
+        let lit = plan.add(Operator::Literal(vec!["a".into()]), vec![]);
+        let select = plan.add(
+            Operator::Select {
+                column: "nope".into(),
+                value: "a".into(),
+            },
+            vec![lit],
+        );
+        plan.set_root(select);
+        let mut exec = Executor::new(&mut store);
+        let err = exec
+            .eval_plan(&plan, &Table::new(vec!["item".into()]))
+            .unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # xqy-algebra — Relational XQuery substrate
+//!
+//! This crate plays the role that MonetDB/XQuery and its Pathfinder compiler
+//! play in the reproduced paper (Section 4, *"Distributivity and Relational
+//! XQuery"*): recursion bodies are compiled into DAG-shaped plans over a
+//! small relational algebra dialect (Table 1 of the paper), and
+//!
+//! 1. the **algebraic distributivity check** decides whether a `∪` placed at
+//!    the plan's recursion input can be pushed up through every operator to
+//!    the plan root (Figures 7 and 8) — if so, the Delta-based fixpoint
+//!    operator `µ∆` may replace the Naïve operator `µ`;
+//! 2. an **executor** evaluates plans over relational encodings of the XML
+//!    documents held in a [`NodeStore`](xqy_xdm::NodeStore), including the
+//!    fixpoint operators `µ` and `µ∆` with the row-feed statistics that
+//!    Table 2 of the paper reports.
+//!
+//! ## Relationship to the paper's dialect
+//!
+//! The operator set mirrors Table 1: projection, selection, join, Cartesian
+//! product, duplicate elimination, union, difference, the `count` aggregate,
+//! generic arithmetic/comparison operators, row tagging and row numbering,
+//! the XPath step join, node constructors, and the two fixpoint operators.
+//! Two simplifications are documented in `DESIGN.md`:
+//!
+//! * plans operate on *sets* of rows (the paper notes that duplicate and
+//!   order bookkeeping may be omitted for distributivity assessment; our
+//!   executor applies the same simplification to evaluation, which does not
+//!   affect fixpoint results because the IFP semantics is set-based);
+//! * the compiler supports the expression subset needed by the paper's
+//!   examples and benchmark workloads and reports anything else as a
+//!   [`AlgebraError::Unsupported`] compile error instead of guessing.
+
+pub mod compile;
+pub mod error;
+pub mod exec;
+pub mod plan;
+pub mod pushup;
+
+pub use compile::{compile_recursion_body, CompiledBody};
+pub use error::AlgebraError;
+pub use exec::{ExecStats, Executor, MuStrategy, Table, Value};
+pub use plan::{Operator, Plan, PlanNode, PlanNodeId};
+pub use pushup::{check_distributivity, PushupOutcome};
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, AlgebraError>;

@@ -1,0 +1,368 @@
+//! Plan DAGs over the Table-1 algebra dialect.
+
+use std::fmt;
+
+use xqy_xdm::{Axis, NodeTest};
+
+/// Index of a node inside a [`Plan`]'s arena.
+pub type PlanNodeId = usize;
+
+/// A comparison / arithmetic kind for the generic `⊚` operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FunKind {
+    /// Equality comparison.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Greater-than.
+    Gt,
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+}
+
+/// The relational algebra operators of Table 1 in the paper.
+///
+/// Every variant documents whether a `∪` placed below it may be pushed up
+/// through it (the "Push?" column of Table 1); see
+/// [`Operator::union_pushable`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operator {
+    /// The recursion variable's input relation (the `$x` leaf of a recursion
+    /// body plan).  This is where the `∪` of the distributivity check is
+    /// initially placed.
+    RecInput,
+    /// A literal relation (constant table), e.g. the empty sequence `()` or
+    /// a string constant.
+    Literal(Vec<String>),
+    /// Scan of a document registered under a URI; produces the document's
+    /// root node.
+    DocRoot(String),
+    /// π — projection onto (and renaming of) columns.
+    Project(Vec<(String, String)>),
+    /// σ — selection: keep rows whose column equals the given string.
+    Select {
+        /// Column inspected.
+        column: String,
+        /// Literal the column is compared against.
+        value: String,
+    },
+    /// ⋈ — join on equality between one column of each input.
+    Join {
+        /// Column of the left input.
+        left: String,
+        /// Column of the right input.
+        right: String,
+    },
+    /// × — Cartesian product.
+    Cross,
+    /// δ — duplicate elimination.
+    Distinct,
+    /// ∪ — union.
+    Union,
+    /// \ — difference.
+    Difference,
+    /// count — aggregation (optionally grouped); blocks union push-up.
+    Count {
+        /// Optional grouping column.
+        group_by: Option<String>,
+    },
+    /// ⊚ — generic arithmetic/comparison operator over two columns.
+    Fun {
+        /// Operation kind.
+        kind: FunKind,
+        /// Left operand column.
+        left: String,
+        /// Right operand column.
+        right: String,
+    },
+    /// # — unique row tagging.
+    RowTag,
+    /// ϱ — ordered row numbering; blocks union push-up.
+    RowNum,
+    /// XPath step join `α::n` along an axis with a node test.
+    Step {
+        /// The axis.
+        axis: Axis,
+        /// The node test.
+        test: NodeTest,
+    },
+    /// Attribute-value access: extend node rows with the string value of the
+    /// named attribute (rows without the attribute are dropped).
+    AttrValue(String),
+    /// String-value access: extend node rows with their string value.
+    StringValue,
+    /// ID lookup join (the `id ref ⋈` micro-plan of Figure 9(a)): map a
+    /// column of ID strings to the element nodes carrying those IDs.
+    IdLookup,
+    /// Conditional: inputs are (condition, then-branch, else-branch).  The
+    /// condition's effective-boolean-value aggregation is represented by a
+    /// `Count` wrapped around the condition plan by the compiler, so the
+    /// conditional node itself lets a `∪` pass (distributing a union into
+    /// both branches is sound when the condition does not change).
+    IfThenElse,
+    /// ε — node constructor; blocks union push-up (fresh identities).
+    Construct(String),
+    /// µ — the Naïve fixpoint operator: input 0 is the seed plan, input 1 the
+    /// recursion body plan (whose `RecInput` leaf is fed back each round).
+    Mu,
+    /// µ∆ — the Delta fixpoint operator (same inputs as µ).
+    MuDelta,
+}
+
+impl Operator {
+    /// The "Push?" column of Table 1: may a `∪` directly below this operator
+    /// be pushed up through it?
+    pub fn union_pushable(&self) -> bool {
+        match self {
+            // ⊙ / ⊗ rows of Table 1.
+            Operator::Project(_)
+            | Operator::Select { .. }
+            | Operator::Join { .. }
+            | Operator::Cross
+            | Operator::Union
+            | Operator::Fun { .. }
+            | Operator::RowTag
+            | Operator::Step { .. }
+            | Operator::AttrValue(_)
+            | Operator::StringValue
+            | Operator::IdLookup
+            | Operator::IfThenElse
+            | Operator::Mu
+            | Operator::MuDelta => true,
+            // "−" rows: these need their complete input to produce output.
+            Operator::Distinct
+            | Operator::Difference
+            | Operator::Count { .. }
+            | Operator::RowNum
+            | Operator::Construct(_) => false,
+            // Leaves never sit above a ∪.
+            Operator::RecInput | Operator::Literal(_) | Operator::DocRoot(_) => false,
+        }
+    }
+
+    /// Short operator name for plan rendering.
+    pub fn name(&self) -> String {
+        match self {
+            Operator::RecInput => "rec-input".into(),
+            Operator::Literal(_) => "literal".into(),
+            Operator::DocRoot(uri) => format!("doc({uri})"),
+            Operator::Project(_) => "π".into(),
+            Operator::Select { column, value } => format!("σ[{column}='{value}']"),
+            Operator::Join { left, right } => format!("⋈[{left}={right}]"),
+            Operator::Cross => "×".into(),
+            Operator::Distinct => "δ".into(),
+            Operator::Union => "∪".into(),
+            Operator::Difference => "\\".into(),
+            Operator::Count { .. } => "count".into(),
+            Operator::Fun { kind, .. } => format!("⊚{kind:?}"),
+            Operator::RowTag => "#".into(),
+            Operator::RowNum => "ϱ".into(),
+            Operator::Step { axis, test } => format!("{}::{}", axis.name(), test),
+            Operator::AttrValue(name) => format!("@{name}"),
+            Operator::StringValue => "string()".into(),
+            Operator::IdLookup => "id()".into(),
+            Operator::IfThenElse => "if".into(),
+            Operator::Construct(name) => format!("ε<{name}>"),
+            Operator::Mu => "µ".into(),
+            Operator::MuDelta => "µ∆".into(),
+        }
+    }
+}
+
+/// One node of the plan DAG: an operator plus its input plan nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanNode {
+    /// The operator.
+    pub op: Operator,
+    /// Indices of the input nodes (0, 1 or 2 of them).
+    pub inputs: Vec<PlanNodeId>,
+}
+
+/// A DAG-shaped algebraic plan, stored as an arena of [`PlanNode`]s with a
+/// designated root.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Plan {
+    nodes: Vec<PlanNode>,
+    root: Option<PlanNodeId>,
+}
+
+impl Plan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Plan::default()
+    }
+
+    /// Add an operator with the given inputs; returns its id.
+    pub fn add(&mut self, op: Operator, inputs: Vec<PlanNodeId>) -> PlanNodeId {
+        let id = self.nodes.len();
+        self.nodes.push(PlanNode { op, inputs });
+        id
+    }
+
+    /// Designate `id` as the plan root.
+    pub fn set_root(&mut self, id: PlanNodeId) {
+        self.root = Some(id);
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> Option<PlanNodeId> {
+        self.root
+    }
+
+    /// Number of operators in the plan.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the plan holds no operators.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: PlanNodeId) -> &PlanNode {
+        &self.nodes[id]
+    }
+
+    /// Iterate over `(id, node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PlanNodeId, &PlanNode)> {
+        self.nodes.iter().enumerate()
+    }
+
+    /// All node ids whose operator is [`Operator::RecInput`].
+    pub fn rec_inputs(&self) -> Vec<PlanNodeId> {
+        self.iter()
+            .filter(|(_, n)| matches!(n.op, Operator::RecInput))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// The ids of every node that (transitively) consumes one of the
+    /// `sources` — i.e. the operators a `∪` placed at the sources must be
+    /// pushed through.
+    pub fn dependents_of(&self, sources: &[PlanNodeId]) -> Vec<PlanNodeId> {
+        let mut tainted = vec![false; self.nodes.len()];
+        for &s in sources {
+            tainted[s] = true;
+        }
+        // Nodes are appended in construction order, so inputs always have
+        // smaller ids than their consumers; a single forward pass suffices.
+        let mut out = Vec::new();
+        for (id, node) in self.iter() {
+            if tainted[id] {
+                continue;
+            }
+            if node.inputs.iter().any(|&i| tainted[i]) {
+                tainted[id] = true;
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    /// Render the plan as an indented tree rooted at the plan root (shared
+    /// sub-DAGs are printed once per reference).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some(root) = self.root {
+            self.render_node(root, 0, &mut out);
+        }
+        out
+    }
+
+    fn render_node(&self, id: PlanNodeId, indent: usize, out: &mut String) {
+        let node = &self.nodes[id];
+        out.push_str(&" ".repeat(indent * 2));
+        out.push_str(&node.op.name());
+        out.push('\n');
+        for &input in &node.inputs {
+            self.render_node(input, indent + 1, out);
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pushability_matches_table_1() {
+        assert!(Operator::Project(vec![]).union_pushable());
+        assert!(Operator::Select {
+            column: "item".into(),
+            value: "x".into()
+        }
+        .union_pushable());
+        assert!(Operator::Join {
+            left: "a".into(),
+            right: "b".into()
+        }
+        .union_pushable());
+        assert!(Operator::Cross.union_pushable());
+        assert!(Operator::Union.union_pushable());
+        assert!(Operator::RowTag.union_pushable());
+        assert!(Operator::Step {
+            axis: Axis::Child,
+            test: NodeTest::AnyElement
+        }
+        .union_pushable());
+        assert!(Operator::Mu.union_pushable());
+        assert!(Operator::MuDelta.union_pushable());
+
+        assert!(!Operator::Distinct.union_pushable());
+        assert!(!Operator::Difference.union_pushable());
+        assert!(!Operator::Count { group_by: None }.union_pushable());
+        assert!(!Operator::RowNum.union_pushable());
+        assert!(!Operator::Construct("a".into()).union_pushable());
+    }
+
+    #[test]
+    fn dependents_follow_the_dag() {
+        let mut plan = Plan::new();
+        let rec = plan.add(Operator::RecInput, vec![]);
+        let doc = plan.add(Operator::DocRoot("d.xml".into()), vec![]);
+        let step = plan.add(
+            Operator::Step {
+                axis: Axis::Child,
+                test: NodeTest::AnyElement,
+            },
+            vec![rec],
+        );
+        let join = plan.add(
+            Operator::Join {
+                left: "item".into(),
+                right: "item".into(),
+            },
+            vec![step, doc],
+        );
+        plan.set_root(join);
+
+        let dependents = plan.dependents_of(&[rec]);
+        assert_eq!(dependents, vec![step, join]);
+        // The doc scan is independent of the recursion input.
+        assert!(!dependents.contains(&doc));
+        assert_eq!(plan.rec_inputs(), vec![rec]);
+        assert!(plan.render().contains("⋈"));
+    }
+
+    #[test]
+    fn render_shows_operator_tree() {
+        let mut plan = Plan::new();
+        let rec = plan.add(Operator::RecInput, vec![]);
+        let count = plan.add(Operator::Count { group_by: None }, vec![rec]);
+        plan.set_root(count);
+        let rendered = plan.render();
+        assert!(rendered.starts_with("count"));
+        assert!(rendered.contains("rec-input"));
+    }
+}

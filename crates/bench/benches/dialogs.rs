@@ -1,0 +1,25 @@
+//! Table 2, row 5: Romeo-and-Juliet-style dialog recursion along the
+//! horizontal (following-speech) structure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xqy_bench::{dialogs, engine_for, run_cell, Algorithm, Backend};
+use xqy_datagen::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dialogs");
+    group.sample_size(10);
+    let workload = dialogs(Scale::Small);
+    for backend in [Backend::SourceLevel, Backend::Algebraic] {
+        for algorithm in [Algorithm::Naive, Algorithm::Delta] {
+            let id = BenchmarkId::new(backend.name(), algorithm.name());
+            group.bench_with_input(id, &workload, |b, workload| {
+                let mut engine = engine_for(workload);
+                b.iter(|| run_cell(&mut engine, workload, backend, algorithm));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

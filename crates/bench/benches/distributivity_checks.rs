@@ -1,0 +1,31 @@
+//! Micro-benchmarks of the two distributivity checks themselves (the
+//! compile-time cost of deciding whether µ∆ may replace µ — Figures 5 and 9
+//! of the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xqy_ifp::algebra::compile_recursion_body;
+use xqy_ifp::is_distributivity_safe;
+use xqy_ifp::parser::parse_expr;
+
+fn bench(c: &mut Criterion) {
+    let bodies = [
+        ("q1", "$x/id(./prerequisites/pre_code)"),
+        ("q2", "if (count($x/self::a)) then $x/* else ()"),
+        ("bidder", xqy_datagen::auction::BODY),
+        ("union", "$x/child::a union $x/descendant::b union $x/following-sibling::c"),
+    ];
+    let mut group = c.benchmark_group("distributivity_checks");
+    for (name, src) in bodies {
+        let expr = parse_expr(src).unwrap();
+        group.bench_with_input(BenchmarkId::new("syntactic", name), &expr, |b, expr| {
+            b.iter(|| is_distributivity_safe(expr, "x", &[]))
+        });
+        group.bench_with_input(BenchmarkId::new("algebraic", name), &expr, |b, expr| {
+            b.iter(|| compile_recursion_body(expr, "x"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

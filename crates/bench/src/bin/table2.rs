@@ -1,0 +1,61 @@
+//! Regenerate Table 2 of the paper: Naïve vs Delta evaluation times, total
+//! number of nodes fed back, and recursion depth, for every workload on both
+//! back-ends.
+//!
+//! ```bash
+//! cargo run --release -p xqy-bench --bin table2            # quick scales
+//! cargo run --release -p xqy-bench --bin table2 -- --full  # paper-sized rows
+//! ```
+//!
+//! Absolute times are not comparable with the paper's 2008 hardware and
+//! engines; the reproduced quantities are the *ratios* (Delta vs Naïve), the
+//! engine-independent "nodes fed back" columns and the recursion depths.
+
+use xqy_bench::{engine_for, run_cell, table2_rows, Algorithm, Backend};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let rows = table2_rows(full);
+
+    println!(
+        "{:<28} | {:>13} {:>13} | {:>13} {:>13} | {:>12} {:>12} | {:>5}",
+        "Query",
+        "algebra Naive",
+        "algebra Delta",
+        "source Naive",
+        "source Delta",
+        "fed (Naive)",
+        "fed (Delta)",
+        "depth"
+    );
+    println!("{}", "-".repeat(132));
+
+    for workload in rows {
+        let mut cells = Vec::new();
+        for backend in [Backend::Algebraic, Backend::SourceLevel] {
+            for algorithm in [Algorithm::Naive, Algorithm::Delta] {
+                let mut engine = engine_for(&workload);
+                cells.push(run_cell(&mut engine, &workload, backend, algorithm));
+            }
+        }
+        let (alg_naive, alg_delta, src_naive, src_delta) = (&cells[0], &cells[1], &cells[2], &cells[3]);
+        assert_eq!(alg_naive.result_size, alg_delta.result_size);
+        assert_eq!(src_naive.result_size, src_delta.result_size);
+        println!(
+            "{:<28} | {:>10.1?} {:>10.1?} | {:>10.1?} {:>10.1?} | {:>12} {:>12} | {:>5}",
+            workload.label,
+            alg_naive.elapsed,
+            alg_delta.elapsed,
+            src_naive.elapsed,
+            src_delta.elapsed,
+            src_naive.nodes_fed_back,
+            src_delta.nodes_fed_back,
+            src_delta.depth,
+        );
+    }
+    println!();
+    println!(
+        "(speed-ups: Delta vs Naive per back-end; 'fed' columns are the engine-independent"
+    );
+    println!(" 'Total # of Nodes Fed Back' of the paper's Table 2.)");
+}

@@ -1,0 +1,310 @@
+//! Shared benchmark harness: workload setup and measured runs.
+//!
+//! Table 2 of the paper reports, for each workload and input size, the
+//! evaluation time under Naïve and Delta on two processors
+//! (MonetDB/XQuery's algebraic µ/µ∆ operators and Saxon's source-level
+//! recursion), plus the total number of nodes fed back into the recursion
+//! body and the recursion depth.  [`run_cell`] produces one such cell; the
+//! `table2` binary and the Criterion benches are thin wrappers around it.
+
+use std::time::{Duration, Instant};
+
+use xqy_datagen::{auction, curriculum, hospital, play, Scale};
+use xqy_ifp::algebra::MuStrategy;
+use xqy_ifp::eval::FixpointStrategy;
+use xqy_ifp::{Engine, Strategy};
+
+/// Which engine plays which role from the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The relational back-end (`xqy-algebra`), standing in for
+    /// MonetDB/XQuery with its µ / µ∆ operators.
+    Algebraic,
+    /// The source-level interpreter (`xqy-eval`), standing in for Saxon
+    /// evaluating the recursive user-defined functions.
+    SourceLevel,
+}
+
+impl Backend {
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Algebraic => "algebraic (MonetDB role)",
+            Backend::SourceLevel => "source-level (Saxon role)",
+        }
+    }
+}
+
+/// Naïve or Delta, uniformly over both back-ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Figure 3(a) / µ.
+    Naive,
+    /// Figure 3(b) / µ∆.
+    Delta,
+}
+
+impl Algorithm {
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Naive => "Naive",
+            Algorithm::Delta => "Delta",
+        }
+    }
+}
+
+/// A benchmark workload: document, seed and recursion body.
+pub struct Workload {
+    /// Row label, mirroring Table 2 ("Bidder network (small)", …).
+    pub label: String,
+    /// Document URI.
+    pub uri: &'static str,
+    /// Generated XML document.
+    pub xml: String,
+    /// Attribute names registered as ID-typed.
+    pub id_attrs: Vec<&'static str>,
+    /// Query computing the seed node sequence.
+    pub seed_query: String,
+    /// The recursion body (a function of `$x`).
+    pub body: &'static str,
+    /// When `true` a separate fixpoint is run per seed node (the shape of
+    /// Figure 10's per-person bidder network and of the per-course
+    /// curriculum check); statistics are summed over the fixpoints and the
+    /// depth is their maximum.  When `false` a single fixpoint is seeded
+    /// with the whole seed sequence (the hospital workload).
+    pub per_item: bool,
+}
+
+impl Workload {
+    /// The full IFP query evaluated by the source-level back-end.
+    pub fn query(&self) -> String {
+        if self.per_item {
+            format!(
+                "for $s in {} return (with $x seeded by $s recurse {})",
+                self.seed_query, self.body
+            )
+        } else {
+            format!("with $x seeded by {} recurse {}", self.seed_query, self.body)
+        }
+    }
+}
+
+/// The measurements of one Table-2 cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellResult {
+    /// Wall-clock evaluation time.
+    pub elapsed: Duration,
+    /// Result cardinality (nodes in the fixpoint).
+    pub result_size: usize,
+    /// Total number of nodes fed back into the recursion body.
+    pub nodes_fed_back: u64,
+    /// Recursion depth (iterations of the do-while loop).
+    pub depth: usize,
+}
+
+/// Build the bidder-network workload at a scale.
+pub fn bidder_network(scale: Scale) -> Workload {
+    let config = auction::AuctionConfig::for_scale(scale);
+    Workload {
+        label: format!("Bidder network ({})", scale.name()),
+        uri: auction::DOC_URI,
+        xml: auction::generate(&config),
+        id_attrs: vec![],
+        seed_query: format!("doc('{}')/site/people/person", auction::DOC_URI),
+        body: auction::BODY,
+        per_item: true,
+    }
+}
+
+/// Build the Romeo-and-Juliet-style dialog workload.
+pub fn dialogs(scale: Scale) -> Workload {
+    let config = play::PlayConfig::for_scale(scale);
+    Workload {
+        label: "Romeo and Juliet".to_string(),
+        uri: play::DOC_URI,
+        xml: play::generate(&config),
+        id_attrs: vec![],
+        seed_query: format!("doc('{}')//SPEECH[@start='1']", play::DOC_URI),
+        body: play::BODY,
+        per_item: true,
+    }
+}
+
+/// Build the curriculum workload at a scale.
+pub fn curriculum_workload(scale: Scale) -> Workload {
+    let config = curriculum::CurriculumConfig::for_scale(scale);
+    Workload {
+        label: format!("Curriculum ({})", scale.name()),
+        uri: curriculum::DOC_URI,
+        xml: curriculum::generate(&config),
+        id_attrs: vec!["code"],
+        seed_query: format!("doc('{}')/curriculum/course", curriculum::DOC_URI),
+        body: curriculum::BODY,
+        per_item: true,
+    }
+}
+
+/// Build the hospital workload at a scale.
+pub fn hospital_workload(scale: Scale) -> Workload {
+    let config = hospital::HospitalConfig::for_scale(scale);
+    Workload {
+        label: format!("Hospital ({})", scale.name()),
+        uri: hospital::DOC_URI,
+        xml: hospital::generate(&config),
+        id_attrs: vec![],
+        seed_query: format!(
+            "doc('{}')/hospital/patient[@disease='yes']",
+            hospital::DOC_URI
+        ),
+        body: hospital::BODY,
+        per_item: false,
+    }
+}
+
+/// Prepare an engine with the workload's document loaded.
+pub fn engine_for(workload: &Workload) -> Engine {
+    let mut engine = Engine::new();
+    engine
+        .load_document_with_ids(workload.uri, &workload.xml, &workload.id_attrs)
+        .expect("workload document parses");
+    engine
+}
+
+/// Run one cell: `workload` × `backend` × `algorithm`.
+pub fn run_cell(engine: &mut Engine, workload: &Workload, backend: Backend, algorithm: Algorithm) -> CellResult {
+    match backend {
+        Backend::SourceLevel => {
+            engine.set_strategy(match algorithm {
+                Algorithm::Naive => Strategy::Naive,
+                Algorithm::Delta => Strategy::Delta,
+            });
+            let start = Instant::now();
+            let outcome = engine.run(&workload.query()).expect("workload query runs");
+            let elapsed = start.elapsed();
+            let depth = outcome
+                .fixpoints
+                .iter()
+                .map(|s| s.iterations)
+                .max()
+                .unwrap_or(0);
+            let fed = outcome.fixpoints.iter().map(|s| s.nodes_fed_back).sum();
+            debug_assert!(matches!(
+                (algorithm, outcome.strategy_used),
+                (Algorithm::Naive, FixpointStrategy::Naive)
+                    | (Algorithm::Delta, FixpointStrategy::Delta)
+            ));
+            CellResult {
+                elapsed,
+                result_size: outcome.result.len(),
+                nodes_fed_back: fed,
+                depth,
+            }
+        }
+        Backend::Algebraic => {
+            let strategy = match algorithm {
+                Algorithm::Naive => MuStrategy::Mu,
+                Algorithm::Delta => MuStrategy::MuDelta,
+            };
+            if workload.per_item {
+                // One fixpoint per seed node, as in Figure 10; aggregate the
+                // statistics over all of them.
+                let seeds = {
+                    let outcome = engine
+                        .run(&workload.seed_query)
+                        .expect("seed query runs");
+                    outcome.result.nodes()
+                };
+                let mut result_size = 0usize;
+                let mut fed = 0u64;
+                let mut depth = 0usize;
+                let start = Instant::now();
+                for seed in seeds {
+                    let (nodes, stats) = engine
+                        .run_algebraic_fixpoint_seeded(&[seed], workload.body, "x", strategy)
+                        .expect("workload body compiles and runs");
+                    result_size += nodes.len();
+                    fed += stats.rows_fed_back;
+                    depth = depth.max(stats.iterations);
+                }
+                CellResult {
+                    elapsed: start.elapsed(),
+                    result_size,
+                    nodes_fed_back: fed,
+                    depth,
+                }
+            } else {
+                let start = Instant::now();
+                let (nodes, stats) = engine
+                    .run_algebraic_fixpoint(&workload.seed_query, workload.body, "x", strategy)
+                    .expect("workload body compiles and runs");
+                let elapsed = start.elapsed();
+                CellResult {
+                    elapsed,
+                    result_size: nodes.len(),
+                    nodes_fed_back: stats.rows_fed_back,
+                    depth: stats.iterations,
+                }
+            }
+        }
+    }
+}
+
+/// The rows of Table 2 at "quick" scales (small/medium); `full` adds the
+/// large and huge instances.
+pub fn table2_rows(full: bool) -> Vec<Workload> {
+    let mut rows = vec![
+        bidder_network(Scale::Small),
+        bidder_network(Scale::Medium),
+    ];
+    if full {
+        rows.push(bidder_network(Scale::Large));
+        rows.push(bidder_network(Scale::Huge));
+    }
+    rows.push(dialogs(Scale::Medium));
+    rows.push(curriculum_workload(Scale::Medium));
+    if full {
+        rows.push(curriculum_workload(Scale::Large));
+    }
+    rows.push(hospital_workload(if full { Scale::Large } else { Scale::Medium }));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_agree_across_backends_and_algorithms() {
+        let workload = curriculum_workload(Scale::Small);
+        let mut sizes = Vec::new();
+        for backend in [Backend::SourceLevel, Backend::Algebraic] {
+            for algorithm in [Algorithm::Naive, Algorithm::Delta] {
+                let mut engine = engine_for(&workload);
+                let cell = run_cell(&mut engine, &workload, backend, algorithm);
+                sizes.push(cell.result_size);
+                assert!(cell.depth >= 1);
+                assert!(cell.nodes_fed_back > 0);
+            }
+        }
+        assert!(sizes.windows(2).all(|w| w[0] == w[1]), "sizes: {sizes:?}");
+    }
+
+    #[test]
+    fn delta_feeds_back_fewer_nodes_on_the_bidder_network() {
+        let workload = bidder_network(Scale::Small);
+        let mut engine = engine_for(&workload);
+        let naive = run_cell(&mut engine, &workload, Backend::SourceLevel, Algorithm::Naive);
+        let delta = run_cell(&mut engine, &workload, Backend::SourceLevel, Algorithm::Delta);
+        assert_eq!(naive.result_size, delta.result_size);
+        assert!(delta.nodes_fed_back < naive.nodes_fed_back);
+    }
+
+    #[test]
+    fn quick_table_has_the_expected_rows() {
+        let rows = table2_rows(false);
+        assert_eq!(rows.len(), 5);
+        let full = table2_rows(true);
+        assert_eq!(full.len(), 8);
+    }
+}

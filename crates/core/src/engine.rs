@@ -1,0 +1,365 @@
+//! The engine facade: documents, strategy selection, both back-ends.
+
+use xqy_algebra::{compile_recursion_body, ExecStats, Executor, MuStrategy};
+use xqy_eval::{Evaluator, FixpointStats, FixpointStrategy};
+use xqy_parser::ast::{Expr, QueryModule};
+use xqy_parser::parse_query;
+use xqy_xdm::{NodeId, NodeStore, Sequence};
+
+use crate::syntactic::is_distributivity_safe;
+use crate::{IfpError, Result};
+
+/// How the engine evaluates `with … seeded by … recurse` occurrences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Strategy {
+    /// Always use algorithm Naïve (Figure 3(a)).
+    Naive,
+    /// Always use algorithm Delta (Figure 3(b)) — only sound for
+    /// distributive recursion bodies (Theorem 3.2); the engine does not stop
+    /// you from shooting your own foot, mirroring the paper's Example 2.4.
+    Delta,
+    /// Decide per query: use Delta when every recursion body in the query is
+    /// recognised as distributive (by the syntactic *or* the algebraic
+    /// check), otherwise fall back to Naïve.  This is the mode the paper
+    /// advocates.
+    #[default]
+    Auto,
+}
+
+impl Strategy {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Naive => "naive",
+            Strategy::Delta => "delta",
+            Strategy::Auto => "auto",
+        }
+    }
+}
+
+/// Distributivity assessment of one recursion body found in a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributivityReport {
+    /// The recursion variable of the IFP occurrence.
+    pub variable: String,
+    /// Verdict of the syntactic `ds_$x(·)` rules (Figure 5).
+    pub syntactic: bool,
+    /// The rule (or failure reason) reported by the syntactic check.
+    pub syntactic_rule: String,
+    /// Verdict of the algebraic ∪ push-up check, when the body lies inside
+    /// the algebraic compiler's subset.
+    pub algebraic: Option<bool>,
+    /// The operator that blocked the push-up, if any.
+    pub algebraic_blocked_by: Option<String>,
+}
+
+impl DistributivityReport {
+    /// `true` when either approximation certifies distributivity.
+    pub fn is_distributive(&self) -> bool {
+        self.syntactic || self.algebraic == Some(true)
+    }
+}
+
+/// The outcome of running a query through the engine.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The query result.
+    pub result: Sequence,
+    /// One report per IFP occurrence in the query, in syntactic order.
+    pub distributivity: Vec<DistributivityReport>,
+    /// The algorithm that was actually used for the fixpoints.
+    pub strategy_used: FixpointStrategy,
+    /// Per-fixpoint runtime statistics (iterations, nodes fed back, …).
+    pub fixpoints: Vec<FixpointStats>,
+}
+
+/// The engine: owns the node store and the configuration, and runs queries
+/// through the source-level evaluator (and, on request, through the
+/// relational back-end).
+pub struct Engine {
+    store: NodeStore,
+    strategy: Strategy,
+    seed_in_result: bool,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// Create an engine with an empty document store and the `Auto`
+    /// strategy.
+    pub fn new() -> Self {
+        Engine {
+            store: NodeStore::new(),
+            strategy: Strategy::Auto,
+            seed_in_result: false,
+        }
+    }
+
+    /// Select the fixpoint strategy.
+    pub fn set_strategy(&mut self, strategy: Strategy) {
+        self.strategy = strategy;
+    }
+
+    /// The currently selected strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Use the seed-inclusive IFP reading (see
+    /// [`EvalOptions::seed_in_result`](xqy_eval::EvalOptions)).
+    pub fn set_seed_in_result(&mut self, value: bool) {
+        self.seed_in_result = value;
+    }
+
+    /// Borrow the node store (e.g. to serialize result nodes).
+    pub fn store(&self) -> &NodeStore {
+        &self.store
+    }
+
+    /// Mutably borrow the node store.
+    pub fn store_mut(&mut self) -> &mut NodeStore {
+        &mut self.store
+    }
+
+    /// Load a document under `uri`.
+    pub fn load_document(&mut self, uri: &str, xml: &str) -> Result<()> {
+        self.store
+            .parse_document_with_uri(uri, xml)
+            .map(|_| ())
+            .map_err(|e| IfpError::Document(e.to_string()))
+    }
+
+    /// Load a document and declare additional ID-typed attribute names
+    /// (mirroring DTD `#ID` declarations such as the curriculum's `code`).
+    pub fn load_document_with_ids(&mut self, uri: &str, xml: &str, id_attrs: &[&str]) -> Result<()> {
+        let doc = self
+            .store
+            .parse_document_with_uri(uri, xml)
+            .map_err(|e| IfpError::Document(e.to_string()))?;
+        for attr in id_attrs {
+            self.store.register_id_attribute(doc, attr);
+        }
+        Ok(())
+    }
+
+    /// Analyse the distributivity of every IFP occurrence in `module`.
+    pub fn analyse(&self, module: &QueryModule) -> Vec<DistributivityReport> {
+        let mut reports = Vec::new();
+        let mut bodies: Vec<(String, Expr)> = Vec::new();
+        let mut collect = |expr: &Expr| {
+            expr.walk(&mut |e| {
+                if let Expr::Fixpoint { var, body, .. } = e {
+                    bodies.push((var.clone(), body.as_ref().clone()));
+                }
+            });
+        };
+        for f in &module.functions {
+            collect(&f.body);
+        }
+        for (_, v) in &module.variables {
+            collect(v);
+        }
+        collect(&module.body);
+
+        for (var, body) in bodies {
+            let syntactic = is_distributivity_safe(&body, &var, &module.functions);
+            let (algebraic, blocked) = match compile_recursion_body(&body, &var) {
+                Ok(compiled) => (
+                    Some(compiled.distributivity.distributive),
+                    compiled.distributivity.blocked_by,
+                ),
+                Err(_) => (None, None),
+            };
+            reports.push(DistributivityReport {
+                variable: var,
+                syntactic: syntactic.safe,
+                syntactic_rule: syntactic.rule,
+                algebraic,
+                algebraic_blocked_by: blocked,
+            });
+        }
+        reports
+    }
+
+    /// Parse, analyse and evaluate a query with the configured strategy,
+    /// using the source-level evaluator.
+    pub fn run(&mut self, query: &str) -> Result<QueryOutcome> {
+        let module = parse_query(query)?;
+        self.run_module(&module)
+    }
+
+    /// Like [`Engine::run`], for an already-parsed module.
+    pub fn run_module(&mut self, module: &QueryModule) -> Result<QueryOutcome> {
+        let distributivity = self.analyse(module);
+        let strategy_used = match self.strategy {
+            Strategy::Naive => FixpointStrategy::Naive,
+            Strategy::Delta => FixpointStrategy::Delta,
+            Strategy::Auto => {
+                if !distributivity.is_empty() && distributivity.iter().all(|d| d.is_distributive())
+                {
+                    FixpointStrategy::Delta
+                } else {
+                    FixpointStrategy::Naive
+                }
+            }
+        };
+        let mut evaluator = Evaluator::new(&mut self.store);
+        evaluator.set_fixpoint_strategy(strategy_used);
+        evaluator.options_mut().seed_in_result = self.seed_in_result;
+        let result = evaluator.eval_module(module)?;
+        let fixpoints = evaluator.fixpoint_runs().to_vec();
+        Ok(QueryOutcome {
+            result,
+            distributivity,
+            strategy_used,
+            fixpoints,
+        })
+    }
+
+    /// Run a single inflationary fixed point on the **relational back-end**
+    /// (the MonetDB/Pathfinder role): `seed_query` is evaluated with the
+    /// source-level evaluator to obtain the seed node set, `body` is
+    /// compiled to an algebraic plan and driven by `µ` or `µ∆`.
+    ///
+    /// Returns the result nodes together with the executor statistics
+    /// (iterations, rows fed back).
+    pub fn run_algebraic_fixpoint(
+        &mut self,
+        seed_query: &str,
+        body: &str,
+        var: &str,
+        strategy: MuStrategy,
+    ) -> Result<(Vec<NodeId>, ExecStats)> {
+        let seed = {
+            let mut evaluator = Evaluator::new(&mut self.store);
+            evaluator.eval_query_str(seed_query)?
+        };
+        self.run_algebraic_fixpoint_seeded(&seed.nodes(), body, var, strategy)
+    }
+
+    /// Like [`Engine::run_algebraic_fixpoint`], but with the seed node set
+    /// supplied directly (used for per-item fixpoints such as the
+    /// per-person bidder networks of Figure 10).
+    pub fn run_algebraic_fixpoint_seeded(
+        &mut self,
+        seed: &[NodeId],
+        body: &str,
+        var: &str,
+        strategy: MuStrategy,
+    ) -> Result<(Vec<NodeId>, ExecStats)> {
+        let body_expr = xqy_parser::parse_expr(body)?;
+        let compiled = compile_recursion_body(&body_expr, var)?;
+        let mut executor = Executor::new(&mut self.store);
+        let (table, stats) =
+            executor.run_fixpoint(&compiled.plan, seed, strategy, self.seed_in_result)?;
+        Ok((table.item_nodes(), stats))
+    }
+
+    /// Serialize a result sequence (nodes as XML, atomics as text).
+    pub fn display(&self, seq: &Sequence) -> String {
+        seq.display(&self.store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CURRICULUM: &str = r#"<curriculum>
+        <course code="c1"><prerequisites><pre_code>c2</pre_code><pre_code>c3</pre_code></prerequisites></course>
+        <course code="c2"><prerequisites><pre_code>c4</pre_code></prerequisites></course>
+        <course code="c3"><prerequisites/></course>
+        <course code="c4"><prerequisites/></course>
+    </curriculum>"#;
+
+    const Q1: &str = "with $x seeded by doc('curriculum.xml')/curriculum/course[@code='c1'] \
+                      recurse $x/id(./prerequisites/pre_code)";
+
+    const Q2: &str = "let $seed := (<a/>,<b><c><d/></c></b>) \
+                      return with $x seeded by $seed \
+                      recurse if (count($x/self::a)) then $x/* else ()";
+
+    fn engine() -> Engine {
+        let mut engine = Engine::new();
+        engine
+            .load_document_with_ids("curriculum.xml", CURRICULUM, &["code"])
+            .unwrap();
+        engine
+    }
+
+    #[test]
+    fn auto_strategy_picks_delta_for_q1() {
+        let mut engine = engine();
+        let outcome = engine.run(Q1).unwrap();
+        assert_eq!(outcome.strategy_used, FixpointStrategy::Delta);
+        assert_eq!(outcome.result.len(), 3);
+        assert_eq!(outcome.distributivity.len(), 1);
+        assert!(outcome.distributivity[0].syntactic);
+        assert_eq!(outcome.distributivity[0].algebraic, Some(true));
+    }
+
+    #[test]
+    fn auto_strategy_falls_back_to_naive_for_q2() {
+        let mut engine = engine();
+        engine.set_seed_in_result(true);
+        let outcome = engine.run(Q2).unwrap();
+        assert_eq!(outcome.strategy_used, FixpointStrategy::Naive);
+        assert!(!outcome.distributivity[0].is_distributive());
+        // Naïve on the seed-inclusive reading gives (a, b, c, d).
+        assert_eq!(outcome.result.len(), 4);
+    }
+
+    #[test]
+    fn explicit_strategies_are_respected() {
+        let mut engine = engine();
+        engine.set_strategy(Strategy::Naive);
+        let naive = engine.run(Q1).unwrap();
+        assert_eq!(naive.strategy_used, FixpointStrategy::Naive);
+
+        engine.set_strategy(Strategy::Delta);
+        let delta = engine.run(Q1).unwrap();
+        assert_eq!(delta.strategy_used, FixpointStrategy::Delta);
+        assert_eq!(naive.result.len(), delta.result.len());
+        assert!(
+            delta.fixpoints[0].nodes_fed_back < naive.fixpoints[0].nodes_fed_back,
+            "delta should feed back fewer nodes"
+        );
+    }
+
+    #[test]
+    fn algebraic_backend_agrees_with_the_evaluator() {
+        let mut engine = engine();
+        let eval_result = engine.run(Q1).unwrap();
+        let (nodes, stats) = engine
+            .run_algebraic_fixpoint(
+                "doc('curriculum.xml')/curriculum/course[@code='c1']",
+                "$x/id(./prerequisites/pre_code)",
+                "x",
+                MuStrategy::MuDelta,
+            )
+            .unwrap();
+        assert_eq!(nodes.len(), eval_result.result.len());
+        assert!(stats.iterations >= 2);
+    }
+
+    #[test]
+    fn queries_without_fixpoints_report_no_distributivity() {
+        let mut engine = engine();
+        let outcome = engine.run("count(doc('curriculum.xml')//course)").unwrap();
+        assert!(outcome.distributivity.is_empty());
+        assert!(outcome.fixpoints.is_empty());
+        assert_eq!(engine.display(&outcome.result), "4");
+    }
+
+    #[test]
+    fn document_errors_are_reported() {
+        let mut engine = Engine::new();
+        assert!(engine.load_document("bad.xml", "<a><b></a>").is_err());
+        let err = engine.run("doc('missing.xml')").unwrap_err();
+        assert!(matches!(err, IfpError::Eval(_)));
+    }
+}

@@ -1,0 +1,197 @@
+//! XMark-like auction data and the bidder-network query (Figure 10).
+//!
+//! The paper computes a *bidder network* over XMark documents: starting from
+//! a person, repeatedly connect sellers to the bidders of their auctions.
+//! The network's node count grows quadratically with the document size,
+//! which is what makes the Naïve/Delta gap so pronounced (Table 2's four
+//! "Bidder network" rows).
+//!
+//! Our generator keeps XMark's entity structure (people, open auctions,
+//! sellers, bidders) but adds an explicit `<sells ref="…"/>` link from each
+//! person to the auctions they sell.  XMark itself encodes that relationship
+//! only value-based (`open_auction/seller/@person` equals `person/@id`); the
+//! link element denormalises it so that the recursion body stays inside the
+//! algebraic compiler's subset (`id(·)` lookups instead of a general value
+//! join).  The reachability structure — and therefore the recursion depth
+//! and fed-back node counts — is identical; the original value-join
+//! formulation of Figure 10 is kept for the source-level engine in
+//! [`bidder_network_value_join_query`] and exercised by integration tests.
+
+use rand::Rng;
+
+use crate::{rng, Scale};
+
+/// Parameters for the auction generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuctionConfig {
+    /// Number of persons.
+    pub persons: usize,
+    /// Number of open auctions.
+    pub auctions: usize,
+    /// Maximum number of bidders per auction.
+    pub max_bidders: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl AuctionConfig {
+    /// Presets loosely mirroring XMark scale factors 0.01 / 0.05 / 0.15 /
+    /// 0.33 (the paper's small … huge instances), shrunk to keep the full
+    /// benchmark run laptop-friendly.
+    pub fn for_scale(scale: Scale) -> Self {
+        let (persons, auctions) = match scale {
+            Scale::Small => (120, 200),
+            Scale::Medium => (400, 700),
+            Scale::Large => (1_200, 2_200),
+            Scale::Huge => (3_000, 5_500),
+        };
+        AuctionConfig {
+            persons,
+            auctions,
+            max_bidders: 4,
+            seed: 0xA0C7104,
+        }
+    }
+}
+
+/// The URI the benchmark harness registers the document under.
+pub const DOC_URI: &str = "auction.xml";
+
+/// Generate the auction document as XML text.
+pub fn generate(config: &AuctionConfig) -> String {
+    let mut rng = rng(config.seed);
+    // Assign each auction a seller up front so person elements can carry
+    // their <sells> links.
+    let sellers: Vec<usize> = (0..config.auctions)
+        .map(|_| rng.gen_range(0..config.persons.max(1)))
+        .collect();
+
+    let mut out = String::with_capacity(config.persons * 64 + config.auctions * 96);
+    out.push_str("<site>\n  <people>\n");
+    for p in 0..config.persons {
+        out.push_str(&format!("    <person id=\"p{p}\" name=\"person{p}\">"));
+        for (a, &seller) in sellers.iter().enumerate() {
+            if seller == p {
+                out.push_str(&format!("<sells ref=\"a{a}\"/>"));
+            }
+        }
+        out.push_str("</person>\n");
+    }
+    out.push_str("  </people>\n  <open_auctions>\n");
+    for (a, &seller) in sellers.iter().enumerate() {
+        out.push_str(&format!(
+            "    <open_auction id=\"a{a}\">\n      <seller person=\"p{seller}\"/>\n"
+        ));
+        let bidders = rng.gen_range(1..=config.max_bidders.max(1));
+        for _ in 0..bidders {
+            let bidder = rng.gen_range(0..config.persons.max(1));
+            out.push_str(&format!(
+                "      <bidder person=\"p{bidder}\"><personref person=\"p{bidder}\"/></bidder>\n"
+            ));
+        }
+        out.push_str("    </open_auction>\n");
+    }
+    out.push_str("  </open_auctions>\n</site>\n");
+    out
+}
+
+/// Recursion body of the bidder network (id-link formulation shared by both
+/// engines): persons reached from `$x` by following the auctions they sell
+/// to the persons bidding on them.
+pub const BODY: &str = "$x/id(./sells/@ref)/bidder/id(./@person)";
+
+/// The bidder-network query for one person (id-link formulation).
+pub fn bidder_network_query(person_id: &str) -> String {
+    format!(
+        "with $x seeded by doc('{DOC_URI}')/site/people/person[@id='{person_id}'] \
+         recurse {BODY}"
+    )
+}
+
+/// The per-person bidder-network report of Figure 10: for every person,
+/// emit a `<person>` element listing the ids of the persons in their
+/// network (id-link formulation).
+pub fn bidder_network_report_query() -> String {
+    format!(
+        "for $p in doc('{DOC_URI}')/site/people/person \
+         return <person id=\"{{ data($p/@id) }}\">{{ \
+             data((with $x seeded by $p recurse {BODY})/@id) \
+         }}</person>"
+    )
+}
+
+/// The original Figure 10 formulation with a value join
+/// (`seller/@person = $id`), runnable on the source-level engine only.
+pub fn bidder_network_value_join_query(person_id: &str) -> String {
+    format!(
+        "declare variable $doc := doc('{DOC_URI}');\n\
+         declare function bidder($in as node()*) as node()* {{\n\
+           for $id in $in/@id\n\
+           let $b := $doc//open_auction[seller/@person = $id]/bidder/personref\n\
+           return $doc//people/person[@id = $b/@person]\n\
+         }};\n\
+         with $x seeded by $doc/site/people/person[@id='{person_id}'] recurse bidder($x)"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_well_formed() {
+        let config = AuctionConfig {
+            persons: 20,
+            auctions: 30,
+            max_bidders: 3,
+            seed: 5,
+        };
+        let a = generate(&config);
+        assert_eq!(a, generate(&config));
+        let mut store = xqy_xdm::NodeStore::new();
+        let doc = store.parse_document(&a).unwrap();
+        let root = store.document_element(doc).unwrap();
+        assert_eq!(store.name(root).unwrap().local, "site");
+    }
+
+    #[test]
+    fn sells_links_match_sellers() {
+        let config = AuctionConfig {
+            persons: 10,
+            auctions: 15,
+            max_bidders: 2,
+            seed: 11,
+        };
+        let xml = generate(&config);
+        let mut store = xqy_xdm::NodeStore::new();
+        let doc = store.parse_document(&xml).unwrap();
+        let root = store.document_element(doc).unwrap();
+        let sells = store.axis_nodes(
+            root,
+            xqy_xdm::Axis::Descendant,
+            &xqy_xdm::NodeTest::Name("sells".into()),
+        );
+        // Every auction has exactly one seller, so there are exactly as many
+        // sells links as auctions.
+        assert_eq!(sells.len(), config.auctions);
+        for link in sells {
+            let auction_id = store.attribute_value(link, "ref").unwrap().to_string();
+            let auction = store.lookup_id(doc, &auction_id).expect("auction exists");
+            let seller = store.axis_nodes(
+                auction,
+                xqy_xdm::Axis::Child,
+                &xqy_xdm::NodeTest::Name("seller".into()),
+            )[0];
+            let seller_person = store.attribute_value(seller, "person").unwrap();
+            let person = store.parent(link).unwrap();
+            assert_eq!(store.attribute_value(person, "id"), Some(seller_person));
+        }
+    }
+
+    #[test]
+    fn queries_reference_the_document() {
+        assert!(bidder_network_query("p0").contains(DOC_URI));
+        assert!(bidder_network_report_query().contains("recurse"));
+        assert!(bidder_network_value_join_query("p0").contains("declare function bidder"));
+    }
+}

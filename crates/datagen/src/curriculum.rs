@@ -1,0 +1,188 @@
+//! Curriculum data (Figure 1 of the paper) and the prerequisite queries.
+//!
+//! The generator produces `<curriculum>` documents whose `<course>` elements
+//! reference each other through `<prerequisites>/<pre_code>` entries.  The
+//! reference graph is mostly a layered DAG (courses reference courses of
+//! earlier layers, giving recursion depths that grow with the instance size)
+//! plus a configurable number of cycles, which is what the paper's
+//! consistency-check query ("courses that are among their own
+//! prerequisites", taken from the xlinkit case study) looks for.
+
+use rand::Rng;
+
+use crate::{rng, Scale};
+
+/// Parameters for the curriculum generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CurriculumConfig {
+    /// Number of courses.
+    pub courses: usize,
+    /// Maximum number of direct prerequisites per course.
+    pub max_prerequisites: usize,
+    /// Number of cycle-closing references (courses among their own
+    /// prerequisites).
+    pub cycles: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CurriculumConfig {
+    /// Preset matching the paper's instance sizes (medium: 800 courses,
+    /// large: 4 000 courses).
+    pub fn for_scale(scale: Scale) -> Self {
+        let (courses, cycles) = match scale {
+            Scale::Small => (100, 2),
+            Scale::Medium => (800, 8),
+            Scale::Large => (4_000, 20),
+            Scale::Huge => (12_000, 40),
+        };
+        CurriculumConfig {
+            courses,
+            max_prerequisites: 3,
+            cycles,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Generate the curriculum document as XML text.
+///
+/// Course codes are `c0 … c{n-1}`.  Course `c0` has no prerequisites; every
+/// other course references between one and `max_prerequisites` earlier
+/// courses, biased towards its immediate predecessors so that transitive
+/// closures are deep (recursion depth grows roughly logarithmically with
+/// the instance size, like the paper's 18–35 levels).
+pub fn generate(config: &CurriculumConfig) -> String {
+    let mut rng = rng(config.seed);
+    let mut out = String::with_capacity(config.courses * 96);
+    out.push_str("<curriculum>\n");
+    for i in 0..config.courses {
+        out.push_str(&format!("  <course code=\"c{i}\">\n    <prerequisites>"));
+        if i > 0 {
+            let count = rng.gen_range(1..=config.max_prerequisites.max(1));
+            for _ in 0..count {
+                // Bias towards nearby predecessors: deep chains, few fan-ins.
+                let span = (i / 4).max(1).min(32);
+                let target = i - 1 - rng.gen_range(0..span.min(i));
+                out.push_str(&format!("<pre_code>c{target}</pre_code>"));
+            }
+        }
+        out.push_str("</prerequisites>\n  </course>\n");
+    }
+    // Cycle-closing courses: course c_k lists a course that (transitively)
+    // requires c_k again.  We simply make the last `cycles` courses require
+    // a course that requires them back via an extra course entry.
+    for c in 0..config.cycles.min(config.courses / 2) {
+        let a = config.courses + 2 * c;
+        let b = config.courses + 2 * c + 1;
+        out.push_str(&format!(
+            "  <course code=\"c{a}\"><prerequisites><pre_code>c{b}</pre_code></prerequisites></course>\n"
+        ));
+        out.push_str(&format!(
+            "  <course code=\"c{b}\"><prerequisites><pre_code>c{a}</pre_code></prerequisites></course>\n"
+        ));
+    }
+    out.push_str("</curriculum>\n");
+    out
+}
+
+/// The URI the benchmark harness registers the document under.
+pub const DOC_URI: &str = "curriculum.xml";
+
+/// The recursion body of the prerequisites query (Q1 of the paper), as a
+/// function of the recursion variable `$x`.
+pub const BODY: &str = "$x/id(./prerequisites/pre_code)";
+
+/// The full Q1-style query: all (direct or indirect) prerequisites of the
+/// given course code.
+pub fn prerequisites_query(code: &str) -> String {
+    format!(
+        "with $x seeded by doc('{DOC_URI}')/curriculum/course[@code='{code}'] \
+         recurse $x/id(./prerequisites/pre_code)"
+    )
+}
+
+/// The consistency-check query of the paper's evaluation (Rule 5 of the
+/// xlinkit curriculum case study): courses that are among their own
+/// prerequisites.  Expressed with the IFP form per course.
+pub fn consistency_check_query() -> String {
+    format!(
+        "for $c in doc('{DOC_URI}')/curriculum/course \
+         where some $p in (with $x seeded by $c recurse $x/id(./prerequisites/pre_code)) \
+               satisfies $p is $c \
+         return $c"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = CurriculumConfig {
+            courses: 50,
+            max_prerequisites: 3,
+            cycles: 2,
+            seed: 7,
+        };
+        assert_eq!(generate(&config), generate(&config));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CurriculumConfig {
+            courses: 50,
+            max_prerequisites: 3,
+            cycles: 0,
+            seed: 1,
+        };
+        let b = CurriculumConfig { seed: 2, ..a };
+        assert_ne!(generate(&a), generate(&b));
+    }
+
+    #[test]
+    fn document_is_well_formed_and_sized() {
+        let config = CurriculumConfig::for_scale(Scale::Small);
+        let xml = generate(&config);
+        let mut store = xqy_xdm::NodeStore::new();
+        let doc = store.parse_document(&xml).unwrap();
+        let root = store.document_element(doc).unwrap();
+        let courses = store.axis_nodes(
+            root,
+            xqy_xdm::Axis::Child,
+            &xqy_xdm::NodeTest::Name("course".into()),
+        );
+        // config.courses plus 2 per cycle.
+        assert_eq!(courses.len(), config.courses + 2 * config.cycles);
+    }
+
+    #[test]
+    fn prerequisites_reference_existing_courses() {
+        let config = CurriculumConfig::for_scale(Scale::Small);
+        let xml = generate(&config);
+        let mut store = xqy_xdm::NodeStore::new();
+        let doc = store.parse_document(&xml).unwrap();
+        store.register_id_attribute(doc, "code");
+        let root = store.document_element(doc).unwrap();
+        let codes = store.axis_nodes(
+            root,
+            xqy_xdm::Axis::Descendant,
+            &xqy_xdm::NodeTest::Name("pre_code".into()),
+        );
+        assert!(!codes.is_empty());
+        for code in codes {
+            let value = store.string_value(code);
+            assert!(
+                store.lookup_id(doc, &value).is_some(),
+                "dangling prerequisite {value}"
+            );
+        }
+    }
+
+    #[test]
+    fn queries_mention_the_document_uri() {
+        assert!(prerequisites_query("c1").contains(DOC_URI));
+        assert!(consistency_check_query().contains("recurse"));
+    }
+}

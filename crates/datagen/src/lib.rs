@@ -1,0 +1,79 @@
+//! # xqy-datagen — benchmark workloads for the IFP reproduction
+//!
+//! The paper evaluates the Naïve/Delta trade-off on four workloads
+//! (Section 5, Table 2):
+//!
+//! | Paper workload | Generator here |
+//! |---|---|
+//! | XMark auction data (bidder network query, Figure 10) | [`auction`] |
+//! | ToXgene-generated curriculum data (Figure 1) | [`curriculum`] |
+//! | Shakespeare's *Romeo and Juliet* markup (dialog query) | [`play`] |
+//! | 50 000 hospital patient records (hereditary disease) | [`hospital`] |
+//!
+//! The original data sets are not redistributable (XMark/ToXgene output,
+//! ibiblio's Shakespeare corpus, a proprietary patient database), so each
+//! module generates a synthetic document with the same *structural* shape:
+//! reference graphs with the fan-out, depth and growth behaviour that drive
+//! the recursion statistics the paper reports.  All generators are seeded
+//! and deterministic.
+//!
+//! Each module also provides the benchmark query in two forms:
+//! * `*_QUERY` / `*_query()` — the full XQuery text for the source-level
+//!   engine (`xqy-eval`), using the paper's `with … seeded by … recurse`
+//!   form;
+//! * `*_BODY` — the recursion body alone (a function of `$x`), which is what
+//!   the algebraic compiler of `xqy-algebra` consumes.
+
+pub mod auction;
+pub mod curriculum;
+pub mod hospital;
+pub mod play;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Scale presets mirroring the paper's experiment sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Small instance (quick tests, XMark scale ≈ 0.01).
+    Small,
+    /// Medium instance.
+    Medium,
+    /// Large instance.
+    Large,
+    /// Huge instance (XMark scale ≈ 0.33); only used by the full benchmark
+    /// harness.
+    Huge,
+}
+
+impl Scale {
+    /// All presets, smallest first.
+    pub const ALL: [Scale; 4] = [Scale::Small, Scale::Medium, Scale::Large, Scale::Huge];
+
+    /// Display name matching the paper's table rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Large => "large",
+            Scale::Huge => "huge",
+        }
+    }
+}
+
+/// Deterministic RNG shared by every generator.
+pub(crate) fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_names() {
+        assert_eq!(Scale::Small.name(), "small");
+        assert_eq!(Scale::Huge.name(), "huge");
+        assert_eq!(Scale::ALL.len(), 4);
+    }
+}

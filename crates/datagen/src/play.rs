@@ -1,0 +1,223 @@
+//! Play markup (the paper's Romeo-and-Juliet workload): uninterrupted
+//! dialogs along the `following-sibling` axis.
+//!
+//! The paper's query determines the maximum length of any uninterrupted
+//! dialog: starting from `SPEECH` elements, each recursion level extends the
+//! currently considered dialog sequences by one more `SPEECH` whose speaker
+//! alternates (horizontal structural recursion).  The query text is not
+//! printed in the paper ("for space reasons"), so we reconstruct the
+//! workload:
+//!
+//! * the generator emits `ACT/SCENE/SPEECH` markup with a configurable number
+//!   of speakers; consecutive speeches by different speakers form dialogs;
+//! * each `SPEECH` carries a `cont` attribute naming the *next* speech of its
+//!   scene **iff** the dialog continues there (the speakers differ).  This is
+//!   the same denormalisation as for the auction data: it keeps the recursion
+//!   body inside the algebraic compiler's subset while preserving the
+//!   recursion structure (chains of alternating speakers).  The maximum
+//!   dialog length equals the recursion depth + 1.
+
+use rand::Rng;
+
+use crate::{rng, Scale};
+
+/// Parameters for the play generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlayConfig {
+    /// Number of scenes.
+    pub scenes: usize,
+    /// Speeches per scene.
+    pub speeches_per_scene: usize,
+    /// Number of distinct speakers per scene.
+    pub speakers: usize,
+    /// Probability (in percent) that the next speech is by a different
+    /// speaker, i.e. that a dialog continues.
+    pub alternation_percent: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PlayConfig {
+    /// Preset roughly matching the Romeo-and-Juliet workload of the paper
+    /// (≈ 840 speeches, dialogs up to a few dozen speeches long).
+    pub fn for_scale(scale: Scale) -> Self {
+        let (scenes, speeches) = match scale {
+            Scale::Small => (6, 40),
+            Scale::Medium => (24, 35),
+            Scale::Large => (48, 60),
+            Scale::Huge => (96, 90),
+        };
+        PlayConfig {
+            scenes,
+            speeches_per_scene: speeches,
+            speakers: 5,
+            alternation_percent: 85,
+            seed: 0x501A11,
+        }
+    }
+}
+
+/// The URI the benchmark harness registers the document under.
+pub const DOC_URI: &str = "play.xml";
+
+/// Generate the play document as XML text.
+pub fn generate(config: &PlayConfig) -> String {
+    let mut rng = rng(config.seed);
+    let mut out = String::new();
+    out.push_str("<PLAY>\n");
+    let mut speech_id = 0usize;
+    for scene in 0..config.scenes {
+        out.push_str(&format!("  <SCENE n=\"{scene}\">\n"));
+        // Pre-compute the speaker of every speech so that the `cont` link of
+        // speech i can point at speech i+1 when their speakers differ.
+        let speakers: Vec<usize> = {
+            let mut current = rng.gen_range(0..config.speakers.max(1));
+            (0..config.speeches_per_scene)
+                .map(|_| {
+                    if rng.gen_range(0..100) < config.alternation_percent {
+                        let next = rng.gen_range(0..config.speakers.max(1));
+                        current = if next == current {
+                            (next + 1) % config.speakers.max(2)
+                        } else {
+                            next
+                        };
+                    }
+                    current
+                })
+                .collect()
+        };
+        for (i, &speaker) in speakers.iter().enumerate() {
+            let id = format!("s{speech_id}");
+            speech_id += 1;
+            let cont = if i + 1 < speakers.len() && speakers[i + 1] != speaker {
+                format!(" cont=\"s{speech_id}\"")
+            } else {
+                String::new()
+            };
+            // A speech *starts* a dialog when no previous speech continues
+            // into it (first of the scene, or same speaker as before).
+            let start = if i == 0 || speakers[i - 1] == speaker {
+                " start=\"1\""
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "    <SPEECH id=\"{id}\"{cont}{start}><SPEAKER>speaker{speaker}</SPEAKER><LINE>line text {i}</LINE></SPEECH>\n"
+            ));
+        }
+        out.push_str("  </SCENE>\n");
+    }
+    out.push_str("</PLAY>\n");
+    out
+}
+
+/// Recursion body: the next speech of a continuing dialog.
+pub const BODY: &str = "$x/id(./@cont)";
+
+/// The dialog-expansion query: seeded with every dialog-*starting* speech,
+/// each recursion level adds the next speech of every still-running dialog,
+/// so the recursion depth equals the maximum dialog length minus one.
+pub fn dialogs_query() -> String {
+    format!(
+        "with $x seeded by doc('{DOC_URI}')//SPEECH[@start='1'] recurse {BODY}"
+    )
+}
+
+/// The paper's headline number for this workload: the maximum length of any
+/// uninterrupted dialog, computed per dialog start with a nested IFP.
+pub fn max_dialog_query() -> String {
+    format!(
+        "max(for $s in doc('{DOC_URI}')//SPEECH[@start='1'] \
+         return count(with $x seeded by $s recurse {BODY}) + 1)"
+    )
+}
+
+/// Maximum dialog length computed without recursion (ground truth used by
+/// the integration tests): the longest run of consecutive speeches in a
+/// scene whose speakers alternate pairwise.
+pub fn max_dialog_length(xml: &str) -> usize {
+    // The generator controls the format, so a lightweight scan suffices.
+    let mut max = 0usize;
+    for scene in xml.split("<SCENE").skip(1) {
+        let speakers: Vec<&str> = scene
+            .split("<SPEAKER>")
+            .skip(1)
+            .map(|s| s.split('<').next().unwrap_or(""))
+            .collect();
+        let mut run = 1usize;
+        for pair in speakers.windows(2) {
+            if pair[0] != pair[1] {
+                run += 1;
+                max = max.max(run);
+            } else {
+                run = 1;
+            }
+        }
+        max = max.max(if speakers.is_empty() { 0 } else { run.max(1) });
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_parses() {
+        let config = PlayConfig::for_scale(Scale::Small);
+        let xml = generate(&config);
+        assert_eq!(xml, generate(&config));
+        let mut store = xqy_xdm::NodeStore::new();
+        let doc = store.parse_document(&xml).unwrap();
+        let root = store.document_element(doc).unwrap();
+        let speeches = store.axis_nodes(
+            root,
+            xqy_xdm::Axis::Descendant,
+            &xqy_xdm::NodeTest::Name("SPEECH".into()),
+        );
+        assert_eq!(speeches.len(), config.scenes * config.speeches_per_scene);
+    }
+
+    #[test]
+    fn cont_links_point_to_speeches_with_different_speakers() {
+        let config = PlayConfig::for_scale(Scale::Small);
+        let xml = generate(&config);
+        let mut store = xqy_xdm::NodeStore::new();
+        let doc = store.parse_document(&xml).unwrap();
+        let root = store.document_element(doc).unwrap();
+        let speeches = store.axis_nodes(
+            root,
+            xqy_xdm::Axis::Descendant,
+            &xqy_xdm::NodeTest::Name("SPEECH".into()),
+        );
+        let mut checked = 0;
+        for s in speeches {
+            if let Some(next_id) = store.attribute_value(s, "cont").map(str::to_string) {
+                let next = store.lookup_id(doc, &next_id).expect("cont target exists");
+                let speaker = |n| {
+                    let sp = store.axis_nodes(
+                        n,
+                        xqy_xdm::Axis::Child,
+                        &xqy_xdm::NodeTest::Name("SPEAKER".into()),
+                    )[0];
+                    store.string_value(sp)
+                };
+                assert_ne!(speaker(s), speaker(next));
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "expected at least one continuing dialog");
+    }
+
+    #[test]
+    fn max_dialog_length_is_positive() {
+        let config = PlayConfig::for_scale(Scale::Small);
+        let xml = generate(&config);
+        assert!(max_dialog_length(&xml) >= 2);
+    }
+
+    #[test]
+    fn query_uses_the_ifp_form() {
+        assert!(dialogs_query().contains("with $x seeded by"));
+    }
+}

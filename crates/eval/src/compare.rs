@@ -1,0 +1,255 @@
+//! Value/general comparisons, arithmetic, and the effective boolean value.
+//!
+//! These helpers are pure functions over atomized values; the evaluator
+//! handles atomization and sequencing before calling in here.
+
+use std::cmp::Ordering;
+
+use xqy_xdm::{AtomicValue, Item, Sequence};
+use xqy_parser::BinaryOp;
+
+use crate::error::EvalError;
+use crate::Result;
+
+/// The effective boolean value of a sequence (XQuery `fn:boolean` rules):
+/// empty → false; first item a node → true; a single atomic → its truth
+/// value; anything else is a type error.
+pub fn effective_boolean_value(seq: &Sequence) -> Result<bool> {
+    if seq.is_empty() {
+        return Ok(false);
+    }
+    if let Some(Item::Node(_)) = seq.first() {
+        return Ok(true);
+    }
+    if seq.len() == 1 {
+        if let Some(Item::Atomic(a)) = seq.first() {
+            return Ok(a.effective_boolean());
+        }
+    }
+    Err(EvalError::Type(
+        "effective boolean value of a sequence of multiple atomic values".into(),
+    ))
+}
+
+/// Apply a value comparison (`eq`, `ne`, `lt`, `le`, `gt`, `ge`) to two
+/// single atomic values.
+pub fn value_compare(op: BinaryOp, lhs: &AtomicValue, rhs: &AtomicValue) -> Result<bool> {
+    let ord = lhs.compare(rhs);
+    let result = match op {
+        BinaryOp::ValueEq => lhs.general_eq(rhs),
+        BinaryOp::ValueNe => !lhs.general_eq(rhs),
+        // NaN comparisons (ord == None): every ordered comparison is false.
+        BinaryOp::ValueLt => ord == Some(Ordering::Less),
+        BinaryOp::ValueLe => matches!(ord, Some(Ordering::Less | Ordering::Equal)),
+        BinaryOp::ValueGt => ord == Some(Ordering::Greater),
+        BinaryOp::ValueGe => matches!(ord, Some(Ordering::Greater | Ordering::Equal)),
+        other => {
+            return Err(EvalError::Type(format!(
+                "operator {} is not a value comparison",
+                other.symbol()
+            )))
+        }
+    };
+    Ok(result)
+}
+
+/// Apply a general comparison operator to two atomics (the per-pair test
+/// inside the existential semantics of `=`, `<`, …).
+pub fn general_pair_compare(op: BinaryOp, lhs: &AtomicValue, rhs: &AtomicValue) -> bool {
+    match op {
+        BinaryOp::GeneralEq => lhs.general_eq(rhs),
+        BinaryOp::GeneralNe => !lhs.general_eq(rhs),
+        BinaryOp::GeneralLt => matches!(lhs.compare(rhs), Some(Ordering::Less)),
+        BinaryOp::GeneralLe => matches!(lhs.compare(rhs), Some(Ordering::Less | Ordering::Equal)),
+        BinaryOp::GeneralGt => matches!(lhs.compare(rhs), Some(Ordering::Greater)),
+        BinaryOp::GeneralGe => {
+            matches!(lhs.compare(rhs), Some(Ordering::Greater | Ordering::Equal))
+        }
+        _ => false,
+    }
+}
+
+/// Numeric binary arithmetic.  Integer arithmetic stays integral where the
+/// XQuery type promotion rules allow it; `div` always yields a double,
+/// `idiv` always an integer.
+pub fn arithmetic(op: BinaryOp, lhs: &AtomicValue, rhs: &AtomicValue) -> Result<AtomicValue> {
+    let both_integer = matches!(lhs, AtomicValue::Integer(_)) && matches!(rhs, AtomicValue::Integer(_));
+    let l = lhs.to_double();
+    let r = rhs.to_double();
+    if l.is_nan() || r.is_nan() {
+        // Arithmetic on non-numeric strings is a type error in XQuery.
+        if !lhs.is_numeric() && !matches!(lhs, AtomicValue::Untyped(_)) && !matches!(lhs, AtomicValue::String(_)) {
+            return Err(EvalError::Type(format!(
+                "cannot apply {} to non-numeric value",
+                op.symbol()
+            )));
+        }
+    }
+    let value = match op {
+        BinaryOp::Add => {
+            if both_integer {
+                return int_arith(lhs, rhs, |a, b| a.checked_add(b), "+");
+            }
+            l + r
+        }
+        BinaryOp::Sub => {
+            if both_integer {
+                return int_arith(lhs, rhs, |a, b| a.checked_sub(b), "-");
+            }
+            l - r
+        }
+        BinaryOp::Mul => {
+            if both_integer {
+                return int_arith(lhs, rhs, |a, b| a.checked_mul(b), "*");
+            }
+            l * r
+        }
+        BinaryOp::Div => {
+            if r == 0.0 {
+                return Err(EvalError::Type("division by zero".into()));
+            }
+            l / r
+        }
+        BinaryOp::IDiv => {
+            if r == 0.0 {
+                return Err(EvalError::Type("integer division by zero".into()));
+            }
+            return Ok(AtomicValue::Integer((l / r).trunc() as i64));
+        }
+        BinaryOp::Mod => {
+            if both_integer {
+                return int_arith(
+                    lhs,
+                    rhs,
+                    |a, b| if b == 0 { None } else { Some(a % b) },
+                    "mod",
+                );
+            }
+            if r == 0.0 {
+                return Err(EvalError::Type("modulo by zero".into()));
+            }
+            l % r
+        }
+        other => {
+            return Err(EvalError::Type(format!(
+                "operator {} is not an arithmetic operator",
+                other.symbol()
+            )))
+        }
+    };
+    Ok(AtomicValue::Double(value))
+}
+
+fn int_arith(
+    lhs: &AtomicValue,
+    rhs: &AtomicValue,
+    f: impl Fn(i64, i64) -> Option<i64>,
+    sym: &str,
+) -> Result<AtomicValue> {
+    let (AtomicValue::Integer(a), AtomicValue::Integer(b)) = (lhs, rhs) else {
+        unreachable!("int_arith called with non-integer operands");
+    };
+    f(*a, *b)
+        .map(AtomicValue::Integer)
+        .ok_or_else(|| EvalError::Type(format!("integer overflow or division by zero in {sym}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ebv_rules() {
+        assert!(!effective_boolean_value(&Sequence::empty()).unwrap());
+        assert!(effective_boolean_value(&Sequence::singleton(Item::boolean(true))).unwrap());
+        assert!(!effective_boolean_value(&Sequence::singleton(Item::integer(0))).unwrap());
+        assert!(effective_boolean_value(&Sequence::singleton(Item::string("x"))).unwrap());
+        let multi = Sequence::from_items(vec![Item::integer(1), Item::integer(2)]);
+        assert!(effective_boolean_value(&multi).is_err());
+    }
+
+    #[test]
+    fn value_comparisons() {
+        let a = AtomicValue::Integer(3);
+        let b = AtomicValue::Integer(5);
+        assert!(value_compare(BinaryOp::ValueLt, &a, &b).unwrap());
+        assert!(value_compare(BinaryOp::ValueNe, &a, &b).unwrap());
+        assert!(!value_compare(BinaryOp::ValueGe, &a, &b).unwrap());
+        let s1 = AtomicValue::String("abc".into());
+        let s2 = AtomicValue::String("abd".into());
+        assert!(value_compare(BinaryOp::ValueLt, &s1, &s2).unwrap());
+        // NaN never compares less/greater.
+        let nan = AtomicValue::Double(f64::NAN);
+        assert!(!value_compare(BinaryOp::ValueLt, &nan, &b).unwrap());
+        assert!(!value_compare(BinaryOp::ValueGt, &nan, &b).unwrap());
+    }
+
+    #[test]
+    fn general_pair_comparisons_promote_untyped() {
+        let untyped = AtomicValue::Untyped("10".into());
+        assert!(general_pair_compare(
+            BinaryOp::GeneralEq,
+            &untyped,
+            &AtomicValue::Integer(10)
+        ));
+        assert!(general_pair_compare(
+            BinaryOp::GeneralGt,
+            &untyped,
+            &AtomicValue::Integer(9)
+        ));
+        assert!(general_pair_compare(
+            BinaryOp::GeneralNe,
+            &AtomicValue::String("a".into()),
+            &AtomicValue::String("b".into())
+        ));
+    }
+
+    #[test]
+    fn integer_arithmetic_stays_integer() {
+        let a = AtomicValue::Integer(7);
+        let b = AtomicValue::Integer(2);
+        assert_eq!(
+            arithmetic(BinaryOp::Add, &a, &b).unwrap(),
+            AtomicValue::Integer(9)
+        );
+        assert_eq!(
+            arithmetic(BinaryOp::Mul, &a, &b).unwrap(),
+            AtomicValue::Integer(14)
+        );
+        assert_eq!(
+            arithmetic(BinaryOp::Mod, &a, &b).unwrap(),
+            AtomicValue::Integer(1)
+        );
+        assert_eq!(
+            arithmetic(BinaryOp::IDiv, &a, &b).unwrap(),
+            AtomicValue::Integer(3)
+        );
+        // div always yields a double.
+        assert_eq!(
+            arithmetic(BinaryOp::Div, &a, &b).unwrap(),
+            AtomicValue::Double(3.5)
+        );
+    }
+
+    #[test]
+    fn arithmetic_errors() {
+        let a = AtomicValue::Integer(1);
+        let zero = AtomicValue::Integer(0);
+        assert!(arithmetic(BinaryOp::Div, &a, &zero).is_err());
+        assert!(arithmetic(BinaryOp::IDiv, &a, &zero).is_err());
+        assert!(arithmetic(BinaryOp::Mod, &a, &zero).is_err());
+        assert!(arithmetic(BinaryOp::Union, &a, &zero).is_err());
+        let huge = AtomicValue::Integer(i64::MAX);
+        assert!(arithmetic(BinaryOp::Add, &huge, &a).is_err());
+    }
+
+    #[test]
+    fn untyped_strings_participate_in_arithmetic() {
+        let untyped = AtomicValue::Untyped("4".into());
+        let two = AtomicValue::Integer(2);
+        assert_eq!(
+            arithmetic(BinaryOp::Add, &untyped, &two).unwrap(),
+            AtomicValue::Double(6.0)
+        );
+    }
+}

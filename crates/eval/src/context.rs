@@ -1,0 +1,112 @@
+//! Dynamic evaluation context: variable environment and focus.
+
+use xqy_xdm::{Item, Sequence};
+
+/// The *focus* of evaluation: context item, context position and context
+/// size (the `.`, `fn:position()` and `fn:last()` triple).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Focus {
+    /// The context item.
+    pub item: Item,
+    /// 1-based context position.
+    pub position: usize,
+    /// Context size.
+    pub size: usize,
+}
+
+impl Focus {
+    /// A focus for a single item (`position = size = 1`).
+    pub fn single(item: Item) -> Self {
+        Focus {
+            item,
+            position: 1,
+            size: 1,
+        }
+    }
+}
+
+/// Variable bindings, managed as a stack of scopes.
+///
+/// The evaluator pushes a binding before evaluating a binder's body and pops
+/// it afterwards; lookups scan from the innermost binding outwards, which
+/// gives the usual lexical shadowing behaviour for nested `for`/`let`
+/// re-using a variable name.
+#[derive(Debug, Clone, Default)]
+pub struct Environment {
+    bindings: Vec<(String, Sequence)>,
+}
+
+impl Environment {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Environment::default()
+    }
+
+    /// Number of live bindings (used by the evaluator to restore scopes).
+    pub fn depth(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Push a binding for `name`.
+    pub fn push(&mut self, name: impl Into<String>, value: Sequence) {
+        self.bindings.push((name.into(), value));
+    }
+
+    /// Pop bindings until only `depth` remain.
+    pub fn truncate(&mut self, depth: usize) {
+        self.bindings.truncate(depth);
+    }
+
+    /// Look up the innermost binding of `name`.
+    pub fn lookup(&self, name: &str) -> Option<&Sequence> {
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+
+    /// `true` if `name` is bound.
+    pub fn is_bound(&self, name: &str) -> bool {
+        self.lookup(name).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqy_xdm::Item;
+
+    #[test]
+    fn lookup_finds_innermost_binding() {
+        let mut env = Environment::new();
+        env.push("x", Sequence::singleton(Item::integer(1)));
+        env.push("y", Sequence::singleton(Item::integer(2)));
+        env.push("x", Sequence::singleton(Item::integer(3)));
+        assert_eq!(
+            env.lookup("x").unwrap().items()[0],
+            Item::integer(3),
+            "inner binding shadows outer"
+        );
+        assert_eq!(env.lookup("y").unwrap().items()[0], Item::integer(2));
+        assert!(env.lookup("z").is_none());
+    }
+
+    #[test]
+    fn truncate_restores_previous_scope() {
+        let mut env = Environment::new();
+        env.push("x", Sequence::singleton(Item::integer(1)));
+        let depth = env.depth();
+        env.push("x", Sequence::singleton(Item::integer(2)));
+        env.truncate(depth);
+        assert_eq!(env.lookup("x").unwrap().items()[0], Item::integer(1));
+        assert!(env.is_bound("x"));
+    }
+
+    #[test]
+    fn focus_single_has_position_and_size_one() {
+        let focus = Focus::single(Item::integer(9));
+        assert_eq!(focus.position, 1);
+        assert_eq!(focus.size, 1);
+    }
+}

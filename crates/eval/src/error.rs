@@ -1,0 +1,110 @@
+//! Evaluation (dynamic) errors.
+
+use std::fmt;
+
+use xqy_parser::ParseError;
+use xqy_xdm::XdmError;
+
+/// A dynamic error raised during query evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// Reference to a variable that is not in scope.
+    UndefinedVariable(String),
+    /// Call to an unknown function, or with the wrong number of arguments.
+    UndefinedFunction {
+        /// The function name as written.
+        name: String,
+        /// The number of arguments supplied.
+        arity: usize,
+    },
+    /// A type error: an operation received a value of the wrong kind
+    /// (e.g. a path step applied to an atomic value).
+    Type(String),
+    /// `fn:doc` could not resolve a document URI.
+    DocumentNotFound(String),
+    /// The context item was required but absent.
+    MissingContextItem,
+    /// The inflationary fixed point did not converge within the configured
+    /// iteration / node limits (Definition 2.1: the IFP is *undefined*).
+    NoFixpoint {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Limit that was exceeded (`"iterations"` or `"nodes"`).
+        limit: String,
+    },
+    /// An error bubbled up from the data-model layer.
+    Xdm(String),
+    /// An embedded query string failed to parse.
+    Parse(String),
+    /// Evaluation exceeded the configured recursion depth for user-defined
+    /// functions.
+    RecursionLimit(usize),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UndefinedVariable(v) => write!(f, "undefined variable ${v}"),
+            EvalError::UndefinedFunction { name, arity } => {
+                write!(f, "undefined function {name}#{arity}")
+            }
+            EvalError::Type(msg) => write!(f, "type error: {msg}"),
+            EvalError::DocumentNotFound(uri) => write!(f, "document not found: {uri}"),
+            EvalError::MissingContextItem => write!(f, "context item is undefined"),
+            EvalError::NoFixpoint { iterations, limit } => write!(
+                f,
+                "inflationary fixed point is undefined (exceeded {limit} limit after {iterations} iterations)"
+            ),
+            EvalError::Xdm(msg) => write!(f, "data model error: {msg}"),
+            EvalError::Parse(msg) => write!(f, "parse error: {msg}"),
+            EvalError::RecursionLimit(depth) => {
+                write!(f, "user-defined function recursion exceeded depth {depth}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<XdmError> for EvalError {
+    fn from(value: XdmError) -> Self {
+        EvalError::Xdm(value.to_string())
+    }
+}
+
+impl From<ParseError> for EvalError {
+    fn from(value: ParseError) -> Self {
+        EvalError::Parse(value.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(EvalError::UndefinedVariable("x".into())
+            .to_string()
+            .contains("$x"));
+        assert!(EvalError::UndefinedFunction {
+            name: "foo".into(),
+            arity: 2
+        }
+        .to_string()
+        .contains("foo#2"));
+        assert!(EvalError::NoFixpoint {
+            iterations: 10,
+            limit: "nodes".into()
+        }
+        .to_string()
+        .contains("undefined"));
+    }
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let xdm = XdmError::DanglingNode("n".into());
+        let err: EvalError = xdm.into();
+        assert!(matches!(err, EvalError::Xdm(_)));
+    }
+}

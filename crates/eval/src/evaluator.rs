@@ -1,0 +1,1004 @@
+//! The tree-walking evaluator.
+
+use std::collections::HashMap;
+
+use xqy_parser::ast::{Expr, FunctionDecl, Literal, Occurrence, QueryModule, SequenceType, UnaryOp};
+use xqy_parser::{parse_query, BinaryOp};
+use xqy_xdm::{
+    ddo, intersect, node_except, node_union, AtomicValue, Item, NodeId, NodeKind, NodeStore,
+    Sequence,
+};
+
+use crate::compare::{arithmetic, effective_boolean_value, general_pair_compare, value_compare};
+use crate::context::{Environment, Focus};
+use crate::error::EvalError;
+use crate::fixpoint::{self, FixpointStats, FixpointStrategy};
+use crate::Result;
+
+/// Tunable evaluation options.
+#[derive(Debug, Clone)]
+pub struct EvalOptions {
+    /// Which algorithm the `with … seeded by … recurse` form uses.
+    pub fixpoint_strategy: FixpointStrategy,
+    /// When `false` (the default) the IFP follows Definition 2.1 literally:
+    /// the accumulation starts from `e_rec(e_seed)` and the seed nodes are
+    /// only part of the result if the recursion re-discovers them (this is
+    /// what makes `e+`, the *non*-reflexive transitive closure, expressible).
+    ///
+    /// When `true` the accumulation starts from the seed itself, which is the
+    /// reading used by the paper's worked Example 2.4 (its iteration table
+    /// lists the seed as the iteration-0 result) and corresponds to the
+    /// reflexive closure `e*`.
+    pub seed_in_result: bool,
+    /// Abort an IFP after this many iterations (the IFP is then *undefined*,
+    /// per Definition 2.1 of the paper).
+    pub max_fixpoint_iterations: usize,
+    /// Abort an IFP once the accumulated result exceeds this many nodes.
+    pub max_fixpoint_nodes: usize,
+    /// Maximum user-defined function recursion depth.
+    pub max_recursion_depth: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            fixpoint_strategy: FixpointStrategy::Naive,
+            seed_in_result: false,
+            max_fixpoint_iterations: 100_000,
+            max_fixpoint_nodes: 50_000_000,
+            max_recursion_depth: 4_096,
+        }
+    }
+}
+
+/// The XQuery interpreter.
+///
+/// An `Evaluator` borrows the [`NodeStore`] mutably for the duration of a
+/// query run: node constructors add new trees to the store, and document
+/// order / ID indexes are refreshed lazily on access.
+pub struct Evaluator<'s> {
+    pub(crate) store: &'s mut NodeStore,
+    functions: HashMap<(String, usize), FunctionDecl>,
+    globals: Vec<(String, Sequence)>,
+    options: EvalOptions,
+    fixpoint_runs: Vec<FixpointStats>,
+    recursion_depth: usize,
+}
+
+impl<'s> Evaluator<'s> {
+    /// Create an evaluator over `store` with default options.
+    pub fn new(store: &'s mut NodeStore) -> Self {
+        Evaluator {
+            store,
+            functions: HashMap::new(),
+            globals: Vec::new(),
+            options: EvalOptions::default(),
+            fixpoint_runs: Vec::new(),
+            recursion_depth: 0,
+        }
+    }
+
+    /// Borrow the underlying node store.
+    pub fn store(&mut self) -> &mut NodeStore {
+        self.store
+    }
+
+    /// Current options.
+    pub fn options(&self) -> &EvalOptions {
+        &self.options
+    }
+
+    /// Mutable access to the options.
+    pub fn options_mut(&mut self) -> &mut EvalOptions {
+        &mut self.options
+    }
+
+    /// Select the IFP evaluation algorithm (Naïve or Delta).
+    pub fn set_fixpoint_strategy(&mut self, strategy: FixpointStrategy) {
+        self.options.fixpoint_strategy = strategy;
+    }
+
+    /// Statistics of every fixed point computation executed so far, in
+    /// execution order.
+    pub fn fixpoint_runs(&self) -> &[FixpointStats] {
+        &self.fixpoint_runs
+    }
+
+    /// Statistics of the most recent fixed point computation, if any.
+    pub fn last_fixpoint_stats(&self) -> Option<&FixpointStats> {
+        self.fixpoint_runs.last()
+    }
+
+    pub(crate) fn record_fixpoint_run(&mut self, stats: FixpointStats) {
+        self.fixpoint_runs.push(stats);
+    }
+
+    /// Register additional user-defined functions (callable from any
+    /// subsequently evaluated expression).
+    pub fn register_functions(&mut self, functions: &[FunctionDecl]) {
+        for f in functions {
+            self.functions
+                .insert((strip_prefix(&f.name).to_string(), f.params.len()), f.clone());
+        }
+    }
+
+    /// Bind a global variable visible to every evaluated expression.
+    pub fn bind_global(&mut self, name: impl Into<String>, value: Sequence) {
+        self.globals.push((name.into(), value));
+    }
+
+    /// Parse and evaluate a complete query.
+    pub fn eval_query_str(&mut self, source: &str) -> Result<Sequence> {
+        let module = parse_query(source)?;
+        self.eval_module(&module)
+    }
+
+    /// Evaluate a parsed query module: register its functions, evaluate its
+    /// global variables, then evaluate the body.
+    pub fn eval_module(&mut self, module: &QueryModule) -> Result<Sequence> {
+        self.register_functions(&module.functions);
+        let mut env = Environment::new();
+        for (name, value) in &self.globals.clone() {
+            env.push(name.clone(), value.clone());
+        }
+        for (name, expr) in &module.variables {
+            let value = self.eval_expr(expr, &mut env, None)?;
+            env.push(name.clone(), value.clone());
+            self.globals.push((name.clone(), value));
+        }
+        self.eval_expr(&module.body, &mut env, None)
+    }
+
+    /// Evaluate a standalone expression with an empty environment.
+    pub fn eval_expr_str(&mut self, source: &str) -> Result<Sequence> {
+        let expr = xqy_parser::parse_expr(source)?;
+        let mut env = Environment::new();
+        for (name, value) in &self.globals.clone() {
+            env.push(name.clone(), value.clone());
+        }
+        self.eval_expr(&expr, &mut env, None)
+    }
+
+    /// Evaluate `expr` under `env` with optional focus.
+    pub fn eval_expr(
+        &mut self,
+        expr: &Expr,
+        env: &mut Environment,
+        focus: Option<&Focus>,
+    ) -> Result<Sequence> {
+        match expr {
+            Expr::Literal(lit) => Ok(Sequence::singleton(literal_item(lit))),
+            Expr::EmptySequence => Ok(Sequence::empty()),
+            Expr::VarRef(name) => env
+                .lookup(name)
+                .cloned()
+                .ok_or_else(|| EvalError::UndefinedVariable(name.clone())),
+            Expr::ContextItem => focus
+                .map(|f| Sequence::singleton(f.item.clone()))
+                .ok_or(EvalError::MissingContextItem),
+            Expr::Sequence(items) => {
+                let mut out = Sequence::empty();
+                for item in items {
+                    out.extend(self.eval_expr(item, env, focus)?);
+                }
+                Ok(out)
+            }
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let test = self.eval_expr(cond, env, focus)?;
+                if effective_boolean_value(&test)? {
+                    self.eval_expr(then_branch, env, focus)
+                } else {
+                    self.eval_expr(else_branch, env, focus)
+                }
+            }
+            Expr::For {
+                var,
+                pos_var,
+                seq,
+                body,
+            } => {
+                let input = self.eval_expr(seq, env, focus)?;
+                let mut out = Sequence::empty();
+                for (i, item) in input.into_iter().enumerate() {
+                    let depth = env.depth();
+                    env.push(var.clone(), Sequence::singleton(item));
+                    if let Some(p) = pos_var {
+                        env.push(p.clone(), Sequence::singleton(Item::integer(i as i64 + 1)));
+                    }
+                    let result = self.eval_expr(body, env, focus);
+                    env.truncate(depth);
+                    out.extend(result?);
+                }
+                Ok(out)
+            }
+            Expr::Let { var, value, body } => {
+                let bound = self.eval_expr(value, env, focus)?;
+                let depth = env.depth();
+                env.push(var.clone(), bound);
+                let result = self.eval_expr(body, env, focus);
+                env.truncate(depth);
+                result
+            }
+            Expr::Quantified {
+                every,
+                var,
+                seq,
+                cond,
+            } => {
+                let input = self.eval_expr(seq, env, focus)?;
+                let mut result = *every;
+                for item in input.into_iter() {
+                    let depth = env.depth();
+                    env.push(var.clone(), Sequence::singleton(item));
+                    let holds = self
+                        .eval_expr(cond, env, focus)
+                        .and_then(|s| effective_boolean_value(&s));
+                    env.truncate(depth);
+                    let holds = holds?;
+                    if *every && !holds {
+                        result = false;
+                        break;
+                    }
+                    if !*every && holds {
+                        result = true;
+                        break;
+                    }
+                }
+                Ok(Sequence::singleton(Item::boolean(result)))
+            }
+            Expr::Typeswitch { operand, cases } => {
+                let value = self.eval_expr(operand, env, focus)?;
+                for case in cases {
+                    let matches = match &case.seq_type {
+                        Some(t) => self.matches_sequence_type(&value, t),
+                        None => true, // default branch
+                    };
+                    if matches {
+                        let depth = env.depth();
+                        if let Some(v) = &case.var {
+                            env.push(v.clone(), value.clone());
+                        }
+                        let result = self.eval_expr(&case.body, env, focus);
+                        env.truncate(depth);
+                        return result;
+                    }
+                }
+                Ok(Sequence::empty())
+            }
+            Expr::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs, env, focus),
+            Expr::Unary { op, expr } => {
+                let value = self.eval_expr(expr, env, focus)?;
+                let atoms = self.atomize(&value);
+                if atoms.is_empty() {
+                    return Ok(Sequence::empty());
+                }
+                if atoms.len() > 1 {
+                    return Err(EvalError::Type("unary operator on a sequence".into()));
+                }
+                let n = atoms[0].to_double();
+                let value = match op {
+                    UnaryOp::Minus => -n,
+                    UnaryOp::Plus => n,
+                };
+                if value.fract() == 0.0 && matches!(atoms[0], AtomicValue::Integer(_)) {
+                    Ok(Sequence::singleton(Item::integer(value as i64)))
+                } else {
+                    Ok(Sequence::singleton(Item::double(value)))
+                }
+            }
+            Expr::Path { input, step } => {
+                let input_seq = self.eval_expr(input, env, focus)?;
+                self.eval_path_step(&input_seq, step, env)
+            }
+            Expr::RootPath { step } => {
+                let focus = focus.ok_or(EvalError::MissingContextItem)?;
+                let node = focus
+                    .item
+                    .as_node()
+                    .ok_or_else(|| EvalError::Type("'/' requires a node context item".into()))?;
+                let root = self.store.tree_root(node);
+                let root_seq = Sequence::from_nodes(vec![root]);
+                match step {
+                    None => Ok(root_seq),
+                    Some(s) => self.eval_path_step(&root_seq, s, env),
+                }
+            }
+            Expr::AxisStep {
+                axis,
+                test,
+                predicates,
+            } => {
+                let focus = focus.ok_or(EvalError::MissingContextItem)?;
+                let node = focus.item.as_node().ok_or_else(|| {
+                    EvalError::Type(format!(
+                        "axis step {}::{} requires a node context item",
+                        axis.name(),
+                        test
+                    ))
+                })?;
+                let candidates = self.store.axis_nodes(node, *axis, test);
+                let mut seq = Sequence::from_nodes(candidates);
+                for pred in predicates {
+                    seq = self.apply_predicate(seq, pred, env)?;
+                }
+                let ordered = ddo(self.store, &seq.nodes());
+                Ok(Sequence::from_nodes(ordered))
+            }
+            Expr::Filter { input, predicates } => {
+                let mut seq = self.eval_expr(input, env, focus)?;
+                for pred in predicates {
+                    seq = self.apply_predicate(seq, pred, env)?;
+                }
+                Ok(seq)
+            }
+            Expr::FunctionCall { name, args } => self.eval_function_call(name, args, env, focus),
+            Expr::DirectElement { .. }
+            | Expr::ComputedElement { .. }
+            | Expr::ComputedAttribute { .. }
+            | Expr::ComputedText { .. } => crate::construct::construct(self, expr, env, focus),
+            Expr::Fixpoint { var, seed, body } => {
+                let seed_value = self.eval_expr(seed, env, focus)?;
+                let strategy = self.options.fixpoint_strategy;
+                fixpoint::evaluate_fixpoint(self, var, &seed_value, body, env, strategy)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Paths, predicates
+    // ------------------------------------------------------------------
+
+    /// Evaluate a path step: for every item of `input` (as the focus), run
+    /// `step`, then combine.  If all results are nodes the combined result
+    /// is returned in distinct document order, mirroring `fs:ddo`.
+    pub(crate) fn eval_path_step(
+        &mut self,
+        input: &Sequence,
+        step: &Expr,
+        env: &mut Environment,
+    ) -> Result<Sequence> {
+        let size = input.len();
+        let mut out = Sequence::empty();
+        for (i, item) in input.iter().enumerate() {
+            let focus = Focus {
+                item: item.clone(),
+                position: i + 1,
+                size,
+            };
+            let result = self.eval_expr(step, env, Some(&focus))?;
+            out.extend(result);
+        }
+        if out.all_nodes() {
+            let ordered = ddo(self.store, &out.nodes());
+            Ok(Sequence::from_nodes(ordered))
+        } else if out.nodes().is_empty() {
+            Ok(out)
+        } else {
+            Err(EvalError::Type(
+                "path step result mixes nodes and atomic values".into(),
+            ))
+        }
+    }
+
+    fn apply_predicate(
+        &mut self,
+        input: Sequence,
+        pred: &Expr,
+        env: &mut Environment,
+    ) -> Result<Sequence> {
+        let size = input.len();
+        let mut out = Sequence::empty();
+        for (i, item) in input.iter().enumerate() {
+            let focus = Focus {
+                item: item.clone(),
+                position: i + 1,
+                size,
+            };
+            let value = self.eval_expr(pred, env, Some(&focus))?;
+            // Numeric predicate selects by position; otherwise EBV filters.
+            let keep = if value.len() == 1 {
+                match value.first() {
+                    Some(Item::Atomic(a)) if a.is_numeric() => {
+                        (a.to_double() - (i as f64 + 1.0)).abs() < f64::EPSILON
+                    }
+                    _ => effective_boolean_value(&value)?,
+                }
+            } else {
+                effective_boolean_value(&value)?
+            };
+            if keep {
+                out.push(item.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Operators
+    // ------------------------------------------------------------------
+
+    fn eval_binary(
+        &mut self,
+        op: BinaryOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        env: &mut Environment,
+        focus: Option<&Focus>,
+    ) -> Result<Sequence> {
+        match op {
+            BinaryOp::Or => {
+                let l = self.eval_expr(lhs, env, focus)?;
+                if effective_boolean_value(&l)? {
+                    return Ok(Sequence::singleton(Item::boolean(true)));
+                }
+                let r = self.eval_expr(rhs, env, focus)?;
+                Ok(Sequence::singleton(Item::boolean(effective_boolean_value(
+                    &r,
+                )?)))
+            }
+            BinaryOp::And => {
+                let l = self.eval_expr(lhs, env, focus)?;
+                if !effective_boolean_value(&l)? {
+                    return Ok(Sequence::singleton(Item::boolean(false)));
+                }
+                let r = self.eval_expr(rhs, env, focus)?;
+                Ok(Sequence::singleton(Item::boolean(effective_boolean_value(
+                    &r,
+                )?)))
+            }
+            BinaryOp::Union | BinaryOp::Intersect | BinaryOp::Except => {
+                let l = self.eval_expr(lhs, env, focus)?;
+                let r = self.eval_expr(rhs, env, focus)?;
+                if !l.all_nodes() || !r.all_nodes() {
+                    return Err(EvalError::Type(format!(
+                        "operands of '{}' must be node sequences",
+                        op.symbol()
+                    )));
+                }
+                let result = match op {
+                    BinaryOp::Union => node_union(self.store, &l.nodes(), &r.nodes()),
+                    BinaryOp::Intersect => intersect(self.store, &l.nodes(), &r.nodes()),
+                    BinaryOp::Except => node_except(self.store, &l.nodes(), &r.nodes()),
+                    _ => unreachable!(),
+                };
+                Ok(Sequence::from_nodes(result))
+            }
+            BinaryOp::Is | BinaryOp::Precedes | BinaryOp::Follows => {
+                let l = self.eval_expr(lhs, env, focus)?;
+                let r = self.eval_expr(rhs, env, focus)?;
+                if l.is_empty() || r.is_empty() {
+                    return Ok(Sequence::empty());
+                }
+                let (Some(a), Some(b)) = (
+                    l.first().and_then(Item::as_node),
+                    r.first().and_then(Item::as_node),
+                ) else {
+                    return Err(EvalError::Type(format!(
+                        "operands of '{}' must be single nodes",
+                        op.symbol()
+                    )));
+                };
+                let result = match op {
+                    BinaryOp::Is => a == b,
+                    BinaryOp::Precedes => {
+                        self.store.doc_order(a, b) == std::cmp::Ordering::Less
+                    }
+                    BinaryOp::Follows => {
+                        self.store.doc_order(a, b) == std::cmp::Ordering::Greater
+                    }
+                    _ => unreachable!(),
+                };
+                Ok(Sequence::singleton(Item::boolean(result)))
+            }
+            BinaryOp::Range => {
+                let l = self.eval_single_integer(lhs, env, focus)?;
+                let r = self.eval_single_integer(rhs, env, focus)?;
+                match (l, r) {
+                    (Some(a), Some(b)) if a <= b => {
+                        Ok((a..=b).map(Item::integer).collect::<Sequence>())
+                    }
+                    _ => Ok(Sequence::empty()),
+                }
+            }
+            op if op.is_general_comparison() => {
+                let l = self.eval_expr(lhs, env, focus)?;
+                let r = self.eval_expr(rhs, env, focus)?;
+                let latoms = self.atomize(&l);
+                let ratoms = self.atomize(&r);
+                let result = latoms
+                    .iter()
+                    .any(|a| ratoms.iter().any(|b| general_pair_compare(op, a, b)));
+                Ok(Sequence::singleton(Item::boolean(result)))
+            }
+            BinaryOp::ValueEq
+            | BinaryOp::ValueNe
+            | BinaryOp::ValueLt
+            | BinaryOp::ValueLe
+            | BinaryOp::ValueGt
+            | BinaryOp::ValueGe => {
+                let l = self.eval_expr(lhs, env, focus)?;
+                let r = self.eval_expr(rhs, env, focus)?;
+                let latoms = self.atomize(&l);
+                let ratoms = self.atomize(&r);
+                if latoms.is_empty() || ratoms.is_empty() {
+                    return Ok(Sequence::empty());
+                }
+                if latoms.len() > 1 || ratoms.len() > 1 {
+                    return Err(EvalError::Type(format!(
+                        "value comparison '{}' requires singleton operands",
+                        op.symbol()
+                    )));
+                }
+                Ok(Sequence::singleton(Item::boolean(value_compare(
+                    op,
+                    &latoms[0],
+                    &ratoms[0],
+                )?)))
+            }
+            BinaryOp::Add
+            | BinaryOp::Sub
+            | BinaryOp::Mul
+            | BinaryOp::Div
+            | BinaryOp::IDiv
+            | BinaryOp::Mod => {
+                let l = self.eval_expr(lhs, env, focus)?;
+                let r = self.eval_expr(rhs, env, focus)?;
+                let latoms = self.atomize(&l);
+                let ratoms = self.atomize(&r);
+                if latoms.is_empty() || ratoms.is_empty() {
+                    return Ok(Sequence::empty());
+                }
+                if latoms.len() > 1 || ratoms.len() > 1 {
+                    return Err(EvalError::Type(format!(
+                        "arithmetic operator '{}' requires singleton operands",
+                        op.symbol()
+                    )));
+                }
+                Ok(Sequence::singleton(Item::Atomic(arithmetic(
+                    op,
+                    &latoms[0],
+                    &ratoms[0],
+                )?)))
+            }
+            other => Err(EvalError::Type(format!(
+                "unsupported binary operator '{}'",
+                other.symbol()
+            ))),
+        }
+    }
+
+    fn eval_single_integer(
+        &mut self,
+        expr: &Expr,
+        env: &mut Environment,
+        focus: Option<&Focus>,
+    ) -> Result<Option<i64>> {
+        let value = self.eval_expr(expr, env, focus)?;
+        let atoms = self.atomize(&value);
+        match atoms.len() {
+            0 => Ok(None),
+            1 => Ok(Some(atoms[0].to_integer()?)),
+            _ => Err(EvalError::Type(
+                "range operand must be a single integer".into(),
+            )),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Functions
+    // ------------------------------------------------------------------
+
+    fn eval_function_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        env: &mut Environment,
+        focus: Option<&Focus>,
+    ) -> Result<Sequence> {
+        let local = strip_prefix(name);
+        // User-defined functions shadow nothing from the built-in library —
+        // built-ins win, matching how `fn:` functions cannot be redefined.
+        if crate::builtins::is_builtin(local) {
+            let mut values = Vec::with_capacity(args.len());
+            for a in args {
+                values.push(self.eval_expr(a, env, focus)?);
+            }
+            return crate::builtins::call_builtin(self, local, &values, focus);
+        }
+        if let Some(decl) = self.functions.get(&(local.to_string(), args.len())).cloned() {
+            let mut values = Vec::with_capacity(args.len());
+            for a in args {
+                values.push(self.eval_expr(a, env, focus)?);
+            }
+            if self.recursion_depth >= self.options.max_recursion_depth {
+                return Err(EvalError::RecursionLimit(self.options.max_recursion_depth));
+            }
+            self.recursion_depth += 1;
+            // Function bodies see only their parameters and the globals.
+            let mut call_env = Environment::new();
+            for (g, v) in &self.globals {
+                call_env.push(g.clone(), v.clone());
+            }
+            for (param, value) in decl.params.iter().zip(values) {
+                call_env.push(param.clone(), value);
+            }
+            let result = self.eval_expr(&decl.body, &mut call_env, None);
+            self.recursion_depth -= 1;
+            return result;
+        }
+        Err(EvalError::UndefinedFunction {
+            name: name.to_string(),
+            arity: args.len(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers shared with builtins / construct / fixpoint
+    // ------------------------------------------------------------------
+
+    /// Atomize a sequence: nodes become `xs:untypedAtomic` of their string
+    /// value, atomic items pass through.
+    pub(crate) fn atomize(&self, seq: &Sequence) -> Vec<AtomicValue> {
+        seq.iter()
+            .map(|item| match item {
+                Item::Atomic(a) => a.clone(),
+                Item::Node(n) => AtomicValue::Untyped(self.store.string_value(*n)),
+            })
+            .collect()
+    }
+
+    /// The string value of a single item.
+    pub(crate) fn item_string(&self, item: &Item) -> String {
+        match item {
+            Item::Atomic(a) => a.string_value(),
+            Item::Node(n) => self.store.string_value(*n),
+        }
+    }
+
+    /// Simple sequence-type matching for `typeswitch`.
+    fn matches_sequence_type(&self, value: &Sequence, t: &SequenceType) -> bool {
+        let occurrence_ok = match t.occurrence {
+            Occurrence::One => value.len() == 1,
+            Occurrence::Optional => value.len() <= 1,
+            Occurrence::ZeroOrMore => true,
+            Occurrence::OneOrMore => !value.is_empty(),
+        };
+        if !occurrence_ok {
+            return false;
+        }
+        if t.item_type == "empty-sequence()" {
+            return value.is_empty();
+        }
+        value.iter().all(|item| self.item_matches_type(item, &t.item_type))
+    }
+
+    fn item_matches_type(&self, item: &Item, item_type: &str) -> bool {
+        let base = item_type.trim();
+        match item {
+            Item::Node(n) => {
+                let kind = self.store.kind(*n);
+                match base {
+                    "item()" | "node()" => true,
+                    "text()" => kind.is_text(),
+                    "comment()" => matches!(kind, NodeKind::Comment(_)),
+                    "document-node()" => matches!(kind, NodeKind::Document),
+                    _ if base.starts_with("element(") || base == "element()" => {
+                        let inner = base
+                            .trim_start_matches("element(")
+                            .trim_end_matches(')')
+                            .trim();
+                        kind.is_element()
+                            && (inner.is_empty()
+                                || inner == "*"
+                                || kind.name().map(|q| q.local == inner).unwrap_or(false))
+                    }
+                    _ if base.starts_with("attribute(") || base == "attribute()" => {
+                        let inner = base
+                            .trim_start_matches("attribute(")
+                            .trim_end_matches(')')
+                            .trim();
+                        kind.is_attribute()
+                            && (inner.is_empty()
+                                || inner == "*"
+                                || kind.name().map(|q| q.local == inner).unwrap_or(false))
+                    }
+                    _ => false,
+                }
+            }
+            Item::Atomic(a) => match base {
+                "item()" => true,
+                "xs:integer" => matches!(a, AtomicValue::Integer(_)),
+                "xs:double" | "xs:decimal" | "xs:float" => {
+                    matches!(a, AtomicValue::Double(_) | AtomicValue::Integer(_))
+                }
+                "xs:string" => matches!(a, AtomicValue::String(_)),
+                "xs:boolean" => matches!(a, AtomicValue::Boolean(_)),
+                "xs:untypedAtomic" => matches!(a, AtomicValue::Untyped(_)),
+                "xs:anyAtomicType" => true,
+                _ => false,
+            },
+        }
+    }
+
+    /// Resolve `fn:id(values)` relative to `doc_node`'s document.
+    pub(crate) fn lookup_ids(&mut self, doc_node: NodeId, values: &[AtomicValue]) -> Vec<NodeId> {
+        let doc = xqy_xdm::DocId(doc_node.doc);
+        let mut out = Vec::new();
+        for value in values {
+            for token in value.string_value().split_whitespace() {
+                if let Some(node) = self.store.lookup_id(doc, token) {
+                    out.push(node);
+                }
+            }
+        }
+        ddo(self.store, &out)
+    }
+
+    /// Evaluate the recursion body of an IFP with `var` bound to `value`
+    /// (used by the fixpoint algorithms).
+    pub(crate) fn eval_with_binding(
+        &mut self,
+        body: &Expr,
+        env: &mut Environment,
+        var: &str,
+        value: Sequence,
+    ) -> Result<Sequence> {
+        let depth = env.depth();
+        env.push(var.to_string(), value);
+        let result = self.eval_expr(body, env, None);
+        env.truncate(depth);
+        result
+    }
+}
+
+/// Strip an (ignored) namespace prefix from a function name: `fn:count` →
+/// `count`, `local:fix` → `fix`.
+pub(crate) fn strip_prefix(name: &str) -> &str {
+    match name.split_once(':') {
+        Some((_, local)) => local,
+        None => name,
+    }
+}
+
+fn literal_item(lit: &Literal) -> Item {
+    match lit {
+        Literal::Integer(i) => Item::integer(*i),
+        Literal::Double(d) => Item::double(*d),
+        Literal::String(s) => Item::string(s.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(src: &str) -> Sequence {
+        let mut store = NodeStore::new();
+        let mut eval = Evaluator::new(&mut store);
+        eval.eval_query_str(src).unwrap()
+    }
+
+    fn eval_err(src: &str) -> EvalError {
+        let mut store = NodeStore::new();
+        let mut eval = Evaluator::new(&mut store);
+        eval.eval_query_str(src).unwrap_err()
+    }
+
+    fn eval_with_doc(doc: &str, src: &str) -> (NodeStore, Sequence) {
+        let mut store = NodeStore::new();
+        store.parse_document_with_uri("doc.xml", doc).unwrap();
+        let mut evaluator = Evaluator::new(&mut store);
+        let result = evaluator.eval_query_str(src).unwrap();
+        (store, result)
+    }
+
+    fn ints(seq: &Sequence) -> Vec<i64> {
+        seq.iter()
+            .map(|i| i.as_atomic().unwrap().to_integer().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(ints(&eval("1 + 2 * 3")), vec![7]);
+        assert_eq!(ints(&eval("(1 + 2) * 3")), vec![9]);
+        assert_eq!(ints(&eval("7 mod 4")), vec![3]);
+        assert_eq!(ints(&eval("7 idiv 2")), vec![3]);
+        assert_eq!(ints(&eval("-(3) + 5")), vec![2]);
+    }
+
+    #[test]
+    fn sequences_and_ranges() {
+        assert_eq!(ints(&eval("1 to 5")), vec![1, 2, 3, 4, 5]);
+        assert_eq!(ints(&eval("(1, 2, (3, 4))")), vec![1, 2, 3, 4]);
+        assert!(eval("()").is_empty());
+        assert!(eval("5 to 1").is_empty());
+    }
+
+    #[test]
+    fn flwor_evaluation() {
+        assert_eq!(ints(&eval("for $x in 1 to 3 return $x * 10")), vec![10, 20, 30]);
+        assert_eq!(
+            ints(&eval("for $x at $i in (5, 6, 7) return $i")),
+            vec![1, 2, 3]
+        );
+        assert_eq!(
+            ints(&eval("for $x in 1 to 5 where $x mod 2 = 0 return $x")),
+            vec![2, 4]
+        );
+        assert_eq!(ints(&eval("let $x := 4 return $x + 1")), vec![5]);
+    }
+
+    #[test]
+    fn conditionals_and_quantifiers() {
+        assert_eq!(ints(&eval("if (1 < 2) then 10 else 20")), vec![10]);
+        assert_eq!(ints(&eval("if (()) then 10 else 20")), vec![20]);
+        let t = eval("some $x in (1, 2, 3) satisfies $x > 2");
+        assert_eq!(t.items()[0], Item::boolean(true));
+        let f = eval("every $x in (1, 2, 3) satisfies $x > 2");
+        assert_eq!(f.items()[0], Item::boolean(false));
+    }
+
+    #[test]
+    fn comparisons_general_and_value() {
+        assert_eq!(eval("(1, 2) = (2, 3)").items()[0], Item::boolean(true));
+        assert_eq!(eval("(1, 2) = (5, 6)").items()[0], Item::boolean(false));
+        assert_eq!(eval("1 eq 1").items()[0], Item::boolean(true));
+        assert!(eval("() eq 1").is_empty());
+        assert!(matches!(eval_err("(1, 2) eq 1"), EvalError::Type(_)));
+    }
+
+    #[test]
+    fn logic_short_circuits() {
+        // The rhs would raise an error if evaluated.
+        assert_eq!(
+            eval("false() and (1 idiv 0 = 1)").items()[0],
+            Item::boolean(false)
+        );
+        assert_eq!(
+            eval("true() or (1 idiv 0 = 1)").items()[0],
+            Item::boolean(true)
+        );
+    }
+
+    #[test]
+    fn path_navigation_over_document() {
+        let doc = "<curriculum><course code=\"c1\"><prerequisites><pre_code>c2</pre_code></prerequisites></course><course code=\"c2\"/></curriculum>";
+        let (_, result) = eval_with_doc(doc, "doc('doc.xml')/curriculum/course");
+        assert_eq!(result.len(), 2);
+        let (_, result) = eval_with_doc(doc, "doc('doc.xml')//pre_code");
+        assert_eq!(result.len(), 1);
+        let (store, result) = eval_with_doc(doc, "doc('doc.xml')//course[@code='c1']/prerequisites/pre_code");
+        assert_eq!(result.len(), 1);
+        assert_eq!(store.string_value(result.nodes()[0]), "c2");
+    }
+
+    #[test]
+    fn predicates_numeric_and_boolean() {
+        let doc = "<r><i>1</i><i>2</i><i>3</i></r>";
+        let (store, result) = eval_with_doc(doc, "doc('doc.xml')/r/i[2]");
+        assert_eq!(store.string_value(result.nodes()[0]), "2");
+        let (_, result) = eval_with_doc(doc, "doc('doc.xml')/r/i[. > 1]");
+        assert_eq!(result.len(), 2);
+        let (store, result) = eval_with_doc(doc, "(doc('doc.xml')/r/i)[last()]");
+        assert_eq!(store.string_value(result.nodes()[0]), "3");
+        let (_, result) = eval_with_doc(doc, "doc('doc.xml')/r/i[position() < 3]");
+        assert_eq!(result.len(), 2);
+    }
+
+    #[test]
+    fn attribute_and_parent_axes() {
+        let doc = "<r><a id=\"x\"><b/></a></r>";
+        let (store, result) = eval_with_doc(doc, "doc('doc.xml')//a/@id");
+        assert_eq!(result.len(), 1);
+        assert_eq!(store.string_value(result.nodes()[0]), "x");
+        let (store, result) = eval_with_doc(doc, "doc('doc.xml')//b/../@id");
+        assert_eq!(store.string_value(result.nodes()[0]), "x");
+        let (_, result) = eval_with_doc(doc, "doc('doc.xml')//b/ancestor::r");
+        assert_eq!(result.len(), 1);
+    }
+
+    #[test]
+    fn node_set_operations() {
+        let doc = "<r><a/><b/><c/></r>";
+        let (_, result) = eval_with_doc(doc, "doc('doc.xml')/r/a union doc('doc.xml')/r/b");
+        assert_eq!(result.len(), 2);
+        let (_, result) = eval_with_doc(doc, "doc('doc.xml')/r/* except doc('doc.xml')/r/b");
+        assert_eq!(result.len(), 2);
+        let (_, result) = eval_with_doc(doc, "doc('doc.xml')/r/* intersect doc('doc.xml')/r/b");
+        assert_eq!(result.len(), 1);
+        // Union removes duplicates and restores document order.
+        let (store, result) =
+            eval_with_doc(doc, "(doc('doc.xml')/r/c union doc('doc.xml')/r/a) union doc('doc.xml')/r/a");
+        assert_eq!(result.len(), 2);
+        assert_eq!(store.name(result.nodes()[0]).unwrap().local, "a");
+    }
+
+    #[test]
+    fn node_identity_and_order_comparisons() {
+        let doc = "<r><a/><b/></r>";
+        let (_, result) = eval_with_doc(doc, "doc('doc.xml')/r/a is doc('doc.xml')/r/a");
+        assert_eq!(result.items()[0], Item::boolean(true));
+        let (_, result) = eval_with_doc(doc, "doc('doc.xml')/r/a << doc('doc.xml')/r/b");
+        assert_eq!(result.items()[0], Item::boolean(true));
+        let (_, result) = eval_with_doc(doc, "doc('doc.xml')/r/a >> doc('doc.xml')/r/b");
+        assert_eq!(result.items()[0], Item::boolean(false));
+    }
+
+    #[test]
+    fn user_defined_functions_and_recursion() {
+        let result = eval(
+            "declare function fact($n) { if ($n <= 1) then 1 else $n * fact($n - 1) };\nfact(5)",
+        );
+        assert_eq!(ints(&result), vec![120]);
+
+        let result = eval(
+            "declare function twice($x) { ($x, $x) };\ncount(twice((1, 2, 3)))",
+        );
+        assert_eq!(ints(&result), vec![6]);
+    }
+
+    #[test]
+    fn runaway_recursion_is_bounded() {
+        let mut store = NodeStore::new();
+        let mut evaluator = Evaluator::new(&mut store);
+        evaluator.options_mut().max_recursion_depth = 64;
+        let err = evaluator
+            .eval_query_str("declare function loop($n) { loop($n + 1) };\nloop(0)")
+            .unwrap_err();
+        assert!(matches!(err, EvalError::RecursionLimit(_)));
+    }
+
+    #[test]
+    fn declared_variables_are_visible_in_functions() {
+        let doc = "<r><a/></r>";
+        let mut store = NodeStore::new();
+        store.parse_document_with_uri("doc.xml", doc).unwrap();
+        let mut evaluator = Evaluator::new(&mut store);
+        let result = evaluator
+            .eval_query_str(
+                "declare variable $d := doc('doc.xml');\n\
+                 declare function f() { $d//a };\ncount(f())",
+            )
+            .unwrap();
+        assert_eq!(ints(&result), vec![1]);
+    }
+
+    #[test]
+    fn typeswitch_dispatches_on_kind() {
+        let doc = "<r><a/>text</r>";
+        let (_, result) = eval_with_doc(
+            doc,
+            "for $n in doc('doc.xml')/r/node() return typeswitch ($n) \
+             case element(a) return 'elem' case text() return 'text' default return 'other'",
+        );
+        let strings: Vec<String> = result
+            .iter()
+            .map(|i| i.as_atomic().unwrap().string_value())
+            .collect();
+        assert_eq!(strings, vec!["elem", "text"]);
+    }
+
+    #[test]
+    fn undefined_names_error_cleanly() {
+        assert!(matches!(eval_err("$nope"), EvalError::UndefinedVariable(_)));
+        assert!(matches!(
+            eval_err("no-such-function(1)"),
+            EvalError::UndefinedFunction { .. }
+        ));
+        assert!(matches!(
+            eval_err("doc('missing.xml')"),
+            EvalError::DocumentNotFound(_)
+        ));
+    }
+
+    #[test]
+    fn context_item_errors_when_absent() {
+        assert!(matches!(eval_err("."), EvalError::MissingContextItem));
+        assert!(matches!(eval_err("/r"), EvalError::MissingContextItem));
+    }
+}

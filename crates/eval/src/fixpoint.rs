@@ -1,0 +1,466 @@
+//! The inflationary fixed point runtime: algorithms *Naïve* and *Delta*.
+//!
+//! This module implements Figure 3 of the paper:
+//!
+//! ```text
+//! (a) Naïve                          (b) Delta
+//! res ← e_rec(e_seed);               res ← e_rec(e_seed);
+//! do                                 ∆ ← res;
+//!   res ← e_rec(res) union res;      do
+//! while res grows;                     ∆ ← e_rec(∆) except res;
+//!                                      res ← ∆ union res;
+//!                                    while res grows;
+//! ```
+//!
+//! Both algorithms record the statistics Table 2 of the paper reports:
+//! the recursion depth (number of iterations) and the **total number of
+//! nodes fed back** into the recursion body `e_rec`.
+//!
+//! Delta is only a safe replacement for Naïve when the recursion body is
+//! *distributive* for the recursion variable (Theorem 3.2); the runtime does
+//! not check this — strategy selection is the caller's (or `xqy-ifp`'s
+//! `Auto` mode's) responsibility.  Example 2.4 of the paper, where the two
+//! algorithms genuinely differ, is reproduced in the tests below.
+
+use xqy_parser::ast::Expr;
+use xqy_xdm::{node_except, node_union, set_equal, NodeId, Sequence};
+
+use crate::context::Environment;
+use crate::error::EvalError;
+use crate::evaluator::Evaluator;
+use crate::Result;
+
+/// Which algorithm evaluates `with … seeded by … recurse`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FixpointStrategy {
+    /// Figure 3(a): feed the entire accumulated result back each iteration.
+    #[default]
+    Naive,
+    /// Figure 3(b): feed only the newly discovered nodes back each iteration.
+    Delta,
+}
+
+impl FixpointStrategy {
+    /// Human-readable name (matches the paper's terminology).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FixpointStrategy::Naive => "Naive",
+            FixpointStrategy::Delta => "Delta",
+        }
+    }
+}
+
+/// Statistics of one fixed point computation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FixpointStats {
+    /// The strategy that was used.
+    pub strategy: Option<FixpointStrategyTag>,
+    /// Number of do-while iterations executed (the paper's
+    /// "recursion depth").
+    pub iterations: usize,
+    /// Total number of nodes fed into the recursion body across all calls —
+    /// the paper's "Total # of Nodes Fed Back" column.
+    pub nodes_fed_back: u64,
+    /// Number of invocations of the recursion body.
+    pub payload_calls: usize,
+    /// Size of the final result (number of nodes).
+    pub result_size: usize,
+}
+
+/// A copyable tag mirroring [`FixpointStrategy`] for inclusion in stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixpointStrategyTag {
+    /// Naïve algorithm.
+    Naive,
+    /// Delta algorithm.
+    Delta,
+}
+
+impl From<FixpointStrategy> for FixpointStrategyTag {
+    fn from(value: FixpointStrategy) -> Self {
+        match value {
+            FixpointStrategy::Naive => FixpointStrategyTag::Naive,
+            FixpointStrategy::Delta => FixpointStrategyTag::Delta,
+        }
+    }
+}
+
+/// Evaluate the IFP of `body` (with recursion variable `var`) seeded by
+/// `seed`, using `strategy`.  Statistics are recorded on the evaluator.
+pub fn evaluate_fixpoint(
+    eval: &mut Evaluator<'_>,
+    var: &str,
+    seed: &Sequence,
+    body: &Expr,
+    env: &mut Environment,
+    strategy: FixpointStrategy,
+) -> Result<Sequence> {
+    if !seed.all_nodes() {
+        return Err(EvalError::Type(
+            "the seed of an inflationary fixed point must be a node sequence".into(),
+        ));
+    }
+    let mut stats = FixpointStats {
+        strategy: Some(strategy.into()),
+        ..FixpointStats::default()
+    };
+    // Initial accumulation: Definition 2.1 starts from e_rec(e_seed); the
+    // seed-inclusive reading (Example 2.4 / reflexive closure) starts from
+    // the seed itself.  See `EvalOptions::seed_in_result`.
+    let initial = if eval.options().seed_in_result {
+        seed.nodes()
+    } else {
+        match call_payload(eval, var, &seed.nodes(), body, env, &mut stats) {
+            Ok(nodes) => nodes,
+            Err(err) => {
+                eval.record_fixpoint_run(stats);
+                return Err(err);
+            }
+        }
+    };
+    let result = match strategy {
+        FixpointStrategy::Naive => naive(eval, var, &initial, body, env, &mut stats),
+        FixpointStrategy::Delta => delta(eval, var, &initial, body, env, &mut stats),
+    };
+    match result {
+        Ok(nodes) => {
+            stats.result_size = nodes.len();
+            eval.record_fixpoint_run(stats);
+            Ok(Sequence::from_nodes(nodes))
+        }
+        Err(err) => {
+            eval.record_fixpoint_run(stats);
+            Err(err)
+        }
+    }
+}
+
+/// One invocation of the recursion body: bind `var`, evaluate, require a
+/// node-sequence result, update the fed-back counter.
+fn call_payload(
+    eval: &mut Evaluator<'_>,
+    var: &str,
+    input: &[NodeId],
+    body: &Expr,
+    env: &mut Environment,
+    stats: &mut FixpointStats,
+) -> Result<Vec<NodeId>> {
+    stats.nodes_fed_back += input.len() as u64;
+    stats.payload_calls += 1;
+    let value = eval.eval_with_binding(body, env, var, Sequence::from_nodes(input.to_vec()))?;
+    if !value.all_nodes() {
+        return Err(EvalError::Type(
+            "the recursion body of an inflationary fixed point must return nodes".into(),
+        ));
+    }
+    Ok(value.nodes())
+}
+
+fn check_limits(eval: &Evaluator<'_>, stats: &FixpointStats, result_len: usize) -> Result<()> {
+    let options = eval.options();
+    if stats.iterations >= options.max_fixpoint_iterations {
+        return Err(EvalError::NoFixpoint {
+            iterations: stats.iterations,
+            limit: "iteration".into(),
+        });
+    }
+    if result_len > options.max_fixpoint_nodes {
+        return Err(EvalError::NoFixpoint {
+            iterations: stats.iterations,
+            limit: "node".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Algorithm Naïve (Figure 3(a)), starting from the already-computed initial
+/// accumulation `initial`.
+fn naive(
+    eval: &mut Evaluator<'_>,
+    var: &str,
+    initial: &[NodeId],
+    body: &Expr,
+    env: &mut Environment,
+    stats: &mut FixpointStats,
+) -> Result<Vec<NodeId>> {
+    let mut res = initial.to_vec();
+    loop {
+        check_limits(eval, stats, res.len())?;
+        stats.iterations += 1;
+        let step = call_payload(eval, var, &res, body, env, stats)?;
+        let next = node_union(eval.store, &step, &res);
+        if set_equal(eval.store, &next, &res) {
+            return Ok(next);
+        }
+        res = next;
+    }
+}
+
+/// Algorithm Delta (Figure 3(b)), starting from the already-computed initial
+/// accumulation `initial`.
+fn delta(
+    eval: &mut Evaluator<'_>,
+    var: &str,
+    initial: &[NodeId],
+    body: &Expr,
+    env: &mut Environment,
+    stats: &mut FixpointStats,
+) -> Result<Vec<NodeId>> {
+    let mut res = initial.to_vec();
+    let mut delta = res.clone();
+    loop {
+        check_limits(eval, stats, res.len())?;
+        stats.iterations += 1;
+        let step = call_payload(eval, var, &delta, body, env, stats)?;
+        delta = node_except(eval.store, &step, &res);
+        if delta.is_empty() {
+            return Ok(res);
+        }
+        res = node_union(eval.store, &delta, &res);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqy_xdm::NodeStore;
+
+    const CURRICULUM: &str = r#"<curriculum>
+        <course code="c1"><prerequisites><pre_code>c2</pre_code><pre_code>c3</pre_code></prerequisites></course>
+        <course code="c2"><prerequisites><pre_code>c4</pre_code></prerequisites></course>
+        <course code="c3"><prerequisites/></course>
+        <course code="c4"><prerequisites/></course>
+        <course code="c5"><prerequisites><pre_code>c1</pre_code></prerequisites></course>
+    </curriculum>"#;
+
+    fn curriculum_store() -> NodeStore {
+        let mut store = NodeStore::new();
+        let doc = store
+            .parse_document_with_uri("curriculum.xml", CURRICULUM)
+            .unwrap();
+        store.register_id_attribute(doc, "code");
+        store
+    }
+
+    const Q1: &str = "with $x seeded by doc('curriculum.xml')/curriculum/course[@code='c1'] \
+                      recurse $x/id(./prerequisites/pre_code)";
+
+    fn codes(store: &NodeStore, seq: &Sequence) -> Vec<String> {
+        seq.nodes()
+            .iter()
+            .map(|&n| store.attribute_value(n, "code").unwrap().to_string())
+            .collect()
+    }
+
+    #[test]
+    fn naive_computes_transitive_prerequisites() {
+        let mut store = curriculum_store();
+        let mut evaluator = Evaluator::new(&mut store);
+        evaluator.set_fixpoint_strategy(FixpointStrategy::Naive);
+        let result = evaluator.eval_query_str(Q1).unwrap();
+        assert_eq!(codes(&store, &result), vec!["c2", "c3", "c4"]);
+    }
+
+    #[test]
+    fn delta_matches_naive_on_distributive_body() {
+        let mut store = curriculum_store();
+        let naive_result = {
+            let mut evaluator = Evaluator::new(&mut store);
+            evaluator.set_fixpoint_strategy(FixpointStrategy::Naive);
+            evaluator.eval_query_str(Q1).unwrap()
+        };
+        let mut store2 = curriculum_store();
+        let delta_result = {
+            let mut evaluator = Evaluator::new(&mut store2);
+            evaluator.set_fixpoint_strategy(FixpointStrategy::Delta);
+            evaluator.eval_query_str(Q1).unwrap()
+        };
+        assert_eq!(codes(&store, &naive_result), codes(&store2, &delta_result));
+    }
+
+    #[test]
+    fn delta_feeds_fewer_nodes_than_naive() {
+        let mut store = curriculum_store();
+        let mut evaluator = Evaluator::new(&mut store);
+        evaluator.set_fixpoint_strategy(FixpointStrategy::Naive);
+        evaluator.eval_query_str(Q1).unwrap();
+        let naive_fed = evaluator.last_fixpoint_stats().unwrap().nodes_fed_back;
+
+        let mut store2 = curriculum_store();
+        let mut evaluator2 = Evaluator::new(&mut store2);
+        evaluator2.set_fixpoint_strategy(FixpointStrategy::Delta);
+        evaluator2.eval_query_str(Q1).unwrap();
+        let delta_fed = evaluator2.last_fixpoint_stats().unwrap().nodes_fed_back;
+
+        assert!(
+            delta_fed < naive_fed,
+            "Delta ({delta_fed}) should feed back fewer nodes than Naive ({naive_fed})"
+        );
+    }
+
+    #[test]
+    fn seed_node_in_a_cycle_is_included_when_reachable() {
+        // c5 -> c1 -> {c2, c3}; c1 is in a cycle with nothing, but seeding
+        // from c5 must reach c1 and its closure.
+        let mut store = curriculum_store();
+        let mut evaluator = Evaluator::new(&mut store);
+        let result = evaluator
+            .eval_query_str(
+                "with $x seeded by doc('curriculum.xml')/curriculum/course[@code='c5'] \
+                 recurse $x/id(./prerequisites/pre_code)",
+            )
+            .unwrap();
+        assert_eq!(codes(&store, &result), vec!["c1", "c2", "c3", "c4"]);
+    }
+
+    /// Example 2.4 / Query Q2 of the paper: a non-distributive recursion
+    /// body on which Naïve and Delta genuinely disagree.
+    const Q2: &str = "let $seed := (<a/>,<b><c><d/></c></b>) \
+                      return with $x seeded by $seed \
+                      recurse if (count($x/self::a)) then $x/* else ()";
+
+    #[test]
+    fn example_2_4_naive_and_delta_differ() {
+        // The worked table of Example 2.4 accumulates from the seed itself
+        // (its iteration-0 row lists (a,b)); enable that reading.
+        let mut store = NodeStore::new();
+        let mut evaluator = Evaluator::new(&mut store);
+        evaluator.options_mut().seed_in_result = true;
+        evaluator.set_fixpoint_strategy(FixpointStrategy::Naive);
+        let naive_result = evaluator.eval_query_str(Q2).unwrap();
+        // Naïve computes (a, b, c, d): 4 nodes.
+        assert_eq!(naive_result.len(), 4);
+
+        let mut store2 = NodeStore::new();
+        let mut evaluator2 = Evaluator::new(&mut store2);
+        evaluator2.options_mut().seed_in_result = true;
+        evaluator2.set_fixpoint_strategy(FixpointStrategy::Delta);
+        let delta_result = evaluator2.eval_query_str(Q2).unwrap();
+        // Delta returns only (a, b, c): 3 nodes.
+        assert_eq!(delta_result.len(), 3);
+    }
+
+    #[test]
+    fn iteration_counts_match_paper_table_for_q2() {
+        let mut store = NodeStore::new();
+        let mut evaluator = Evaluator::new(&mut store);
+        evaluator.options_mut().seed_in_result = true;
+        evaluator.set_fixpoint_strategy(FixpointStrategy::Naive);
+        evaluator.eval_query_str(Q2).unwrap();
+        let naive_stats = evaluator.last_fixpoint_stats().unwrap().clone();
+        // Paper's table: Naïve stabilises at iteration 3 (res_3 = res_2).
+        assert_eq!(naive_stats.iterations, 3);
+
+        let mut store2 = NodeStore::new();
+        let mut evaluator2 = Evaluator::new(&mut store2);
+        evaluator2.options_mut().seed_in_result = true;
+        evaluator2.set_fixpoint_strategy(FixpointStrategy::Delta);
+        evaluator2.eval_query_str(Q2).unwrap();
+        let delta_stats = evaluator2.last_fixpoint_stats().unwrap().clone();
+        // Delta stops after iteration 2 (∆ becomes empty).
+        assert_eq!(delta_stats.iterations, 2);
+    }
+
+    #[test]
+    fn definition_2_1_literal_reading_hides_the_divergence_on_q2() {
+        // Under the literal Definition 2.1 (res₀ = e_rec(e_seed)) Q2's seed
+        // nodes never enter the result: both algorithms agree on (c).  This
+        // test documents why the seed-inclusive option exists.
+        for strategy in [FixpointStrategy::Naive, FixpointStrategy::Delta] {
+            let mut store = NodeStore::new();
+            let mut evaluator = Evaluator::new(&mut store);
+            evaluator.set_fixpoint_strategy(strategy);
+            let result = evaluator.eval_query_str(Q2).unwrap();
+            assert_eq!(result.len(), 1, "strategy {}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn non_node_seed_is_rejected() {
+        let mut store = NodeStore::new();
+        let mut evaluator = Evaluator::new(&mut store);
+        let err = evaluator
+            .eval_query_str("with $x seeded by (1, 2) recurse $x")
+            .unwrap_err();
+        assert!(matches!(err, EvalError::Type(_)));
+    }
+
+    #[test]
+    fn non_node_payload_result_is_rejected() {
+        let mut store = curriculum_store();
+        let mut evaluator = Evaluator::new(&mut store);
+        let err = evaluator
+            .eval_query_str(
+                "with $x seeded by doc('curriculum.xml')/curriculum/course recurse count($x)",
+            )
+            .unwrap_err();
+        assert!(matches!(err, EvalError::Type(_)));
+    }
+
+    #[test]
+    fn diverging_fixpoint_with_constructors_is_reported_undefined() {
+        let mut store = NodeStore::new();
+        let mut evaluator = Evaluator::new(&mut store);
+        evaluator.options_mut().max_fixpoint_iterations = 50;
+        // Each iteration constructs a brand new element, so the result keeps
+        // growing: the IFP is undefined (Definition 2.1).
+        let err = evaluator
+            .eval_query_str("with $x seeded by <seed/> recurse ($x, <grow/>)")
+            .unwrap_err();
+        assert!(matches!(err, EvalError::NoFixpoint { .. }));
+    }
+
+    #[test]
+    fn stats_record_result_size_and_payload_calls() {
+        let mut store = curriculum_store();
+        let mut evaluator = Evaluator::new(&mut store);
+        evaluator.set_fixpoint_strategy(FixpointStrategy::Delta);
+        evaluator.eval_query_str(Q1).unwrap();
+        let stats = evaluator.last_fixpoint_stats().unwrap();
+        assert_eq!(stats.result_size, 3);
+        assert!(stats.payload_calls >= 2);
+        assert_eq!(stats.strategy, Some(FixpointStrategyTag::Delta));
+    }
+
+    #[test]
+    fn fixpoint_equivalent_to_user_defined_fix_function() {
+        // Figure 2 of the paper: the fix()/rec() template is equivalent to
+        // the IFP form.  (The termination test is written as
+        // `empty($res except $x)` — "no new nodes discovered" — which is the
+        // reading consistent with Definition 2.1; the literal operand order
+        // printed in the paper's figure does not terminate.)
+        let fix_src = "declare function rec($cs) as node()* { $cs/id(./prerequisites/pre_code) };\n\
+             declare function fix($x) as node()* {\n\
+               let $res := rec($x) return if (empty($res except $x)) then $x else fix($res union $x)\n\
+             };\n\
+             let $seed := doc('curriculum.xml')/curriculum/course[@code='c1']\n\
+             return fix(rec($seed))";
+        let mut store = curriculum_store();
+        let mut evaluator = Evaluator::new(&mut store);
+        let via_fix = evaluator.eval_query_str(fix_src).unwrap();
+        let via_ifp = evaluator.eval_query_str(Q1).unwrap();
+        assert_eq!(codes(&store, &via_fix), codes(&store, &via_ifp));
+    }
+
+    #[test]
+    fn fixpoint_equivalent_to_user_defined_delta_function() {
+        // Figure 4 of the paper: the delta(·,·) user-defined function is a
+        // drop-in replacement for fix(·) on distributive bodies.  The initial
+        // call seeds the accumulator with rec($seed) so that the level-0
+        // result is part of the answer (Figure 3(b): res ← e_rec(e_seed),
+        // ∆ ← res).
+        let delta_src = "declare function rec($cs) as node()* { $cs/id(./prerequisites/pre_code) };\n\
+             declare function delta($x, $res) as node()* {\n\
+               let $delta := rec($x) except $res\n\
+               return if (empty($delta)) then $res else delta($delta, $delta union $res)\n\
+             };\n\
+             let $seed := doc('curriculum.xml')/curriculum/course[@code='c1']\n\
+             return delta(rec($seed), rec($seed))";
+        let mut store = curriculum_store();
+        let mut evaluator = Evaluator::new(&mut store);
+        let via_delta_udf = evaluator.eval_query_str(delta_src).unwrap();
+        evaluator.set_fixpoint_strategy(FixpointStrategy::Delta);
+        let via_ifp = evaluator.eval_query_str(Q1).unwrap();
+        assert_eq!(codes(&store, &via_delta_udf), codes(&store, &via_ifp));
+    }
+}

@@ -1,0 +1,42 @@
+//! Parse error type.
+
+use std::fmt;
+
+/// An error produced while lexing or parsing XQuery source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the source where the error was detected.
+    pub offset: usize,
+    /// Description of what was expected / what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Construct a new parse error.
+    pub fn new(offset: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_offset_and_message() {
+        let err = ParseError::new(7, "expected 'return'");
+        assert!(err.to_string().contains('7'));
+        assert!(err.to_string().contains("expected 'return'"));
+    }
+}

@@ -1,0 +1,497 @@
+//! A streaming lexer for the XQuery subset.
+//!
+//! The lexer is deliberately *resettable*: direct element constructors are
+//! parsed character-by-character by the parser (XQuery's grammar is not
+//! context free at this point), so the parser occasionally rewinds the lexer
+//! to a byte offset and continues in "raw" mode before resuming token mode.
+
+use crate::error::ParseError;
+use crate::token::{Token, TokenKind};
+use crate::Result;
+
+/// Streaming tokenizer over XQuery source text.
+#[derive(Debug, Clone)]
+pub struct Lexer<'a> {
+    source: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `source`.
+    pub fn new(source: &'a str) -> Self {
+        Lexer {
+            source,
+            bytes: source.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// The full source text.
+    pub fn source(&self) -> &'a str {
+        self.source
+    }
+
+    /// Current byte position.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Rewind/advance to an absolute byte position.
+    pub fn set_pos(&mut self, pos: usize) {
+        self.pos = pos.min(self.bytes.len());
+    }
+
+    /// Peek the byte at the current position (raw mode).
+    pub fn raw_peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Advance one byte (raw mode).
+    pub fn raw_bump(&mut self) {
+        if self.pos < self.bytes.len() {
+            self.pos += 1;
+        }
+    }
+
+    /// `true` if the remaining input starts with `s` (raw mode).
+    pub fn raw_starts_with(&self, s: &str) -> bool {
+        self.source[self.pos..].starts_with(s)
+    }
+
+    /// Consume `s` if the remaining input starts with it (raw mode).
+    pub fn raw_eat(&mut self, s: &str) -> bool {
+        if self.raw_starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Read a raw XML name at the current position (raw mode).
+    ///
+    /// At most one `:` is consumed (the prefix separator), and only when it
+    /// is followed by a name-start character — this keeps `self::a` from
+    /// being swallowed as a single name and leaves `:=` / `::` intact.
+    pub fn raw_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        let mut seen_colon = false;
+        while let Some(c) = self.raw_peek() {
+            let ch = c as char;
+            if ch.is_ascii_alphanumeric() || matches!(ch, '_' | '-' | '.') {
+                self.pos += 1;
+            } else if ch == ':' && !seen_colon {
+                let next = self.bytes.get(self.pos + 1).copied();
+                let next_is_name_start = next
+                    .map(|b| (b as char).is_ascii_alphabetic() || b == b'_')
+                    .unwrap_or(false);
+                let next_next_is_colon = self.bytes.get(self.pos + 1) == Some(&b':');
+                if next_is_name_start && !next_next_is_colon {
+                    // Could still be `axis::name`; only treat the colon as a
+                    // prefix separator when it is not part of `::`.
+                    seen_colon = true;
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(ParseError::new(start, "expected a name"));
+        }
+        Ok(self.source[start..self.pos].to_string())
+    }
+
+    /// Skip whitespace and `(: … :)` comments (which may nest).
+    pub fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            while let Some(c) = self.raw_peek() {
+                if c.is_ascii_whitespace() {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            if self.raw_starts_with("(:") {
+                let start = self.pos;
+                self.pos += 2;
+                let mut depth = 1;
+                while depth > 0 {
+                    if self.pos >= self.bytes.len() {
+                        return Err(ParseError::new(start, "unterminated comment"));
+                    }
+                    if self.raw_starts_with("(:") {
+                        depth += 1;
+                        self.pos += 2;
+                    } else if self.raw_starts_with(":)") {
+                        depth -= 1;
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                    }
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Produce the next token.
+    pub fn next_token(&mut self) -> Result<Token> {
+        self.skip_trivia()?;
+        let offset = self.pos;
+        let Some(c) = self.raw_peek() else {
+            return Ok(Token {
+                offset,
+                kind: TokenKind::Eof,
+            });
+        };
+        let kind = match c {
+            b'(' => {
+                self.pos += 1;
+                TokenKind::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                TokenKind::RParen
+            }
+            b'[' => {
+                self.pos += 1;
+                TokenKind::LBracket
+            }
+            b']' => {
+                self.pos += 1;
+                TokenKind::RBracket
+            }
+            b'{' => {
+                self.pos += 1;
+                TokenKind::LBrace
+            }
+            b'}' => {
+                self.pos += 1;
+                TokenKind::RBrace
+            }
+            b',' => {
+                self.pos += 1;
+                TokenKind::Comma
+            }
+            b';' => {
+                self.pos += 1;
+                TokenKind::Semicolon
+            }
+            b'?' => {
+                self.pos += 1;
+                TokenKind::Question
+            }
+            b'@' => {
+                self.pos += 1;
+                TokenKind::At
+            }
+            b'|' => {
+                self.pos += 1;
+                TokenKind::Pipe
+            }
+            b'+' => {
+                self.pos += 1;
+                TokenKind::Plus
+            }
+            b'-' => {
+                self.pos += 1;
+                TokenKind::Minus
+            }
+            b'*' => {
+                self.pos += 1;
+                TokenKind::Star
+            }
+            b'=' => {
+                self.pos += 1;
+                TokenKind::Eq
+            }
+            b'!' => {
+                self.pos += 1;
+                if self.raw_eat("=") {
+                    TokenKind::Ne
+                } else {
+                    return Err(ParseError::new(offset, "unexpected '!'"));
+                }
+            }
+            b'<' => {
+                self.pos += 1;
+                if self.raw_eat("=") {
+                    TokenKind::Le
+                } else if self.raw_eat("<") {
+                    TokenKind::Precedes
+                } else {
+                    // Might be a direct constructor; the parser decides.
+                    TokenKind::Lt
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.raw_eat("=") {
+                    TokenKind::Ge
+                } else if self.raw_eat(">") {
+                    TokenKind::Follows
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'/' => {
+                self.pos += 1;
+                if self.raw_eat("/") {
+                    TokenKind::DoubleSlash
+                } else {
+                    TokenKind::Slash
+                }
+            }
+            b':' => {
+                self.pos += 1;
+                if self.raw_eat("=") {
+                    TokenKind::Assign
+                } else if self.raw_eat(":") {
+                    TokenKind::DoubleColon
+                } else {
+                    return Err(ParseError::new(offset, "unexpected ':'"));
+                }
+            }
+            b'.' => {
+                // Could be `.`, `..` or the start of a decimal like `.5`.
+                if self
+                    .bytes
+                    .get(self.pos + 1)
+                    .map(|b| b.is_ascii_digit())
+                    .unwrap_or(false)
+                {
+                    self.lex_number(offset)?
+                } else {
+                    self.pos += 1;
+                    if self.raw_eat(".") {
+                        TokenKind::DotDot
+                    } else {
+                        TokenKind::Dot
+                    }
+                }
+            }
+            b'$' => {
+                self.pos += 1;
+                let name = self.raw_name().map_err(|_| {
+                    ParseError::new(offset, "expected variable name after '$'")
+                })?;
+                TokenKind::Variable(name)
+            }
+            b'"' | b'\'' => self.lex_string(offset)?,
+            c if c.is_ascii_digit() => self.lex_number(offset)?,
+            c if (c as char).is_ascii_alphabetic() || c == b'_' => {
+                let name = self.raw_name()?;
+                TokenKind::Name(name)
+            }
+            other => {
+                return Err(ParseError::new(
+                    offset,
+                    format!("unexpected character '{}'", other as char),
+                ))
+            }
+        };
+        Ok(Token { offset, kind })
+    }
+
+    fn lex_number(&mut self, offset: usize) -> Result<TokenKind> {
+        let start = self.pos;
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while let Some(c) = self.raw_peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' if !saw_dot && !saw_exp => {
+                    // A trailing `.` followed by a non-digit belongs to the
+                    // next token (e.g. `1 to 3` vs `$x/.`); only consume the
+                    // dot when a digit follows.
+                    if self
+                        .bytes
+                        .get(self.pos + 1)
+                        .map(|b| b.is_ascii_digit())
+                        .unwrap_or(false)
+                    {
+                        saw_dot = true;
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                b'e' | b'E' if !saw_exp => {
+                    saw_exp = true;
+                    self.pos += 1;
+                    if matches!(self.raw_peek(), Some(b'+') | Some(b'-')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = &self.source[start..self.pos];
+        if saw_dot || saw_exp {
+            text.parse::<f64>()
+                .map(TokenKind::Double)
+                .map_err(|_| ParseError::new(offset, format!("invalid number literal '{text}'")))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Integer)
+                .map_err(|_| ParseError::new(offset, format!("invalid integer literal '{text}'")))
+        }
+    }
+
+    fn lex_string(&mut self, offset: usize) -> Result<TokenKind> {
+        let quote = self.raw_peek().expect("caller checked quote");
+        self.pos += 1;
+        let mut value = String::new();
+        loop {
+            match self.raw_peek() {
+                None => return Err(ParseError::new(offset, "unterminated string literal")),
+                Some(c) if c == quote => {
+                    self.pos += 1;
+                    // Doubled quote is an escaped quote character.
+                    if self.raw_peek() == Some(quote) {
+                        value.push(quote as char);
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Some(b'&') => {
+                    let rest = &self.source[self.pos..];
+                    if let Some(end) = rest.find(';') {
+                        let entity = &rest[1..end];
+                        let decoded = match entity {
+                            "amp" => Some('&'),
+                            "lt" => Some('<'),
+                            "gt" => Some('>'),
+                            "quot" => Some('"'),
+                            "apos" => Some('\''),
+                            _ => None,
+                        };
+                        match decoded {
+                            Some(ch) => {
+                                value.push(ch);
+                                self.pos += end + 1;
+                            }
+                            None => {
+                                value.push('&');
+                                self.pos += 1;
+                            }
+                        }
+                    } else {
+                        value.push('&');
+                        self.pos += 1;
+                    }
+                }
+                Some(c) => {
+                    value.push(c as char);
+                    self.pos += 1;
+                }
+            }
+        }
+        Ok(TokenKind::String(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let mut lexer = Lexer::new(src);
+        let mut out = Vec::new();
+        loop {
+            let tok = lexer.next_token().unwrap();
+            let done = tok.kind == TokenKind::Eof;
+            out.push(tok.kind);
+            if done {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn lexes_punctuation_and_operators() {
+        let toks = kinds("( ) [ ] { } , ; := :: / // . .. @ * + - = != < <= > >= << >> | ?");
+        use TokenKind::*;
+        assert_eq!(
+            toks,
+            vec![
+                LParen, RParen, LBracket, RBracket, LBrace, RBrace, Comma, Semicolon, Assign,
+                DoubleColon, Slash, DoubleSlash, Dot, DotDot, At, Star, Plus, Minus, Eq, Ne, Lt,
+                Le, Gt, Ge, Precedes, Follows, Pipe, Question, Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_literals_and_names() {
+        let toks = kinds("42 3.14 'it''s' \"a &amp; b\" $var fn:count pre_code");
+        use TokenKind::*;
+        assert_eq!(
+            toks,
+            vec![
+                Integer(42),
+                Double(3.14),
+                String("it's".into()),
+                String("a & b".into()),
+                Variable("var".into()),
+                Name("fn:count".into()),
+                Name("pre_code".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_nested_comments() {
+        let toks = kinds("1 (: outer (: inner :) still outer :) 2");
+        assert_eq!(
+            toks,
+            vec![TokenKind::Integer(1), TokenKind::Integer(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn number_does_not_swallow_path_dot() {
+        let toks = kinds("1 . 2.5 .5");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Integer(1),
+                TokenKind::Dot,
+                TokenKind::Double(2.5),
+                TokenKind::Double(0.5),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_errors_with_offsets() {
+        let mut lexer = Lexer::new("  #");
+        let err = lexer.next_token().unwrap_err();
+        assert_eq!(err.offset, 2);
+
+        let mut lexer = Lexer::new("'unterminated");
+        assert!(lexer.next_token().is_err());
+
+        let mut lexer = Lexer::new("(: never closed");
+        assert!(lexer.next_token().is_err());
+    }
+
+    #[test]
+    fn set_pos_allows_re_lexing() {
+        let mut lexer = Lexer::new("a b");
+        let first = lexer.next_token().unwrap();
+        let _ = lexer.next_token().unwrap();
+        lexer.set_pos(first.offset);
+        let again = lexer.next_token().unwrap();
+        assert_eq!(again.kind, TokenKind::Name("a".into()));
+    }
+}

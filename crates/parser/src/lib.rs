@@ -1,0 +1,39 @@
+//! # xqy-parser — XQuery (LiXQuery subset) parser with the IFP form
+//!
+//! This crate turns XQuery source text into the abstract syntax tree the
+//! rest of the workspace operates on.  The supported language is a
+//! LiXQuery-flavoured subset of XQuery 1.0 — FLWOR expressions, quantified
+//! expressions, `if`/`typeswitch`, full path expressions with the major
+//! axes and predicates, user-defined functions, direct and computed node
+//! constructors, and the built-in functions the paper's queries use —
+//! extended with the paper's new syntactic form:
+//!
+//! ```xquery
+//! with $x seeded by e_seed recurse e_rec
+//! ```
+//!
+//! which parses into [`ast::Expr::Fixpoint`].
+//!
+//! ```
+//! use xqy_parser::parse_query;
+//!
+//! let module = parse_query(
+//!     "with $x seeded by doc('curriculum.xml')/curriculum/course[@code='c1']
+//!      recurse $x/id(./prerequisites/pre_code)",
+//! ).unwrap();
+//! assert!(module.body.is_fixpoint());
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+
+pub use ast::{BinaryOp, Expr, FunctionDecl, Literal, QueryModule, SequenceType, UnaryOp};
+pub use error::ParseError;
+pub use parser::{parse_expr, parse_query};
+
+/// Result alias for parser operations.
+pub type Result<T> = std::result::Result<T, ParseError>;

@@ -1,0 +1,275 @@
+//! Pretty printer: turn an AST back into XQuery surface syntax.
+//!
+//! The output is primarily used by the source-level Naïve→Delta rewriter in
+//! `xqy-ifp` (to show users the rewritten query) and by tests that check
+//! parse → print → parse stability.  The printer always emits enough
+//! parentheses to be re-parseable; it does not try to minimise them.
+
+use crate::ast::{ConstructorContent, Expr, FunctionDecl, Literal, QueryModule, UnaryOp};
+
+/// Render a full query module.
+pub fn print_module(module: &QueryModule) -> String {
+    let mut out = String::new();
+    for f in &module.functions {
+        out.push_str(&print_function(f));
+        out.push('\n');
+    }
+    for (name, value) in &module.variables {
+        out.push_str(&format!(
+            "declare variable ${name} := {};\n",
+            print_expr(value)
+        ));
+    }
+    out.push_str(&print_expr(&module.body));
+    out
+}
+
+/// Render a function declaration.
+pub fn print_function(f: &FunctionDecl) -> String {
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .zip(f.param_types.iter())
+        .map(|(p, t)| match t {
+            Some(t) => format!("${p} as {t}"),
+            None => format!("${p}"),
+        })
+        .collect();
+    let ret = match &f.return_type {
+        Some(t) => format!(" as {t}"),
+        None => String::new(),
+    };
+    format!(
+        "declare function {}({}){} {{ {} }};",
+        f.name,
+        params.join(", "),
+        ret,
+        print_expr(&f.body)
+    )
+}
+
+/// Render a single expression.
+pub fn print_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Literal(Literal::Integer(i)) => i.to_string(),
+        Expr::Literal(Literal::Double(d)) => {
+            if d.fract() == 0.0 && d.is_finite() {
+                format!("{d:.1}")
+            } else {
+                format!("{d}")
+            }
+        }
+        Expr::Literal(Literal::String(s)) => format!("\"{}\"", s.replace('"', "\"\"")),
+        Expr::EmptySequence => "()".to_string(),
+        Expr::VarRef(v) => format!("${v}"),
+        Expr::ContextItem => ".".to_string(),
+        Expr::Sequence(items) => {
+            let parts: Vec<String> = items.iter().map(print_expr).collect();
+            format!("({})", parts.join(", "))
+        }
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => format!(
+            "if ({}) then {} else {}",
+            print_expr(cond),
+            print_expr(then_branch),
+            print_expr(else_branch)
+        ),
+        Expr::For {
+            var,
+            pos_var,
+            seq,
+            body,
+        } => {
+            let at = match pos_var {
+                Some(p) => format!(" at ${p}"),
+                None => String::new(),
+            };
+            format!(
+                "for ${var}{at} in {} return {}",
+                print_expr(seq),
+                print_expr(body)
+            )
+        }
+        Expr::Let { var, value, body } => format!(
+            "let ${var} := {} return {}",
+            print_expr(value),
+            print_expr(body)
+        ),
+        Expr::Quantified {
+            every,
+            var,
+            seq,
+            cond,
+        } => format!(
+            "{} ${var} in {} satisfies {}",
+            if *every { "every" } else { "some" },
+            print_expr(seq),
+            print_expr(cond)
+        ),
+        Expr::Typeswitch { operand, cases } => {
+            let mut out = format!("typeswitch ({})", print_expr(operand));
+            for case in cases {
+                match &case.seq_type {
+                    Some(t) => {
+                        let var = case
+                            .var
+                            .as_ref()
+                            .map(|v| format!("${v} as "))
+                            .unwrap_or_default();
+                        out.push_str(&format!(" case {var}{t} return {}", print_expr(&case.body)));
+                    }
+                    None => {
+                        let var = case
+                            .var
+                            .as_ref()
+                            .map(|v| format!("${v} "))
+                            .unwrap_or_default();
+                        out.push_str(&format!(" default {var}return {}", print_expr(&case.body)));
+                    }
+                }
+            }
+            out
+        }
+        Expr::Binary { op, lhs, rhs } => format!(
+            "({} {} {})",
+            print_expr(lhs),
+            op.symbol(),
+            print_expr(rhs)
+        ),
+        Expr::Unary { op, expr } => {
+            let sym = match op {
+                UnaryOp::Minus => "-",
+                UnaryOp::Plus => "+",
+            };
+            format!("{sym}{}", print_expr(expr))
+        }
+        Expr::Path { input, step } => format!("{}/{}", print_expr(input), print_expr(step)),
+        Expr::RootPath { step } => match step {
+            Some(s) => format!("/{}", print_expr(s)),
+            None => "/".to_string(),
+        },
+        Expr::AxisStep {
+            axis,
+            test,
+            predicates,
+        } => {
+            let mut out = format!("{}::{}", axis.name(), test);
+            for p in predicates {
+                out.push_str(&format!("[{}]", print_expr(p)));
+            }
+            out
+        }
+        Expr::Filter { input, predicates } => {
+            let mut out = print_expr(input);
+            for p in predicates {
+                out.push_str(&format!("[{}]", print_expr(p)));
+            }
+            out
+        }
+        Expr::FunctionCall { name, args } => {
+            let parts: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{name}({})", parts.join(", "))
+        }
+        Expr::DirectElement {
+            name,
+            attributes,
+            content,
+        } => {
+            let mut out = format!("<{name}");
+            for (attr, parts) in attributes {
+                out.push_str(&format!(" {attr}=\""));
+                for part in parts {
+                    match part {
+                        ConstructorContent::Text(t) => out.push_str(t),
+                        ConstructorContent::Expr(e) => {
+                            out.push_str(&format!("{{ {} }}", print_expr(e)))
+                        }
+                    }
+                }
+                out.push('"');
+            }
+            if content.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for part in content {
+                    match part {
+                        ConstructorContent::Text(t) => out.push_str(t),
+                        ConstructorContent::Expr(e) => {
+                            out.push_str(&format!("{{ {} }}", print_expr(e)))
+                        }
+                    }
+                }
+                out.push_str(&format!("</{name}>"));
+            }
+            out
+        }
+        Expr::ComputedElement { name, content } => {
+            format!("element {name} {{ {} }}", print_expr(content))
+        }
+        Expr::ComputedAttribute { name, content } => {
+            format!("attribute {name} {{ {} }}", print_expr(content))
+        }
+        Expr::ComputedText { content } => format!("text {{ {} }}", print_expr(content)),
+        Expr::Fixpoint { var, seed, body } => format!(
+            "with ${var} seeded by {} recurse {}",
+            print_expr(seed),
+            print_expr(body)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_query};
+
+    /// Parsing the printed form must give back the same AST (print/parse
+    /// stability — a weaker but more robust property than text equality).
+    fn roundtrip(src: &str) {
+        let ast = parse_expr(src).unwrap();
+        let printed = print_expr(&ast);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|e| panic!("re-parse of {printed:?} failed: {e}"));
+        assert_eq!(ast, reparsed, "printed form: {printed}");
+    }
+
+    #[test]
+    fn roundtrips_core_expressions() {
+        roundtrip("1 + 2 * 3");
+        roundtrip("(1, 'a', 2.5)");
+        roundtrip("for $x in $seq return $x/child::a");
+        roundtrip("let $x := 1 return if ($x = 1) then 'y' else 'n'");
+        roundtrip("some $y in $x satisfies $y eq 1");
+        roundtrip("$a union $b except $c intersect $d");
+        roundtrip("count($x) >= 1 and empty($y)");
+        roundtrip("with $x seeded by doc(\"c.xml\")/course recurse $x/id(./pre)");
+        roundtrip("typeswitch ($x) case element(a) return 1 default return 2");
+        roundtrip("element out { $x } , text { \"c\" }");
+        roundtrip("$x[1][@id = 'a']");
+        roundtrip("-$x + 1");
+    }
+
+    #[test]
+    fn roundtrips_direct_constructors() {
+        roundtrip("<person id=\"{ $p/@id }\">{ $p/name }<x/></person>");
+        roundtrip("<a/>");
+    }
+
+    #[test]
+    fn prints_modules_with_functions() {
+        let module = parse_query(
+            "declare function f($x as node()*) as node()* { $x/* };\n\
+             declare variable $d := doc('x.xml');\nf($d)",
+        )
+        .unwrap();
+        let printed = print_module(&module);
+        assert!(printed.contains("declare function f"));
+        assert!(printed.contains("declare variable $d"));
+        let reparsed = parse_query(&printed).unwrap();
+        assert_eq!(module, reparsed);
+    }
+}

@@ -1,0 +1,173 @@
+//! Token types produced by the lexer.
+
+use std::fmt;
+
+/// A lexical token with its source offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset of the token's first character in the source.
+    pub offset: usize,
+    /// The token kind and payload.
+    pub kind: TokenKind,
+}
+
+/// The different kinds of tokens.
+///
+/// XQuery keywords are *contextual*: the lexer emits them as [`TokenKind::Name`]
+/// and the parser decides, based on position, whether `for`, `union`, `with`,
+/// … act as keywords or as element/function names.  Only unambiguous symbols
+/// get their own variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A (possibly prefixed) name: `person`, `xs:integer`, `fn:count`, …
+    Name(String),
+    /// An integer literal.
+    Integer(i64),
+    /// A decimal/double literal.
+    Double(f64),
+    /// A string literal (quotes stripped, entities decoded).
+    String(String),
+    /// A variable reference: `$x` (the `$` is consumed, payload is `x`).
+    Variable(String),
+
+    // Punctuation and operators
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `:=`
+    Assign,
+    /// `::`
+    DoubleColon,
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `@`
+    At,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<<`
+    Precedes,
+    /// `>>`
+    Follows,
+    /// `|`
+    Pipe,
+    /// `?`
+    Question,
+    /// Start of a direct element constructor: `<` immediately followed by a
+    /// name character.  The lexer cannot distinguish `<` (less-than) from a
+    /// constructor on its own; it emits [`TokenKind::Lt`] and the parser asks
+    /// the lexer to re-lex a constructor when grammar position allows one.
+    TagOpen(String),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Name(n) => write!(f, "name '{n}'"),
+            TokenKind::Integer(i) => write!(f, "integer {i}"),
+            TokenKind::Double(d) => write!(f, "double {d}"),
+            TokenKind::String(s) => write!(f, "string \"{s}\""),
+            TokenKind::Variable(v) => write!(f, "${v}"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::LBracket => write!(f, "'['"),
+            TokenKind::RBracket => write!(f, "']'"),
+            TokenKind::LBrace => write!(f, "'{{'"),
+            TokenKind::RBrace => write!(f, "'}}'"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::Semicolon => write!(f, "';'"),
+            TokenKind::Assign => write!(f, "':='"),
+            TokenKind::DoubleColon => write!(f, "'::'"),
+            TokenKind::Slash => write!(f, "'/'"),
+            TokenKind::DoubleSlash => write!(f, "'//'"),
+            TokenKind::Dot => write!(f, "'.'"),
+            TokenKind::DotDot => write!(f, "'..'"),
+            TokenKind::At => write!(f, "'@'"),
+            TokenKind::Star => write!(f, "'*'"),
+            TokenKind::Plus => write!(f, "'+'"),
+            TokenKind::Minus => write!(f, "'-'"),
+            TokenKind::Eq => write!(f, "'='"),
+            TokenKind::Ne => write!(f, "'!='"),
+            TokenKind::Lt => write!(f, "'<'"),
+            TokenKind::Le => write!(f, "'<='"),
+            TokenKind::Gt => write!(f, "'>'"),
+            TokenKind::Ge => write!(f, "'>='"),
+            TokenKind::Precedes => write!(f, "'<<'"),
+            TokenKind::Follows => write!(f, "'>>'"),
+            TokenKind::Pipe => write!(f, "'|'"),
+            TokenKind::Question => write!(f, "'?'"),
+            TokenKind::TagOpen(n) => write!(f, "'<{n}'"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+impl TokenKind {
+    /// If this token is a name, return it.
+    pub fn as_name(&self) -> Option<&str> {
+        match self {
+            TokenKind::Name(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// `true` when the token is the given contextual keyword.
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        self.as_name() == Some(kw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_check_is_exact() {
+        assert!(TokenKind::Name("return".into()).is_keyword("return"));
+        assert!(!TokenKind::Name("returns".into()).is_keyword("return"));
+        assert!(!TokenKind::Integer(1).is_keyword("return"));
+    }
+
+    #[test]
+    fn display_is_reasonable() {
+        assert_eq!(TokenKind::Assign.to_string(), "':='");
+        assert_eq!(TokenKind::Variable("x".into()).to_string(), "$x");
+        assert_eq!(TokenKind::Name("for".into()).to_string(), "name 'for'");
+    }
+}

@@ -1,0 +1,396 @@
+//! Node handles, node kinds, axes and node tests.
+
+use std::fmt;
+
+/// A (possibly prefixed) XML name.
+///
+/// Namespace support in this engine is intentionally minimal — the queries of
+/// the reproduced paper operate on un-namespaced documents — but prefixes are
+/// preserved so that serialization round-trips.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QName {
+    /// Optional prefix (the part before `:`).
+    pub prefix: Option<String>,
+    /// Local part of the name.
+    pub local: String,
+}
+
+impl QName {
+    /// Create a name without a prefix.
+    pub fn local(name: impl Into<String>) -> Self {
+        QName {
+            prefix: None,
+            local: name.into(),
+        }
+    }
+
+    /// Parse a lexical QName of the form `local` or `prefix:local`.
+    pub fn parse(lexical: &str) -> Self {
+        match lexical.split_once(':') {
+            Some((p, l)) => QName {
+                prefix: Some(p.to_string()),
+                local: l.to_string(),
+            },
+            None => QName::local(lexical),
+        }
+    }
+
+    /// `true` if this name matches `other` ignoring prefixes (namespace-free
+    /// matching, which is what the benchmark queries require).
+    pub fn matches_local(&self, local: &str) -> bool {
+        self.local == local
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.prefix {
+            Some(p) => write!(f, "{}:{}", p, self.local),
+            None => write!(f, "{}", self.local),
+        }
+    }
+}
+
+/// Identifier of a node inside a [`NodeStore`](crate::NodeStore).
+///
+/// A `NodeId` is a pair of the owning document's index and the node's index
+/// inside that document's arena.  It is `Copy`, `Ord` and `Hash`, and the
+/// derived ordering **is not** document order — use
+/// [`NodeStore::doc_order`](crate::NodeStore::doc_order) for that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId {
+    /// Index of the owning document in the store.
+    pub doc: u32,
+    /// Index of the node within the document arena.
+    pub node: u32,
+}
+
+impl NodeId {
+    /// Construct a node id from raw parts.
+    pub fn new(doc: u32, node: u32) -> Self {
+        NodeId { doc, node }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.doc, self.node)
+    }
+}
+
+/// The kind of a node, together with kind-specific payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// The document node (root of a parsed document).
+    Document,
+    /// An element node with its name.
+    Element(QName),
+    /// An attribute node with name and string value.
+    Attribute(QName, String),
+    /// A text node.
+    Text(String),
+    /// A comment node.
+    Comment(String),
+    /// A processing instruction with target and content.
+    ProcessingInstruction(String, String),
+}
+
+impl NodeKind {
+    /// Short name of the kind (used in error messages and `node-kind()`).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            NodeKind::Document => "document",
+            NodeKind::Element(_) => "element",
+            NodeKind::Attribute(_, _) => "attribute",
+            NodeKind::Text(_) => "text",
+            NodeKind::Comment(_) => "comment",
+            NodeKind::ProcessingInstruction(_, _) => "processing-instruction",
+        }
+    }
+
+    /// The node's name, if it has one.
+    pub fn name(&self) -> Option<&QName> {
+        match self {
+            NodeKind::Element(n) | NodeKind::Attribute(n, _) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// `true` for element nodes.
+    pub fn is_element(&self) -> bool {
+        matches!(self, NodeKind::Element(_))
+    }
+
+    /// `true` for attribute nodes.
+    pub fn is_attribute(&self) -> bool {
+        matches!(self, NodeKind::Attribute(_, _))
+    }
+
+    /// `true` for text nodes.
+    pub fn is_text(&self) -> bool {
+        matches!(self, NodeKind::Text(_))
+    }
+}
+
+/// XPath axes supported by the engine.
+///
+/// These cover everything the paper's queries and the Regular XPath fragment
+/// need: the vertical axes (`child`, `descendant`, `parent`, `ancestor`,
+/// plus their `-or-self` variants), the horizontal sibling axes, the global
+/// `following` / `preceding` axes, and `attribute` / `self`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// The children of the context node, in document order.
+    Child,
+    /// All descendants (children, their children, ...).
+    Descendant,
+    /// The context node followed by its descendants.
+    DescendantOrSelf,
+    /// The parent node, if any.
+    Parent,
+    /// All ancestors up to and including the document node.
+    Ancestor,
+    /// The context node followed by its ancestors.
+    AncestorOrSelf,
+    /// Siblings after the context node, in document order.
+    FollowingSibling,
+    /// Siblings before the context node, in reverse document order.
+    PrecedingSibling,
+    /// All nodes after the context node in document order (excluding
+    /// descendants and attributes).
+    Following,
+    /// All nodes before the context node in document order (excluding
+    /// ancestors and attributes).
+    Preceding,
+    /// The attributes of the context node.
+    Attribute,
+    /// The context node itself.
+    SelfAxis,
+}
+
+impl Axis {
+    /// `true` if the axis yields nodes in reverse document order.
+    pub fn is_reverse(&self) -> bool {
+        matches!(
+            self,
+            Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::PrecedingSibling | Axis::Preceding
+        )
+    }
+
+    /// The axis name as written in XPath.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Axis::Child => "child",
+            Axis::Descendant => "descendant",
+            Axis::DescendantOrSelf => "descendant-or-self",
+            Axis::Parent => "parent",
+            Axis::Ancestor => "ancestor",
+            Axis::AncestorOrSelf => "ancestor-or-self",
+            Axis::FollowingSibling => "following-sibling",
+            Axis::PrecedingSibling => "preceding-sibling",
+            Axis::Following => "following",
+            Axis::Preceding => "preceding",
+            Axis::Attribute => "attribute",
+            Axis::SelfAxis => "self",
+        }
+    }
+
+    /// Parse an axis name (`child`, `descendant-or-self`, ...).
+    pub fn from_name(name: &str) -> Option<Axis> {
+        Some(match name {
+            "child" => Axis::Child,
+            "descendant" => Axis::Descendant,
+            "descendant-or-self" => Axis::DescendantOrSelf,
+            "parent" => Axis::Parent,
+            "ancestor" => Axis::Ancestor,
+            "ancestor-or-self" => Axis::AncestorOrSelf,
+            "following-sibling" => Axis::FollowingSibling,
+            "preceding-sibling" => Axis::PrecedingSibling,
+            "following" => Axis::Following,
+            "preceding" => Axis::Preceding,
+            "attribute" => Axis::Attribute,
+            "self" => Axis::SelfAxis,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A node test, filtering the nodes produced by an axis step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeTest {
+    /// `*` — any element (or any attribute on the attribute axis).
+    AnyElement,
+    /// A name test, e.g. `person` or `@id`.
+    Name(String),
+    /// `node()` — any node.
+    AnyNode,
+    /// `text()` — text nodes only.
+    Text,
+    /// `comment()` — comment nodes only.
+    Comment,
+    /// `processing-instruction()` — PI nodes only.
+    ProcessingInstruction,
+    /// `document-node()` — the document node.
+    Document,
+    /// `element(name)` — element with the given name (or any element when
+    /// `None`).
+    Element(Option<String>),
+    /// `attribute(name)` — attribute with the given name (or any attribute
+    /// when `None`).
+    Attribute(Option<String>),
+}
+
+impl NodeTest {
+    /// Does `kind` satisfy this node test when reached via `axis`?
+    ///
+    /// The *principal node kind* rule of XPath applies: on the `attribute`
+    /// axis, name tests and `*` match attribute nodes; on every other axis
+    /// they match element nodes.
+    pub fn matches(&self, axis: Axis, kind: &NodeKind) -> bool {
+        let principal_is_attribute = axis == Axis::Attribute;
+        match self {
+            NodeTest::AnyNode => true,
+            NodeTest::Text => kind.is_text(),
+            NodeTest::Comment => matches!(kind, NodeKind::Comment(_)),
+            NodeTest::ProcessingInstruction => {
+                matches!(kind, NodeKind::ProcessingInstruction(_, _))
+            }
+            NodeTest::Document => matches!(kind, NodeKind::Document),
+            NodeTest::AnyElement => {
+                if principal_is_attribute {
+                    kind.is_attribute()
+                } else {
+                    kind.is_element()
+                }
+            }
+            NodeTest::Name(name) => {
+                let principal = if principal_is_attribute {
+                    kind.is_attribute()
+                } else {
+                    kind.is_element()
+                };
+                principal && kind.name().map(|n| n.matches_local(name)).unwrap_or(false)
+            }
+            NodeTest::Element(name) => {
+                kind.is_element()
+                    && name
+                        .as_ref()
+                        .map(|n| kind.name().map(|q| q.matches_local(n)).unwrap_or(false))
+                        .unwrap_or(true)
+            }
+            NodeTest::Attribute(name) => {
+                kind.is_attribute()
+                    && name
+                        .as_ref()
+                        .map(|n| kind.name().map(|q| q.matches_local(n)).unwrap_or(false))
+                        .unwrap_or(true)
+            }
+        }
+    }
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::AnyElement => write!(f, "*"),
+            NodeTest::Name(n) => write!(f, "{n}"),
+            NodeTest::AnyNode => write!(f, "node()"),
+            NodeTest::Text => write!(f, "text()"),
+            NodeTest::Comment => write!(f, "comment()"),
+            NodeTest::ProcessingInstruction => write!(f, "processing-instruction()"),
+            NodeTest::Document => write!(f, "document-node()"),
+            NodeTest::Element(Some(n)) => write!(f, "element({n})"),
+            NodeTest::Element(None) => write!(f, "element()"),
+            NodeTest::Attribute(Some(n)) => write!(f, "attribute({n})"),
+            NodeTest::Attribute(None) => write!(f, "attribute()"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qname_parse_and_display() {
+        let plain = QName::parse("course");
+        assert_eq!(plain.prefix, None);
+        assert_eq!(plain.local, "course");
+        assert_eq!(plain.to_string(), "course");
+
+        let prefixed = QName::parse("xs:integer");
+        assert_eq!(prefixed.prefix.as_deref(), Some("xs"));
+        assert_eq!(prefixed.local, "integer");
+        assert_eq!(prefixed.to_string(), "xs:integer");
+    }
+
+    #[test]
+    fn axis_roundtrip_names() {
+        for axis in [
+            Axis::Child,
+            Axis::Descendant,
+            Axis::DescendantOrSelf,
+            Axis::Parent,
+            Axis::Ancestor,
+            Axis::AncestorOrSelf,
+            Axis::FollowingSibling,
+            Axis::PrecedingSibling,
+            Axis::Following,
+            Axis::Preceding,
+            Axis::Attribute,
+            Axis::SelfAxis,
+        ] {
+            assert_eq!(Axis::from_name(axis.name()), Some(axis));
+        }
+        assert_eq!(Axis::from_name("no-such-axis"), None);
+    }
+
+    #[test]
+    fn reverse_axes_are_flagged() {
+        assert!(Axis::Ancestor.is_reverse());
+        assert!(Axis::PrecedingSibling.is_reverse());
+        assert!(!Axis::Child.is_reverse());
+        assert!(!Axis::Descendant.is_reverse());
+    }
+
+    #[test]
+    fn name_test_respects_principal_node_kind() {
+        let elem = NodeKind::Element(QName::local("id"));
+        let attr = NodeKind::Attribute(QName::local("id"), "x".into());
+        let test = NodeTest::Name("id".into());
+        assert!(test.matches(Axis::Child, &elem));
+        assert!(!test.matches(Axis::Child, &attr));
+        assert!(test.matches(Axis::Attribute, &attr));
+        assert!(!test.matches(Axis::Attribute, &elem));
+    }
+
+    #[test]
+    fn wildcard_matches_elements_only_on_child_axis() {
+        let elem = NodeKind::Element(QName::local("a"));
+        let text = NodeKind::Text("hello".into());
+        assert!(NodeTest::AnyElement.matches(Axis::Child, &elem));
+        assert!(!NodeTest::AnyElement.matches(Axis::Child, &text));
+        assert!(NodeTest::AnyNode.matches(Axis::Child, &text));
+    }
+
+    #[test]
+    fn kind_tests_match_their_kinds() {
+        assert!(NodeTest::Text.matches(Axis::Child, &NodeKind::Text("t".into())));
+        assert!(NodeTest::Comment.matches(Axis::Child, &NodeKind::Comment("c".into())));
+        assert!(NodeTest::Document.matches(Axis::SelfAxis, &NodeKind::Document));
+        assert!(NodeTest::Element(Some("a".into()))
+            .matches(Axis::Child, &NodeKind::Element(QName::local("a"))));
+        assert!(!NodeTest::Element(Some("a".into()))
+            .matches(Axis::Child, &NodeKind::Element(QName::local("b"))));
+        assert!(NodeTest::Attribute(None).matches(
+            Axis::Attribute,
+            &NodeKind::Attribute(QName::local("x"), "1".into())
+        ));
+    }
+}

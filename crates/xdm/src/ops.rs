@@ -1,0 +1,121 @@
+//! Node-set operations: `fs:ddo`, `union`, `except`, `intersect`,
+//! set-equality and subset tests.
+//!
+//! These are the primitives the inflationary fixed point semantics of the
+//! paper is written in (Definition 2.1 uses `union` and set-equality, the
+//! Delta algorithm of Figure 3(b) additionally needs `except`).
+
+use std::collections::HashSet;
+
+use crate::node::NodeId;
+use crate::store::NodeStore;
+
+/// `fs:distinct-doc-order` — sort into document order, drop duplicates.
+pub fn ddo(store: &mut NodeStore, nodes: &[NodeId]) -> Vec<NodeId> {
+    let mut out = nodes.to_vec();
+    store.sort_distinct(&mut out);
+    out
+}
+
+/// Node-set union (`union` / `|`): all nodes of either operand, in document
+/// order, without duplicates.
+pub fn node_union(store: &mut NodeStore, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = Vec::with_capacity(a.len() + b.len());
+    out.extend_from_slice(a);
+    out.extend_from_slice(b);
+    store.sort_distinct(&mut out);
+    out
+}
+
+/// Node-set difference (`except`): nodes of `a` not in `b`, in document order.
+pub fn node_except(store: &mut NodeStore, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let bset: HashSet<NodeId> = b.iter().copied().collect();
+    let filtered: Vec<NodeId> = a.iter().copied().filter(|n| !bset.contains(n)).collect();
+    ddo(store, &filtered)
+}
+
+/// Node-set intersection (`intersect`): nodes in both operands, in document
+/// order.
+pub fn intersect(store: &mut NodeStore, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let bset: HashSet<NodeId> = b.iter().copied().collect();
+    let filtered: Vec<NodeId> = a.iter().copied().filter(|n| bset.contains(n)).collect();
+    ddo(store, &filtered)
+}
+
+/// Set-equality of two node sequences: `ddo(a) == ddo(b)`.
+pub fn set_equal(store: &mut NodeStore, a: &[NodeId], b: &[NodeId]) -> bool {
+    ddo(store, a) == ddo(store, b)
+}
+
+/// `true` when every node of `a` also occurs in `b`.
+pub fn is_subset(a: &[NodeId], b: &[NodeId]) -> bool {
+    let bset: HashSet<NodeId> = b.iter().copied().collect();
+    a.iter().all(|n| bset.contains(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Axis, NodeTest};
+
+    fn fixture(store: &mut NodeStore) -> Vec<NodeId> {
+        let doc = store.parse_document("<r><a/><b/><c/><d/></r>").unwrap();
+        let root = store.document_element(doc).unwrap();
+        store.axis_nodes(root, Axis::Child, &NodeTest::AnyElement)
+    }
+
+    #[test]
+    fn union_orders_and_dedups() {
+        let mut store = NodeStore::new();
+        let kids = fixture(&mut store);
+        let left = vec![kids[2], kids[0]];
+        let right = vec![kids[1], kids[0]];
+        assert_eq!(
+            node_union(&mut store, &left, &right),
+            vec![kids[0], kids[1], kids[2]]
+        );
+    }
+
+    #[test]
+    fn except_removes_and_orders() {
+        let mut store = NodeStore::new();
+        let kids = fixture(&mut store);
+        let all = kids.clone();
+        let some = vec![kids[1], kids[3]];
+        assert_eq!(node_except(&mut store, &all, &some), vec![kids[0], kids[2]]);
+        assert!(node_except(&mut store, &some, &all).is_empty());
+    }
+
+    #[test]
+    fn intersect_keeps_common_nodes() {
+        let mut store = NodeStore::new();
+        let kids = fixture(&mut store);
+        let left = vec![kids[3], kids[0], kids[1]];
+        let right = vec![kids[1], kids[3]];
+        assert_eq!(intersect(&mut store, &left, &right), vec![kids[1], kids[3]]);
+    }
+
+    #[test]
+    fn set_equality_and_subset() {
+        let mut store = NodeStore::new();
+        let kids = fixture(&mut store);
+        let a = vec![kids[0], kids[1], kids[1]];
+        let b = vec![kids[1], kids[0]];
+        assert!(set_equal(&mut store, &a, &b));
+        assert!(!set_equal(&mut store, &a, &kids));
+        assert!(is_subset(&b, &kids));
+        assert!(!is_subset(&kids, &b));
+        assert!(is_subset(&[], &b));
+    }
+
+    #[test]
+    fn ddo_is_idempotent() {
+        let mut store = NodeStore::new();
+        let kids = fixture(&mut store);
+        let mixed = vec![kids[3], kids[1], kids[3], kids[0]];
+        let once = ddo(&mut store, &mixed);
+        let twice = ddo(&mut store, &once);
+        assert_eq!(once, twice);
+        assert_eq!(once, vec![kids[0], kids[1], kids[3]]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Item sequences — the universal value type of XQuery.
+//!
+//! Every XQuery expression evaluates to a (possibly empty, possibly
+//! single-item) ordered sequence of items.  [`Sequence`] is a thin wrapper
+//! around `Vec<Item>` with the helpers the evaluator and the fixed point
+//! runtime need: node extraction, emptiness tests, concatenation, and the
+//! *set-equality* relation `=ₛ` of the paper (equality up to duplicates and
+//! order, over the node portion of the sequences).
+
+use crate::node::NodeId;
+use crate::store::NodeStore;
+use crate::value::{AtomicValue, Item};
+
+/// An ordered sequence of XDM items.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Sequence {
+    items: Vec<Item>,
+}
+
+impl Sequence {
+    /// The empty sequence `()`.
+    pub fn empty() -> Self {
+        Sequence { items: Vec::new() }
+    }
+
+    /// A singleton sequence.
+    pub fn singleton(item: Item) -> Self {
+        Sequence { items: vec![item] }
+    }
+
+    /// Build a sequence from items.
+    pub fn from_items(items: Vec<Item>) -> Self {
+        Sequence { items }
+    }
+
+    /// Build a sequence of node items.
+    pub fn from_nodes(nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        Sequence {
+            items: nodes.into_iter().map(Item::Node).collect(),
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` for the empty sequence.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Borrow the underlying items.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Consume the sequence, yielding its items.
+    pub fn into_items(self) -> Vec<Item> {
+        self.items
+    }
+
+    /// Iterate over the items.
+    pub fn iter(&self) -> std::slice::Iter<'_, Item> {
+        self.items.iter()
+    }
+
+    /// Append a single item.
+    pub fn push(&mut self, item: Item) {
+        self.items.push(item);
+    }
+
+    /// Append all items of `other` (sequence concatenation, the `,` operator).
+    pub fn extend(&mut self, other: Sequence) {
+        self.items.extend(other.items);
+    }
+
+    /// Concatenate two sequences.
+    pub fn concat(mut self, other: Sequence) -> Sequence {
+        self.extend(other);
+        self
+    }
+
+    /// The node ids of all node items, in sequence order (atomics skipped).
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.items.iter().filter_map(Item::as_node).collect()
+    }
+
+    /// `true` if every item is a node.
+    pub fn all_nodes(&self) -> bool {
+        self.items.iter().all(Item::is_node)
+    }
+
+    /// `true` if the sequence contains `node`.
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        self.items.iter().any(|i| i.as_node() == Some(node))
+    }
+
+    /// The first item, if any.
+    pub fn first(&self) -> Option<&Item> {
+        self.items.first()
+    }
+
+    /// Set-equality `=ₛ` from the paper: equal as *sets* of items,
+    /// disregarding duplicates and order.  For node sequences this is the
+    /// `fs:ddo(X1) = fs:ddo(X2)` test of Section 2; atomic items are compared
+    /// by value equality.
+    pub fn set_equal(&self, other: &Sequence, store: &mut NodeStore) -> bool {
+        let mut a_nodes = self.nodes();
+        let mut b_nodes = other.nodes();
+        store.sort_distinct(&mut a_nodes);
+        store.sort_distinct(&mut b_nodes);
+        if a_nodes != b_nodes {
+            return false;
+        }
+        // Atomic portions compared as multiset-free value sets.
+        let a_atoms: Vec<&AtomicValue> =
+            self.items.iter().filter_map(Item::as_atomic).collect();
+        let b_atoms: Vec<&AtomicValue> =
+            other.items.iter().filter_map(Item::as_atomic).collect();
+        a_atoms.iter().all(|x| b_atoms.iter().any(|y| x == y))
+            && b_atoms.iter().all(|y| a_atoms.iter().any(|x| x == y))
+    }
+
+    /// Serialize the sequence the way a query result is usually displayed:
+    /// nodes as XML, atomics as their string values, separated by spaces.
+    pub fn display(&self, store: &NodeStore) -> String {
+        let parts: Vec<String> = self
+            .items
+            .iter()
+            .map(|item| match item {
+                Item::Node(n) => crate::serialize::serialize_node(store, *n),
+                Item::Atomic(a) => a.string_value(),
+            })
+            .collect();
+        parts.join(" ")
+    }
+}
+
+impl From<Vec<Item>> for Sequence {
+    fn from(items: Vec<Item>) -> Self {
+        Sequence { items }
+    }
+}
+
+impl FromIterator<Item> for Sequence {
+    fn from_iter<T: IntoIterator<Item = Item>>(iter: T) -> Self {
+        Sequence {
+            items: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for Sequence {
+    type Item = Item;
+    type IntoIter = std::vec::IntoIter<Item>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::QName;
+
+    #[test]
+    fn construction_and_concat() {
+        let a = Sequence::from_items(vec![Item::integer(1), Item::string("a")]);
+        let b = Sequence::singleton(Item::boolean(true));
+        let c = a.concat(b);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert!(Sequence::empty().is_empty());
+    }
+
+    #[test]
+    fn set_equality_ignores_order_and_duplicates() {
+        // Mirrors the paper's example: (1,"a") =ₛ ("a",1,1).
+        let mut store = NodeStore::new();
+        let a = Sequence::from_items(vec![Item::integer(1), Item::string("a")]);
+        let b = Sequence::from_items(vec![Item::string("a"), Item::integer(1), Item::integer(1)]);
+        assert!(a.set_equal(&b, &mut store));
+        let c = Sequence::from_items(vec![Item::string("a")]);
+        assert!(!a.set_equal(&c, &mut store));
+    }
+
+    #[test]
+    fn set_equality_on_nodes_uses_identity() {
+        let mut store = NodeStore::new();
+        let doc = store.parse_document("<r><a/><b/></r>").unwrap();
+        let root = store.document_element(doc).unwrap();
+        let kids = store.children(root);
+        let ab = Sequence::from_nodes(kids.clone());
+        let ba = Sequence::from_nodes(vec![kids[1], kids[0], kids[0]]);
+        assert!(ab.set_equal(&ba, &mut store));
+
+        let frag = store.new_fragment();
+        let other = store.create_element(frag, QName::local("a"));
+        let with_other = Sequence::from_nodes(vec![kids[0], other]);
+        assert!(!ab.set_equal(&with_other, &mut store));
+    }
+
+    #[test]
+    fn nodes_and_contains() {
+        let mut store = NodeStore::new();
+        let doc = store.parse_document("<r><a/></r>").unwrap();
+        let root = store.document_element(doc).unwrap();
+        let a = store.children(root)[0];
+        let seq = Sequence::from_items(vec![Item::Node(a), Item::integer(1)]);
+        assert_eq!(seq.nodes(), vec![a]);
+        assert!(!seq.all_nodes());
+        assert!(seq.contains_node(a));
+        assert!(!seq.contains_node(root));
+    }
+}

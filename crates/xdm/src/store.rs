@@ -1,0 +1,880 @@
+//! The node store: an arena of documents and their nodes.
+//!
+//! Every XML tree a query run touches — parsed documents as well as trees
+//! created by node constructors — lives inside a single [`NodeStore`].  This
+//! gives the engine:
+//!
+//! * **stable node identity**: a [`NodeId`] never changes or gets reused;
+//! * a **total document order** across all documents (documents are ordered
+//!   by creation, nodes within a document by pre-order position, with
+//!   attribute nodes ordered after their owner element and before its
+//!   children, as prescribed by the XDM);
+//! * cheap, index-based navigation for all XPath axes.
+//!
+//! Trees are mutable while they are being built (constructors append children
+//! one by one); document-order ranks and the ID index are recomputed lazily
+//! whenever a document has been mutated since the last query.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use crate::error::XdmError;
+use crate::node::{Axis, NodeId, NodeKind, NodeTest, QName};
+use crate::Result;
+
+/// Identifier of a document inside a [`NodeStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u32);
+
+/// Per-node data held in the document arena.
+#[derive(Debug, Clone)]
+struct NodeData {
+    kind: NodeKind,
+    parent: Option<u32>,
+    /// Child nodes (elements, text, comments, PIs) in document order.
+    children: Vec<u32>,
+    /// Attribute nodes of an element.
+    attributes: Vec<u32>,
+}
+
+/// A single document (or constructed tree fragment) in the store.
+#[derive(Debug, Clone)]
+struct Document {
+    nodes: Vec<NodeData>,
+    /// `order[i]` is the document-order rank of node `i`; recomputed lazily.
+    order: Vec<u32>,
+    /// Attribute names treated as ID-typed (in addition to `xml:id`/`id`).
+    id_attr_names: Vec<String>,
+    /// Map from ID value to the first element carrying it.
+    id_index: HashMap<String, u32>,
+    /// Set when the document has been mutated since `order`/`id_index` were
+    /// last rebuilt.
+    dirty: bool,
+    /// Optional URI this document was loaded under (used by `fn:doc`).
+    uri: Option<String>,
+}
+
+impl Document {
+    fn new() -> Self {
+        Document {
+            nodes: Vec::new(),
+            order: Vec::new(),
+            id_attr_names: Vec::new(),
+            id_index: HashMap::new(),
+            dirty: true,
+            uri: None,
+        }
+    }
+
+    fn push(&mut self, data: NodeData) -> u32 {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(data);
+        self.dirty = true;
+        idx
+    }
+
+    fn refresh(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.order = vec![0; self.nodes.len()];
+        self.id_index.clear();
+        if !self.nodes.is_empty() {
+            let mut rank = 0u32;
+            // Every node that has no parent is a root of its own fragment;
+            // fragments are ordered by arena index of their roots.
+            let roots: Vec<u32> = (0..self.nodes.len() as u32)
+                .filter(|&i| self.nodes[i as usize].parent.is_none())
+                .collect();
+            for root in roots {
+                self.assign_order(root, &mut rank);
+            }
+        }
+        self.rebuild_id_index();
+        self.dirty = false;
+    }
+
+    fn assign_order(&mut self, node: u32, rank: &mut u32) {
+        self.order[node as usize] = *rank;
+        *rank += 1;
+        let attrs = self.nodes[node as usize].attributes.clone();
+        for a in attrs {
+            self.order[a as usize] = *rank;
+            *rank += 1;
+        }
+        let children = self.nodes[node as usize].children.clone();
+        for c in children {
+            self.assign_order(c, rank);
+        }
+    }
+
+    fn rebuild_id_index(&mut self) {
+        for idx in 0..self.nodes.len() {
+            if !self.nodes[idx].kind.is_element() {
+                continue;
+            }
+            for &attr in &self.nodes[idx].attributes {
+                if let NodeKind::Attribute(name, value) = &self.nodes[attr as usize].kind {
+                    let is_id = name.local == "id"
+                        || (name.prefix.as_deref() == Some("xml") && name.local == "id")
+                        || self.id_attr_names.iter().any(|n| n == &name.local);
+                    if is_id {
+                        self.id_index.entry(value.clone()).or_insert(idx as u32);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The arena owning every document and node of a query run.
+///
+/// See the [module documentation](self) for the design rationale.
+#[derive(Debug, Default, Clone)]
+pub struct NodeStore {
+    docs: Vec<Document>,
+    /// URI → document index, for `fn:doc` stability (same URI, same nodes).
+    by_uri: HashMap<String, u32>,
+    /// Count of nodes ever created, across all documents.
+    nodes_created: u64,
+}
+
+impl NodeStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        NodeStore::default()
+    }
+
+    /// Total number of nodes ever created in this store (parsed plus
+    /// constructed).  Useful for detecting runaway node construction in
+    /// fixed point computations.
+    pub fn nodes_created(&self) -> u64 {
+        self.nodes_created
+    }
+
+    /// Number of documents (parsed or constructed fragments) in the store.
+    pub fn document_count(&self) -> usize {
+        self.docs.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Document management
+    // ------------------------------------------------------------------
+
+    /// Create a fresh, empty document with a document node as its root.
+    pub fn new_document(&mut self) -> DocId {
+        let mut doc = Document::new();
+        doc.push(NodeData {
+            kind: NodeKind::Document,
+            parent: None,
+            children: Vec::new(),
+            attributes: Vec::new(),
+        });
+        self.nodes_created += 1;
+        self.docs.push(doc);
+        DocId(self.docs.len() as u32 - 1)
+    }
+
+    /// Create a fresh document *without* a document node; used for trees
+    /// built by element constructors, whose roots are parentless elements.
+    pub fn new_fragment(&mut self) -> DocId {
+        self.docs.push(Document::new());
+        DocId(self.docs.len() as u32 - 1)
+    }
+
+    /// Parse `text` as an XML document and add it to the store.
+    pub fn parse_document(&mut self, text: &str) -> Result<DocId> {
+        crate::parse::parse_into(self, text)
+    }
+
+    /// Parse `text` and register it under `uri` so that subsequent
+    /// [`NodeStore::doc`] calls with the same URI return the same nodes.
+    pub fn parse_document_with_uri(&mut self, uri: &str, text: &str) -> Result<DocId> {
+        if let Some(&idx) = self.by_uri.get(uri) {
+            return Ok(DocId(idx));
+        }
+        let doc = crate::parse::parse_into(self, text)?;
+        self.docs[doc.0 as usize].uri = Some(uri.to_string());
+        self.by_uri.insert(uri.to_string(), doc.0);
+        Ok(doc)
+    }
+
+    /// Look up a document previously registered under `uri`.
+    pub fn doc(&self, uri: &str) -> Option<DocId> {
+        self.by_uri.get(uri).map(|&idx| DocId(idx))
+    }
+
+    /// The URI a document was registered under, if any.
+    pub fn document_uri(&self, doc: DocId) -> Option<&str> {
+        self.docs.get(doc.0 as usize).and_then(|d| d.uri.as_deref())
+    }
+
+    /// The document node (node 0) of `doc`, if the document has one.
+    pub fn document_node(&self, doc: DocId) -> Option<NodeId> {
+        let d = self.docs.get(doc.0 as usize)?;
+        match d.nodes.first() {
+            Some(n) if matches!(n.kind, NodeKind::Document) => Some(NodeId::new(doc.0, 0)),
+            _ => None,
+        }
+    }
+
+    /// The root element of `doc` (the single element child of the document
+    /// node), if any.
+    pub fn document_element(&self, doc: DocId) -> Option<NodeId> {
+        let root = self.document_node(doc)?;
+        self.children(root)
+            .into_iter()
+            .find(|&c| self.kind(c).is_element())
+    }
+
+    /// Declare that attributes named `name` are ID-typed in `doc` (mirrors a
+    /// DTD `#ID` declaration, e.g. `code` in the paper's curriculum data).
+    pub fn register_id_attribute(&mut self, doc: DocId, name: &str) {
+        if let Some(d) = self.docs.get_mut(doc.0 as usize) {
+            if !d.id_attr_names.iter().any(|n| n == name) {
+                d.id_attr_names.push(name.to_string());
+                d.dirty = true;
+            }
+        }
+    }
+
+    /// Find the element in `doc` whose ID-typed attribute equals `value`.
+    pub fn lookup_id(&mut self, doc: DocId, value: &str) -> Option<NodeId> {
+        let d = self.docs.get_mut(doc.0 as usize)?;
+        d.refresh();
+        d.id_index.get(value).map(|&n| NodeId::new(doc.0, n))
+    }
+
+    // ------------------------------------------------------------------
+    // Node construction
+    // ------------------------------------------------------------------
+
+    fn push_node(&mut self, doc: DocId, data: NodeData) -> NodeId {
+        let d = &mut self.docs[doc.0 as usize];
+        let idx = d.push(data);
+        self.nodes_created += 1;
+        NodeId::new(doc.0, idx)
+    }
+
+    /// Create an unattached element node in `doc`.
+    pub fn create_element(&mut self, doc: DocId, name: QName) -> NodeId {
+        self.push_node(
+            doc,
+            NodeData {
+                kind: NodeKind::Element(name),
+                parent: None,
+                children: Vec::new(),
+                attributes: Vec::new(),
+            },
+        )
+    }
+
+    /// Create an unattached text node in `doc`.
+    pub fn create_text(&mut self, doc: DocId, text: impl Into<String>) -> NodeId {
+        self.push_node(
+            doc,
+            NodeData {
+                kind: NodeKind::Text(text.into()),
+                parent: None,
+                children: Vec::new(),
+                attributes: Vec::new(),
+            },
+        )
+    }
+
+    /// Create an unattached comment node in `doc`.
+    pub fn create_comment(&mut self, doc: DocId, text: impl Into<String>) -> NodeId {
+        self.push_node(
+            doc,
+            NodeData {
+                kind: NodeKind::Comment(text.into()),
+                parent: None,
+                children: Vec::new(),
+                attributes: Vec::new(),
+            },
+        )
+    }
+
+    /// Create an unattached processing-instruction node in `doc`.
+    pub fn create_pi(
+        &mut self,
+        doc: DocId,
+        target: impl Into<String>,
+        content: impl Into<String>,
+    ) -> NodeId {
+        self.push_node(
+            doc,
+            NodeData {
+                kind: NodeKind::ProcessingInstruction(target.into(), content.into()),
+                parent: None,
+                children: Vec::new(),
+                attributes: Vec::new(),
+            },
+        )
+    }
+
+    /// Attach `child` as the last child of `parent`.  Both must belong to the
+    /// same document and `child` must not already have a parent.
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) -> Result<()> {
+        if parent.doc != child.doc {
+            return Err(XdmError::WrongNodeKind(
+                "append_child: parent and child belong to different documents".into(),
+            ));
+        }
+        let d = &mut self.docs[parent.doc as usize];
+        if d.nodes[child.node as usize].parent.is_some() {
+            return Err(XdmError::WrongNodeKind(
+                "append_child: child already has a parent".into(),
+            ));
+        }
+        match d.nodes[parent.node as usize].kind {
+            NodeKind::Element(_) | NodeKind::Document => {}
+            _ => {
+                return Err(XdmError::WrongNodeKind(format!(
+                    "append_child: cannot add children to a {} node",
+                    d.nodes[parent.node as usize].kind.kind_name()
+                )))
+            }
+        }
+        d.nodes[child.node as usize].parent = Some(parent.node);
+        d.nodes[parent.node as usize].children.push(child.node);
+        d.dirty = true;
+        Ok(())
+    }
+
+    /// Add an attribute `name="value"` to element `element`.
+    pub fn add_attribute(
+        &mut self,
+        element: NodeId,
+        name: QName,
+        value: impl Into<String>,
+    ) -> Result<NodeId> {
+        {
+            let d = &self.docs[element.doc as usize];
+            if !d.nodes[element.node as usize].kind.is_element() {
+                return Err(XdmError::WrongNodeKind(
+                    "add_attribute: target is not an element".into(),
+                ));
+            }
+        }
+        let attr = self.push_node(
+            DocId(element.doc),
+            NodeData {
+                kind: NodeKind::Attribute(name, value.into()),
+                parent: Some(element.node),
+                children: Vec::new(),
+                attributes: Vec::new(),
+            },
+        );
+        let d = &mut self.docs[element.doc as usize];
+        d.nodes[element.node as usize].attributes.push(attr.node);
+        d.dirty = true;
+        Ok(attr)
+    }
+
+    /// Deep-copy the subtree rooted at `node` into document `target`,
+    /// returning the id of the copy's root.  Used by element constructors,
+    /// which copy their content (new node identities!).
+    pub fn deep_copy(&mut self, node: NodeId, target: DocId) -> NodeId {
+        let kind = self.kind(node).clone();
+        let copy = self.push_node(
+            target,
+            NodeData {
+                kind,
+                parent: None,
+                children: Vec::new(),
+                attributes: Vec::new(),
+            },
+        );
+        for attr in self.attributes(node) {
+            if let NodeKind::Attribute(name, value) = self.kind(attr).clone() {
+                // The copy's root is always an element here; ignore errors on
+                // non-element kinds (they have no attributes to begin with).
+                let _ = self.add_attribute(copy, name, value);
+            }
+        }
+        for child in self.children(node) {
+            let child_copy = self.deep_copy(child, target);
+            let _ = self.append_child(copy, child_copy);
+        }
+        copy
+    }
+
+    // ------------------------------------------------------------------
+    // Node inspection
+    // ------------------------------------------------------------------
+
+    fn data(&self, node: NodeId) -> &NodeData {
+        &self.docs[node.doc as usize].nodes[node.node as usize]
+    }
+
+    /// `true` if `node` refers to an existing node of this store.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.docs
+            .get(node.doc as usize)
+            .map(|d| (node.node as usize) < d.nodes.len())
+            .unwrap_or(false)
+    }
+
+    /// The node's kind and payload.
+    pub fn kind(&self, node: NodeId) -> &NodeKind {
+        &self.data(node).kind
+    }
+
+    /// The node's name, if it has one (elements and attributes).
+    pub fn name(&self, node: NodeId) -> Option<&QName> {
+        self.data(node).kind.name()
+    }
+
+    /// The node's parent, if any.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.data(node).parent.map(|p| NodeId::new(node.doc, p))
+    }
+
+    /// The node's children (no attributes), in document order.
+    pub fn children(&self, node: NodeId) -> Vec<NodeId> {
+        self.data(node)
+            .children
+            .iter()
+            .map(|&c| NodeId::new(node.doc, c))
+            .collect()
+    }
+
+    /// The node's attribute nodes.
+    pub fn attributes(&self, node: NodeId) -> Vec<NodeId> {
+        self.data(node)
+            .attributes
+            .iter()
+            .map(|&a| NodeId::new(node.doc, a))
+            .collect()
+    }
+
+    /// The value of attribute `name` on element `node`, if present.
+    pub fn attribute_value(&self, node: NodeId, name: &str) -> Option<&str> {
+        for &a in &self.data(node).attributes {
+            if let NodeKind::Attribute(qname, value) =
+                &self.docs[node.doc as usize].nodes[a as usize].kind
+            {
+                if qname.matches_local(name) {
+                    return Some(value);
+                }
+            }
+        }
+        None
+    }
+
+    /// The root of the tree containing `node` (the node with no parent).
+    pub fn tree_root(&self, node: NodeId) -> NodeId {
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            cur = p;
+        }
+        cur
+    }
+
+    /// The typed/string value of a node: for elements and documents the
+    /// concatenation of all descendant text nodes, for attributes and text
+    /// nodes their content, for comments and PIs their text.
+    pub fn string_value(&self, node: NodeId) -> String {
+        match self.kind(node) {
+            NodeKind::Attribute(_, v) => v.clone(),
+            NodeKind::Text(t) => t.clone(),
+            NodeKind::Comment(c) => c.clone(),
+            NodeKind::ProcessingInstruction(_, c) => c.clone(),
+            NodeKind::Element(_) | NodeKind::Document => {
+                let mut out = String::new();
+                self.collect_text(node, &mut out);
+                out
+            }
+        }
+    }
+
+    fn collect_text(&self, node: NodeId, out: &mut String) {
+        match self.kind(node) {
+            NodeKind::Text(t) => out.push_str(t),
+            NodeKind::Element(_) | NodeKind::Document => {
+                for child in self.children(node) {
+                    self.collect_text(child, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Document order
+    // ------------------------------------------------------------------
+
+    fn order_rank(&mut self, node: NodeId) -> (u32, u32) {
+        let d = &mut self.docs[node.doc as usize];
+        d.refresh();
+        (node.doc, d.order[node.node as usize])
+    }
+
+    /// Compare two nodes in document order.  Nodes of different documents are
+    /// ordered by document creation order, which yields the stable total
+    /// order the XDM requires.
+    pub fn doc_order(&mut self, a: NodeId, b: NodeId) -> Ordering {
+        if a == b {
+            return Ordering::Equal;
+        }
+        let ka = self.order_rank(a);
+        let kb = self.order_rank(b);
+        ka.cmp(&kb)
+    }
+
+    /// Sort `nodes` into document order and remove duplicates — the
+    /// `fs:distinct-doc-order` operation of the XQuery Formal Semantics.
+    pub fn sort_distinct(&mut self, nodes: &mut Vec<NodeId>) {
+        // Refresh every involved document once, then sort by cached ranks.
+        let mut keyed: Vec<((u32, u32), NodeId)> =
+            nodes.iter().map(|&n| (self.order_rank(n), n)).collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        keyed.dedup_by(|a, b| a.1 == b.1);
+        nodes.clear();
+        nodes.extend(keyed.into_iter().map(|(_, n)| n));
+    }
+
+    // ------------------------------------------------------------------
+    // Axes
+    // ------------------------------------------------------------------
+
+    /// All nodes reachable from `node` along `axis` that satisfy `test`,
+    /// in the axis's natural order (document order for forward axes,
+    /// reverse document order for reverse axes).
+    pub fn axis_nodes(&self, node: NodeId, axis: Axis, test: &NodeTest) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        match axis {
+            Axis::Child => {
+                for c in self.children(node) {
+                    self.push_if(c, axis, test, &mut out);
+                }
+            }
+            Axis::Descendant => self.collect_descendants(node, axis, test, &mut out),
+            Axis::DescendantOrSelf => {
+                self.push_if(node, axis, test, &mut out);
+                self.collect_descendants(node, axis, test, &mut out);
+            }
+            Axis::Parent => {
+                if let Some(p) = self.parent(node) {
+                    self.push_if(p, axis, test, &mut out);
+                }
+            }
+            Axis::Ancestor => {
+                let mut cur = self.parent(node);
+                while let Some(p) = cur {
+                    self.push_if(p, axis, test, &mut out);
+                    cur = self.parent(p);
+                }
+            }
+            Axis::AncestorOrSelf => {
+                self.push_if(node, axis, test, &mut out);
+                let mut cur = self.parent(node);
+                while let Some(p) = cur {
+                    self.push_if(p, axis, test, &mut out);
+                    cur = self.parent(p);
+                }
+            }
+            Axis::FollowingSibling => {
+                if let Some(parent) = self.parent(node) {
+                    let siblings = self.children(parent);
+                    let mut seen_self = false;
+                    for s in siblings {
+                        if s == node {
+                            seen_self = true;
+                        } else if seen_self {
+                            self.push_if(s, axis, test, &mut out);
+                        }
+                    }
+                }
+            }
+            Axis::PrecedingSibling => {
+                if let Some(parent) = self.parent(node) {
+                    let siblings = self.children(parent);
+                    let mut before = Vec::new();
+                    for s in siblings {
+                        if s == node {
+                            break;
+                        }
+                        before.push(s);
+                    }
+                    for s in before.into_iter().rev() {
+                        self.push_if(s, axis, test, &mut out);
+                    }
+                }
+            }
+            Axis::Following => {
+                // Following siblings of self and of every ancestor, each with
+                // their whole subtrees, in document order.
+                let mut anchors = vec![node];
+                let mut cur = self.parent(node);
+                while let Some(p) = cur {
+                    anchors.push(p);
+                    cur = self.parent(p);
+                }
+                // Process outermost ancestors last so results stay in
+                // document order relative to each anchor group.
+                let mut groups: Vec<Vec<NodeId>> = Vec::new();
+                for anchor in anchors {
+                    let mut group = Vec::new();
+                    for sib in self.axis_nodes(anchor, Axis::FollowingSibling, &NodeTest::AnyNode) {
+                        self.push_if(sib, axis, test, &mut group);
+                        self.collect_descendants(sib, axis, test, &mut group);
+                    }
+                    groups.push(group);
+                }
+                for group in groups {
+                    out.extend(group);
+                }
+            }
+            Axis::Preceding => {
+                let mut anchors = vec![node];
+                let mut cur = self.parent(node);
+                while let Some(p) = cur {
+                    anchors.push(p);
+                    cur = self.parent(p);
+                }
+                for anchor in anchors {
+                    for sib in self.axis_nodes(anchor, Axis::PrecedingSibling, &NodeTest::AnyNode) {
+                        // Subtree of the preceding sibling, in reverse
+                        // document order (deepest/last first).
+                        let mut subtree = Vec::new();
+                        self.push_if(sib, axis, test, &mut subtree);
+                        self.collect_descendants(sib, axis, test, &mut subtree);
+                        out.extend(subtree.into_iter().rev());
+                    }
+                }
+            }
+            Axis::Attribute => {
+                for a in self.attributes(node) {
+                    self.push_if(a, axis, test, &mut out);
+                }
+            }
+            Axis::SelfAxis => {
+                self.push_if(node, axis, test, &mut out);
+            }
+        }
+        out
+    }
+
+    fn push_if(&self, node: NodeId, axis: Axis, test: &NodeTest, out: &mut Vec<NodeId>) {
+        if test.matches(axis, self.kind(node)) {
+            out.push(node);
+        }
+    }
+
+    fn collect_descendants(&self, node: NodeId, axis: Axis, test: &NodeTest, out: &mut Vec<NodeId>) {
+        for child in self.children(node) {
+            self.push_if(child, axis, test, out);
+            self.collect_descendants(child, axis, test, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(store: &mut NodeStore) -> DocId {
+        store
+            .parse_document(
+                "<r><a id=\"a1\"><b/><c>hi</c></a><d><e/>tail</d></r>",
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn document_element_and_children() {
+        let mut store = NodeStore::new();
+        let doc = sample(&mut store);
+        let root = store.document_element(doc).unwrap();
+        assert_eq!(store.name(root).unwrap().local, "r");
+        let kids = store.axis_nodes(root, Axis::Child, &NodeTest::AnyElement);
+        assert_eq!(kids.len(), 2);
+        assert_eq!(store.name(kids[0]).unwrap().local, "a");
+        assert_eq!(store.name(kids[1]).unwrap().local, "d");
+    }
+
+    #[test]
+    fn string_value_concatenates_descendant_text() {
+        let mut store = NodeStore::new();
+        let doc = sample(&mut store);
+        let root = store.document_element(doc).unwrap();
+        assert_eq!(store.string_value(root), "hitail");
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let mut store = NodeStore::new();
+        let doc = sample(&mut store);
+        let root = store.document_element(doc).unwrap();
+        let a = store.axis_nodes(root, Axis::Child, &NodeTest::Name("a".into()))[0];
+        assert_eq!(store.attribute_value(a, "id"), Some("a1"));
+        assert_eq!(store.attribute_value(a, "missing"), None);
+    }
+
+    #[test]
+    fn id_index_finds_elements() {
+        let mut store = NodeStore::new();
+        let doc = sample(&mut store);
+        let found = store.lookup_id(doc, "a1").unwrap();
+        assert_eq!(store.name(found).unwrap().local, "a");
+        assert_eq!(store.lookup_id(doc, "nope"), None);
+    }
+
+    #[test]
+    fn registered_id_attribute_participates_in_index() {
+        let mut store = NodeStore::new();
+        let doc = store
+            .parse_document("<curriculum><course code=\"c1\"/><course code=\"c2\"/></curriculum>")
+            .unwrap();
+        assert_eq!(store.lookup_id(doc, "c1"), None);
+        store.register_id_attribute(doc, "code");
+        let c1 = store.lookup_id(doc, "c1").unwrap();
+        assert_eq!(store.attribute_value(c1, "code"), Some("c1"));
+    }
+
+    #[test]
+    fn doc_order_is_preorder_with_attributes_before_children() {
+        let mut store = NodeStore::new();
+        let doc = sample(&mut store);
+        let root = store.document_element(doc).unwrap();
+        let a = store.axis_nodes(root, Axis::Child, &NodeTest::Name("a".into()))[0];
+        let attr = store.axis_nodes(a, Axis::Attribute, &NodeTest::AnyElement)[0];
+        let b = store.axis_nodes(a, Axis::Child, &NodeTest::Name("b".into()))[0];
+        assert_eq!(store.doc_order(root, a), Ordering::Less);
+        assert_eq!(store.doc_order(a, attr), Ordering::Less);
+        assert_eq!(store.doc_order(attr, b), Ordering::Less);
+        assert_eq!(store.doc_order(b, b), Ordering::Equal);
+    }
+
+    #[test]
+    fn doc_order_across_documents_follows_creation_order() {
+        let mut store = NodeStore::new();
+        let d1 = store.parse_document("<x/>").unwrap();
+        let d2 = store.parse_document("<y/>").unwrap();
+        let x = store.document_element(d1).unwrap();
+        let y = store.document_element(d2).unwrap();
+        assert_eq!(store.doc_order(x, y), Ordering::Less);
+        assert_eq!(store.doc_order(y, x), Ordering::Greater);
+    }
+
+    #[test]
+    fn sort_distinct_removes_duplicates_and_orders() {
+        let mut store = NodeStore::new();
+        let doc = sample(&mut store);
+        let root = store.document_element(doc).unwrap();
+        let all = store.axis_nodes(root, Axis::Descendant, &NodeTest::AnyElement);
+        let mut shuffled: Vec<NodeId> = all.iter().rev().cloned().collect();
+        shuffled.extend(all.iter().cloned());
+        store.sort_distinct(&mut shuffled);
+        assert_eq!(shuffled, all);
+    }
+
+    #[test]
+    fn descendant_and_ancestor_axes() {
+        let mut store = NodeStore::new();
+        let doc = sample(&mut store);
+        let root = store.document_element(doc).unwrap();
+        let descendants = store.axis_nodes(root, Axis::Descendant, &NodeTest::AnyElement);
+        let names: Vec<_> = descendants
+            .iter()
+            .map(|&n| store.name(n).unwrap().local.clone())
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c", "d", "e"]);
+
+        let e = descendants[4];
+        let ancestors = store.axis_nodes(e, Axis::Ancestor, &NodeTest::AnyNode);
+        let anames: Vec<_> = ancestors
+            .iter()
+            .map(|&n| store.kind(n).kind_name().to_string())
+            .collect();
+        // d, r, document — innermost first.
+        assert_eq!(anames, vec!["element", "element", "document"]);
+    }
+
+    #[test]
+    fn sibling_axes() {
+        let mut store = NodeStore::new();
+        let doc = sample(&mut store);
+        let root = store.document_element(doc).unwrap();
+        let kids = store.axis_nodes(root, Axis::Child, &NodeTest::AnyElement);
+        let (a, d) = (kids[0], kids[1]);
+        assert_eq!(
+            store.axis_nodes(a, Axis::FollowingSibling, &NodeTest::AnyElement),
+            vec![d]
+        );
+        assert_eq!(
+            store.axis_nodes(d, Axis::PrecedingSibling, &NodeTest::AnyElement),
+            vec![a]
+        );
+        assert!(store
+            .axis_nodes(a, Axis::PrecedingSibling, &NodeTest::AnyElement)
+            .is_empty());
+    }
+
+    #[test]
+    fn following_and_preceding_axes() {
+        let mut store = NodeStore::new();
+        let doc = store.parse_document("<r><a><b/></a><c><d/></c></r>").unwrap();
+        let root = store.document_element(doc).unwrap();
+        let a = store.axis_nodes(root, Axis::Child, &NodeTest::Name("a".into()))[0];
+        let b = store.axis_nodes(a, Axis::Child, &NodeTest::Name("b".into()))[0];
+        let following = store.axis_nodes(b, Axis::Following, &NodeTest::AnyElement);
+        let names: Vec<_> = following
+            .iter()
+            .map(|&n| store.name(n).unwrap().local.clone())
+            .collect();
+        assert_eq!(names, vec!["c", "d"]);
+
+        let d = following[1];
+        let preceding = store.axis_nodes(d, Axis::Preceding, &NodeTest::AnyElement);
+        let pnames: Vec<_> = preceding
+            .iter()
+            .map(|&n| store.name(n).unwrap().local.clone())
+            .collect();
+        // Reverse document order: b then a.
+        assert_eq!(pnames, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn constructed_nodes_get_fresh_identity() {
+        let mut store = NodeStore::new();
+        let frag = store.new_fragment();
+        let e1 = store.create_element(frag, QName::local("p"));
+        let frag2 = store.new_fragment();
+        let e2 = store.create_element(frag2, QName::local("p"));
+        assert_ne!(e1, e2);
+        assert_eq!(store.doc_order(e1, e2), Ordering::Less);
+    }
+
+    #[test]
+    fn deep_copy_creates_new_identities_with_same_content() {
+        let mut store = NodeStore::new();
+        let doc = sample(&mut store);
+        let root = store.document_element(doc).unwrap();
+        let a = store.axis_nodes(root, Axis::Child, &NodeTest::Name("a".into()))[0];
+        let frag = store.new_fragment();
+        let copy = store.deep_copy(a, frag);
+        assert_ne!(copy, a);
+        assert_eq!(store.string_value(copy), store.string_value(a));
+        assert_eq!(store.attribute_value(copy, "id"), Some("a1"));
+        let copy_children = store.axis_nodes(copy, Axis::Child, &NodeTest::AnyElement);
+        assert_eq!(copy_children.len(), 2);
+    }
+
+    #[test]
+    fn append_child_rejects_cross_document_and_reparenting() {
+        let mut store = NodeStore::new();
+        let f1 = store.new_fragment();
+        let f2 = store.new_fragment();
+        let p = store.create_element(f1, QName::local("p"));
+        let q = store.create_element(f2, QName::local("q"));
+        assert!(store.append_child(p, q).is_err());
+
+        let r = store.create_element(f1, QName::local("r"));
+        store.append_child(p, r).unwrap();
+        let p2 = store.create_element(f1, QName::local("p2"));
+        assert!(store.append_child(p2, r).is_err());
+    }
+}

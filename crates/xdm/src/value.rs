@@ -1,0 +1,265 @@
+//! Atomic values and items of the XQuery Data Model.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::XdmError;
+use crate::node::NodeId;
+use crate::Result;
+
+/// An atomic value.
+///
+/// The type lattice is deliberately small — LiXQuery-style — but covers
+/// everything the reproduced queries need: strings, integers, doubles,
+/// booleans and untyped atomics produced by atomizing nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AtomicValue {
+    /// `xs:string`
+    String(String),
+    /// `xs:integer`
+    Integer(i64),
+    /// `xs:double`
+    Double(f64),
+    /// `xs:boolean`
+    Boolean(bool),
+    /// `xs:untypedAtomic` — the result of atomizing a node.
+    Untyped(String),
+}
+
+impl AtomicValue {
+    /// The lexical/string form of the value (the `fn:string` view).
+    pub fn string_value(&self) -> String {
+        match self {
+            AtomicValue::String(s) | AtomicValue::Untyped(s) => s.clone(),
+            AtomicValue::Integer(i) => i.to_string(),
+            AtomicValue::Double(d) => format_double(*d),
+            AtomicValue::Boolean(b) => b.to_string(),
+        }
+    }
+
+    /// Convert to a number (`fn:number` semantics: NaN on failure).
+    pub fn to_double(&self) -> f64 {
+        match self {
+            AtomicValue::Integer(i) => *i as f64,
+            AtomicValue::Double(d) => *d,
+            AtomicValue::Boolean(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            AtomicValue::String(s) | AtomicValue::Untyped(s) => {
+                s.trim().parse::<f64>().unwrap_or(f64::NAN)
+            }
+        }
+    }
+
+    /// Convert to an integer, failing when the value is not a whole number.
+    pub fn to_integer(&self) -> Result<i64> {
+        match self {
+            AtomicValue::Integer(i) => Ok(*i),
+            AtomicValue::Double(d) if d.fract() == 0.0 && d.is_finite() => Ok(*d as i64),
+            AtomicValue::String(s) | AtomicValue::Untyped(s) => s
+                .trim()
+                .parse::<i64>()
+                .map_err(|_| XdmError::InvalidCast(format!("cannot cast '{s}' to xs:integer"))),
+            other => Err(XdmError::InvalidCast(format!(
+                "cannot cast {other:?} to xs:integer"
+            ))),
+        }
+    }
+
+    /// Effective boolean value of a single atomic item.
+    pub fn effective_boolean(&self) -> bool {
+        match self {
+            AtomicValue::Boolean(b) => *b,
+            AtomicValue::Integer(i) => *i != 0,
+            AtomicValue::Double(d) => *d != 0.0 && !d.is_nan(),
+            AtomicValue::String(s) | AtomicValue::Untyped(s) => !s.is_empty(),
+        }
+    }
+
+    /// `true` if this is a numeric value (integer or double).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, AtomicValue::Integer(_) | AtomicValue::Double(_))
+    }
+
+    /// Compare two atomics using XQuery value-comparison rules:
+    /// numerics compare numerically, untyped values promote to the other
+    /// operand's type, otherwise string comparison applies.
+    pub fn compare(&self, other: &AtomicValue) -> Option<Ordering> {
+        use AtomicValue::*;
+        match (self, other) {
+            (Boolean(a), Boolean(b)) => Some(a.cmp(b)),
+            (a, b) if a.is_numeric() || b.is_numeric() => {
+                a.to_double().partial_cmp(&b.to_double())
+            }
+            (a, b) => Some(a.string_value().cmp(&b.string_value())),
+        }
+    }
+
+    /// Equality under general-comparison rules (untyped compares as string
+    /// unless the other operand is numeric).
+    pub fn general_eq(&self, other: &AtomicValue) -> bool {
+        use AtomicValue::*;
+        match (self, other) {
+            (Boolean(a), Boolean(b)) => a == b,
+            (a, b) if a.is_numeric() || b.is_numeric() => {
+                let (x, y) = (a.to_double(), b.to_double());
+                x == y
+            }
+            (a, b) => a.string_value() == b.string_value(),
+        }
+    }
+}
+
+/// Format a double the way XQuery serialization does for the common cases
+/// (integral doubles print without a trailing `.0`).
+pub fn format_double(d: f64) -> String {
+    if d.is_nan() {
+        "NaN".to_string()
+    } else if d.is_infinite() {
+        if d > 0.0 { "INF".to_string() } else { "-INF".to_string() }
+    } else if d.fract() == 0.0 && d.abs() < 1e15 {
+        format!("{}", d as i64)
+    } else {
+        format!("{d}")
+    }
+}
+
+impl fmt::Display for AtomicValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.string_value())
+    }
+}
+
+/// A single XDM item: either a node reference or an atomic value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A reference to a node in the [`NodeStore`](crate::NodeStore).
+    Node(NodeId),
+    /// An atomic value.
+    Atomic(AtomicValue),
+}
+
+impl Item {
+    /// Construct a string item.
+    pub fn string(s: impl Into<String>) -> Self {
+        Item::Atomic(AtomicValue::String(s.into()))
+    }
+
+    /// Construct an integer item.
+    pub fn integer(i: i64) -> Self {
+        Item::Atomic(AtomicValue::Integer(i))
+    }
+
+    /// Construct a double item.
+    pub fn double(d: f64) -> Self {
+        Item::Atomic(AtomicValue::Double(d))
+    }
+
+    /// Construct a boolean item.
+    pub fn boolean(b: bool) -> Self {
+        Item::Atomic(AtomicValue::Boolean(b))
+    }
+
+    /// The node id, if this item is a node.
+    pub fn as_node(&self) -> Option<NodeId> {
+        match self {
+            Item::Node(n) => Some(*n),
+            Item::Atomic(_) => None,
+        }
+    }
+
+    /// The atomic value, if this item is atomic.
+    pub fn as_atomic(&self) -> Option<&AtomicValue> {
+        match self {
+            Item::Atomic(a) => Some(a),
+            Item::Node(_) => None,
+        }
+    }
+
+    /// `true` if this item is a node.
+    pub fn is_node(&self) -> bool {
+        matches!(self, Item::Node(_))
+    }
+}
+
+impl From<AtomicValue> for Item {
+    fn from(value: AtomicValue) -> Self {
+        Item::Atomic(value)
+    }
+}
+
+impl From<NodeId> for Item {
+    fn from(value: NodeId) -> Self {
+        Item::Node(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_values() {
+        assert_eq!(AtomicValue::Integer(42).string_value(), "42");
+        assert_eq!(AtomicValue::Double(2.5).string_value(), "2.5");
+        assert_eq!(AtomicValue::Double(3.0).string_value(), "3");
+        assert_eq!(AtomicValue::Boolean(true).string_value(), "true");
+        assert_eq!(AtomicValue::String("x".into()).string_value(), "x");
+        assert_eq!(AtomicValue::Double(f64::NAN).string_value(), "NaN");
+        assert_eq!(AtomicValue::Double(f64::INFINITY).string_value(), "INF");
+    }
+
+    #[test]
+    fn numeric_conversions() {
+        assert_eq!(AtomicValue::String("  7 ".into()).to_integer().unwrap(), 7);
+        assert!(AtomicValue::String("abc".into()).to_integer().is_err());
+        assert!(AtomicValue::String("abc".into()).to_double().is_nan());
+        assert_eq!(AtomicValue::Double(4.0).to_integer().unwrap(), 4);
+        assert!(AtomicValue::Double(4.5).to_integer().is_err());
+    }
+
+    #[test]
+    fn effective_boolean_values() {
+        assert!(AtomicValue::Boolean(true).effective_boolean());
+        assert!(!AtomicValue::Boolean(false).effective_boolean());
+        assert!(AtomicValue::Integer(3).effective_boolean());
+        assert!(!AtomicValue::Integer(0).effective_boolean());
+        assert!(!AtomicValue::Double(f64::NAN).effective_boolean());
+        assert!(AtomicValue::String("x".into()).effective_boolean());
+        assert!(!AtomicValue::String("".into()).effective_boolean());
+    }
+
+    #[test]
+    fn comparisons_promote_untyped_to_numeric() {
+        let untyped = AtomicValue::Untyped("10".into());
+        let int = AtomicValue::Integer(10);
+        assert!(untyped.general_eq(&int));
+        assert_eq!(untyped.compare(&int), Some(Ordering::Equal));
+        // As strings, "10" < "9"; as numbers 10 > 9 — numeric wins.
+        assert_eq!(
+            untyped.compare(&AtomicValue::Integer(9)),
+            Some(Ordering::Greater)
+        );
+        // Pure string comparison when neither side is numeric.
+        assert_eq!(
+            AtomicValue::Untyped("10".into()).compare(&AtomicValue::String("9".into())),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn item_constructors_and_accessors() {
+        let node = Item::Node(NodeId::new(0, 3));
+        assert!(node.is_node());
+        assert_eq!(node.as_node(), Some(NodeId::new(0, 3)));
+        assert_eq!(node.as_atomic(), None);
+
+        let atom = Item::integer(5);
+        assert!(!atom.is_node());
+        assert_eq!(atom.as_atomic(), Some(&AtomicValue::Integer(5)));
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: the paper's running example (prerequisites of course "c1").
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use xqy_ifp::{Engine, Strategy};
+
+const CURRICULUM: &str = r#"<curriculum>
+    <course code="c1"><prerequisites><pre_code>c2</pre_code><pre_code>c3</pre_code></prerequisites></course>
+    <course code="c2"><prerequisites><pre_code>c4</pre_code></prerequisites></course>
+    <course code="c3"><prerequisites/></course>
+    <course code="c4"><prerequisites/></course>
+</curriculum>"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut engine = Engine::new();
+    // `code` is declared as an ID attribute in the paper's DTD (Figure 1).
+    engine.load_document_with_ids("curriculum.xml", CURRICULUM, &["code"])?;
+    engine.set_strategy(Strategy::Auto);
+
+    // Query Q1 of the paper: all direct or indirect prerequisites of "c1".
+    let outcome = engine.run(
+        "with $x seeded by doc('curriculum.xml')/curriculum/course[@code='c1']
+         recurse $x/id(./prerequisites/pre_code)",
+    )?;
+
+    println!("result ({} courses):", outcome.result.len());
+    println!("{}", engine.display(&outcome.result));
+    println!();
+    println!("strategy used : {:?}", outcome.strategy_used);
+    for report in &outcome.distributivity {
+        println!(
+            "distributivity: syntactic={} (rule {}), algebraic={:?}",
+            report.syntactic, report.syntactic_rule, report.algebraic
+        );
+    }
+    for stats in &outcome.fixpoints {
+        println!(
+            "fixpoint      : {} iterations, {} nodes fed back",
+            stats.iterations, stats.nodes_fed_back
+        );
+    }
+    Ok(())
+}

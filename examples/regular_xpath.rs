@@ -1,0 +1,68 @@
+//! Regular XPath via the IFP form: transitive closures of location steps
+//! (`e+` and `e*`), evaluated with algorithm Delta.
+//!
+//! ```bash
+//! cargo run --example regular_xpath
+//! ```
+
+use xqy_ifp::closure::{reflexive_transitive_closure, transitive_closure};
+use xqy_ifp::parser::ast::QueryModule;
+use xqy_ifp::Engine;
+
+const ORG: &str = r#"<org>
+  <unit name="root">
+    <unit name="engineering">
+      <unit name="storage"/>
+      <unit name="query-processing">
+        <unit name="optimizer"/>
+      </unit>
+    </unit>
+    <unit name="sales"/>
+  </unit>
+</org>"#;
+
+fn run(engine: &mut Engine, expr: xqy_ifp::parser::Expr) -> Vec<String> {
+    let module = QueryModule {
+        functions: vec![],
+        variables: vec![],
+        body: expr,
+    };
+    let outcome = engine.run_module(&module).expect("query runs");
+    outcome
+        .result
+        .nodes()
+        .iter()
+        .map(|&n| {
+            engine
+                .store()
+                .attribute_value(n, "name")
+                .unwrap_or("?")
+                .to_string()
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut engine = Engine::new();
+    engine.load_document("org.xml", ORG)?;
+
+    // (child::unit)+ from the root unit: every unit strictly below it.
+    let plus = transitive_closure("doc('org.xml')/org/unit", "child::unit")?;
+    println!("child::unit+  -> {:?}", run(&mut engine, plus));
+
+    // (child::unit)* — the reflexive closure additionally keeps the seed.
+    let star = reflexive_transitive_closure("doc('org.xml')/org/unit", "child::unit")?;
+    println!("child::unit*  -> {:?}", run(&mut engine, star));
+
+    // Horizontal recursion: following-sibling closure of the first child.
+    let siblings = transitive_closure(
+        "doc('org.xml')/org/unit/unit[1]",
+        "following-sibling::unit",
+    )?;
+    println!("sibling+      -> {:?}", run(&mut engine, siblings));
+
+    // Steps that violate the Regular XPath restrictions are rejected.
+    let err = transitive_closure(".", "child::unit[position() = last()]").unwrap_err();
+    println!("rejected step : {err}");
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! End-to-end engine tests: strategy selection, statistics, Regular XPath
+//! closure helpers, and multi-document queries.
+
+use xqy_ifp::closure::{reflexive_transitive_closure, transitive_closure};
+use xqy_ifp::eval::FixpointStrategy;
+use xqy_ifp::parser::ast::QueryModule;
+use xqy_ifp::{Engine, Strategy};
+
+const TREE: &str = "<r><a><b><c/></b></a><d><e/></d></r>";
+
+#[test]
+fn regular_xpath_child_closure_equals_descendant_axis() {
+    let mut engine = Engine::new();
+    engine.load_document("tree.xml", TREE).unwrap();
+    let closure = transitive_closure("doc('tree.xml')/r", "child::*").unwrap();
+    let module = QueryModule {
+        functions: vec![],
+        variables: vec![],
+        body: closure,
+    };
+    let via_closure = engine.run_module(&module).unwrap();
+    let via_axis = engine.run("doc('tree.xml')/r/descendant::*").unwrap();
+    assert_eq!(via_closure.result.nodes(), via_axis.result.nodes());
+    // Closure bodies are distributive, so Auto must have picked Delta.
+    assert_eq!(via_closure.strategy_used, FixpointStrategy::Delta);
+}
+
+#[test]
+fn reflexive_closure_includes_the_seed_nodes() {
+    let mut engine = Engine::new();
+    engine.load_document("tree.xml", TREE).unwrap();
+    let star = reflexive_transitive_closure("doc('tree.xml')/r", "child::*").unwrap();
+    let module = QueryModule {
+        functions: vec![],
+        variables: vec![],
+        body: star,
+    };
+    let result = engine.run_module(&module).unwrap();
+    let plus = engine.run("doc('tree.xml')/r/descendant::*").unwrap();
+    assert_eq!(result.result.len(), plus.result.len() + 1);
+}
+
+#[test]
+fn following_sibling_closure() {
+    let mut engine = Engine::new();
+    engine.load_document("tree.xml", TREE).unwrap();
+    let closure = transitive_closure("doc('tree.xml')/r/a", "following-sibling::*").unwrap();
+    let module = QueryModule {
+        functions: vec![],
+        variables: vec![],
+        body: closure,
+    };
+    let result = engine.run_module(&module).unwrap();
+    assert_eq!(result.result.len(), 1); // only <d>
+}
+
+#[test]
+fn fixpoint_statistics_are_exposed_per_occurrence() {
+    let mut engine = Engine::new();
+    engine
+        .load_document_with_ids(
+            "c.xml",
+            "<curriculum>\
+               <course code=\"a\"><prerequisites><pre_code>b</pre_code></prerequisites></course>\
+               <course code=\"b\"><prerequisites><pre_code>c</pre_code></prerequisites></course>\
+               <course code=\"c\"><prerequisites/></course>\
+             </curriculum>",
+            &["code"],
+        )
+        .unwrap();
+    let query = "for $c in doc('c.xml')/curriculum/course \
+                 return count(with $x seeded by $c recurse $x/id(./prerequisites/pre_code))";
+    let outcome = engine.run(query).unwrap();
+    // One fixpoint execution per course.
+    assert_eq!(outcome.fixpoints.len(), 3);
+    let counts: Vec<String> = outcome
+        .result
+        .iter()
+        .map(|item| item.as_atomic().unwrap().string_value())
+        .collect();
+    assert_eq!(counts, vec!["2", "1", "0"]);
+}
+
+#[test]
+fn auto_strategy_is_conservative_with_mixed_bodies() {
+    let mut engine = Engine::new();
+    engine.set_seed_in_result(true);
+    // One distributive and one non-distributive fixpoint in the same query:
+    // Auto must fall back to Naïve for the whole query.
+    let query = "let $seed := <a><b/></a> return \
+                 ((with $x seeded by $seed recurse $x/*), \
+                  (with $y seeded by $seed recurse if (count($y)) then $y/* else ()))";
+    let outcome = engine.run(query).unwrap();
+    assert_eq!(outcome.distributivity.len(), 2);
+    assert_eq!(outcome.strategy_used, FixpointStrategy::Naive);
+}
+
+#[test]
+fn queries_across_multiple_documents() {
+    let mut engine = Engine::new();
+    engine.load_document("a.xml", "<r><x id=\"1\"/></r>").unwrap();
+    engine.load_document("b.xml", "<r><x id=\"2\"/><x id=\"3\"/></r>").unwrap();
+    let outcome = engine
+        .run("count(doc('a.xml')//x) + count(doc('b.xml')//x)")
+        .unwrap();
+    assert_eq!(engine.display(&outcome.result), "3");
+}
+
+#[test]
+fn display_serializes_nodes_as_xml() {
+    let mut engine = Engine::new();
+    engine.load_document("t.xml", "<r><a k=\"v\">text</a></r>").unwrap();
+    let outcome = engine.run("doc('t.xml')/r/a").unwrap();
+    assert_eq!(engine.display(&outcome.result), "<a k=\"v\">text</a>");
+}
+
+#[test]
+fn strategy_accessors_round_trip() {
+    let mut engine = Engine::new();
+    assert_eq!(engine.strategy(), Strategy::Auto);
+    engine.set_strategy(Strategy::Delta);
+    assert_eq!(engine.strategy(), Strategy::Delta);
+    assert_eq!(Strategy::Naive.name(), "naive");
+    assert_eq!(Strategy::Auto.name(), "auto");
+}

@@ -1,0 +1,182 @@
+//! Property-based tests over the core invariants of the reproduction:
+//!
+//! * the node-set operations behave like set algebra under `fs:ddo`;
+//! * Naïve and Delta agree on distributive bodies for *arbitrary* generated
+//!   reference graphs (Theorem 3.2 exercised empirically);
+//! * the syntactic distributivity judgement is sound with respect to the
+//!   definition of distributivity (Definition 3.1) on generated inputs;
+//! * the relational back-end agrees with the source-level evaluator.
+
+use proptest::prelude::*;
+
+use xqy_ifp::algebra::MuStrategy;
+use xqy_ifp::eval::{Evaluator, FixpointStrategy};
+use xqy_ifp::xdm::{ddo, is_subset, node_except, node_union, NodeStore};
+use xqy_ifp::{Engine, Strategy};
+
+/// Build a curriculum-like document from an arbitrary edge list over
+/// `courses` nodes.
+fn curriculum_from_edges(courses: usize, edges: &[(usize, usize)]) -> String {
+    let mut out = String::from("<curriculum>");
+    for i in 0..courses {
+        out.push_str(&format!("<course code=\"c{i}\"><prerequisites>"));
+        for (from, to) in edges {
+            if *from == i {
+                out.push_str(&format!("<pre_code>c{}</pre_code>", to % courses));
+            }
+        }
+        out.push_str("</prerequisites></course>");
+    }
+    out.push_str("</curriculum>");
+    out
+}
+
+fn edge_strategy(courses: usize) -> impl proptest::strategy::Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..courses, 0..courses), 0..courses * 3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Naïve and Delta compute the same IFP for the (distributive)
+    /// transitive-closure body on arbitrary reference graphs, including
+    /// graphs with cycles and self-loops.
+    #[test]
+    fn naive_equals_delta_on_arbitrary_reference_graphs(
+        courses in 2usize..12,
+        edges in edge_strategy(11),
+        seed_course in 0usize..12,
+    ) {
+        let xml = curriculum_from_edges(courses, &edges);
+        let seed_course = seed_course % courses;
+        let query = format!(
+            "with $x seeded by doc('c.xml')/curriculum/course[@code='c{seed_course}'] \
+             recurse $x/id(./prerequisites/pre_code)"
+        );
+        let run = |strategy: FixpointStrategy| {
+            let mut store = NodeStore::new();
+            let doc = store.parse_document_with_uri("c.xml", &xml).unwrap();
+            store.register_id_attribute(doc, "code");
+            let mut evaluator = Evaluator::new(&mut store);
+            evaluator.set_fixpoint_strategy(strategy);
+            let result = evaluator.eval_query_str(&query).unwrap();
+            let mut codes: Vec<String> = result
+                .nodes()
+                .iter()
+                .map(|&n| store.attribute_value(n, "code").unwrap().to_string())
+                .collect();
+            codes.sort();
+            codes
+        };
+        prop_assert_eq!(run(FixpointStrategy::Naive), run(FixpointStrategy::Delta));
+    }
+
+    /// The relational µ / µ∆ operators agree with each other and with the
+    /// source-level engine on arbitrary reference graphs.
+    #[test]
+    fn algebraic_and_source_level_backends_agree(
+        courses in 2usize..10,
+        edges in edge_strategy(9),
+        seed_course in 0usize..10,
+    ) {
+        let xml = curriculum_from_edges(courses, &edges);
+        let seed_course = seed_course % courses;
+        let mut engine = Engine::new();
+        engine.load_document_with_ids("c.xml", &xml, &["code"]).unwrap();
+        engine.set_strategy(Strategy::Delta);
+        let query = format!(
+            "with $x seeded by doc('c.xml')/curriculum/course[@code='c{seed_course}'] \
+             recurse $x/id(./prerequisites/pre_code)"
+        );
+        let reference = engine.run(&query).unwrap();
+        let seed_query =
+            format!("doc('c.xml')/curriculum/course[@code='c{seed_course}']");
+        let (mu, _) = engine
+            .run_algebraic_fixpoint(&seed_query, "$x/id(./prerequisites/pre_code)", "x", MuStrategy::Mu)
+            .unwrap();
+        let (mud, _) = engine
+            .run_algebraic_fixpoint(&seed_query, "$x/id(./prerequisites/pre_code)", "x", MuStrategy::MuDelta)
+            .unwrap();
+        prop_assert_eq!(mu.len(), reference.result.len());
+        prop_assert_eq!(mud.len(), reference.result.len());
+    }
+
+    /// Set-algebra laws of the node-set operations under document order.
+    #[test]
+    fn node_set_operations_behave_like_sets(
+        children in 1usize..30,
+        picks_a in proptest::collection::vec(0usize..30, 0..40),
+        picks_b in proptest::collection::vec(0usize..30, 0..40),
+    ) {
+        let mut xml = String::from("<r>");
+        for i in 0..children {
+            xml.push_str(&format!("<c n=\"{i}\"/>"));
+        }
+        xml.push_str("</r>");
+        let mut store = NodeStore::new();
+        let doc = store.parse_document(&xml).unwrap();
+        let root = store.document_element(doc).unwrap();
+        let all = store.children(root);
+        let a: Vec<_> = picks_a.iter().map(|&i| all[i % all.len()]).collect();
+        let b: Vec<_> = picks_b.iter().map(|&i| all[i % all.len()]).collect();
+
+        // Union is commutative and idempotent; ddo is idempotent.
+        let ab = node_union(&mut store, &a, &b);
+        let ba = node_union(&mut store, &b, &a);
+        prop_assert_eq!(&ab, &ba);
+        let ddo_a = ddo(&mut store, &a);
+        prop_assert_eq!(ddo(&mut store, &ddo_a), ddo_a.clone());
+        prop_assert_eq!(node_union(&mut store, &a, &a), ddo_a);
+
+        // a \ b is disjoint from b and together with (a ∩ b) covers ddo(a).
+        let diff = node_except(&mut store, &a, &b);
+        prop_assert!(diff.iter().all(|n| !b.contains(n)));
+        prop_assert!(is_subset(&diff, &a));
+        // (a \ b) ∪ b ⊇ a.
+        let rejoined = node_union(&mut store, &diff, &b);
+        prop_assert!(is_subset(&ddo(&mut store, &a), &rejoined));
+    }
+
+    /// Soundness of the syntactic judgement (Definition 3.1): whenever
+    /// `ds_$x(e)` holds for a generated path body, evaluating `e` over a
+    /// sequence equals the union of evaluating it over the singletons.
+    #[test]
+    fn syntactic_judgement_is_sound_for_step_bodies(
+        courses in 2usize..8,
+        edges in edge_strategy(7),
+        step in prop_oneof![
+            Just("$x/id(./prerequisites/pre_code)"),
+            Just("$x/prerequisites/pre_code"),
+            Just("$x/*"),
+            Just("$x/self::course"),
+            Just("$x/prerequisites union $x/self::course"),
+        ],
+    ) {
+        let xml = curriculum_from_edges(courses, &edges);
+        let body = xqy_ifp::parser::parse_expr(step).unwrap();
+        let judgement = xqy_ifp::is_distributivity_safe(&body, "x", &[]);
+        prop_assert!(judgement.safe);
+
+        let mut store = NodeStore::new();
+        let doc = store.parse_document_with_uri("c.xml", &xml).unwrap();
+        store.register_id_attribute(doc, "code");
+        let mut evaluator = Evaluator::new(&mut store);
+        // X = all courses; e(X) vs union over singletons.
+        let whole = evaluator
+            .eval_query_str(&format!(
+                "let $x := doc('c.xml')/curriculum/course return {step}"
+            ))
+            .unwrap();
+        let split = evaluator
+            .eval_query_str(&format!(
+                "for $y in doc('c.xml')/curriculum/course return \
+                 (let $x := $y return {step})"
+            ))
+            .unwrap();
+        let mut w = whole.nodes();
+        let mut s = split.nodes();
+        store.sort_distinct(&mut w);
+        store.sort_distinct(&mut s);
+        prop_assert_eq!(w, s);
+    }
+}
