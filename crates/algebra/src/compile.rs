@@ -187,14 +187,16 @@ impl Compiler {
             {
                 let (inner, _) = self.compile(&args[0])?;
                 (
-                    self.plan.add(Operator::Count { group_by: None }, vec![inner]),
+                    self.plan
+                        .add(Operator::Count { group_by: None }, vec![inner]),
                     ItemKind::Strings,
                 )
             }
             other => {
                 let (inner, _) = self.compile(other)?;
                 (
-                    self.plan.add(Operator::Count { group_by: None }, vec![inner]),
+                    self.plan
+                        .add(Operator::Count { group_by: None }, vec![inner]),
                     ItemKind::Strings,
                 )
             }
@@ -212,7 +214,8 @@ impl Compiler {
             } => {
                 let (mut id, mut kind) = match (axis, test) {
                     (Axis::Attribute, NodeTest::Name(name)) => (
-                        self.plan.add(Operator::AttrValue(name.clone()), vec![input]),
+                        self.plan
+                            .add(Operator::AttrValue(name.clone()), vec![input]),
                         ItemKind::Strings,
                     ),
                     (Axis::Attribute, _) => {
@@ -238,15 +241,15 @@ impl Compiler {
             Expr::FunctionCall { name, args } => {
                 self.compile_call_with_input(Some(input), name, args)
             }
-            Expr::Path { input: nested, step } => {
+            Expr::Path {
+                input: nested,
+                step,
+            } => {
                 // A nested relative path (e.g. from `./a/b` inside id(…)).
                 let (nested_id, _) = self.compile_step(input, nested)?;
                 self.compile_step(nested_id, step)
             }
-            other => Err(self.unsupported(&format!(
-                "path step of form {}",
-                variant_name(other)
-            ))),
+            other => Err(self.unsupported(&format!("path step of form {}", variant_name(other)))),
         }
     }
 
@@ -281,9 +284,7 @@ impl Compiler {
                         },
                     ) => (name.clone(), value.clone()),
                     _ => {
-                        return Err(self.unsupported(
-                            "predicates other than @attribute = 'literal'",
-                        ))
+                        return Err(self.unsupported("predicates other than @attribute = 'literal'"))
                     }
                 };
                 // Carry the node, test its attribute, project the node back.
@@ -441,10 +442,7 @@ mod tests {
         let body = body_of("if (count($x/self::a)) then $x/* else ()");
         let compiled = compile_recursion_body(&body, "x").unwrap();
         assert!(!compiled.distributivity.distributive);
-        assert_eq!(
-            compiled.distributivity.blocked_by.as_deref(),
-            Some("count")
-        );
+        assert_eq!(compiled.distributivity.blocked_by.as_deref(), Some("count"));
     }
 
     #[test]
@@ -492,7 +490,11 @@ mod tests {
         store.register_id_attribute(doc, "code");
         let root = store.document_element(doc).unwrap();
         let seed: Vec<_> = store
-            .axis_nodes(root, xqy_xdm::Axis::Child, &xqy_xdm::NodeTest::Name("course".into()))
+            .axis_nodes(
+                root,
+                xqy_xdm::Axis::Child,
+                &xqy_xdm::NodeTest::Name("course".into()),
+            )
             .into_iter()
             .filter(|&c| store.attribute_value(c, "code") == Some("c1"))
             .collect();

@@ -22,7 +22,10 @@ impl fmt::Display for AlgebraError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AlgebraError::Unsupported(msg) => {
-                write!(f, "expression not supported by the algebraic compiler: {msg}")
+                write!(
+                    f,
+                    "expression not supported by the algebraic compiler: {msg}"
+                )
             }
             AlgebraError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
             AlgebraError::Execution(msg) => write!(f, "plan execution error: {msg}"),

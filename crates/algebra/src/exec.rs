@@ -9,7 +9,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use xqy_xdm::{DocId, NodeId, NodeStore};
+use xqy_xdm::{DocId, NodeId, NodeSet, NodeStore};
 
 use crate::error::AlgebraError;
 use crate::plan::{FunKind, Operator, Plan, PlanNodeId};
@@ -90,15 +90,12 @@ impl Table {
 
     /// Index of column `name`.
     pub fn column_index(&self, name: &str) -> Result<usize> {
-        self.columns
-            .iter()
-            .position(|c| c == name)
-            .ok_or_else(|| {
-                AlgebraError::Execution(format!(
-                    "column '{name}' not found (have: {})",
-                    self.columns.join(", ")
-                ))
-            })
+        self.columns.iter().position(|c| c == name).ok_or_else(|| {
+            AlgebraError::Execution(format!(
+                "column '{name}' not found (have: {})",
+                self.columns.join(", ")
+            ))
+        })
     }
 
     /// The node values of the `item` column (non-node rows are skipped).
@@ -106,10 +103,7 @@ impl Table {
         let Ok(idx) = self.column_index("item") else {
             return Vec::new();
         };
-        self.rows
-            .iter()
-            .filter_map(|r| r[idx].as_node())
-            .collect()
+        self.rows.iter().filter_map(|r| r[idx].as_node()).collect()
     }
 
     /// Deduplicate rows (set semantics).
@@ -265,10 +259,9 @@ impl<'s> Executor<'s> {
                     .store
                     .doc(uri)
                     .ok_or_else(|| AlgebraError::Execution(format!("document not found: {uri}")))?;
-                let node = self
-                    .store
-                    .document_node(doc)
-                    .ok_or_else(|| AlgebraError::Execution(format!("document has no root: {uri}")))?;
+                let node = self.store.document_node(doc).ok_or_else(|| {
+                    AlgebraError::Execution(format!("document has no root: {uri}"))
+                })?;
                 Ok(Table::from_nodes(&[node]))
             }
             Operator::Project(renames) => {
@@ -589,14 +582,24 @@ impl<'s> Executor<'s> {
             }
         }
         let mut stats = ExecStats::default();
-        let mut res: Vec<NodeId> = if seed_in_result {
-            let mut nodes = seed.to_vec();
-            self.store.sort_distinct(&mut nodes);
-            nodes
+        // The accumulator lives as a NodeSet bitset for the whole run:
+        // union/except are word-parallel and the termination tests are
+        // emptiness checks, so no HashSet is built and no re-sort happens
+        // per iteration.  Document-ordered vectors are materialized only to
+        // feed the body plan (and once at the end, for the result table).
+        let mut res: NodeSet = if seed_in_result {
+            NodeSet::from_nodes(seed.iter().copied())
         } else {
-            self.eval_body(body, seed, &mut stats)?
+            NodeSet::from_nodes(self.eval_body(body, seed, &mut stats)?)
         };
-        let mut delta = res.clone();
+        // Mu feeds the whole accumulator back each round and needs it in
+        // document order; MuDelta instead tracks ∆ (starting as a copy of
+        // the initial accumulation) and only materializes that.  Each
+        // strategy pays only for the state it reads.
+        let (mut res_vec, mut delta) = match strategy {
+            MuStrategy::Mu => (res.to_vec(self.store), NodeSet::new()),
+            MuStrategy::MuDelta => (Vec::new(), res.clone()),
+        };
         loop {
             if stats.iterations >= self.max_iterations {
                 return Err(AlgebraError::NoFixpoint {
@@ -606,25 +609,30 @@ impl<'s> Executor<'s> {
             stats.iterations += 1;
             match strategy {
                 MuStrategy::Mu => {
-                    let step = self.eval_body(body, &res, &mut stats)?;
-                    let next = xqy_xdm::node_union(self.store, &step, &res);
-                    if next == res {
+                    let step = self.eval_body(body, &res_vec, &mut stats)?;
+                    let mut fresh = NodeSet::from_nodes(step);
+                    fresh.except_in_place(&res);
+                    if fresh.is_empty() {
                         break;
                     }
-                    res = next;
+                    res.union_in_place(&fresh);
+                    res_vec = res.to_vec(self.store);
                 }
                 MuStrategy::MuDelta => {
-                    let step = self.eval_body(body, &delta, &mut stats)?;
-                    delta = xqy_xdm::node_except(self.store, &step, &res);
+                    let delta_vec = delta.to_vec(self.store);
+                    let step = self.eval_body(body, &delta_vec, &mut stats)?;
+                    delta = NodeSet::from_nodes(step);
+                    delta.except_in_place(&res);
                     if delta.is_empty() {
+                        res_vec = res.to_vec(self.store);
                         break;
                     }
-                    res = xqy_xdm::node_union(self.store, &delta, &res);
+                    res.union_in_place(&delta);
                 }
             }
         }
         stats.result_rows = res.len();
-        Ok((Table::from_nodes(&res), stats))
+        Ok((Table::from_nodes(&res_vec), stats))
     }
 
     fn eval_body(
@@ -637,9 +645,7 @@ impl<'s> Executor<'s> {
         stats.body_evaluations += 1;
         let rec = Table::from_nodes(input);
         let out = self.eval_plan(body, &rec)?;
-        let mut nodes = out.item_nodes();
-        self.store.sort_distinct(&mut nodes);
-        Ok(nodes)
+        Ok(out.item_nodes())
     }
 }
 
@@ -649,11 +655,19 @@ fn apply_fun(kind: FunKind, left: &Value, right: &Value) -> Value {
         FunKind::Ne => Value::Bool(left.as_key() != right.as_key()),
         FunKind::Lt | FunKind::Gt => {
             let (l, r) = (numeric(left), numeric(right));
-            Value::Bool(if matches!(kind, FunKind::Lt) { l < r } else { l > r })
+            Value::Bool(if matches!(kind, FunKind::Lt) {
+                l < r
+            } else {
+                l > r
+            })
         }
         FunKind::Add | FunKind::Sub => {
             let (l, r) = (numeric(left), numeric(right));
-            Value::Int(if matches!(kind, FunKind::Add) { l + r } else { l - r })
+            Value::Int(if matches!(kind, FunKind::Add) {
+                l + r
+            } else {
+                l - r
+            })
         }
     }
 }
@@ -779,7 +793,10 @@ mod tests {
             vec![rec],
         );
         let keep = plan.add(
-            Operator::Project(vec![("node".into(), "item".into()), ("item".into(), "item".into())]),
+            Operator::Project(vec![
+                ("node".into(), "item".into()),
+                ("item".into(), "item".into()),
+            ]),
             vec![courses],
         );
         let attr = plan.add(Operator::AttrValue("code".into()), vec![keep]);
@@ -790,7 +807,10 @@ mod tests {
             },
             vec![attr],
         );
-        let back = plan.add(Operator::Project(vec![("item".into(), "node".into())]), vec![select]);
+        let back = plan.add(
+            Operator::Project(vec![("item".into(), "node".into())]),
+            vec![select],
+        );
         plan.set_root(back);
 
         let mut exec = Executor::new(&mut store);
@@ -829,7 +849,8 @@ mod tests {
 
         let (naive_result, naive_stats) = {
             let mut exec = Executor::new(&mut store);
-            exec.run_fixpoint(&plan, &seed, MuStrategy::Mu, false).unwrap()
+            exec.run_fixpoint(&plan, &seed, MuStrategy::Mu, false)
+                .unwrap()
         };
         let (delta_result, delta_stats) = {
             let mut exec = Executor::new(&mut store);
@@ -866,7 +887,10 @@ mod tests {
             vec![curriculum],
         );
         let keep = plan.add(
-            Operator::Project(vec![("node".into(), "item".into()), ("item".into(), "item".into())]),
+            Operator::Project(vec![
+                ("node".into(), "item".into()),
+                ("item".into(), "item".into()),
+            ]),
             vec![courses],
         );
         let attr = plan.add(Operator::AttrValue("code".into()), vec![keep]);
@@ -877,7 +901,10 @@ mod tests {
             },
             vec![attr],
         );
-        let seed = plan.add(Operator::Project(vec![("item".into(), "node".into())]), vec![select]);
+        let seed = plan.add(
+            Operator::Project(vec![("item".into(), "node".into())]),
+            vec![select],
+        );
         // Body: the Q1 recursion body.
         let rec = plan.add(Operator::RecInput, vec![]);
         let prereq = plan.add(
@@ -902,7 +929,9 @@ mod tests {
         let doc_id = store.doc("curriculum.xml").unwrap();
         let mut exec = Executor::new(&mut store);
         exec.set_context_doc(doc_id);
-        let result = exec.eval_plan(&plan, &Table::new(vec!["item".into()])).unwrap();
+        let result = exec
+            .eval_plan(&plan, &Table::new(vec!["item".into()]))
+            .unwrap();
         assert_eq!(result.len(), 3);
     }
 
@@ -914,7 +943,10 @@ mod tests {
             Operator::Literal(vec!["a".into(), "b".into(), "c".into()]),
             vec![],
         );
-        let right = plan.add(Operator::Literal(vec!["b".into(), "c".into(), "d".into()]), vec![]);
+        let right = plan.add(
+            Operator::Literal(vec!["b".into(), "c".into(), "d".into()]),
+            vec![],
+        );
         let join = plan.add(
             Operator::Join {
                 left: "item".into(),
@@ -925,7 +957,9 @@ mod tests {
         let count = plan.add(Operator::Count { group_by: None }, vec![join]);
         plan.set_root(count);
         let mut exec = Executor::new(&mut store);
-        let result = exec.eval_plan(&plan, &Table::new(vec!["item".into()])).unwrap();
+        let result = exec
+            .eval_plan(&plan, &Table::new(vec!["item".into()]))
+            .unwrap();
         assert_eq!(result.rows[0][0], Value::Int(2));
     }
 
@@ -933,12 +967,17 @@ mod tests {
     fn union_difference_and_distinct() {
         let mut store = NodeStore::new();
         let mut plan = Plan::new();
-        let a = plan.add(Operator::Literal(vec!["x".into(), "y".into(), "y".into()]), vec![]);
+        let a = plan.add(
+            Operator::Literal(vec!["x".into(), "y".into(), "y".into()]),
+            vec![],
+        );
         let b = plan.add(Operator::Literal(vec!["y".into(), "z".into()]), vec![]);
         let union = plan.add(Operator::Union, vec![a, b]);
         plan.set_root(union);
         let mut exec = Executor::new(&mut store);
-        let result = exec.eval_plan(&plan, &Table::new(vec!["item".into()])).unwrap();
+        let result = exec
+            .eval_plan(&plan, &Table::new(vec!["item".into()]))
+            .unwrap();
         assert_eq!(result.len(), 3); // x, y, z — set semantics
 
         let mut plan2 = Plan::new();
@@ -946,7 +985,9 @@ mod tests {
         let b = plan2.add(Operator::Literal(vec!["y".into()]), vec![]);
         let diff = plan2.add(Operator::Difference, vec![a, b]);
         plan2.set_root(diff);
-        let result = exec.eval_plan(&plan2, &Table::new(vec!["item".into()])).unwrap();
+        let result = exec
+            .eval_plan(&plan2, &Table::new(vec!["item".into()]))
+            .unwrap();
         assert_eq!(result.len(), 1);
         assert_eq!(result.rows[0][0], Value::Str("x".into()));
     }
@@ -962,7 +1003,9 @@ mod tests {
         let ite = plan.add(Operator::IfThenElse, vec![cond, then_branch, else_branch]);
         plan.set_root(ite);
         let mut exec = Executor::new(&mut store);
-        let result = exec.eval_plan(&plan, &Table::new(vec!["item".into()])).unwrap();
+        let result = exec
+            .eval_plan(&plan, &Table::new(vec!["item".into()]))
+            .unwrap();
         assert_eq!(result.rows[0][0], Value::Str("then".into()));
     }
 

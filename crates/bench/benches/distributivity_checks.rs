@@ -12,7 +12,10 @@ fn bench(c: &mut Criterion) {
         ("q1", "$x/id(./prerequisites/pre_code)"),
         ("q2", "if (count($x/self::a)) then $x/* else ()"),
         ("bidder", xqy_datagen::auction::BODY),
-        ("union", "$x/child::a union $x/descendant::b union $x/following-sibling::c"),
+        (
+            "union",
+            "$x/child::a union $x/descendant::b union $x/following-sibling::c",
+        ),
     ];
     let mut group = c.benchmark_group("distributivity_checks");
     for (name, src) in bodies {

@@ -1,0 +1,113 @@
+//! Micro-benchmark: the bitset [`NodeSet`] kernel vs. the pre-NodeSet
+//! `Vec`/`HashSet` node-set operations (`xqy_xdm::ops::baseline`), over the
+//! operation mix of one Delta iteration (`except` + `union` + equality) at
+//! 10³–10⁶ nodes.
+//!
+//! Three shapes per operation, so the numbers answer distinct questions:
+//!
+//! * `*/baseline`  — the old slice implementation (sort / `HashSet`), from
+//!   raw slices: what the engine used to pay.
+//! * `*/slice`     — the shipped `xqy_xdm::ops` slice API, from raw slices
+//!   (includes `NodeSet` construction + document-order materialization):
+//!   what the general evaluator pays now.
+//! * `*/prebuilt`  — the word-parallel op alone on already-built sets: what
+//!   the fixpoint drivers pay per iteration, since they keep their
+//!   accumulators as persistent `NodeSet`s.
+//!
+//! Run with `CRITERION_JSON=BENCH_nodeset.json cargo bench -p xqy_bench
+//! --bench nodeset` to record the baseline the ROADMAP tracks.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use xqy_xdm::ops::{self, baseline};
+use xqy_xdm::{NodeId, NodeSet, NodeStore};
+
+/// A store with one flat document of `n` element children, returning the
+/// children split into two half-overlapping operand vectors.
+fn operands(n: usize) -> (NodeStore, Vec<NodeId>, Vec<NodeId>) {
+    let mut xml = String::with_capacity(n * 4 + 16);
+    xml.push_str("<r>");
+    for _ in 0..n {
+        xml.push_str("<c/>");
+    }
+    xml.push_str("</r>");
+    let mut store = NodeStore::new();
+    let doc = store.parse_document(&xml).unwrap();
+    let root = store.document_element(doc).unwrap();
+    let kids = store.children(root);
+    // a: first 3/4 of the nodes; b: last half — 50% overlap at every size.
+    let a = kids[..n * 3 / 4].to_vec();
+    let b = kids[n / 2..].to_vec();
+    (store, a, b)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nodeset");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000, 100_000, 1_000_000] {
+        let (mut store, a, b) = operands(n);
+
+        group.bench_with_input(BenchmarkId::new("union/baseline", n), &n, |bench, _| {
+            bench.iter(|| baseline::node_union(&mut store, black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("union/slice", n), &n, |bench, _| {
+            bench.iter(|| ops::node_union(&mut store, black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("union/prebuilt", n), &n, |bench, _| {
+            let sa = NodeSet::from_nodes(a.iter().copied());
+            let sb = NodeSet::from_nodes(b.iter().copied());
+            bench.iter(|| black_box(&sa).union(black_box(&sb)))
+        });
+
+        group.bench_with_input(BenchmarkId::new("except/baseline", n), &n, |bench, _| {
+            bench.iter(|| baseline::node_except(&mut store, black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("except/slice", n), &n, |bench, _| {
+            bench.iter(|| ops::node_except(&mut store, black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("except/prebuilt", n), &n, |bench, _| {
+            let sa = NodeSet::from_nodes(a.iter().copied());
+            let sb = NodeSet::from_nodes(b.iter().copied());
+            bench.iter(|| black_box(&sa).except(black_box(&sb)))
+        });
+
+        group.bench_with_input(BenchmarkId::new("set_equal/baseline", n), &n, |bench, _| {
+            bench.iter(|| baseline::set_equal(&mut store, black_box(&a), black_box(&a)))
+        });
+        group.bench_with_input(BenchmarkId::new("set_equal/slice", n), &n, |bench, _| {
+            bench.iter(|| ops::set_equal(black_box(&a), black_box(&a)))
+        });
+        group.bench_with_input(BenchmarkId::new("set_equal/prebuilt", n), &n, |bench, _| {
+            let sa = NodeSet::from_nodes(a.iter().copied());
+            let sa2 = sa.clone();
+            bench.iter(|| black_box(&sa) == black_box(&sa2))
+        });
+
+        // The full Delta-iteration mix, end to end, including the NodeSet
+        // construction from the body's output slice — the shape
+        // `xqy_eval::fixpoint::delta` actually executes.
+        group.bench_with_input(
+            BenchmarkId::new("delta_iter/baseline", n),
+            &n,
+            |bench, _| {
+                bench.iter(|| {
+                    let delta = baseline::node_except(&mut store, black_box(&b), black_box(&a));
+                    let res = baseline::node_union(&mut store, &delta, black_box(&a));
+                    black_box((delta.is_empty(), res.len()))
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("delta_iter/nodeset", n), &n, |bench, _| {
+            let res = NodeSet::from_nodes(a.iter().copied());
+            bench.iter(|| {
+                let mut delta = NodeSet::from_nodes(black_box(&b).iter().copied());
+                delta.except_in_place(&res);
+                let merged = res.union(&delta);
+                black_box((delta.is_empty(), merged.len()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -38,7 +38,8 @@ fn main() {
                 cells.push(run_cell(&mut engine, &workload, backend, algorithm));
             }
         }
-        let (alg_naive, alg_delta, src_naive, src_delta) = (&cells[0], &cells[1], &cells[2], &cells[3]);
+        let (alg_naive, alg_delta, src_naive, src_delta) =
+            (&cells[0], &cells[1], &cells[2], &cells[3]);
         assert_eq!(alg_naive.result_size, alg_delta.result_size);
         assert_eq!(src_naive.result_size, src_delta.result_size);
         println!(
@@ -54,8 +55,6 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "(speed-ups: Delta vs Naive per back-end; 'fed' columns are the engine-independent"
-    );
+    println!("(speed-ups: Delta vs Naive per back-end; 'fed' columns are the engine-independent");
     println!(" 'Total # of Nodes Fed Back' of the paper's Table 2.)");
 }

@@ -85,7 +85,10 @@ impl Workload {
                 self.seed_query, self.body
             )
         } else {
-            format!("with $x seeded by {} recurse {}", self.seed_query, self.body)
+            format!(
+                "with $x seeded by {} recurse {}",
+                self.seed_query, self.body
+            )
         }
     }
 }
@@ -172,7 +175,12 @@ pub fn engine_for(workload: &Workload) -> Engine {
 }
 
 /// Run one cell: `workload` × `backend` × `algorithm`.
-pub fn run_cell(engine: &mut Engine, workload: &Workload, backend: Backend, algorithm: Algorithm) -> CellResult {
+pub fn run_cell(
+    engine: &mut Engine,
+    workload: &Workload,
+    backend: Backend,
+    algorithm: Algorithm,
+) -> CellResult {
     match backend {
         Backend::SourceLevel => {
             engine.set_strategy(match algorithm {
@@ -210,9 +218,7 @@ pub fn run_cell(engine: &mut Engine, workload: &Workload, backend: Backend, algo
                 // One fixpoint per seed node, as in Figure 10; aggregate the
                 // statistics over all of them.
                 let seeds = {
-                    let outcome = engine
-                        .run(&workload.seed_query)
-                        .expect("seed query runs");
+                    let outcome = engine.run(&workload.seed_query).expect("seed query runs");
                     outcome.result.nodes()
                 };
                 let mut result_size = 0usize;
@@ -253,10 +259,7 @@ pub fn run_cell(engine: &mut Engine, workload: &Workload, backend: Backend, algo
 /// The rows of Table 2 at "quick" scales (small/medium); `full` adds the
 /// large and huge instances.
 pub fn table2_rows(full: bool) -> Vec<Workload> {
-    let mut rows = vec![
-        bidder_network(Scale::Small),
-        bidder_network(Scale::Medium),
-    ];
+    let mut rows = vec![bidder_network(Scale::Small), bidder_network(Scale::Medium)];
     if full {
         rows.push(bidder_network(Scale::Large));
         rows.push(bidder_network(Scale::Huge));
@@ -266,7 +269,11 @@ pub fn table2_rows(full: bool) -> Vec<Workload> {
     if full {
         rows.push(curriculum_workload(Scale::Large));
     }
-    rows.push(hospital_workload(if full { Scale::Large } else { Scale::Medium }));
+    rows.push(hospital_workload(if full {
+        Scale::Large
+    } else {
+        Scale::Medium
+    }));
     rows
 }
 
@@ -294,8 +301,18 @@ mod tests {
     fn delta_feeds_back_fewer_nodes_on_the_bidder_network() {
         let workload = bidder_network(Scale::Small);
         let mut engine = engine_for(&workload);
-        let naive = run_cell(&mut engine, &workload, Backend::SourceLevel, Algorithm::Naive);
-        let delta = run_cell(&mut engine, &workload, Backend::SourceLevel, Algorithm::Delta);
+        let naive = run_cell(
+            &mut engine,
+            &workload,
+            Backend::SourceLevel,
+            Algorithm::Naive,
+        );
+        let delta = run_cell(
+            &mut engine,
+            &workload,
+            Backend::SourceLevel,
+            Algorithm::Delta,
+        );
         assert_eq!(naive.result_size, delta.result_size);
         assert!(delta.nodes_fed_back < naive.nodes_fed_back);
     }

@@ -114,7 +114,12 @@ mod tests {
 
     #[test]
     fn closure_bodies_are_always_distributive() {
-        for step in ["child::a", "descendant::b/@ref", "parent::node()", "following-sibling::s"] {
+        for step in [
+            "child::a",
+            "descendant::b/@ref",
+            "parent::node()",
+            "following-sibling::s",
+        ] {
             let expr = transitive_closure("doc('d.xml')//seed", step).unwrap();
             match expr {
                 Expr::Fixpoint { body, .. } => {

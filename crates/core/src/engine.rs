@@ -135,7 +135,12 @@ impl Engine {
 
     /// Load a document and declare additional ID-typed attribute names
     /// (mirroring DTD `#ID` declarations such as the curriculum's `code`).
-    pub fn load_document_with_ids(&mut self, uri: &str, xml: &str, id_attrs: &[&str]) -> Result<()> {
+    pub fn load_document_with_ids(
+        &mut self,
+        uri: &str,
+        xml: &str,
+        id_attrs: &[&str],
+    ) -> Result<()> {
         let doc = self
             .store
             .parse_document_with_uri(uri, xml)

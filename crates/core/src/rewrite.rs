@@ -207,7 +207,7 @@ fn map_children(expr: &Expr, f: &mut impl FnMut(&Expr) -> Expr) -> Expr {
         Expr::Literal(_) | Expr::EmptySequence | Expr::VarRef(_) | Expr::ContextItem => {
             expr.clone()
         }
-        Expr::Sequence(items) => Expr::Sequence(items.iter().map(|e| f(e)).collect()),
+        Expr::Sequence(items) => Expr::Sequence(items.iter().map(&mut *f).collect()),
         Expr::If {
             cond,
             then_branch,
@@ -278,15 +278,15 @@ fn map_children(expr: &Expr, f: &mut impl FnMut(&Expr) -> Expr) -> Expr {
         } => Expr::AxisStep {
             axis: *axis,
             test: test.clone(),
-            predicates: predicates.iter().map(|p| f(p)).collect(),
+            predicates: predicates.iter().map(&mut *f).collect(),
         },
         Expr::Filter { input, predicates } => Expr::Filter {
             input: Box::new(f(input)),
-            predicates: predicates.iter().map(|p| f(p)).collect(),
+            predicates: predicates.iter().map(&mut *f).collect(),
         },
         Expr::FunctionCall { name, args } => Expr::FunctionCall {
             name: name.clone(),
-            args: args.iter().map(|a| f(a)).collect(),
+            args: args.iter().map(&mut *f).collect(),
         },
         Expr::DirectElement {
             name,
@@ -411,7 +411,11 @@ mod tests {
                     (with $y seeded by $p recurse $y/id(./prerequisites/pre_code)))";
         let module = parse_query(src).unwrap();
         let rewritten = rewrite_fixpoints_to_functions(&module, RewriteStyle::Naive);
-        let names: Vec<&str> = rewritten.functions.iter().map(|f| f.name.as_str()).collect();
+        let names: Vec<&str> = rewritten
+            .functions
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
         assert!(names.contains(&"local:fix_0"));
         assert!(names.contains(&"local:fix_1"));
         assert_eq!(rewritten.functions.len(), 4);

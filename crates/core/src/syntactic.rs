@@ -48,11 +48,7 @@ impl DsJudgement {
 /// Check whether `expr` is distributivity-safe for variable `var`
 /// (`ds_$var(expr)` of Figure 5).  `functions` supplies the bodies of
 /// user-defined functions for the `FUNCALL` rule.
-pub fn is_distributivity_safe(
-    expr: &Expr,
-    var: &str,
-    functions: &[FunctionDecl],
-) -> DsJudgement {
+pub fn is_distributivity_safe(expr: &Expr, var: &str, functions: &[FunctionDecl]) -> DsJudgement {
     let map: HashMap<&str, &FunctionDecl> = functions
         .iter()
         .map(|f| (strip_prefix(&f.name), f))
@@ -205,7 +201,11 @@ fn ds(
                 )),
             }
         }
-        Expr::Let { var: v, value, body } => {
+        Expr::Let {
+            var: v,
+            value,
+            body,
+        } => {
             let value_has = value.has_free_var(var);
             let body_has = v != var && body.has_free_var(var);
             match (value_has, body_has) {
@@ -283,9 +283,7 @@ fn ds(
             // The context item of an axis step ranges over single items, so
             // predicates are harmless unless they mention $x.
             if predicates.iter().any(|p| p.has_free_var(var)) {
-                DsJudgement::unsafe_because(format!(
-                    "${var} occurs free in a step predicate"
-                ))
+                DsJudgement::unsafe_because(format!("${var} occurs free in a step predicate"))
             } else {
                 DsJudgement::safe("STEP")
             }
@@ -301,7 +299,9 @@ fn ds(
                 DsJudgement::safe("INDEPENDENT")
             }
         }
-        Expr::Quantified { seq, cond, var: v, .. } => {
+        Expr::Quantified {
+            seq, cond, var: v, ..
+        } => {
             // some/every quantify over their range; as long as $x is not
             // inspected as a whole by the condition, treat like FOR.
             if cond.has_free_var(var) && v != var {
@@ -357,8 +357,16 @@ fn ds(
                     // functions inspect the whole sequence.
                     let itemwise = matches!(
                         local,
-                        "data" | "string" | "id" | "idref" | "name" | "local-name" | "root"
-                            | "number" | "ddo" | "distinct-doc-order"
+                        "data"
+                            | "string"
+                            | "id"
+                            | "idref"
+                            | "name"
+                            | "local-name"
+                            | "root"
+                            | "number"
+                            | "ddo"
+                            | "distinct-doc-order"
                     );
                     if itemwise {
                         for arg in args {
@@ -380,7 +388,11 @@ fn ds(
             "arithmetic over ${var} requires a singleton sequence"
         )),
         Expr::RootPath { .. } => DsJudgement::safe("CONST"),
-        Expr::Fixpoint { seed, body, var: inner } => {
+        Expr::Fixpoint {
+            seed,
+            body,
+            var: inner,
+        } => {
             // A nested IFP: safe if $x only flows into the seed and the
             // nested body is well-behaved for its own variable.
             if body.has_free_var(var) && inner != var {
@@ -491,7 +503,9 @@ mod tests {
 
     #[test]
     fn typeswitch_rule() {
-        assert!(check("typeswitch (doc('d.xml')) case element(a) return $x/a default return $x/b").safe);
+        assert!(
+            check("typeswitch (doc('d.xml')) case element(a) return $x/a default return $x/b").safe
+        );
         assert!(!check("typeswitch ($x) case element(a) return 1 default return 2").safe);
     }
 
@@ -511,7 +525,11 @@ mod tests {
             other => panic!("expected fixpoint, got {other:?}"),
         };
         let j = is_distributivity_safe(&body, "x", &module.functions);
-        assert!(j.safe, "bidder() body should be distributivity-safe: {}", j.rule);
+        assert!(
+            j.safe,
+            "bidder() body should be distributivity-safe: {}",
+            j.rule
+        );
     }
 
     #[test]

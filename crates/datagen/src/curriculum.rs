@@ -62,7 +62,7 @@ pub fn generate(config: &CurriculumConfig) -> String {
             let count = rng.gen_range(1..=config.max_prerequisites.max(1));
             for _ in 0..count {
                 // Bias towards nearby predecessors: deep chains, few fan-ins.
-                let span = (i / 4).max(1).min(32);
+                let span = (i / 4).clamp(1, 32);
                 let target = i - 1 - rng.gen_range(0..span.min(i));
                 out.push_str(&format!("<pre_code>c{target}</pre_code>"));
             }

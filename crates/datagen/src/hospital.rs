@@ -76,8 +76,7 @@ pub fn generate(config: &HospitalConfig) -> String {
             if !previous_generation.is_empty() {
                 let parents = rng.gen_range(1..=2usize);
                 for _ in 0..parents {
-                    let parent =
-                        previous_generation[rng.gen_range(0..previous_generation.len())];
+                    let parent = previous_generation[rng.gen_range(0..previous_generation.len())];
                     out.push_str(&format!("<parentref ref=\"pt{parent}\"/>"));
                 }
             }
@@ -108,9 +107,7 @@ pub fn ancestors_query(patient_id: &str) -> String {
 /// A whole-population variant: ancestors of every diseased patient (this is
 /// what the benchmark uses — one fixpoint seeded with all marked patients).
 pub fn hereditary_query() -> String {
-    format!(
-        "with $x seeded by doc('{DOC_URI}')/hospital/patient[@disease='yes'] recurse {BODY}"
-    )
+    format!("with $x seeded by doc('{DOC_URI}')/hospital/patient[@disease='yes'] recurse {BODY}")
 }
 
 #[cfg(test)]

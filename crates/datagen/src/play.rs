@@ -118,9 +118,7 @@ pub const BODY: &str = "$x/id(./@cont)";
 /// each recursion level adds the next speech of every still-running dialog,
 /// so the recursion depth equals the maximum dialog length minus one.
 pub fn dialogs_query() -> String {
-    format!(
-        "with $x seeded by doc('{DOC_URI}')//SPEECH[@start='1'] recurse {BODY}"
-    )
+    format!("with $x seeded by doc('{DOC_URI}')//SPEECH[@start='1'] recurse {BODY}")
 }
 
 /// The paper's headline number for this workload: the maximum length of any

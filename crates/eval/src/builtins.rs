@@ -227,7 +227,9 @@ pub fn call_builtin(
         ))),
         ("name" | "local-name" | "node-name", 0 | 1) => {
             let item = if args.is_empty() {
-                focus.map(|f| f.item.clone()).ok_or(EvalError::MissingContextItem)?
+                focus
+                    .map(|f| f.item.clone())
+                    .ok_or(EvalError::MissingContextItem)?
             } else if args[0].is_empty() {
                 return Ok(Sequence::singleton(Item::string("")));
             } else {
@@ -246,14 +248,18 @@ pub fn call_builtin(
                     _ => String::new(),
                 },
                 None => {
-                    return Err(EvalError::Type(format!("{name}() requires a node argument")))
+                    return Err(EvalError::Type(format!(
+                        "{name}() requires a node argument"
+                    )))
                 }
             };
             Ok(Sequence::singleton(Item::string(name)))
         }
         ("root", 0 | 1) => {
             let item = if args.is_empty() {
-                focus.map(|f| f.item.clone()).ok_or(EvalError::MissingContextItem)?
+                focus
+                    .map(|f| f.item.clone())
+                    .ok_or(EvalError::MissingContextItem)?
             } else if args[0].is_empty() {
                 return Ok(Sequence::empty());
             } else {
@@ -280,17 +286,16 @@ pub fn call_builtin(
         ("id" | "idref", 1 | 2) => {
             // id(values) uses the context node's document; id(values, node)
             // uses the supplied node's document.
-            let anchor = if args.len() == 2 {
-                args[1]
-                    .nodes()
-                    .first()
-                    .copied()
-                    .ok_or_else(|| EvalError::Type("id(): second argument must be a node".into()))?
-            } else {
-                focus
-                    .and_then(|f| f.item.as_node())
-                    .ok_or(EvalError::MissingContextItem)?
-            };
+            let anchor =
+                if args.len() == 2 {
+                    args[1].nodes().first().copied().ok_or_else(|| {
+                        EvalError::Type("id(): second argument must be a node".into())
+                    })?
+                } else {
+                    focus
+                        .and_then(|f| f.item.as_node())
+                        .ok_or(EvalError::MissingContextItem)?
+                };
             let values = eval.atomize(&args[0]);
             let nodes = eval.lookup_ids(anchor, &values);
             Ok(Sequence::from_nodes(nodes))
@@ -460,9 +465,9 @@ fn numeric_unary(eval: &Evaluator<'_>, seq: &Sequence, f: impl Fn(f64) -> f64) -
         None => Ok(Sequence::empty()),
         Some(a) => {
             let v = f(a.to_double());
-            if matches!(a, AtomicValue::Integer(_)) {
-                Ok(Sequence::singleton(Item::integer(v as i64)))
-            } else if v.fract() == 0.0 && v.is_finite() {
+            // Integer inputs, and doubles that land on a whole finite
+            // value, come back as integers.
+            if matches!(a, AtomicValue::Integer(_)) || (v.fract() == 0.0 && v.is_finite()) {
                 Ok(Sequence::singleton(Item::integer(v as i64)))
             } else {
                 Ok(Sequence::singleton(Item::double(v)))
@@ -471,11 +476,7 @@ fn numeric_unary(eval: &Evaluator<'_>, seq: &Sequence, f: impl Fn(f64) -> f64) -
     }
 }
 
-fn aggregate(
-    atoms: &[AtomicValue],
-    f: impl Fn(f64, f64) -> f64,
-    init: f64,
-) -> Result<Sequence> {
+fn aggregate(atoms: &[AtomicValue], f: impl Fn(f64, f64) -> f64, init: f64) -> Result<Sequence> {
     let all_integer = atoms.iter().all(|a| matches!(a, AtomicValue::Integer(_)));
     let mut acc = init;
     for a in atoms {
@@ -589,7 +590,10 @@ mod tests {
         assert_eq!(one_string(&eval("substring-after('a-b', '-')")), "b");
         assert_eq!(one_string(&eval("string-join(('a', 'b'), '/')")), "a/b");
         assert_eq!(one_string(&eval("normalize-space('  a   b ')")), "a b");
-        assert_eq!(eval("contains('abc', 'bc')").items()[0], Item::boolean(true));
+        assert_eq!(
+            eval("contains('abc', 'bc')").items()[0],
+            Item::boolean(true)
+        );
         assert_eq!(
             eval("starts-with('abc', 'ab')").items()[0],
             Item::boolean(true)
@@ -603,10 +607,7 @@ mod tests {
         assert_eq!(one_int(&eval("sum(())")), 0);
         assert_eq!(one_int(&eval("max((3, 9, 2))")), 9);
         assert_eq!(one_int(&eval("min((3, 9, 2))")), 2);
-        assert_eq!(
-            eval("avg((1, 2, 3, 4))").items()[0],
-            Item::double(2.5)
-        );
+        assert_eq!(eval("avg((1, 2, 3, 4))").items()[0], Item::double(2.5));
         assert_eq!(one_int(&eval("abs(-5)")), 5);
         assert_eq!(one_int(&eval("floor(2.9)")), 2);
         assert_eq!(one_int(&eval("ceiling(2.1)")), 3);

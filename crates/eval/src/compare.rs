@@ -5,8 +5,8 @@
 
 use std::cmp::Ordering;
 
-use xqy_xdm::{AtomicValue, Item, Sequence};
 use xqy_parser::BinaryOp;
+use xqy_xdm::{AtomicValue, Item, Sequence};
 
 use crate::error::EvalError;
 use crate::Result;
@@ -73,12 +73,16 @@ pub fn general_pair_compare(op: BinaryOp, lhs: &AtomicValue, rhs: &AtomicValue) 
 /// XQuery type promotion rules allow it; `div` always yields a double,
 /// `idiv` always an integer.
 pub fn arithmetic(op: BinaryOp, lhs: &AtomicValue, rhs: &AtomicValue) -> Result<AtomicValue> {
-    let both_integer = matches!(lhs, AtomicValue::Integer(_)) && matches!(rhs, AtomicValue::Integer(_));
+    let both_integer =
+        matches!(lhs, AtomicValue::Integer(_)) && matches!(rhs, AtomicValue::Integer(_));
     let l = lhs.to_double();
     let r = rhs.to_double();
     if l.is_nan() || r.is_nan() {
         // Arithmetic on non-numeric strings is a type error in XQuery.
-        if !lhs.is_numeric() && !matches!(lhs, AtomicValue::Untyped(_)) && !matches!(lhs, AtomicValue::String(_)) {
+        if !lhs.is_numeric()
+            && !matches!(lhs, AtomicValue::Untyped(_))
+            && !matches!(lhs, AtomicValue::String(_))
+        {
             return Err(EvalError::Type(format!(
                 "cannot apply {} to non-numeric value",
                 op.symbol()

@@ -87,7 +87,9 @@ fn create_detached_attribute(
     // The store only creates attributes attached to elements; emulate a
     // detached attribute by creating a scratch element and taking its
     // attribute node (the scratch element is unreachable from queries).
-    let scratch = eval.store.create_element(frag, QName::local("fn:attr-holder"));
+    let scratch = eval
+        .store
+        .create_element(frag, QName::local("fn:attr-holder"));
     eval.store
         .add_attribute(scratch, QName::parse(name), value)
         .expect("scratch element accepts attributes")
@@ -109,7 +111,9 @@ fn append_content(eval: &mut Evaluator<'_>, element: NodeId, value: &Sequence) -
             }
             Item::Node(n) => {
                 if !pending_text.is_empty() {
-                    let t = eval.store.create_text(frag, std::mem::take(&mut pending_text));
+                    let t = eval
+                        .store
+                        .create_text(frag, std::mem::take(&mut pending_text));
                     eval.store.append_child(element, t)?;
                 }
                 match eval.store.kind(*n).clone() {
@@ -179,7 +183,10 @@ mod tests {
 
     #[test]
     fn direct_element_with_text_and_nested_elements() {
-        assert_eq!(eval_to_xml("<a x=\"1\">hi<b/></a>"), "<a x=\"1\">hi<b/></a>");
+        assert_eq!(
+            eval_to_xml("<a x=\"1\">hi<b/></a>"),
+            "<a x=\"1\">hi<b/></a>"
+        );
     }
 
     #[test]
@@ -215,7 +222,9 @@ mod tests {
             .unwrap();
         let mut evaluator = Evaluator::new(&mut store);
         let result = evaluator
-            .eval_query_str("let $x := doc('d.xml')/r/x return <wrap>{ $x }</wrap>/x is doc('d.xml')/r/x")
+            .eval_query_str(
+                "let $x := doc('d.xml')/r/x return <wrap>{ $x }</wrap>/x is doc('d.xml')/r/x",
+            )
             .unwrap();
         assert_eq!(result.items()[0], Item::boolean(false));
     }
@@ -230,7 +239,9 @@ mod tests {
             .eval_query_str("count(distinct-values((text { 'c' } is text { 'c' })))")
             .unwrap();
         assert_eq!(result.len(), 1);
-        let result = evaluator.eval_query_str("text { 'c' } is text { 'c' }").unwrap();
+        let result = evaluator
+            .eval_query_str("text { 'c' } is text { 'c' }")
+            .unwrap();
         assert_eq!(result.items()[0], Item::boolean(false));
     }
 }

@@ -2,7 +2,9 @@
 
 use std::collections::HashMap;
 
-use xqy_parser::ast::{Expr, FunctionDecl, Literal, Occurrence, QueryModule, SequenceType, UnaryOp};
+use xqy_parser::ast::{
+    Expr, FunctionDecl, Literal, Occurrence, QueryModule, SequenceType, UnaryOp,
+};
 use xqy_parser::{parse_query, BinaryOp};
 use xqy_xdm::{
     ddo, intersect, node_except, node_union, AtomicValue, Item, NodeId, NodeKind, NodeStore,
@@ -117,8 +119,10 @@ impl<'s> Evaluator<'s> {
     /// subsequently evaluated expression).
     pub fn register_functions(&mut self, functions: &[FunctionDecl]) {
         for f in functions {
-            self.functions
-                .insert((strip_prefix(&f.name).to_string(), f.params.len()), f.clone());
+            self.functions.insert(
+                (strip_prefix(&f.name).to_string(), f.params.len()),
+                f.clone(),
+            );
         }
     }
 
@@ -484,12 +488,8 @@ impl<'s> Evaluator<'s> {
                 };
                 let result = match op {
                     BinaryOp::Is => a == b,
-                    BinaryOp::Precedes => {
-                        self.store.doc_order(a, b) == std::cmp::Ordering::Less
-                    }
-                    BinaryOp::Follows => {
-                        self.store.doc_order(a, b) == std::cmp::Ordering::Greater
-                    }
+                    BinaryOp::Precedes => self.store.doc_order(a, b) == std::cmp::Ordering::Less,
+                    BinaryOp::Follows => self.store.doc_order(a, b) == std::cmp::Ordering::Greater,
                     _ => unreachable!(),
                 };
                 Ok(Sequence::singleton(Item::boolean(result)))
@@ -534,9 +534,7 @@ impl<'s> Evaluator<'s> {
                     )));
                 }
                 Ok(Sequence::singleton(Item::boolean(value_compare(
-                    op,
-                    &latoms[0],
-                    &ratoms[0],
+                    op, &latoms[0], &ratoms[0],
                 )?)))
             }
             BinaryOp::Add
@@ -559,9 +557,7 @@ impl<'s> Evaluator<'s> {
                     )));
                 }
                 Ok(Sequence::singleton(Item::Atomic(arithmetic(
-                    op,
-                    &latoms[0],
-                    &ratoms[0],
+                    op, &latoms[0], &ratoms[0],
                 )?)))
             }
             other => Err(EvalError::Type(format!(
@@ -609,7 +605,11 @@ impl<'s> Evaluator<'s> {
             }
             return crate::builtins::call_builtin(self, local, &values, focus);
         }
-        if let Some(decl) = self.functions.get(&(local.to_string(), args.len())).cloned() {
+        if let Some(decl) = self
+            .functions
+            .get(&(local.to_string(), args.len()))
+            .cloned()
+        {
             let mut values = Vec::with_capacity(args.len());
             for a in args {
                 values.push(self.eval_expr(a, env, focus)?);
@@ -673,7 +673,9 @@ impl<'s> Evaluator<'s> {
         if t.item_type == "empty-sequence()" {
             return value.is_empty();
         }
-        value.iter().all(|item| self.item_matches_type(item, &t.item_type))
+        value
+            .iter()
+            .all(|item| self.item_matches_type(item, &t.item_type))
     }
 
     fn item_matches_type(&self, item: &Item, item_type: &str) -> bool {
@@ -821,7 +823,10 @@ mod tests {
 
     #[test]
     fn flwor_evaluation() {
-        assert_eq!(ints(&eval("for $x in 1 to 3 return $x * 10")), vec![10, 20, 30]);
+        assert_eq!(
+            ints(&eval("for $x in 1 to 3 return $x * 10")),
+            vec![10, 20, 30]
+        );
         assert_eq!(
             ints(&eval("for $x at $i in (5, 6, 7) return $i")),
             vec![1, 2, 3]
@@ -872,7 +877,10 @@ mod tests {
         assert_eq!(result.len(), 2);
         let (_, result) = eval_with_doc(doc, "doc('doc.xml')//pre_code");
         assert_eq!(result.len(), 1);
-        let (store, result) = eval_with_doc(doc, "doc('doc.xml')//course[@code='c1']/prerequisites/pre_code");
+        let (store, result) = eval_with_doc(
+            doc,
+            "doc('doc.xml')//course[@code='c1']/prerequisites/pre_code",
+        );
         assert_eq!(result.len(), 1);
         assert_eq!(store.string_value(result.nodes()[0]), "c2");
     }
@@ -912,8 +920,10 @@ mod tests {
         let (_, result) = eval_with_doc(doc, "doc('doc.xml')/r/* intersect doc('doc.xml')/r/b");
         assert_eq!(result.len(), 1);
         // Union removes duplicates and restores document order.
-        let (store, result) =
-            eval_with_doc(doc, "(doc('doc.xml')/r/c union doc('doc.xml')/r/a) union doc('doc.xml')/r/a");
+        let (store, result) = eval_with_doc(
+            doc,
+            "(doc('doc.xml')/r/c union doc('doc.xml')/r/a) union doc('doc.xml')/r/a",
+        );
         assert_eq!(result.len(), 2);
         assert_eq!(store.name(result.nodes()[0]).unwrap().local, "a");
     }
@@ -936,9 +946,7 @@ mod tests {
         );
         assert_eq!(ints(&result), vec![120]);
 
-        let result = eval(
-            "declare function twice($x) { ($x, $x) };\ncount(twice((1, 2, 3)))",
-        );
+        let result = eval("declare function twice($x) { ($x, $x) };\ncount(twice((1, 2, 3)))");
         assert_eq!(ints(&result), vec![6]);
     }
 

@@ -23,7 +23,7 @@
 //! algorithms genuinely differ, is reproduced in the tests below.
 
 use xqy_parser::ast::Expr;
-use xqy_xdm::{node_except, node_union, set_equal, NodeId, Sequence};
+use xqy_xdm::{NodeId, NodeSet, Sequence};
 
 use crate::context::Environment;
 use crate::error::EvalError;
@@ -175,6 +175,13 @@ fn check_limits(eval: &Evaluator<'_>, stats: &FixpointStats, result_len: usize) 
 
 /// Algorithm Naïve (Figure 3(a)), starting from the already-computed initial
 /// accumulation `initial`.
+///
+/// The accumulator is a [`NodeSet`] bitset; `union` is word-parallel and
+/// the `while res grows` test reduces to "did the step discover any node
+/// outside `res`" — union with an inflationary operand changes the set
+/// exactly when `step ∖ res` is non-empty, so no re-sort and no second
+/// set is ever built.  The document-ordered `Vec` fed to the recursion
+/// body is re-materialized only when the set actually grew.
 fn naive(
     eval: &mut Evaluator<'_>,
     var: &str,
@@ -183,21 +190,29 @@ fn naive(
     env: &mut Environment,
     stats: &mut FixpointStats,
 ) -> Result<Vec<NodeId>> {
-    let mut res = initial.to_vec();
+    let mut res = NodeSet::from_nodes(initial.iter().copied());
+    let mut res_vec = res.to_vec(eval.store);
     loop {
         check_limits(eval, stats, res.len())?;
         stats.iterations += 1;
-        let step = call_payload(eval, var, &res, body, env, stats)?;
-        let next = node_union(eval.store, &step, &res);
-        if set_equal(eval.store, &next, &res) {
-            return Ok(next);
+        let step = call_payload(eval, var, &res_vec, body, env, stats)?;
+        let mut fresh = NodeSet::from_nodes(step);
+        fresh.except_in_place(&res);
+        if fresh.is_empty() {
+            return Ok(res_vec);
         }
-        res = next;
+        res.union_in_place(&fresh);
+        res_vec = res.to_vec(eval.store);
     }
 }
 
 /// Algorithm Delta (Figure 3(b)), starting from the already-computed initial
 /// accumulation `initial`.
+///
+/// `∆ ← e_rec(∆) except res; res ← ∆ union res` — both on [`NodeSet`]
+/// bitsets, so the per-iteration set algebra is word-parallel and the
+/// termination test is an emptiness check.  Only the (usually small) `∆`
+/// is materialized into document order per iteration, to feed the body.
 fn delta(
     eval: &mut Evaluator<'_>,
     var: &str,
@@ -206,17 +221,19 @@ fn delta(
     env: &mut Environment,
     stats: &mut FixpointStats,
 ) -> Result<Vec<NodeId>> {
-    let mut res = initial.to_vec();
+    let mut res = NodeSet::from_nodes(initial.iter().copied());
     let mut delta = res.clone();
     loop {
         check_limits(eval, stats, res.len())?;
         stats.iterations += 1;
-        let step = call_payload(eval, var, &delta, body, env, stats)?;
-        delta = node_except(eval.store, &step, &res);
+        let delta_vec = delta.to_vec(eval.store);
+        let step = call_payload(eval, var, &delta_vec, body, env, stats)?;
+        delta = NodeSet::from_nodes(step);
+        delta.except_in_place(&res);
         if delta.is_empty() {
-            return Ok(res);
+            return Ok(res.to_vec(eval.store));
         }
-        res = node_union(eval.store, &delta, &res);
+        res.union_in_place(&delta);
     }
 }
 
@@ -449,7 +466,8 @@ mod tests {
         // call seeds the accumulator with rec($seed) so that the level-0
         // result is part of the answer (Figure 3(b): res ← e_rec(e_seed),
         // ∆ ← res).
-        let delta_src = "declare function rec($cs) as node()* { $cs/id(./prerequisites/pre_code) };\n\
+        let delta_src =
+            "declare function rec($cs) as node()* { $cs/id(./prerequisites/pre_code) };\n\
              declare function delta($x, $res) as node()* {\n\
                let $delta := rec($x) except $res\n\
                return if (empty($delta)) then $res else delta($delta, $delta union $res)\n\

@@ -564,7 +564,11 @@ impl Expr {
                     },
                 }
             }
-            Expr::Let { var: v, value, body } => {
+            Expr::Let {
+                var: v,
+                value,
+                body,
+            } => {
                 let new_value = Box::new(value.substitute_var(var, replacement));
                 Expr::Let {
                     var: v.clone(),
@@ -667,9 +671,9 @@ impl Expr {
                                     ConstructorContent::Text(t) => {
                                         ConstructorContent::Text(t.clone())
                                     }
-                                    ConstructorContent::Expr(e) => ConstructorContent::Expr(
-                                        e.substitute_var(var, replacement),
-                                    ),
+                                    ConstructorContent::Expr(e) => {
+                                        ConstructorContent::Expr(e.substitute_var(var, replacement))
+                                    }
                                 })
                                 .collect(),
                         )

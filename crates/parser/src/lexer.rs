@@ -277,9 +277,9 @@ impl<'a> Lexer<'a> {
             }
             b'$' => {
                 self.pos += 1;
-                let name = self.raw_name().map_err(|_| {
-                    ParseError::new(offset, "expected variable name after '$'")
-                })?;
+                let name = self
+                    .raw_name()
+                    .map_err(|_| ParseError::new(offset, "expected variable name after '$'"))?;
                 TokenKind::Variable(name)
             }
             b'"' | b'\'' => self.lex_string(offset)?,
@@ -422,22 +422,48 @@ mod tests {
         assert_eq!(
             toks,
             vec![
-                LParen, RParen, LBracket, RBracket, LBrace, RBrace, Comma, Semicolon, Assign,
-                DoubleColon, Slash, DoubleSlash, Dot, DotDot, At, Star, Plus, Minus, Eq, Ne, Lt,
-                Le, Gt, Ge, Precedes, Follows, Pipe, Question, Eof
+                LParen,
+                RParen,
+                LBracket,
+                RBracket,
+                LBrace,
+                RBrace,
+                Comma,
+                Semicolon,
+                Assign,
+                DoubleColon,
+                Slash,
+                DoubleSlash,
+                Dot,
+                DotDot,
+                At,
+                Star,
+                Plus,
+                Minus,
+                Eq,
+                Ne,
+                Lt,
+                Le,
+                Gt,
+                Ge,
+                Precedes,
+                Follows,
+                Pipe,
+                Question,
+                Eof
             ]
         );
     }
 
     #[test]
     fn lexes_literals_and_names() {
-        let toks = kinds("42 3.14 'it''s' \"a &amp; b\" $var fn:count pre_code");
+        let toks = kinds("42 2.75 'it''s' \"a &amp; b\" $var fn:count pre_code");
         use TokenKind::*;
         assert_eq!(
             toks,
             vec![
                 Integer(42),
-                Double(3.14),
+                Double(2.75),
                 String("it's".into()),
                 String("a & b".into()),
                 Variable("var".into()),

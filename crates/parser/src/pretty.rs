@@ -133,12 +133,9 @@ pub fn print_expr(expr: &Expr) -> String {
             }
             out
         }
-        Expr::Binary { op, lhs, rhs } => format!(
-            "({} {} {})",
-            print_expr(lhs),
-            op.symbol(),
-            print_expr(rhs)
-        ),
+        Expr::Binary { op, lhs, rhs } => {
+            format!("({} {} {})", print_expr(lhs), op.symbol(), print_expr(rhs))
+        }
         Expr::Unary { op, expr } => {
             let sym = match op {
                 UnaryOp::Minus => "-",
@@ -232,8 +229,8 @@ mod tests {
     fn roundtrip(src: &str) {
         let ast = parse_expr(src).unwrap();
         let printed = print_expr(&ast);
-        let reparsed = parse_expr(&printed)
-            .unwrap_or_else(|e| panic!("re-parse of {printed:?} failed: {e}"));
+        let reparsed =
+            parse_expr(&printed).unwrap_or_else(|e| panic!("re-parse of {printed:?} failed: {e}"));
         assert_eq!(ast, reparsed, "printed form: {printed}");
     }
 

@@ -34,6 +34,7 @@
 
 pub mod error;
 pub mod node;
+pub mod nodeset;
 pub mod ops;
 pub mod parse;
 pub mod sequence;
@@ -43,6 +44,7 @@ pub mod value;
 
 pub use error::XdmError;
 pub use node::{Axis, NodeId, NodeKind, NodeTest, QName};
+pub use nodeset::NodeSet;
 pub use ops::{ddo, intersect, is_subset, node_except, node_union, set_equal};
 pub use sequence::Sequence;
 pub use store::{DocId, NodeStore};

@@ -173,7 +173,11 @@ impl Axis {
     pub fn is_reverse(&self) -> bool {
         matches!(
             self,
-            Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::PrecedingSibling | Axis::Preceding
+            Axis::Parent
+                | Axis::Ancestor
+                | Axis::AncestorOrSelf
+                | Axis::PrecedingSibling
+                | Axis::Preceding
         )
     }
 

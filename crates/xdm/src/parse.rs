@@ -407,7 +407,9 @@ mod tests {
     #[test]
     fn cdata_is_text() {
         let mut store = NodeStore::new();
-        let doc = store.parse_document("<a><![CDATA[<not-a-tag>]]></a>").unwrap();
+        let doc = store
+            .parse_document("<a><![CDATA[<not-a-tag>]]></a>")
+            .unwrap();
         let root = store.document_element(doc).unwrap();
         assert_eq!(store.string_value(root), "<not-a-tag>");
     }

@@ -8,6 +8,7 @@
 //! order, over the node portion of the sequences).
 
 use crate::node::NodeId;
+use crate::nodeset::NodeSet;
 use crate::store::NodeStore;
 use crate::value::{AtomicValue, Item};
 
@@ -86,6 +87,11 @@ impl Sequence {
         self.items.iter().filter_map(Item::as_node).collect()
     }
 
+    /// The node items as a [`NodeSet`] (duplicates collapse, order drops).
+    pub fn node_set(&self) -> NodeSet {
+        self.items.iter().filter_map(Item::as_node).collect()
+    }
+
     /// `true` if every item is a node.
     pub fn all_nodes(&self) -> bool {
         self.items.iter().all(Item::is_node)
@@ -103,21 +109,16 @@ impl Sequence {
 
     /// Set-equality `=ₛ` from the paper: equal as *sets* of items,
     /// disregarding duplicates and order.  For node sequences this is the
-    /// `fs:ddo(X1) = fs:ddo(X2)` test of Section 2; atomic items are compared
-    /// by value equality.
-    pub fn set_equal(&self, other: &Sequence, store: &mut NodeStore) -> bool {
-        let mut a_nodes = self.nodes();
-        let mut b_nodes = other.nodes();
-        store.sort_distinct(&mut a_nodes);
-        store.sort_distinct(&mut b_nodes);
-        if a_nodes != b_nodes {
+    /// `fs:ddo(X1) = fs:ddo(X2)` test of Section 2 — compared as identity
+    /// bitsets ([`NodeSet`]), which needs neither sorting nor the store;
+    /// atomic items are compared by value equality.
+    pub fn set_equal(&self, other: &Sequence) -> bool {
+        if self.node_set() != other.node_set() {
             return false;
         }
         // Atomic portions compared as multiset-free value sets.
-        let a_atoms: Vec<&AtomicValue> =
-            self.items.iter().filter_map(Item::as_atomic).collect();
-        let b_atoms: Vec<&AtomicValue> =
-            other.items.iter().filter_map(Item::as_atomic).collect();
+        let a_atoms: Vec<&AtomicValue> = self.items.iter().filter_map(Item::as_atomic).collect();
+        let b_atoms: Vec<&AtomicValue> = other.items.iter().filter_map(Item::as_atomic).collect();
         a_atoms.iter().all(|x| b_atoms.iter().any(|y| x == y))
             && b_atoms.iter().all(|y| a_atoms.iter().any(|x| x == y))
     }
@@ -178,12 +179,11 @@ mod tests {
     #[test]
     fn set_equality_ignores_order_and_duplicates() {
         // Mirrors the paper's example: (1,"a") =ₛ ("a",1,1).
-        let mut store = NodeStore::new();
         let a = Sequence::from_items(vec![Item::integer(1), Item::string("a")]);
         let b = Sequence::from_items(vec![Item::string("a"), Item::integer(1), Item::integer(1)]);
-        assert!(a.set_equal(&b, &mut store));
+        assert!(a.set_equal(&b));
         let c = Sequence::from_items(vec![Item::string("a")]);
-        assert!(!a.set_equal(&c, &mut store));
+        assert!(!a.set_equal(&c));
     }
 
     #[test]
@@ -194,12 +194,12 @@ mod tests {
         let kids = store.children(root);
         let ab = Sequence::from_nodes(kids.clone());
         let ba = Sequence::from_nodes(vec![kids[1], kids[0], kids[0]]);
-        assert!(ab.set_equal(&ba, &mut store));
+        assert!(ab.set_equal(&ba));
 
         let frag = store.new_fragment();
         let other = store.create_element(frag, QName::local("a"));
         let with_other = Sequence::from_nodes(vec![kids[0], other]);
-        assert!(!ab.set_equal(&with_other, &mut store));
+        assert!(!ab.set_equal(&with_other));
     }
 
     #[test]

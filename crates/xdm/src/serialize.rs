@@ -72,12 +72,16 @@ fn write_node(store: &NodeStore, node: NodeId, out: &mut String) {
 
 /// Escape character data (`&`, `<`, `>`).
 pub fn escape_text(text: &str) -> String {
-    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Escape an attribute value (`&`, `<`, `"`).
 pub fn escape_attribute(text: &str) -> String {
-    text.replace('&', "&amp;").replace('<', "&lt;").replace('"', "&quot;")
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('"', "&quot;")
 }
 
 #[cfg(test)]

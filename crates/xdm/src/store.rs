@@ -50,6 +50,10 @@ struct Document {
     /// Set when the document has been mutated since `order`/`id_index` were
     /// last rebuilt.
     dirty: bool,
+    /// `true` when arena index order coincides with document order (always
+    /// the case for parsed documents; constructed fragments may diverge).
+    /// Lets [`crate::NodeSet`] emit document order straight from its bitmaps.
+    index_is_order: bool,
     /// Optional URI this document was loaded under (used by `fn:doc`).
     uri: Option<String>,
 }
@@ -62,6 +66,7 @@ impl Document {
             id_attr_names: Vec::new(),
             id_index: HashMap::new(),
             dirty: true,
+            index_is_order: true,
             uri: None,
         }
     }
@@ -90,6 +95,7 @@ impl Document {
                 self.assign_order(root, &mut rank);
             }
         }
+        self.index_is_order = self.order.windows(2).all(|w| w[0] < w[1]);
         self.rebuild_id_index();
         self.dirty = false;
     }
@@ -115,9 +121,10 @@ impl Document {
             }
             for &attr in &self.nodes[idx].attributes {
                 if let NodeKind::Attribute(name, value) = &self.nodes[attr as usize].kind {
-                    let is_id = name.local == "id"
-                        || (name.prefix.as_deref() == Some("xml") && name.local == "id")
-                        || self.id_attr_names.iter().any(|n| n == &name.local);
+                    // `id` matches both the unprefixed and the `xml:id`
+                    // spelling (prefixes are not significant here).
+                    let is_id =
+                        name.local == "id" || self.id_attr_names.iter().any(|n| n == &name.local);
                     if is_id {
                         self.id_index.entry(value.clone()).or_insert(idx as u32);
                     }
@@ -523,13 +530,28 @@ impl NodeStore {
         ka.cmp(&kb)
     }
 
+    /// `true` when arena index order within `doc` coincides with document
+    /// order.  Parsed documents always satisfy this (the parser appends
+    /// nodes in pre-order); constructed fragments may not, if children were
+    /// created before their parents.  [`crate::NodeSet::to_vec`] uses this
+    /// to skip rank sorting on the fast path.
+    pub fn index_order_is_document_order(&mut self, doc: DocId) -> bool {
+        match self.docs.get_mut(doc.0 as usize) {
+            Some(d) => {
+                d.refresh();
+                d.index_is_order
+            }
+            None => true,
+        }
+    }
+
     /// Sort `nodes` into document order and remove duplicates — the
     /// `fs:distinct-doc-order` operation of the XQuery Formal Semantics.
     pub fn sort_distinct(&mut self, nodes: &mut Vec<NodeId>) {
         // Refresh every involved document once, then sort by cached ranks.
         let mut keyed: Vec<((u32, u32), NodeId)> =
             nodes.iter().map(|&n| (self.order_rank(n), n)).collect();
-        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        keyed.sort_by_key(|a| a.0);
         keyed.dedup_by(|a, b| a.1 == b.1);
         nodes.clear();
         nodes.extend(keyed.into_iter().map(|(_, n)| n));
@@ -663,7 +685,13 @@ impl NodeStore {
         }
     }
 
-    fn collect_descendants(&self, node: NodeId, axis: Axis, test: &NodeTest, out: &mut Vec<NodeId>) {
+    fn collect_descendants(
+        &self,
+        node: NodeId,
+        axis: Axis,
+        test: &NodeTest,
+        out: &mut Vec<NodeId>,
+    ) {
         for child in self.children(node) {
             self.push_if(child, axis, test, out);
             self.collect_descendants(child, axis, test, out);
@@ -677,9 +705,7 @@ mod tests {
 
     fn sample(store: &mut NodeStore) -> DocId {
         store
-            .parse_document(
-                "<r><a id=\"a1\"><b/><c>hi</c></a><d><e/>tail</d></r>",
-            )
+            .parse_document("<r><a id=\"a1\"><b/><c>hi</c></a><d><e/>tail</d></r>")
             .unwrap()
     }
 
@@ -816,7 +842,9 @@ mod tests {
     #[test]
     fn following_and_preceding_axes() {
         let mut store = NodeStore::new();
-        let doc = store.parse_document("<r><a><b/></a><c><d/></c></r>").unwrap();
+        let doc = store
+            .parse_document("<r><a><b/></a><c><d/></c></r>")
+            .unwrap();
         let root = store.document_element(doc).unwrap();
         let a = store.axis_nodes(root, Axis::Child, &NodeTest::Name("a".into()))[0];
         let b = store.axis_nodes(a, Axis::Child, &NodeTest::Name("b".into()))[0];

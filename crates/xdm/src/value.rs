@@ -92,9 +92,7 @@ impl AtomicValue {
         use AtomicValue::*;
         match (self, other) {
             (Boolean(a), Boolean(b)) => Some(a.cmp(b)),
-            (a, b) if a.is_numeric() || b.is_numeric() => {
-                a.to_double().partial_cmp(&b.to_double())
-            }
+            (a, b) if a.is_numeric() || b.is_numeric() => a.to_double().partial_cmp(&b.to_double()),
             (a, b) => Some(a.string_value().cmp(&b.string_value())),
         }
     }
@@ -120,7 +118,11 @@ pub fn format_double(d: f64) -> String {
     if d.is_nan() {
         "NaN".to_string()
     } else if d.is_infinite() {
-        if d > 0.0 { "INF".to_string() } else { "-INF".to_string() }
+        if d > 0.0 {
+            "INF".to_string()
+        } else {
+            "-INF".to_string()
+        }
     } else if d.fract() == 0.0 && d.abs() < 1e15 {
         format!("{}", d as i64)
     } else {

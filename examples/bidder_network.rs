@@ -46,8 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed = format!("doc('{}')/site/people/person[@id='p0']", auction::DOC_URI);
     for strategy in [MuStrategy::Mu, MuStrategy::MuDelta] {
         let start = Instant::now();
-        let (nodes, stats) =
-            engine.run_algebraic_fixpoint(&seed, auction::BODY, "x", strategy)?;
+        let (nodes, stats) = engine.run_algebraic_fixpoint(&seed, auction::BODY, "x", strategy)?;
         println!(
             "algebra   {:<8} -> network of {:>4} persons, depth {:>2}, {:>6} rows fed back, {:?}",
             strategy.name(),

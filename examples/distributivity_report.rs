@@ -13,16 +13,25 @@ use xqy_ifp::{distributivity_hint, is_distributivity_safe};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bodies = [
         ("Q1 (curriculum closure)", "$x/id(./prerequisites/pre_code)"),
-        ("Q2 (Example 2.4)", "if (count($x/self::a)) then $x/* else ()"),
+        (
+            "Q2 (Example 2.4)",
+            "if (count($x/self::a)) then $x/* else ()",
+        ),
         ("XPath step", "$x/descendant::person/@id"),
         ("first item", "$x[1]"),
         ("whole-sequence count", "count($x) >= 1"),
         ("node constructor", "<wrap>{ $x }</wrap>"),
         ("union of steps", "$x/child::a union $x/descendant::b"),
-        ("difference with fixed rhs", "$x/* except doc('d.xml')//blocked"),
+        (
+            "difference with fixed rhs",
+            "$x/* except doc('d.xml')//blocked",
+        ),
     ];
 
-    println!("{:<28} {:>10} {:>12}  notes", "body", "syntactic", "algebraic");
+    println!(
+        "{:<28} {:>10} {:>12}  notes",
+        "body", "syntactic", "algebraic"
+    );
     println!("{}", "-".repeat(72));
     for (name, src) in bodies {
         let expr = parse_expr(src)?;
@@ -32,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Ok(c) if c.distributivity.distributive => ("yes".to_string(), String::new()),
             Ok(c) => (
                 "no".to_string(),
-                format!("blocked at {}", c.distributivity.blocked_by.clone().unwrap_or_default()),
+                format!(
+                    "blocked at {}",
+                    c.distributivity.blocked_by.clone().unwrap_or_default()
+                ),
             ),
             Err(e) => ("n/a".to_string(), format!("{e}")),
         };

@@ -55,10 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("child::unit*  -> {:?}", run(&mut engine, star));
 
     // Horizontal recursion: following-sibling closure of the first child.
-    let siblings = transitive_closure(
-        "doc('org.xml')/org/unit/unit[1]",
-        "following-sibling::unit",
-    )?;
+    let siblings =
+        transitive_closure("doc('org.xml')/org/unit/unit[1]", "following-sibling::unit")?;
     println!("sibling+      -> {:?}", run(&mut engine, siblings));
 
     // Steps that violate the Regular XPath restrictions are rejected.

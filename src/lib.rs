@@ -1,0 +1,8 @@
+//! Workspace façade crate.
+//!
+//! The implementation lives in the `crates/` members; this root package
+//! exists so the repository-level integration tests (`tests/`) and examples
+//! (`examples/`) have a package to belong to.  It re-exports the public
+//! engine API of [`xqy_ifp`] for convenience.
+
+pub use xqy_ifp::*;

@@ -98,8 +98,12 @@ fn auto_strategy_is_conservative_with_mixed_bodies() {
 #[test]
 fn queries_across_multiple_documents() {
     let mut engine = Engine::new();
-    engine.load_document("a.xml", "<r><x id=\"1\"/></r>").unwrap();
-    engine.load_document("b.xml", "<r><x id=\"2\"/><x id=\"3\"/></r>").unwrap();
+    engine
+        .load_document("a.xml", "<r><x id=\"1\"/></r>")
+        .unwrap();
+    engine
+        .load_document("b.xml", "<r><x id=\"2\"/><x id=\"3\"/></r>")
+        .unwrap();
     let outcome = engine
         .run("count(doc('a.xml')//x) + count(doc('b.xml')//x)")
         .unwrap();
@@ -109,7 +113,9 @@ fn queries_across_multiple_documents() {
 #[test]
 fn display_serializes_nodes_as_xml() {
     let mut engine = Engine::new();
-    engine.load_document("t.xml", "<r><a k=\"v\">text</a></r>").unwrap();
+    engine
+        .load_document("t.xml", "<r><a k=\"v\">text</a></r>")
+        .unwrap();
     let outcome = engine.run("doc('t.xml')/r/a").unwrap();
     assert_eq!(engine.display(&outcome.result), "<a k=\"v\">text</a>");
 }

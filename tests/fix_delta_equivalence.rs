@@ -2,9 +2,9 @@
 //! semantics-preserving on distributive bodies and equivalent to the native
 //! IFP operator.
 
+use xqy_datagen::{curriculum, hospital, Scale};
 use xqy_ifp::parser::parse_query;
 use xqy_ifp::{rewrite_fixpoints_to_functions, Engine, RewriteStyle, Strategy};
-use xqy_datagen::{curriculum, hospital, Scale};
 
 fn curriculum_engine() -> Engine {
     let config = curriculum::CurriculumConfig::for_scale(Scale::Small);

@@ -1,0 +1,172 @@
+//! Properties of the `NodeSet`-backed fixpoint kernel:
+//!
+//! * Naïve and Delta are equivalent on randomly generated *distributive*
+//!   recursion bodies — same result **set** and the same do-while
+//!   iteration count (on a distributive body both algorithms discover the
+//!   same frontier each round, so their `FixpointStats.iterations` agree);
+//! * the paper's Example 2.4, where the body is non-distributive and the
+//!   two algorithms genuinely differ, is pinned as a golden test down to
+//!   the per-algorithm statistics (iterations, nodes fed back);
+//! * the bitset [`NodeSet`] agrees with a naive `BTreeSet` model under
+//!   arbitrary operation mixes.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+use xqy_ifp::eval::{Evaluator, FixpointStrategy};
+use xqy_ifp::xdm::{NodeId, NodeSet, NodeStore};
+
+/// A curriculum-like document over an arbitrary prerequisite edge list.
+fn curriculum_from_edges(courses: usize, edges: &[(usize, usize)]) -> String {
+    let mut out = String::from("<curriculum>");
+    for i in 0..courses {
+        out.push_str(&format!("<course code=\"c{i}\"><prerequisites>"));
+        for (from, to) in edges {
+            if *from == i {
+                out.push_str(&format!("<pre_code>c{}</pre_code>", to % courses));
+            }
+        }
+        out.push_str("</prerequisites></course>");
+    }
+    out.push_str("</curriculum>");
+    out
+}
+
+/// Run the transitive-prerequisites IFP under `strategy`, returning the
+/// result codes (sorted) and the recorded statistics.
+fn run_closure(
+    xml: &str,
+    seed_course: usize,
+    strategy: FixpointStrategy,
+) -> (Vec<String>, xqy_ifp::eval::FixpointStats) {
+    let mut store = NodeStore::new();
+    let doc = store.parse_document_with_uri("c.xml", xml).unwrap();
+    store.register_id_attribute(doc, "code");
+    let mut evaluator = Evaluator::new(&mut store);
+    evaluator.set_fixpoint_strategy(strategy);
+    let result = evaluator
+        .eval_query_str(&format!(
+            "with $x seeded by doc('c.xml')/curriculum/course[@code='c{seed_course}'] \
+             recurse $x/id(./prerequisites/pre_code)"
+        ))
+        .unwrap();
+    let stats = evaluator.last_fixpoint_stats().unwrap().clone();
+    let mut codes: Vec<String> = result
+        .nodes()
+        .iter()
+        .map(|&n| store.attribute_value(n, "code").unwrap().to_string())
+        .collect();
+    codes.sort();
+    (codes, stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 3.2, exercised empirically: on a distributive body the Delta
+    /// algorithm is a safe replacement for Naïve — identical result set and
+    /// identical do-while iteration count — while feeding back no more
+    /// nodes than Naïve does.
+    #[test]
+    fn naive_and_delta_agree_on_results_and_iteration_semantics(
+        courses in 2usize..12,
+        edges in proptest::collection::vec((0usize..11, 0usize..11), 0..33),
+        seed_course in 0usize..12,
+    ) {
+        let xml = curriculum_from_edges(courses, &edges);
+        let seed_course = seed_course % courses;
+        let (naive_codes, naive_stats) = run_closure(&xml, seed_course, FixpointStrategy::Naive);
+        let (delta_codes, delta_stats) = run_closure(&xml, seed_course, FixpointStrategy::Delta);
+        prop_assert_eq!(&naive_codes, &delta_codes);
+        prop_assert_eq!(
+            naive_stats.iterations, delta_stats.iterations,
+            "distributive bodies must take the same number of do-while rounds"
+        );
+        prop_assert_eq!(naive_stats.result_size, delta_stats.result_size);
+        prop_assert!(delta_stats.nodes_fed_back <= naive_stats.nodes_fed_back);
+    }
+
+    /// The bitset NodeSet is extensionally a set: it agrees with a
+    /// `BTreeSet` model under union / except / intersect / equality for
+    /// arbitrary operand multisets.
+    #[test]
+    fn nodeset_matches_btreeset_model(
+        children in 1usize..80,
+        picks_a in proptest::collection::vec(0usize..80, 0..120),
+        picks_b in proptest::collection::vec(0usize..80, 0..120),
+    ) {
+        let mut xml = String::from("<r>");
+        for _ in 0..children {
+            xml.push_str("<c/>");
+        }
+        xml.push_str("</r>");
+        let mut store = NodeStore::new();
+        let doc = store.parse_document(&xml).unwrap();
+        let root = store.document_element(doc).unwrap();
+        let all = store.children(root);
+        let a: Vec<NodeId> = picks_a.iter().map(|&i| all[i % all.len()]).collect();
+        let b: Vec<NodeId> = picks_b.iter().map(|&i| all[i % all.len()]).collect();
+
+        let sa = NodeSet::from_nodes(a.iter().copied());
+        let sb = NodeSet::from_nodes(b.iter().copied());
+        let ma: BTreeSet<NodeId> = a.iter().copied().collect();
+        let mb: BTreeSet<NodeId> = b.iter().copied().collect();
+
+        prop_assert_eq!(sa.len(), ma.len());
+        let union: Vec<NodeId> = sa.union(&sb).iter().collect();
+        prop_assert_eq!(union, ma.union(&mb).copied().collect::<Vec<_>>());
+        let except: Vec<NodeId> = sa.except(&sb).iter().collect();
+        prop_assert_eq!(except, ma.difference(&mb).copied().collect::<Vec<_>>());
+        let inter: Vec<NodeId> = sa.intersect(&sb).iter().collect();
+        prop_assert_eq!(inter, ma.intersection(&mb).copied().collect::<Vec<_>>());
+        prop_assert_eq!(sa == sb, ma == mb);
+        prop_assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
+        // Materialization equals the model's sorted order on a parsed doc.
+        prop_assert_eq!(sa.to_vec(&mut store), ma.iter().copied().collect::<Vec<_>>());
+    }
+}
+
+/// Example 2.4 / Q2 of the paper: `if (count($x/self::a)) then $x/* else ()`
+/// over the seed `(<a/>, <b><c><d/></c></b>)`, with the seed included in the
+/// accumulation (the worked table's reading).
+const Q2: &str = "let $seed := (<a/>,<b><c><d/></c></b>) \
+                  return with $x seeded by $seed \
+                  recurse if (count($x/self::a)) then $x/* else ()";
+
+fn run_q2(strategy: FixpointStrategy) -> (usize, xqy_ifp::eval::FixpointStats) {
+    let mut store = NodeStore::new();
+    let mut evaluator = Evaluator::new(&mut store);
+    evaluator.options_mut().seed_in_result = true;
+    evaluator.set_fixpoint_strategy(strategy);
+    let result = evaluator.eval_query_str(Q2).unwrap();
+    (
+        result.len(),
+        evaluator.last_fixpoint_stats().unwrap().clone(),
+    )
+}
+
+/// Golden statistics for the paper's worked Example 2.4 table — the case
+/// where Naïve and Delta genuinely diverge because the body is not
+/// distributive.  Pins the exact iteration counts and the "total number of
+/// nodes fed back" the two algorithms incur:
+///
+/// | algorithm | result          | iterations | fed back            |
+/// |-----------|-----------------|------------|---------------------|
+/// | Naïve     | (a, b, c, d)    | 3          | 2 + 3 + 4 = 9       |
+/// | Delta     | (a, b, c)       | 2          | 2 + 1     = 3       |
+#[test]
+fn example_2_4_golden_statistics() {
+    let (naive_len, naive_stats) = run_q2(FixpointStrategy::Naive);
+    assert_eq!(naive_len, 4, "Naïve computes (a, b, c, d)");
+    assert_eq!(naive_stats.iterations, 3);
+    assert_eq!(naive_stats.nodes_fed_back, 9);
+    assert_eq!(naive_stats.payload_calls, 3);
+    assert_eq!(naive_stats.result_size, 4);
+
+    let (delta_len, delta_stats) = run_q2(FixpointStrategy::Delta);
+    assert_eq!(delta_len, 3, "Delta computes only (a, b, c)");
+    assert_eq!(delta_stats.iterations, 2);
+    assert_eq!(delta_stats.nodes_fed_back, 3);
+    assert_eq!(delta_stats.payload_calls, 2);
+    assert_eq!(delta_stats.result_size, 3);
+}

@@ -32,7 +32,13 @@ fn codes(engine: &Engine, outcome: &xqy_ifp::QueryOutcome) -> Vec<String> {
         .result
         .nodes()
         .iter()
-        .map(|&n| engine.store().attribute_value(n, "code").unwrap().to_string())
+        .map(|&n| {
+            engine
+                .store()
+                .attribute_value(n, "code")
+                .unwrap()
+                .to_string()
+        })
         .collect()
 }
 
@@ -61,7 +67,8 @@ fn figure_2_fix_template_equals_q1() {
 
 #[test]
 fn figure_4_delta_template_equals_q1() {
-    let delta_query = "declare function rec($cs) as node()* { $cs/id(./prerequisites/pre_code) };\n\
+    let delta_query =
+        "declare function rec($cs) as node()* { $cs/id(./prerequisites/pre_code) };\n\
          declare function delta($x, $res) as node()* {\n\
            let $delta := rec($x) except $res\n\
            return if (empty($delta)) then $res else delta($delta, $delta union $res)\n\
@@ -101,7 +108,10 @@ fn q2_is_flagged_non_distributive_by_both_checks() {
     assert_eq!(report.algebraic, Some(false));
     assert_eq!(report.algebraic_blocked_by.as_deref(), Some("count"));
     // …so Auto must have chosen Naïve, preserving the IFP semantics.
-    assert_eq!(outcome.strategy_used, xqy_ifp::eval::FixpointStrategy::Naive);
+    assert_eq!(
+        outcome.strategy_used,
+        xqy_ifp::eval::FixpointStrategy::Naive
+    );
 }
 
 #[test]

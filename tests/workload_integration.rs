@@ -44,7 +44,10 @@ fn workloads() -> Vec<Workload> {
             uri: curriculum::DOC_URI,
             xml: curriculum_xml,
             id_attrs: &["code"],
-            seed_query: format!("doc('{}')/curriculum/course[@code='c100']", curriculum::DOC_URI),
+            seed_query: format!(
+                "doc('{}')/curriculum/course[@code='c100']",
+                curriculum::DOC_URI
+            ),
             body: curriculum::BODY,
             query: curriculum::prerequisites_query("c100"),
         },
@@ -71,7 +74,10 @@ fn workloads() -> Vec<Workload> {
             uri: hospital::DOC_URI,
             xml: hospital_xml,
             id_attrs: &[],
-            seed_query: format!("doc('{}')/hospital/patient[@disease='yes']", hospital::DOC_URI),
+            seed_query: format!(
+                "doc('{}')/hospital/patient[@disease='yes']",
+                hospital::DOC_URI
+            ),
             body: hospital::BODY,
             query: hospital::hereditary_query(),
         },
@@ -140,7 +146,12 @@ fn relational_backend_agrees_with_the_evaluator() {
             .run_algebraic_fixpoint(&workload.seed_query, workload.body, "x", MuStrategy::Mu)
             .unwrap();
         let (mud_nodes, mud_stats) = engine
-            .run_algebraic_fixpoint(&workload.seed_query, workload.body, "x", MuStrategy::MuDelta)
+            .run_algebraic_fixpoint(
+                &workload.seed_query,
+                workload.body,
+                "x",
+                MuStrategy::MuDelta,
+            )
             .unwrap();
 
         assert_eq!(

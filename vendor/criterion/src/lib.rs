@@ -1,0 +1,315 @@
+//! Offline shim for the subset of the `criterion` API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this local crate
+//! stands in for the real `criterion`.  It supports benchmark groups,
+//! [`BenchmarkId`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.  Measurement is simple wall-clock timing
+//! with automatic iteration-count calibration; each benchmark prints a
+//! `name  time: [mean]` line.
+//!
+//! When the `CRITERION_JSON` environment variable names a file, every
+//! measurement is additionally appended to a JSON report written when the
+//! [`Criterion`] value is dropped — this is how the workspace records
+//! benchmark baselines (e.g. `BENCH_nodeset.json`) without the real
+//! criterion's `--save-baseline` machinery.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id, `group/function/value`.
+    pub id: String,
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample, in nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// Benchmark identifier: a function name and a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Create an id from a function name and a parameter value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        if self.parameter.is_empty() {
+            self.function.clone()
+        } else {
+            format!("{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(value: &str) -> Self {
+        BenchmarkId {
+            function: value.to_string(),
+            parameter: String::new(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(value: String) -> Self {
+        BenchmarkId {
+            function: value,
+            parameter: String::new(),
+        }
+    }
+}
+
+/// Runs closures and records timing samples.
+pub struct Bencher<'m> {
+    sample_size: usize,
+    result: &'m mut Option<(f64, f64, usize, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Measure `f`, calibrating the per-sample iteration count so one
+    /// sample takes roughly a millisecond (bounded for slow bodies).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Calibrate: run once, derive how many iterations fit ~1ms.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(1);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            samples.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        *self.result = Some((mean, min, samples.len(), iters));
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (mirrors criterion's setting).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id.render());
+        let mut result = None;
+        {
+            let mut bencher = Bencher {
+                sample_size: self.sample_size,
+                result: &mut result,
+            };
+            f(&mut bencher, input);
+        }
+        self.criterion.record(full_id, result);
+        self
+    }
+
+    /// Benchmark `f` with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full_id = format!("{}/{}", self.name, id.into().render());
+        let mut result = None;
+        {
+            let mut bencher = Bencher {
+                sample_size: self.sample_size,
+                result: &mut result,
+            };
+            f(&mut bencher);
+        }
+        self.criterion.record(full_id, result);
+        self
+    }
+
+    /// Finish the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmark `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full_id = id.into().render();
+        let mut result = None;
+        {
+            let mut bencher = Bencher {
+                sample_size: 10,
+                result: &mut result,
+            };
+            f(&mut bencher);
+        }
+        self.record(full_id, result);
+        self
+    }
+
+    fn record(&mut self, id: String, result: Option<(f64, f64, usize, u64)>) {
+        let Some((mean_ns, min_ns, samples, iters)) = result else {
+            return;
+        };
+        println!("{id:<60} time: [{}]", format_ns(mean_ns));
+        self.measurements.push(Measurement {
+            id,
+            mean_ns,
+            min_ns,
+            samples,
+            iters_per_sample: iters,
+        });
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        if path.is_empty() || self.measurements.is_empty() {
+            return;
+        }
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, m) in self.measurements.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+                m.id.replace('"', "'"),
+                m.mean_ns,
+                m.min_ns,
+                m.samples,
+                m.iters_per_sample,
+                if i + 1 == self.measurements.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        if let Err(err) = std::fs::write(&path, out) {
+            eprintln!("criterion shim: could not write {path}: {err}");
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Define a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn records_measurements() {
+        let mut criterion = Criterion::default();
+        sample_bench(&mut criterion);
+        assert_eq!(criterion.measurements().len(), 1);
+        let m = &criterion.measurements()[0];
+        assert_eq!(m.id, "shim/sum/100");
+        assert!(m.mean_ns > 0.0);
+        assert_eq!(m.samples, 3);
+        criterion.measurements.clear(); // avoid JSON writing side-effects
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,328 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this local crate
+//! stands in for the real `proptest`.  It keeps the same surface syntax —
+//! the [`proptest!`] macro with `arg in strategy` bindings and an optional
+//! `#![proptest_config(...)]` header, [`prop_oneof!`], [`Just`],
+//! integer-range and tuple strategies, and [`collection::vec`] — but with a
+//! much simpler engine:
+//!
+//! * inputs are generated from a fixed-seed deterministic RNG, so every run
+//!   explores the same cases (reproducible CI, no persistence files);
+//! * there is **no shrinking**: a failing case panics with the generated
+//!   values printed, via the standard assertion macros.
+
+use std::ops::Range;
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Something that can generate values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Box the strategy (used by [`prop_oneof!`](crate::prop_oneof)).
+        fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy producing always the same (cloned) value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+
+    /// Uniform choice among boxed strategies of one value type; the
+    /// engine behind [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build a union over `arms` (must be non-empty).
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = (rng.next_u64() % self.arms.len() as u64) as usize;
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    /// Strategy for vectors of values from an element strategy; see
+    /// [`collection::vec`](crate::collection::vec).
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> VecStrategy<S> {
+        pub(crate) fn new(element: S, size: Range<usize>) -> Self {
+            VecStrategy { element, size }
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start) as u64;
+            let len = if span == 0 {
+                self.size.start
+            } else {
+                self.size.start + (rng.next_u64() % span) as usize
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// Vectors whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy::new(element, size)
+    }
+}
+
+pub mod test_runner {
+    //! Test configuration and the deterministic RNG.
+
+    /// Per-block configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator seeding every proptest run
+    /// identically (reproducible builds; no persistence files).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The fixed-seed generator used by [`proptest!`](crate::proptest).
+        pub fn deterministic() -> Self {
+            TestRng {
+                state: 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The shim's `Range<usize>` re-export used in signatures.
+pub type SizeRange = Range<usize>;
+
+/// Run each contained `#[test]` function over generated inputs.
+///
+/// Supported forms (mirroring real proptest):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn my_test(x in 0usize..10, v in proptest::collection::vec(0..3, 0..5)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{@impl $cfg; $($rest)*}
+    };
+    (@impl $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic();
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!{@impl $crate::test_runner::Config::default(); $($rest)*}
+    };
+}
+
+/// Assert within a proptest body (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_vec_generate_in_bounds() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..200 {
+            let x = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&x));
+            let (a, b) = ((0usize..4), (1usize..5)).generate(&mut rng);
+            assert!(a < 4 && (1..5).contains(&b));
+            let v = crate::collection::vec(0usize..7, 0..5).generate(&mut rng);
+            assert!(v.len() < 5 && v.iter().all(|&e| e < 7));
+        }
+    }
+
+    #[test]
+    fn oneof_picks_only_listed_values() {
+        let strat = prop_oneof![Just("a"), Just("b"), Just("c")];
+        let mut rng = TestRng::deterministic();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            seen.insert(strat.generate(&mut rng));
+        }
+        assert!(seen.iter().all(|s| ["a", "b", "c"].contains(s)));
+        assert!(seen.len() >= 2, "union should exercise several arms");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro form itself compiles and runs.
+        #[test]
+        fn macro_form_runs(x in 0usize..10, ys in crate::collection::vec(0usize..3, 0..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(ys.len() < 4);
+        }
+    }
+}
