@@ -38,9 +38,26 @@ enum ItemKind {
     Unknown,
 }
 
+std::thread_local! {
+    static COMPILE_COUNT: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// How many times this thread has invoked [`compile_recursion_body`],
+/// successfully or not.
+///
+/// This is the *compile-count hook* of the prepared-query API: a prepared
+/// query promises to compile its recursion bodies exactly once, and callers
+/// can audit that promise by snapshotting the counter around repeated
+/// executions.  The counter is thread-local so concurrently running tests do
+/// not observe each other's compilations.
+pub fn compile_count() -> u64 {
+    COMPILE_COUNT.with(|c| c.get())
+}
+
 /// Compile the recursion body `body` of an IFP whose recursion variable is
 /// `var` into an algebraic plan, and run the distributivity check on it.
 pub fn compile_recursion_body(body: &Expr, var: &str) -> Result<CompiledBody> {
+    COMPILE_COUNT.with(|c| c.set(c.get() + 1));
     let mut compiler = Compiler {
         plan: Plan::new(),
         var: var.to_string(),

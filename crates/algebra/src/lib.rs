@@ -36,7 +36,7 @@ pub mod exec;
 pub mod plan;
 pub mod pushup;
 
-pub use compile::{compile_recursion_body, CompiledBody};
+pub use compile::{compile_count, compile_recursion_body, CompiledBody};
 pub use error::AlgebraError;
 pub use exec::{ExecStats, Executor, MuStrategy, Table, Value};
 pub use plan::{Operator, Plan, PlanNode, PlanNodeId};

@@ -1,0 +1,115 @@
+//! Micro-benchmark: prepare-once-execute-many vs. re-preparing per run.
+//!
+//! The prepared-query API's promise is that parsing, distributivity
+//! analysis and algebraic plan compilation are *query-sized* costs paid
+//! once, while execution repeats.  Three shapes per back-end quantify the
+//! amortization on the per-item curriculum workload (one fixpoint per seed
+//! course — the shape that used to re-parse and re-compile the recursion
+//! body per seed):
+//!
+//! * `*/rerun`   — prepare + execute per iteration: parse + analyse +
+//!   compile + execute every time (the old `Engine::run` cost per call).
+//! * `*/execute` — one `PreparedQuery::execute` per iteration against a
+//!   prepared artifact (what the prepared API pays per call).
+//! * `prepare`   — the one-off preparation cost itself, for scale.
+//! * `per_seed_reprepare` — one prepare + execute per *seed node* (the
+//!   shape of the removed `run_algebraic_fixpoint_seeded` loop, which
+//!   re-parsed and re-compiled the recursion body for every seed) vs. the
+//!   single prepared per-item query.
+//!
+//! Run with `CRITERION_JSON=BENCH_prepared.json cargo bench -p xqy_bench
+//! --bench prepared` to record the baseline the ROADMAP tracks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xqy_bench::{curriculum_workload, engine_for, seed_bindings, Backend};
+use xqy_datagen::Scale;
+use xqy_ifp::{Bindings, Strategy};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prepared");
+    group.sample_size(10);
+
+    let workload = curriculum_workload(Scale::Small);
+    for backend in [Backend::SourceLevel, Backend::Algebraic] {
+        let mut engine = engine_for(&workload);
+        engine.set_strategy(Strategy::Delta);
+        engine.set_backend(backend);
+        let query = workload.query();
+        let bindings = seed_bindings(&mut engine, &workload);
+        let prepared = engine.prepare(&query).unwrap();
+
+        group.bench_function(format!("curriculum/{}/prepare", backend.name()), |b| {
+            b.iter(|| engine.prepare(&query).unwrap())
+        });
+        group.bench_function(format!("curriculum/{}/rerun", backend.name()), |b| {
+            // Prepare + execute per iteration: the pre-prepared-API cost.
+            b.iter(|| {
+                let p = engine.prepare(&query).unwrap();
+                p.execute(&mut engine, &bindings).unwrap()
+            })
+        });
+        group.bench_function(format!("curriculum/{}/execute", backend.name()), |b| {
+            b.iter(|| prepared.execute(&mut engine, &bindings).unwrap())
+        });
+    }
+
+    // The removed side door's shape: one single-seed fixpoint per seed
+    // node, re-prepared (re-parsed, re-analysed, re-compiled) per seed —
+    // against the same per-seed loop driven by one prepared query.
+    {
+        let mut engine = engine_for(&workload);
+        engine.set_strategy(Strategy::Delta);
+        engine.set_backend(Backend::Algebraic);
+        let single = format!("with $x seeded by $seed recurse {}", workload.body);
+        let seeds = engine.run(&workload.seed_query).unwrap().result;
+        let per_seed: Vec<Bindings> = seeds
+            .nodes()
+            .iter()
+            .map(|&n| Bindings::new().with("seed", xqy_ifp::xdm::Sequence::from_nodes(vec![n])))
+            .collect();
+        group.bench_function("curriculum/algebraic/per_seed_reprepare", |b| {
+            b.iter(|| {
+                for bindings in &per_seed {
+                    let p = engine.prepare(&single).unwrap();
+                    p.execute(&mut engine, bindings).unwrap();
+                }
+            })
+        });
+        let prepared_single = engine.prepare(&single).unwrap();
+        group.bench_function("curriculum/algebraic/per_seed_prepared", |b| {
+            b.iter(|| {
+                for bindings in &per_seed {
+                    prepared_single.execute(&mut engine, bindings).unwrap();
+                }
+            })
+        });
+    }
+
+    // A tiny single-fixpoint query, where the fixed preparation overhead is
+    // largest relative to the execution itself.
+    let mut engine = engine_for(&workload);
+    let q1 = format!(
+        "with $x seeded by $seed recurse {}",
+        xqy_datagen::curriculum::BODY
+    );
+    let seed = engine
+        .run("doc('curriculum.xml')/curriculum/course[@code='c1']")
+        .unwrap()
+        .result;
+    let bindings = Bindings::new().with("seed", seed);
+    let prepared = engine.prepare(&q1).unwrap();
+    group.bench_function("q1/rerun", |b| {
+        b.iter(|| {
+            let p = engine.prepare(&q1).unwrap();
+            p.execute(&mut engine, &bindings).unwrap()
+        })
+    });
+    group.bench_function("q1/execute", |b| {
+        b.iter(|| prepared.execute(&mut engine, &bindings).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -3,9 +3,14 @@
 //! back-ends.
 //!
 //! ```bash
-//! cargo run --release -p xqy-bench --bin table2            # quick scales
-//! cargo run --release -p xqy-bench --bin table2 -- --full  # paper-sized rows
+//! cargo run --release -p xqy_bench --bin table2             # quick scales
+//! cargo run --release -p xqy_bench --bin table2 -- --quick  # same, explicit (CI smoke run)
+//! cargo run --release -p xqy_bench --bin table2 -- --full   # paper-sized rows
 //! ```
+//!
+//! Every cell goes through the prepared-query surface: the workload query is
+//! prepared once per cell and the timed region is one
+//! `PreparedQuery::execute` with the seed nodes bound to `$seed`.
 //!
 //! Absolute times are not comparable with the paper's 2008 hardware and
 //! engines; the reproduced quantities are the *ratios* (Delta vs Naïve), the
@@ -14,6 +19,8 @@
 use xqy_bench::{engine_for, run_cell, table2_rows, Algorithm, Backend};
 
 fn main() {
+    // `--quick` (the default) keeps the small/medium rows; `--full` adds
+    // the paper-sized instances.
     let full = std::env::args().any(|a| a == "--full");
     let rows = table2_rows(full);
 

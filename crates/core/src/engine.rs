@@ -1,12 +1,12 @@
-//! The engine facade: documents, strategy selection, both back-ends.
+//! The engine facade: documents, strategy/back-end selection, prepared
+//! queries.
 
-use xqy_algebra::{compile_recursion_body, ExecStats, Executor, MuStrategy};
-use xqy_eval::{Evaluator, FixpointStats, FixpointStrategy};
-use xqy_parser::ast::{Expr, QueryModule};
+use xqy_eval::{FixpointStats, FixpointStrategy};
+use xqy_parser::ast::QueryModule;
 use xqy_parser::parse_query;
-use xqy_xdm::{NodeId, NodeStore, Sequence};
+use xqy_xdm::{NodeStore, Sequence};
 
-use crate::syntactic::is_distributivity_safe;
+use crate::prepared::{Backend, Bindings, OccurrencePlan, PreparedQuery};
 use crate::{IfpError, Result};
 
 /// How the engine evaluates `with … seeded by … recurse` occurrences.
@@ -18,10 +18,11 @@ pub enum Strategy {
     /// distributive recursion bodies (Theorem 3.2); the engine does not stop
     /// you from shooting your own foot, mirroring the paper's Example 2.4.
     Delta,
-    /// Decide per query: use Delta when every recursion body in the query is
-    /// recognised as distributive (by the syntactic *or* the algebraic
-    /// check), otherwise fall back to Naïve.  This is the mode the paper
-    /// advocates.
+    /// Decide **per IFP occurrence**: use Delta for every occurrence whose
+    /// recursion body is recognised as distributive (by the syntactic *or*
+    /// the algebraic check), Naïve for the rest.  This is the mode the paper
+    /// advocates; one non-distributive body in a query no longer drags the
+    /// other occurrences down to Naïve.
     #[default]
     Auto,
 }
@@ -33,6 +34,18 @@ impl Strategy {
             Strategy::Naive => "naive",
             Strategy::Delta => "delta",
             Strategy::Auto => "auto",
+        }
+    }
+
+    /// The algorithm this strategy forces on every occurrence, or `None`
+    /// for `Auto` (per-occurrence decision from the distributivity
+    /// reports).  Single source of truth for the Strategy → algorithm
+    /// mapping.
+    pub fn forced(&self) -> Option<FixpointStrategy> {
+        match self {
+            Strategy::Naive => Some(FixpointStrategy::Naive),
+            Strategy::Delta => Some(FixpointStrategy::Delta),
+            Strategy::Auto => None,
         }
     }
 }
@@ -67,19 +80,47 @@ pub struct QueryOutcome {
     pub result: Sequence,
     /// One report per IFP occurrence in the query, in syntactic order.
     pub distributivity: Vec<DistributivityReport>,
-    /// The algorithm that was actually used for the fixpoints.
-    pub strategy_used: FixpointStrategy,
-    /// Per-fixpoint runtime statistics (iterations, nodes fed back, …).
+    /// The per-occurrence execution decisions (strategy and back-end),
+    /// index-aligned with `distributivity`.
+    pub occurrences: Vec<OccurrencePlan>,
+    /// Per-fixpoint runtime statistics (iterations, nodes fed back, …) in
+    /// execution order — one entry per fixpoint *run*, so an occurrence
+    /// inside a `for` loop contributes one entry per binding.
     pub fixpoints: Vec<FixpointStats>,
 }
 
-/// The engine: owns the node store and the configuration, and runs queries
-/// through the source-level evaluator (and, on request, through the
-/// relational back-end).
+impl QueryOutcome {
+    /// Query-level strategy summary, kept for compatibility with the
+    /// pre-prepared-query API: [`FixpointStrategy::Delta`] when the query
+    /// has at least one IFP occurrence and every occurrence ran Delta,
+    /// [`FixpointStrategy::Naive`] otherwise.  Per-occurrence decisions are
+    /// in [`QueryOutcome::occurrences`].
+    pub fn strategy_used(&self) -> FixpointStrategy {
+        if !self.occurrences.is_empty()
+            && self
+                .occurrences
+                .iter()
+                .all(|o| o.strategy == FixpointStrategy::Delta)
+        {
+            FixpointStrategy::Delta
+        } else {
+            FixpointStrategy::Naive
+        }
+    }
+}
+
+/// The engine: owns the node store and the configuration, prepares queries
+/// and runs them through the source-level evaluator and/or the relational
+/// back-end.
+///
+/// The core API is [`Engine::prepare`] → [`PreparedQuery::execute`]: parse,
+/// analyse and compile once, execute many times.  [`Engine::run`] is a thin
+/// prepare-then-execute convenience for one-shot queries.
 pub struct Engine {
-    store: NodeStore,
-    strategy: Strategy,
-    seed_in_result: bool,
+    pub(crate) store: NodeStore,
+    pub(crate) strategy: Strategy,
+    pub(crate) backend: Backend,
+    pub(crate) seed_in_result: bool,
 }
 
 impl Default for Engine {
@@ -89,12 +130,13 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// Create an engine with an empty document store and the `Auto`
-    /// strategy.
+    /// Create an engine with an empty document store, the `Auto` strategy
+    /// and the source-level back-end.
     pub fn new() -> Self {
         Engine {
             store: NodeStore::new(),
             strategy: Strategy::Auto,
+            backend: Backend::SourceLevel,
             seed_in_result: false,
         }
     }
@@ -107,6 +149,18 @@ impl Engine {
     /// The currently selected strategy.
     pub fn strategy(&self) -> Strategy {
         self.strategy
+    }
+
+    /// Select the default back-end for queries prepared by this engine (a
+    /// [`PreparedQuery`] can override it with
+    /// [`PreparedQuery::set_backend`]).
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
+    }
+
+    /// The currently selected back-end.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Use the seed-inclusive IFP reading (see
@@ -151,117 +205,45 @@ impl Engine {
         Ok(())
     }
 
-    /// Analyse the distributivity of every IFP occurrence in `module`.
-    pub fn analyse(&self, module: &QueryModule) -> Vec<DistributivityReport> {
-        let mut reports = Vec::new();
-        let mut bodies: Vec<(String, Expr)> = Vec::new();
-        let mut collect = |expr: &Expr| {
-            expr.walk(&mut |e| {
-                if let Expr::Fixpoint { var, body, .. } = e {
-                    bodies.push((var.clone(), body.as_ref().clone()));
-                }
-            });
-        };
-        for f in &module.functions {
-            collect(&f.body);
-        }
-        for (_, v) in &module.variables {
-            collect(v);
-        }
-        collect(&module.body);
-
-        for (var, body) in bodies {
-            let syntactic = is_distributivity_safe(&body, &var, &module.functions);
-            let (algebraic, blocked) = match compile_recursion_body(&body, &var) {
-                Ok(compiled) => (
-                    Some(compiled.distributivity.distributive),
-                    compiled.distributivity.blocked_by,
-                ),
-                Err(_) => (None, None),
-            };
-            reports.push(DistributivityReport {
-                variable: var,
-                syntactic: syntactic.safe,
-                syntactic_rule: syntactic.rule,
-                algebraic,
-                algebraic_blocked_by: blocked,
-            });
-        }
-        reports
+    /// Parse and analyse `query` once, producing a [`PreparedQuery`] that
+    /// can be executed any number of times (with external variables bound
+    /// per execution).  The prepared query captures the engine's current
+    /// strategy and back-end selection; it does *not* capture documents —
+    /// execution always sees the engine's store as it is at execute time.
+    pub fn prepare(&self, query: &str) -> Result<PreparedQuery> {
+        let module = parse_query(query)?;
+        Ok(self.prepare_module(module))
     }
 
-    /// Parse, analyse and evaluate a query with the configured strategy,
-    /// using the source-level evaluator.
+    /// Like [`Engine::prepare`], for an already-parsed module.
+    pub fn prepare_module(&self, module: QueryModule) -> PreparedQuery {
+        PreparedQuery::analyse_module(module, self.strategy, self.backend)
+    }
+
+    /// Analyse the distributivity of every IFP occurrence in `module`.
+    pub fn analyse(&self, module: &QueryModule) -> Vec<DistributivityReport> {
+        crate::prepared::analyse_occurrences(module, self.strategy)
+            .iter()
+            .map(|occ| occ.report().clone())
+            .collect()
+    }
+
+    /// Parse, analyse and evaluate a query with the configured strategy and
+    /// back-end — a thin [`Engine::prepare`] + [`PreparedQuery::execute`]
+    /// convenience for queries without external variables.
     pub fn run(&mut self, query: &str) -> Result<QueryOutcome> {
-        let module = parse_query(query)?;
-        self.run_module(&module)
+        self.prepare(query)?.execute(self, &Bindings::new())
     }
 
     /// Like [`Engine::run`], for an already-parsed module.
-    pub fn run_module(&mut self, module: &QueryModule) -> Result<QueryOutcome> {
-        let distributivity = self.analyse(module);
-        let strategy_used = match self.strategy {
-            Strategy::Naive => FixpointStrategy::Naive,
-            Strategy::Delta => FixpointStrategy::Delta,
-            Strategy::Auto => {
-                if !distributivity.is_empty() && distributivity.iter().all(|d| d.is_distributive())
-                {
-                    FixpointStrategy::Delta
-                } else {
-                    FixpointStrategy::Naive
-                }
-            }
-        };
-        let mut evaluator = Evaluator::new(&mut self.store);
-        evaluator.set_fixpoint_strategy(strategy_used);
-        evaluator.options_mut().seed_in_result = self.seed_in_result;
-        let result = evaluator.eval_module(module)?;
-        let fixpoints = evaluator.fixpoint_runs().to_vec();
-        Ok(QueryOutcome {
-            result,
-            distributivity,
-            strategy_used,
-            fixpoints,
-        })
-    }
-
-    /// Run a single inflationary fixed point on the **relational back-end**
-    /// (the MonetDB/Pathfinder role): `seed_query` is evaluated with the
-    /// source-level evaluator to obtain the seed node set, `body` is
-    /// compiled to an algebraic plan and driven by `µ` or `µ∆`.
     ///
-    /// Returns the result nodes together with the executor statistics
-    /// (iterations, rows fed back).
-    pub fn run_algebraic_fixpoint(
-        &mut self,
-        seed_query: &str,
-        body: &str,
-        var: &str,
-        strategy: MuStrategy,
-    ) -> Result<(Vec<NodeId>, ExecStats)> {
-        let seed = {
-            let mut evaluator = Evaluator::new(&mut self.store);
-            evaluator.eval_query_str(seed_query)?
-        };
-        self.run_algebraic_fixpoint_seeded(&seed.nodes(), body, var, strategy)
-    }
-
-    /// Like [`Engine::run_algebraic_fixpoint`], but with the seed node set
-    /// supplied directly (used for per-item fixpoints such as the
-    /// per-person bidder networks of Figure 10).
-    pub fn run_algebraic_fixpoint_seeded(
-        &mut self,
-        seed: &[NodeId],
-        body: &str,
-        var: &str,
-        strategy: MuStrategy,
-    ) -> Result<(Vec<NodeId>, ExecStats)> {
-        let body_expr = xqy_parser::parse_expr(body)?;
-        let compiled = compile_recursion_body(&body_expr, var)?;
-        let mut executor = Executor::new(&mut self.store);
-        let (table, stats) =
-            executor.run_fixpoint(&compiled.plan, seed, strategy, self.seed_in_result)?;
-        Ok((table.item_nodes(), stats))
+    /// Convenience only: it clones `module` into a throw-away prepared
+    /// query.  Callers that run the same module repeatedly should
+    /// [`prepare_module`](Engine::prepare_module) once and reuse the
+    /// [`PreparedQuery`].
+    pub fn run_module(&mut self, module: &QueryModule) -> Result<QueryOutcome> {
+        self.prepare_module(module.clone())
+            .execute(self, &Bindings::new())
     }
 
     /// Serialize a result sequence (nodes as XML, atomics as text).
@@ -273,6 +255,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xqy_eval::FixpointBackendTag;
 
     const CURRICULUM: &str = r#"<curriculum>
         <course code="c1"><prerequisites><pre_code>c2</pre_code><pre_code>c3</pre_code></prerequisites></course>
@@ -300,11 +283,17 @@ mod tests {
     fn auto_strategy_picks_delta_for_q1() {
         let mut engine = engine();
         let outcome = engine.run(Q1).unwrap();
-        assert_eq!(outcome.strategy_used, FixpointStrategy::Delta);
+        assert_eq!(outcome.strategy_used(), FixpointStrategy::Delta);
         assert_eq!(outcome.result.len(), 3);
         assert_eq!(outcome.distributivity.len(), 1);
         assert!(outcome.distributivity[0].syntactic);
         assert_eq!(outcome.distributivity[0].algebraic, Some(true));
+        assert_eq!(outcome.occurrences.len(), 1);
+        assert_eq!(outcome.occurrences[0].strategy, FixpointStrategy::Delta);
+        assert_eq!(
+            outcome.occurrences[0].backend,
+            FixpointBackendTag::Interpreted
+        );
     }
 
     #[test]
@@ -312,7 +301,7 @@ mod tests {
         let mut engine = engine();
         engine.set_seed_in_result(true);
         let outcome = engine.run(Q2).unwrap();
-        assert_eq!(outcome.strategy_used, FixpointStrategy::Naive);
+        assert_eq!(outcome.strategy_used(), FixpointStrategy::Naive);
         assert!(!outcome.distributivity[0].is_distributive());
         // Naïve on the seed-inclusive reading gives (a, b, c, d).
         assert_eq!(outcome.result.len(), 4);
@@ -323,11 +312,11 @@ mod tests {
         let mut engine = engine();
         engine.set_strategy(Strategy::Naive);
         let naive = engine.run(Q1).unwrap();
-        assert_eq!(naive.strategy_used, FixpointStrategy::Naive);
+        assert_eq!(naive.strategy_used(), FixpointStrategy::Naive);
 
         engine.set_strategy(Strategy::Delta);
         let delta = engine.run(Q1).unwrap();
-        assert_eq!(delta.strategy_used, FixpointStrategy::Delta);
+        assert_eq!(delta.strategy_used(), FixpointStrategy::Delta);
         assert_eq!(naive.result.len(), delta.result.len());
         assert!(
             delta.fixpoints[0].nodes_fed_back < naive.fixpoints[0].nodes_fed_back,
@@ -339,16 +328,15 @@ mod tests {
     fn algebraic_backend_agrees_with_the_evaluator() {
         let mut engine = engine();
         let eval_result = engine.run(Q1).unwrap();
-        let (nodes, stats) = engine
-            .run_algebraic_fixpoint(
-                "doc('curriculum.xml')/curriculum/course[@code='c1']",
-                "$x/id(./prerequisites/pre_code)",
-                "x",
-                MuStrategy::MuDelta,
-            )
-            .unwrap();
-        assert_eq!(nodes.len(), eval_result.result.len());
-        assert!(stats.iterations >= 2);
+
+        engine.set_backend(Backend::Algebraic);
+        let algebraic = engine.run(Q1).unwrap();
+        assert_eq!(algebraic.result.len(), eval_result.result.len());
+        assert_eq!(
+            algebraic.occurrences[0].backend,
+            FixpointBackendTag::Algebraic
+        );
+        assert!(algebraic.fixpoints[0].iterations >= 2);
     }
 
     #[test]
@@ -356,6 +344,7 @@ mod tests {
         let mut engine = engine();
         let outcome = engine.run("count(doc('curriculum.xml')//course)").unwrap();
         assert!(outcome.distributivity.is_empty());
+        assert!(outcome.occurrences.is_empty());
         assert!(outcome.fixpoints.is_empty());
         assert_eq!(engine.display(&outcome.result), "4");
     }
@@ -366,5 +355,12 @@ mod tests {
         assert!(engine.load_document("bad.xml", "<a><b></a>").is_err());
         let err = engine.run("doc('missing.xml')").unwrap_err();
         assert!(matches!(err, IfpError::Eval(_)));
+    }
+
+    #[test]
+    fn free_variables_are_reported_unbound_by_run() {
+        let mut engine = engine();
+        let err = engine.run("count($seed)").unwrap_err();
+        assert!(matches!(err, IfpError::UnboundVariable(name) if name == "seed"));
     }
 }

@@ -16,12 +16,20 @@
 //!   user-defined functions `fix(·)` (Figure 2) or `delta(·,·)` (Figure 4).
 //! * [`closure`] provides Regular XPath's transitive closure `e+` as a
 //!   library function on top of the IFP form.
-//! * [`engine`] ties everything together: documents, strategy selection
-//!   (Naïve / Delta / Auto-by-distributivity), both execution back-ends and
-//!   the statistics the paper's Table 2 reports.
+//! * [`engine`] and [`prepared`] tie everything together behind the
+//!   prepared-query API: [`Engine::prepare`] parses a query, analyses the
+//!   distributivity of every IFP occurrence, picks a strategy per
+//!   occurrence, and pre-compiles the recursion bodies that lie inside the
+//!   algebraic subset — **once** — and [`PreparedQuery::execute`] runs the
+//!   artifact any number of times with externally bound variables
+//!   ([`Bindings`]) against whichever documents the engine currently holds.
+//!   The [`Backend`] knob selects who drives the fixpoints: the
+//!   source-level interpreter, the relational executor, or per-occurrence
+//!   `Auto`.  [`Engine::run`] remains as a thin prepare-then-execute
+//!   convenience.
 //!
 //! ```
-//! use xqy_ifp::{Engine, Strategy};
+//! use xqy_ifp::{Bindings, Engine, Strategy};
 //!
 //! let mut engine = Engine::new();
 //! engine
@@ -35,22 +43,33 @@
 //!     )
 //!     .unwrap();
 //! engine.set_strategy(Strategy::Auto);
-//! let outcome = engine
-//!     .run(
-//!         "with $x seeded by doc('curriculum.xml')/curriculum/course[@code='c1']
-//!          recurse $x/id(./prerequisites/pre_code)",
-//!     )
+//!
+//! // Parse + analyse + compile once …
+//! let prepared = engine
+//!     .prepare("with $x seeded by $seed recurse $x/id(./prerequisites/pre_code)")
+//!     .unwrap();
+//! assert_eq!(prepared.external_variables(), ["seed"]);
+//! assert!(prepared.distributivity().iter().all(|d| d.syntactic));
+//!
+//! // … execute many times, binding a different seed each time.
+//! let seed = engine
+//!     .run("doc('curriculum.xml')/curriculum/course[@code='c1']")
+//!     .unwrap()
+//!     .result;
+//! let outcome = prepared
+//!     .execute(&mut engine, &Bindings::new().with("seed", seed))
 //!     .unwrap();
 //! assert_eq!(outcome.result.len(), 1);
-//! assert!(outcome.distributivity.iter().all(|d| d.syntactic));
 //! ```
 
 pub mod closure;
 pub mod engine;
+pub mod prepared;
 pub mod rewrite;
 pub mod syntactic;
 
 pub use engine::{DistributivityReport, Engine, QueryOutcome, Strategy};
+pub use prepared::{Backend, Bindings, OccurrencePlan, PreparedOccurrence, PreparedQuery};
 pub use rewrite::{rewrite_fixpoints_to_functions, RewriteStyle};
 pub use syntactic::{distributivity_hint, is_distributivity_safe, DsJudgement};
 
@@ -71,6 +90,9 @@ pub enum IfpError {
     Algebra(xqy_algebra::AlgebraError),
     /// Document loading failed.
     Document(String),
+    /// A prepared query was executed without a [`Bindings`] entry for one of
+    /// its external variables.
+    UnboundVariable(String),
 }
 
 impl std::fmt::Display for IfpError {
@@ -80,6 +102,12 @@ impl std::fmt::Display for IfpError {
             IfpError::Eval(err) => write!(f, "evaluation error: {err}"),
             IfpError::Algebra(err) => write!(f, "algebra error: {err}"),
             IfpError::Document(msg) => write!(f, "document error: {msg}"),
+            IfpError::UnboundVariable(name) => {
+                write!(
+                    f,
+                    "external variable ${name} is not bound (supply it via Bindings)"
+                )
+            }
         }
     }
 }

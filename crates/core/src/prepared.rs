@@ -1,0 +1,573 @@
+//! The prepared-query API: parse / analyse / compile **once**, execute
+//! **many** times.
+//!
+//! The paper's whole pitch is that the expensive decision work — the
+//! distributivity analysis of Figure 5 and Section 4, and the compilation of
+//! recursion bodies into algebraic plans — is *query-sized*, not data-sized:
+//! it can be paid once per query and amortized over arbitrarily many
+//! executions.  [`Engine::prepare`] produces a [`PreparedQuery`] that has
+//! already parsed the source, run both distributivity approximations per IFP
+//! occurrence, chosen a strategy (Naïve / Delta) for each occurrence, and
+//! pre-compiled the bodies that lie inside the algebraic subset;
+//! [`PreparedQuery::execute`] then runs the artifact against the engine's
+//! current document store, with externally bound variables supplied through
+//! [`Bindings`].
+//!
+//! ```
+//! use xqy_ifp::{Bindings, Engine};
+//!
+//! let mut engine = Engine::new();
+//! engine
+//!     .load_document_with_ids(
+//!         "curriculum.xml",
+//!         r#"<curriculum>
+//!              <course code="c1"><prerequisites><pre_code>c2</pre_code></prerequisites></course>
+//!              <course code="c2"><prerequisites/></course>
+//!            </curriculum>"#,
+//!         &["code"],
+//!     )
+//!     .unwrap();
+//! // Analysis and plan compilation happen here, once.
+//! let prepared = engine
+//!     .prepare("with $x seeded by $seed recurse $x/id(./prerequisites/pre_code)")
+//!     .unwrap();
+//! assert_eq!(prepared.external_variables(), ["seed"]);
+//! // ... and are reused for every seed we execute with.
+//! for code in ["c1", "c2"] {
+//!     let seed = engine
+//!         .run(&format!("doc('curriculum.xml')/curriculum/course[@code='{code}']"))
+//!         .unwrap()
+//!         .result;
+//!     let bindings = Bindings::new().with("seed", seed);
+//!     let outcome = prepared.execute(&mut engine, &bindings).unwrap();
+//!     assert!(outcome.result.len() <= 1);
+//! }
+//! ```
+
+use std::sync::Arc;
+
+use xqy_algebra::{compile_recursion_body, CompiledBody, Executor, MuStrategy};
+use xqy_eval::{
+    EvalError, Evaluator, FixpointBackendTag, FixpointInterceptor, FixpointStats, FixpointStrategy,
+    FixpointStrategyTag,
+};
+use xqy_parser::ast::{Expr, QueryModule};
+use xqy_xdm::{NodeId, NodeStore, Sequence};
+
+use crate::engine::{DistributivityReport, Engine, QueryOutcome, Strategy};
+use crate::syntactic::is_distributivity_safe;
+use crate::{IfpError, Result};
+
+/// Which back-end executes the fixpoint occurrences of a prepared query.
+///
+/// Every other part of a query — paths, FLWOR, functions, constructors — is
+/// always evaluated by the source-level interpreter; the knob decides who
+/// drives the `with … seeded by … recurse` iterations, which is where all
+/// the repeated work lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// The source-level interpreter runs the recursion body per iteration
+    /// (the paper's "Saxon role").  This is the default: it supports the
+    /// full expression subset.
+    #[default]
+    SourceLevel,
+    /// Every IFP occurrence is driven by its pre-compiled algebraic plan on
+    /// the relational executor (the paper's "MonetDB/Pathfinder role", µ and
+    /// µ∆).  Preparing succeeds even for bodies outside the algebraic
+    /// subset, but executing reports [`xqy_algebra::AlgebraError::Unsupported`].
+    Algebraic,
+    /// Per occurrence: use the pre-compiled algebraic plan when the body
+    /// lies inside the algebraic subset, fall back to the interpreter
+    /// otherwise.
+    Auto,
+}
+
+impl Backend {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::SourceLevel => "source-level",
+            Backend::Algebraic => "algebraic",
+            Backend::Auto => "auto",
+        }
+    }
+}
+
+/// Values for the external (free) variables of a prepared query.
+///
+/// A query such as `with $x seeded by $seed recurse …` leaves `$seed`
+/// unbound; each [`PreparedQuery::execute`] call supplies it here.  Names
+/// are given without the leading `$`.
+#[derive(Debug, Clone, Default)]
+pub struct Bindings {
+    vars: Vec<(String, Sequence)>,
+}
+
+impl Bindings {
+    /// No bindings.
+    pub fn new() -> Self {
+        Bindings::default()
+    }
+
+    /// Builder-style: add (or replace) a binding and return `self`.
+    pub fn with(mut self, name: impl Into<String>, value: Sequence) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// Add or replace a binding.
+    pub fn set(&mut self, name: impl Into<String>, value: Sequence) {
+        let name = name.into();
+        if let Some(slot) = self.vars.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.vars.push((name, value));
+        }
+    }
+
+    /// The value bound to `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Sequence> {
+        self.vars.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Iterate over all `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Sequence)> {
+        self.vars.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// `true` when no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+}
+
+/// One IFP occurrence of a prepared query: its analysis results, the
+/// strategy chosen for it, and (when the body lies inside the algebraic
+/// subset) its pre-compiled plan.
+#[derive(Debug, Clone)]
+pub struct PreparedOccurrence {
+    var: String,
+    /// Shared so per-execute bookkeeping (strategy overrides, interceptor
+    /// entries) is O(occurrences), not O(AST size).
+    body: Arc<Expr>,
+    report: DistributivityReport,
+    strategy: FixpointStrategy,
+    compiled: std::result::Result<Arc<CompiledBody>, String>,
+}
+
+impl PreparedOccurrence {
+    /// The recursion variable (without the `$`).
+    pub fn variable(&self) -> &str {
+        &self.var
+    }
+
+    /// The distributivity assessment of the occurrence's body.
+    pub fn report(&self) -> &DistributivityReport {
+        &self.report
+    }
+
+    /// The strategy chosen for this occurrence (per-occurrence under
+    /// [`Strategy::Auto`]: Delta when either approximation certifies
+    /// distributivity, Naïve otherwise).
+    pub fn strategy(&self) -> FixpointStrategy {
+        self.strategy
+    }
+
+    /// `true` when the body compiled to an algebraic plan, i.e. the
+    /// occurrence can run on the relational back-end.
+    pub fn is_algebraic_capable(&self) -> bool {
+        self.compiled.is_ok()
+    }
+}
+
+/// How this occurrence's strategy maps onto the relational operators.
+fn mu_strategy(strategy: FixpointStrategy) -> MuStrategy {
+    match strategy {
+        FixpointStrategy::Naive => MuStrategy::Mu,
+        FixpointStrategy::Delta => MuStrategy::MuDelta,
+    }
+}
+
+fn strategy_tag(strategy: FixpointStrategy) -> FixpointStrategyTag {
+    match strategy {
+        FixpointStrategy::Naive => FixpointStrategyTag::Naive,
+        FixpointStrategy::Delta => FixpointStrategyTag::Delta,
+    }
+}
+
+/// The per-occurrence execution decision recorded in a [`QueryOutcome`]:
+/// which algorithm and which back-end ran each `with … recurse` occurrence,
+/// in syntactic order (index-aligned with `QueryOutcome::distributivity`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OccurrencePlan {
+    /// The recursion variable of the occurrence.
+    pub variable: String,
+    /// The algorithm chosen for the occurrence.
+    pub strategy: FixpointStrategy,
+    /// The back-end that drives the occurrence.
+    pub backend: FixpointBackendTag,
+}
+
+/// A parsed, analysed and (where possible) compiled query, ready to be
+/// executed any number of times.  Create with [`Engine::prepare`]; see the
+/// [module docs](self) for the amortization story.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    module: QueryModule,
+    backend: Backend,
+    default_strategy: FixpointStrategy,
+    occurrences: Vec<PreparedOccurrence>,
+    external_vars: Vec<String>,
+}
+
+impl PreparedQuery {
+    /// Analyse `module`: collect its IFP occurrences, run both
+    /// distributivity approximations on each, choose a per-occurrence
+    /// strategy under `strategy`, and pre-compile the algebraic plans.
+    pub(crate) fn analyse_module(
+        module: QueryModule,
+        strategy: Strategy,
+        backend: Backend,
+    ) -> Self {
+        let occurrences = analyse_occurrences(&module, strategy);
+        let external_vars = external_variables(&module);
+        let default_strategy = strategy.forced().unwrap_or(FixpointStrategy::Naive);
+        PreparedQuery {
+            module,
+            backend,
+            default_strategy,
+            occurrences,
+            external_vars,
+        }
+    }
+
+    /// The back-end the fixpoint occurrences will run on.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Select the back-end for the fixpoint occurrences.
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
+    }
+
+    /// Builder-style [`set_backend`](Self::set_backend).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The IFP occurrences of the query, in syntactic order.
+    pub fn occurrences(&self) -> &[PreparedOccurrence] {
+        &self.occurrences
+    }
+
+    /// The distributivity reports, one per occurrence in syntactic order.
+    pub fn distributivity(&self) -> Vec<DistributivityReport> {
+        self.occurrences.iter().map(|o| o.report.clone()).collect()
+    }
+
+    /// The external (free) variables the query expects from [`Bindings`]
+    /// at execution time, sorted by name and given without the `$`.
+    pub fn external_variables(&self) -> &[String] {
+        &self.external_vars
+    }
+
+    /// The parsed module.
+    pub fn module(&self) -> &QueryModule {
+        &self.module
+    }
+
+    /// Execute the prepared query against `engine`'s current document store
+    /// with the external variables bound from `bindings`.
+    ///
+    /// No parsing, distributivity analysis or plan compilation happens here
+    /// — only evaluation.  Documents loaded into the engine *after*
+    /// [`Engine::prepare`] are visible, since preparation is purely static.
+    pub fn execute(&self, engine: &mut Engine, bindings: &Bindings) -> Result<QueryOutcome> {
+        for var in &self.external_vars {
+            if bindings.get(var).is_none() {
+                return Err(IfpError::UnboundVariable(var.clone()));
+            }
+        }
+        // Resolve each occurrence against the back-end knob.
+        let mut plans: Vec<Option<Arc<CompiledBody>>> = Vec::with_capacity(self.occurrences.len());
+        for occ in &self.occurrences {
+            let plan = match (self.backend, &occ.compiled) {
+                (Backend::SourceLevel, _) => None,
+                (Backend::Algebraic, Ok(compiled)) => Some(compiled.clone()),
+                (Backend::Algebraic, Err(reason)) => {
+                    return Err(IfpError::Algebra(xqy_algebra::AlgebraError::Unsupported(
+                        format!(
+                            "recursion body of ${} is outside the algebraic subset: {reason}",
+                            occ.var
+                        ),
+                    )))
+                }
+                (Backend::Auto, compiled) => compiled.as_ref().ok().cloned(),
+            };
+            plans.push(plan);
+        }
+
+        let seed_in_result = engine.seed_in_result;
+        let mut evaluator = Evaluator::new(&mut engine.store);
+        evaluator.options_mut().seed_in_result = seed_in_result;
+        evaluator.set_fixpoint_strategy(self.default_strategy);
+        for (name, value) in bindings.iter() {
+            evaluator.bind_global(name, value.clone());
+        }
+        for occ in &self.occurrences {
+            evaluator.set_fixpoint_strategy_for(&occ.var, occ.body.clone(), occ.strategy);
+        }
+        let entries: Vec<PlanEntry> = self
+            .occurrences
+            .iter()
+            .zip(&plans)
+            .filter_map(|(occ, plan)| {
+                plan.as_ref().map(|compiled| PlanEntry {
+                    var: occ.var.clone(),
+                    body: occ.body.clone(),
+                    compiled: compiled.clone(),
+                    strategy: occ.strategy,
+                })
+            })
+            .collect();
+        if !entries.is_empty() {
+            evaluator.set_fixpoint_interceptor(Box::new(PlanDriver { entries }));
+        }
+
+        let result = evaluator.eval_module(&self.module)?;
+        let fixpoints = evaluator.fixpoint_runs().to_vec();
+        let occurrences = self
+            .occurrences
+            .iter()
+            .zip(&plans)
+            .map(|(occ, plan)| OccurrencePlan {
+                variable: occ.var.clone(),
+                strategy: occ.strategy,
+                backend: if plan.is_some() {
+                    FixpointBackendTag::Algebraic
+                } else {
+                    FixpointBackendTag::Interpreted
+                },
+            })
+            .collect();
+        Ok(QueryOutcome {
+            result,
+            distributivity: self.distributivity(),
+            occurrences,
+            fixpoints,
+        })
+    }
+}
+
+/// One interceptor entry: an occurrence with a pre-compiled plan.
+struct PlanEntry {
+    var: String,
+    body: Arc<Expr>,
+    compiled: Arc<CompiledBody>,
+    strategy: FixpointStrategy,
+}
+
+/// The [`FixpointInterceptor`] installed by [`PreparedQuery::execute`]: it
+/// recognises occurrences by their `(var, body)` pair and drives their
+/// pre-compiled plans through the relational executor, reusing one
+/// [`CompiledBody`] across every execution (and across every seed of a
+/// per-item workload).
+struct PlanDriver {
+    entries: Vec<PlanEntry>,
+}
+
+impl FixpointInterceptor for PlanDriver {
+    fn run_fixpoint(
+        &mut self,
+        store: &mut NodeStore,
+        var: &str,
+        body: &Expr,
+        seed: &[NodeId],
+        seed_in_result: bool,
+    ) -> Option<xqy_eval::Result<(Vec<NodeId>, FixpointStats)>> {
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.var == var && *e.body == *body)?;
+        let mut executor = Executor::new(store);
+        Some(
+            match executor.run_fixpoint(
+                &entry.compiled.plan,
+                seed,
+                mu_strategy(entry.strategy),
+                seed_in_result,
+            ) {
+                Ok((table, stats)) => Ok((
+                    table.item_nodes(),
+                    FixpointStats {
+                        strategy: Some(strategy_tag(entry.strategy)),
+                        backend: FixpointBackendTag::Algebraic,
+                        iterations: stats.iterations,
+                        nodes_fed_back: stats.rows_fed_back,
+                        payload_calls: stats.body_evaluations,
+                        result_size: stats.result_rows,
+                    },
+                )),
+                Err(err) => Err(EvalError::Backend(err.to_string())),
+            },
+        )
+    }
+}
+
+/// Analyse every IFP occurrence of `module`: run both distributivity
+/// approximations, choose a per-occurrence strategy under `strategy`, and
+/// compile the algebraic plan when the body lies inside the subset.
+pub(crate) fn analyse_occurrences(
+    module: &QueryModule,
+    strategy: Strategy,
+) -> Vec<PreparedOccurrence> {
+    let mut occurrences = Vec::new();
+    for (var, body) in collect_occurrences(module) {
+        let syntactic = is_distributivity_safe(&body, &var, &module.functions);
+        let compiled = compile_recursion_body(&body, &var)
+            .map(Arc::new)
+            .map_err(|e| e.to_string());
+        let (algebraic, blocked) = match &compiled {
+            Ok(c) => (
+                Some(c.distributivity.distributive),
+                c.distributivity.blocked_by.clone(),
+            ),
+            Err(_) => (None, None),
+        };
+        let report = DistributivityReport {
+            variable: var.clone(),
+            syntactic: syntactic.safe,
+            syntactic_rule: syntactic.rule,
+            algebraic,
+            algebraic_blocked_by: blocked,
+        };
+        let chosen = strategy.forced().unwrap_or(if report.is_distributive() {
+            FixpointStrategy::Delta
+        } else {
+            FixpointStrategy::Naive
+        });
+        occurrences.push(PreparedOccurrence {
+            var,
+            body: Arc::new(body),
+            report,
+            strategy: chosen,
+            compiled,
+        });
+    }
+    occurrences
+}
+
+/// Collect the `(recursion variable, body)` of every IFP occurrence in the
+/// module, in syntactic order (functions, then variable declarations, then
+/// the main body) — the order `QueryOutcome::distributivity` reports.
+fn collect_occurrences(module: &QueryModule) -> Vec<(String, Expr)> {
+    let mut bodies: Vec<(String, Expr)> = Vec::new();
+    let mut collect = |expr: &Expr| {
+        expr.walk(&mut |e| {
+            if let Expr::Fixpoint { var, body, .. } = e {
+                bodies.push((var.clone(), body.as_ref().clone()));
+            }
+        });
+    };
+    for f in &module.functions {
+        collect(&f.body);
+    }
+    for (_, v) in &module.variables {
+        collect(v);
+    }
+    collect(&module.body);
+    bodies
+}
+
+/// The external variables of a module: every free variable that is not
+/// satisfied by a `declare variable` of the module itself (function bodies
+/// see their parameters and the globals, mirroring the evaluator's scoping).
+fn external_variables(module: &QueryModule) -> Vec<String> {
+    use std::collections::HashSet;
+    let declared: HashSet<&str> = module.variables.iter().map(|(n, _)| n.as_str()).collect();
+    let mut out: Vec<String> = Vec::new();
+    let add = |v: String, out: &mut Vec<String>| {
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    };
+    // Declared variables are evaluated in order; each initializer may use
+    // the variables declared before it (and the externals).
+    let mut seen: HashSet<String> = HashSet::new();
+    for (name, expr) in &module.variables {
+        for v in expr.free_vars() {
+            if !seen.contains(&v) {
+                add(v, &mut out);
+            }
+        }
+        seen.insert(name.clone());
+    }
+    for f in &module.functions {
+        for v in f.body.free_vars() {
+            if !f.params.contains(&v) && !declared.contains(v.as_str()) {
+                add(v, &mut out);
+            }
+        }
+    }
+    for v in module.body.free_vars() {
+        if !declared.contains(v.as_str()) {
+            add(v, &mut out);
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqy_parser::parse_query;
+
+    fn externals(src: &str) -> Vec<String> {
+        external_variables(&parse_query(src).unwrap())
+    }
+
+    #[test]
+    fn external_variables_respect_declarations_and_binders() {
+        assert_eq!(externals("with $x seeded by $seed recurse $x/*"), ["seed"]);
+        assert!(
+            externals("declare variable $seed := <a/>; with $x seeded by $seed recurse $x/*")
+                .is_empty()
+        );
+        assert_eq!(
+            externals("for $s in $input return ($s, $extra)"),
+            ["extra", "input"]
+        );
+        assert!(externals("let $y := 1 return $y").is_empty());
+    }
+
+    #[test]
+    fn function_parameters_are_not_external() {
+        assert_eq!(
+            externals(
+                "declare function f($a) { $a union $shared };\n\
+                 f($start)"
+            ),
+            ["shared", "start"]
+        );
+    }
+
+    #[test]
+    fn bindings_replace_and_lookup() {
+        let mut b = Bindings::new().with("x", Sequence::empty());
+        assert!(b.get("x").is_some());
+        assert!(b.get("y").is_none());
+        b.set("x", Sequence::empty());
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+        assert_eq!(Backend::Auto.name(), "auto");
+        assert_eq!(Backend::default(), Backend::SourceLevel);
+    }
+}

@@ -39,6 +39,9 @@ pub enum EvalError {
     /// Evaluation exceeded the configured recursion depth for user-defined
     /// functions.
     RecursionLimit(usize),
+    /// A fixpoint interceptor (an alternative fixpoint back-end installed by
+    /// a higher layer, e.g. the algebraic executor) failed.
+    Backend(String),
 }
 
 impl fmt::Display for EvalError {
@@ -60,6 +63,7 @@ impl fmt::Display for EvalError {
             EvalError::RecursionLimit(depth) => {
                 write!(f, "user-defined function recursion exceeded depth {depth}")
             }
+            EvalError::Backend(msg) => write!(f, "fixpoint back-end error: {msg}"),
         }
     }
 }

@@ -14,7 +14,7 @@ use xqy_xdm::{
 use crate::compare::{arithmetic, effective_boolean_value, general_pair_compare, value_compare};
 use crate::context::{Environment, Focus};
 use crate::error::EvalError;
-use crate::fixpoint::{self, FixpointStats, FixpointStrategy};
+use crate::fixpoint::{self, FixpointInterceptor, FixpointStats, FixpointStrategy};
 use crate::Result;
 
 /// Tunable evaluation options.
@@ -65,6 +65,16 @@ pub struct Evaluator<'s> {
     options: EvalOptions,
     fixpoint_runs: Vec<FixpointStats>,
     recursion_depth: usize,
+    /// Per-occurrence strategy overrides, keyed by the occurrence's
+    /// `(recursion variable, body)` pair.  Looked up structurally so the
+    /// same occurrence matches however many times it is evaluated (per-seed
+    /// loops, function bodies cloned at call time, …).  The bodies are
+    /// shared `Arc`s so installing overrides is O(occurrences), not
+    /// O(AST size).
+    strategy_overrides: Vec<((String, std::sync::Arc<Expr>), FixpointStrategy)>,
+    /// Optional hook that may take over fixpoint evaluation (e.g. to drive a
+    /// pre-compiled algebraic plan on the relational back-end).
+    interceptor: Option<Box<dyn FixpointInterceptor>>,
 }
 
 impl<'s> Evaluator<'s> {
@@ -77,6 +87,8 @@ impl<'s> Evaluator<'s> {
             options: EvalOptions::default(),
             fixpoint_runs: Vec::new(),
             recursion_depth: 0,
+            strategy_overrides: Vec::new(),
+            interceptor: None,
         }
     }
 
@@ -98,6 +110,44 @@ impl<'s> Evaluator<'s> {
     /// Select the IFP evaluation algorithm (Naïve or Delta).
     pub fn set_fixpoint_strategy(&mut self, strategy: FixpointStrategy) {
         self.options.fixpoint_strategy = strategy;
+    }
+
+    /// Override the IFP algorithm for one occurrence, identified by its
+    /// `(recursion variable, body)` pair.  Occurrences without an override
+    /// use the global [`EvalOptions::fixpoint_strategy`].  This is how the
+    /// prepared-query layer applies a *per-occurrence* strategy decision —
+    /// Delta for distributive bodies, Naïve for the rest — within one query.
+    pub fn set_fixpoint_strategy_for(
+        &mut self,
+        var: &str,
+        body: std::sync::Arc<Expr>,
+        strategy: FixpointStrategy,
+    ) {
+        if let Some(slot) = self
+            .strategy_overrides
+            .iter_mut()
+            .find(|((v, b), _)| v == var && **b == *body)
+        {
+            slot.1 = strategy;
+        } else {
+            self.strategy_overrides
+                .push(((var.to_string(), body), strategy));
+        }
+    }
+
+    /// Install a [`FixpointInterceptor`] that may take over the evaluation
+    /// of IFP occurrences (see the trait docs).
+    pub fn set_fixpoint_interceptor(&mut self, interceptor: Box<dyn FixpointInterceptor>) {
+        self.interceptor = Some(interceptor);
+    }
+
+    /// The strategy that will evaluate the occurrence `(var, body)`.
+    pub fn fixpoint_strategy_for(&self, var: &str, body: &Expr) -> FixpointStrategy {
+        self.strategy_overrides
+            .iter()
+            .find(|((v, b), _)| v == var && b.as_ref() == body)
+            .map(|(_, s)| *s)
+            .unwrap_or(self.options.fixpoint_strategy)
     }
 
     /// Statistics of every fixed point computation executed so far, in
@@ -346,7 +396,29 @@ impl<'s> Evaluator<'s> {
             | Expr::ComputedText { .. } => crate::construct::construct(self, expr, env, focus),
             Expr::Fixpoint { var, seed, body } => {
                 let seed_value = self.eval_expr(seed, env, focus)?;
-                let strategy = self.options.fixpoint_strategy;
+                // Offer node-seeded occurrences to the interceptor first
+                // (non-node seeds fall through to evaluate_fixpoint, which
+                // reports the type error).  The box is taken out for the
+                // call so the interceptor can receive `self.store` mutably;
+                // it is restored before any nested occurrence evaluates.
+                if seed_value.all_nodes() {
+                    if let Some(mut interceptor) = self.interceptor.take() {
+                        let outcome = interceptor.run_fixpoint(
+                            self.store,
+                            var,
+                            body,
+                            &seed_value.nodes(),
+                            self.options.seed_in_result,
+                        );
+                        self.interceptor = Some(interceptor);
+                        if let Some(result) = outcome {
+                            let (nodes, stats) = result?;
+                            self.record_fixpoint_run(stats);
+                            return Ok(Sequence::from_nodes(nodes));
+                        }
+                    }
+                }
+                let strategy = self.fixpoint_strategy_for(var, body);
                 fixpoint::evaluate_fixpoint(self, var, &seed_value, body, env, strategy)
             }
         }

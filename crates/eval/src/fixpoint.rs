@@ -50,11 +50,62 @@ impl FixpointStrategy {
     }
 }
 
+/// Which engine actually drove one fixed point computation.
+///
+/// The interpreter runs fixpoints itself by default; a
+/// [`FixpointInterceptor`] installed by a higher layer (the `xqy_ifp`
+/// prepared-query machinery) may instead drive a pre-compiled algebraic plan
+/// through the relational back-end.  The tag records which one happened so
+/// per-occurrence statistics stay attributable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FixpointBackendTag {
+    /// The source-level interpreter evaluated the recursion body per
+    /// iteration (the paper's "Saxon role").
+    #[default]
+    Interpreted,
+    /// A pre-compiled algebraic plan was driven by the relational executor
+    /// (the paper's "MonetDB/Pathfinder role").
+    Algebraic,
+}
+
+impl FixpointBackendTag {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FixpointBackendTag::Interpreted => "interpreted",
+            FixpointBackendTag::Algebraic => "algebraic",
+        }
+    }
+}
+
+/// A hook that may take over the evaluation of an IFP occurrence.
+///
+/// The evaluator calls the hook once per `with … seeded by … recurse`
+/// evaluation, after the seed expression has been evaluated to a node set.
+/// Returning `None` declines the occurrence (the interpreter then runs the
+/// Naïve/Delta algorithms itself); returning `Some(result)` supplies the
+/// fixpoint result and its statistics.  `xqy_ifp` uses this to execute
+/// occurrences whose bodies were pre-compiled to algebraic plans on the
+/// relational back-end, without re-entering the interpreter per iteration.
+pub trait FixpointInterceptor {
+    /// Attempt to run the fixpoint for `(var, body)` seeded by `seed`.
+    fn run_fixpoint(
+        &mut self,
+        store: &mut xqy_xdm::NodeStore,
+        var: &str,
+        body: &Expr,
+        seed: &[NodeId],
+        seed_in_result: bool,
+    ) -> Option<Result<(Vec<NodeId>, FixpointStats)>>;
+}
+
 /// Statistics of one fixed point computation.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct FixpointStats {
     /// The strategy that was used.
     pub strategy: Option<FixpointStrategyTag>,
+    /// Which back-end drove the computation.
+    pub backend: FixpointBackendTag,
     /// Number of do-while iterations executed (the paper's
     /// "recursion depth").
     pub iterations: usize,

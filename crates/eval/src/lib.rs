@@ -18,9 +18,19 @@
 //!    statistics (iterations, nodes fed back into the recursion body) that
 //!    Table 2 of the paper reports.
 //!
+//! The evaluator is built to be *driven by a prepared query*: external
+//! variables are supplied up front with [`Evaluator::bind_global`], the
+//! fixpoint algorithm can be chosen **per IFP occurrence** with
+//! [`Evaluator::set_fixpoint_strategy_for`], and a
+//! [`FixpointInterceptor`] may take over occurrences entirely (the
+//! `xqy_ifp` crate uses this to drive pre-compiled algebraic plans).  A
+//! parsed module is evaluated with [`Evaluator::eval_module`], so the
+//! parse happens once however many times the module runs.
+//!
 //! ```
 //! use xqy_xdm::NodeStore;
 //! use xqy_eval::{Evaluator, FixpointStrategy};
+//! use xqy_parser::parse_query;
 //!
 //! let mut store = NodeStore::new();
 //! store
@@ -34,14 +44,19 @@
 //!     .unwrap();
 //! store.register_id_attribute(store.doc("curriculum.xml").unwrap(), "code");
 //!
+//! // Parse once …
+//! let module = parse_query(
+//!     "with $x seeded by $seed recurse $x/id(./prerequisites/pre_code)",
+//! ).unwrap();
+//!
+//! // … evaluate with `$seed` bound externally.
 //! let mut eval = Evaluator::new(&mut store);
 //! eval.set_fixpoint_strategy(FixpointStrategy::Delta);
-//! let result = eval
-//!     .eval_query_str(
-//!         "with $x seeded by doc('curriculum.xml')/curriculum/course[@code='c1']
-//!          recurse $x/id(./prerequisites/pre_code)",
-//!     )
+//! let seed = eval
+//!     .eval_query_str("doc('curriculum.xml')/curriculum/course[@code='c1']")
 //!     .unwrap();
+//! eval.bind_global("seed", seed);
+//! let result = eval.eval_module(&module).unwrap();
 //! assert_eq!(result.len(), 1); // course c2
 //! ```
 
@@ -56,7 +71,9 @@ pub mod fixpoint;
 pub use context::{Environment, Focus};
 pub use error::EvalError;
 pub use evaluator::{EvalOptions, Evaluator};
-pub use fixpoint::{FixpointStats, FixpointStrategy};
+pub use fixpoint::{
+    FixpointBackendTag, FixpointInterceptor, FixpointStats, FixpointStrategy, FixpointStrategyTag,
+};
 
 /// Result alias for evaluation.
 pub type Result<T> = std::result::Result<T, EvalError>;

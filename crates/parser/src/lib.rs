@@ -37,3 +37,25 @@ pub use parser::{parse_expr, parse_query};
 
 /// Result alias for parser operations.
 pub type Result<T> = std::result::Result<T, ParseError>;
+
+std::thread_local! {
+    static PARSE_COUNT: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// How many times this thread has invoked the parser ([`parse_query`] or
+/// [`parse_expr`]), successfully or not.
+///
+/// This is the *parse-count hook* of the prepared-query API: callers that
+/// promise "parse once, execute many" (e.g. `xqy_ifp::PreparedQuery`) can be
+/// audited by snapshotting the counter around the repeated executions.  The
+/// counter is thread-local so concurrently running tests do not observe each
+/// other's parses.
+pub fn parse_count() -> u64 {
+    PARSE_COUNT.with(|c| c.get())
+}
+
+/// Bump the parse counter; called from inside the parser entry points so
+/// the hook cannot be bypassed.
+pub(crate) fn note_parse() {
+    PARSE_COUNT.with(|c| c.set(c.get() + 1));
+}

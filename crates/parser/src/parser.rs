@@ -21,6 +21,7 @@ use crate::Result;
 
 /// Parse a complete query module (prolog + body expression).
 pub fn parse_query(source: &str) -> Result<QueryModule> {
+    crate::note_parse();
     let mut parser = Parser::new(source);
     let module = parser.parse_module()?;
     parser.expect_eof()?;
@@ -29,6 +30,7 @@ pub fn parse_query(source: &str) -> Result<QueryModule> {
 
 /// Parse a single expression (no prolog allowed).
 pub fn parse_expr(source: &str) -> Result<Expr> {
+    crate::note_parse();
     let mut parser = Parser::new(source);
     let expr = parser.parse_expr()?;
     parser.expect_eof()?;

@@ -108,10 +108,9 @@ impl NodeSet {
         }
         *word &= !mask;
         self.len -= 1;
-        if words.iter().all(|&w| w == 0) {
+        Self::trim(words);
+        if words.is_empty() {
             self.docs.remove(&node.doc);
-        } else {
-            Self::trim(self.docs.get_mut(&node.doc).unwrap());
         }
         true
     }

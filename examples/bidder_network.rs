@@ -9,8 +9,7 @@
 use std::time::Instant;
 
 use xqy_datagen::{auction, Scale};
-use xqy_ifp::algebra::MuStrategy;
-use xqy_ifp::{Engine, Strategy};
+use xqy_ifp::{Backend, Bindings, Engine, Strategy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = auction::AuctionConfig::for_scale(Scale::Small);
@@ -41,18 +40,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Relational back-end (the paper's "MonetDB/XQuery" role): µ vs µ∆.
+    // The recursion body is compiled to an algebraic plan once, at prepare
+    // time; both runs (and any further seeds) reuse it.
     let mut engine = Engine::new();
     engine.load_document(auction::DOC_URI, &xml)?;
-    let seed = format!("doc('{}')/site/people/person[@id='p0']", auction::DOC_URI);
-    for strategy in [MuStrategy::Mu, MuStrategy::MuDelta] {
+    engine.set_backend(Backend::Algebraic);
+    let seed = engine
+        .run(&format!(
+            "doc('{}')/site/people/person[@id='p0']",
+            auction::DOC_URI
+        ))?
+        .result;
+    let bindings = Bindings::new().with("seed", seed);
+    for strategy in [Strategy::Naive, Strategy::Delta] {
+        engine.set_strategy(strategy);
+        let prepared = engine.prepare(&format!(
+            "with $x seeded by $seed recurse {}",
+            auction::BODY
+        ))?;
         let start = Instant::now();
-        let (nodes, stats) = engine.run_algebraic_fixpoint(&seed, auction::BODY, "x", strategy)?;
+        let outcome = prepared.execute(&mut engine, &bindings)?;
+        let stats = &outcome.fixpoints[0];
         println!(
             "algebra   {:<8} -> network of {:>4} persons, depth {:>2}, {:>6} rows fed back, {:?}",
-            strategy.name(),
-            nodes.len(),
+            if strategy == Strategy::Naive {
+                "mu"
+            } else {
+                "mu-delta"
+            },
+            outcome.result.len(),
             stats.iterations,
-            stats.rows_fed_back,
+            stats.nodes_fed_back,
             start.elapsed()
         );
     }

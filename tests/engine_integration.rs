@@ -22,7 +22,7 @@ fn regular_xpath_child_closure_equals_descendant_axis() {
     let via_axis = engine.run("doc('tree.xml')/r/descendant::*").unwrap();
     assert_eq!(via_closure.result.nodes(), via_axis.result.nodes());
     // Closure bodies are distributive, so Auto must have picked Delta.
-    assert_eq!(via_closure.strategy_used, FixpointStrategy::Delta);
+    assert_eq!(via_closure.strategy_used(), FixpointStrategy::Delta);
 }
 
 #[test]
@@ -82,17 +82,33 @@ fn fixpoint_statistics_are_exposed_per_occurrence() {
 }
 
 #[test]
-fn auto_strategy_is_conservative_with_mixed_bodies() {
+fn auto_strategy_is_per_occurrence_with_mixed_bodies() {
     let mut engine = Engine::new();
     engine.set_seed_in_result(true);
     // One distributive and one non-distributive fixpoint in the same query:
-    // Auto must fall back to Naïve for the whole query.
+    // Auto runs Delta on the former and Naïve on the latter — one body no
+    // longer drags the whole query down.
     let query = "let $seed := <a><b/></a> return \
                  ((with $x seeded by $seed recurse $x/*), \
                   (with $y seeded by $seed recurse if (count($y)) then $y/* else ()))";
     let outcome = engine.run(query).unwrap();
     assert_eq!(outcome.distributivity.len(), 2);
-    assert_eq!(outcome.strategy_used, FixpointStrategy::Naive);
+    assert!(outcome.distributivity[0].is_distributive());
+    assert!(!outcome.distributivity[1].is_distributive());
+    assert_eq!(outcome.occurrences[0].strategy, FixpointStrategy::Delta);
+    assert_eq!(outcome.occurrences[1].strategy, FixpointStrategy::Naive);
+    // The query-level summary stays conservative.
+    assert_eq!(outcome.strategy_used(), FixpointStrategy::Naive);
+    // The per-run statistics carry the per-occurrence strategies too.
+    use xqy_ifp::eval::FixpointStrategyTag;
+    let tags: Vec<_> = outcome.fixpoints.iter().map(|s| s.strategy).collect();
+    assert_eq!(
+        tags,
+        vec![
+            Some(FixpointStrategyTag::Delta),
+            Some(FixpointStrategyTag::Naive)
+        ]
+    );
 }
 
 #[test]

@@ -109,7 +109,7 @@ fn q2_is_flagged_non_distributive_by_both_checks() {
     assert_eq!(report.algebraic_blocked_by.as_deref(), Some("count"));
     // …so Auto must have chosen Naïve, preserving the IFP semantics.
     assert_eq!(
-        outcome.strategy_used,
+        outcome.strategy_used(),
         xqy_ifp::eval::FixpointStrategy::Naive
     );
 }

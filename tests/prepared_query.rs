@@ -1,0 +1,292 @@
+//! Prepared-query surface tests: parse/analyse/compile once, execute many —
+//! reuse across bindings and late-loaded documents, error paths for
+//! unbound / mistyped external variables, per-occurrence strategy and
+//! back-end selection, and Naïve ≡ Delta equivalence through the new API.
+
+use xqy_ifp::eval::{FixpointBackendTag, FixpointStrategy};
+use xqy_ifp::{Backend, Bindings, Engine, IfpError, Strategy};
+
+const CURRICULUM: &str = r#"<curriculum>
+    <course code="c1"><prerequisites><pre_code>c2</pre_code><pre_code>c3</pre_code></prerequisites></course>
+    <course code="c2"><prerequisites><pre_code>c4</pre_code></prerequisites></course>
+    <course code="c3"><prerequisites/></course>
+    <course code="c4"><prerequisites/></course>
+</curriculum>"#;
+
+const PREREQ_BODY: &str = "$x/id(./prerequisites/pre_code)";
+
+fn curriculum_engine() -> Engine {
+    let mut engine = Engine::new();
+    engine
+        .load_document_with_ids("curriculum.xml", CURRICULUM, &["code"])
+        .unwrap();
+    engine
+}
+
+fn seed_for(engine: &mut Engine, code: &str) -> Bindings {
+    let seed = engine
+        .run(&format!(
+            "doc('curriculum.xml')/curriculum/course[@code='{code}']"
+        ))
+        .unwrap()
+        .result;
+    Bindings::new().with("seed", seed)
+}
+
+#[test]
+fn one_prepared_query_serves_many_bindings() {
+    let mut engine = curriculum_engine();
+    let prepared = engine
+        .prepare(&format!("with $x seeded by $seed recurse {PREREQ_BODY}"))
+        .unwrap();
+    assert_eq!(prepared.external_variables(), ["seed"]);
+
+    let expected = [("c1", 3), ("c2", 1), ("c3", 0), ("c4", 0)];
+    for (code, size) in expected {
+        let bindings = seed_for(&mut engine, code);
+        let outcome = prepared.execute(&mut engine, &bindings).unwrap();
+        assert_eq!(outcome.result.len(), size, "closure of {code}");
+    }
+}
+
+#[test]
+fn executing_n_times_parses_and_compiles_exactly_once() {
+    let mut engine = curriculum_engine();
+    // Preparation pays the parse and the (per-occurrence) plan compilation…
+    let prepared = engine
+        .prepare(&format!(
+            "for $s in $seed return (with $x seeded by $s recurse {PREREQ_BODY})"
+        ))
+        .unwrap();
+    let bindings = {
+        let seed = engine
+            .run("doc('curriculum.xml')/curriculum/course")
+            .unwrap()
+            .result;
+        Bindings::new().with("seed", seed)
+    };
+    // …and N executions (4 fixpoints each: one per seed course) pay neither.
+    let parses = xqy_ifp::parser::parse_count();
+    let compiles = xqy_ifp::algebra::compile_count();
+    for _ in 0..5 {
+        let outcome = prepared.execute(&mut engine, &bindings).unwrap();
+        assert_eq!(outcome.fixpoints.len(), 4);
+    }
+    assert_eq!(xqy_ifp::parser::parse_count(), parses, "no re-parsing");
+    assert_eq!(
+        xqy_ifp::algebra::compile_count(),
+        compiles,
+        "no re-compilation"
+    );
+}
+
+#[test]
+fn documents_loaded_after_prepare_are_visible() {
+    let mut engine = Engine::new();
+    // Prepare against an empty store: preparation is purely static.
+    let prepared = engine
+        .prepare(&format!("with $x seeded by $seed recurse {PREREQ_BODY}"))
+        .unwrap();
+    engine
+        .load_document_with_ids("curriculum.xml", CURRICULUM, &["code"])
+        .unwrap();
+    let bindings = seed_for(&mut engine, "c1");
+    let outcome = prepared.execute(&mut engine, &bindings).unwrap();
+    assert_eq!(outcome.result.len(), 3);
+}
+
+#[test]
+fn unbound_external_variable_is_rejected_before_evaluation() {
+    let mut engine = curriculum_engine();
+    let prepared = engine
+        .prepare(&format!("with $x seeded by $seed recurse {PREREQ_BODY}"))
+        .unwrap();
+    let err = prepared.execute(&mut engine, &Bindings::new()).unwrap_err();
+    assert!(matches!(err, IfpError::UnboundVariable(name) if name == "seed"));
+    // Binding an unrelated name does not help.
+    let err = prepared
+        .execute(
+            &mut engine,
+            &Bindings::new().with("sead", xqy_ifp::xdm::Sequence::empty()),
+        )
+        .unwrap_err();
+    assert!(matches!(err, IfpError::UnboundVariable(_)));
+}
+
+#[test]
+fn mistyped_external_variable_is_a_type_error() {
+    let mut engine = curriculum_engine();
+    let prepared = engine
+        .prepare(&format!("with $x seeded by $seed recurse {PREREQ_BODY}"))
+        .unwrap();
+    // An IFP seed must be a node sequence; atomics are a dynamic type error.
+    let atomic = engine.run("(1, 2, 3)").unwrap().result;
+    let err = prepared
+        .execute(&mut engine, &Bindings::new().with("seed", atomic))
+        .unwrap_err();
+    assert!(
+        matches!(err, IfpError::Eval(xqy_ifp::eval::EvalError::Type(_))),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn naive_and_delta_agree_through_the_prepared_surface() {
+    let query = format!("with $x seeded by $seed recurse {PREREQ_BODY}");
+    for backend in [Backend::SourceLevel, Backend::Algebraic, Backend::Auto] {
+        let mut sizes = Vec::new();
+        for strategy in [Strategy::Naive, Strategy::Delta] {
+            let mut engine = curriculum_engine();
+            engine.set_strategy(strategy);
+            engine.set_backend(backend);
+            let prepared = engine.prepare(&query).unwrap();
+            let bindings = seed_for(&mut engine, "c1");
+            let outcome = prepared.execute(&mut engine, &bindings).unwrap();
+            sizes.push(outcome.result.len());
+        }
+        assert_eq!(
+            sizes[0],
+            sizes[1],
+            "Naive and Delta must agree on a distributive body ({})",
+            backend.name()
+        );
+    }
+}
+
+#[test]
+fn auto_strategy_mixes_delta_and_naive_per_occurrence() {
+    // Acceptance criterion of the redesign: one distributive and one
+    // non-distributive occurrence in the same query run Delta and Naïve
+    // respectively under `Strategy::Auto`, both visible in the outcome.
+    let mut engine = Engine::new();
+    engine.set_seed_in_result(true);
+    let prepared = engine
+        .prepare(
+            "let $a := <a><b/></a> return \
+             ((with $x seeded by $a recurse $x/*), \
+              (with $y seeded by $a recurse if (count($y)) then $y/* else ()))",
+        )
+        .unwrap();
+    assert_eq!(prepared.occurrences().len(), 2);
+    assert_eq!(
+        prepared.occurrences()[0].strategy(),
+        FixpointStrategy::Delta
+    );
+    assert_eq!(
+        prepared.occurrences()[1].strategy(),
+        FixpointStrategy::Naive
+    );
+
+    let outcome = prepared.execute(&mut engine, &Bindings::new()).unwrap();
+    assert_eq!(outcome.occurrences[0].strategy, FixpointStrategy::Delta);
+    assert_eq!(outcome.occurrences[1].strategy, FixpointStrategy::Naive);
+    assert_eq!(outcome.strategy_used(), FixpointStrategy::Naive);
+}
+
+#[test]
+fn auto_backend_mixes_algebraic_and_interpreted_per_occurrence() {
+    // `position()` inside a predicate is outside the algebraic compiler's
+    // subset, so under Backend::Auto the first occurrence runs on the
+    // relational executor and the second falls back to the interpreter.
+    let mut engine = curriculum_engine();
+    engine.set_backend(Backend::Auto);
+    let prepared = engine
+        .prepare(&format!(
+            "((with $x seeded by $seed recurse {PREREQ_BODY}), \
+              (with $y seeded by $seed recurse $y/id(./prerequisites/pre_code)[position() > 0]))"
+        ))
+        .unwrap();
+    assert!(prepared.occurrences()[0].is_algebraic_capable());
+    assert!(!prepared.occurrences()[1].is_algebraic_capable());
+
+    let bindings = seed_for(&mut engine, "c1");
+    let outcome = prepared.execute(&mut engine, &bindings).unwrap();
+    assert_eq!(
+        outcome.occurrences[0].backend,
+        FixpointBackendTag::Algebraic
+    );
+    assert_eq!(
+        outcome.occurrences[1].backend,
+        FixpointBackendTag::Interpreted
+    );
+    // Both compute the same 3-course closure; the sequence constructor
+    // concatenates the two results without deduplication.
+    assert_eq!(outcome.result.len(), 6);
+    assert_eq!(outcome.fixpoints.len(), 2);
+    assert_eq!(outcome.fixpoints[0].backend, FixpointBackendTag::Algebraic);
+    assert_eq!(
+        outcome.fixpoints[1].backend,
+        FixpointBackendTag::Interpreted
+    );
+}
+
+#[test]
+fn explicit_algebraic_backend_rejects_bodies_outside_the_subset() {
+    let mut engine = curriculum_engine();
+    engine.set_backend(Backend::Algebraic);
+    let prepared = engine
+        .prepare("with $x seeded by $seed recurse $x/id(./prerequisites/pre_code)[position() > 0]")
+        .unwrap();
+    let bindings = seed_for(&mut engine, "c1");
+    let err = prepared.execute(&mut engine, &bindings).unwrap_err();
+    assert!(matches!(err, IfpError::Algebra(_)), "got {err:?}");
+}
+
+#[test]
+fn prepared_backend_override_beats_the_engine_default() {
+    let mut engine = curriculum_engine();
+    let prepared = engine
+        .prepare(&format!("with $x seeded by $seed recurse {PREREQ_BODY}"))
+        .unwrap()
+        .with_backend(Backend::Algebraic);
+    let bindings = seed_for(&mut engine, "c1");
+    let outcome = prepared.execute(&mut engine, &bindings).unwrap();
+    assert_eq!(
+        outcome.occurrences[0].backend,
+        FixpointBackendTag::Algebraic
+    );
+    assert_eq!(outcome.result.len(), 3);
+}
+
+#[test]
+fn per_item_prepared_query_batches_per_seed_fixpoints() {
+    // The Figure-10 shape: one fixpoint per seed node, all sharing one
+    // prepared artifact (and, on the algebraic back-end, one compiled plan).
+    let mut engine = curriculum_engine();
+    engine.set_backend(Backend::Algebraic);
+    let prepared = engine
+        .prepare(&format!(
+            "for $s in $seed return (with $x seeded by $s recurse {PREREQ_BODY})"
+        ))
+        .unwrap();
+    let all_courses = engine
+        .run("doc('curriculum.xml')/curriculum/course")
+        .unwrap()
+        .result;
+    let bindings = Bindings::new().with("seed", all_courses);
+    let compiles = xqy_ifp::algebra::compile_count();
+    let outcome = prepared.execute(&mut engine, &bindings).unwrap();
+    assert_eq!(xqy_ifp::algebra::compile_count(), compiles);
+    assert_eq!(outcome.fixpoints.len(), 4, "one fixpoint per course");
+    // c1 -> 3, c2 -> 1, c3/c4 -> 0; the for-loop concatenates the closures.
+    assert_eq!(outcome.result.len(), 4);
+}
+
+#[test]
+fn bindings_shadow_nothing_and_support_rebinding() {
+    let mut engine = curriculum_engine();
+    let prepared = engine.prepare("count($seed)").unwrap();
+    let one = seed_for(&mut engine, "c1");
+    let outcome = prepared.execute(&mut engine, &one).unwrap();
+    assert_eq!(engine.display(&outcome.result), "1");
+
+    let all = {
+        let seed = engine
+            .run("doc('curriculum.xml')/curriculum/course")
+            .unwrap()
+            .result;
+        Bindings::new().with("seed", seed)
+    };
+    let outcome = prepared.execute(&mut engine, &all).unwrap();
+    assert_eq!(engine.display(&outcome.result), "4");
+}

@@ -5,8 +5,7 @@
 //! (iii) the relational back-end agrees with the source-level evaluator.
 
 use xqy_datagen::{auction, curriculum, hospital, play, Scale};
-use xqy_ifp::algebra::MuStrategy;
-use xqy_ifp::{Engine, Strategy};
+use xqy_ifp::{Backend, Bindings, Engine, Strategy};
 
 struct Workload {
     name: &'static str,
@@ -126,7 +125,7 @@ fn auto_strategy_selects_delta_for_every_workload() {
         engine.set_strategy(Strategy::Auto);
         let outcome = engine.run(&workload.query).unwrap();
         assert_eq!(
-            outcome.strategy_used,
+            outcome.strategy_used(),
             xqy_ifp::eval::FixpointStrategy::Delta,
             "{}: all benchmark bodies are distributive",
             workload.name
@@ -142,35 +141,47 @@ fn relational_backend_agrees_with_the_evaluator() {
         engine.set_strategy(Strategy::Delta);
         let reference = engine.run(&workload.query).unwrap();
 
-        let (mu_nodes, mu_stats) = engine
-            .run_algebraic_fixpoint(&workload.seed_query, workload.body, "x", MuStrategy::Mu)
+        // The same recursion body on the relational back-end: one prepared
+        // query per algorithm, seed bound externally, plan compiled once.
+        let seed = engine.run(&workload.seed_query).unwrap().result;
+        let bindings = Bindings::new().with("seed", seed);
+        let fixpoint_query = format!("with $x seeded by $seed recurse {}", workload.body);
+        engine.set_backend(Backend::Algebraic);
+
+        engine.set_strategy(Strategy::Naive);
+        let mu = engine
+            .prepare(&fixpoint_query)
+            .unwrap()
+            .execute(&mut engine, &bindings)
             .unwrap();
-        let (mud_nodes, mud_stats) = engine
-            .run_algebraic_fixpoint(
-                &workload.seed_query,
-                workload.body,
-                "x",
-                MuStrategy::MuDelta,
-            )
+        engine.set_strategy(Strategy::Delta);
+        let mud = engine
+            .prepare(&fixpoint_query)
+            .unwrap()
+            .execute(&mut engine, &bindings)
             .unwrap();
 
         assert_eq!(
-            mu_nodes.len(),
+            mu.result.len(),
             reference.result.len(),
             "{}: µ result differs from the evaluator",
             workload.name
         );
         assert_eq!(
-            mud_nodes.len(),
+            mud.result.len(),
             reference.result.len(),
             "{}: µ∆ result differs from the evaluator",
             workload.name
         );
         assert!(
-            mud_stats.rows_fed_back <= mu_stats.rows_fed_back,
+            mud.fixpoints[0].nodes_fed_back <= mu.fixpoints[0].nodes_fed_back,
             "{}: µ∆ must not feed back more rows than µ",
             workload.name
         );
+        assert!(mu
+            .occurrences
+            .iter()
+            .all(|o| o.backend == xqy_ifp::eval::FixpointBackendTag::Algebraic));
     }
 }
 
