@@ -518,9 +518,15 @@ mod tests {
 
         let body = body_of("$x/id(./prerequisites/pre_code)");
         let compiled = compile_recursion_body(&body, "x").unwrap();
-        let mut exec = Executor::new(&mut store);
+        let mut exec = Executor::new();
         let (result, stats) = exec
-            .run_fixpoint(&compiled.plan, &seed, MuStrategy::MuDelta, false)
+            .run_fixpoint(
+                &mut store,
+                &compiled.plan,
+                &seed,
+                MuStrategy::MuDelta,
+                false,
+            )
             .unwrap();
         assert_eq!(result.len(), 2); // c2, c3
         assert_eq!(stats.result_rows, 2);

@@ -6,16 +6,50 @@
 //! body plan and a seed node set, it drives the Naïve (`µ`) or Delta (`µ∆`)
 //! iteration and records how many rows were fed back into the body — the
 //! quantity Table 2 of the paper reports.
+//!
+//! ## Data plane
+//!
+//! The body plan is re-evaluated once per fixpoint iteration, so the
+//! per-row representation is the hot path.  Three choices keep it
+//! allocation-free:
+//!
+//! * **Typed keys.**  Every table cell is a [`Key`] — a `Copy` word that is
+//!   a node id, an interned string symbol, an integer or a boolean.
+//!   Selections, joins, difference, grouping and duplicate elimination all
+//!   hash and compare `Key`s directly; nothing is stringified per row, and
+//!   a string cell can never collide with a node or boolean cell (the old
+//!   `as_key()` rendering made `"node:5"` join against node 5).
+//! * **Interning.**  Strings enter the plane once through the executor's
+//!   [`Interner`] (attribute values, `string()` results, literals) and are
+//!   symbols from then on.  The pool lives as long as the executor, so a
+//!   per-item loop pays each distinct string once across *all* seeds.
+//! * **Columnar, shared storage.**  A [`Table`] is a list of
+//!   `Arc<Vec<Key>>` columns.  Cloning a table — what every memo hit,
+//!   static-cache hit and `RecInput` reference does — bumps one reference
+//!   count per column instead of deep-copying rows, and projection just
+//!   re-arranges column handles.
+//!
+//! The executor itself no longer borrows the store: every entry point takes
+//! `&mut NodeStore`, so one executor (with its interner and its
+//! rec-independent static cache) can outlive any number of fixpoint runs —
+//! the prepared-query layer keeps one per compiled occurrence for the whole
+//! per-item Table-2 loop, invalidating the static cache only when the
+//! store's [document-load epoch](NodeStore::load_epoch) moves.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
-use xqy_xdm::{DocId, NodeId, NodeSet, NodeStore};
+use xqy_xdm::{DocId, Interner, NodeId, NodeSet, NodeStore, StrId};
 
 use crate::error::AlgebraError;
 use crate::plan::{FunKind, Operator, Plan, PlanNodeId};
 use crate::Result;
 
-/// A cell value in a relational table.
+/// A cell value at the executor's API boundary, with strings materialized.
+///
+/// Inside tables every cell is a [`Key`]; `Value` is the convenience used
+/// to build literals and read results without touching the interner at
+/// every call site.  Convert with [`Value::key`] / [`Key::value`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// A node reference.
@@ -29,13 +63,13 @@ pub enum Value {
 }
 
 impl Value {
-    /// String rendering used by selections and joins on mixed columns.
-    pub fn as_key(&self) -> String {
+    /// Encode into the typed key representation, interning strings.
+    pub fn key(&self, interner: &mut Interner) -> Key {
         match self {
-            Value::Node(n) => format!("node:{n}"),
-            Value::Str(s) => s.clone(),
-            Value::Int(i) => i.to_string(),
-            Value::Bool(b) => b.to_string(),
+            Value::Node(n) => Key::Node(*n),
+            Value::Str(s) => Key::Sym(interner.intern(s)),
+            Value::Int(i) => Key::Int(*i),
+            Value::Bool(b) => Key::Bool(*b),
         }
     }
 
@@ -48,54 +82,170 @@ impl Value {
     }
 }
 
-/// A flat relational table: named columns and rows of [`Value`]s.
+/// A typed, `Copy` table cell — also the key the executor selects, joins,
+/// groups and deduplicates on.
 ///
-/// The executor works with *set* semantics: operators that would produce
-/// duplicate rows may keep them, but the fixpoint driver always reduces its
-/// accumulator to a set of nodes, matching the set-based IFP semantics.
+/// Keys compare by variant *and* payload: `Sym("node:5")` never equals
+/// `Node(5)` and `Sym("true")` never equals `Bool(true)`, which is the
+/// typed fix for the tag-collision hazard of the old string rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Key {
+    /// A node reference.
+    Node(NodeId),
+    /// An interned string (resolve through the executor's [`Interner`]).
+    Sym(StrId),
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Key {
+    /// The node, if this key is one.
+    pub fn as_node(&self) -> Option<NodeId> {
+        match self {
+            Key::Node(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Decode into a [`Value`], materializing interned strings.
+    pub fn value(&self, interner: &Interner) -> Value {
+        match self {
+            Key::Node(n) => Value::Node(*n),
+            Key::Sym(s) => Value::Str(interner.resolve(*s).to_string()),
+            Key::Int(i) => Value::Int(*i),
+            Key::Bool(b) => Value::Bool(*b),
+        }
+    }
+
+    /// The interned string behind this key, if it is a symbol.
+    pub fn as_str<'i>(&self, interner: &'i Interner) -> Option<&'i str> {
+        match self {
+            Key::Sym(s) => Some(interner.resolve(*s)),
+            _ => None,
+        }
+    }
+}
+
+/// A flat relational table: named columns of [`Key`]s in columnar storage.
+///
+/// Columns are `Arc`-shared: `clone()` is O(columns) reference-count bumps
+/// and mutation copies only the columns it touches (projection copies
+/// none).  The executor works with *set* semantics: operators that would
+/// produce duplicate rows may keep them, but the fixpoint driver always
+/// reduces its accumulator to a set of nodes, matching the set-based IFP
+/// semantics.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Table {
-    /// Column names.
-    pub columns: Vec<String>,
-    /// Row data; every row has `columns.len()` values.
-    pub rows: Vec<Vec<Value>>,
+    /// Column names (shared across derived tables).
+    names: Arc<Vec<String>>,
+    /// Column data; `cols[c][r]` is row `r`'s value in column `c`.
+    cols: Vec<Arc<Vec<Key>>>,
+    /// Number of rows (every column has exactly this many entries).
+    rows: usize,
 }
 
 impl Table {
     /// An empty table with the given columns.
     pub fn new(columns: Vec<String>) -> Self {
+        let cols = columns.iter().map(|_| Arc::new(Vec::new())).collect();
         Table {
-            columns,
-            rows: Vec::new(),
+            names: Arc::new(columns),
+            cols,
+            rows: 0,
         }
+    }
+
+    /// A table from column names and column-major data.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) when the column counts or lengths disagree.
+    pub fn from_columns(columns: Vec<String>, cols: Vec<Vec<Key>>) -> Self {
+        debug_assert_eq!(columns.len(), cols.len());
+        let rows = cols.first().map_or(0, Vec::len);
+        debug_assert!(cols.iter().all(|c| c.len() == rows));
+        Table {
+            names: Arc::new(columns),
+            cols: cols.into_iter().map(Arc::new).collect(),
+            rows,
+        }
+    }
+
+    /// Internal constructor reusing an existing schema handle.
+    fn with_schema(names: Arc<Vec<String>>, cols: Vec<Arc<Vec<Key>>>) -> Self {
+        let rows = cols.first().map_or(0, |c| c.len());
+        debug_assert_eq!(names.len(), cols.len());
+        debug_assert!(cols.iter().all(|c| c.len() == rows));
+        Table { names, cols, rows }
     }
 
     /// A single-column `item` table of nodes.
     pub fn from_nodes(nodes: &[NodeId]) -> Self {
-        Table {
-            columns: vec!["item".to_string()],
-            rows: nodes.iter().map(|&n| vec![Value::Node(n)]).collect(),
-        }
+        Table::from_columns(
+            vec!["item".to_string()],
+            vec![nodes.iter().map(|&n| Key::Node(n)).collect()],
+        )
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.rows
     }
 
     /// `true` when the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.rows == 0
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.names
     }
 
     /// Index of column `name`.
     pub fn column_index(&self, name: &str) -> Result<usize> {
-        self.columns.iter().position(|c| c == name).ok_or_else(|| {
+        self.names.iter().position(|c| c == name).ok_or_else(|| {
             AlgebraError::Execution(format!(
                 "column '{name}' not found (have: {})",
-                self.columns.join(", ")
+                self.names.join(", ")
             ))
         })
+    }
+
+    /// Borrow a column's cells.
+    pub fn col(&self, idx: usize) -> &[Key] {
+        &self.cols[idx]
+    }
+
+    /// The cell at (`row`, `col`).
+    pub fn key(&self, row: usize, col: usize) -> Key {
+        self.cols[col][row]
+    }
+
+    /// The cell at (`row`, `col`) decoded through `interner`.
+    pub fn value(&self, row: usize, col: usize, interner: &Interner) -> Value {
+        self.key(row, col).value(interner)
+    }
+
+    /// One row, materialized (test/debug convenience — the executor itself
+    /// never builds row vectors).
+    pub fn row(&self, row: usize) -> Vec<Key> {
+        self.cols.iter().map(|c| c[row]).collect()
+    }
+
+    /// `true` when `self` and `other` are views of the *same* column
+    /// storage (every column pair is `Arc`-pointer-equal).  This is how
+    /// tests verify that memo and static-cache hits hand out shared
+    /// handles instead of deep copies.
+    pub fn shares_storage(&self, other: &Table) -> bool {
+        !self.cols.is_empty()
+            && self.cols.len() == other.cols.len()
+            && self
+                .cols
+                .iter()
+                .zip(&other.cols)
+                .all(|(a, b)| Arc::ptr_eq(a, b))
     }
 
     /// The node values of the `item` column (non-node rows are skipped).
@@ -103,17 +253,55 @@ impl Table {
         let Ok(idx) = self.column_index("item") else {
             return Vec::new();
         };
-        self.rows.iter().filter_map(|r| r[idx].as_node()).collect()
+        self.cols[idx].iter().filter_map(Key::as_node).collect()
     }
 
-    /// Deduplicate rows (set semantics).
-    pub fn distinct(mut self) -> Table {
-        let mut seen = HashSet::new();
-        self.rows.retain(|row| {
-            let key: Vec<String> = row.iter().map(Value::as_key).collect();
-            seen.insert(key)
-        });
-        self
+    /// Deduplicate rows (set semantics).  `Key`s hash directly, so no
+    /// per-row rendering happens; single- and two-column tables (the
+    /// overwhelmingly common shapes) avoid building row vectors entirely.
+    pub fn distinct(self) -> Table {
+        let mask: Vec<bool> = match self.cols.len() {
+            0 => return self,
+            1 => {
+                let mut seen = HashSet::with_capacity(self.rows);
+                self.cols[0].iter().map(|&k| seen.insert(k)).collect()
+            }
+            2 => {
+                let mut seen = HashSet::with_capacity(self.rows);
+                (0..self.rows)
+                    .map(|r| seen.insert((self.cols[0][r], self.cols[1][r])))
+                    .collect()
+            }
+            _ => {
+                let mut seen = HashSet::with_capacity(self.rows);
+                (0..self.rows).map(|r| seen.insert(self.row(r))).collect()
+            }
+        };
+        self.filter_rows(&mask)
+    }
+
+    /// Keep the rows whose mask entry is `true`; returns `self` with its
+    /// storage untouched (shared) when nothing is dropped.
+    fn filter_rows(self, mask: &[bool]) -> Table {
+        debug_assert_eq!(mask.len(), self.rows);
+        let kept = mask.iter().filter(|&&m| m).count();
+        if kept == self.rows {
+            return self;
+        }
+        let cols = self
+            .cols
+            .iter()
+            .map(|col| {
+                Arc::new(
+                    col.iter()
+                        .zip(mask)
+                        .filter(|(_, &m)| m)
+                        .map(|(&k, _)| k)
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        Table::with_schema(self.names, cols)
     }
 }
 
@@ -151,97 +339,251 @@ pub struct ExecStats {
 }
 
 /// The plan executor.
-pub struct Executor<'s> {
-    store: &'s mut NodeStore,
-    /// Document used to resolve `IdLookup` when the looked-up strings do not
-    /// come with an obvious anchor node; set from the fixpoint seed.
-    context_doc: Option<DocId>,
+///
+/// Holds no store borrow — every entry point takes `&mut NodeStore` — so an
+/// executor is a *persistent* artifact: its [`Interner`] and its
+/// rec-independent static cache survive across fixpoint runs and across
+/// `PreparedQuery::execute` calls.  The static cache is keyed by the plan's
+/// [fingerprint](Plan::fingerprint) and by the store's
+/// [load epoch](NodeStore::load_epoch): evaluating a different plan or
+/// loading a document invalidates it, nothing else does.
+/// Every piece of executor state that is scoped to *one plan* — the caches
+/// and the per-node classification bitmaps.  Bundled so that re-entrant
+/// evaluation (a nested `µ`/`µ∆` operator, whose sub-plan's node ids
+/// overlap the outer plan's) can save and restore the whole lot with a
+/// single `mem::take`, instead of a hand-maintained field list that
+/// silently breaks when a cache-coupled field is added.
+#[derive(Debug, Default)]
+struct PlanState {
+    /// Fingerprint of the plan this state was built for; evaluating a
+    /// different plan invalidates everything here.
+    key: Option<u64>,
     /// Cache of plan nodes that do not depend on the recursion input —
-    /// their tables are reused across fixpoint iterations.
+    /// their tables are reused across fixpoint iterations *and* across
+    /// fixpoint runs.
     static_cache: HashMap<PlanNodeId, Table>,
-    /// Fingerprint of the plan the static cache was built for; evaluating a
-    /// different plan invalidates the cache.
-    static_cache_key: Option<u64>,
+    /// Per-*run* cache for rec-independent but **volatile** plan nodes —
+    /// subtrees containing `Construct` (fresh node identity per run) or
+    /// `IdLookup` (resolves against the per-run context document).  Reused
+    /// across the iterations of one fixpoint run, cleared at the start of
+    /// the next, never carried across runs or stores.
+    volatile_cache: HashMap<PlanNodeId, Table>,
+    /// `rec_dependent[id]` — does plan node `id` (transitively) consume a
+    /// `RecInput`?  Computed once per plan, not once per body evaluation.
+    rec_dependent: Vec<bool>,
+    /// `volatile[id]` — does plan node `id`'s subtree contain a `Construct`
+    /// or `IdLookup` operator?  Such nodes must not outlive a run.
+    volatile: Vec<bool>,
+}
+
+#[derive(Debug)]
+pub struct Executor {
+    /// Document used to resolve `IdLookup` when the looked-up strings do not
+    /// come with an obvious anchor node; derived from the fixpoint seed
+    /// unless set explicitly.
+    context_doc: Option<DocId>,
+    /// `true` when `context_doc` was set by [`Executor::set_context_doc`]
+    /// (and must not be re-derived from later seeds).
+    context_doc_explicit: bool,
+    /// The string pool backing every `Key::Sym` this executor produced.
+    interner: Interner,
+    /// Caches and bitmaps for the plan currently (or last) evaluated.
+    plan_state: PlanState,
+    /// The store load epoch the static cache was built at.
+    store_epoch: u64,
+    /// Times a static-cache lookup returned a shared handle.
+    static_cache_hits: u64,
+    /// Times a rec-independent plan node was actually evaluated.
+    static_plan_evals: u64,
     /// Maximum fixpoint iterations before reporting divergence.
     pub max_iterations: usize,
 }
 
-impl<'s> Executor<'s> {
-    /// Create an executor over `store`.
-    pub fn new(store: &'s mut NodeStore) -> Self {
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new()
+    }
+}
+
+impl Executor {
+    /// Create a fresh executor.
+    pub fn new() -> Self {
         Executor {
-            store,
             context_doc: None,
-            static_cache: HashMap::new(),
-            static_cache_key: None,
+            context_doc_explicit: false,
+            interner: Interner::new(),
+            plan_state: PlanState::default(),
+            store_epoch: 0,
+            static_cache_hits: 0,
+            static_plan_evals: 0,
             max_iterations: 100_000,
         }
     }
 
-    /// Set the document used for `IdLookup` resolution.
+    /// Set the document used for `IdLookup` resolution (overrides the
+    /// per-run derivation from the seed).
     pub fn set_context_doc(&mut self, doc: DocId) {
         self.context_doc = Some(doc);
+        self.context_doc_explicit = true;
+    }
+
+    /// The executor's string pool (resolve `Key::Sym` cells through this).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Mutable access to the string pool (to build `Key::Sym` cells when
+    /// constructing input tables by hand).
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
+    /// How many static-cache lookups returned a shared handle, over the
+    /// executor's lifetime.  The prepared-query layer diffs this around an
+    /// `execute()` call to report per-occurrence reuse.
+    pub fn static_cache_hits(&self) -> u64 {
+        self.static_cache_hits
+    }
+
+    /// How many rec-independent plan nodes were actually evaluated, over
+    /// the executor's lifetime.  A second `execute()` of a prepared query
+    /// against an unchanged store performs zero of these.
+    pub fn static_plan_evals(&self) -> u64 {
+        self.static_plan_evals
+    }
+
+    /// Drop the rec-independent caches (documents loaded into the store
+    /// bump its [load epoch](NodeStore::load_epoch) and invalidate
+    /// automatically; this is the explicit override).
+    pub fn invalidate_static_cache(&mut self) {
+        self.plan_state = PlanState::default();
+    }
+
+    /// Re-key the caches for `plan` against `store`'s current state.
+    fn prime_for_plan(&mut self, store: &NodeStore, plan: &Plan) {
+        if self.store_epoch != store.load_epoch() {
+            self.plan_state.static_cache.clear();
+            self.plan_state.volatile_cache.clear();
+            // The interner restarts with the caches: every cached table
+            // holding `Sym` cells is dropped on the same line, so no live
+            // executor state references the old pool, and a long-lived
+            // executor crossing many stores/documents doesn't accumulate
+            // every string it ever saw.  (Fixpoint results are node-only
+            // tables; only a caller holding a *direct* `eval_plan` result
+            // across a document load would see its symbols invalidated —
+            // see the `eval_plan` docs.)
+            self.interner = Interner::new();
+            self.store_epoch = store.load_epoch();
+        }
+        let fingerprint = plan.fingerprint();
+        if self.plan_state.key != Some(fingerprint) {
+            self.plan_state.static_cache.clear();
+            self.plan_state.volatile_cache.clear();
+            self.plan_state.key = Some(fingerprint);
+            let mut bits = vec![false; plan.len()];
+            for id in plan.rec_inputs() {
+                bits[id] = true;
+            }
+            for id in plan.dependents_of(&plan.rec_inputs()) {
+                bits[id] = true;
+            }
+            self.plan_state.rec_dependent = bits;
+            // Volatile taint: Construct creates a fresh identity per run,
+            // IdLookup resolves against the per-run context document — both
+            // propagate upward (construction order guarantees inputs come
+            // before consumers).
+            let mut volatile = vec![false; plan.len()];
+            for (id, node) in plan.iter() {
+                volatile[id] = matches!(node.op, Operator::Construct(_) | Operator::IdLookup)
+                    || node.inputs.iter().any(|&i| volatile[i]);
+            }
+            self.plan_state.volatile = volatile;
+        }
     }
 
     /// Evaluate `plan` with the recursion input bound to `rec` (pass an
     /// empty table when the plan has no `RecInput` leaf).
-    pub fn eval_plan(&mut self, plan: &Plan, rec: &Table) -> Result<Table> {
+    ///
+    /// A direct call is its own evaluation scope: volatile tables
+    /// (constructed identities, `id()` resolutions) do not carry over from
+    /// previous calls.  [`Executor::run_fixpoint`] instead scopes them to
+    /// the whole run, so a body's constructed node is stable across the
+    /// iterations of one fixpoint.
+    ///
+    /// `Key::Sym` cells in the returned table resolve against
+    /// [`Executor::interner`] *as of now*: loading a document into the
+    /// store afterwards resets the pool (alongside the caches keyed on the
+    /// [load epoch](NodeStore::load_epoch)), invalidating symbols held from
+    /// earlier results.  Decode string cells before mutating the store.
+    pub fn eval_plan(&mut self, store: &mut NodeStore, plan: &Plan, rec: &Table) -> Result<Table> {
+        self.plan_state.volatile_cache.clear();
+        self.prime_for_plan(store, plan);
+        self.eval_plan_in_run(store, plan, rec)
+    }
+
+    /// [`Executor::eval_plan`] without resetting the volatile scope or
+    /// re-priming — the per-iteration entry point used inside a fixpoint
+    /// run, where the plan and the store epoch cannot change between
+    /// iterations (the run primes once up front).
+    fn eval_plan_in_run(
+        &mut self,
+        store: &mut NodeStore,
+        plan: &Plan,
+        rec: &Table,
+    ) -> Result<Table> {
         let root = plan
             .root()
             .ok_or_else(|| AlgebraError::InvalidPlan("plan has no root".into()))?;
-        // The rec-independent cache is only valid for the plan it was built
-        // for (plan node ids are arena indices, not globally unique).
-        let key = {
-            use std::hash::{Hash, Hasher};
-            let mut hasher = std::collections::hash_map::DefaultHasher::new();
-            format!("{plan:?}").hash(&mut hasher);
-            hasher.finish()
-        };
-        if self.static_cache_key != Some(key) {
-            self.static_cache.clear();
-            self.static_cache_key = Some(key);
-        }
-        let rec_dependent: HashSet<PlanNodeId> = plan
-            .dependents_of(&plan.rec_inputs())
-            .into_iter()
-            .chain(plan.rec_inputs())
-            .collect();
         let mut memo: HashMap<PlanNodeId, Table> = HashMap::new();
-        self.eval_node(plan, root, rec, &rec_dependent, &mut memo)
+        self.eval_node(store, plan, root, rec, &mut memo)
     }
 
     fn eval_node(
         &mut self,
+        store: &mut NodeStore,
         plan: &Plan,
         id: PlanNodeId,
         rec: &Table,
-        rec_dependent: &HashSet<PlanNodeId>,
         memo: &mut HashMap<PlanNodeId, Table>,
     ) -> Result<Table> {
         if let Some(cached) = memo.get(&id) {
             return Ok(cached.clone());
         }
-        if !rec_dependent.contains(&id) {
-            if let Some(cached) = self.static_cache.get(&id) {
+        let is_rec_dependent = self.plan_state.rec_dependent[id];
+        let is_volatile = self.plan_state.volatile[id];
+        if !is_rec_dependent {
+            // Volatile nodes (Construct / IdLookup subtrees) live in the
+            // per-run cache and do not count towards the persistent-reuse
+            // metrics; everything else in the persistent one.
+            if is_volatile {
+                if let Some(cached) = self.plan_state.volatile_cache.get(&id) {
+                    return Ok(cached.clone());
+                }
+            } else if let Some(cached) = self.plan_state.static_cache.get(&id) {
+                self.static_cache_hits += 1;
                 return Ok(cached.clone());
             }
         }
         let node = plan.node(id).clone();
         let mut inputs = Vec::with_capacity(node.inputs.len());
         for &input in &node.inputs {
-            inputs.push(self.eval_node(plan, input, rec, rec_dependent, memo)?);
+            inputs.push(self.eval_node(store, plan, input, rec, memo)?);
         }
-        let table = self.apply(plan, &node.op, &node.inputs, inputs, rec)?;
-        if rec_dependent.contains(&id) {
+        let table = self.apply(store, plan, &node.op, &node.inputs, inputs, rec)?;
+        if is_rec_dependent {
             memo.insert(id, table.clone());
+        } else if is_volatile {
+            self.plan_state.volatile_cache.insert(id, table.clone());
         } else {
-            self.static_cache.insert(id, table.clone());
+            self.static_plan_evals += 1;
+            self.plan_state.static_cache.insert(id, table.clone());
         }
         Ok(table)
     }
 
     fn apply(
         &mut self,
+        store: &mut NodeStore,
         plan: &Plan,
         op: &Operator,
         input_ids: &[PlanNodeId],
@@ -250,162 +592,184 @@ impl<'s> Executor<'s> {
     ) -> Result<Table> {
         match op {
             Operator::RecInput => Ok(rec.clone()),
-            Operator::Literal(values) => Ok(Table {
-                columns: vec!["item".into()],
-                rows: values.iter().map(|v| vec![Value::Str(v.clone())]).collect(),
-            }),
+            Operator::Literal(values) => Ok(Table::from_columns(
+                vec!["item".into()],
+                vec![values
+                    .iter()
+                    .map(|v| Key::Sym(self.interner.intern(v)))
+                    .collect()],
+            )),
             Operator::DocRoot(uri) => {
-                let doc = self
-                    .store
+                let doc = store
                     .doc(uri)
                     .ok_or_else(|| AlgebraError::Execution(format!("document not found: {uri}")))?;
-                let node = self.store.document_node(doc).ok_or_else(|| {
+                let node = store.document_node(doc).ok_or_else(|| {
                     AlgebraError::Execution(format!("document has no root: {uri}"))
                 })?;
                 Ok(Table::from_nodes(&[node]))
             }
             Operator::Project(renames) => {
                 let input = inputs.remove(0);
-                let mut indices = Vec::with_capacity(renames.len());
+                let mut cols = Vec::with_capacity(renames.len());
                 for (_, source) in renames {
-                    indices.push(input.column_index(source)?);
+                    // Zero-copy: projection re-arranges column handles.
+                    cols.push(input.cols[input.column_index(source)?].clone());
                 }
                 Ok(Table {
-                    columns: renames.iter().map(|(out, _)| out.clone()).collect(),
-                    rows: input
-                        .rows
-                        .iter()
-                        .map(|row| indices.iter().map(|&i| row[i].clone()).collect())
-                        .collect(),
+                    names: Arc::new(renames.iter().map(|(out, _)| out.clone()).collect()),
+                    cols,
+                    rows: input.rows,
                 })
             }
             Operator::Select { column, value } => {
                 let input = inputs.remove(0);
                 let idx = input.column_index(column)?;
-                let rows = input
-                    .rows
-                    .into_iter()
-                    .filter(|row| row[idx].as_key() == *value)
+                // The literal is compared *typed*: string cells against the
+                // interned symbol, numeric/boolean cells against the parsed
+                // literal, and node cells never match a string literal (the
+                // tag-collision fix).
+                let lit_sym = self.interner.intern(value);
+                let lit_int: Option<i64> = value.trim().parse().ok();
+                let lit_bool: Option<bool> = match value.as_str() {
+                    "true" => Some(true),
+                    "false" => Some(false),
+                    _ => None,
+                };
+                let mask: Vec<bool> = input.cols[idx]
+                    .iter()
+                    .map(|&k| match k {
+                        Key::Sym(s) => s == lit_sym,
+                        Key::Int(i) => lit_int == Some(i),
+                        Key::Bool(b) => lit_bool == Some(b),
+                        Key::Node(_) => false,
+                    })
                     .collect();
-                Ok(Table {
-                    columns: input.columns,
-                    rows,
-                })
+                Ok(input.filter_rows(&mask))
             }
             Operator::Join { left, right } => {
                 let right_table = inputs.remove(1);
                 let left_table = inputs.remove(0);
                 let li = left_table.column_index(left)?;
                 let ri = right_table.column_index(right)?;
-                // Build a hash index over the right input.
-                let mut index: HashMap<String, Vec<usize>> = HashMap::new();
-                for (row_idx, row) in right_table.rows.iter().enumerate() {
-                    index.entry(row[ri].as_key()).or_default().push(row_idx);
+                // Hash index over the right input, on typed keys.
+                let mut index: HashMap<Key, Vec<usize>> = HashMap::new();
+                for (row_idx, &key) in right_table.cols[ri].iter().enumerate() {
+                    index.entry(key).or_default().push(row_idx);
+                }
+                // Matching (left row, right row) pairs.
+                let mut lsrc = Vec::new();
+                let mut rsrc = Vec::new();
+                for (l, key) in left_table.cols[li].iter().enumerate() {
+                    if let Some(matches) = index.get(key) {
+                        for &r in matches {
+                            lsrc.push(l);
+                            rsrc.push(r);
+                        }
+                    }
                 }
                 // Output columns: left columns plus the right columns except
                 // the join column, suffixing clashes.
-                let mut columns = left_table.columns.clone();
-                let mut right_cols = Vec::new();
-                for (i, c) in right_table.columns.iter().enumerate() {
+                let mut names: Vec<String> = left_table.names.as_ref().clone();
+                let mut cols: Vec<Arc<Vec<Key>>> = left_table
+                    .cols
+                    .iter()
+                    .map(|col| Arc::new(gather(col, &lsrc)))
+                    .collect();
+                for (i, c) in right_table.names.iter().enumerate() {
                     if i == ri {
                         continue;
                     }
-                    let name = if columns.contains(c) {
+                    let name = if names.contains(c) {
                         format!("{c}_r")
                     } else {
                         c.clone()
                     };
-                    columns.push(name);
-                    right_cols.push(i);
+                    names.push(name);
+                    cols.push(Arc::new(gather(&right_table.cols[i], &rsrc)));
                 }
-                let mut rows = Vec::new();
-                for lrow in &left_table.rows {
-                    if let Some(matches) = index.get(&lrow[li].as_key()) {
-                        for &m in matches {
-                            let mut out = lrow.clone();
-                            for &ci in &right_cols {
-                                out.push(right_table.rows[m][ci].clone());
-                            }
-                            rows.push(out);
-                        }
-                    }
-                }
-                Ok(Table { columns, rows })
+                Ok(Table::with_schema(Arc::new(names), cols))
             }
             Operator::Cross => {
                 let right = inputs.remove(1);
                 let left = inputs.remove(0);
-                let mut columns = left.columns.clone();
-                for c in &right.columns {
-                    let name = if columns.contains(c) {
+                let mut names: Vec<String> = left.names.as_ref().clone();
+                for c in right.names.iter() {
+                    let name = if names.contains(c) {
                         format!("{c}_r")
                     } else {
                         c.clone()
                     };
-                    columns.push(name);
+                    names.push(name);
                 }
-                let mut rows = Vec::new();
-                for l in &left.rows {
-                    for r in &right.rows {
-                        let mut out = l.clone();
-                        out.extend(r.clone());
-                        rows.push(out);
-                    }
-                }
-                Ok(Table { columns, rows })
+                let (lsrc, rsrc): (Vec<usize>, Vec<usize>) = (0..left.rows)
+                    .flat_map(|l| (0..right.rows).map(move |r| (l, r)))
+                    .unzip();
+                let mut cols: Vec<Arc<Vec<Key>>> = left
+                    .cols
+                    .iter()
+                    .map(|col| Arc::new(gather(col, &lsrc)))
+                    .collect();
+                cols.extend(right.cols.iter().map(|col| Arc::new(gather(col, &rsrc))));
+                Ok(Table::with_schema(Arc::new(names), cols))
             }
             Operator::Distinct => Ok(inputs.remove(0).distinct()),
             Operator::Union => {
                 let right = inputs.remove(1);
-                let mut left = inputs.remove(0);
-                if left.columns != right.columns {
+                let left = inputs.remove(0);
+                if *left.names != *right.names {
                     return Err(AlgebraError::Execution(
                         "union over tables with different schemas".into(),
                     ));
                 }
-                left.rows.extend(right.rows);
-                Ok(left.distinct())
+                let cols = left
+                    .cols
+                    .iter()
+                    .zip(&right.cols)
+                    .map(|(a, b)| {
+                        let mut col = Vec::with_capacity(a.len() + b.len());
+                        col.extend_from_slice(a);
+                        col.extend_from_slice(b);
+                        Arc::new(col)
+                    })
+                    .collect();
+                Ok(Table::with_schema(left.names.clone(), cols).distinct())
             }
             Operator::Difference => {
                 let right = inputs.remove(1);
                 let left = inputs.remove(0);
-                let keys: HashSet<Vec<String>> = right
-                    .rows
-                    .iter()
-                    .map(|r| r.iter().map(Value::as_key).collect())
-                    .collect();
-                let rows = left
-                    .rows
-                    .into_iter()
-                    .filter(|r| !keys.contains(&r.iter().map(Value::as_key).collect::<Vec<_>>()))
-                    .collect();
-                Ok(Table {
-                    columns: left.columns,
-                    rows,
-                })
+                let mask: Vec<bool> = if left.cols.len() == 1 && right.cols.len() == 1 {
+                    let keys: HashSet<Key> = right.cols[0].iter().copied().collect();
+                    left.cols[0].iter().map(|k| !keys.contains(k)).collect()
+                } else {
+                    let keys: HashSet<Vec<Key>> = (0..right.rows).map(|r| right.row(r)).collect();
+                    (0..left.rows)
+                        .map(|r| !keys.contains(&left.row(r)))
+                        .collect()
+                };
+                Ok(left.filter_rows(&mask))
             }
             Operator::Count { group_by } => {
                 let input = inputs.remove(0);
                 match group_by {
-                    None => Ok(Table {
-                        columns: vec!["count".into()],
-                        rows: vec![vec![Value::Int(input.len() as i64)]],
-                    }),
+                    None => Ok(Table::from_columns(
+                        vec!["count".into()],
+                        vec![vec![Key::Int(input.rows as i64)]],
+                    )),
                     Some(col) => {
                         let idx = input.column_index(col)?;
-                        let mut groups: HashMap<String, (Value, i64)> = HashMap::new();
-                        for row in &input.rows {
-                            let key = row[idx].as_key();
-                            let entry = groups.entry(key).or_insert((row[idx].clone(), 0));
-                            entry.1 += 1;
+                        let mut order: Vec<Key> = Vec::new();
+                        let mut groups: HashMap<Key, i64> = HashMap::new();
+                        for &key in input.cols[idx].iter() {
+                            *groups.entry(key).or_insert_with(|| {
+                                order.push(key);
+                                0
+                            }) += 1;
                         }
-                        Ok(Table {
-                            columns: vec![col.clone(), "count".into()],
-                            rows: groups
-                                .into_values()
-                                .map(|(v, c)| vec![v, Value::Int(c)])
-                                .collect(),
-                        })
+                        let counts = order.iter().map(|k| Key::Int(groups[k])).collect();
+                        Ok(Table::from_columns(
+                            vec![col.clone(), "count".into()],
+                            vec![order, counts],
+                        ))
                     }
                 }
             }
@@ -413,120 +777,114 @@ impl<'s> Executor<'s> {
                 let input = inputs.remove(0);
                 let li = input.column_index(left)?;
                 let ri = input.column_index(right)?;
-                let mut columns = input.columns.clone();
-                columns.push("res".into());
-                let rows = input
-                    .rows
-                    .into_iter()
-                    .map(|mut row| {
-                        let result = apply_fun(*kind, &row[li], &row[ri]);
-                        row.push(result);
-                        row
-                    })
+                let res: Vec<Key> = (0..input.rows)
+                    .map(|r| apply_fun(*kind, input.cols[li][r], input.cols[ri][r], &self.interner))
                     .collect();
-                Ok(Table { columns, rows })
+                let mut names: Vec<String> = input.names.as_ref().clone();
+                names.push("res".into());
+                let mut cols = input.cols;
+                cols.push(Arc::new(res));
+                Ok(Table::with_schema(Arc::new(names), cols))
             }
             Operator::RowTag | Operator::RowNum => {
                 let input = inputs.remove(0);
-                let mut columns = input.columns.clone();
-                columns.push(if matches!(op, Operator::RowTag) {
+                let mut names: Vec<String> = input.names.as_ref().clone();
+                names.push(if matches!(op, Operator::RowTag) {
                     "tag".into()
                 } else {
                     "rownum".into()
                 });
-                let rows = input
-                    .rows
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, mut row)| {
-                        row.push(Value::Int(i as i64 + 1));
-                        row
-                    })
-                    .collect();
-                Ok(Table { columns, rows })
+                let numbers = (0..input.rows).map(|i| Key::Int(i as i64 + 1)).collect();
+                let mut cols = input.cols;
+                cols.push(Arc::new(numbers));
+                Ok(Table::with_schema(Arc::new(names), cols))
             }
             Operator::Step { axis, test } => {
                 let input = inputs.remove(0);
                 let idx = input.column_index("item")?;
-                let mut rows = Vec::new();
-                for row in &input.rows {
-                    let Some(node) = row[idx].as_node() else {
+                let mut src = Vec::new();
+                let mut items = Vec::new();
+                for (r, key) in input.cols[idx].iter().enumerate() {
+                    let Some(node) = key.as_node() else {
                         continue;
                     };
-                    for result in self.store.axis_nodes(node, *axis, test) {
-                        let mut out = row.clone();
-                        out[idx] = Value::Node(result);
-                        rows.push(out);
+                    for result in store.axis_nodes(node, *axis, test) {
+                        src.push(r);
+                        items.push(Key::Node(result));
                     }
                 }
-                Ok(Table {
-                    columns: input.columns,
-                    rows,
-                }
-                .distinct())
+                Ok(replace_item_column(&input, idx, src, items).distinct())
             }
             Operator::AttrValue(name) => {
                 let input = inputs.remove(0);
                 let idx = input.column_index("item")?;
-                let mut rows = Vec::new();
-                for row in &input.rows {
-                    let Some(node) = row[idx].as_node() else {
+                let mut src = Vec::new();
+                let mut items = Vec::new();
+                for (r, key) in input.cols[idx].iter().enumerate() {
+                    let Some(node) = key.as_node() else {
                         continue;
                     };
-                    if let Some(value) = self.store.attribute_value(node, name) {
-                        let mut out = row.clone();
-                        out[idx] = Value::Str(value.to_string());
-                        rows.push(out);
+                    if let Some(value) = store.attribute_value(node, name) {
+                        src.push(r);
+                        items.push(Key::Sym(self.interner.intern(value)));
                     }
                 }
-                Ok(Table {
-                    columns: input.columns,
-                    rows,
-                })
+                Ok(replace_item_column(&input, idx, src, items))
             }
             Operator::StringValue => {
                 let input = inputs.remove(0);
                 let idx = input.column_index("item")?;
-                let rows = input
-                    .rows
+                // Row count is preserved: only the item column is rewritten,
+                // every other column handle is shared untouched.
+                let items: Vec<Key> = input.cols[idx]
                     .iter()
-                    .map(|row| {
-                        let mut out = row.clone();
-                        if let Some(node) = row[idx].as_node() {
-                            out[idx] = Value::Str(self.store.string_value(node));
-                        }
-                        out
+                    .map(|&key| match key.as_node() {
+                        Some(node) => Key::Sym(self.interner.intern(&store.string_value(node))),
+                        None => key,
                     })
                     .collect();
-                Ok(Table {
-                    columns: input.columns,
-                    rows,
-                })
+                let mut cols = input.cols.clone();
+                cols[idx] = Arc::new(items);
+                Ok(Table::with_schema(input.names.clone(), cols))
             }
             Operator::IdLookup => {
                 let input = inputs.remove(0);
                 let idx = input.column_index("item")?;
-                let doc = self.context_doc.ok_or_else(|| {
-                    AlgebraError::Execution(
-                        "IdLookup requires a context document (Executor::set_context_doc)".into(),
-                    )
-                })?;
-                let mut rows = Vec::new();
-                for row in &input.rows {
-                    let key = row[idx].as_key();
-                    for token in key.split_whitespace() {
-                        if let Some(node) = self.store.lookup_id(doc, token) {
-                            let mut out = row.clone();
-                            out[idx] = Value::Node(node);
-                            rows.push(out);
+                // The context document is demanded lazily — only when there
+                // is actually an ID string to resolve — so an empty input
+                // (e.g. a nested µ whose seed produced nothing) evaluates to
+                // the empty table instead of erroring or, worse, resolving
+                // against a stale document from a previous run.
+                let mut doc: Option<DocId> = None;
+                let mut src = Vec::new();
+                let mut items = Vec::new();
+                for (r, &key) in input.cols[idx].iter().enumerate() {
+                    // Only string cells carry ID text; the old code rendered
+                    // node cells as "node:…", which could never resolve.
+                    let Key::Sym(s) = key else { continue };
+                    let d = match doc {
+                        Some(d) => d,
+                        None => {
+                            let d = self.context_doc.ok_or_else(|| {
+                                AlgebraError::Execution(
+                                    "IdLookup requires a context document \
+                                     (Executor::set_context_doc)"
+                                        .into(),
+                                )
+                            })?;
+                            doc = Some(d);
+                            d
+                        }
+                    };
+                    let text = self.interner.resolve(s);
+                    for token in text.split_whitespace() {
+                        if let Some(node) = store.lookup_id(d, token) {
+                            src.push(r);
+                            items.push(Key::Node(node));
                         }
                     }
                 }
-                Ok(Table {
-                    columns: input.columns,
-                    rows,
-                }
-                .distinct())
+                Ok(replace_item_column(&input, idx, src, items).distinct())
             }
             Operator::IfThenElse => {
                 let else_table = inputs.remove(2);
@@ -537,17 +895,18 @@ impl<'s> Executor<'s> {
             }
             Operator::Construct(name) => {
                 let input = inputs.remove(0);
-                let frag = self.store.new_fragment();
-                let element = self
-                    .store
-                    .create_element(frag, xqy_xdm::QName::local(name.clone()));
+                let frag = store.new_fragment();
+                let element = store.create_element(frag, xqy_xdm::QName::local(name.clone()));
                 let _ = input;
                 Ok(Table::from_nodes(&[element]))
             }
             Operator::Mu | Operator::MuDelta => {
                 // input 0: seed plan result; input 1 is the body sub-plan,
                 // which must be re-evaluated per iteration — so it cannot be
-                // passed as a pre-computed table.  We re-drive it here.
+                // passed as a pre-computed table.  We re-drive it here,
+                // saving the outer plan's cache state around the nested run
+                // (plan node ids overlap between plans, so the inner run
+                // must not leave its entries behind).
                 let seed = inputs.remove(0);
                 let body_root = input_ids[1];
                 let body_plan = subplan(plan, body_root);
@@ -556,8 +915,17 @@ impl<'s> Executor<'s> {
                 } else {
                     MuStrategy::MuDelta
                 };
-                let (table, _stats) =
-                    self.run_fixpoint(&body_plan, &seed.item_nodes(), strategy, false)?;
+                // The whole plan-scoped state swaps out in one move; the
+                // nested run rebuilds its own and the outer plan's comes
+                // back untouched.  The context document is saved alongside:
+                // the nested run derives its own from its seed.
+                let saved_state = std::mem::take(&mut self.plan_state);
+                let saved_doc = self.context_doc;
+                let result =
+                    self.run_fixpoint(store, &body_plan, &seed.item_nodes(), strategy, false);
+                self.plan_state = saved_state;
+                self.context_doc = saved_doc;
+                let (table, _stats) = result?;
                 Ok(table)
             }
         }
@@ -570,17 +938,26 @@ impl<'s> Executor<'s> {
     /// seed itself (the paper's Example 2.4 reading).
     pub fn run_fixpoint(
         &mut self,
+        store: &mut NodeStore,
         body: &Plan,
         seed: &[NodeId],
         strategy: MuStrategy,
         seed_in_result: bool,
     ) -> Result<(Table, ExecStats)> {
-        if let Some(first) = seed.first() {
-            // Resolve id() lookups against the seed's document by default.
-            if self.context_doc.is_none() {
-                self.context_doc = Some(DocId(first.doc));
-            }
+        if !self.context_doc_explicit {
+            // Resolve id() lookups against the seed's document by default,
+            // re-derived per run so a persistent executor follows its seeds
+            // — and reset to None on an empty seed, so a run never resolves
+            // IDs against a stale document from a previous run (or store).
+            // IdLookup demands the document lazily, so empty-seeded runs
+            // over id()-bodies still evaluate to empty rather than erroring.
+            self.context_doc = seed.first().map(|n| DocId(n.doc));
         }
+        // Volatile tables (constructed identities, id() resolutions) are
+        // scoped to one run; priming happens once here — neither the body
+        // plan nor the store epoch can change between iterations.
+        self.plan_state.volatile_cache.clear();
+        self.prime_for_plan(store, body);
         let mut stats = ExecStats::default();
         // The accumulator lives as a NodeSet bitset for the whole run:
         // union/except are word-parallel and the termination tests are
@@ -590,14 +967,14 @@ impl<'s> Executor<'s> {
         let mut res: NodeSet = if seed_in_result {
             NodeSet::from_nodes(seed.iter().copied())
         } else {
-            NodeSet::from_nodes(self.eval_body(body, seed, &mut stats)?)
+            NodeSet::from_nodes(self.eval_body(store, body, seed, &mut stats)?)
         };
         // Mu feeds the whole accumulator back each round and needs it in
         // document order; MuDelta instead tracks ∆ (starting as a copy of
         // the initial accumulation) and only materializes that.  Each
         // strategy pays only for the state it reads.
         let (mut res_vec, mut delta) = match strategy {
-            MuStrategy::Mu => (res.to_vec(self.store), NodeSet::new()),
+            MuStrategy::Mu => (res.to_vec(store), NodeSet::new()),
             MuStrategy::MuDelta => (Vec::new(), res.clone()),
         };
         loop {
@@ -609,22 +986,22 @@ impl<'s> Executor<'s> {
             stats.iterations += 1;
             match strategy {
                 MuStrategy::Mu => {
-                    let step = self.eval_body(body, &res_vec, &mut stats)?;
+                    let step = self.eval_body(store, body, &res_vec, &mut stats)?;
                     let mut fresh = NodeSet::from_nodes(step);
                     fresh.except_in_place(&res);
                     if fresh.is_empty() {
                         break;
                     }
                     res.union_in_place(&fresh);
-                    res_vec = res.to_vec(self.store);
+                    res_vec = res.to_vec(store);
                 }
                 MuStrategy::MuDelta => {
-                    let delta_vec = delta.to_vec(self.store);
-                    let step = self.eval_body(body, &delta_vec, &mut stats)?;
+                    let delta_vec = delta.to_vec(store);
+                    let step = self.eval_body(store, body, &delta_vec, &mut stats)?;
                     delta = NodeSet::from_nodes(step);
                     delta.except_in_place(&res);
                     if delta.is_empty() {
-                        res_vec = res.to_vec(self.store);
+                        res_vec = res.to_vec(store);
                         break;
                     }
                     res.union_in_place(&delta);
@@ -637,6 +1014,7 @@ impl<'s> Executor<'s> {
 
     fn eval_body(
         &mut self,
+        store: &mut NodeStore,
         body: &Plan,
         input: &[NodeId],
         stats: &mut ExecStats,
@@ -644,26 +1022,51 @@ impl<'s> Executor<'s> {
         stats.rows_fed_back += input.len() as u64;
         stats.body_evaluations += 1;
         let rec = Table::from_nodes(input);
-        let out = self.eval_plan(body, &rec)?;
+        let out = self.eval_plan_in_run(store, body, &rec)?;
         Ok(out.item_nodes())
     }
 }
 
-fn apply_fun(kind: FunKind, left: &Value, right: &Value) -> Value {
+/// Gather `col[i]` for every `i` in `idx` (the columnar row-selection
+/// primitive joins, crosses and steps are built from).
+fn gather(col: &[Key], idx: &[usize]) -> Vec<Key> {
+    idx.iter().map(|&i| col[i]).collect()
+}
+
+/// Rebuild `input` with the `item` column replaced by `items` and every
+/// other column gathered through `src` (one source row per output row).
+fn replace_item_column(input: &Table, item_idx: usize, src: Vec<usize>, items: Vec<Key>) -> Table {
+    debug_assert_eq!(src.len(), items.len());
+    let mut cols: Vec<Arc<Vec<Key>>> = Vec::with_capacity(input.cols.len());
+    for (c, col) in input.cols.iter().enumerate() {
+        if c == item_idx {
+            cols.push(Arc::new(Vec::new())); // replaced just below
+        } else {
+            cols.push(Arc::new(gather(col, &src)));
+        }
+    }
+    cols[item_idx] = Arc::new(items);
+    Table::with_schema(input.names.clone(), cols)
+}
+
+fn apply_fun(kind: FunKind, left: Key, right: Key, interner: &Interner) -> Key {
     match kind {
-        FunKind::Eq => Value::Bool(left.as_key() == right.as_key()),
-        FunKind::Ne => Value::Bool(left.as_key() != right.as_key()),
+        // Equality is typed (`Sym` never equals `Node`/`Bool`), with a
+        // numeric bridge between symbols and integers so that a count
+        // compared against a literal (compiled as a string symbol) works.
+        FunKind::Eq => Key::Bool(keys_equal(left, right, interner)),
+        FunKind::Ne => Key::Bool(!keys_equal(left, right, interner)),
         FunKind::Lt | FunKind::Gt => {
-            let (l, r) = (numeric(left), numeric(right));
-            Value::Bool(if matches!(kind, FunKind::Lt) {
+            let (l, r) = (numeric(left, interner), numeric(right, interner));
+            Key::Bool(if matches!(kind, FunKind::Lt) {
                 l < r
             } else {
                 l > r
             })
         }
         FunKind::Add | FunKind::Sub => {
-            let (l, r) = (numeric(left), numeric(right));
-            Value::Int(if matches!(kind, FunKind::Add) {
+            let (l, r) = (numeric(left, interner), numeric(right, interner));
+            Key::Int(if matches!(kind, FunKind::Add) {
                 l + r
             } else {
                 l - r
@@ -672,24 +1075,35 @@ fn apply_fun(kind: FunKind, left: &Value, right: &Value) -> Value {
     }
 }
 
-fn numeric(value: &Value) -> i64 {
-    match value {
-        Value::Int(i) => *i,
-        Value::Bool(b) => *b as i64,
-        Value::Str(s) => s.trim().parse().unwrap_or(0),
-        Value::Node(_) => 0,
+fn keys_equal(left: Key, right: Key, interner: &Interner) -> bool {
+    match (left, right) {
+        // The bridge fires only when the symbol *is* an integer rendering;
+        // a non-numeric string never equals any integer (in particular not
+        // 0, which a parse fallback would silently produce).
+        (Key::Sym(s), Key::Int(i)) | (Key::Int(i), Key::Sym(s)) => {
+            interner.resolve(s).trim().parse::<i64>() == Ok(i)
+        }
+        _ => left == right,
+    }
+}
+
+fn numeric(key: Key, interner: &Interner) -> i64 {
+    match key {
+        Key::Int(i) => i,
+        Key::Bool(b) => b as i64,
+        Key::Sym(s) => interner.resolve(s).trim().parse().unwrap_or(0),
+        Key::Node(_) => 0,
     }
 }
 
 /// Effective boolean value of a condition table: a single `count`/integer
 /// cell is tested against zero; otherwise any row counts as true.
 fn effective_boolean(table: &Table) -> bool {
-    if table.columns.len() == 1 && table.rows.len() == 1 {
-        if let Value::Int(i) = &table.rows[0][0] {
-            return *i != 0;
-        }
-        if let Value::Bool(b) = &table.rows[0][0] {
-            return *b;
+    if table.columns().len() == 1 && table.len() == 1 {
+        match table.key(0, 0) {
+            Key::Int(i) => return i != 0,
+            Key::Bool(b) => return b,
+            _ => {}
         }
     }
     !table.is_empty()
@@ -813,9 +1227,9 @@ mod tests {
         );
         plan.set_root(back);
 
-        let mut exec = Executor::new(&mut store);
+        let mut exec = Executor::new();
         let result = exec
-            .eval_plan(&plan, &Table::from_nodes(&[root_elem]))
+            .eval_plan(&mut store, &plan, &Table::from_nodes(&[root_elem]))
             .unwrap();
         assert_eq!(result.len(), 1);
         let node = result.item_nodes()[0];
@@ -827,9 +1241,9 @@ mod tests {
         let (mut store, doc) = store_with_curriculum();
         let seed = seed_course(&mut store, doc, "c1");
         let plan = q1_plan();
-        let mut exec = Executor::new(&mut store);
+        let mut exec = Executor::new();
         let (result, stats) = exec
-            .run_fixpoint(&plan, &seed, MuStrategy::Mu, false)
+            .run_fixpoint(&mut store, &plan, &seed, MuStrategy::Mu, false)
             .unwrap();
         let mut codes: Vec<String> = result
             .item_nodes()
@@ -848,13 +1262,13 @@ mod tests {
         let plan = q1_plan();
 
         let (naive_result, naive_stats) = {
-            let mut exec = Executor::new(&mut store);
-            exec.run_fixpoint(&plan, &seed, MuStrategy::Mu, false)
+            let mut exec = Executor::new();
+            exec.run_fixpoint(&mut store, &plan, &seed, MuStrategy::Mu, false)
                 .unwrap()
         };
         let (delta_result, delta_stats) = {
-            let mut exec = Executor::new(&mut store);
-            exec.run_fixpoint(&plan, &seed, MuStrategy::MuDelta, false)
+            let mut exec = Executor::new();
+            exec.run_fixpoint(&mut store, &plan, &seed, MuStrategy::MuDelta, false)
                 .unwrap()
         };
         let mut a = naive_result.item_nodes();
@@ -927,10 +1341,10 @@ mod tests {
         plan.set_root(mu);
 
         let doc_id = store.doc("curriculum.xml").unwrap();
-        let mut exec = Executor::new(&mut store);
+        let mut exec = Executor::new();
         exec.set_context_doc(doc_id);
         let result = exec
-            .eval_plan(&plan, &Table::new(vec!["item".into()]))
+            .eval_plan(&mut store, &plan, &Table::new(vec!["item".into()]))
             .unwrap();
         assert_eq!(result.len(), 3);
     }
@@ -956,11 +1370,11 @@ mod tests {
         );
         let count = plan.add(Operator::Count { group_by: None }, vec![join]);
         plan.set_root(count);
-        let mut exec = Executor::new(&mut store);
+        let mut exec = Executor::new();
         let result = exec
-            .eval_plan(&plan, &Table::new(vec!["item".into()]))
+            .eval_plan(&mut store, &plan, &Table::new(vec!["item".into()]))
             .unwrap();
-        assert_eq!(result.rows[0][0], Value::Int(2));
+        assert_eq!(result.key(0, 0), Key::Int(2));
     }
 
     #[test]
@@ -974,9 +1388,9 @@ mod tests {
         let b = plan.add(Operator::Literal(vec!["y".into(), "z".into()]), vec![]);
         let union = plan.add(Operator::Union, vec![a, b]);
         plan.set_root(union);
-        let mut exec = Executor::new(&mut store);
+        let mut exec = Executor::new();
         let result = exec
-            .eval_plan(&plan, &Table::new(vec!["item".into()]))
+            .eval_plan(&mut store, &plan, &Table::new(vec!["item".into()]))
             .unwrap();
         assert_eq!(result.len(), 3); // x, y, z — set semantics
 
@@ -986,10 +1400,10 @@ mod tests {
         let diff = plan2.add(Operator::Difference, vec![a, b]);
         plan2.set_root(diff);
         let result = exec
-            .eval_plan(&plan2, &Table::new(vec!["item".into()]))
+            .eval_plan(&mut store, &plan2, &Table::new(vec!["item".into()]))
             .unwrap();
         assert_eq!(result.len(), 1);
-        assert_eq!(result.rows[0][0], Value::Str("x".into()));
+        assert_eq!(result.value(0, 0, exec.interner()), Value::Str("x".into()));
     }
 
     #[test]
@@ -1002,11 +1416,14 @@ mod tests {
         let else_branch = plan.add(Operator::Literal(vec!["else".into()]), vec![]);
         let ite = plan.add(Operator::IfThenElse, vec![cond, then_branch, else_branch]);
         plan.set_root(ite);
-        let mut exec = Executor::new(&mut store);
+        let mut exec = Executor::new();
         let result = exec
-            .eval_plan(&plan, &Table::new(vec!["item".into()]))
+            .eval_plan(&mut store, &plan, &Table::new(vec!["item".into()]))
             .unwrap();
-        assert_eq!(result.rows[0][0], Value::Str("then".into()));
+        assert_eq!(
+            result.value(0, 0, exec.interner()),
+            Value::Str("then".into())
+        );
     }
 
     #[test]
@@ -1022,10 +1439,326 @@ mod tests {
             vec![lit],
         );
         plan.set_root(select);
-        let mut exec = Executor::new(&mut store);
+        let mut exec = Executor::new();
         let err = exec
-            .eval_plan(&plan, &Table::new(vec!["item".into()]))
+            .eval_plan(&mut store, &plan, &Table::new(vec!["item".into()]))
             .unwrap_err();
         assert!(err.to_string().contains("nope"));
+    }
+
+    /// Regression test for the `as_key` tag collision: the old string
+    /// rendering made `Str("node:<k>")` join/dedup against `Node(k)` and
+    /// `Str("true")` against `Bool(true)`.  With typed keys these are four
+    /// distinct cells.
+    #[test]
+    fn string_cells_never_collide_with_node_or_bool_cells() {
+        let (mut store, doc) = store_with_curriculum();
+        let course = seed_course(&mut store, doc, "c1")[0];
+
+        // A document string column that *spells* the old rendering of the
+        // course node must not join against the node itself.
+        let mut exec = Executor::new();
+        let forged = format!("node:{course}");
+        let mut plan = Plan::new();
+        let strings = plan.add(Operator::Literal(vec![forged.clone()]), vec![]);
+        let rec = plan.add(Operator::RecInput, vec![]);
+        let join = plan.add(
+            Operator::Join {
+                left: "item".into(),
+                right: "item".into(),
+            },
+            vec![strings, rec],
+        );
+        plan.set_root(join);
+        let result = exec
+            .eval_plan(&mut store, &plan, &Table::from_nodes(&[course]))
+            .unwrap();
+        assert!(
+            result.is_empty(),
+            "string '{forged}' must not join against the node it spells"
+        );
+
+        // Dedup: a table holding Node(k), Sym("node:<k>"), Bool(true) and
+        // Sym("true") has four distinct rows, and difference removes none
+        // of the string rows when subtracting the node/bool rows.
+        let interner = exec.interner_mut();
+        let forged_sym = Key::Sym(interner.intern(&forged));
+        let true_sym = Key::Sym(interner.intern("true"));
+        let mixed = Table::from_columns(
+            vec!["item".into()],
+            vec![vec![
+                Key::Node(course),
+                forged_sym,
+                Key::Bool(true),
+                true_sym,
+                Key::Bool(true),
+            ]],
+        );
+        assert_eq!(mixed.distinct().len(), 4);
+        let typed_only = Table::from_columns(
+            vec!["item".into()],
+            vec![vec![Key::Node(course), Key::Bool(true)]],
+        );
+        let mut diff_plan = Plan::new();
+        let lits = diff_plan.add(
+            Operator::Literal(vec![forged.clone(), "true".into()]),
+            vec![],
+        );
+        let rec_typed = diff_plan.add(Operator::RecInput, vec![]);
+        let diff = diff_plan.add(Operator::Difference, vec![lits, rec_typed]);
+        diff_plan.set_root(diff);
+        let surviving = exec.eval_plan(&mut store, &diff_plan, &typed_only).unwrap();
+        assert_eq!(
+            surviving.len(),
+            2,
+            "subtracting Node(k)/Bool(true) rows must remove neither string row"
+        );
+
+        // Select: a node cell never matches a string literal, even the one
+        // that spells its old rendering.
+        let mut plan2 = Plan::new();
+        let rec2 = plan2.add(Operator::RecInput, vec![]);
+        let select = plan2.add(
+            Operator::Select {
+                column: "item".into(),
+                value: forged.clone(),
+            },
+            vec![rec2],
+        );
+        plan2.set_root(select);
+        let selected = exec
+            .eval_plan(&mut store, &plan2, &Table::from_nodes(&[course]))
+            .unwrap();
+        assert!(selected.is_empty());
+    }
+
+    /// `Executor::default()` must behave like `Executor::new()` — in
+    /// particular its iteration limit must not be zero.
+    #[test]
+    fn default_executor_matches_new() {
+        assert_eq!(
+            Executor::default().max_iterations,
+            Executor::new().max_iterations
+        );
+        assert!(Executor::default().max_iterations > 0);
+    }
+
+    /// Node constructors create a fresh identity per fixpoint *run* even
+    /// though they are rec-independent: their tables live in the per-run
+    /// volatile cache, never in the persistent static cache.
+    #[test]
+    fn constructed_nodes_are_fresh_per_run_but_stable_within_one() {
+        let mut store = NodeStore::new();
+        let mut plan = Plan::new();
+        let lit = plan.add(Operator::Literal(Vec::new()), vec![]);
+        let flag = plan.add(Operator::Construct("flag".into()), vec![lit]);
+        plan.set_root(flag);
+        let mut exec = Executor::new();
+        let (r1, s1) = exec
+            .run_fixpoint(&mut store, &plan, &[], MuStrategy::Mu, false)
+            .unwrap();
+        let (r2, _) = exec
+            .run_fixpoint(&mut store, &plan, &[], MuStrategy::Mu, false)
+            .unwrap();
+        // Within one run the constructed node is stable (the fixpoint
+        // terminates); across runs the identity is fresh.
+        assert_eq!(r1.len(), 1);
+        assert_eq!(r2.len(), 1);
+        assert!(s1.iterations >= 1);
+        assert_ne!(
+            r1.item_nodes(),
+            r2.item_nodes(),
+            "a second run must construct a fresh element"
+        );
+        // Direct eval_plan calls are each their own scope too.
+        let empty = Table::new(vec!["item".into()]);
+        let e1 = exec.eval_plan(&mut store, &plan, &empty).unwrap();
+        let e2 = exec.eval_plan(&mut store, &plan, &empty).unwrap();
+        assert_ne!(e1.item_nodes(), e2.item_nodes());
+    }
+
+    /// An empty-seeded run over an id()-using body evaluates to the empty
+    /// set — it neither errors for lack of a context document nor resolves
+    /// IDs against a stale document from a previous run.
+    #[test]
+    fn empty_seed_id_lookup_returns_empty_without_stale_context() {
+        let (mut store, doc) = store_with_curriculum();
+        let plan = q1_plan();
+        let mut exec = Executor::new();
+        // A first run establishes a derived context document…
+        let seed = seed_course(&mut store, doc, "c1");
+        exec.run_fixpoint(&mut store, &plan, &seed, MuStrategy::MuDelta, false)
+            .unwrap();
+        // …which an empty-seeded run must not reuse.
+        let (result, _) = exec
+            .run_fixpoint(&mut store, &plan, &[], MuStrategy::MuDelta, false)
+            .unwrap();
+        assert!(result.is_empty());
+    }
+
+    /// The `⊚ Eq` Sym↔Int bridge compares numerically only when the symbol
+    /// actually parses as an integer; a non-numeric string must not equal
+    /// `Int(0)` through a parse fallback.
+    #[test]
+    fn fun_eq_numeric_bridge_requires_a_numeric_symbol() {
+        let mut interner = Interner::new();
+        let na = Key::Sym(interner.intern("n/a"));
+        let five = Key::Sym(interner.intern("5"));
+        assert_eq!(
+            apply_fun(FunKind::Eq, na, Key::Int(0), &interner),
+            Key::Bool(false)
+        );
+        assert_eq!(
+            apply_fun(FunKind::Ne, na, Key::Int(0), &interner),
+            Key::Bool(true)
+        );
+        assert_eq!(
+            apply_fun(FunKind::Eq, five, Key::Int(5), &interner),
+            Key::Bool(true)
+        );
+    }
+
+    /// Acceptance criterion: a static-cache hit hands out a *shared*
+    /// handle — the columns of the two results are pointer-identical, no
+    /// deep table clone happens.
+    #[test]
+    fn static_cache_hits_return_shared_handles() {
+        let (mut store, _doc) = store_with_curriculum();
+        let mut plan = Plan::new();
+        let docroot = plan.add(Operator::DocRoot("curriculum.xml".into()), vec![]);
+        let courses = plan.add(
+            Operator::Step {
+                axis: Axis::Descendant,
+                test: NodeTest::Name("course".into()),
+            },
+            vec![docroot],
+        );
+        plan.set_root(courses);
+
+        let mut exec = Executor::new();
+        let empty = Table::new(vec!["item".into()]);
+        let first = exec.eval_plan(&mut store, &plan, &empty).unwrap();
+        let evals_after_first = exec.static_plan_evals();
+        let second = exec.eval_plan(&mut store, &plan, &empty).unwrap();
+        assert_eq!(first.len(), 4);
+        assert!(
+            first.shares_storage(&second),
+            "second evaluation must return a shared handle, not a deep clone"
+        );
+        assert_eq!(
+            exec.static_plan_evals(),
+            evals_after_first,
+            "no rec-independent node re-evaluated"
+        );
+        assert!(exec.static_cache_hits() >= 1);
+    }
+
+    /// The static cache survives across fixpoint runs (the per-item loop
+    /// shape) but is invalidated when a document is loaded afterwards.
+    #[test]
+    fn static_cache_persists_across_runs_and_invalidates_on_load() {
+        let (mut store, doc) = store_with_curriculum();
+        // A body with a rec-independent arm: doc-rooted course scan joined
+        // against the recursion input's prerequisite codes.
+        let mut plan = Plan::new();
+        let rec = plan.add(Operator::RecInput, vec![]);
+        let prereq = plan.add(
+            Operator::Step {
+                axis: Axis::Child,
+                test: NodeTest::Name("prerequisites".into()),
+            },
+            vec![rec],
+        );
+        let code = plan.add(
+            Operator::Step {
+                axis: Axis::Child,
+                test: NodeTest::Name("pre_code".into()),
+            },
+            vec![prereq],
+        );
+        let value = plan.add(Operator::StringValue, vec![code]);
+        let lookup = plan.add(Operator::IdLookup, vec![value]);
+        // Rec-independent arm: every c4 course, scanned from the doc root.
+        let docroot = plan.add(Operator::DocRoot("curriculum.xml".into()), vec![]);
+        let all = plan.add(
+            Operator::Step {
+                axis: Axis::Descendant,
+                test: NodeTest::Name("course".into()),
+            },
+            vec![docroot],
+        );
+        let keep = plan.add(
+            Operator::Project(vec![
+                ("node".into(), "item".into()),
+                ("item".into(), "item".into()),
+            ]),
+            vec![all],
+        );
+        let attr = plan.add(Operator::AttrValue("code".into()), vec![keep]);
+        let select = plan.add(
+            Operator::Select {
+                column: "item".into(),
+                value: "c4".into(),
+            },
+            vec![attr],
+        );
+        let fixed = plan.add(
+            Operator::Project(vec![("item".into(), "node".into())]),
+            vec![select],
+        );
+        let union = plan.add(Operator::Union, vec![lookup, fixed]);
+        plan.set_root(union);
+
+        let mut exec = Executor::new();
+        let seed = seed_course(&mut store, doc, "c1");
+        exec.run_fixpoint(&mut store, &plan, &seed, MuStrategy::MuDelta, false)
+            .unwrap();
+        let evals_first_run = exec.static_plan_evals();
+
+        // Second run over a different seed: rec-independent work is free.
+        let seed2 = seed_course(&mut store, doc, "c2");
+        exec.run_fixpoint(&mut store, &plan, &seed2, MuStrategy::MuDelta, false)
+            .unwrap();
+        assert_eq!(
+            exec.static_plan_evals(),
+            evals_first_run,
+            "persistent executor must not re-evaluate rec-independent nodes"
+        );
+
+        // Loading a document bumps the store epoch and drops the cache.
+        store
+            .parse_document_with_uri("late.xml", "<late/>")
+            .unwrap();
+        exec.run_fixpoint(&mut store, &plan, &seed, MuStrategy::MuDelta, false)
+            .unwrap();
+        assert!(
+            exec.static_plan_evals() > evals_first_run,
+            "document load must invalidate the static cache"
+        );
+    }
+
+    /// Projection shares column storage with its input (zero-copy π).
+    #[test]
+    fn projection_shares_column_storage() {
+        let (mut store, doc) = store_with_curriculum();
+        let courses = {
+            let root = store.document_element(doc).unwrap();
+            store.axis_nodes(root, Axis::Child, &NodeTest::Name("course".into()))
+        };
+        let input = Table::from_nodes(&courses);
+        let mut plan = Plan::new();
+        let rec = plan.add(Operator::RecInput, vec![]);
+        let project = plan.add(
+            Operator::Project(vec![("renamed".into(), "item".into())]),
+            vec![rec],
+        );
+        plan.set_root(project);
+        let mut exec = Executor::new();
+        let result = exec.eval_plan(&mut store, &plan, &input).unwrap();
+        assert_eq!(result.columns(), ["renamed"]);
+        assert!(
+            result.shares_storage(&input),
+            "π must re-arrange column handles, not copy cells"
+        );
     }
 }

@@ -38,7 +38,7 @@ pub mod pushup;
 
 pub use compile::{compile_count, compile_recursion_body, CompiledBody};
 pub use error::AlgebraError;
-pub use exec::{ExecStats, Executor, MuStrategy, Table, Value};
+pub use exec::{ExecStats, Executor, Key, MuStrategy, Table, Value};
 pub use plan::{Operator, Plan, PlanNode, PlanNodeId};
 pub use pushup::{check_distributivity, PushupOutcome};
 

@@ -1,6 +1,7 @@
 //! Plan DAGs over the Table-1 algebra dialect.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use xqy_xdm::{Axis, NodeTest};
 
@@ -29,7 +30,7 @@ pub enum FunKind {
 /// Every variant documents whether a `∪` placed below it may be pushed up
 /// through it (the "Push?" column of Table 1); see
 /// [`Operator::union_pushable`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Operator {
     /// The recursion variable's input relation (the `$x` leaf of a recursion
     /// body plan).  This is where the `∪` of the distributivity check is
@@ -174,7 +175,7 @@ impl Operator {
 }
 
 /// One node of the plan DAG: an operator plus its input plan nodes.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlanNode {
     /// The operator.
     pub op: Operator,
@@ -231,6 +232,18 @@ impl Plan {
     /// Iterate over `(id, node)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (PlanNodeId, &PlanNode)> {
         self.nodes.iter().enumerate()
+    }
+
+    /// A structural fingerprint of the plan: equal plans hash equal,
+    /// different plans almost surely differ.  The executor keys its
+    /// rec-independent static cache on this (plan node ids are arena
+    /// indices, so tables cached for one plan must never serve another);
+    /// the hash walks the arena directly, with no intermediate rendering.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.nodes.hash(&mut hasher);
+        self.root.hash(&mut hasher);
+        hasher.finish()
     }
 
     /// All node ids whose operator is [`Operator::RecInput`].

@@ -1,0 +1,136 @@
+//! Micro-benchmarks of the algebraic executor's data plane.
+//!
+//! PR 3 rebuilt the executor around interned, typed `Key` cells and
+//! columnar `Arc`-shared tables, and made executors persistent across the
+//! per-item Table-2 loop.  These benches pin the costs that refactor
+//! targeted:
+//!
+//! * `join`      — hash join on typed keys (was: one `String` allocation
+//!   per probe and per build row);
+//! * `distinct`  — duplicate elimination on `Copy` keys (was: a
+//!   `Vec<String>` render per row);
+//! * `static_cache_hit` — returning a rec-independent table from the
+//!   static cache (was: a deep row-by-row clone; now an O(columns)
+//!   handle);
+//! * `per_item/*` — the end-to-end per-item curriculum loop (one fixpoint
+//!   per seed course) with the persistent executors of one prepared query
+//!   vs. re-prepared fresh executors per run.
+//!
+//! Run with `CRITERION_JSON=BENCH_exec.json cargo bench -p xqy_bench
+//! --bench exec` to record the baseline the ROADMAP tracks.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xqy_bench::{
+    bidder_network, curriculum_workload, engine_for, seed_bindings, Backend, Workload,
+};
+use xqy_datagen::Scale;
+use xqy_ifp::algebra::{Executor, Key, Operator, Plan, Table};
+use xqy_ifp::Strategy;
+use xqy_xdm::NodeStore;
+
+/// A single-column table of `n` interned symbols `s<i % cycle>`.
+fn sym_table(exec: &mut Executor, n: usize, cycle: usize) -> Table {
+    let keys: Vec<Key> = (0..n)
+        .map(|i| Key::Sym(exec.interner_mut().intern(&format!("s{}", i % cycle))))
+        .collect();
+    Table::from_columns(vec!["item".into()], vec![keys])
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec");
+    group.sample_size(10);
+
+    // --- join: self-join of 10⁴ symbol rows over the typed-key index.
+    {
+        let mut store = NodeStore::new();
+        let mut exec = Executor::new();
+        let input = sym_table(&mut exec, 10_000, 10_000);
+        let mut plan = Plan::new();
+        let rec = plan.add(Operator::RecInput, vec![]);
+        let join = plan.add(
+            Operator::Join {
+                left: "item".into(),
+                right: "item".into(),
+            },
+            vec![rec, rec],
+        );
+        plan.set_root(join);
+        group.bench_function("join/10k", |b| {
+            b.iter(|| black_box(exec.eval_plan(&mut store, &plan, &input).unwrap().len()))
+        });
+    }
+
+    // --- distinct: 10⁴ rows, 10× duplication.
+    {
+        let mut store = NodeStore::new();
+        let mut exec = Executor::new();
+        let input = sym_table(&mut exec, 10_000, 1_000);
+        let mut plan = Plan::new();
+        let rec = plan.add(Operator::RecInput, vec![]);
+        let distinct = plan.add(Operator::Distinct, vec![rec]);
+        plan.set_root(distinct);
+        group.bench_function("distinct/10k", |b| {
+            b.iter(|| black_box(exec.eval_plan(&mut store, &plan, &input).unwrap().len()))
+        });
+    }
+
+    // --- static_cache_hit: a fully rec-independent plan re-evaluated by a
+    // persistent executor — every call after the first returns shared
+    // column handles out of the static cache.
+    {
+        let workload = curriculum_workload(Scale::Small);
+        let mut store = NodeStore::new();
+        store
+            .parse_document_with_uri(workload.uri, &workload.xml)
+            .unwrap();
+        let mut plan = Plan::new();
+        let docroot = plan.add(Operator::DocRoot(workload.uri.into()), vec![]);
+        let scan = plan.add(
+            Operator::Step {
+                axis: xqy_xdm::Axis::Descendant,
+                test: xqy_xdm::NodeTest::Name("course".into()),
+            },
+            vec![docroot],
+        );
+        plan.set_root(scan);
+        let mut exec = Executor::new();
+        let empty = Table::new(vec!["item".into()]);
+        exec.eval_plan(&mut store, &plan, &empty).unwrap(); // warm
+        group.bench_function("static_cache_hit", |b| {
+            b.iter(|| black_box(exec.eval_plan(&mut store, &plan, &empty).unwrap().len()))
+        });
+    }
+
+    // --- per_item: the end-to-end Table-2 per-item loops on the algebraic
+    // back-end (one µ∆ fixpoint per seed node) — the cells the acceptance
+    // criterion tracks against the PR-2 baseline.
+    for (label, workload) in [
+        ("curriculum", curriculum_workload(Scale::Small)),
+        ("bidder_network", bidder_network(Scale::Small)),
+    ] {
+        let workload: Workload = workload;
+        let mut engine = engine_for(&workload);
+        engine.set_strategy(Strategy::Delta);
+        engine.set_backend(Backend::Algebraic);
+        let query = workload.query();
+        let bindings = seed_bindings(&mut engine, &workload);
+        let prepared = engine.prepare(&query).unwrap();
+        prepared.execute(&mut engine, &bindings).unwrap(); // warm the caches
+        group.bench_function(format!("per_item/{label}/reused_executor"), |b| {
+            b.iter(|| prepared.execute(&mut engine, &bindings).unwrap())
+        });
+        group.bench_function(format!("per_item/{label}/fresh_executors"), |b| {
+            // Re-preparing builds fresh executors: every run re-interns and
+            // re-evaluates the rec-independent plan nodes per seed.
+            b.iter(|| {
+                let p = engine.prepare(&query).unwrap();
+                p.execute(&mut engine, &bindings).unwrap()
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

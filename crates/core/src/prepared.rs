@@ -44,7 +44,7 @@
 //! }
 //! ```
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use xqy_algebra::{compile_recursion_body, CompiledBody, Executor, MuStrategy};
 use xqy_eval::{
@@ -158,6 +158,14 @@ pub struct PreparedOccurrence {
     report: DistributivityReport,
     strategy: FixpointStrategy,
     compiled: std::result::Result<Arc<CompiledBody>, String>,
+    /// The occurrence's *persistent* plan executor: its interner and its
+    /// rec-independent static cache survive across `execute()` calls (and
+    /// across every seed of a per-item loop).  Shared — clones of the
+    /// prepared query reuse the same executor, which is sound because the
+    /// executor re-keys itself on the plan fingerprint and on the store's
+    /// document-load epoch.  Staleness after `Engine::load_document*` is
+    /// handled by that epoch check, not by rebuilding executors.
+    executor: Arc<Mutex<Executor>>,
 }
 
 impl PreparedOccurrence {
@@ -182,6 +190,14 @@ impl PreparedOccurrence {
     /// occurrence can run on the relational back-end.
     pub fn is_algebraic_capable(&self) -> bool {
         self.compiled.is_ok()
+    }
+
+    /// Lifetime totals of the occurrence's persistent executor:
+    /// `(static_cache_hits, static_plan_evals)`.  Per-execute deltas are
+    /// reported in [`OccurrencePlan`].
+    pub fn executor_cache_totals(&self) -> (u64, u64) {
+        let exec = self.executor.lock().expect("executor lock");
+        (exec.static_cache_hits(), exec.static_plan_evals())
     }
 }
 
@@ -211,6 +227,14 @@ pub struct OccurrencePlan {
     pub strategy: FixpointStrategy,
     /// The back-end that drives the occurrence.
     pub backend: FixpointBackendTag,
+    /// Static-cache hits of the occurrence's persistent executor during
+    /// *this* `execute()` call: rec-independent plan tables that came back
+    /// as shared handles.  Always zero on the interpreted back-end.
+    pub static_cache_hits: u64,
+    /// Rec-independent plan nodes actually evaluated during this
+    /// `execute()` call.  With a persistent executor the second execution
+    /// of a prepared query against an unchanged store reports zero here.
+    pub static_plan_evals: u64,
 }
 
 /// A parsed, analysed and (where possible) compiled query, ready to be
@@ -334,8 +358,16 @@ impl PreparedQuery {
                     body: occ.body.clone(),
                     compiled: compiled.clone(),
                     strategy: occ.strategy,
+                    executor: occ.executor.clone(),
                 })
             })
+            .collect();
+        // Counter snapshot, so the outcome reports per-*execute* deltas of
+        // the persistent executors' lifetime totals.
+        let cache_before: Vec<(u64, u64)> = self
+            .occurrences
+            .iter()
+            .map(PreparedOccurrence::executor_cache_totals)
             .collect();
         if !entries.is_empty() {
             evaluator.set_fixpoint_interceptor(Box::new(PlanDriver { entries }));
@@ -347,14 +379,20 @@ impl PreparedQuery {
             .occurrences
             .iter()
             .zip(&plans)
-            .map(|(occ, plan)| OccurrencePlan {
-                variable: occ.var.clone(),
-                strategy: occ.strategy,
-                backend: if plan.is_some() {
-                    FixpointBackendTag::Algebraic
-                } else {
-                    FixpointBackendTag::Interpreted
-                },
+            .zip(cache_before)
+            .map(|((occ, plan), (hits_before, evals_before))| {
+                let (hits_after, evals_after) = occ.executor_cache_totals();
+                OccurrencePlan {
+                    variable: occ.var.clone(),
+                    strategy: occ.strategy,
+                    backend: if plan.is_some() {
+                        FixpointBackendTag::Algebraic
+                    } else {
+                        FixpointBackendTag::Interpreted
+                    },
+                    static_cache_hits: hits_after - hits_before,
+                    static_plan_evals: evals_after - evals_before,
+                }
             })
             .collect();
         Ok(QueryOutcome {
@@ -366,19 +404,24 @@ impl PreparedQuery {
     }
 }
 
-/// One interceptor entry: an occurrence with a pre-compiled plan.
+/// One interceptor entry: an occurrence with a pre-compiled plan and its
+/// persistent executor.
 struct PlanEntry {
     var: String,
     body: Arc<Expr>,
     compiled: Arc<CompiledBody>,
     strategy: FixpointStrategy,
+    executor: Arc<Mutex<Executor>>,
 }
 
 /// The [`FixpointInterceptor`] installed by [`PreparedQuery::execute`]: it
 /// recognises occurrences by their `(var, body)` pair and drives their
-/// pre-compiled plans through the relational executor, reusing one
-/// [`CompiledBody`] across every execution (and across every seed of a
-/// per-item workload).
+/// pre-compiled plans through the relational executor.  Both the
+/// [`CompiledBody`] *and* the [`Executor`] are reused across every
+/// execution and every seed of a per-item workload — the driver hands the
+/// occurrence's long-lived executor `&mut` access to the store per run
+/// instead of building a fresh executor (which would re-intern every
+/// string and re-evaluate every rec-independent plan node per seed).
 struct PlanDriver {
     entries: Vec<PlanEntry>,
 }
@@ -396,9 +439,12 @@ impl FixpointInterceptor for PlanDriver {
             .entries
             .iter()
             .find(|e| e.var == var && *e.body == *body)?;
-        let mut executor = Executor::new(store);
+        let mut executor = entry.executor.lock().expect("executor lock");
+        let hits_before = executor.static_cache_hits();
+        let evals_before = executor.static_plan_evals();
         Some(
             match executor.run_fixpoint(
+                store,
                 &entry.compiled.plan,
                 seed,
                 mu_strategy(entry.strategy),
@@ -413,6 +459,8 @@ impl FixpointInterceptor for PlanDriver {
                         nodes_fed_back: stats.rows_fed_back,
                         payload_calls: stats.body_evaluations,
                         result_size: stats.result_rows,
+                        static_cache_hits: executor.static_cache_hits() - hits_before,
+                        static_plan_evals: executor.static_plan_evals() - evals_before,
                     },
                 )),
                 Err(err) => Err(EvalError::Backend(err.to_string())),
@@ -459,6 +507,7 @@ pub(crate) fn analyse_occurrences(
             report,
             strategy: chosen,
             compiled,
+            executor: Arc::new(Mutex::new(Executor::new())),
         });
     }
     occurrences

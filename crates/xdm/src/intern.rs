@@ -1,0 +1,109 @@
+//! String interning: map strings to dense, `Copy` integer symbols.
+//!
+//! The relational executor compares, joins and deduplicates on string
+//! values constantly — attribute values, `string()` results, literals.
+//! Carrying those as `String` cells means every probe allocates and every
+//! comparison walks bytes.  An [`Interner`] assigns each distinct string a
+//! stable [`StrId`] once; afterwards equality is an integer compare and a
+//! table cell is a `Copy` word.
+//!
+//! The pool only ever grows (symbols stay valid for the interner's whole
+//! lifetime), which is exactly the lifetime story of a prepared query's
+//! executor: strings interned while evaluating one seed are still valid —
+//! and already cached — for every later seed of a per-item loop.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A symbol: the dense id of an interned string.
+///
+/// Only meaningful together with the [`Interner`] that produced it; two
+/// `StrId`s from the same interner are equal iff their strings are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StrId(pub u32);
+
+/// A grow-only string pool assigning each distinct string one [`StrId`].
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    /// Lookup map; shares the `Arc<str>` storage with `strings`.
+    map: HashMap<Arc<str>, u32>,
+    /// `strings[id]` is the string of `StrId(id)`.
+    strings: Vec<Arc<str>>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Intern `s`, returning its symbol (allocating only on first sight).
+    pub fn intern(&mut self, s: &str) -> StrId {
+        if let Some(&id) = self.map.get(s) {
+            return StrId(id);
+        }
+        let id = self.strings.len() as u32;
+        let owned: Arc<str> = Arc::from(s);
+        self.strings.push(owned.clone());
+        self.map.insert(owned, id);
+        StrId(id)
+    }
+
+    /// The symbol of `s`, if it has been interned (never allocates).
+    pub fn get(&self, s: &str) -> Option<StrId> {
+        self.map.get(s).map(|&id| StrId(id))
+    }
+
+    /// The string behind `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this interner.
+    pub fn resolve(&self, id: StrId) -> &str {
+        &self.strings[id.0 as usize]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// `true` when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut pool = Interner::new();
+        let a = pool.intern("alpha");
+        let b = pool.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(pool.intern("alpha"), a);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.resolve(a), "alpha");
+        assert_eq!(pool.resolve(b), "beta");
+    }
+
+    #[test]
+    fn get_never_interns() {
+        let mut pool = Interner::new();
+        assert!(pool.get("x").is_none());
+        let x = pool.intern("x");
+        assert_eq!(pool.get("x"), Some(x));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn empty_and_distinct_strings() {
+        let mut pool = Interner::new();
+        assert!(pool.is_empty());
+        let empty = pool.intern("");
+        assert_eq!(pool.resolve(empty), "");
+        assert!(!pool.is_empty());
+    }
+}

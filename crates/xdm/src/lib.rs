@@ -33,6 +33,7 @@
 //! ```
 
 pub mod error;
+pub mod intern;
 pub mod node;
 pub mod nodeset;
 pub mod ops;
@@ -43,6 +44,7 @@ pub mod store;
 pub mod value;
 
 pub use error::XdmError;
+pub use intern::{Interner, StrId};
 pub use node::{Axis, NodeId, NodeKind, NodeTest, QName};
 pub use nodeset::NodeSet;
 pub use ops::{ddo, intersect, is_subset, node_except, node_union, set_equal};

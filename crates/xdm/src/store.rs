@@ -144,6 +144,24 @@ pub struct NodeStore {
     by_uri: HashMap<String, u32>,
     /// Count of nodes ever created, across all documents.
     nodes_created: u64,
+    /// Set to a *globally unique* value (process-wide counter) whenever the
+    /// set of addressable documents changes — a parse, or an ID-attribute
+    /// registration that alters `id()` resolution.  Caches derived from
+    /// document contents (e.g. the algebraic executor's rec-independent
+    /// static cache) compare this to decide staleness.
+    load_epoch: u64,
+}
+
+/// Process-wide source of [`NodeStore::load_epoch`] values.  Epochs being
+/// globally unique — not per-store counters — means equal epochs imply the
+/// same document set: a cache keyed on an epoch can never be fooled by a
+/// *different* store that happens to have performed the same number of
+/// loads.  (Epoch 0 is shared by stores that never loaded anything, which
+/// all agree on the empty document set.)
+static NEXT_LOAD_EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn fresh_load_epoch() -> u64 {
+    NEXT_LOAD_EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 impl NodeStore {
@@ -157,6 +175,22 @@ impl NodeStore {
     /// fixed point computations.
     pub fn nodes_created(&self) -> u64 {
         self.nodes_created
+    }
+
+    /// The store's document-load epoch: changes whenever a new document is
+    /// parsed into the store or an ID-typed attribute is registered.
+    ///
+    /// Long-lived consumers that cache tables derived from document contents
+    /// (notably the algebraic executor's rec-independent static cache)
+    /// snapshot this value and invalidate when it moves — this is what makes
+    /// it safe to keep one executor alive across many `execute()` calls while
+    /// still seeing documents loaded after prepare.  Node *construction*
+    /// (fragments built by element constructors) deliberately does not bump
+    /// the epoch: constructed fragments are unreachable through `doc(…)`, and
+    /// bumping per construction would defeat the cache for bodies that build
+    /// nodes every iteration.
+    pub fn load_epoch(&self) -> u64 {
+        self.load_epoch
     }
 
     /// Number of documents (parsed or constructed fragments) in the store.
@@ -191,7 +225,9 @@ impl NodeStore {
 
     /// Parse `text` as an XML document and add it to the store.
     pub fn parse_document(&mut self, text: &str) -> Result<DocId> {
-        crate::parse::parse_into(self, text)
+        let doc = crate::parse::parse_into(self, text)?;
+        self.load_epoch = fresh_load_epoch();
+        Ok(doc)
     }
 
     /// Parse `text` and register it under `uri` so that subsequent
@@ -203,6 +239,7 @@ impl NodeStore {
         let doc = crate::parse::parse_into(self, text)?;
         self.docs[doc.0 as usize].uri = Some(uri.to_string());
         self.by_uri.insert(uri.to_string(), doc.0);
+        self.load_epoch = fresh_load_epoch();
         Ok(doc)
     }
 
@@ -241,6 +278,7 @@ impl NodeStore {
             if !d.id_attr_names.iter().any(|n| n == name) {
                 d.id_attr_names.push(name.to_string());
                 d.dirty = true;
+                self.load_epoch = fresh_load_epoch();
             }
         }
     }

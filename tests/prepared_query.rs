@@ -290,3 +290,139 @@ fn bindings_shadow_nothing_and_support_rebinding() {
     let outcome = prepared.execute(&mut engine, &all).unwrap();
     assert_eq!(engine.display(&outcome.result), "4");
 }
+
+#[test]
+fn second_execute_performs_zero_rec_independent_plan_evaluations() {
+    // The tentpole promise of the persistent-executor refactor: the
+    // rec-independent static cache survives across `execute()` calls, so
+    // re-running a prepared query against an unchanged store evaluates
+    // *zero* rec-independent plan nodes and reports its reuse per
+    // occurrence in the outcome.
+    let mut engine = curriculum_engine();
+    engine.set_backend(Backend::Algebraic);
+    // A body with rec-independent work: the doc-rooted course scan.
+    let prepared = engine
+        .prepare(
+            "with $x seeded by $seed recurse \
+             doc('curriculum.xml')/curriculum/course[@code='c4']",
+        )
+        .unwrap();
+    let bindings = seed_for(&mut engine, "c1");
+
+    let first = prepared.execute(&mut engine, &bindings).unwrap();
+    assert!(
+        first.occurrences[0].static_plan_evals > 0,
+        "first execution must evaluate the rec-independent scan once"
+    );
+
+    let second = prepared.execute(&mut engine, &bindings).unwrap();
+    assert_eq!(
+        second.occurrences[0].static_plan_evals, 0,
+        "second execution must reuse every rec-independent table"
+    );
+    assert!(
+        second.occurrences[0].static_cache_hits > 0,
+        "…and report the shared-handle hits"
+    );
+    // The per-run fixpoint statistics carry the same counters.
+    assert!(second.fixpoints.iter().all(|s| s.static_plan_evals == 0));
+}
+
+#[test]
+fn loading_a_document_after_execute_invalidates_the_static_cache() {
+    let mut engine = curriculum_engine();
+    engine.set_backend(Backend::Algebraic);
+    let prepared = engine
+        .prepare(
+            "with $x seeded by $seed recurse \
+             doc('curriculum.xml')/curriculum/course[@code='c4']",
+        )
+        .unwrap();
+    let bindings = seed_for(&mut engine, "c1");
+    prepared.execute(&mut engine, &bindings).unwrap();
+
+    // A document load bumps the store's load epoch: the persistent
+    // executors must drop their static caches and re-derive.
+    engine.load_document("late.xml", "<late/>").unwrap();
+    let outcome = prepared.execute(&mut engine, &bindings).unwrap();
+    assert!(
+        outcome.occurrences[0].static_plan_evals > 0,
+        "a post-prepare document load must invalidate the static cache"
+    );
+}
+
+#[test]
+fn per_item_loop_shares_static_work_across_seeds() {
+    // One fixpoint per seed course: the rec-independent scan is evaluated
+    // for the first seed only; the remaining seeds hit the cache.
+    let mut engine = curriculum_engine();
+    engine.set_backend(Backend::Algebraic);
+    let prepared = engine
+        .prepare(
+            "for $s in $seed return (with $x seeded by $s recurse \
+             doc('curriculum.xml')/curriculum/course[@code='c4'])",
+        )
+        .unwrap();
+    let all = engine
+        .run("doc('curriculum.xml')/curriculum/course")
+        .unwrap()
+        .result;
+    let outcome = prepared
+        .execute(&mut engine, &Bindings::new().with("seed", all))
+        .unwrap();
+    assert_eq!(outcome.fixpoints.len(), 4);
+    let evals: Vec<u64> = outcome
+        .fixpoints
+        .iter()
+        .map(|s| s.static_plan_evals)
+        .collect();
+    assert!(evals[0] > 0, "first seed pays the static work: {evals:?}");
+    assert!(
+        evals[1..].iter().all(|&e| e == 0),
+        "later seeds must ride the cache: {evals:?}"
+    );
+}
+
+#[test]
+fn prepared_query_executed_against_a_different_engine_sees_that_store() {
+    // A prepared query's persistent executors cache tables keyed on the
+    // store's load epoch.  Epochs are globally unique, so executing the
+    // same prepared artifact against a *different* engine — even one that
+    // performed the same number of loads — must invalidate and re-derive
+    // from that engine's documents, never serve node ids from the first.
+    let mut a = curriculum_engine();
+    a.set_backend(Backend::Algebraic);
+    let prepared = a
+        .prepare(
+            "with $x seeded by $seed recurse \
+             doc('curriculum.xml')/curriculum/course[@code='c4']",
+        )
+        .unwrap();
+    let bindings_a = seed_for(&mut a, "c1");
+    let on_a = prepared.execute(&mut a, &bindings_a).unwrap();
+    assert_eq!(on_a.result.len(), 1, "engine A has a c4 course");
+
+    // Engine B: same URI, same number of loads, but no c4 course at all.
+    let mut b = Engine::new();
+    b.set_backend(Backend::Algebraic);
+    b.load_document_with_ids(
+        "curriculum.xml",
+        r#"<curriculum>
+            <course code="c1"><prerequisites><pre_code>c2</pre_code></prerequisites></course>
+            <course code="c2"><prerequisites/></course>
+        </curriculum>"#,
+        &["code"],
+    )
+    .unwrap();
+    let bindings_b = seed_for(&mut b, "c1");
+    let on_b = prepared.execute(&mut b, &bindings_b).unwrap();
+    assert_eq!(
+        on_b.result.len(),
+        0,
+        "engine B has no c4 course; a stale cached table from A would leak one"
+    );
+    assert!(
+        on_b.occurrences[0].static_plan_evals > 0,
+        "the switch of stores must invalidate the static cache"
+    );
+}
