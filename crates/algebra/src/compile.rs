@@ -27,6 +27,11 @@ pub struct CompiledBody {
     pub plan: Plan,
     /// Outcome of the `∪` push-up analysis.
     pub distributivity: crate::pushup::PushupOutcome,
+    /// The [seed-carried form](Plan::seed_carried) of `plan`, when the body
+    /// is seed-local: the input of a batched multi-source fixpoint
+    /// ([`crate::Executor::run_fixpoint_batched`]).  `None` means the body
+    /// must run one fixpoint per seed.
+    pub batched_plan: Option<Plan>,
 }
 
 /// What kind of value the `item` column currently carries; used to insert
@@ -65,9 +70,11 @@ pub fn compile_recursion_body(body: &Expr, var: &str) -> Result<CompiledBody> {
     let (root, _kind) = compiler.compile(body)?;
     compiler.plan.set_root(root);
     let distributivity = crate::pushup::check_distributivity(&compiler.plan);
+    let batched_plan = compiler.plan.seed_carried();
     Ok(CompiledBody {
         plan: compiler.plan,
         distributivity,
+        batched_plan,
     })
 }
 

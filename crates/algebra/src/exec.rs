@@ -42,7 +42,7 @@ use std::sync::Arc;
 use xqy_xdm::{DocId, Interner, NodeId, NodeSet, NodeStore, StrId};
 
 use crate::error::AlgebraError;
-use crate::plan::{FunKind, Operator, Plan, PlanNodeId};
+use crate::plan::{FunKind, Operator, Plan, PlanNodeId, SEED_COLUMN};
 use crate::Result;
 
 /// A cell value at the executor's API boundary, with strings materialized.
@@ -325,28 +325,57 @@ impl MuStrategy {
     }
 }
 
+/// How a batched multi-source fixpoint shares body evaluations across its
+/// seeds (see [`Executor::run_fixpoint_batched`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BatchSharing {
+    /// Feed the body every `(seed, frontier-node)` pair per iteration.
+    /// Each seed's rows stay disjoint inside the plan, so this is sound
+    /// for *every* seed-local body — including non-distributive ones
+    /// (per-seed differences, set operations between rec-dependent arms).
+    #[default]
+    PerSeed,
+    /// Feed the body each **distinct** frontier node once (tagged with
+    /// itself) and distribute its image to every seed whose frontier
+    /// contained it.  Overlapping frontiers — the common case in the
+    /// bidder-network / curriculum per-item workloads — pay each node's
+    /// body scan once instead of once per seed.  Sound only for
+    /// **distributive** bodies (`e(X) = ⋃ₓ∈X e({x})`, the property the
+    /// ∪ push-up check certifies): a non-distributive body evaluated
+    /// per-node is simply a different function.
+    DistinctNodes,
+}
+
+impl BatchSharing {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BatchSharing::PerSeed => "per-seed",
+            BatchSharing::DistinctNodes => "distinct-nodes",
+        }
+    }
+}
+
 /// Statistics of one fixpoint execution.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecStats {
-    /// Iterations of the do-while loop.
+    /// Iterations of the do-while loop.  For a batched run this is the
+    /// *maximum* per-seed recursion depth — the shared loop runs until the
+    /// deepest seed converges.
     pub iterations: usize,
     /// Total rows fed into the recursion body plan across all evaluations.
     pub rows_fed_back: u64,
-    /// Number of body plan evaluations.
+    /// Number of body plan evaluations.  A batched run evaluates the body
+    /// once per shared iteration (the whole point of batching: `max(depth)`
+    /// evaluations instead of `sum(depth)` across seeds).
     pub body_evaluations: usize,
     /// Rows in the final result.
     pub result_rows: usize,
+    /// Number of seeds evaluated together by
+    /// [`Executor::run_fixpoint_batched`]; `0` for a plain per-seed run.
+    pub batch_seeds: usize,
 }
 
-/// The plan executor.
-///
-/// Holds no store borrow — every entry point takes `&mut NodeStore` — so an
-/// executor is a *persistent* artifact: its [`Interner`] and its
-/// rec-independent static cache survive across fixpoint runs and across
-/// `PreparedQuery::execute` calls.  The static cache is keyed by the plan's
-/// [fingerprint](Plan::fingerprint) and by the store's
-/// [load epoch](NodeStore::load_epoch): evaluating a different plan or
-/// loading a document invalidates it, nothing else does.
 /// Every piece of executor state that is scoped to *one plan* — the caches
 /// and the per-node classification bitmaps.  Bundled so that re-entrant
 /// evaluation (a nested `µ`/`µ∆` operator, whose sub-plan's node ids
@@ -376,6 +405,15 @@ struct PlanState {
     volatile: Vec<bool>,
 }
 
+/// The plan executor.
+///
+/// Holds no store borrow — every entry point takes `&mut NodeStore` — so an
+/// executor is a *persistent* artifact: its [`Interner`] and its
+/// rec-independent static cache survive across fixpoint runs and across
+/// `PreparedQuery::execute` calls.  The static cache is keyed by the plan's
+/// [fingerprint](Plan::fingerprint) and by the store's
+/// [load epoch](NodeStore::load_epoch): evaluating a different plan or
+/// loading a document invalidates it, nothing else does.
 #[derive(Debug)]
 pub struct Executor {
     /// Document used to resolve `IdLookup` when the looked-up strings do not
@@ -1010,6 +1048,270 @@ impl Executor {
         }
         stats.result_rows = res.len();
         Ok((Table::from_nodes(&res_vec), stats))
+    }
+
+    /// Drive one **batched multi-source fixpoint**: evaluate the recursion
+    /// body once per iteration over a two-column `(`[`SEED_COLUMN`]`, item)`
+    /// relation holding the frontiers of *all* seeds, instead of running one
+    /// fixpoint per seed.  Every body scan, join and duplicate elimination
+    /// is shared across the batch; Naïve/Delta semantics are applied
+    /// **per seed** by regrouping each iteration's output on the seed
+    /// column and taking the group-wise difference against that seed's
+    /// accumulator.
+    ///
+    /// `body` must be the [seed-carried form](Plan::seed_carried) of the
+    /// recursion body — the per-seed plan rewritten so every rec-dependent
+    /// operator propagates the seed column (plans that cannot be rewritten
+    /// are not batchable and should run per seed).  `seeds` must be
+    /// distinct; the caller deduplicates (a duplicated seed would fold two
+    /// identical fixpoints into one group).  `sharing` picks the frontier
+    /// representation: [`BatchSharing::DistinctNodes`] additionally shares
+    /// body scans between seeds whose frontiers overlap, and is only sound
+    /// for distributive bodies — pass [`BatchSharing::PerSeed`] otherwise.
+    ///
+    /// The result table has columns `[`[`SEED_COLUMN`]`, item]`, grouped by
+    /// seed in input order with each group in document order — exactly the
+    /// concatenation of the per-seed [`Executor::run_fixpoint`] results.
+    /// [`ExecStats::iterations`] is the *maximum* per-seed depth and
+    /// [`ExecStats::body_evaluations`] counts the shared iterations.
+    pub fn run_fixpoint_batched(
+        &mut self,
+        store: &mut NodeStore,
+        body: &Plan,
+        seeds: &[NodeId],
+        strategy: MuStrategy,
+        seed_in_result: bool,
+        sharing: BatchSharing,
+    ) -> Result<(Table, ExecStats)> {
+        let mut stats = ExecStats {
+            batch_seeds: seeds.len(),
+            ..ExecStats::default()
+        };
+        let schema = vec![SEED_COLUMN.to_string(), "item".to_string()];
+        if seeds.is_empty() {
+            return Ok((Table::new(schema), stats));
+        }
+        debug_assert!(
+            {
+                let mut uniq: Vec<NodeId> = seeds.to_vec();
+                uniq.sort();
+                uniq.dedup();
+                uniq.len() == seeds.len()
+            },
+            "batched seeds must be distinct"
+        );
+        if !self.context_doc_explicit {
+            // Same derivation as `run_fixpoint`: id() resolves against the
+            // seed's document.  The batched dispatcher only batches
+            // same-document seed sets over id()-using plans, so "the first
+            // seed's document" is *the* document of the batch.
+            self.context_doc = seeds.first().map(|n| DocId(n.doc));
+        }
+        self.plan_state.volatile_cache.clear();
+        self.prime_for_plan(store, body);
+
+        let n = seeds.len();
+
+        // Per-seed accumulators, index-aligned with `seeds`.  The shared
+        // loop below is Figure 3 run once for the whole batch: the frontier
+        // fed to the body is the union of the per-seed frontiers, and the
+        // grow/terminate decision is group-wise.
+        let mut res: Vec<NodeSet> = if seed_in_result {
+            seeds.iter().map(|&s| NodeSet::from_nodes([s])).collect()
+        } else {
+            let singletons: Vec<Vec<NodeId>> = seeds.iter().map(|&s| vec![s]).collect();
+            let groups = self.step_batched(store, body, seeds, &singletons, sharing, &mut stats)?;
+            groups.into_iter().map(NodeSet::from_nodes).collect()
+        };
+        // Mu re-feeds each seed's whole accumulator until that seed stops
+        // growing; MuDelta tracks a per-seed ∆.  `active[i]` / a non-empty
+        // `delta[i]` mark the seeds still iterating — converged seeds
+        // contribute no rows to later frontiers.
+        let mut active = vec![true; n];
+        let mut delta: Vec<NodeSet> = match strategy {
+            MuStrategy::Mu => Vec::new(),
+            MuStrategy::MuDelta => res.clone(),
+        };
+        loop {
+            if stats.iterations >= self.max_iterations {
+                return Err(AlgebraError::NoFixpoint {
+                    iterations: stats.iterations,
+                });
+            }
+            stats.iterations += 1;
+            let mut grew = false;
+            match strategy {
+                MuStrategy::Mu => {
+                    let frontier: Vec<Vec<NodeId>> = (0..n)
+                        .map(|i| {
+                            if active[i] {
+                                res[i].to_vec(store)
+                            } else {
+                                Vec::new()
+                            }
+                        })
+                        .collect();
+                    let groups =
+                        self.step_batched(store, body, seeds, &frontier, sharing, &mut stats)?;
+                    for (i, group) in groups.into_iter().enumerate() {
+                        if !active[i] {
+                            continue;
+                        }
+                        let mut fresh = NodeSet::from_nodes(group);
+                        fresh.except_in_place(&res[i]);
+                        if fresh.is_empty() {
+                            active[i] = false;
+                        } else {
+                            res[i].union_in_place(&fresh);
+                            grew = true;
+                        }
+                    }
+                }
+                MuStrategy::MuDelta => {
+                    let frontier: Vec<Vec<NodeId>> =
+                        delta.iter().map(|d| d.to_vec(store)).collect();
+                    let groups =
+                        self.step_batched(store, body, seeds, &frontier, sharing, &mut stats)?;
+                    for (i, group) in groups.into_iter().enumerate() {
+                        if delta[i].is_empty() {
+                            continue;
+                        }
+                        let mut next = NodeSet::from_nodes(group);
+                        next.except_in_place(&res[i]);
+                        if !next.is_empty() {
+                            res[i].union_in_place(&next);
+                            grew = true;
+                        }
+                        delta[i] = next;
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+
+        let mut seed_col = Vec::new();
+        let mut item_col = Vec::new();
+        for (i, set) in res.iter().enumerate() {
+            for node in set.to_vec(store) {
+                seed_col.push(Key::Node(seeds[i]));
+                item_col.push(Key::Node(node));
+            }
+        }
+        stats.result_rows = item_col.len();
+        Ok((Table::from_columns(schema, vec![seed_col, item_col]), stats))
+    }
+
+    /// One shared iteration of the batched loop: apply the body to the
+    /// per-seed `frontier` lists and return the per-seed step results.
+    ///
+    /// Under [`BatchSharing::PerSeed`] the body is evaluated once over all
+    /// `(seed, node)` pairs.  Under [`BatchSharing::DistinctNodes`] it is
+    /// evaluated once over the *distinct* frontier nodes — each node tagged
+    /// with itself — and every node's image is distributed to the seeds
+    /// whose frontier contained it, so overlapping frontiers pay each node
+    /// exactly once.
+    fn step_batched(
+        &mut self,
+        store: &mut NodeStore,
+        body: &Plan,
+        seeds: &[NodeId],
+        frontier: &[Vec<NodeId>],
+        sharing: BatchSharing,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<Vec<NodeId>>> {
+        match sharing {
+            BatchSharing::PerSeed => {
+                let tagged: Vec<(NodeId, &[NodeId])> = seeds
+                    .iter()
+                    .zip(frontier)
+                    .map(|(&s, nodes)| (s, nodes.as_slice()))
+                    .collect();
+                self.eval_tagged_batch(store, body, &tagged, stats)
+            }
+            BatchSharing::DistinctNodes => {
+                // Which seeds contain each distinct frontier node, and the
+                // distinct nodes in deterministic first-appearance order.
+                let mut owners: HashMap<NodeId, Vec<u32>> = HashMap::new();
+                let mut distinct: Vec<NodeId> = Vec::new();
+                for (i, nodes) in frontier.iter().enumerate() {
+                    for &node in nodes {
+                        let slot = owners.entry(node).or_insert_with(|| {
+                            distinct.push(node);
+                            Vec::new()
+                        });
+                        slot.push(i as u32);
+                    }
+                }
+                let singletons: Vec<[NodeId; 1]> = distinct.iter().map(|&d| [d]).collect();
+                let tagged: Vec<(NodeId, &[NodeId])> = distinct
+                    .iter()
+                    .zip(&singletons)
+                    .map(|(&d, s)| (d, s.as_slice()))
+                    .collect();
+                let images = self.eval_tagged_batch(store, body, &tagged, stats)?;
+                // Distribute each node's image to the seeds that fed it.
+                let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); seeds.len()];
+                for (node, image) in distinct.iter().zip(images) {
+                    let seeds_of_node = &owners[node];
+                    for &i in seeds_of_node {
+                        groups[i as usize].extend_from_slice(&image);
+                    }
+                }
+                Ok(groups)
+            }
+        }
+    }
+
+    /// Evaluate the (seed-carried) body once over `tagged` — a list of
+    /// `(tag, nodes)` groups, each row entering as `(tag, node)` — and
+    /// regroup the output rows by tag.  One body evaluation serves the
+    /// entire batch; the tags are opaque to the plan (seeds in
+    /// [`BatchSharing::PerSeed`] mode, origin nodes in
+    /// [`BatchSharing::DistinctNodes`] mode).
+    fn eval_tagged_batch(
+        &mut self,
+        store: &mut NodeStore,
+        body: &Plan,
+        tagged: &[(NodeId, &[NodeId])],
+        stats: &mut ExecStats,
+    ) -> Result<Vec<Vec<NodeId>>> {
+        let mut tag_col = Vec::new();
+        let mut item_col = Vec::new();
+        for (tag, nodes) in tagged {
+            for &node in *nodes {
+                tag_col.push(Key::Node(*tag));
+                item_col.push(Key::Node(node));
+            }
+        }
+        stats.rows_fed_back += item_col.len() as u64;
+        stats.body_evaluations += 1;
+        let rec = Table::from_columns(
+            vec![SEED_COLUMN.to_string(), "item".to_string()],
+            vec![tag_col, item_col],
+        );
+        let out = self.eval_plan_in_run(store, body, &rec)?;
+        let si = out.column_index(SEED_COLUMN)?;
+        let ii = out.column_index("item")?;
+        let index: HashMap<NodeId, usize> = tagged
+            .iter()
+            .enumerate()
+            .map(|(i, &(tag, _))| (tag, i))
+            .collect();
+        let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); tagged.len()];
+        for r in 0..out.len() {
+            let (Some(tag), Some(item)) = (out.key(r, si).as_node(), out.key(r, ii).as_node())
+            else {
+                // Mirrors `Table::item_nodes`: non-node rows do not feed
+                // back into a node-set fixpoint.
+                continue;
+            };
+            if let Some(&i) = index.get(&tag) {
+                groups[i].push(item);
+            }
+        }
+        Ok(groups)
     }
 
     fn eval_body(
@@ -1735,6 +2037,128 @@ mod tests {
             exec.static_plan_evals() > evals_first_run,
             "document load must invalidate the static cache"
         );
+    }
+
+    /// The batched multi-source driver computes, for every seed of the
+    /// batch, exactly the per-seed fixpoint — grouped by seed, in document
+    /// order within each group — while evaluating the shared body only
+    /// `max(per-seed depth)` times.
+    #[test]
+    fn batched_fixpoint_matches_per_seed_runs() {
+        let (mut store, doc) = store_with_curriculum();
+        let plan = q1_plan();
+        let batched_plan = plan.seed_carried().expect("Q1 body is seed-local");
+        let seeds: Vec<NodeId> = ["c1", "c2", "c3"]
+            .iter()
+            .flat_map(|code| seed_course(&mut store, doc, code))
+            .collect();
+
+        for strategy in [MuStrategy::Mu, MuStrategy::MuDelta] {
+            for sharing in [BatchSharing::PerSeed, BatchSharing::DistinctNodes] {
+                let (table, stats) = {
+                    let mut exec = Executor::new();
+                    exec.run_fixpoint_batched(
+                        &mut store,
+                        &batched_plan,
+                        &seeds,
+                        strategy,
+                        false,
+                        sharing,
+                    )
+                    .unwrap()
+                };
+                assert_eq!(table.columns(), [SEED_COLUMN, "item"]);
+                assert_eq!(stats.batch_seeds, 3);
+
+                // Reference: one per-seed run per seed, concatenated.
+                let mut expected_rows: Vec<(NodeId, NodeId)> = Vec::new();
+                let mut max_depth = 0;
+                let mut evaluations = 0;
+                for &seed in &seeds {
+                    let mut exec = Executor::new();
+                    let (result, s) = exec
+                        .run_fixpoint(&mut store, &plan, &[seed], strategy, false)
+                        .unwrap();
+                    max_depth = max_depth.max(s.iterations);
+                    evaluations += s.body_evaluations;
+                    for node in result.item_nodes() {
+                        expected_rows.push((seed, node));
+                    }
+                }
+                let seed_idx = table.column_index(SEED_COLUMN).unwrap();
+                let item_idx = table.column_index("item").unwrap();
+                let rows: Vec<(NodeId, NodeId)> = (0..table.len())
+                    .map(|r| {
+                        (
+                            table.key(r, seed_idx).as_node().unwrap(),
+                            table.key(r, item_idx).as_node().unwrap(),
+                        )
+                    })
+                    .collect();
+                assert_eq!(
+                    rows,
+                    expected_rows,
+                    "strategy {} sharing {}",
+                    strategy.name(),
+                    sharing.name()
+                );
+                assert_eq!(stats.iterations, max_depth, "depth is the max over seeds");
+                assert!(
+                    stats.body_evaluations < evaluations,
+                    "batching must share body evaluations ({} vs {evaluations} per-seed)",
+                    stats.body_evaluations
+                );
+            }
+        }
+    }
+
+    /// An empty batch is a no-op: empty `(seed, item)` table, zero
+    /// iterations, no context-document derivation from stale state.
+    #[test]
+    fn batched_fixpoint_empty_seed_set() {
+        let (mut store, _doc) = store_with_curriculum();
+        let batched_plan = q1_plan().seed_carried().unwrap();
+        let mut exec = Executor::new();
+        let (table, stats) = exec
+            .run_fixpoint_batched(
+                &mut store,
+                &batched_plan,
+                &[],
+                MuStrategy::MuDelta,
+                false,
+                BatchSharing::default(),
+            )
+            .unwrap();
+        assert!(table.is_empty());
+        assert_eq!(table.columns(), [SEED_COLUMN, "item"]);
+        assert_eq!(stats.iterations, 0);
+        assert_eq!(stats.batch_seeds, 0);
+    }
+
+    /// The seed-inclusive reading (`seed_in_result`) starts each seed's
+    /// accumulator from the seed itself.
+    #[test]
+    fn batched_fixpoint_seed_in_result_includes_seeds() {
+        let (mut store, doc) = store_with_curriculum();
+        let batched_plan = q1_plan().seed_carried().unwrap();
+        let seeds = seed_course(&mut store, doc, "c1");
+        let mut exec = Executor::new();
+        let (table, _) = exec
+            .run_fixpoint_batched(
+                &mut store,
+                &batched_plan,
+                &seeds,
+                MuStrategy::MuDelta,
+                true,
+                BatchSharing::DistinctNodes,
+            )
+            .unwrap();
+        let items = table.col(1);
+        assert!(
+            items.contains(&Key::Node(seeds[0])),
+            "seed must be in its own group"
+        );
+        assert_eq!(table.len(), 4); // c1 plus its closure {c2, c3, c4}
     }
 
     /// Projection shares column storage with its input (zero-copy π).

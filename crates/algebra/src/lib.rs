@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # xqy-algebra — Relational XQuery substrate
 //!
 //! This crate plays the role that MonetDB/XQuery and its Pathfinder compiler
@@ -38,8 +40,8 @@ pub mod pushup;
 
 pub use compile::{compile_count, compile_recursion_body, CompiledBody};
 pub use error::AlgebraError;
-pub use exec::{ExecStats, Executor, Key, MuStrategy, Table, Value};
-pub use plan::{Operator, Plan, PlanNode, PlanNodeId};
+pub use exec::{BatchSharing, ExecStats, Executor, Key, MuStrategy, Table, Value};
+pub use plan::{Operator, Plan, PlanNode, PlanNodeId, SEED_COLUMN};
 pub use pushup::{check_distributivity, PushupOutcome};
 
 /// Result alias for this crate.

@@ -8,6 +8,18 @@ use xqy_xdm::{Axis, NodeTest};
 /// Index of a node inside a [`Plan`]'s arena.
 pub type PlanNodeId = usize;
 
+/// The reserved column name that carries the *seed of origin* through a
+/// batched multi-source fixpoint (see [`Plan::seed_carried`]).
+///
+/// The batched executor feeds the recursion body a two-column
+/// `(SEED_COLUMN, item)` relation instead of the per-seed single-column
+/// `item` relation; every rec-dependent operator of a seed-carried plan
+/// propagates this column alongside the rows it produces, so the output of
+/// each iteration can be regrouped per seed.  The name is double-underscored
+/// so it can never collide with the compiler-generated column names
+/// (`item`, `node`, `count`, `res`, `tag`, `rownum`).
+pub const SEED_COLUMN: &str = "__seed";
+
 /// A comparison / arithmetic kind for the generic `⊚` operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FunKind {
@@ -277,6 +289,121 @@ impl Plan {
         out
     }
 
+    /// The **seed-column-aware µ/µ∆ form** of a recursion-body plan, used by
+    /// the batched multi-source fixpoint driver
+    /// ([`Executor::run_fixpoint_batched`](crate::Executor::run_fixpoint_batched)):
+    /// the recursion input becomes a two-column `(`[`SEED_COLUMN`]`, item)`
+    /// relation and every rec-dependent projection is rewritten to carry the
+    /// seed column through, so each output row still names the seed it
+    /// originated from.
+    ///
+    /// Returns `None` when the plan is not *seed-local* — when some
+    /// rec-dependent operator could mix rows of different seeds (an
+    /// aggregation, a row numbering, a conditional on a rec-dependent
+    /// condition, a join of two rec-dependent arms, a set operation between
+    /// a rec-dependent and a rec-independent arm) or when the plan
+    /// constructs nodes (batching would merge the per-seed fresh
+    /// identities).  For a seed-local plan, running the body over the union
+    /// of per-seed rows and regrouping by the seed column is exactly the
+    /// per-seed evaluation — the structural fact the batched ≡ per-seed
+    /// property test exercises.
+    pub fn seed_carried(&self) -> Option<Plan> {
+        let root = self.root?;
+        let mut dependent = vec![false; self.nodes.len()];
+        for id in self.rec_inputs() {
+            dependent[id] = true;
+        }
+        for id in self.dependents_of(&self.rec_inputs()) {
+            dependent[id] = true;
+        }
+        // A rec-independent root means the body ignores its input: every
+        // seed would compute the same constant set, and the output would
+        // carry no seed column to group by.  Not worth batching.
+        if !dependent[root] {
+            return None;
+        }
+        for (id, node) in self.iter() {
+            // Constructors create fresh node identities per *run*; one
+            // batched run must not merge the distinct identities N per-seed
+            // runs would create.  Nested fixpoints re-drive their own runs
+            // and drop every column but `item`.  Both disqualify the plan
+            // wherever they appear.
+            if matches!(
+                node.op,
+                Operator::Construct(_) | Operator::Mu | Operator::MuDelta
+            ) {
+                return None;
+            }
+            if !dependent[id] {
+                continue;
+            }
+            let seed_local = match &node.op {
+                // Per-row operators (and set operators over full rows):
+                // an output row derives from exactly one input row, so the
+                // carried seed column stays attached to it.
+                Operator::RecInput
+                | Operator::Project(_)
+                | Operator::Select { .. }
+                | Operator::Distinct
+                | Operator::Step { .. }
+                | Operator::AttrValue(_)
+                | Operator::StringValue
+                | Operator::IdLookup
+                | Operator::Fun { .. } => true,
+                // ∪ / ∖ over `(seed, item)` rows are the per-seed set
+                // operations — but only when both arms carry the seed
+                // column (a rec-independent arm has no seed to group by).
+                Operator::Union | Operator::Difference => node.inputs.iter().all(|&i| dependent[i]),
+                // A join against rec-independent data carries the one seed
+                // column through; joining two rec-dependent arms would pair
+                // rows of *different* seeds.
+                Operator::Join { .. } | Operator::Cross => {
+                    node.inputs.iter().filter(|&&i| dependent[i]).count() <= 1
+                }
+                // The branch taken must not depend on the recursion input
+                // (a rec-dependent condition aggregates over all seeds at
+                // once), and both branches must carry the seed column.
+                Operator::IfThenElse => {
+                    !dependent[node.inputs[0]]
+                        && dependent[node.inputs[1]]
+                        && dependent[node.inputs[2]]
+                }
+                // Aggregation and row numbering look at the whole input
+                // relation — rows of every seed at once.
+                Operator::Count { .. } | Operator::RowTag | Operator::RowNum => false,
+                // Leaves are never rec-dependent; constructors and nested
+                // fixpoints were rejected above.
+                Operator::Literal(_)
+                | Operator::DocRoot(_)
+                | Operator::Construct(_)
+                | Operator::Mu
+                | Operator::MuDelta => false,
+            };
+            if !seed_local {
+                return None;
+            }
+        }
+        let mut out = self.clone();
+        for (id, node) in out.nodes.iter_mut().enumerate() {
+            if dependent[id] {
+                if let Operator::Project(renames) = &mut node.op {
+                    renames.insert(0, (SEED_COLUMN.to_string(), SEED_COLUMN.to_string()));
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// `true` when any operator of the plan is an [`Operator::IdLookup`].
+    /// Such plans resolve `id()` against one context document per run; the
+    /// batched dispatcher uses this to insist that all seeds of a batch
+    /// live in the same document (per-seed runs follow each seed's own).
+    pub fn contains_id_lookup(&self) -> bool {
+        self.nodes
+            .iter()
+            .any(|n| matches!(n.op, Operator::IdLookup))
+    }
+
     /// Render the plan as an indented tree rooted at the plan root (shared
     /// sub-DAGs are printed once per reference).
     pub fn render(&self) -> String {
@@ -366,6 +493,91 @@ mod tests {
         assert!(!dependents.contains(&doc));
         assert_eq!(plan.rec_inputs(), vec![rec]);
         assert!(plan.render().contains("⋈"));
+    }
+
+    #[test]
+    fn seed_carried_rewrites_projections_and_rejects_mixers() {
+        // A step chain with a predicate-style projection: batchable, and the
+        // rec-dependent projections gain the seed column.
+        let mut plan = Plan::new();
+        let rec = plan.add(Operator::RecInput, vec![]);
+        let step = plan.add(
+            Operator::Step {
+                axis: Axis::Child,
+                test: NodeTest::AnyElement,
+            },
+            vec![rec],
+        );
+        let keep = plan.add(
+            Operator::Project(vec![
+                ("node".into(), "item".into()),
+                ("item".into(), "item".into()),
+            ]),
+            vec![step],
+        );
+        let attr = plan.add(Operator::AttrValue("code".into()), vec![keep]);
+        let select = plan.add(
+            Operator::Select {
+                column: "item".into(),
+                value: "c1".into(),
+            },
+            vec![attr],
+        );
+        let back = plan.add(
+            Operator::Project(vec![("item".into(), "node".into())]),
+            vec![select],
+        );
+        plan.set_root(back);
+        let carried = plan.seed_carried().expect("seed-local plan batches");
+        for id in [keep, back] {
+            let Operator::Project(renames) = &carried.node(id).op else {
+                panic!("projection expected");
+            };
+            assert_eq!(
+                renames[0],
+                (SEED_COLUMN.to_string(), SEED_COLUMN.to_string())
+            );
+        }
+        // The rewrite changes the plan, so the fingerprints differ (the
+        // executor's static cache must not confuse the two forms).
+        assert_ne!(plan.fingerprint(), carried.fingerprint());
+
+        // A rec-dependent aggregation mixes rows across seeds.
+        let mut counted = Plan::new();
+        let rec = counted.add(Operator::RecInput, vec![]);
+        let count = counted.add(Operator::Count { group_by: None }, vec![rec]);
+        counted.set_root(count);
+        assert!(counted.seed_carried().is_none());
+
+        // A union with a rec-independent arm has no seed column to carry.
+        let mut mixed = Plan::new();
+        let rec = mixed.add(Operator::RecInput, vec![]);
+        let step = mixed.add(
+            Operator::Step {
+                axis: Axis::Child,
+                test: NodeTest::AnyElement,
+            },
+            vec![rec],
+        );
+        let lit = mixed.add(Operator::Literal(vec!["x".into()]), vec![]);
+        let union = mixed.add(Operator::Union, vec![step, lit]);
+        mixed.set_root(union);
+        assert!(mixed.seed_carried().is_none());
+
+        // A rec-independent root ignores its seeds entirely.
+        let mut constant = Plan::new();
+        let _rec = constant.add(Operator::RecInput, vec![]);
+        let doc = constant.add(Operator::DocRoot("d.xml".into()), vec![]);
+        constant.set_root(doc);
+        assert!(constant.seed_carried().is_none());
+
+        // Constructors create per-run identities; batching would merge them.
+        let mut constructed = Plan::new();
+        let rec = constructed.add(Operator::RecInput, vec![]);
+        let cons = constructed.add(Operator::Construct("a".into()), vec![rec]);
+        constructed.set_root(cons);
+        assert!(constructed.seed_carried().is_none());
+        assert!(!constructed.contains_id_lookup());
     }
 
     #[test]

@@ -102,11 +102,16 @@ fn bench(c: &mut Criterion) {
     }
 
     // --- per_item: the end-to-end Table-2 per-item loops on the algebraic
-    // back-end (one µ∆ fixpoint per seed node) — the cells the acceptance
-    // criterion tracks against the PR-2 baseline.
+    // back-end — the per-seed µ∆ loop of PR 3 (one fixpoint per seed node,
+    // `reused_executor` / `fresh_executors`) against the PR-4 **batched**
+    // multi-source fixpoint (all seeds in one run over the (seed, node)
+    // relation).  The medium-scale cells are the ones the batching
+    // acceptance criterion tracks.
     for (label, workload) in [
         ("curriculum", curriculum_workload(Scale::Small)),
         ("bidder_network", bidder_network(Scale::Small)),
+        ("curriculum_medium", curriculum_workload(Scale::Medium)),
+        ("bidder_network_medium", bidder_network(Scale::Medium)),
     ] {
         let workload: Workload = workload;
         let mut engine = engine_for(&workload);
@@ -114,6 +119,7 @@ fn bench(c: &mut Criterion) {
         engine.set_backend(Backend::Algebraic);
         let query = workload.query();
         let bindings = seed_bindings(&mut engine, &workload);
+        let seeds = bindings.get("seed").unwrap().clone();
         let prepared = engine.prepare(&query).unwrap();
         prepared.execute(&mut engine, &bindings).unwrap(); // warm the caches
         group.bench_function(format!("per_item/{label}/reused_executor"), |b| {
@@ -125,6 +131,20 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let p = engine.prepare(&query).unwrap();
                 p.execute(&mut engine, &bindings).unwrap()
+            })
+        });
+        // One batched multi-source fixpoint over all seeds, sharing every
+        // body scan across the batch.
+        let batched = engine.prepare(&workload.batched_query()).unwrap();
+        let warm = batched
+            .execute_batched(&mut engine, "seed", &seeds, &xqy_ifp::Bindings::new())
+            .unwrap();
+        assert!(warm.batched, "per-item bodies must take the batched path");
+        group.bench_function(format!("per_item/{label}/batched"), |b| {
+            b.iter(|| {
+                batched
+                    .execute_batched(&mut engine, "seed", &seeds, &xqy_ifp::Bindings::new())
+                    .unwrap()
             })
         });
     }

@@ -1,6 +1,7 @@
 //! Regenerate Table 2 of the paper: Naïve vs Delta evaluation times, total
 //! number of nodes fed back, and recursion depth, for every workload on both
-//! back-ends.
+//! back-ends — plus the **batched** variant of the per-item cells, where all
+//! seeds run as one multi-source fixpoint over a `(seed, node)` relation.
 //!
 //! ```bash
 //! cargo run --release -p xqy_bench --bin table2             # quick scales
@@ -10,13 +11,15 @@
 //!
 //! Every cell goes through the prepared-query surface: the workload query is
 //! prepared once per cell and the timed region is one
-//! `PreparedQuery::execute` with the seed nodes bound to `$seed`.
+//! `PreparedQuery::execute` (or `execute_batched` for the `batch Delta`
+//! column) with the seed nodes bound to `$seed`.
 //!
 //! Absolute times are not comparable with the paper's 2008 hardware and
-//! engines; the reproduced quantities are the *ratios* (Delta vs Naïve), the
-//! engine-independent "nodes fed back" columns and the recursion depths.
+//! engines; the reproduced quantities are the *ratios* (Delta vs Naïve,
+//! batched vs per-seed), the engine-independent "nodes fed back" columns and
+//! the recursion depths.
 
-use xqy_bench::{engine_for, run_cell, table2_rows, Algorithm, Backend};
+use xqy_bench::{engine_for, run_cell, run_cell_batched, table2_rows, Algorithm, Backend};
 
 fn main() {
     // `--quick` (the default) keeps the small/medium rows; `--full` adds
@@ -25,17 +28,18 @@ fn main() {
     let rows = table2_rows(full);
 
     println!(
-        "{:<28} | {:>13} {:>13} | {:>13} {:>13} | {:>12} {:>12} | {:>5}",
+        "{:<28} | {:>13} {:>13} {:>13} | {:>13} {:>13} | {:>12} {:>12} | {:>5}",
         "Query",
         "algebra Naive",
         "algebra Delta",
+        "batch Delta",
         "source Naive",
         "source Delta",
         "fed (Naive)",
         "fed (Delta)",
         "depth"
     );
-    println!("{}", "-".repeat(132));
+    println!("{}", "-".repeat(146));
 
     for workload in rows {
         let mut cells = Vec::new();
@@ -45,15 +49,29 @@ fn main() {
                 cells.push(run_cell(&mut engine, &workload, backend, algorithm));
             }
         }
+        // The batched multi-source cell only applies to per-item workloads
+        // (a single-fixpoint workload already runs one fixpoint).
+        let batched = workload.per_item.then(|| {
+            let mut engine = engine_for(&workload);
+            run_cell_batched(&mut engine, &workload, Backend::Algebraic, Algorithm::Delta)
+        });
         let (alg_naive, alg_delta, src_naive, src_delta) =
             (&cells[0], &cells[1], &cells[2], &cells[3]);
         assert_eq!(alg_naive.result_size, alg_delta.result_size);
         assert_eq!(src_naive.result_size, src_delta.result_size);
+        if let Some(batched) = &batched {
+            assert_eq!(batched.result_size, alg_delta.result_size);
+        }
+        let batched_col = match &batched {
+            Some(cell) => format!("{:>10.1?}", cell.elapsed),
+            None => format!("{:>10}", "-"),
+        };
         println!(
-            "{:<28} | {:>10.1?} {:>10.1?} | {:>10.1?} {:>10.1?} | {:>12} {:>12} | {:>5}",
+            "{:<28} | {:>10.1?} {:>10.1?} {:>13} | {:>10.1?} {:>10.1?} | {:>12} {:>12} | {:>5}",
             workload.label,
             alg_naive.elapsed,
             alg_delta.elapsed,
+            batched_col,
             src_naive.elapsed,
             src_delta.elapsed,
             src_naive.nodes_fed_back,
@@ -62,6 +80,7 @@ fn main() {
         );
     }
     println!();
-    println!("(speed-ups: Delta vs Naive per back-end; 'fed' columns are the engine-independent");
+    println!("(speed-ups: Delta vs Naive per back-end; 'batch Delta' runs all per-item seeds as");
+    println!(" one multi-source fixpoint; 'fed' columns are the engine-independent");
     println!(" 'Total # of Nodes Fed Back' of the paper's Table 2.)");
 }

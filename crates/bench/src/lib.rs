@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! Shared benchmark harness: workload setup and measured runs.
 //!
 //! Table 2 of the paper reports, for each workload and input size, the
@@ -89,8 +91,17 @@ impl Workload {
                 self.body
             )
         } else {
-            format!("with $x seeded by $seed recurse {}", self.body)
+            self.batched_query()
         }
+    }
+
+    /// The **batched** form of a per-item workload: a bare fixpoint over
+    /// `$seed`, executed through [`PreparedQuery::execute_batched`] so the
+    /// whole seed set runs as one multi-source fixpoint (instead of the
+    /// per-item `for`-loop of [`Workload::query`], which runs one fixpoint
+    /// per seed).  The two forms return the same node multiset.
+    pub fn batched_query(&self) -> String {
+        format!("with $x seeded by $seed recurse {}", self.body)
     }
 }
 
@@ -238,6 +249,35 @@ pub fn run_cell(
     cell_result(&outcome, elapsed)
 }
 
+/// Run the **batched** variant of a per-item cell: the whole seed set as
+/// one multi-source fixpoint via [`PreparedQuery::execute_batched`]
+/// (`workload` × `backend` × `algorithm`).  Prepares once, measures one
+/// batched execution; the resulting [`CellResult`] is directly comparable
+/// with [`run_cell`] on the same workload (same result cardinality, same
+/// depth convention — the maximum per-seed recursion depth).
+pub fn run_cell_batched(
+    engine: &mut Engine,
+    workload: &Workload,
+    backend: Backend,
+    algorithm: Algorithm,
+) -> CellResult {
+    engine.set_strategy(algorithm.strategy());
+    let prepared = engine
+        .prepare(&workload.batched_query())
+        .expect("workload query parses")
+        .with_backend(backend);
+    let seeds = engine
+        .run(&workload.seed_query)
+        .expect("seed query runs")
+        .result;
+    let start = Instant::now();
+    let batch = prepared
+        .execute_batched(engine, "seed", &seeds, &Bindings::new())
+        .expect("workload query runs");
+    let elapsed = start.elapsed();
+    cell_result(&batch.outcome, elapsed)
+}
+
 /// The rows of Table 2 at "quick" scales (small/medium); `full` adds the
 /// large and huge instances.
 pub fn table2_rows(full: bool) -> Vec<Workload> {
@@ -316,6 +356,27 @@ mod tests {
             .fixpoints
             .iter()
             .all(|s| s.backend == FixpointBackendTag::Algebraic));
+    }
+
+    #[test]
+    fn batched_cells_match_per_item_cells() {
+        // The batched variant of a per-item cell computes the same result
+        // set with the same (max) depth, while feeding back fewer rows and
+        // running as one batched fixpoint.
+        let workload = curriculum_workload(Scale::Small);
+        for backend in [Backend::Algebraic, Backend::Auto] {
+            let mut engine = engine_for(&workload);
+            let per_item = run_cell(&mut engine, &workload, backend, Algorithm::Delta);
+            let batched = run_cell_batched(&mut engine, &workload, backend, Algorithm::Delta);
+            assert_eq!(batched.result_size, per_item.result_size);
+            assert_eq!(batched.depth, per_item.depth);
+            assert!(
+                batched.nodes_fed_back <= per_item.nodes_fed_back,
+                "batched ({}) must not feed back more than per-item ({})",
+                batched.nodes_fed_back,
+                per_item.nodes_fed_back
+            );
+        }
     }
 
     #[test]

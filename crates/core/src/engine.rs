@@ -107,6 +107,20 @@ impl QueryOutcome {
             FixpointStrategy::Naive
         }
     }
+
+    /// The largest number of seeds any fixpoint run of this outcome
+    /// evaluated together as a **batched multi-source fixpoint** — `0` when
+    /// every run was an ordinary single-source fixpoint.  Per-run batch
+    /// sizes are in [`FixpointStats::batch_seeds`]
+    /// (`self.fixpoints[i].batch_seeds`); see
+    /// [`PreparedQuery::execute_batched`](crate::PreparedQuery::execute_batched).
+    pub fn batch_seeds(&self) -> usize {
+        self.fixpoints
+            .iter()
+            .map(|s| s.batch_seeds)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// The engine: owns the node store and the configuration, prepares queries
@@ -231,6 +245,15 @@ impl Engine {
     /// Parse, analyse and evaluate a query with the configured strategy and
     /// back-end — a thin [`Engine::prepare`] + [`PreparedQuery::execute`]
     /// convenience for queries without external variables.
+    ///
+    /// ```
+    /// use xqy_ifp::Engine;
+    ///
+    /// let mut engine = Engine::new();
+    /// engine.load_document("doc.xml", "<r><a/><a/></r>").unwrap();
+    /// let outcome = engine.run("count(doc('doc.xml')/r/a)").unwrap();
+    /// assert_eq!(engine.display(&outcome.result), "2");
+    /// ```
     pub fn run(&mut self, query: &str) -> Result<QueryOutcome> {
         self.prepare(query)?.execute(self, &Bindings::new())
     }

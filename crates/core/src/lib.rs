@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # xqy-ifp — An Inflationary Fixed Point Operator in XQuery
 //!
 //! This crate is the reproduction's public face: it packages the paper's
@@ -69,7 +71,9 @@ pub mod rewrite;
 pub mod syntactic;
 
 pub use engine::{DistributivityReport, Engine, QueryOutcome, Strategy};
-pub use prepared::{Backend, Bindings, OccurrencePlan, PreparedOccurrence, PreparedQuery};
+pub use prepared::{
+    Backend, BatchedOutcome, Bindings, OccurrencePlan, PreparedOccurrence, PreparedQuery,
+};
 pub use rewrite::{rewrite_fixpoints_to_functions, RewriteStyle};
 pub use syntactic::{distributivity_hint, is_distributivity_safe, DsJudgement};
 

@@ -46,7 +46,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use xqy_algebra::{compile_recursion_body, CompiledBody, Executor, MuStrategy};
+use xqy_algebra::{compile_recursion_body, BatchSharing, CompiledBody, Executor, MuStrategy};
 use xqy_eval::{
     EvalError, Evaluator, FixpointBackendTag, FixpointInterceptor, FixpointStats, FixpointStrategy,
     FixpointStrategyTag,
@@ -98,6 +98,22 @@ impl Backend {
 /// A query such as `with $x seeded by $seed recurse …` leaves `$seed`
 /// unbound; each [`PreparedQuery::execute`] call supplies it here.  Names
 /// are given without the leading `$`.
+///
+/// ```
+/// use xqy_ifp::Bindings;
+/// use xqy_ifp::xdm::Sequence;
+///
+/// let bindings = Bindings::new()
+///     .with("seed", Sequence::empty())
+///     .with("limit", Sequence::empty());
+/// assert_eq!(bindings.len(), 2);
+/// assert!(bindings.get("seed").is_some());
+/// assert!(bindings.get("other").is_none());
+/// assert_eq!(
+///     bindings.iter().map(|(name, _)| name).collect::<Vec<_>>(),
+///     ["seed", "limit"]
+/// );
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct Bindings {
     vars: Vec<(String, Sequence)>,
@@ -166,6 +182,13 @@ pub struct PreparedOccurrence {
     /// document-load epoch.  Staleness after `Engine::load_document*` is
     /// handled by that epoch check, not by rebuilding executors.
     executor: Arc<Mutex<Executor>>,
+    /// A second persistent executor dedicated to the occurrence's
+    /// **seed-carried batched plan** (whose fingerprint differs from the
+    /// per-seed plan's).  Keeping the two plans on separate executors lets
+    /// a caller interleave [`PreparedQuery::execute`] and
+    /// [`PreparedQuery::execute_batched`] without thrashing either static
+    /// cache on every switch.
+    batched_executor: Arc<Mutex<Executor>>,
 }
 
 impl PreparedOccurrence {
@@ -192,12 +215,27 @@ impl PreparedOccurrence {
         self.compiled.is_ok()
     }
 
-    /// Lifetime totals of the occurrence's persistent executor:
-    /// `(static_cache_hits, static_plan_evals)`.  Per-execute deltas are
-    /// reported in [`OccurrencePlan`].
+    /// `true` when the body additionally has a **seed-carried batched
+    /// plan**, i.e. a whole seed set can run as one multi-source fixpoint
+    /// through [`PreparedQuery::execute_batched`] instead of one fixpoint
+    /// per seed.
+    pub fn is_batch_capable(&self) -> bool {
+        self.compiled
+            .as_ref()
+            .map(|c| c.batched_plan.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Lifetime totals of the occurrence's persistent executors (per-seed
+    /// and batched combined): `(static_cache_hits, static_plan_evals)`.
+    /// Per-execute deltas are reported in [`OccurrencePlan`].
     pub fn executor_cache_totals(&self) -> (u64, u64) {
         let exec = self.executor.lock().expect("executor lock");
-        (exec.static_cache_hits(), exec.static_plan_evals())
+        let batched = self.batched_executor.lock().expect("executor lock");
+        (
+            exec.static_cache_hits() + batched.static_cache_hits(),
+            exec.static_plan_evals() + batched.static_plan_evals(),
+        )
     }
 }
 
@@ -307,19 +345,9 @@ impl PreparedQuery {
         &self.module
     }
 
-    /// Execute the prepared query against `engine`'s current document store
-    /// with the external variables bound from `bindings`.
-    ///
-    /// No parsing, distributivity analysis or plan compilation happens here
-    /// — only evaluation.  Documents loaded into the engine *after*
-    /// [`Engine::prepare`] are visible, since preparation is purely static.
-    pub fn execute(&self, engine: &mut Engine, bindings: &Bindings) -> Result<QueryOutcome> {
-        for var in &self.external_vars {
-            if bindings.get(var).is_none() {
-                return Err(IfpError::UnboundVariable(var.clone()));
-            }
-        }
-        // Resolve each occurrence against the back-end knob.
+    /// Resolve each occurrence against the back-end knob: the pre-compiled
+    /// plan the occurrence will run on, or `None` for the interpreter.
+    fn resolve_plans(&self) -> Result<Vec<Option<Arc<CompiledBody>>>> {
         let mut plans: Vec<Option<Arc<CompiledBody>>> = Vec::with_capacity(self.occurrences.len());
         for occ in &self.occurrences {
             let plan = match (self.backend, &occ.compiled) {
@@ -337,21 +365,14 @@ impl PreparedQuery {
             };
             plans.push(plan);
         }
+        Ok(plans)
+    }
 
-        let seed_in_result = engine.seed_in_result;
-        let mut evaluator = Evaluator::new(&mut engine.store);
-        evaluator.options_mut().seed_in_result = seed_in_result;
-        evaluator.set_fixpoint_strategy(self.default_strategy);
-        for (name, value) in bindings.iter() {
-            evaluator.bind_global(name, value.clone());
-        }
-        for occ in &self.occurrences {
-            evaluator.set_fixpoint_strategy_for(&occ.var, occ.body.clone(), occ.strategy);
-        }
-        let entries: Vec<PlanEntry> = self
-            .occurrences
+    /// The interceptor entries for the occurrences that resolved to a plan.
+    fn plan_entries(&self, plans: &[Option<Arc<CompiledBody>>]) -> Vec<PlanEntry> {
+        self.occurrences
             .iter()
-            .zip(&plans)
+            .zip(plans)
             .filter_map(|(occ, plan)| {
                 plan.as_ref().map(|compiled| PlanEntry {
                     var: occ.var.clone(),
@@ -359,28 +380,33 @@ impl PreparedQuery {
                     compiled: compiled.clone(),
                     strategy: occ.strategy,
                     executor: occ.executor.clone(),
+                    batched_executor: occ.batched_executor.clone(),
                 })
             })
-            .collect();
-        // Counter snapshot, so the outcome reports per-*execute* deltas of
-        // the persistent executors' lifetime totals.
-        let cache_before: Vec<(u64, u64)> = self
-            .occurrences
+            .collect()
+    }
+
+    /// Snapshot of every occurrence's executor counters, taken before an
+    /// execution so the outcome can report per-execute deltas.
+    fn cache_totals(&self) -> Vec<(u64, u64)> {
+        self.occurrences
             .iter()
             .map(PreparedOccurrence::executor_cache_totals)
-            .collect();
-        if !entries.is_empty() {
-            evaluator.set_fixpoint_interceptor(Box::new(PlanDriver { entries }));
-        }
+            .collect()
+    }
 
-        let result = evaluator.eval_module(&self.module)?;
-        let fixpoints = evaluator.fixpoint_runs().to_vec();
-        let occurrences = self
-            .occurrences
+    /// The per-occurrence decisions of one execution: strategy, back-end,
+    /// and the executor-counter deltas since `cache_before`.
+    fn occurrence_plans(
+        &self,
+        plans: &[Option<Arc<CompiledBody>>],
+        cache_before: &[(u64, u64)],
+    ) -> Vec<OccurrencePlan> {
+        self.occurrences
             .iter()
-            .zip(&plans)
+            .zip(plans)
             .zip(cache_before)
-            .map(|((occ, plan), (hits_before, evals_before))| {
+            .map(|((occ, plan), &(hits_before, evals_before))| {
                 let (hits_after, evals_after) = occ.executor_cache_totals();
                 OccurrencePlan {
                     variable: occ.var.clone(),
@@ -394,7 +420,44 @@ impl PreparedQuery {
                     static_plan_evals: evals_after - evals_before,
                 }
             })
-            .collect();
+            .collect()
+    }
+
+    /// Execute the prepared query against `engine`'s current document store
+    /// with the external variables bound from `bindings`.
+    ///
+    /// No parsing, distributivity analysis or plan compilation happens here
+    /// — only evaluation.  Documents loaded into the engine *after*
+    /// [`Engine::prepare`] are visible, since preparation is purely static.
+    pub fn execute(&self, engine: &mut Engine, bindings: &Bindings) -> Result<QueryOutcome> {
+        for var in &self.external_vars {
+            if bindings.get(var).is_none() {
+                return Err(IfpError::UnboundVariable(var.clone()));
+            }
+        }
+        let plans = self.resolve_plans()?;
+
+        let seed_in_result = engine.seed_in_result;
+        let mut evaluator = Evaluator::new(&mut engine.store);
+        evaluator.options_mut().seed_in_result = seed_in_result;
+        evaluator.set_fixpoint_strategy(self.default_strategy);
+        for (name, value) in bindings.iter() {
+            evaluator.bind_global(name, value.clone());
+        }
+        for occ in &self.occurrences {
+            evaluator.set_fixpoint_strategy_for(&occ.var, occ.body.clone(), occ.strategy);
+        }
+        let entries = self.plan_entries(&plans);
+        // Counter snapshot, so the outcome reports per-*execute* deltas of
+        // the persistent executors' lifetime totals.
+        let cache_before = self.cache_totals();
+        if !entries.is_empty() {
+            evaluator.set_fixpoint_interceptor(Box::new(PlanDriver { entries }));
+        }
+
+        let result = evaluator.eval_module(&self.module)?;
+        let fixpoints = evaluator.fixpoint_runs().to_vec();
+        let occurrences = self.occurrence_plans(&plans, &cache_before);
         Ok(QueryOutcome {
             result,
             distributivity: self.distributivity(),
@@ -402,16 +465,237 @@ impl PreparedQuery {
             fixpoints,
         })
     }
+
+    /// The single IFP occurrence a batched execution can dispatch through
+    /// the eval layer: the module body must be exactly
+    /// `with $var seeded by $seed_var recurse <body>` (no declared
+    /// variables, no further occurrences), so that binding `$seed_var` to
+    /// one node and executing is precisely "run that occurrence's fixpoint
+    /// over that seed".
+    fn batched_occurrence(&self, seed_var: &str) -> Option<&PreparedOccurrence> {
+        if !self.module.variables.is_empty() || self.occurrences.len() != 1 {
+            return None;
+        }
+        let Expr::Fixpoint { var, seed, body } = &self.module.body else {
+            return None;
+        };
+        if !matches!(seed.as_ref(), Expr::VarRef(v) if v == seed_var) {
+            return None;
+        }
+        let occ = &self.occurrences[0];
+        if occ.var != *var || *occ.body != **body {
+            return None;
+        }
+        Some(occ)
+    }
+
+    /// Execute **one fixpoint per seed node of `seeds`** — the per-item
+    /// workload shape — sharing as much work across the seeds as the query
+    /// allows.
+    ///
+    /// Semantically this is exactly
+    ///
+    /// ```text
+    /// for each item s of seeds (in order, duplicates included):
+    ///     execute(engine, bindings + { seed_var ↦ (s) })
+    /// ```
+    ///
+    /// with the per-seed results returned individually
+    /// ([`BatchedOutcome::per_seed`]) and concatenated
+    /// ([`QueryOutcome::result`]).  Operationally, when the query is a
+    /// single `with $x seeded by $seed_var recurse …` whose body compiled
+    /// to a [seed-local plan](xqy_algebra::Plan::seed_carried) (and the
+    /// back-end allows the relational executor), all seeds run as **one
+    /// batched multi-source fixpoint** over a `(seed, node)` relation —
+    /// every body scan, join and duplicate elimination is shared, and
+    /// Delta's difference is applied per seed by grouping on the seed
+    /// column.  [`BatchedOutcome::batched`] reports whether that fast path
+    /// ran; otherwise each seed runs its own fixpoint (algebraic where the
+    /// plan allows, source-level for non-algebraic bodies) with results
+    /// identical either way.
+    ///
+    /// `bindings` supplies every external variable except `seed_var`
+    /// (a `seed_var` entry, if present, is ignored — the seeds come from
+    /// `seeds`).  Duplicate seeds are computed once and replicated;
+    /// an empty `seeds` yields an empty outcome with zero fixpoint runs.
+    ///
+    /// ```
+    /// use xqy_ifp::{Backend, Bindings, Engine};
+    ///
+    /// let mut engine = Engine::new();
+    /// engine
+    ///     .load_document_with_ids(
+    ///         "curriculum.xml",
+    ///         r#"<curriculum>
+    ///              <course code="c1"><prerequisites><pre_code>c2</pre_code></prerequisites></course>
+    ///              <course code="c2"><prerequisites/></course>
+    ///            </curriculum>"#,
+    ///         &["code"],
+    ///     )
+    ///     .unwrap();
+    /// let prepared = engine
+    ///     .prepare("with $x seeded by $seed recurse $x/id(./prerequisites/pre_code)")
+    ///     .unwrap()
+    ///     .with_backend(Backend::Auto);
+    /// // All courses at once: one batched fixpoint instead of one per course.
+    /// let seeds = engine.run("doc('curriculum.xml')/curriculum/course").unwrap().result;
+    /// let batch = prepared
+    ///     .execute_batched(&mut engine, "seed", &seeds, &Bindings::new())
+    ///     .unwrap();
+    /// assert!(batch.batched);
+    /// assert_eq!(batch.per_seed.len(), 2);
+    /// assert_eq!(batch.per_seed[0].len(), 1); // c1 → { c2 }
+    /// assert_eq!(batch.per_seed[1].len(), 0); // c2 → ∅
+    /// assert_eq!(batch.outcome.batch_seeds(), 2);
+    /// ```
+    pub fn execute_batched(
+        &self,
+        engine: &mut Engine,
+        seed_var: &str,
+        seeds: &Sequence,
+        bindings: &Bindings,
+    ) -> Result<BatchedOutcome> {
+        for var in &self.external_vars {
+            if var != seed_var && bindings.get(var).is_none() {
+                return Err(IfpError::UnboundVariable(var.clone()));
+            }
+        }
+        if seeds.all_nodes() {
+            if let Some(occ) = self.batched_occurrence(seed_var) {
+                return self.execute_batched_fixpoint(engine, occ, seed_var, seeds, bindings);
+            }
+        }
+        // General fallback: the query is not a bare fixpoint over
+        // `$seed_var` (or the seeds are not all nodes, and the per-seed
+        // execution must surface the evaluator's type error) — run the
+        // module once per seed item, exactly as the contract reads.
+        let plans = self.resolve_plans()?;
+        let cache_before = self.cache_totals();
+        let mut result = Sequence::empty();
+        let mut per_seed = Vec::with_capacity(seeds.len());
+        let mut fixpoints = Vec::new();
+        for item in seeds.iter() {
+            let per_item = bindings
+                .clone()
+                .with(seed_var, Sequence::singleton(item.clone()));
+            let outcome = self.execute(engine, &per_item)?;
+            result.extend(outcome.result.clone());
+            per_seed.push(outcome.result);
+            fixpoints.extend(outcome.fixpoints);
+        }
+        Ok(BatchedOutcome {
+            outcome: QueryOutcome {
+                result,
+                distributivity: self.distributivity(),
+                occurrences: self.occurrence_plans(&plans, &cache_before),
+                fixpoints,
+            },
+            per_seed,
+            batched: false,
+        })
+    }
+
+    /// The eval-layer route of [`execute_batched`](Self::execute_batched):
+    /// dispatch the single occurrence through
+    /// [`Evaluator::run_fixpoint_batched`], which tries the batched
+    /// interceptor first and falls back per seed (algebraic, then
+    /// source-level) when the occurrence declines.
+    fn execute_batched_fixpoint(
+        &self,
+        engine: &mut Engine,
+        occ: &PreparedOccurrence,
+        seed_var: &str,
+        seeds: &Sequence,
+        bindings: &Bindings,
+    ) -> Result<BatchedOutcome> {
+        let plans = self.resolve_plans()?;
+        // Duplicate seeds fold onto one fixpoint each; remember where each
+        // input position points so the per-seed results expand back.
+        let items = seeds.nodes();
+        let mut unique: Vec<NodeId> = Vec::new();
+        let mut index: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
+        let mut positions = Vec::with_capacity(items.len());
+        for node in items {
+            let idx = *index.entry(node).or_insert_with(|| {
+                unique.push(node);
+                unique.len() - 1
+            });
+            positions.push(idx);
+        }
+
+        let seed_in_result = engine.seed_in_result;
+        let mut evaluator = Evaluator::new(&mut engine.store);
+        evaluator.options_mut().seed_in_result = seed_in_result;
+        evaluator.set_fixpoint_strategy(self.default_strategy);
+        // The source-level fallback evaluates the recursion body directly;
+        // give it the module's functions and the non-seed externals.
+        evaluator.register_functions(&self.module.functions);
+        for (name, value) in bindings.iter() {
+            if name != seed_var {
+                evaluator.bind_global(name, value.clone());
+            }
+        }
+        for o in &self.occurrences {
+            evaluator.set_fixpoint_strategy_for(&o.var, o.body.clone(), o.strategy);
+        }
+        let entries = self.plan_entries(&plans);
+        let cache_before = self.cache_totals();
+        if !entries.is_empty() {
+            evaluator.set_fixpoint_interceptor(Box::new(PlanDriver { entries }));
+        }
+
+        let (groups, batched) = evaluator.run_fixpoint_batched(&occ.var, &occ.body, &unique)?;
+        let fixpoints = evaluator.fixpoint_runs().to_vec();
+        let per_seed: Vec<Sequence> = positions
+            .iter()
+            .map(|&i| Sequence::from_nodes(groups[i].clone()))
+            .collect();
+        let mut result = Sequence::empty();
+        for seq in &per_seed {
+            result.extend(seq.clone());
+        }
+        Ok(BatchedOutcome {
+            outcome: QueryOutcome {
+                result,
+                distributivity: self.distributivity(),
+                occurrences: self.occurrence_plans(&plans, &cache_before),
+                fixpoints,
+            },
+            per_seed,
+            batched,
+        })
+    }
+}
+
+/// The result of a [`PreparedQuery::execute_batched`] call: the aggregate
+/// [`QueryOutcome`] plus the per-seed result slices and the dispatch route
+/// that produced them.
+#[derive(Debug, Clone)]
+pub struct BatchedOutcome {
+    /// The aggregate outcome.  `outcome.result` is the concatenation of the
+    /// per-seed results in seed order; `outcome.fixpoints` holds one entry
+    /// with [`FixpointStats::batch_seeds`]` > 0` when the batched fast path
+    /// ran, one entry per (unique) seed otherwise.
+    pub outcome: QueryOutcome,
+    /// One result sequence per input seed, index-aligned with the `seeds`
+    /// argument (duplicated seeds see their shared result replicated).
+    pub per_seed: Vec<Sequence>,
+    /// `true` when the seeds ran as a single batched multi-source fixpoint
+    /// on the relational back-end; `false` when they ran one fixpoint per
+    /// seed (source-level bodies, non-seed-local plans, or seed sets that
+    /// span documents under an `id()`-using body).
+    pub batched: bool,
 }
 
 /// One interceptor entry: an occurrence with a pre-compiled plan and its
-/// persistent executor.
+/// persistent executors (per-seed and batched).
 struct PlanEntry {
     var: String,
     body: Arc<Expr>,
     compiled: Arc<CompiledBody>,
     strategy: FixpointStrategy,
     executor: Arc<Mutex<Executor>>,
+    batched_executor: Arc<Mutex<Executor>>,
 }
 
 /// The [`FixpointInterceptor`] installed by [`PreparedQuery::execute`]: it
@@ -461,8 +745,91 @@ impl FixpointInterceptor for PlanDriver {
                         result_size: stats.result_rows,
                         static_cache_hits: executor.static_cache_hits() - hits_before,
                         static_plan_evals: executor.static_plan_evals() - evals_before,
+                        batch_seeds: 0,
                     },
                 )),
+                Err(err) => Err(EvalError::Backend(err.to_string())),
+            },
+        )
+    }
+
+    fn run_fixpoint_batched(
+        &mut self,
+        store: &mut NodeStore,
+        var: &str,
+        body: &Expr,
+        seeds: &[NodeId],
+        seed_in_result: bool,
+    ) -> Option<xqy_eval::Result<(Vec<Vec<NodeId>>, FixpointStats)>> {
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.var == var && *e.body == *body)?;
+        // Bodies outside the seed-local subset have no seed-carried plan:
+        // decline, so the evaluator falls back to one fixpoint per seed.
+        let batched_plan = entry.compiled.batched_plan.as_ref()?;
+        // `id()` resolves against one context document per run; per-seed
+        // runs follow each seed's own document, so a batch may only fold
+        // seeds of a single document.
+        if entry.compiled.plan.contains_id_lookup() {
+            let mut docs = seeds.iter().map(|n| n.doc);
+            let first = docs.next();
+            if docs.any(|d| Some(d) != first) {
+                return None;
+            }
+        }
+        // Distributive bodies (`e(X) = ⋃ₓ e({x})`, certified by the ∪
+        // push-up check) additionally share body scans between seeds whose
+        // frontiers overlap: each distinct frontier node is evaluated once
+        // per iteration.  Non-distributive seed-local bodies keep strict
+        // per-seed rows.
+        let sharing = if entry.compiled.distributivity.distributive {
+            BatchSharing::DistinctNodes
+        } else {
+            BatchSharing::PerSeed
+        };
+        let mut executor = entry.batched_executor.lock().expect("executor lock");
+        let hits_before = executor.static_cache_hits();
+        let evals_before = executor.static_plan_evals();
+        Some(
+            match executor.run_fixpoint_batched(
+                store,
+                batched_plan,
+                seeds,
+                mu_strategy(entry.strategy),
+                seed_in_result,
+                sharing,
+            ) {
+                Ok((table, stats)) => {
+                    // Regroup the (seed, node) rows per seed, aligned with
+                    // the input order.  The driver emits rows grouped by
+                    // seed already; the index makes no ordering assumption.
+                    let index: std::collections::HashMap<NodeId, usize> =
+                        seeds.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+                    let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); seeds.len()];
+                    let (seed_col, item_col) = (table.col(0), table.col(1));
+                    for (seed_key, item_key) in seed_col.iter().zip(item_col) {
+                        if let (Some(seed), Some(item)) = (seed_key.as_node(), item_key.as_node()) {
+                            if let Some(&i) = index.get(&seed) {
+                                groups[i].push(item);
+                            }
+                        }
+                    }
+                    Ok((
+                        groups,
+                        FixpointStats {
+                            strategy: Some(strategy_tag(entry.strategy)),
+                            backend: FixpointBackendTag::Algebraic,
+                            iterations: stats.iterations,
+                            nodes_fed_back: stats.rows_fed_back,
+                            payload_calls: stats.body_evaluations,
+                            result_size: stats.result_rows,
+                            static_cache_hits: executor.static_cache_hits() - hits_before,
+                            static_plan_evals: executor.static_plan_evals() - evals_before,
+                            batch_seeds: stats.batch_seeds,
+                        },
+                    ))
+                }
                 Err(err) => Err(EvalError::Backend(err.to_string())),
             },
         )
@@ -508,6 +875,7 @@ pub(crate) fn analyse_occurrences(
             strategy: chosen,
             compiled,
             executor: Arc::new(Mutex::new(Executor::new())),
+            batched_executor: Arc::new(Mutex::new(Executor::new())),
         });
     }
     occurrences

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # xqy-datagen — benchmark workloads for the IFP reproduction
 //!
 //! The paper evaluates the Naïve/Delta trade-off on four workloads

@@ -181,6 +181,98 @@ impl<'s> Evaluator<'s> {
         self.globals.push((name.into(), value));
     }
 
+    /// Run **one inflationary fixpoint per seed** of `seeds` for the
+    /// occurrence `(var, body)`, returning the per-seed node lists
+    /// (index-aligned with `seeds`) and whether they were computed by a
+    /// single *batched* multi-source run.
+    ///
+    /// This is the batched dispatch point of the eval layer.  Routing, in
+    /// order:
+    ///
+    /// 1. the installed [`FixpointInterceptor`]'s
+    ///    [`run_fixpoint_batched`](FixpointInterceptor::run_fixpoint_batched)
+    ///    hook — one shared fixpoint over the `(seed, node)` relation on
+    ///    the relational back-end (returns `(groups, true)`);
+    /// 2. per seed: the interceptor's single-source
+    ///    [`run_fixpoint`](FixpointInterceptor::run_fixpoint) hook — one
+    ///    algebraic fixpoint per seed for occurrences that compile but are
+    ///    not seed-local;
+    /// 3. per seed: the source-level Naïve/Delta algorithms (the fallback
+    ///    for bodies outside the algebraic subset), under the strategy
+    ///    [`fixpoint_strategy_for`](Self::fixpoint_strategy_for) reports
+    ///    and with the globals bound via
+    ///    [`bind_global`](Self::bind_global) in scope.
+    ///
+    /// Every run is recorded in [`fixpoint_runs`](Self::fixpoint_runs):
+    /// one entry with [`FixpointStats::batch_seeds`]` > 0` on route 1, one
+    /// entry per seed otherwise.  `seeds` must be distinct; callers
+    /// deduplicate and re-expand.
+    pub fn run_fixpoint_batched(
+        &mut self,
+        var: &str,
+        body: &Expr,
+        seeds: &[NodeId],
+    ) -> Result<(Vec<Vec<NodeId>>, bool)> {
+        if seeds.is_empty() {
+            // Zero seeds means zero fixpoints: nothing runs, nothing is
+            // recorded (matching a per-seed loop over an empty set).
+            return Ok((Vec::new(), false));
+        }
+        if let Some(mut interceptor) = self.interceptor.take() {
+            let outcome = interceptor.run_fixpoint_batched(
+                self.store,
+                var,
+                body,
+                seeds,
+                self.options.seed_in_result,
+            );
+            self.interceptor = Some(interceptor);
+            if let Some(result) = outcome {
+                let (groups, stats) = result?;
+                debug_assert_eq!(groups.len(), seeds.len());
+                self.record_fixpoint_run(stats);
+                return Ok((groups, true));
+            }
+        }
+        let mut groups = Vec::with_capacity(seeds.len());
+        for &seed in seeds {
+            let mut handled = None;
+            if let Some(mut interceptor) = self.interceptor.take() {
+                let outcome = interceptor.run_fixpoint(
+                    self.store,
+                    var,
+                    body,
+                    &[seed],
+                    self.options.seed_in_result,
+                );
+                self.interceptor = Some(interceptor);
+                if let Some(result) = outcome {
+                    let (nodes, stats) = result?;
+                    self.record_fixpoint_run(stats);
+                    handled = Some(nodes);
+                }
+            }
+            let nodes = match handled {
+                Some(nodes) => nodes,
+                None => {
+                    let mut env = Environment::new();
+                    // Unlike `eval_module`, the loop below never grows
+                    // `self.globals`, so the environment can be built from
+                    // a plain borrow.
+                    for (name, value) in &self.globals {
+                        env.push(name.clone(), value.clone());
+                    }
+                    let strategy = self.fixpoint_strategy_for(var, body);
+                    let seed_seq = Sequence::from_nodes(vec![seed]);
+                    fixpoint::evaluate_fixpoint(self, var, &seed_seq, body, &mut env, strategy)?
+                        .nodes()
+                }
+            };
+            groups.push(nodes);
+        }
+        Ok((groups, false))
+    }
+
     /// Parse and evaluate a complete query.
     pub fn eval_query_str(&mut self, source: &str) -> Result<Sequence> {
         let module = parse_query(source)?;

@@ -97,6 +97,35 @@ pub trait FixpointInterceptor {
         seed: &[NodeId],
         seed_in_result: bool,
     ) -> Option<Result<(Vec<NodeId>, FixpointStats)>>;
+
+    /// Attempt to run **one fixpoint per seed of `seeds`** as a single
+    /// batched multi-source fixpoint (see
+    /// [`Evaluator::run_fixpoint_batched`](crate::Evaluator::run_fixpoint_batched)).
+    ///
+    /// On success the result holds one node list per seed, index-aligned
+    /// with `seeds`, each equal to what a separate
+    /// [`run_fixpoint`](Self::run_fixpoint) over that singleton seed would
+    /// return, plus one [`FixpointStats`] for the whole batch (with
+    /// [`FixpointStats::batch_seeds`] set).  `seeds` are distinct — the
+    /// caller deduplicates.
+    ///
+    /// The default declines every occurrence, which routes the evaluator to
+    /// its per-seed fallback: per-seed interception where available, the
+    /// source-level Naïve/Delta algorithms otherwise.  Implementors decline
+    /// (return `None`) when the occurrence has no batchable plan — e.g. a
+    /// body outside the seed-local subset, or an `id()`-using body whose
+    /// seeds span documents.
+    fn run_fixpoint_batched(
+        &mut self,
+        store: &mut xqy_xdm::NodeStore,
+        var: &str,
+        body: &Expr,
+        seeds: &[NodeId],
+        seed_in_result: bool,
+    ) -> Option<Result<(Vec<Vec<NodeId>>, FixpointStats)>> {
+        let _ = (store, var, body, seeds, seed_in_result);
+        None
+    }
 }
 
 /// Statistics of one fixed point computation.
@@ -126,6 +155,12 @@ pub struct FixpointStats {
     /// meets a store state; later runs (and later `execute()` calls of the
     /// same prepared query) report zero.
     pub static_plan_evals: u64,
+    /// Number of seeds this run evaluated together as a **batched
+    /// multi-source fixpoint** — `0` for an ordinary single-source run.
+    /// When non-zero, `iterations` is the maximum per-seed recursion depth
+    /// and `payload_calls` counts the *shared* body evaluations (one per
+    /// batched iteration, however many seeds are still iterating).
+    pub batch_seeds: usize,
 }
 
 /// A copyable tag mirroring [`FixpointStrategy`] for inclusion in stats.

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # xqy-eval — XQuery interpreter and IFP runtime
 //!
 //! A tree-walking interpreter for the XQuery subset produced by

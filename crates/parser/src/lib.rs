@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # xqy-parser — XQuery (LiXQuery subset) parser with the IFP form
 //!
 //! This crate turns XQuery source text into the abstract syntax tree the

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # xqy-xdm — XQuery Data Model substrate
 //!
 //! This crate implements the data model layer that the rest of the

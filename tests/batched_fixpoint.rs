@@ -1,0 +1,355 @@
+//! Batched multi-source fixpoints: `PreparedQuery::execute_batched` must be
+//! **observationally identical** to executing the prepared query once per
+//! seed — same per-seed node sets, same order, same concatenation — while
+//! sharing the fixpoint work across the seeds whenever the recursion body is
+//! seed-local.
+//!
+//! The central property test draws random algebraic-subset bodies and random
+//! seed sets and checks batched ≡ per-seed on both back-ends; the unit tests
+//! pin the edge cases (empty seed set, duplicate seeds, non-algebraic
+//! fallback, per-batch statistics).
+
+use proptest::prelude::*;
+
+use xqy_ifp::eval::FixpointBackendTag;
+use xqy_ifp::xdm::Sequence;
+use xqy_ifp::{Backend, Bindings, Engine, Strategy};
+
+/// Build a curriculum-like document from an arbitrary edge list over
+/// `courses` nodes (the same generator the cross-backend property test
+/// uses).
+fn curriculum_from_edges(courses: usize, edges: &[(usize, usize)]) -> String {
+    let mut out = String::from("<curriculum>");
+    for i in 0..courses {
+        out.push_str(&format!("<course code=\"c{i}\"><prerequisites>"));
+        for (from, to) in edges {
+            if *from == i {
+                out.push_str(&format!("<pre_code>c{}</pre_code>", to % courses));
+            }
+        }
+        out.push_str("</prerequisites></course>");
+    }
+    out.push_str("</curriculum>");
+    out
+}
+
+fn edge_strategy(courses: usize) -> impl proptest::strategy::Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..courses, 0..courses), 0..courses * 3)
+}
+
+const BATCHED_QUERY: &str = "with $x seeded by $seed recurse $x/id(./prerequisites/pre_code)";
+
+fn curriculum_engine(xml: &str) -> Engine {
+    let mut engine = Engine::new();
+    engine
+        .load_document_with_ids("c.xml", xml, &["code"])
+        .unwrap();
+    engine
+}
+
+/// All course elements of the loaded curriculum, in document order.
+fn all_courses(engine: &mut Engine) -> Sequence {
+    engine.run("doc('c.xml')/curriculum/course").unwrap().result
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The batched ≡ per-seed equivalence property: for random
+    /// algebraic-subset bodies, random reference graphs and random seed
+    /// sets (with duplicates), `execute_batched` returns per seed exactly
+    /// what a per-seed `execute` returns, and the concatenations agree —
+    /// on the algebraic back-end (where seed-local bodies take the batched
+    /// fast path) and under `Auto`.
+    #[test]
+    fn execute_batched_equals_per_seed_execute(
+        courses in 2usize..9,
+        edges in edge_strategy(8),
+        seed_picks in proptest::collection::vec(0usize..9, 0..6),
+        body in prop_oneof![
+            Just("$x/id(./prerequisites/pre_code)"),
+            Just("$x/prerequisites/pre_code"),
+            Just("$x/*"),
+            Just("$x/self::course"),
+            Just("$x/prerequisites union $x/self::course"),
+            Just("$x/id(./prerequisites/pre_code) union $x/self::course"),
+            Just("$x/id(./prerequisites/pre_code) except $x/self::course"),
+            Just("if (count($x/prerequisites/pre_code)) then $x/id(./prerequisites/pre_code) else ()"),
+            Just("($x/self::course, $x/id(./prerequisites/pre_code))"),
+        ],
+    ) {
+        let xml = curriculum_from_edges(courses, &edges);
+        let query = format!("with $x seeded by $seed recurse {body}");
+        for backend in [Backend::Algebraic, Backend::Auto] {
+            let mut engine = curriculum_engine(&xml);
+            engine.set_strategy(Strategy::Auto);
+            let prepared = engine.prepare(&query).unwrap().with_backend(backend);
+            // Random seed set, duplicates allowed.
+            let courses_seq = all_courses(&mut engine);
+            let seeds = Sequence::from_nodes(
+                seed_picks
+                    .iter()
+                    .map(|&i| courses_seq.nodes()[i % courses_seq.len()])
+                    .collect::<Vec<_>>(),
+            );
+
+            let batch = prepared
+                .execute_batched(&mut engine, "seed", &seeds, &Bindings::new())
+                .unwrap();
+            prop_assert_eq!(batch.per_seed.len(), seeds.len());
+
+            // Reference: one execute per seed item, in order.
+            let mut concatenated = Vec::new();
+            for (i, &seed) in seeds.nodes().iter().enumerate() {
+                let bindings =
+                    Bindings::new().with("seed", Sequence::from_nodes(vec![seed]));
+                let reference = prepared.execute(&mut engine, &bindings).unwrap();
+                prop_assert_eq!(
+                    batch.per_seed[i].nodes(),
+                    reference.result.nodes(),
+                    "seed #{} under {} with body {}",
+                    i,
+                    backend.name(),
+                    body
+                );
+                concatenated.extend(reference.result.nodes());
+            }
+            prop_assert_eq!(batch.outcome.result.nodes(), concatenated);
+        }
+    }
+}
+
+#[test]
+fn batched_fast_path_runs_one_shared_fixpoint() {
+    let xml = curriculum_from_edges(6, &[(0, 1), (1, 2), (2, 3), (4, 0)]);
+    let mut engine = curriculum_engine(&xml);
+    let prepared = engine
+        .prepare(BATCHED_QUERY)
+        .unwrap()
+        .with_backend(Backend::Algebraic);
+    assert!(prepared.occurrences()[0].is_batch_capable());
+    let seeds = all_courses(&mut engine);
+    let batch = prepared
+        .execute_batched(&mut engine, "seed", &seeds, &Bindings::new())
+        .unwrap();
+    assert!(batch.batched, "seed-local algebraic body must batch");
+    // One fixpoint run for the whole batch, tagged with the batch size.
+    assert_eq!(batch.outcome.fixpoints.len(), 1);
+    assert_eq!(batch.outcome.fixpoints[0].batch_seeds, 6);
+    assert_eq!(batch.outcome.batch_seeds(), 6);
+    assert_eq!(
+        batch.outcome.fixpoints[0].backend,
+        FixpointBackendTag::Algebraic
+    );
+    // The shared loop's depth is the max per-seed depth, and the body ran
+    // once per shared iteration — strictly fewer evaluations than the six
+    // per-seed fixpoints would have performed together.
+    let per_seed_calls: usize = {
+        let mut total = 0;
+        for &seed in &seeds.nodes() {
+            let bindings = Bindings::new().with("seed", Sequence::from_nodes(vec![seed]));
+            let outcome = prepared.execute(&mut engine, &bindings).unwrap();
+            total += outcome.fixpoints[0].payload_calls;
+        }
+        total
+    };
+    assert!(
+        batch.outcome.fixpoints[0].payload_calls < per_seed_calls,
+        "batched made {} body calls, per-seed {}",
+        batch.outcome.fixpoints[0].payload_calls,
+        per_seed_calls
+    );
+}
+
+#[test]
+fn batched_empty_seed_set_is_a_noop() {
+    let xml = curriculum_from_edges(3, &[(0, 1)]);
+    for backend in [Backend::SourceLevel, Backend::Algebraic, Backend::Auto] {
+        let mut engine = curriculum_engine(&xml);
+        let prepared = engine.prepare(BATCHED_QUERY).unwrap().with_backend(backend);
+        let batch = prepared
+            .execute_batched(&mut engine, "seed", &Sequence::empty(), &Bindings::new())
+            .unwrap();
+        assert!(batch.per_seed.is_empty());
+        assert!(batch.outcome.result.is_empty());
+        assert!(batch.outcome.fixpoints.is_empty());
+        assert_eq!(batch.outcome.batch_seeds(), 0);
+        // The per-occurrence report is still present (with zero deltas).
+        assert_eq!(batch.outcome.occurrences.len(), 1);
+    }
+}
+
+#[test]
+fn batched_duplicate_seeds_replicate_one_computation() {
+    let xml = curriculum_from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+    let mut engine = curriculum_engine(&xml);
+    let prepared = engine
+        .prepare(BATCHED_QUERY)
+        .unwrap()
+        .with_backend(Backend::Algebraic);
+    let courses = all_courses(&mut engine);
+    let c0 = courses.nodes()[0];
+    let c3 = courses.nodes()[3];
+    // c0 twice, c3 once, c0 again — four result slots, two distinct seeds.
+    let seeds = Sequence::from_nodes(vec![c0, c0, c3, c0]);
+    let batch = prepared
+        .execute_batched(&mut engine, "seed", &seeds, &Bindings::new())
+        .unwrap();
+    assert!(batch.batched);
+    assert_eq!(batch.per_seed.len(), 4);
+    assert_eq!(batch.per_seed[0].nodes(), batch.per_seed[1].nodes());
+    assert_eq!(batch.per_seed[0].nodes(), batch.per_seed[3].nodes());
+    // The fixpoint only saw the two distinct seeds.
+    assert_eq!(batch.outcome.fixpoints[0].batch_seeds, 2);
+    // Concatenation replicates the duplicated seed's result.
+    let expected: Vec<_> = batch.per_seed.iter().flat_map(|s| s.nodes()).collect();
+    assert_eq!(batch.outcome.result.nodes(), expected);
+}
+
+#[test]
+fn non_algebraic_bodies_fall_back_per_seed_with_identical_results() {
+    // `name(.)`-style bodies are outside the compiler subset: under Auto the
+    // occurrence runs source-level, per seed — results must still match the
+    // per-seed loop and `batched` must report the fallback.
+    let xml = curriculum_from_edges(4, &[(0, 1), (1, 2)]);
+    let mut engine = curriculum_engine(&xml);
+    let query =
+        "with $x seeded by $seed recurse $x/id(./prerequisites/pre_code)[@code='c1' or @code='c2']";
+    let prepared = engine.prepare(query).unwrap().with_backend(Backend::Auto);
+    assert!(!prepared.occurrences()[0].is_algebraic_capable());
+    let seeds = all_courses(&mut engine);
+    let batch = prepared
+        .execute_batched(&mut engine, "seed", &seeds, &Bindings::new())
+        .unwrap();
+    assert!(!batch.batched, "non-algebraic body cannot batch");
+    assert_eq!(batch.outcome.fixpoints.len(), 4, "one run per seed");
+    assert!(batch
+        .outcome
+        .fixpoints
+        .iter()
+        .all(|s| s.batch_seeds == 0 && s.backend == FixpointBackendTag::Interpreted));
+    for (i, &seed) in seeds.nodes().iter().enumerate() {
+        let bindings = Bindings::new().with("seed", Sequence::from_nodes(vec![seed]));
+        let reference = prepared.execute(&mut engine, &bindings).unwrap();
+        assert_eq!(batch.per_seed[i].nodes(), reference.result.nodes());
+    }
+}
+
+#[test]
+fn non_fixpoint_query_shapes_fall_back_to_per_seed_execution() {
+    // The per-item FLWOR shape (`for $s in $seed return (with ...)`) is not
+    // a bare fixpoint over `$seed`; execute_batched must still honour the
+    // contract by executing the module once per seed item.
+    let xml = curriculum_from_edges(4, &[(0, 1), (1, 2), (2, 0)]);
+    let mut engine = curriculum_engine(&xml);
+    let query = "for $s in $seed return \
+                 (with $x seeded by $s recurse $x/id(./prerequisites/pre_code))";
+    let prepared = engine
+        .prepare(query)
+        .unwrap()
+        .with_backend(Backend::Algebraic);
+    let seeds = all_courses(&mut engine);
+    let batch = prepared
+        .execute_batched(&mut engine, "seed", &seeds, &Bindings::new())
+        .unwrap();
+    assert!(!batch.batched);
+    assert_eq!(batch.per_seed.len(), 4);
+    for (i, &seed) in seeds.nodes().iter().enumerate() {
+        let bindings = Bindings::new().with("seed", Sequence::from_nodes(vec![seed]));
+        let reference = prepared.execute(&mut engine, &bindings).unwrap();
+        assert_eq!(batch.per_seed[i].nodes(), reference.result.nodes());
+    }
+}
+
+#[test]
+fn batched_execution_reuses_the_persistent_static_cache() {
+    // A body with a rec-independent arm: the seed-carried plan's static
+    // tables are paid once by the first batch and shared by the second.
+    let xml = curriculum_from_edges(5, &[(0, 1), (1, 2), (2, 3)]);
+    let mut engine = curriculum_engine(&xml);
+    let query = "with $x seeded by $seed recurse \
+                 ($x/id(./prerequisites/pre_code) union $x/self::course)";
+    let prepared = engine
+        .prepare(query)
+        .unwrap()
+        .with_backend(Backend::Algebraic);
+    let seeds = all_courses(&mut engine);
+    let first = prepared
+        .execute_batched(&mut engine, "seed", &seeds, &Bindings::new())
+        .unwrap();
+    assert!(first.batched);
+    let second = prepared
+        .execute_batched(&mut engine, "seed", &seeds, &Bindings::new())
+        .unwrap();
+    assert_eq!(
+        second.outcome.occurrences[0].static_plan_evals, 0,
+        "second batch must re-evaluate no rec-independent plan node"
+    );
+    assert_eq!(first.outcome.result.nodes(), second.outcome.result.nodes());
+}
+
+#[test]
+fn batched_seeds_spanning_documents_fall_back_for_id_bodies() {
+    // id() resolves against one document per run; a batch mixing documents
+    // must decline the fast path and still return per-seed-correct results.
+    let xml_a = curriculum_from_edges(3, &[(0, 1), (1, 2)]);
+    let xml_b = curriculum_from_edges(3, &[(0, 2)]);
+    let mut engine = Engine::new();
+    engine
+        .load_document_with_ids("c.xml", &xml_a, &["code"])
+        .unwrap();
+    engine
+        .load_document_with_ids("d.xml", &xml_b, &["code"])
+        .unwrap();
+    let prepared = engine
+        .prepare(BATCHED_QUERY)
+        .unwrap()
+        .with_backend(Backend::Algebraic);
+    let mut seeds = engine
+        .run("doc('c.xml')/curriculum/course")
+        .unwrap()
+        .result
+        .nodes();
+    seeds.extend(
+        engine
+            .run("doc('d.xml')/curriculum/course")
+            .unwrap()
+            .result
+            .nodes(),
+    );
+    let seeds = Sequence::from_nodes(seeds);
+    let batch = prepared
+        .execute_batched(&mut engine, "seed", &seeds, &Bindings::new())
+        .unwrap();
+    assert!(!batch.batched, "cross-document id() batch must fall back");
+    for (i, &seed) in seeds.nodes().iter().enumerate() {
+        let bindings = Bindings::new().with("seed", Sequence::from_nodes(vec![seed]));
+        let reference = prepared.execute(&mut engine, &bindings).unwrap();
+        assert_eq!(batch.per_seed[i].nodes(), reference.result.nodes());
+    }
+}
+
+#[test]
+fn batched_respects_seed_in_result_reading() {
+    let xml = curriculum_from_edges(4, &[(0, 1), (1, 2)]);
+    let mut engine = curriculum_engine(&xml);
+    engine.set_seed_in_result(true);
+    let prepared = engine
+        .prepare(BATCHED_QUERY)
+        .unwrap()
+        .with_backend(Backend::Algebraic);
+    let seeds = all_courses(&mut engine);
+    let batch = prepared
+        .execute_batched(&mut engine, "seed", &seeds, &Bindings::new())
+        .unwrap();
+    assert!(batch.batched);
+    for (i, &seed) in seeds.nodes().iter().enumerate() {
+        assert!(
+            batch.per_seed[i].nodes().contains(&seed),
+            "seed-inclusive reading keeps each seed in its own closure"
+        );
+        let bindings = Bindings::new().with("seed", Sequence::from_nodes(vec![seed]));
+        let reference = prepared.execute(&mut engine, &bindings).unwrap();
+        assert_eq!(batch.per_seed[i].nodes(), reference.result.nodes());
+    }
+}

@@ -3,7 +3,7 @@
 //! The build environment has no access to crates.io, so this local crate
 //! stands in for the real `proptest`.  It keeps the same surface syntax —
 //! the [`proptest!`] macro with `arg in strategy` bindings and an optional
-//! `#![proptest_config(...)]` header, [`prop_oneof!`], [`Just`],
+//! `#![proptest_config(...)]` header, [`prop_oneof!`], [`Just`](strategy::Just),
 //! integer-range and tuple strategies, and [`collection::vec`] — but with a
 //! much simpler engine:
 //!
