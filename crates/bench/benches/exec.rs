@@ -14,7 +14,14 @@
 //!   handle);
 //! * `per_item/*` — the end-to-end per-item curriculum loop (one fixpoint
 //!   per seed course) with the persistent executors of one prepared query
-//!   vs. re-prepared fresh executors per run.
+//!   vs. re-prepared fresh executors per run;
+//! * `per_item/*/source_level{,_batched}` — the same Table-2 cells on the
+//!   **source-level interpreter** (PR 5's target): the per-item loop over
+//!   the rebuilt interpreter data plane, and the batched source-level
+//!   driver (one shared fixpoint, distinct-frontier body sharing);
+//! * `seq_ops/*` — union / except / set-equality on the node-backed
+//!   [`Sequence`](xqy_xdm::Sequence) representation (borrowed id slices
+//!   feeding the bitset kernel, no per-item extraction).
 //!
 //! Run with `CRITERION_JSON=BENCH_exec.json cargo bench -p xqy_bench
 //! --bench exec` to record the baseline the ROADMAP tracks.
@@ -146,6 +153,68 @@ fn bench(c: &mut Criterion) {
                     .execute_batched(&mut engine, "seed", &seeds, &xqy_ifp::Bindings::new())
                     .unwrap()
             })
+        });
+
+        // The same cells on the source-level interpreter: the per-item loop
+        // (one interpreted fixpoint per seed) and the batched source-level
+        // driver (one shared loop, distinct-frontier body sharing).  These
+        // are the Table-2 source-level cells the PR-5 acceptance criterion
+        // tracks.
+        engine.set_backend(Backend::SourceLevel);
+        let src = engine.prepare(&query).unwrap();
+        src.execute(&mut engine, &bindings).unwrap();
+        group.bench_function(format!("per_item/{label}/source_level"), |b| {
+            b.iter(|| src.execute(&mut engine, &bindings).unwrap())
+        });
+        let src_batched = engine.prepare(&workload.batched_query()).unwrap();
+        let warm = src_batched
+            .execute_batched(&mut engine, "seed", &seeds, &xqy_ifp::Bindings::new())
+            .unwrap();
+        assert!(warm.batched, "source-level bodies batch through the driver");
+        assert!(warm.outcome.batch_seeds() > 0);
+        group.bench_function(format!("per_item/{label}/source_level_batched"), |b| {
+            b.iter(|| {
+                src_batched
+                    .execute_batched(&mut engine, "seed", &seeds, &xqy_ifp::Bindings::new())
+                    .unwrap()
+            })
+        });
+    }
+
+    // --- seq_ops: the node-set operations on the node-backed `Sequence`
+    // representation — union / except / set-equality over two overlapping
+    // 10⁴-node operands, driven exactly as the evaluator drives them
+    // (borrowed id slices into the bitset kernel; set_equal entirely on
+    // bitmaps).
+    {
+        use xqy_xdm::{node_except, node_union, NodeStore as Store, Sequence};
+        let mut store = Store::new();
+        let mut xml = String::from("<r>");
+        for _ in 0..20_000 {
+            xml.push_str("<c/>");
+        }
+        xml.push_str("</r>");
+        let doc = store.parse_document(&xml).unwrap();
+        let root = store.document_element(doc).unwrap();
+        let all = store.children(root);
+        let a = Sequence::from_nodes(all.iter().copied().take(10_000));
+        let b = Sequence::from_nodes(all.iter().copied().skip(5_000).take(10_000));
+        group.bench_function("seq_ops/union/10k", |bch| {
+            bch.iter(|| {
+                black_box(
+                    node_union(&mut store, a.node_ids().unwrap(), b.node_ids().unwrap()).len(),
+                )
+            })
+        });
+        group.bench_function("seq_ops/except/10k", |bch| {
+            bch.iter(|| {
+                black_box(
+                    node_except(&mut store, a.node_ids().unwrap(), b.node_ids().unwrap()).len(),
+                )
+            })
+        });
+        group.bench_function("seq_ops/set_equal/10k", |bch| {
+            bch.iter(|| black_box(a.set_equal(&b)))
         });
     }
 

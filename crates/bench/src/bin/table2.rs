@@ -28,18 +28,19 @@ fn main() {
     let rows = table2_rows(full);
 
     println!(
-        "{:<28} | {:>13} {:>13} {:>13} | {:>13} {:>13} | {:>12} {:>12} | {:>5}",
+        "{:<28} | {:>13} {:>13} {:>13} | {:>13} {:>13} {:>13} | {:>12} {:>12} | {:>5}",
         "Query",
         "algebra Naive",
         "algebra Delta",
         "batch Delta",
         "source Naive",
         "source Delta",
+        "src batch",
         "fed (Naive)",
         "fed (Delta)",
         "depth"
     );
-    println!("{}", "-".repeat(146));
+    println!("{}", "-".repeat(160));
 
     for workload in rows {
         let mut cells = Vec::new();
@@ -49,11 +50,22 @@ fn main() {
                 cells.push(run_cell(&mut engine, &workload, backend, algorithm));
             }
         }
-        // The batched multi-source cell only applies to per-item workloads
-        // (a single-fixpoint workload already runs one fixpoint).
+        // The batched multi-source cells only apply to per-item workloads
+        // (a single-fixpoint workload already runs one fixpoint): one on
+        // the relational back-end, one through the batched source-level
+        // driver (distinct-frontier sharing in the interpreter).
         let batched = workload.per_item.then(|| {
             let mut engine = engine_for(&workload);
             run_cell_batched(&mut engine, &workload, Backend::Algebraic, Algorithm::Delta)
+        });
+        let src_batched = workload.per_item.then(|| {
+            let mut engine = engine_for(&workload);
+            run_cell_batched(
+                &mut engine,
+                &workload,
+                Backend::SourceLevel,
+                Algorithm::Delta,
+            )
         });
         let (alg_naive, alg_delta, src_naive, src_delta) =
             (&cells[0], &cells[1], &cells[2], &cells[3]);
@@ -62,25 +74,30 @@ fn main() {
         if let Some(batched) = &batched {
             assert_eq!(batched.result_size, alg_delta.result_size);
         }
-        let batched_col = match &batched {
+        if let Some(src_batched) = &src_batched {
+            assert_eq!(src_batched.result_size, src_delta.result_size);
+        }
+        let col = |cell: &Option<xqy_bench::CellResult>| match cell {
             Some(cell) => format!("{:>10.1?}", cell.elapsed),
             None => format!("{:>10}", "-"),
         };
         println!(
-            "{:<28} | {:>10.1?} {:>10.1?} {:>13} | {:>10.1?} {:>10.1?} | {:>12} {:>12} | {:>5}",
+            "{:<28} | {:>10.1?} {:>10.1?} {:>13} | {:>10.1?} {:>10.1?} {:>13} | {:>12} {:>12} | {:>5}",
             workload.label,
             alg_naive.elapsed,
             alg_delta.elapsed,
-            batched_col,
+            col(&batched),
             src_naive.elapsed,
             src_delta.elapsed,
+            col(&src_batched),
             src_naive.nodes_fed_back,
             src_delta.nodes_fed_back,
             src_delta.depth,
         );
     }
     println!();
-    println!("(speed-ups: Delta vs Naive per back-end; 'batch Delta' runs all per-item seeds as");
-    println!(" one multi-source fixpoint; 'fed' columns are the engine-independent");
-    println!(" 'Total # of Nodes Fed Back' of the paper's Table 2.)");
+    println!("(speed-ups: Delta vs Naive per back-end; 'batch Delta' / 'src batch' run all");
+    println!(" per-item seeds as one multi-source fixpoint — on the relational executor and");
+    println!(" through the batched source-level interpreter driver respectively; 'fed'");
+    println!(" columns are the engine-independent 'Total # of Nodes Fed Back' of Table 2.)");
 }

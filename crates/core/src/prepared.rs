@@ -509,10 +509,14 @@ impl PreparedQuery {
     /// batched multi-source fixpoint** over a `(seed, node)` relation —
     /// every body scan, join and duplicate elimination is shared, and
     /// Delta's difference is applied per seed by grouping on the seed
-    /// column.  [`BatchedOutcome::batched`] reports whether that fast path
-    /// ran; otherwise each seed runs its own fixpoint (algebraic where the
-    /// plan allows, source-level for non-algebraic bodies) with results
-    /// identical either way.
+    /// column.  Bodies **outside** the algebraic subset batch too: the
+    /// source-level interpreter runs one shared Figure-3 loop over all
+    /// seeds, evaluating distributive bodies once per distinct frontier
+    /// node ([`FixpointStats::batch_seeds`] reports the batch size either
+    /// way).  [`BatchedOutcome::batched`] reports whether a batched route
+    /// ran; only non-seed-local algebraic plans (and non-fixpoint query
+    /// shapes) still run one fixpoint per seed, with results identical
+    /// either way.
     ///
     /// `bindings` supplies every external variable except `seed_var`
     /// (a `seed_var` entry, if present, is ignored — the seeds come from
@@ -637,6 +641,14 @@ impl PreparedQuery {
         }
         for o in &self.occurrences {
             evaluator.set_fixpoint_strategy_for(&o.var, o.body.clone(), o.strategy);
+            // Distributive occurrences may share per-node body evaluations
+            // across seeds in the batched source-level driver (the
+            // source-level analogue of `BatchSharing::DistinctNodes`).
+            evaluator.set_fixpoint_batch_sharing_for(
+                &o.var,
+                o.body.clone(),
+                o.report.is_distributive(),
+            );
         }
         let entries = self.plan_entries(&plans);
         let cache_before = self.cache_totals();
@@ -680,10 +692,12 @@ pub struct BatchedOutcome {
     /// One result sequence per input seed, index-aligned with the `seeds`
     /// argument (duplicated seeds see their shared result replicated).
     pub per_seed: Vec<Sequence>,
-    /// `true` when the seeds ran as a single batched multi-source fixpoint
-    /// on the relational back-end; `false` when they ran one fixpoint per
-    /// seed (source-level bodies, non-seed-local plans, or seed sets that
-    /// span documents under an `id()`-using body).
+    /// `true` when the seeds ran as a **single batched multi-source
+    /// fixpoint** — on the relational back-end (seed-carried plan) or
+    /// through the batched source-level driver (non-algebraic bodies).
+    /// `false` when they ran one fixpoint per seed: non-seed-local
+    /// *algebraic* plans, seed sets that span documents under an
+    /// `id()`-using algebraic body, or non-fixpoint query shapes.
     pub batched: bool,
 }
 

@@ -18,7 +18,8 @@ pub fn effective_boolean_value(seq: &Sequence) -> Result<bool> {
     if seq.is_empty() {
         return Ok(false);
     }
-    if let Some(Item::Node(_)) = seq.first() {
+    // O(1) in both sequence representations (no item materialization).
+    if seq.first_node().is_some() {
         return Ok(true);
     }
     if seq.len() == 1 {

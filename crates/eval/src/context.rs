@@ -1,6 +1,6 @@
 //! Dynamic evaluation context: variable environment and focus.
 
-use xqy_xdm::{Item, Sequence};
+use xqy_xdm::{Item, Sequence, StrId};
 
 /// The *focus* of evaluation: context item, context position and context
 /// size (the `.`, `fn:position()` and `fn:last()` triple).
@@ -27,13 +27,20 @@ impl Focus {
 
 /// Variable bindings, managed as a stack of scopes.
 ///
+/// Names are **interned**: every binding is keyed by a [`StrId`] issued by
+/// the owning [`Evaluator`](crate::Evaluator)'s name pool, so a scope push
+/// stores a `Copy` word instead of a `String` and a lookup scans integer
+/// keys instead of comparing bytes frame by frame.  The evaluator resolves
+/// a variable's name to its symbol once per reference (a single hash over
+/// the pool); binders intern on push, which is free after first sight.
+///
 /// The evaluator pushes a binding before evaluating a binder's body and pops
 /// it afterwards; lookups scan from the innermost binding outwards, which
 /// gives the usual lexical shadowing behaviour for nested `for`/`let`
 /// re-using a variable name.
 #[derive(Debug, Clone, Default)]
 pub struct Environment {
-    bindings: Vec<(String, Sequence)>,
+    bindings: Vec<(StrId, Sequence)>,
 }
 
 impl Environment {
@@ -42,14 +49,21 @@ impl Environment {
         Environment::default()
     }
 
+    /// An empty environment with room for `capacity` bindings.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Environment {
+            bindings: Vec::with_capacity(capacity),
+        }
+    }
+
     /// Number of live bindings (used by the evaluator to restore scopes).
     pub fn depth(&self) -> usize {
         self.bindings.len()
     }
 
-    /// Push a binding for `name`.
-    pub fn push(&mut self, name: impl Into<String>, value: Sequence) {
-        self.bindings.push((name.into(), value));
+    /// Push a binding for the interned name `name`.
+    pub fn push(&mut self, name: StrId, value: Sequence) {
+        self.bindings.push((name, value));
     }
 
     /// Pop bindings until only `depth` remain.
@@ -58,16 +72,16 @@ impl Environment {
     }
 
     /// Look up the innermost binding of `name`.
-    pub fn lookup(&self, name: &str) -> Option<&Sequence> {
+    pub fn lookup(&self, name: StrId) -> Option<&Sequence> {
         self.bindings
             .iter()
             .rev()
-            .find(|(n, _)| n == name)
+            .find(|(n, _)| *n == name)
             .map(|(_, v)| v)
     }
 
     /// `true` if `name` is bound.
-    pub fn is_bound(&self, name: &str) -> bool {
+    pub fn is_bound(&self, name: StrId) -> bool {
         self.lookup(name).is_some()
     }
 }
@@ -75,32 +89,38 @@ impl Environment {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xqy_xdm::Item;
+    use xqy_xdm::{Interner, Item};
 
     #[test]
     fn lookup_finds_innermost_binding() {
+        let mut names = Interner::new();
+        let x = names.intern("x");
+        let y = names.intern("y");
+        let z = names.intern("z");
         let mut env = Environment::new();
-        env.push("x", Sequence::singleton(Item::integer(1)));
-        env.push("y", Sequence::singleton(Item::integer(2)));
-        env.push("x", Sequence::singleton(Item::integer(3)));
+        env.push(x, Sequence::singleton(Item::integer(1)));
+        env.push(y, Sequence::singleton(Item::integer(2)));
+        env.push(x, Sequence::singleton(Item::integer(3)));
         assert_eq!(
-            env.lookup("x").unwrap().items()[0],
+            env.lookup(x).unwrap().items()[0],
             Item::integer(3),
             "inner binding shadows outer"
         );
-        assert_eq!(env.lookup("y").unwrap().items()[0], Item::integer(2));
-        assert!(env.lookup("z").is_none());
+        assert_eq!(env.lookup(y).unwrap().items()[0], Item::integer(2));
+        assert!(env.lookup(z).is_none());
     }
 
     #[test]
     fn truncate_restores_previous_scope() {
+        let mut names = Interner::new();
+        let x = names.intern("x");
         let mut env = Environment::new();
-        env.push("x", Sequence::singleton(Item::integer(1)));
+        env.push(x, Sequence::singleton(Item::integer(1)));
         let depth = env.depth();
-        env.push("x", Sequence::singleton(Item::integer(2)));
+        env.push(x, Sequence::singleton(Item::integer(2)));
         env.truncate(depth);
-        assert_eq!(env.lookup("x").unwrap().items()[0], Item::integer(1));
-        assert!(env.is_bound("x"));
+        assert_eq!(env.lookup(x).unwrap().items()[0], Item::integer(1));
+        assert!(env.is_bound(x));
     }
 
     #[test]

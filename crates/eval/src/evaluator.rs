@@ -1,14 +1,15 @@
 //! The tree-walking evaluator.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use xqy_parser::ast::{
     Expr, FunctionDecl, Literal, Occurrence, QueryModule, SequenceType, UnaryOp,
 };
 use xqy_parser::{parse_query, BinaryOp};
 use xqy_xdm::{
-    ddo, intersect, node_except, node_union, AtomicValue, Item, NodeId, NodeKind, NodeStore,
-    Sequence,
+    ddo, intersect, node_except, node_union, AtomicValue, Interner, Item, NodeId, NodeKind,
+    NodeStore, Sequence, StrId,
 };
 
 use crate::compare::{arithmetic, effective_boolean_value, general_pair_compare, value_compare};
@@ -60,21 +61,40 @@ impl Default for EvalOptions {
 /// order / ID indexes are refreshed lazily on access.
 pub struct Evaluator<'s> {
     pub(crate) store: &'s mut NodeStore,
-    functions: HashMap<(String, usize), FunctionDecl>,
-    globals: Vec<(String, Sequence)>,
+    /// Name pool: every variable, parameter and function name the evaluator
+    /// touches is interned once, so environments and the function registry
+    /// key on `Copy` [`StrId`] symbols instead of `String`s.
+    names: Interner,
+    /// User-defined functions, shared so a call clones an `Arc` handle
+    /// instead of the declaration's whole AST.
+    functions: HashMap<(StrId, usize), Arc<FunctionDecl>>,
+    globals: Vec<(StrId, Sequence)>,
     options: EvalOptions,
     fixpoint_runs: Vec<FixpointStats>,
     recursion_depth: usize,
-    /// Per-occurrence strategy overrides, keyed by the occurrence's
+    /// Per-occurrence settings overrides, keyed by the occurrence's
     /// `(recursion variable, body)` pair.  Looked up structurally so the
     /// same occurrence matches however many times it is evaluated (per-seed
     /// loops, function bodies cloned at call time, …).  The bodies are
     /// shared `Arc`s so installing overrides is O(occurrences), not
     /// O(AST size).
-    strategy_overrides: Vec<((String, std::sync::Arc<Expr>), FixpointStrategy)>,
+    occurrence_overrides: Vec<((String, Arc<Expr>), OccurrenceOverrides)>,
     /// Optional hook that may take over fixpoint evaluation (e.g. to drive a
     /// pre-compiled algebraic plan on the relational back-end).
     interceptor: Option<Box<dyn FixpointInterceptor>>,
+}
+
+/// The per-occurrence settings a higher layer can install on an evaluator
+/// (one record per `(var, body)` pair; see
+/// [`Evaluator::set_fixpoint_strategy_for`] and
+/// [`Evaluator::set_fixpoint_batch_sharing_for`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct OccurrenceOverrides {
+    /// Algorithm override; `None` falls back to the global
+    /// [`EvalOptions::fixpoint_strategy`].
+    strategy: Option<FixpointStrategy>,
+    /// Batch-sharing grant for the batched source-level driver.
+    share: bool,
 }
 
 impl<'s> Evaluator<'s> {
@@ -82,12 +102,13 @@ impl<'s> Evaluator<'s> {
     pub fn new(store: &'s mut NodeStore) -> Self {
         Evaluator {
             store,
+            names: Interner::new(),
             functions: HashMap::new(),
             globals: Vec::new(),
             options: EvalOptions::default(),
             fixpoint_runs: Vec::new(),
             recursion_depth: 0,
-            strategy_overrides: Vec::new(),
+            occurrence_overrides: Vec::new(),
             interceptor: None,
         }
     }
@@ -120,19 +141,49 @@ impl<'s> Evaluator<'s> {
     pub fn set_fixpoint_strategy_for(
         &mut self,
         var: &str,
-        body: std::sync::Arc<Expr>,
+        body: Arc<Expr>,
         strategy: FixpointStrategy,
     ) {
-        if let Some(slot) = self
-            .strategy_overrides
-            .iter_mut()
-            .find(|((v, b), _)| v == var && **b == *body)
+        self.occurrence_overrides_for(var, body).strategy = Some(strategy);
+    }
+
+    /// The mutable override record for `(var, body)`, created on first use.
+    fn occurrence_overrides_for(&mut self, var: &str, body: Arc<Expr>) -> &mut OccurrenceOverrides {
+        if let Some(idx) = self
+            .occurrence_overrides
+            .iter()
+            .position(|((v, b), _)| v == var && **b == *body)
         {
-            slot.1 = strategy;
-        } else {
-            self.strategy_overrides
-                .push(((var.to_string(), body), strategy));
+            return &mut self.occurrence_overrides[idx].1;
         }
+        self.occurrence_overrides
+            .push(((var.to_string(), body), OccurrenceOverrides::default()));
+        &mut self.occurrence_overrides.last_mut().expect("just pushed").1
+    }
+
+    /// Grant (or revoke) **batch sharing** for the occurrence `(var, body)`:
+    /// when `true`, [`Evaluator::run_fixpoint_batched`]'s source-level
+    /// driver may evaluate the recursion body once per *distinct* frontier
+    /// node and distribute the images to every owning seed.  Only sound for
+    /// **distributive** bodies (`e(X) = ⋃ₓ e({x})`, Theorem 3.2 of the
+    /// paper) — the caller certifies distributivity (the prepared-query
+    /// layer grants this from its per-occurrence distributivity reports);
+    /// the driver additionally refuses to share bodies that construct nodes
+    /// or call undefined functions, whatever the grant says.  Occurrences
+    /// without a grant run group-wise (one body evaluation per seed per
+    /// iteration), which is exact for every body.
+    pub fn set_fixpoint_batch_sharing_for(&mut self, var: &str, body: Arc<Expr>, share: bool) {
+        self.occurrence_overrides_for(var, body).share = share;
+    }
+
+    /// `true` when batch sharing has been granted for `(var, body)` via
+    /// [`set_fixpoint_batch_sharing_for`](Self::set_fixpoint_batch_sharing_for).
+    pub fn fixpoint_batch_sharing_for(&self, var: &str, body: &Expr) -> bool {
+        self.occurrence_overrides
+            .iter()
+            .find(|((v, b), _)| v == var && b.as_ref() == body)
+            .map(|(_, o)| o.share)
+            .unwrap_or(false)
     }
 
     /// Install a [`FixpointInterceptor`] that may take over the evaluation
@@ -143,10 +194,10 @@ impl<'s> Evaluator<'s> {
 
     /// The strategy that will evaluate the occurrence `(var, body)`.
     pub fn fixpoint_strategy_for(&self, var: &str, body: &Expr) -> FixpointStrategy {
-        self.strategy_overrides
+        self.occurrence_overrides
             .iter()
             .find(|((v, b), _)| v == var && b.as_ref() == body)
-            .map(|(_, s)| *s)
+            .and_then(|(_, o)| o.strategy)
             .unwrap_or(self.options.fixpoint_strategy)
     }
 
@@ -166,19 +217,33 @@ impl<'s> Evaluator<'s> {
     }
 
     /// Register additional user-defined functions (callable from any
-    /// subsequently evaluated expression).
+    /// subsequently evaluated expression).  Names are interned here, once;
+    /// calls look them up by symbol.
     pub fn register_functions(&mut self, functions: &[FunctionDecl]) {
         for f in functions {
-            self.functions.insert(
-                (strip_prefix(&f.name).to_string(), f.params.len()),
-                f.clone(),
-            );
+            let name = self.names.intern(strip_prefix(&f.name));
+            self.functions
+                .insert((name, f.params.len()), Arc::new(f.clone()));
         }
     }
 
-    /// Bind a global variable visible to every evaluated expression.
+    /// Bind a global variable visible to every evaluated expression.  The
+    /// name is resolved to its symbol once, here.
     pub fn bind_global(&mut self, name: impl Into<String>, value: Sequence) {
-        self.globals.push((name.into(), value));
+        let name = self.names.intern(&name.into());
+        self.globals.push((name, value));
+    }
+
+    /// A fresh environment pre-loaded with the global bindings.  Cloning a
+    /// global's value is cheap for node sequences (a shared handle); nothing
+    /// else is copied — this replaces the old whole-`globals` clone that
+    /// every `eval_module`/`eval_expr_str` call paid.
+    fn env_with_globals(&self) -> Environment {
+        let mut env = Environment::with_capacity(self.globals.len());
+        for (name, value) in &self.globals {
+            env.push(*name, value.clone());
+        }
+        env
     }
 
     /// Run **one inflationary fixpoint per seed** of `seeds` for the
@@ -197,15 +262,21 @@ impl<'s> Evaluator<'s> {
     ///    [`run_fixpoint`](FixpointInterceptor::run_fixpoint) hook — one
     ///    algebraic fixpoint per seed for occurrences that compile but are
     ///    not seed-local;
-    /// 3. per seed: the source-level Naïve/Delta algorithms (the fallback
-    ///    for bodies outside the algebraic subset), under the strategy
-    ///    [`fixpoint_strategy_for`](Self::fixpoint_strategy_for) reports
-    ///    and with the globals bound via
-    ///    [`bind_global`](Self::bind_global) in scope.
+    /// 3. the **batched source-level driver**
+    ///    ([`fixpoint::evaluate_fixpoint_batched`]) for occurrences the
+    ///    interceptor declines entirely (bodies outside the algebraic
+    ///    subset, or no interceptor installed): one shared Figure-3 loop
+    ///    over all seeds under the strategy
+    ///    [`fixpoint_strategy_for`](Self::fixpoint_strategy_for) reports,
+    ///    with the globals bound via [`bind_global`](Self::bind_global) in
+    ///    scope.  Distributive bodies (granted via
+    ///    [`set_fixpoint_batch_sharing_for`](Self::set_fixpoint_batch_sharing_for))
+    ///    additionally evaluate each distinct frontier node once and share
+    ///    the image across seeds.
     ///
     /// Every run is recorded in [`fixpoint_runs`](Self::fixpoint_runs):
-    /// one entry with [`FixpointStats::batch_seeds`]` > 0` on route 1, one
-    /// entry per seed otherwise.  `seeds` must be distinct; callers
+    /// one entry with [`FixpointStats::batch_seeds`]` > 0` on routes 1 and
+    /// 3, one entry per seed on route 2.  `seeds` must be distinct; callers
     /// deduplicate and re-expand.
     pub fn run_fixpoint_batched(
         &mut self,
@@ -235,7 +306,7 @@ impl<'s> Evaluator<'s> {
             }
         }
         let mut groups = Vec::with_capacity(seeds.len());
-        for &seed in seeds {
+        for (idx, &seed) in seeds.iter().enumerate() {
             let mut handled = None;
             if let Some(mut interceptor) = self.interceptor.take() {
                 let outcome = interceptor.run_fixpoint(
@@ -252,25 +323,95 @@ impl<'s> Evaluator<'s> {
                     handled = Some(nodes);
                 }
             }
-            let nodes = match handled {
-                Some(nodes) => nodes,
+            match handled {
+                Some(nodes) => groups.push(nodes),
+                None if idx == 0 => {
+                    // The interceptor matches occurrences by `(var, body)`,
+                    // so a decline is seed-independent: the whole batch is
+                    // source-level.  Run it as one batched fixpoint instead
+                    // of one interpreter loop per seed.
+                    return self
+                        .run_fixpoint_batched_source(var, body, seeds)
+                        .map(|groups| (groups, true));
+                }
                 None => {
-                    let mut env = Environment::new();
-                    // Unlike `eval_module`, the loop below never grows
-                    // `self.globals`, so the environment can be built from
-                    // a plain borrow.
-                    for (name, value) in &self.globals {
-                        env.push(name.clone(), value.clone());
-                    }
+                    // Defensive: an interceptor that accepts some seeds but
+                    // declines others (none of ours does) still gets exact
+                    // per-seed semantics.
+                    let mut env = self.env_with_globals();
                     let strategy = self.fixpoint_strategy_for(var, body);
                     let seed_seq = Sequence::from_nodes(vec![seed]);
-                    fixpoint::evaluate_fixpoint(self, var, &seed_seq, body, &mut env, strategy)?
-                        .nodes()
+                    let nodes = fixpoint::evaluate_fixpoint(
+                        self, var, &seed_seq, body, &mut env, strategy,
+                    )?
+                    .nodes();
+                    groups.push(nodes);
                 }
-            };
-            groups.push(nodes);
+            }
         }
         Ok((groups, false))
+    }
+
+    /// Route 3 of [`run_fixpoint_batched`](Self::run_fixpoint_batched): the
+    /// batched **source-level** driver.  Sharing is enabled only when the
+    /// occurrence holds a distributivity grant *and* the body passes the
+    /// purity screen ([`body_shares_safely`](Self::body_shares_safely)).
+    fn run_fixpoint_batched_source(
+        &mut self,
+        var: &str,
+        body: &Expr,
+        seeds: &[NodeId],
+    ) -> Result<Vec<Vec<NodeId>>> {
+        let mut env = self.env_with_globals();
+        let strategy = self.fixpoint_strategy_for(var, body);
+        let share = self.fixpoint_batch_sharing_for(var, body) && self.body_shares_safely(body);
+        fixpoint::evaluate_fixpoint_batched(self, var, seeds, body, &mut env, strategy, share)
+    }
+
+    /// Purity screen for batch sharing: a body may be evaluated per
+    /// *distinct* frontier node (instead of per seed) only if re-evaluating
+    /// it on the same input is guaranteed to reproduce the same value.
+    /// Node **constructors** break that (fresh identities per invocation),
+    /// so any constructor in the body — or in a user-defined function the
+    /// body can reach — refuses sharing.  Unresolvable function calls
+    /// refuse too (they would error at run time anyway; stay conservative).
+    pub(crate) fn body_shares_safely(&self, body: &Expr) -> bool {
+        let mut pending: Vec<&Expr> = vec![body];
+        let mut visited: HashSet<(StrId, usize)> = HashSet::new();
+        while let Some(expr) = pending.pop() {
+            let mut pure = true;
+            let mut calls: Vec<(StrId, usize)> = Vec::new();
+            expr.walk(&mut |e| match e {
+                Expr::DirectElement { .. }
+                | Expr::ComputedElement { .. }
+                | Expr::ComputedAttribute { .. }
+                | Expr::ComputedText { .. } => pure = false,
+                Expr::FunctionCall { name, args } => {
+                    let local = strip_prefix(name);
+                    if !crate::builtins::is_builtin(local) {
+                        match self.names.get(local) {
+                            Some(id) => calls.push((id, args.len())),
+                            None => pure = false,
+                        }
+                    }
+                }
+                _ => {}
+            });
+            if !pure {
+                return false;
+            }
+            for key in calls {
+                match self.functions.get(&key) {
+                    Some(decl) => {
+                        if visited.insert(key) {
+                            pending.push(&decl.body);
+                        }
+                    }
+                    None => return false,
+                }
+            }
+        }
+        true
     }
 
     /// Parse and evaluate a complete query.
@@ -283,14 +424,12 @@ impl<'s> Evaluator<'s> {
     /// global variables, then evaluate the body.
     pub fn eval_module(&mut self, module: &QueryModule) -> Result<Sequence> {
         self.register_functions(&module.functions);
-        let mut env = Environment::new();
-        for (name, value) in &self.globals.clone() {
-            env.push(name.clone(), value.clone());
-        }
+        let mut env = self.env_with_globals();
         for (name, expr) in &module.variables {
             let value = self.eval_expr(expr, &mut env, None)?;
-            env.push(name.clone(), value.clone());
-            self.globals.push((name.clone(), value));
+            let id = self.names.intern(name);
+            env.push(id, value.clone());
+            self.globals.push((id, value));
         }
         self.eval_expr(&module.body, &mut env, None)
     }
@@ -298,10 +437,7 @@ impl<'s> Evaluator<'s> {
     /// Evaluate a standalone expression with an empty environment.
     pub fn eval_expr_str(&mut self, source: &str) -> Result<Sequence> {
         let expr = xqy_parser::parse_expr(source)?;
-        let mut env = Environment::new();
-        for (name, value) in &self.globals.clone() {
-            env.push(name.clone(), value.clone());
-        }
+        let mut env = self.env_with_globals();
         self.eval_expr(&expr, &mut env, None)
     }
 
@@ -315,8 +451,10 @@ impl<'s> Evaluator<'s> {
         match expr {
             Expr::Literal(lit) => Ok(Sequence::singleton(literal_item(lit))),
             Expr::EmptySequence => Ok(Sequence::empty()),
-            Expr::VarRef(name) => env
-                .lookup(name)
+            Expr::VarRef(name) => self
+                .names
+                .get(name)
+                .and_then(|id| env.lookup(id))
                 .cloned()
                 .ok_or_else(|| EvalError::UndefinedVariable(name.clone())),
             Expr::ContextItem => focus
@@ -348,12 +486,14 @@ impl<'s> Evaluator<'s> {
                 body,
             } => {
                 let input = self.eval_expr(seq, env, focus)?;
+                let var_id = self.names.intern(var);
+                let pos_id = pos_var.as_ref().map(|p| self.names.intern(p));
                 let mut out = Sequence::empty();
                 for (i, item) in input.into_iter().enumerate() {
                     let depth = env.depth();
-                    env.push(var.clone(), Sequence::singleton(item));
-                    if let Some(p) = pos_var {
-                        env.push(p.clone(), Sequence::singleton(Item::integer(i as i64 + 1)));
+                    env.push(var_id, Sequence::singleton(item));
+                    if let Some(p) = pos_id {
+                        env.push(p, Sequence::singleton(Item::integer(i as i64 + 1)));
                     }
                     let result = self.eval_expr(body, env, focus);
                     env.truncate(depth);
@@ -364,7 +504,8 @@ impl<'s> Evaluator<'s> {
             Expr::Let { var, value, body } => {
                 let bound = self.eval_expr(value, env, focus)?;
                 let depth = env.depth();
-                env.push(var.clone(), bound);
+                let var_id = self.names.intern(var);
+                env.push(var_id, bound);
                 let result = self.eval_expr(body, env, focus);
                 env.truncate(depth);
                 result
@@ -376,10 +517,11 @@ impl<'s> Evaluator<'s> {
                 cond,
             } => {
                 let input = self.eval_expr(seq, env, focus)?;
+                let var_id = self.names.intern(var);
                 let mut result = *every;
                 for item in input.into_iter() {
                     let depth = env.depth();
-                    env.push(var.clone(), Sequence::singleton(item));
+                    env.push(var_id, Sequence::singleton(item));
                     let holds = self
                         .eval_expr(cond, env, focus)
                         .and_then(|s| effective_boolean_value(&s));
@@ -406,7 +548,8 @@ impl<'s> Evaluator<'s> {
                     if matches {
                         let depth = env.depth();
                         if let Some(v) = &case.var {
-                            env.push(v.clone(), value.clone());
+                            let v = self.names.intern(v);
+                            env.push(v, value.clone());
                         }
                         let result = self.eval_expr(&case.body, env, focus);
                         env.truncate(depth);
@@ -531,16 +674,33 @@ impl<'s> Evaluator<'s> {
     ) -> Result<Sequence> {
         let size = input.len();
         let mut out = Sequence::empty();
-        for (i, item) in input.iter().enumerate() {
-            let focus = Focus {
-                item: item.clone(),
-                position: i + 1,
-                size,
-            };
-            let result = self.eval_expr(step, env, Some(&focus))?;
-            out.extend(result);
+        if let Some(ids) = input.node_ids() {
+            // Node-backed input: iterate the id buffer directly, never
+            // materializing an `Item` view of the (possibly large) frontier.
+            for (i, &node) in ids.iter().enumerate() {
+                let focus = Focus {
+                    item: Item::Node(node),
+                    position: i + 1,
+                    size,
+                };
+                let result = self.eval_expr(step, env, Some(&focus))?;
+                out.extend(result);
+            }
+        } else {
+            for i in 0..size {
+                let focus = Focus {
+                    item: input.items()[i].clone(),
+                    position: i + 1,
+                    size,
+                };
+                let result = self.eval_expr(step, env, Some(&focus))?;
+                out.extend(result);
+            }
         }
-        if out.all_nodes() {
+        if let Some(ids) = out.node_ids() {
+            let ordered = ddo(self.store, ids);
+            Ok(Sequence::from_nodes(ordered))
+        } else if out.all_nodes() {
             let ordered = ddo(self.store, &out.nodes());
             Ok(Sequence::from_nodes(ordered))
         } else if out.nodes().is_empty() {
@@ -627,10 +787,28 @@ impl<'s> Evaluator<'s> {
                         op.symbol()
                     )));
                 }
+                // Borrow the id buffers where the operands are node-backed
+                // (the common case — path results); fall back to extraction
+                // for item-built all-node sequences.
+                let (lv, rv);
+                let ln = match l.node_ids() {
+                    Some(ids) => ids,
+                    None => {
+                        lv = l.nodes();
+                        &lv[..]
+                    }
+                };
+                let rn = match r.node_ids() {
+                    Some(ids) => ids,
+                    None => {
+                        rv = r.nodes();
+                        &rv[..]
+                    }
+                };
                 let result = match op {
-                    BinaryOp::Union => node_union(self.store, &l.nodes(), &r.nodes()),
-                    BinaryOp::Intersect => intersect(self.store, &l.nodes(), &r.nodes()),
-                    BinaryOp::Except => node_except(self.store, &l.nodes(), &r.nodes()),
+                    BinaryOp::Union => node_union(self.store, ln, rn),
+                    BinaryOp::Intersect => intersect(self.store, ln, rn),
+                    BinaryOp::Except => node_except(self.store, ln, rn),
                     _ => unreachable!(),
                 };
                 Ok(Sequence::from_nodes(result))
@@ -641,10 +819,7 @@ impl<'s> Evaluator<'s> {
                 if l.is_empty() || r.is_empty() {
                     return Ok(Sequence::empty());
                 }
-                let (Some(a), Some(b)) = (
-                    l.first().and_then(Item::as_node),
-                    r.first().and_then(Item::as_node),
-                ) else {
+                let (Some(a), Some(b)) = (l.first_node(), r.first_node()) else {
                     return Err(EvalError::Type(format!(
                         "operands of '{}' must be single nodes",
                         op.symbol()
@@ -769,11 +944,12 @@ impl<'s> Evaluator<'s> {
             }
             return crate::builtins::call_builtin(self, local, &values, focus);
         }
-        if let Some(decl) = self
-            .functions
-            .get(&(local.to_string(), args.len()))
-            .cloned()
-        {
+        let decl = self
+            .names
+            .get(local)
+            .and_then(|id| self.functions.get(&(id, args.len())))
+            .cloned();
+        if let Some(decl) = decl {
             let mut values = Vec::with_capacity(args.len());
             for a in args {
                 values.push(self.eval_expr(a, env, focus)?);
@@ -783,12 +959,10 @@ impl<'s> Evaluator<'s> {
             }
             self.recursion_depth += 1;
             // Function bodies see only their parameters and the globals.
-            let mut call_env = Environment::new();
-            for (g, v) in &self.globals {
-                call_env.push(g.clone(), v.clone());
-            }
+            let mut call_env = self.env_with_globals();
             for (param, value) in decl.params.iter().zip(values) {
-                call_env.push(param.clone(), value);
+                let param = self.names.intern(param);
+                call_env.push(param, value);
             }
             let result = self.eval_expr(&decl.body, &mut call_env, None);
             self.recursion_depth -= 1;
@@ -895,7 +1069,17 @@ impl<'s> Evaluator<'s> {
         let doc = xqy_xdm::DocId(doc_node.doc);
         let mut out = Vec::new();
         for value in values {
-            for token in value.string_value().split_whitespace() {
+            // Borrow string-shaped values directly — atomized node values
+            // already own their text; re-rendering would clone per probe.
+            let rendered;
+            let text: &str = match value {
+                AtomicValue::String(s) | AtomicValue::Untyped(s) => s,
+                other => {
+                    rendered = other.string_value();
+                    &rendered
+                }
+            };
+            for token in text.split_whitespace() {
                 if let Some(node) = self.store.lookup_id(doc, token) {
                     out.push(node);
                 }
@@ -914,7 +1098,8 @@ impl<'s> Evaluator<'s> {
         value: Sequence,
     ) -> Result<Sequence> {
         let depth = env.depth();
-        env.push(var.to_string(), value);
+        let var = self.names.intern(var);
+        env.push(var, value);
         let result = self.eval_expr(body, env, None);
         env.truncate(depth);
         result

@@ -243,7 +243,8 @@ fn call_payload(
 ) -> Result<Vec<NodeId>> {
     stats.nodes_fed_back += input.len() as u64;
     stats.payload_calls += 1;
-    let value = eval.eval_with_binding(body, env, var, Sequence::from_nodes(input.to_vec()))?;
+    let value =
+        eval.eval_with_binding(body, env, var, Sequence::from_nodes(input.iter().copied()))?;
     if !value.all_nodes() {
         return Err(EvalError::Type(
             "the recursion body of an inflationary fixed point must return nodes".into(),
@@ -331,6 +332,236 @@ fn delta(
         }
         res.union_in_place(&delta);
     }
+}
+
+// ----------------------------------------------------------------------
+// Batched multi-source source-level driver
+// ----------------------------------------------------------------------
+
+/// Evaluate **one inflationary fixpoint per seed of `seeds`** in a single
+/// shared Figure-3 loop — the source-level counterpart of the algebraic
+/// executor's batched `(seed, node)` driver.
+///
+/// Each seed keeps its own accumulator and frontier; one round of the
+/// shared loop advances every still-growing seed by one iteration, and the
+/// loop ends when every seed has reached its fixpoint.  Two evaluation
+/// modes:
+///
+/// * **Shared** (`share_frontiers = true`, only sound for *distributive*
+///   bodies — `e(X) = ⋃ₓ e({x})`, Theorem 3.2): the body is evaluated once
+///   per **distinct** frontier node across all seeds and the images are
+///   distributed to every owning seed.  Images are memoized across
+///   iterations (the body is pure by precondition — the caller additionally
+///   screens out constructor-containing bodies), so a node discovered by
+///   several seeds in different rounds still costs one evaluation total.
+/// * **Grouped** (`share_frontiers = false`): the body is evaluated on each
+///   seed's own frontier, exactly as a per-seed loop would — correct for
+///   every body, sharing only the environment setup and the loop
+///   bookkeeping.
+///
+/// Returns one node list per seed, index-aligned with `seeds` (which must
+/// be distinct — callers deduplicate), each equal to what
+/// [`evaluate_fixpoint`] over that singleton seed returns.  One
+/// [`FixpointStats`] entry is recorded for the whole batch:
+/// [`FixpointStats::batch_seeds`]` = seeds.len()`, `iterations` is the
+/// maximum per-seed recursion depth, `payload_calls` / `nodes_fed_back`
+/// count the body evaluations actually performed (shared mode: one per
+/// distinct frontier node; grouped mode: one per seed per round).
+pub fn evaluate_fixpoint_batched(
+    eval: &mut Evaluator<'_>,
+    var: &str,
+    seeds: &[NodeId],
+    body: &Expr,
+    env: &mut Environment,
+    strategy: FixpointStrategy,
+    share_frontiers: bool,
+) -> Result<Vec<Vec<NodeId>>> {
+    let mut stats = FixpointStats {
+        strategy: Some(strategy.into()),
+        backend: FixpointBackendTag::Interpreted,
+        batch_seeds: seeds.len(),
+        ..FixpointStats::default()
+    };
+    let result = if share_frontiers {
+        batched_shared(eval, var, seeds, body, env, &mut stats)
+    } else {
+        batched_grouped(eval, var, seeds, body, env, strategy, &mut stats)
+    };
+    match result {
+        Ok(groups) => {
+            stats.result_size = groups.iter().map(Vec::len).sum();
+            eval.record_fixpoint_run(stats);
+            Ok(groups)
+        }
+        Err(err) => {
+            eval.record_fixpoint_run(stats);
+            Err(err)
+        }
+    }
+}
+
+/// The **shared** batched mode: distinct-frontier evaluation with a
+/// cross-iteration image memo.  Precondition: the body is distributive and
+/// pure (no constructors), so `e(X) = ⋃ₓ e({x})` and `e({x})` is stable
+/// across re-evaluations — under which Naïve and Delta coincide, and
+/// feeding each frontier node exactly once is equivalent to both.
+fn batched_shared(
+    eval: &mut Evaluator<'_>,
+    var: &str,
+    seeds: &[NodeId],
+    body: &Expr,
+    env: &mut Environment,
+    stats: &mut FixpointStats,
+) -> Result<Vec<Vec<NodeId>>> {
+    use std::collections::HashMap;
+
+    /// One seed's loop state.
+    struct SeedState {
+        res: NodeSet,
+        /// Nodes whose images have not been folded into `res` yet.
+        frontier: Vec<NodeId>,
+    }
+
+    // node → image of the singleton body application, memoized for the
+    // whole run (sound by the purity precondition).
+    let mut images: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    let ensure_image = |eval: &mut Evaluator<'_>,
+                        env: &mut Environment,
+                        stats: &mut FixpointStats,
+                        node: NodeId,
+                        images: &mut HashMap<NodeId, Vec<NodeId>>|
+     -> Result<()> {
+        if let std::collections::hash_map::Entry::Vacant(slot) = images.entry(node) {
+            let img = call_payload(eval, var, &[node], body, env, stats)?;
+            slot.insert(img);
+        }
+        Ok(())
+    };
+
+    // Initial accumulation per seed (see `evaluate_fixpoint`): the seed
+    // itself under the seed-inclusive reading, e_rec({seed}) otherwise.
+    let seed_in_result = eval.options().seed_in_result;
+    let mut states = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        let initial: Vec<NodeId> = if seed_in_result {
+            vec![seed]
+        } else {
+            ensure_image(eval, env, stats, seed, &mut images)?;
+            images[&seed].clone()
+        };
+        let res = NodeSet::from_nodes(initial.iter().copied());
+        let frontier = res.iter().collect();
+        states.push(SeedState { res, frontier });
+    }
+
+    loop {
+        let active: Vec<usize> = (0..states.len())
+            .filter(|&i| !states[i].frontier.is_empty())
+            .collect();
+        if active.is_empty() {
+            break;
+        }
+        // The shared round counter stands in for each seed's iteration
+        // count (a seed drops out the round it stabilizes, so its depth is
+        // ≤ the rounds executed); the node limit applies to each seed's
+        // accumulator individually — both as the per-seed loop enforces.
+        let max_len = states.iter().map(|s| s.res.len()).max().unwrap_or(0);
+        check_limits(eval, stats, max_len)?;
+        stats.iterations += 1;
+        // Evaluate every distinct frontier node not yet memoized, once.
+        for &i in &active {
+            for idx in 0..states[i].frontier.len() {
+                let node = states[i].frontier[idx];
+                ensure_image(eval, env, stats, node, &mut images)?;
+            }
+        }
+        // Fold the images per seed: ∆ ← (⋃ images of frontier) ∖ res.
+        for &i in &active {
+            let state = &mut states[i];
+            let mut step = NodeSet::new();
+            for node in &state.frontier {
+                step.extend(images[node].iter().copied());
+            }
+            step.except_in_place(&state.res);
+            state.res.union_in_place(&step);
+            state.frontier = step.iter().collect();
+        }
+    }
+
+    Ok(states
+        .into_iter()
+        .map(|s| s.res.to_vec(eval.store))
+        .collect())
+}
+
+/// The **grouped** batched mode: per-seed body evaluations advanced in
+/// lockstep rounds — exact for arbitrary (also non-distributive, also
+/// constructing) bodies, since each seed sees precisely the evaluation
+/// sequence its own per-seed loop would have performed.
+fn batched_grouped(
+    eval: &mut Evaluator<'_>,
+    var: &str,
+    seeds: &[NodeId],
+    body: &Expr,
+    env: &mut Environment,
+    strategy: FixpointStrategy,
+    stats: &mut FixpointStats,
+) -> Result<Vec<Vec<NodeId>>> {
+    /// One seed's loop state.
+    struct SeedState {
+        res: NodeSet,
+        /// What the next body call is fed: the whole accumulator (Naïve) or
+        /// the last iteration's novelty (Delta), in document order.
+        frontier: Vec<NodeId>,
+        done: bool,
+    }
+
+    let seed_in_result = eval.options().seed_in_result;
+    let mut states = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        let initial: Vec<NodeId> = if seed_in_result {
+            vec![seed]
+        } else {
+            call_payload(eval, var, &[seed], body, env, stats)?
+        };
+        let res = NodeSet::from_nodes(initial.iter().copied());
+        let frontier = res.to_vec(eval.store);
+        states.push(SeedState {
+            res,
+            frontier,
+            done: false,
+        });
+    }
+
+    loop {
+        if states.iter().all(|s| s.done) {
+            break;
+        }
+        // Same limit conventions as the shared mode: rounds stand in for
+        // per-seed iterations, node limit per seed accumulator.
+        let max_len = states.iter().map(|s| s.res.len()).max().unwrap_or(0);
+        check_limits(eval, stats, max_len)?;
+        stats.iterations += 1;
+        for state in states.iter_mut().filter(|s| !s.done) {
+            let step = call_payload(eval, var, &state.frontier, body, env, stats)?;
+            let mut fresh = NodeSet::from_nodes(step);
+            fresh.except_in_place(&state.res);
+            if fresh.is_empty() {
+                state.done = true;
+                continue;
+            }
+            state.res.union_in_place(&fresh);
+            state.frontier = match strategy {
+                FixpointStrategy::Naive => state.res.to_vec(eval.store),
+                FixpointStrategy::Delta => fresh.to_vec(eval.store),
+            };
+        }
+    }
+
+    Ok(states
+        .into_iter()
+        .map(|s| s.res.to_vec(eval.store))
+        .collect())
 }
 
 #[cfg(test)]

@@ -34,6 +34,11 @@ pub const SPARSE_LIMIT: usize = 64;
 
 /// `fs:distinct-doc-order` — sort into document order, drop duplicates.
 pub fn ddo(store: &mut NodeStore, nodes: &[NodeId]) -> Vec<NodeId> {
+    if nodes.len() <= 1 {
+        // Zero- and one-element inputs are trivially distinct and ordered —
+        // the per-node steps of a path expression hit this constantly.
+        return nodes.to_vec();
+    }
     if nodes.len() <= SPARSE_LIMIT {
         let mut out = nodes.to_vec();
         store.sort_distinct(&mut out);

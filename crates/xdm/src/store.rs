@@ -54,6 +54,11 @@ struct Document {
     /// the case for parsed documents; constructed fragments may diverge).
     /// Lets [`crate::NodeSet`] emit document order straight from its bitmaps.
     index_is_order: bool,
+    /// Bumped every time `refresh` actually rebuilds `order`/`id_index`.
+    /// Caches of per-document derived state (the store's `id()` probe memo)
+    /// compare this to detect that a rebuild happened — regardless of
+    /// *which* store operation triggered it.
+    version: u64,
     /// Optional URI this document was loaded under (used by `fn:doc`).
     uri: Option<String>,
 }
@@ -67,6 +72,7 @@ impl Document {
             id_index: HashMap::new(),
             dirty: true,
             index_is_order: true,
+            version: 0,
             uri: None,
         }
     }
@@ -82,6 +88,7 @@ impl Document {
         if !self.dirty {
             return;
         }
+        self.version += 1;
         self.order = vec![0; self.nodes.len()];
         self.id_index.clear();
         if !self.nodes.is_empty() {
@@ -150,6 +157,22 @@ pub struct NodeStore {
     /// document contents (e.g. the algebraic executor's rec-independent
     /// static cache) compare this to decide staleness.
     load_epoch: u64,
+    /// Memo of [`NodeStore::lookup_id`] probes, one map per document, each
+    /// tagged with the `Document::version` it was built against.  The
+    /// fixpoint drivers probe the same handful of ID values once per
+    /// iteration (and, in per-item workloads, once per seed); the memo
+    /// answers repeats without re-touching the full `id_index`.
+    /// Invalidation: the whole memo is dropped when
+    /// [`NodeStore::load_epoch`] moves (`id_probe_epoch` records the epoch
+    /// the memo was built under), and a single document's entries are
+    /// dropped when its version tag no longer matches — i.e. whenever a
+    /// refresh rebuilt the index, *whichever* store operation triggered it
+    /// (doc-order queries refresh too, not just `lookup_id` itself).
+    id_probe_cache: HashMap<u32, (u64, HashMap<String, Option<NodeId>>)>,
+    /// The [`NodeStore::load_epoch`] value `id_probe_cache` is valid for.
+    id_probe_epoch: u64,
+    /// Lifetime count of probes answered from `id_probe_cache`.
+    id_probe_hits: u64,
 }
 
 /// Process-wide source of [`NodeStore::load_epoch`] values.  Epochs being
@@ -284,10 +307,46 @@ impl NodeStore {
     }
 
     /// Find the element in `doc` whose ID-typed attribute equals `value`.
+    ///
+    /// Probes are memoized per load-epoch: fixpoint iterations probing the
+    /// same ID values over and over are answered from a per-document memo
+    /// ([`NodeStore::id_probe_hits`] counts them), which is invalidated
+    /// whenever [`NodeStore::load_epoch`] moves (new document, new ID
+    /// attribute registration) and, per document, whenever the document is
+    /// refreshed after a mutation.
     pub fn lookup_id(&mut self, doc: DocId, value: &str) -> Option<NodeId> {
+        if self.id_probe_epoch != self.load_epoch {
+            self.id_probe_cache.clear();
+            self.id_probe_epoch = self.load_epoch;
+        }
         let d = self.docs.get_mut(doc.0 as usize)?;
         d.refresh();
-        d.id_index.get(value).map(|&n| NodeId::new(doc.0, n))
+        // The memo is valid only for the index-rebuild generation it was
+        // filled under.  Comparing versions (instead of checking `dirty`
+        // here) also catches rebuilds triggered by *other* store
+        // operations — a doc-order query between a mutation and this probe
+        // refreshes the document without passing through `lookup_id`.
+        let (version, memo) = self
+            .id_probe_cache
+            .entry(doc.0)
+            .or_insert_with(|| (d.version, HashMap::new()));
+        if *version != d.version {
+            *version = d.version;
+            memo.clear();
+        }
+        if let Some(&hit) = memo.get(value) {
+            self.id_probe_hits += 1;
+            return hit;
+        }
+        let found = d.id_index.get(value).map(|&n| NodeId::new(doc.0, n));
+        memo.insert(value.to_string(), found);
+        found
+    }
+
+    /// Lifetime count of [`NodeStore::lookup_id`] probes answered from the
+    /// per-epoch memo instead of the document index.
+    pub fn id_probe_hits(&self) -> u64 {
+        self.id_probe_hits
     }
 
     // ------------------------------------------------------------------
@@ -538,8 +597,8 @@ impl NodeStore {
         match self.kind(node) {
             NodeKind::Text(t) => out.push_str(t),
             NodeKind::Element(_) | NodeKind::Document => {
-                for child in self.children(node) {
-                    self.collect_text(child, out);
+                for &c in &self.data(node).children {
+                    self.collect_text(NodeId::new(node.doc, c), out);
                 }
             }
             _ => {}
@@ -586,6 +645,9 @@ impl NodeStore {
     /// Sort `nodes` into document order and remove duplicates — the
     /// `fs:distinct-doc-order` operation of the XQuery Formal Semantics.
     pub fn sort_distinct(&mut self, nodes: &mut Vec<NodeId>) {
+        if nodes.len() <= 1 {
+            return;
+        }
         // Refresh every involved document once, then sort by cached ranks.
         let mut keyed: Vec<((u32, u32), NodeId)> =
             nodes.iter().map(|&n| (self.order_rank(n), n)).collect();
@@ -606,8 +668,10 @@ impl NodeStore {
         let mut out = Vec::new();
         match axis {
             Axis::Child => {
-                for c in self.children(node) {
-                    self.push_if(c, axis, test, &mut out);
+                // Iterate the arena's child list directly — no intermediate
+                // `children()` vector on the hottest axis.
+                for &c in &self.data(node).children {
+                    self.push_if(NodeId::new(node.doc, c), axis, test, &mut out);
                 }
             }
             Axis::Descendant => self.collect_descendants(node, axis, test, &mut out),
@@ -706,8 +770,8 @@ impl NodeStore {
                 }
             }
             Axis::Attribute => {
-                for a in self.attributes(node) {
-                    self.push_if(a, axis, test, &mut out);
+                for &a in &self.data(node).attributes {
+                    self.push_if(NodeId::new(node.doc, a), axis, test, &mut out);
                 }
             }
             Axis::SelfAxis => {
@@ -730,7 +794,8 @@ impl NodeStore {
         test: &NodeTest,
         out: &mut Vec<NodeId>,
     ) {
-        for child in self.children(node) {
+        for &c in &self.data(node).children {
+            let child = NodeId::new(node.doc, c);
             self.push_if(child, axis, test, out);
             self.collect_descendants(child, axis, test, out);
         }
@@ -796,6 +861,73 @@ mod tests {
         store.register_id_attribute(doc, "code");
         let c1 = store.lookup_id(doc, "c1").unwrap();
         assert_eq!(store.attribute_value(c1, "code"), Some("c1"));
+    }
+
+    #[test]
+    fn id_probe_cache_answers_repeats_and_invalidates_on_epoch_bump() {
+        let mut store = NodeStore::new();
+        let doc = store
+            .parse_document("<curriculum><course code=\"c1\"/><course code=\"c2\"/></curriculum>")
+            .unwrap();
+        // Miss, cached: the second identical probe is a memo hit.
+        assert_eq!(store.lookup_id(doc, "c1"), None);
+        let hits = store.id_probe_hits();
+        assert_eq!(store.lookup_id(doc, "c1"), None);
+        assert_eq!(store.id_probe_hits(), hits + 1);
+
+        // Registering an ID attribute bumps the load epoch: the stale
+        // cached miss must NOT survive — the probe now finds the element.
+        store.register_id_attribute(doc, "code");
+        let c1 = store.lookup_id(doc, "c1").expect("cache was invalidated");
+        assert_eq!(store.attribute_value(c1, "code"), Some("c1"));
+
+        // Repeated hits after the rebuild come from the memo again.
+        let hits = store.id_probe_hits();
+        assert_eq!(store.lookup_id(doc, "c1"), Some(c1));
+        assert_eq!(store.lookup_id(doc, "c1"), Some(c1));
+        assert_eq!(store.id_probe_hits(), hits + 2);
+
+        // Loading a new document bumps the epoch too; probes against the
+        // old document still resolve correctly afterwards.
+        let _ = store.parse_document("<x/>").unwrap();
+        assert_eq!(store.lookup_id(doc, "c1"), Some(c1));
+        assert_eq!(store.lookup_id(doc, "c2"), store.lookup_id(doc, "c2"));
+    }
+
+    #[test]
+    fn id_probe_cache_sees_same_epoch_document_mutation() {
+        // Mutating a document (construction) marks it dirty without moving
+        // the load epoch; the per-document memo entries must be dropped on
+        // the next index rebuild so probes see the post-mutation index.
+        let mut store = NodeStore::new();
+        let doc = store.parse_document("<r><a id=\"n1\"/></r>").unwrap();
+        let n1 = store.lookup_id(doc, "n1").unwrap();
+        assert_eq!(store.lookup_id(doc, "n2"), None); // cached miss
+        let root = store.document_element(doc).unwrap();
+        let fresh = store.create_element(doc, QName::local("b"));
+        store
+            .add_attribute(fresh, QName::local("id"), "n2")
+            .unwrap();
+        store.append_child(root, fresh).unwrap();
+        assert_eq!(store.lookup_id(doc, "n2"), Some(fresh), "miss not stale");
+        assert_eq!(store.lookup_id(doc, "n1"), Some(n1));
+
+        // The treacherous interleaving: mutate, then let a *different*
+        // store operation (a doc-order comparison, as the fixpoint drivers
+        // issue between iterations) trigger the refresh, then probe.  The
+        // memo's version tag — not the dirty flag — must catch this.
+        assert_eq!(store.lookup_id(doc, "n3"), None); // cached miss
+        let later = store.create_element(doc, QName::local("c"));
+        store
+            .add_attribute(later, QName::local("id"), "n3")
+            .unwrap();
+        store.append_child(root, later).unwrap();
+        let _ = store.doc_order(root, fresh); // refreshes, clears dirty
+        assert_eq!(
+            store.lookup_id(doc, "n3"),
+            Some(later),
+            "externally triggered refresh must invalidate the memo"
+        );
     }
 
     #[test]

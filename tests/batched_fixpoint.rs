@@ -119,6 +119,85 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The batched **source-level** driver ≡ per-seed source-level
+    /// execution: for random *non-algebraic* bodies (predicates keep them
+    /// out of the compiler subset; the pool mixes distributive bodies,
+    /// which take the shared distinct-frontier mode, and non-distributive
+    /// ones, which take the grouped mode), random reference graphs and
+    /// random seed sets with duplicates, `execute_batched` returns per seed
+    /// exactly what a per-seed `execute` returns — under both
+    /// `Backend::SourceLevel` and `Backend::Auto`.
+    #[test]
+    fn batched_source_level_equals_per_seed_source_level(
+        courses in 2usize..9,
+        edges in edge_strategy(8),
+        seed_picks in proptest::collection::vec(0usize..9, 0..6),
+        body in prop_oneof![
+            Just("$x/id(./prerequisites/pre_code)[@code]"),
+            Just("$x/id(./prerequisites/pre_code)[@code='c1' or @code='c2']"),
+            Just("$x/*[exists(./pre_code)]"),
+            Just("($x/id(./prerequisites/pre_code))[position() <= 3]"),
+            Just("if (count($x) > 1) then $x/self::course else $x/id(./prerequisites/pre_code)"),
+            Just("$x/id(./prerequisites/pre_code)[exists(../prerequisites)] union $x/self::course[@code='c0']"),
+        ],
+    ) {
+        let xml = curriculum_from_edges(courses, &edges);
+        let query = format!("with $x seeded by $seed recurse {body}");
+        for backend in [Backend::SourceLevel, Backend::Auto] {
+            let mut engine = curriculum_engine(&xml);
+            engine.set_strategy(Strategy::Auto);
+            let prepared = engine.prepare(&query).unwrap().with_backend(backend);
+            prop_assert!(
+                !prepared.occurrences()[0].is_algebraic_capable(),
+                "body {} unexpectedly compiled",
+                body
+            );
+            let courses_seq = all_courses(&mut engine);
+            let seeds = Sequence::from_nodes(
+                seed_picks
+                    .iter()
+                    .map(|&i| courses_seq.nodes()[i % courses_seq.len()])
+                    .collect::<Vec<_>>(),
+            );
+
+            let batch = prepared
+                .execute_batched(&mut engine, "seed", &seeds, &Bindings::new())
+                .unwrap();
+            prop_assert_eq!(batch.per_seed.len(), seeds.len());
+            if !seeds.is_empty() {
+                // The batch ran as one interpreted multi-source fixpoint.
+                prop_assert!(batch.batched);
+                prop_assert_eq!(batch.outcome.fixpoints.len(), 1);
+                prop_assert!(batch.outcome.fixpoints[0].batch_seeds > 0);
+                prop_assert_eq!(
+                    batch.outcome.fixpoints[0].backend,
+                    FixpointBackendTag::Interpreted
+                );
+            }
+
+            let mut concatenated = Vec::new();
+            for (i, &seed) in seeds.nodes().iter().enumerate() {
+                let bindings =
+                    Bindings::new().with("seed", Sequence::from_nodes(vec![seed]));
+                let reference = prepared.execute(&mut engine, &bindings).unwrap();
+                prop_assert_eq!(
+                    batch.per_seed[i].nodes(),
+                    reference.result.nodes(),
+                    "seed #{} under {} with body {}",
+                    i,
+                    backend.name(),
+                    body
+                );
+                concatenated.extend(reference.result.nodes());
+            }
+            prop_assert_eq!(batch.outcome.result.nodes(), concatenated);
+        }
+    }
+}
+
 #[test]
 fn batched_fast_path_runs_one_shared_fixpoint() {
     let xml = curriculum_from_edges(6, &[(0, 1), (1, 2), (2, 3), (4, 0)]);
@@ -207,10 +286,12 @@ fn batched_duplicate_seeds_replicate_one_computation() {
 }
 
 #[test]
-fn non_algebraic_bodies_fall_back_per_seed_with_identical_results() {
-    // `name(.)`-style bodies are outside the compiler subset: under Auto the
-    // occurrence runs source-level, per seed — results must still match the
-    // per-seed loop and `batched` must report the fallback.
+fn non_algebraic_bodies_route_through_the_batched_source_level_driver() {
+    // Predicate-filtered bodies are outside the compiler subset: under Auto
+    // the occurrence runs source-level — since PR 5 as **one batched
+    // interpreter fixpoint** over all seeds (observable via
+    // `FixpointStats::batch_seeds`), not as a per-seed loop.  Results must
+    // still match per-seed execution exactly.
     let xml = curriculum_from_edges(4, &[(0, 1), (1, 2)]);
     let mut engine = curriculum_engine(&xml);
     let query =
@@ -221,18 +302,129 @@ fn non_algebraic_bodies_fall_back_per_seed_with_identical_results() {
     let batch = prepared
         .execute_batched(&mut engine, "seed", &seeds, &Bindings::new())
         .unwrap();
-    assert!(!batch.batched, "non-algebraic body cannot batch");
-    assert_eq!(batch.outcome.fixpoints.len(), 4, "one run per seed");
-    assert!(batch
-        .outcome
-        .fixpoints
-        .iter()
-        .all(|s| s.batch_seeds == 0 && s.backend == FixpointBackendTag::Interpreted));
+    assert!(batch.batched, "non-algebraic bodies batch source-level now");
+    assert_eq!(batch.outcome.fixpoints.len(), 1, "one run for the batch");
+    assert_eq!(batch.outcome.fixpoints[0].batch_seeds, 4);
+    assert_eq!(batch.outcome.batch_seeds(), 4);
+    assert_eq!(
+        batch.outcome.fixpoints[0].backend,
+        FixpointBackendTag::Interpreted
+    );
     for (i, &seed) in seeds.nodes().iter().enumerate() {
         let bindings = Bindings::new().with("seed", Sequence::from_nodes(vec![seed]));
         let reference = prepared.execute(&mut engine, &bindings).unwrap();
         assert_eq!(batch.per_seed[i].nodes(), reference.result.nodes());
     }
+}
+
+#[test]
+fn batched_source_level_shares_body_evaluations_on_distributive_bodies() {
+    // A distributive source-level body (the predicate keeps it out of the
+    // algebraic subset, the union keeps it syntactically distributive):
+    // the batched driver evaluates each distinct frontier node once for the
+    // whole batch, so it makes strictly fewer body calls than the per-seed
+    // loops combined.
+    let xml = curriculum_from_edges(6, &[(0, 1), (1, 2), (2, 3), (4, 0), (5, 0)]);
+    let mut engine = curriculum_engine(&xml);
+    let query = "with $x seeded by $seed recurse $x/id(./prerequisites/pre_code)[@code]";
+    let prepared = engine
+        .prepare(query)
+        .unwrap()
+        .with_backend(Backend::SourceLevel);
+    let seeds = all_courses(&mut engine);
+    let batch = prepared
+        .execute_batched(&mut engine, "seed", &seeds, &Bindings::new())
+        .unwrap();
+    assert!(batch.batched);
+    assert_eq!(batch.outcome.fixpoints[0].batch_seeds, 6);
+    let mut per_seed_calls = 0;
+    for (i, &seed) in seeds.nodes().iter().enumerate() {
+        let bindings = Bindings::new().with("seed", Sequence::from_nodes(vec![seed]));
+        let reference = prepared.execute(&mut engine, &bindings).unwrap();
+        assert_eq!(batch.per_seed[i].nodes(), reference.result.nodes());
+        per_seed_calls += reference.fixpoints[0].payload_calls;
+    }
+    assert!(
+        batch.outcome.fixpoints[0].payload_calls < per_seed_calls,
+        "batched made {} body calls, per-seed loops {}",
+        batch.outcome.fixpoints[0].payload_calls,
+        per_seed_calls
+    );
+}
+
+#[test]
+fn batched_source_level_handles_cross_document_seeds() {
+    // Unlike the algebraic batched plan (one context document per run), the
+    // source-level driver resolves `id()` per frontier node, so seed sets
+    // spanning documents batch fine and match per-seed results.
+    let xml_a = curriculum_from_edges(3, &[(0, 1), (1, 2)]);
+    let xml_b = curriculum_from_edges(4, &[(0, 2), (2, 3)]);
+    let mut engine = Engine::new();
+    engine
+        .load_document_with_ids("c.xml", &xml_a, &["code"])
+        .unwrap();
+    engine
+        .load_document_with_ids("d.xml", &xml_b, &["code"])
+        .unwrap();
+    let prepared = engine
+        .prepare(BATCHED_QUERY)
+        .unwrap()
+        .with_backend(Backend::SourceLevel);
+    let mut seeds = engine
+        .run("doc('c.xml')/curriculum/course")
+        .unwrap()
+        .result
+        .nodes();
+    seeds.extend(
+        engine
+            .run("doc('d.xml')/curriculum/course")
+            .unwrap()
+            .result
+            .nodes(),
+    );
+    let seeds = Sequence::from_nodes(seeds);
+    let batch = prepared
+        .execute_batched(&mut engine, "seed", &seeds, &Bindings::new())
+        .unwrap();
+    assert!(batch.batched, "source-level batches across documents");
+    assert_eq!(batch.outcome.fixpoints[0].batch_seeds, seeds.len());
+    for (i, &seed) in seeds.nodes().iter().enumerate() {
+        let bindings = Bindings::new().with("seed", Sequence::from_nodes(vec![seed]));
+        let reference = prepared.execute(&mut engine, &bindings).unwrap();
+        assert_eq!(batch.per_seed[i].nodes(), reference.result.nodes());
+    }
+}
+
+#[test]
+fn batched_source_level_duplicate_and_empty_seeds() {
+    let xml = curriculum_from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+    let mut engine = curriculum_engine(&xml);
+    let query =
+        "with $x seeded by $seed recurse $x/id(./prerequisites/pre_code)[@code='c1' or @code='c2']";
+    let prepared = engine
+        .prepare(query)
+        .unwrap()
+        .with_backend(Backend::SourceLevel);
+    // Empty seed set: a true no-op, nothing recorded.
+    let empty = prepared
+        .execute_batched(&mut engine, "seed", &Sequence::empty(), &Bindings::new())
+        .unwrap();
+    assert!(empty.per_seed.is_empty());
+    assert!(empty.outcome.fixpoints.is_empty());
+    // Duplicates fold onto one computation and replicate.
+    let courses = all_courses(&mut engine);
+    let (c0, c3) = (courses.nodes()[0], courses.nodes()[3]);
+    let seeds = Sequence::from_nodes(vec![c0, c0, c3, c0]);
+    let batch = prepared
+        .execute_batched(&mut engine, "seed", &seeds, &Bindings::new())
+        .unwrap();
+    assert!(batch.batched);
+    assert_eq!(batch.per_seed.len(), 4);
+    assert_eq!(batch.per_seed[0].nodes(), batch.per_seed[1].nodes());
+    assert_eq!(batch.per_seed[0].nodes(), batch.per_seed[3].nodes());
+    assert_eq!(batch.outcome.fixpoints[0].batch_seeds, 2, "distinct seeds");
+    let expected: Vec<_> = batch.per_seed.iter().flat_map(|s| s.nodes()).collect();
+    assert_eq!(batch.outcome.result.nodes(), expected);
 }
 
 #[test]
