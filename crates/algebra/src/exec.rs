@@ -35,11 +35,22 @@
 //! the prepared-query layer keeps one per compiled occurrence for the whole
 //! per-item Table-2 loop, invalidating the static cache only when the
 //! store's [document-load epoch](NodeStore::load_epoch) moves.
+//!
+//! ## Parallel batched runs
+//!
+//! [`Executor::run_fixpoint_batched`] can shard its per-seed work across OS
+//! threads ([`Executor::set_threads`]).  Internally every evaluation path
+//! goes through an internal `StoreRef` — exclusive for the sequential paths, shared
+//! read-only for parallel shards — and the parallel path is gated on the
+//! body being construction-free ([`Plan::contains_construct`]), because
+//! `Construct` is the one operator that mutates the store.  Shards respect
+//! seed grouping and merge at the iteration barrier, so results are
+//! bit-identical to the sequential driver.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use xqy_xdm::{DocId, Interner, NodeId, NodeSet, NodeStore, StrId};
+use xqy_xdm::{shard, DocId, Interner, NodeId, NodeSet, NodeStore, StrId};
 
 use crate::error::AlgebraError;
 use crate::plan::{FunKind, Operator, Plan, PlanNodeId, SEED_COLUMN};
@@ -376,6 +387,44 @@ pub struct ExecStats {
     pub batch_seeds: usize,
 }
 
+/// Exclusive-or-shared access to the node store during plan evaluation.
+///
+/// The executor's public entry points take `&mut NodeStore` and wrap it in
+/// [`StoreRef::Unique`]; the parallel batched driver instead hands each
+/// worker executor a [`StoreRef::Shared`] view of the same store.  Every
+/// operator reads through [`StoreRef::read`]; only `Construct` — the one
+/// operator that mutates the store — goes through [`StoreRef::write`],
+/// which fails on a shared view.  The parallel path never reaches that
+/// error because it is gated on [`Plan::contains_construct`] being `false`,
+/// but the check turns a would-be data race into a reported error if the
+/// gate is ever bypassed.
+enum StoreRef<'a> {
+    /// Exclusive access — the sequential paths; construction allowed.
+    Unique(&'a mut NodeStore),
+    /// Shared read-only access — one shard of a parallel batched run.
+    Shared(&'a NodeStore),
+}
+
+impl StoreRef<'_> {
+    fn read(&self) -> &NodeStore {
+        match self {
+            StoreRef::Unique(store) => store,
+            StoreRef::Shared(store) => store,
+        }
+    }
+
+    fn write(&mut self) -> Result<&mut NodeStore> {
+        match self {
+            StoreRef::Unique(store) => Ok(store),
+            StoreRef::Shared(_) => Err(AlgebraError::Execution(
+                "node construction requires exclusive store access \
+                 (parallel fixpoint shards evaluate construction-free plans only)"
+                    .into(),
+            )),
+        }
+    }
+}
+
 /// Every piece of executor state that is scoped to *one plan* — the caches
 /// and the per-node classification bitmaps.  Bundled so that re-entrant
 /// evaluation (a nested `µ`/`µ∆` operator, whose sub-plan's node ids
@@ -435,6 +484,13 @@ pub struct Executor {
     static_plan_evals: u64,
     /// Maximum fixpoint iterations before reporting divergence.
     pub max_iterations: usize,
+    /// Shard count for batched fixpoint runs; `1` = sequential (default).
+    threads: usize,
+    /// Persistent worker executors for parallel batched runs, created
+    /// lazily (one per shard).  Like their parent, workers keep their
+    /// interner and static caches across runs, so repeated executions of a
+    /// prepared query re-use worker-side static tables too.
+    workers: Vec<Executor>,
 }
 
 impl Default for Executor {
@@ -455,7 +511,24 @@ impl Executor {
             static_cache_hits: 0,
             static_plan_evals: 0,
             max_iterations: 100_000,
+            threads: 1,
+            workers: Vec::new(),
         }
+    }
+
+    /// Set the shard count for [`Executor::run_fixpoint_batched`].  `1`
+    /// (the default) takes the sequential code path; `t > 1` shards
+    /// construction-free batched runs across `t` OS threads evaluating
+    /// over a shared read-only view of the store.  Results are identical
+    /// either way — sharding respects seed grouping and the per-iteration
+    /// barrier.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The configured shard count for batched fixpoint runs.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Set the document used for `IdLookup` resolution (overrides the
@@ -480,7 +553,14 @@ impl Executor {
     /// executor's lifetime.  The prepared-query layer diffs this around an
     /// `execute()` call to report per-occurrence reuse.
     pub fn static_cache_hits(&self) -> u64 {
+        // Workers run shards of the same plan: their hits are this
+        // executor's hits as far as the reuse metrics are concerned.
         self.static_cache_hits
+            + self
+                .workers
+                .iter()
+                .map(Executor::static_cache_hits)
+                .sum::<u64>()
     }
 
     /// How many rec-independent plan nodes were actually evaluated, over
@@ -488,6 +568,11 @@ impl Executor {
     /// against an unchanged store performs zero of these.
     pub fn static_plan_evals(&self) -> u64 {
         self.static_plan_evals
+            + self
+                .workers
+                .iter()
+                .map(Executor::static_plan_evals)
+                .sum::<u64>()
     }
 
     /// Drop the rec-independent caches (documents loaded into the store
@@ -495,6 +580,9 @@ impl Executor {
     /// automatically; this is the explicit override).
     pub fn invalidate_static_cache(&mut self) {
         self.plan_state = PlanState::default();
+        for worker in &mut self.workers {
+            worker.invalidate_static_cache();
+        }
     }
 
     /// Re-key the caches for `plan` against `store`'s current state.
@@ -556,7 +644,7 @@ impl Executor {
     pub fn eval_plan(&mut self, store: &mut NodeStore, plan: &Plan, rec: &Table) -> Result<Table> {
         self.plan_state.volatile_cache.clear();
         self.prime_for_plan(store, plan);
-        self.eval_plan_in_run(store, plan, rec)
+        self.eval_plan_in_run(&mut StoreRef::Unique(store), plan, rec)
     }
 
     /// [`Executor::eval_plan`] without resetting the volatile scope or
@@ -565,7 +653,7 @@ impl Executor {
     /// iterations (the run primes once up front).
     fn eval_plan_in_run(
         &mut self,
-        store: &mut NodeStore,
+        store: &mut StoreRef<'_>,
         plan: &Plan,
         rec: &Table,
     ) -> Result<Table> {
@@ -578,7 +666,7 @@ impl Executor {
 
     fn eval_node(
         &mut self,
-        store: &mut NodeStore,
+        store: &mut StoreRef<'_>,
         plan: &Plan,
         id: PlanNodeId,
         rec: &Table,
@@ -621,7 +709,7 @@ impl Executor {
 
     fn apply(
         &mut self,
-        store: &mut NodeStore,
+        store: &mut StoreRef<'_>,
         plan: &Plan,
         op: &Operator,
         input_ids: &[PlanNodeId],
@@ -638,6 +726,7 @@ impl Executor {
                     .collect()],
             )),
             Operator::DocRoot(uri) => {
+                let store = store.read();
                 let doc = store
                     .doc(uri)
                     .ok_or_else(|| AlgebraError::Execution(format!("document not found: {uri}")))?;
@@ -838,6 +927,7 @@ impl Executor {
                 Ok(Table::with_schema(Arc::new(names), cols))
             }
             Operator::Step { axis, test } => {
+                let store = store.read();
                 let input = inputs.remove(0);
                 let idx = input.column_index("item")?;
                 let mut src = Vec::new();
@@ -854,6 +944,7 @@ impl Executor {
                 Ok(replace_item_column(&input, idx, src, items).distinct())
             }
             Operator::AttrValue(name) => {
+                let store = store.read();
                 let input = inputs.remove(0);
                 let idx = input.column_index("item")?;
                 let mut src = Vec::new();
@@ -870,6 +961,7 @@ impl Executor {
                 Ok(replace_item_column(&input, idx, src, items))
             }
             Operator::StringValue => {
+                let store = store.read();
                 let input = inputs.remove(0);
                 let idx = input.column_index("item")?;
                 // Row count is preserved: only the item column is rewritten,
@@ -886,6 +978,7 @@ impl Executor {
                 Ok(Table::with_schema(input.names.clone(), cols))
             }
             Operator::IdLookup => {
+                let store = store.read();
                 let input = inputs.remove(0);
                 let idx = input.column_index("item")?;
                 // The context document is demanded lazily — only when there
@@ -933,6 +1026,7 @@ impl Executor {
             }
             Operator::Construct(name) => {
                 let input = inputs.remove(0);
+                let store = store.write()?;
                 let frag = store.new_fragment();
                 let element = store.create_element(frag, xqy_xdm::QName::local(name.clone()));
                 let _ = input;
@@ -960,7 +1054,7 @@ impl Executor {
                 let saved_state = std::mem::take(&mut self.plan_state);
                 let saved_doc = self.context_doc;
                 let result =
-                    self.run_fixpoint(store, &body_plan, &seed.item_nodes(), strategy, false);
+                    self.run_fixpoint_ref(store, &body_plan, &seed.item_nodes(), strategy, false);
                 self.plan_state = saved_state;
                 self.context_doc = saved_doc;
                 let (table, _stats) = result?;
@@ -982,6 +1076,27 @@ impl Executor {
         strategy: MuStrategy,
         seed_in_result: bool,
     ) -> Result<(Table, ExecStats)> {
+        self.run_fixpoint_ref(
+            &mut StoreRef::Unique(store),
+            body,
+            seed,
+            strategy,
+            seed_in_result,
+        )
+    }
+
+    /// [`Executor::run_fixpoint`] over a [`StoreRef`] — the form a nested
+    /// `µ`/`µ∆` operator re-enters with, so nested fixpoints inside a
+    /// parallel shard run against the shared store view (they are
+    /// construction-free by the parallel gate, so read access suffices).
+    fn run_fixpoint_ref(
+        &mut self,
+        store: &mut StoreRef<'_>,
+        body: &Plan,
+        seed: &[NodeId],
+        strategy: MuStrategy,
+        seed_in_result: bool,
+    ) -> Result<(Table, ExecStats)> {
         if !self.context_doc_explicit {
             // Resolve id() lookups against the seed's document by default,
             // re-derived per run so a persistent executor follows its seeds
@@ -995,7 +1110,7 @@ impl Executor {
         // scoped to one run; priming happens once here — neither the body
         // plan nor the store epoch can change between iterations.
         self.plan_state.volatile_cache.clear();
-        self.prime_for_plan(store, body);
+        self.prime_for_plan(store.read(), body);
         let mut stats = ExecStats::default();
         // The accumulator lives as a NodeSet bitset for the whole run:
         // union/except are word-parallel and the termination tests are
@@ -1012,7 +1127,7 @@ impl Executor {
         // the initial accumulation) and only materializes that.  Each
         // strategy pays only for the state it reads.
         let (mut res_vec, mut delta) = match strategy {
-            MuStrategy::Mu => (res.to_vec(store), NodeSet::new()),
+            MuStrategy::Mu => (res.to_vec(store.read()), NodeSet::new()),
             MuStrategy::MuDelta => (Vec::new(), res.clone()),
         };
         loop {
@@ -1031,15 +1146,15 @@ impl Executor {
                         break;
                     }
                     res.union_in_place(&fresh);
-                    res_vec = res.to_vec(store);
+                    res_vec = res.to_vec(store.read());
                 }
                 MuStrategy::MuDelta => {
-                    let delta_vec = delta.to_vec(store);
+                    let delta_vec = delta.to_vec(store.read());
                     let step = self.eval_body(store, body, &delta_vec, &mut stats)?;
                     delta = NodeSet::from_nodes(step);
                     delta.except_in_place(&res);
                     if delta.is_empty() {
-                        res_vec = res.to_vec(store);
+                        res_vec = res.to_vec(store.read());
                         break;
                     }
                     res.union_in_place(&delta);
@@ -1110,6 +1225,36 @@ impl Executor {
         self.plan_state.volatile_cache.clear();
         self.prime_for_plan(store, body);
 
+        // Shard count for this run: >1 only when parallelism is requested,
+        // there is more than one seed to spread, and the body is
+        // construction-free (construction mutates the store and pins the
+        // run to the exclusive sequential path).  `shards == 1` takes the
+        // sequential code verbatim — `shard::for_each_shard` and
+        // `shard::map_sharded` run inline on the caller thread.
+        let shards = if self.threads > 1 && seeds.len() > 1 && !body.contains_construct() {
+            self.threads.min(seeds.len())
+        } else {
+            1
+        };
+        if shards > 1 {
+            while self.workers.len() < shards {
+                self.workers.push(Executor::new());
+            }
+            for worker in &mut self.workers[..shards] {
+                // Workers mirror the parent's per-run state: same context
+                // document (and derivation mode, so nested fixpoints
+                // re-derive exactly as the sequential run would), fresh
+                // volatile scope, caches primed for this plan and store.
+                worker.max_iterations = self.max_iterations;
+                worker.context_doc = self.context_doc;
+                worker.context_doc_explicit = self.context_doc_explicit;
+                worker.plan_state.volatile_cache.clear();
+                worker.prime_for_plan(store, body);
+            }
+        }
+        let mut store = StoreRef::Unique(store);
+        let store = &mut store;
+
         let n = seeds.len();
 
         // Per-seed accumulators, index-aligned with `seeds`.  The shared
@@ -1120,7 +1265,8 @@ impl Executor {
             seeds.iter().map(|&s| NodeSet::from_nodes([s])).collect()
         } else {
             let singletons: Vec<Vec<NodeId>> = seeds.iter().map(|&s| vec![s]).collect();
-            let groups = self.step_batched(store, body, seeds, &singletons, sharing, &mut stats)?;
+            let groups =
+                self.step_batched(store, body, seeds, &singletons, sharing, shards, &mut stats)?;
             groups.into_iter().map(NodeSet::from_nodes).collect()
         };
         // Mu re-feeds each seed's whole accumulator until that seed stops
@@ -1139,51 +1285,82 @@ impl Executor {
                 });
             }
             stats.iterations += 1;
-            let mut grew = false;
+            let grew;
             match strategy {
                 MuStrategy::Mu => {
-                    let frontier: Vec<Vec<NodeId>> = (0..n)
-                        .map(|i| {
-                            if active[i] {
-                                res[i].to_vec(store)
+                    // Frontier materialization and the per-seed merge both
+                    // shard by seed range; the `step_batched` call between
+                    // them is the iteration barrier — every shard's image
+                    // is in before any seed's accumulator moves.
+                    let frontier: Vec<Vec<NodeId>> = {
+                        let shared = store.read();
+                        let pairs: Vec<(&NodeSet, bool)> =
+                            res.iter().zip(active.iter().copied()).collect();
+                        shard::map_sharded(shards, &pairs, |&(set, is_active)| {
+                            if is_active {
+                                set.to_vec(shared)
                             } else {
                                 Vec::new()
                             }
                         })
+                    };
+                    let groups = self
+                        .step_batched(store, body, seeds, &frontier, sharing, shards, &mut stats)?;
+                    let mut merge: Vec<(Vec<NodeId>, &mut NodeSet, &mut bool)> = groups
+                        .into_iter()
+                        .zip(res.iter_mut())
+                        .zip(active.iter_mut())
+                        .map(|((group, set), is_active)| (group, set, is_active))
                         .collect();
-                    let groups =
-                        self.step_batched(store, body, seeds, &frontier, sharing, &mut stats)?;
-                    for (i, group) in groups.into_iter().enumerate() {
-                        if !active[i] {
-                            continue;
+                    let shard_grew = shard::for_each_shard(shards, &mut merge, |_, items| {
+                        let mut grew = false;
+                        for (group, set, is_active) in items.iter_mut() {
+                            if !**is_active {
+                                continue;
+                            }
+                            let mut fresh = NodeSet::from_nodes(std::mem::take(group));
+                            fresh.except_in_place(set);
+                            if fresh.is_empty() {
+                                **is_active = false;
+                            } else {
+                                set.union_in_place(&fresh);
+                                grew = true;
+                            }
                         }
-                        let mut fresh = NodeSet::from_nodes(group);
-                        fresh.except_in_place(&res[i]);
-                        if fresh.is_empty() {
-                            active[i] = false;
-                        } else {
-                            res[i].union_in_place(&fresh);
-                            grew = true;
-                        }
-                    }
+                        grew
+                    });
+                    grew = shard_grew.into_iter().any(|g| g);
                 }
                 MuStrategy::MuDelta => {
-                    let frontier: Vec<Vec<NodeId>> =
-                        delta.iter().map(|d| d.to_vec(store)).collect();
-                    let groups =
-                        self.step_batched(store, body, seeds, &frontier, sharing, &mut stats)?;
-                    for (i, group) in groups.into_iter().enumerate() {
-                        if delta[i].is_empty() {
-                            continue;
+                    let frontier: Vec<Vec<NodeId>> = {
+                        let shared = store.read();
+                        shard::map_sharded(shards, &delta, |d| d.to_vec(shared))
+                    };
+                    let groups = self
+                        .step_batched(store, body, seeds, &frontier, sharing, shards, &mut stats)?;
+                    let mut merge: Vec<(Vec<NodeId>, &mut NodeSet, &mut NodeSet)> = groups
+                        .into_iter()
+                        .zip(res.iter_mut())
+                        .zip(delta.iter_mut())
+                        .map(|((group, set), d)| (group, set, d))
+                        .collect();
+                    let shard_grew = shard::for_each_shard(shards, &mut merge, |_, items| {
+                        let mut grew = false;
+                        for (group, set, d) in items.iter_mut() {
+                            if d.is_empty() {
+                                continue;
+                            }
+                            let mut next = NodeSet::from_nodes(std::mem::take(group));
+                            next.except_in_place(set);
+                            if !next.is_empty() {
+                                set.union_in_place(&next);
+                                grew = true;
+                            }
+                            **d = next;
                         }
-                        let mut next = NodeSet::from_nodes(group);
-                        next.except_in_place(&res[i]);
-                        if !next.is_empty() {
-                            res[i].union_in_place(&next);
-                            grew = true;
-                        }
-                        delta[i] = next;
-                    }
+                        grew
+                    });
+                    grew = shard_grew.into_iter().any(|g| g);
                 }
             }
             if !grew {
@@ -1191,10 +1368,14 @@ impl Executor {
             }
         }
 
+        let per_seed: Vec<Vec<NodeId>> = {
+            let shared = store.read();
+            shard::map_sharded(shards, &res, |set| set.to_vec(shared))
+        };
         let mut seed_col = Vec::new();
         let mut item_col = Vec::new();
-        for (i, set) in res.iter().enumerate() {
-            for node in set.to_vec(store) {
+        for (i, nodes) in per_seed.iter().enumerate() {
+            for &node in nodes {
                 seed_col.push(Key::Node(seeds[i]));
                 item_col.push(Key::Node(node));
             }
@@ -1212,13 +1393,15 @@ impl Executor {
     /// with itself — and every node's image is distributed to the seeds
     /// whose frontier contained it, so overlapping frontiers pay each node
     /// exactly once.
+    #[allow(clippy::too_many_arguments)] // internal driver step: one call site per mode
     fn step_batched(
         &mut self,
-        store: &mut NodeStore,
+        store: &mut StoreRef<'_>,
         body: &Plan,
         seeds: &[NodeId],
         frontier: &[Vec<NodeId>],
         sharing: BatchSharing,
+        shards: usize,
         stats: &mut ExecStats,
     ) -> Result<Vec<Vec<NodeId>>> {
         match sharing {
@@ -1228,7 +1411,7 @@ impl Executor {
                     .zip(frontier)
                     .map(|(&s, nodes)| (s, nodes.as_slice()))
                     .collect();
-                self.eval_tagged_batch(store, body, &tagged, stats)
+                self.eval_tagged_batch(store, body, &tagged, shards, stats)
             }
             BatchSharing::DistinctNodes => {
                 // Which seeds contain each distinct frontier node, and the
@@ -1250,7 +1433,7 @@ impl Executor {
                     .zip(&singletons)
                     .map(|(&d, s)| (d, s.as_slice()))
                     .collect();
-                let images = self.eval_tagged_batch(store, body, &tagged, stats)?;
+                let images = self.eval_tagged_batch(store, body, &tagged, shards, stats)?;
                 // Distribute each node's image to the seeds that fed it.
                 let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); seeds.len()];
                 for (node, image) in distinct.iter().zip(images) {
@@ -1272,10 +1455,58 @@ impl Executor {
     /// [`BatchSharing::DistinctNodes`] mode).
     fn eval_tagged_batch(
         &mut self,
-        store: &mut NodeStore,
+        store: &mut StoreRef<'_>,
         body: &Plan,
         tagged: &[(NodeId, &[NodeId])],
+        shards: usize,
         stats: &mut ExecStats,
+    ) -> Result<Vec<Vec<NodeId>>> {
+        let total_rows: usize = tagged.iter().map(|(_, nodes)| nodes.len()).sum();
+        stats.rows_fed_back += total_rows as u64;
+        // One *logical* body evaluation per iteration regardless of shard
+        // count, so batched statistics stay comparable across thread
+        // settings (the whole point of the stat is counting shared
+        // iterations, not OS-level plan walks).
+        stats.body_evaluations += 1;
+        let shards = shards.min(tagged.len()).max(1);
+        if shards <= 1 {
+            return self.eval_tagged_chunk(store, body, tagged);
+        }
+        // Shard the tagged groups across the persistent worker executors,
+        // each evaluating the body over a shared read-only store view.
+        // Sound because the body is seed-carried — each group's rows stay
+        // disjoint inside the plan, so a chunk's output equals those
+        // groups evaluated alone — and construction-free (the parallel
+        // gate).  Workers intern strings independently, which is harmless:
+        // only node cells are regrouped into the fixpoint.
+        let shared: &NodeStore = store.read();
+        let chunk = tagged.len().div_ceil(shards);
+        type WorkItem<'w, 'g> = (&'w mut Executor, &'g [(NodeId, &'g [NodeId])]);
+        let mut work: Vec<WorkItem<'_, '_>> = self.workers[..shards]
+            .iter_mut()
+            .zip(tagged.chunks(chunk))
+            .collect();
+        let results = shard::for_each_shard(work.len(), &mut work, |_, items| {
+            // `for_each_shard` with threads == len hands each closure
+            // exactly one (worker, chunk) pair.
+            let (worker, part) = &mut items[0];
+            worker.eval_tagged_chunk(&mut StoreRef::Shared(shared), body, part)
+        });
+        let mut groups = Vec::with_capacity(tagged.len());
+        for result in results {
+            groups.extend(result?);
+        }
+        Ok(groups)
+    }
+
+    /// The sequential core of [`Executor::eval_tagged_batch`]: evaluate the
+    /// seed-carried body once over `tagged` and regroup the output rows by
+    /// tag — either the whole batch, or one shard's chunk of it.
+    fn eval_tagged_chunk(
+        &mut self,
+        store: &mut StoreRef<'_>,
+        body: &Plan,
+        tagged: &[(NodeId, &[NodeId])],
     ) -> Result<Vec<Vec<NodeId>>> {
         let mut tag_col = Vec::new();
         let mut item_col = Vec::new();
@@ -1285,8 +1516,6 @@ impl Executor {
                 item_col.push(Key::Node(node));
             }
         }
-        stats.rows_fed_back += item_col.len() as u64;
-        stats.body_evaluations += 1;
         let rec = Table::from_columns(
             vec![SEED_COLUMN.to_string(), "item".to_string()],
             vec![tag_col, item_col],
@@ -1316,7 +1545,7 @@ impl Executor {
 
     fn eval_body(
         &mut self,
-        store: &mut NodeStore,
+        store: &mut StoreRef<'_>,
         body: &Plan,
         input: &[NodeId],
         stats: &mut ExecStats,
@@ -2159,6 +2388,104 @@ mod tests {
             "seed must be in its own group"
         );
         assert_eq!(table.len(), 4); // c1 plus its closure {c2, c3, c4}
+    }
+
+    /// A parallel batched run (`threads > 1`) is bit-identical to the
+    /// sequential driver — same table, same stats — for every strategy ×
+    /// sharing × seed-inclusion combination and several shard counts
+    /// (including more shards than seeds).  The Q1 body contains an
+    /// `IdLookup`, so this also exercises the shared id-probe memo from
+    /// multiple worker threads.
+    #[test]
+    fn parallel_batched_matches_sequential() {
+        let (mut store, doc) = store_with_curriculum();
+        let batched_plan = q1_plan().seed_carried().unwrap();
+        let seeds: Vec<NodeId> = ["c1", "c2", "c3", "c4"]
+            .iter()
+            .flat_map(|code| seed_course(&mut store, doc, code))
+            .collect();
+
+        for strategy in [MuStrategy::Mu, MuStrategy::MuDelta] {
+            for sharing in [BatchSharing::PerSeed, BatchSharing::DistinctNodes] {
+                for seed_in_result in [false, true] {
+                    let (expected, expected_stats) = Executor::new()
+                        .run_fixpoint_batched(
+                            &mut store,
+                            &batched_plan,
+                            &seeds,
+                            strategy,
+                            seed_in_result,
+                            sharing,
+                        )
+                        .unwrap();
+                    for threads in [2, 3, 8] {
+                        let mut exec = Executor::new();
+                        exec.set_threads(threads);
+                        let (table, stats) = exec
+                            .run_fixpoint_batched(
+                                &mut store,
+                                &batched_plan,
+                                &seeds,
+                                strategy,
+                                seed_in_result,
+                                sharing,
+                            )
+                            .unwrap();
+                        let label = format!(
+                            "threads {threads} strategy {} sharing {} seed_in_result {seed_in_result}",
+                            strategy.name(),
+                            sharing.name()
+                        );
+                        assert_eq!(table, expected, "{label}");
+                        assert_eq!(stats, expected_stats, "{label}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Worker executors persist: a second parallel run on the same
+    /// executor reuses them (and still matches the sequential result).
+    /// `set_threads(0)` clamps to the sequential setting.
+    #[test]
+    fn parallel_batched_workers_persist_across_runs() {
+        let (mut store, doc) = store_with_curriculum();
+        let batched_plan = q1_plan().seed_carried().unwrap();
+        let seeds: Vec<NodeId> = ["c1", "c2"]
+            .iter()
+            .flat_map(|code| seed_course(&mut store, doc, code))
+            .collect();
+        let (expected, _) = Executor::new()
+            .run_fixpoint_batched(
+                &mut store,
+                &batched_plan,
+                &seeds,
+                MuStrategy::MuDelta,
+                false,
+                BatchSharing::PerSeed,
+            )
+            .unwrap();
+
+        let mut exec = Executor::new();
+        exec.set_threads(2);
+        assert_eq!(exec.threads(), 2);
+        for _ in 0..2 {
+            let (table, _) = exec
+                .run_fixpoint_batched(
+                    &mut store,
+                    &batched_plan,
+                    &seeds,
+                    MuStrategy::MuDelta,
+                    false,
+                    BatchSharing::PerSeed,
+                )
+                .unwrap();
+            assert_eq!(table, expected);
+        }
+        assert_eq!(exec.workers.len(), 2, "workers are created once and kept");
+
+        exec.set_threads(0);
+        assert_eq!(exec.threads(), 1, "set_threads clamps to sequential");
     }
 
     /// Projection shares column storage with its input (zero-copy π).

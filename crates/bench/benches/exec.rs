@@ -201,16 +201,12 @@ fn bench(c: &mut Criterion) {
         let b = Sequence::from_nodes(all.iter().copied().skip(5_000).take(10_000));
         group.bench_function("seq_ops/union/10k", |bch| {
             bch.iter(|| {
-                black_box(
-                    node_union(&mut store, a.node_ids().unwrap(), b.node_ids().unwrap()).len(),
-                )
+                black_box(node_union(&store, a.node_ids().unwrap(), b.node_ids().unwrap()).len())
             })
         });
         group.bench_function("seq_ops/except/10k", |bch| {
             bch.iter(|| {
-                black_box(
-                    node_except(&mut store, a.node_ids().unwrap(), b.node_ids().unwrap()).len(),
-                )
+                black_box(node_except(&store, a.node_ids().unwrap(), b.node_ids().unwrap()).len())
             })
         });
         group.bench_function("seq_ops/set_equal/10k", |bch| {

@@ -44,13 +44,13 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("nodeset");
     group.sample_size(10);
     for &n in &[1_000usize, 10_000, 100_000, 1_000_000] {
-        let (mut store, a, b) = operands(n);
+        let (store, a, b) = operands(n);
 
         group.bench_with_input(BenchmarkId::new("union/baseline", n), &n, |bench, _| {
-            bench.iter(|| baseline::node_union(&mut store, black_box(&a), black_box(&b)))
+            bench.iter(|| baseline::node_union(&store, black_box(&a), black_box(&b)))
         });
         group.bench_with_input(BenchmarkId::new("union/slice", n), &n, |bench, _| {
-            bench.iter(|| ops::node_union(&mut store, black_box(&a), black_box(&b)))
+            bench.iter(|| ops::node_union(&store, black_box(&a), black_box(&b)))
         });
         group.bench_with_input(BenchmarkId::new("union/prebuilt", n), &n, |bench, _| {
             let sa = NodeSet::from_nodes(a.iter().copied());
@@ -59,10 +59,10 @@ fn bench(c: &mut Criterion) {
         });
 
         group.bench_with_input(BenchmarkId::new("except/baseline", n), &n, |bench, _| {
-            bench.iter(|| baseline::node_except(&mut store, black_box(&a), black_box(&b)))
+            bench.iter(|| baseline::node_except(&store, black_box(&a), black_box(&b)))
         });
         group.bench_with_input(BenchmarkId::new("except/slice", n), &n, |bench, _| {
-            bench.iter(|| ops::node_except(&mut store, black_box(&a), black_box(&b)))
+            bench.iter(|| ops::node_except(&store, black_box(&a), black_box(&b)))
         });
         group.bench_with_input(BenchmarkId::new("except/prebuilt", n), &n, |bench, _| {
             let sa = NodeSet::from_nodes(a.iter().copied());
@@ -71,7 +71,7 @@ fn bench(c: &mut Criterion) {
         });
 
         group.bench_with_input(BenchmarkId::new("set_equal/baseline", n), &n, |bench, _| {
-            bench.iter(|| baseline::set_equal(&mut store, black_box(&a), black_box(&a)))
+            bench.iter(|| baseline::set_equal(&store, black_box(&a), black_box(&a)))
         });
         group.bench_with_input(BenchmarkId::new("set_equal/slice", n), &n, |bench, _| {
             bench.iter(|| ops::set_equal(black_box(&a), black_box(&a)))
@@ -90,8 +90,8 @@ fn bench(c: &mut Criterion) {
             &n,
             |bench, _| {
                 bench.iter(|| {
-                    let delta = baseline::node_except(&mut store, black_box(&b), black_box(&a));
-                    let res = baseline::node_union(&mut store, &delta, black_box(&a));
+                    let delta = baseline::node_except(&store, black_box(&b), black_box(&a));
+                    let res = baseline::node_union(&store, &delta, black_box(&a));
                     black_box((delta.is_empty(), res.len()))
                 })
             },

@@ -1,0 +1,76 @@
+//! Parallel batched fixpoints vs the sequential batched driver.
+//!
+//! PR 6 froze the store behind a read-only snapshot and sharded the
+//! per-seed phases of batched multi-source fixpoints across OS threads —
+//! body evaluation, frontier materialization and the per-seed merges on the
+//! relational executor, the image folds and result materializations on the
+//! source-level driver.  These benches pin the speed-up on the medium
+//! Table-2 cells the acceptance criterion tracks (bidder network and
+//! curriculum, batched Delta), comparing `threads = 1` (bit-identical to
+//! the PR-5 sequential path) against one shard per available core.
+//!
+//! Run with `CRITERION_JSON=BENCH_parallel.json cargo bench -p xqy_bench
+//! --bench parallel` to record the baseline the ROADMAP tracks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xqy_bench::{bidder_network, curriculum_workload, engine_for, Backend, Workload};
+use xqy_datagen::Scale;
+use xqy_ifp::{Bindings, Parallelism, Strategy};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+
+    let cores = Parallelism::Auto.threads();
+    let mut thread_counts = vec![1usize];
+    if cores > 1 {
+        thread_counts.push(cores);
+    }
+
+    for (label, workload) in [
+        ("curriculum_medium", curriculum_workload(Scale::Medium)),
+        ("bidder_network_medium", bidder_network(Scale::Medium)),
+    ] {
+        let workload: Workload = workload;
+        let mut engine = engine_for(&workload);
+        engine.set_strategy(Strategy::Delta);
+        let seeds = engine
+            .run(&workload.seed_query)
+            .expect("seed query runs")
+            .result;
+
+        for backend in [Backend::Algebraic, Backend::SourceLevel] {
+            let tag = match backend {
+                Backend::Algebraic => "algebraic",
+                _ => "source_level",
+            };
+            for &threads in &thread_counts {
+                let prepared = engine
+                    .prepare(&workload.batched_query())
+                    .expect("workload query parses")
+                    .with_backend(backend)
+                    .with_parallelism(if threads <= 1 {
+                        Parallelism::Sequential
+                    } else {
+                        Parallelism::Fixed(threads)
+                    });
+                let warm = prepared
+                    .execute_batched(&mut engine, "seed", &seeds, &Bindings::new())
+                    .unwrap();
+                assert!(warm.batched, "per-item bodies must take the batched path");
+                group.bench_function(format!("{label}/{tag}/t{threads}"), |b| {
+                    b.iter(|| {
+                        prepared
+                            .execute_batched(&mut engine, "seed", &seeds, &Bindings::new())
+                            .unwrap()
+                    })
+                });
+            }
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

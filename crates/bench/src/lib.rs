@@ -21,7 +21,7 @@
 use std::time::{Duration, Instant};
 
 use xqy_datagen::{auction, curriculum, hospital, play, Scale};
-use xqy_ifp::{Bindings, Engine, PreparedQuery, Strategy};
+use xqy_ifp::{Bindings, Engine, Parallelism, PreparedQuery, Strategy};
 
 pub use xqy_ifp::Backend;
 
@@ -261,11 +261,33 @@ pub fn run_cell_batched(
     backend: Backend,
     algorithm: Algorithm,
 ) -> CellResult {
+    run_cell_batched_parallel(
+        engine,
+        workload,
+        backend,
+        algorithm,
+        Parallelism::Sequential,
+    )
+}
+
+/// [`run_cell_batched`] with an explicit thread policy: the batched run's
+/// per-seed phases shard across `parallelism.threads()` OS threads over a
+/// frozen store view.  `Parallelism::Sequential` reproduces
+/// [`run_cell_batched`] exactly (same code path, same statistics), so the
+/// two cells are directly comparable.
+pub fn run_cell_batched_parallel(
+    engine: &mut Engine,
+    workload: &Workload,
+    backend: Backend,
+    algorithm: Algorithm,
+    parallelism: Parallelism,
+) -> CellResult {
     engine.set_strategy(algorithm.strategy());
     let prepared = engine
         .prepare(&workload.batched_query())
         .expect("workload query parses")
-        .with_backend(backend);
+        .with_backend(backend)
+        .with_parallelism(parallelism);
     let seeds = engine
         .run(&workload.seed_query)
         .expect("seed query runs")
@@ -376,6 +398,28 @@ mod tests {
                 batched.nodes_fed_back,
                 per_item.nodes_fed_back
             );
+        }
+    }
+
+    #[test]
+    fn parallel_batched_cells_match_sequential_cells() {
+        // The thread policy must change only the wall-clock column: result
+        // cardinality, fed-back counts and depth are all part of the
+        // sequential-equivalence contract.
+        let workload = curriculum_workload(Scale::Small);
+        for backend in [Backend::Algebraic, Backend::SourceLevel] {
+            let mut engine = engine_for(&workload);
+            let sequential = run_cell_batched(&mut engine, &workload, backend, Algorithm::Delta);
+            let parallel = run_cell_batched_parallel(
+                &mut engine,
+                &workload,
+                backend,
+                Algorithm::Delta,
+                Parallelism::Fixed(4),
+            );
+            assert_eq!(parallel.result_size, sequential.result_size);
+            assert_eq!(parallel.nodes_fed_back, sequential.nodes_fed_back);
+            assert_eq!(parallel.depth, sequential.depth);
         }
     }
 

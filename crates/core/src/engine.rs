@@ -50,6 +50,61 @@ impl Strategy {
     }
 }
 
+/// Thread-count policy for **parallel batched fixpoint execution**.
+///
+/// Applies to the per-seed phases of batched multi-source fixpoints — the
+/// relational executor shards body evaluation, frontier materialization and
+/// the per-seed merges across OS threads over a frozen read-only view of
+/// the store; the source-level driver shards its image folds and result
+/// materializations.  Single-source fixpoints and bodies that construct
+/// nodes (the one store-mutating operator) always run sequentially, and
+/// `threads == 1` takes the sequential code path exactly, so results are
+/// identical for every setting.
+///
+/// The `XQY_FIXPOINT_THREADS` environment variable overrides the engine
+/// default at [`Engine::new`] time: a number (`0`/`1` mean sequential) or
+/// `auto`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Parallelism {
+    /// Everything on the caller thread (the default).
+    #[default]
+    Sequential,
+    /// Exactly this many shards (clamped to at least 1).
+    Fixed(usize),
+    /// One shard per available CPU core
+    /// ([`std::thread::available_parallelism`]).
+    Auto,
+}
+
+impl Parallelism {
+    /// The shard count this policy resolves to on this machine.
+    pub fn threads(&self) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Fixed(n) => (*n).max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+
+    /// The policy named by the `XQY_FIXPOINT_THREADS` environment variable,
+    /// if it is set and well-formed: `auto`, or a shard count (`0` and `1`
+    /// both mean [`Parallelism::Sequential`]).
+    pub fn from_env() -> Option<Parallelism> {
+        let value = std::env::var("XQY_FIXPOINT_THREADS").ok()?;
+        let value = value.trim();
+        if value.eq_ignore_ascii_case("auto") {
+            return Some(Parallelism::Auto);
+        }
+        match value.parse::<usize>() {
+            Ok(0) | Ok(1) => Some(Parallelism::Sequential),
+            Ok(n) => Some(Parallelism::Fixed(n)),
+            Err(_) => None,
+        }
+    }
+}
+
 /// Distributivity assessment of one recursion body found in a query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DistributivityReport {
@@ -135,6 +190,7 @@ pub struct Engine {
     pub(crate) strategy: Strategy,
     pub(crate) backend: Backend,
     pub(crate) seed_in_result: bool,
+    pub(crate) parallelism: Parallelism,
 }
 
 impl Default for Engine {
@@ -152,7 +208,20 @@ impl Engine {
             strategy: Strategy::Auto,
             backend: Backend::SourceLevel,
             seed_in_result: false,
+            parallelism: Parallelism::from_env().unwrap_or_default(),
         }
+    }
+
+    /// Select the thread policy for batched fixpoint execution (captured by
+    /// [`Engine::prepare`]; a [`PreparedQuery`] can override it with
+    /// [`PreparedQuery::with_parallelism`](crate::PreparedQuery::with_parallelism)).
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// The currently selected thread policy.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Select the fixpoint strategy.
@@ -231,7 +300,7 @@ impl Engine {
 
     /// Like [`Engine::prepare`], for an already-parsed module.
     pub fn prepare_module(&self, module: QueryModule) -> PreparedQuery {
-        PreparedQuery::analyse_module(module, self.strategy, self.backend)
+        PreparedQuery::analyse_module(module, self.strategy, self.backend, self.parallelism)
     }
 
     /// Analyse the distributivity of every IFP occurrence in `module`.
@@ -385,5 +454,28 @@ mod tests {
         let mut engine = engine();
         let err = engine.run("count($seed)").unwrap_err();
         assert!(matches!(err, IfpError::UnboundVariable(name) if name == "seed"));
+    }
+
+    #[test]
+    fn parallelism_policies_resolve_to_shard_counts() {
+        assert_eq!(Parallelism::default(), Parallelism::Sequential);
+        assert_eq!(Parallelism::Sequential.threads(), 1);
+        assert_eq!(Parallelism::Fixed(4).threads(), 4);
+        // Fixed(0) is clamped: there is always at least the caller thread.
+        assert_eq!(Parallelism::Fixed(0).threads(), 1);
+        assert!(Parallelism::Auto.threads() >= 1);
+    }
+
+    #[test]
+    fn engine_parallelism_is_settable_and_captured_by_prepare() {
+        let mut engine = engine();
+        engine.set_parallelism(Parallelism::Fixed(4));
+        assert_eq!(engine.parallelism(), Parallelism::Fixed(4));
+        let prepared = engine.prepare(Q1).unwrap();
+        assert_eq!(prepared.parallelism(), Parallelism::Fixed(4));
+        // The prepared-query override does not touch the engine default.
+        let prepared = prepared.with_parallelism(Parallelism::Sequential);
+        assert_eq!(prepared.parallelism(), Parallelism::Sequential);
+        assert_eq!(engine.parallelism(), Parallelism::Fixed(4));
     }
 }

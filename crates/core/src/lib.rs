@@ -70,7 +70,7 @@ pub mod prepared;
 pub mod rewrite;
 pub mod syntactic;
 
-pub use engine::{DistributivityReport, Engine, QueryOutcome, Strategy};
+pub use engine::{DistributivityReport, Engine, Parallelism, QueryOutcome, Strategy};
 pub use prepared::{
     Backend, BatchedOutcome, Bindings, OccurrencePlan, PreparedOccurrence, PreparedQuery,
 };

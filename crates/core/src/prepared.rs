@@ -54,7 +54,7 @@ use xqy_eval::{
 use xqy_parser::ast::{Expr, QueryModule};
 use xqy_xdm::{NodeId, NodeStore, Sequence};
 
-use crate::engine::{DistributivityReport, Engine, QueryOutcome, Strategy};
+use crate::engine::{DistributivityReport, Engine, Parallelism, QueryOutcome, Strategy};
 use crate::syntactic::is_distributivity_safe;
 use crate::{IfpError, Result};
 
@@ -283,6 +283,7 @@ pub struct PreparedQuery {
     module: QueryModule,
     backend: Backend,
     default_strategy: FixpointStrategy,
+    parallelism: Parallelism,
     occurrences: Vec<PreparedOccurrence>,
     external_vars: Vec<String>,
 }
@@ -295,6 +296,7 @@ impl PreparedQuery {
         module: QueryModule,
         strategy: Strategy,
         backend: Backend,
+        parallelism: Parallelism,
     ) -> Self {
         let occurrences = analyse_occurrences(&module, strategy);
         let external_vars = external_variables(&module);
@@ -303,6 +305,7 @@ impl PreparedQuery {
             module,
             backend,
             default_strategy,
+            parallelism,
             occurrences,
             external_vars,
         }
@@ -321,6 +324,23 @@ impl PreparedQuery {
     /// Builder-style [`set_backend`](Self::set_backend).
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// The thread policy batched fixpoint executions run under.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Select the thread policy for batched fixpoint executions (overrides
+    /// the engine setting captured at prepare time).
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// Builder-style [`set_parallelism`](Self::set_parallelism).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 
@@ -438,8 +458,10 @@ impl PreparedQuery {
         let plans = self.resolve_plans()?;
 
         let seed_in_result = engine.seed_in_result;
+        let threads = self.parallelism.threads();
         let mut evaluator = Evaluator::new(&mut engine.store);
         evaluator.options_mut().seed_in_result = seed_in_result;
+        evaluator.options_mut().fixpoint_threads = threads;
         evaluator.set_fixpoint_strategy(self.default_strategy);
         for (name, value) in bindings.iter() {
             evaluator.bind_global(name, value.clone());
@@ -452,7 +474,7 @@ impl PreparedQuery {
         // the persistent executors' lifetime totals.
         let cache_before = self.cache_totals();
         if !entries.is_empty() {
-            evaluator.set_fixpoint_interceptor(Box::new(PlanDriver { entries }));
+            evaluator.set_fixpoint_interceptor(Box::new(PlanDriver { entries, threads }));
         }
 
         let result = evaluator.eval_module(&self.module)?;
@@ -628,8 +650,10 @@ impl PreparedQuery {
         }
 
         let seed_in_result = engine.seed_in_result;
+        let threads = self.parallelism.threads();
         let mut evaluator = Evaluator::new(&mut engine.store);
         evaluator.options_mut().seed_in_result = seed_in_result;
+        evaluator.options_mut().fixpoint_threads = threads;
         evaluator.set_fixpoint_strategy(self.default_strategy);
         // The source-level fallback evaluates the recursion body directly;
         // give it the module's functions and the non-seed externals.
@@ -653,7 +677,7 @@ impl PreparedQuery {
         let entries = self.plan_entries(&plans);
         let cache_before = self.cache_totals();
         if !entries.is_empty() {
-            evaluator.set_fixpoint_interceptor(Box::new(PlanDriver { entries }));
+            evaluator.set_fixpoint_interceptor(Box::new(PlanDriver { entries, threads }));
         }
 
         let (groups, batched) = evaluator.run_fixpoint_batched(&occ.var, &occ.body, &unique)?;
@@ -722,6 +746,9 @@ struct PlanEntry {
 /// string and re-evaluate every rec-independent plan node per seed).
 struct PlanDriver {
     entries: Vec<PlanEntry>,
+    /// Shard count for batched runs (from the prepared query's
+    /// [`Parallelism`] policy); per-seed runs are always sequential.
+    threads: usize,
 }
 
 impl FixpointInterceptor for PlanDriver {
@@ -803,6 +830,7 @@ impl FixpointInterceptor for PlanDriver {
             BatchSharing::PerSeed
         };
         let mut executor = entry.batched_executor.lock().expect("executor lock");
+        executor.set_threads(self.threads);
         let hits_before = executor.static_cache_hits();
         let evals_before = executor.static_plan_evals();
         Some(

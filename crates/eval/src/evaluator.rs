@@ -40,6 +40,13 @@ pub struct EvalOptions {
     pub max_fixpoint_nodes: usize,
     /// Maximum user-defined function recursion depth.
     pub max_recursion_depth: usize,
+    /// Shard count for the per-seed phases of **batched** fixpoint runs —
+    /// the image folds of the shared driver and the final result
+    /// materializations.  `1` (the default) is fully sequential.  Body
+    /// evaluations themselves always run on the interpreter thread (the
+    /// evaluator holds the store mutably); the algebraic back-end is where
+    /// body-level parallelism lives.
+    pub fixpoint_threads: usize,
 }
 
 impl Default for EvalOptions {
@@ -50,6 +57,7 @@ impl Default for EvalOptions {
             max_fixpoint_iterations: 100_000,
             max_fixpoint_nodes: 50_000_000,
             max_recursion_depth: 4_096,
+            fixpoint_threads: 1,
         }
     }
 }

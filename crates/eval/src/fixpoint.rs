@@ -23,7 +23,7 @@
 //! algorithms genuinely differ, is reproduced in the tests below.
 
 use xqy_parser::ast::Expr;
-use xqy_xdm::{NodeId, NodeSet, Sequence};
+use xqy_xdm::{shard, NodeId, NodeSet, NodeStore, Sequence};
 
 use crate::context::Environment;
 use crate::error::EvalError;
@@ -476,22 +476,43 @@ fn batched_shared(
             }
         }
         // Fold the images per seed: ∆ ← (⋃ images of frontier) ∖ res.
-        for &i in &active {
-            let state = &mut states[i];
-            let mut step = NodeSet::new();
-            for node in &state.frontier {
-                step.extend(images[node].iter().copied());
+        // The memo is read-only during the fold, so the per-seed folds
+        // shard across threads when `fixpoint_threads > 1` (a seed with an
+        // empty frontier — i.e. not in `active` — is a no-op either way);
+        // `threads == 1` runs inline on the caller thread.
+        let threads = eval.options().fixpoint_threads;
+        shard::for_each_shard(threads, &mut states, |_, chunk| {
+            for state in chunk {
+                if state.frontier.is_empty() {
+                    continue;
+                }
+                let mut step = NodeSet::new();
+                for node in &state.frontier {
+                    step.extend(images[node].iter().copied());
+                }
+                step.except_in_place(&state.res);
+                state.res.union_in_place(&step);
+                state.frontier = step.iter().collect();
             }
-            step.except_in_place(&state.res);
-            state.res.union_in_place(&step);
-            state.frontier = step.iter().collect();
-        }
+        });
     }
 
-    Ok(states
-        .into_iter()
-        .map(|s| s.res.to_vec(eval.store))
-        .collect())
+    Ok(materialize_states(
+        eval.options().fixpoint_threads,
+        eval.store,
+        states.iter().map(|s| &s.res),
+    ))
+}
+
+/// Materialize every seed's accumulator into document order, sharded
+/// across `threads` when asked to (the store is only read here).
+fn materialize_states<'a>(
+    threads: usize,
+    store: &NodeStore,
+    sets: impl Iterator<Item = &'a NodeSet>,
+) -> Vec<Vec<NodeId>> {
+    let sets: Vec<&NodeSet> = sets.collect();
+    shard::map_sharded(threads, &sets, |set| set.to_vec(store))
 }
 
 /// The **grouped** batched mode: per-seed body evaluations advanced in
@@ -558,10 +579,11 @@ fn batched_grouped(
         }
     }
 
-    Ok(states
-        .into_iter()
-        .map(|s| s.res.to_vec(eval.store))
-        .collect())
+    Ok(materialize_states(
+        eval.options().fixpoint_threads,
+        eval.store,
+        states.iter().map(|s| &s.res),
+    ))
 }
 
 #[cfg(test)]

@@ -24,6 +24,11 @@ pub enum XdmError {
     WrongNodeKind(String),
     /// A value could not be cast to the requested atomic type.
     InvalidCast(String),
+    /// A [`SnapshotPin`](crate::store::SnapshotPin) could not be frozen
+    /// because the store was mutated after the pin was taken.  Rejecting
+    /// the freeze (instead of silently reading moved data) is what makes
+    /// the parallel fixpoint drivers' freeze boundary safe.
+    StaleSnapshot(String),
 }
 
 impl XdmError {
@@ -45,6 +50,7 @@ impl fmt::Display for XdmError {
             XdmError::DanglingNode(msg) => write!(f, "dangling node reference: {msg}"),
             XdmError::WrongNodeKind(msg) => write!(f, "wrong node kind: {msg}"),
             XdmError::InvalidCast(msg) => write!(f, "invalid cast: {msg}"),
+            XdmError::StaleSnapshot(msg) => write!(f, "stale store snapshot: {msg}"),
         }
     }
 }

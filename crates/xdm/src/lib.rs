@@ -42,6 +42,7 @@ pub mod ops;
 pub mod parse;
 pub mod sequence;
 pub mod serialize;
+pub mod shard;
 pub mod store;
 pub mod value;
 
@@ -51,7 +52,7 @@ pub use node::{Axis, NodeId, NodeKind, NodeTest, QName};
 pub use nodeset::NodeSet;
 pub use ops::{ddo, intersect, is_subset, node_except, node_union, set_equal};
 pub use sequence::Sequence;
-pub use store::{DocId, NodeStore};
+pub use store::{DocId, NodeStore, SnapshotPin, StoreSnapshot};
 pub use value::{AtomicValue, Item};
 
 /// Convenient result alias used throughout the crate.

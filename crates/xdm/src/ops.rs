@@ -33,7 +33,7 @@ use crate::store::NodeStore;
 pub const SPARSE_LIMIT: usize = 64;
 
 /// `fs:distinct-doc-order` — sort into document order, drop duplicates.
-pub fn ddo(store: &mut NodeStore, nodes: &[NodeId]) -> Vec<NodeId> {
+pub fn ddo(store: &NodeStore, nodes: &[NodeId]) -> Vec<NodeId> {
     if nodes.len() <= 1 {
         // Zero- and one-element inputs are trivially distinct and ordered —
         // the per-node steps of a path expression hit this constantly.
@@ -49,7 +49,7 @@ pub fn ddo(store: &mut NodeStore, nodes: &[NodeId]) -> Vec<NodeId> {
 
 /// Node-set union (`union` / `|`): all nodes of either operand, in document
 /// order, without duplicates.
-pub fn node_union(store: &mut NodeStore, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+pub fn node_union(store: &NodeStore, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
     if a.len() + b.len() <= SPARSE_LIMIT {
         let mut out: Vec<NodeId> = Vec::with_capacity(a.len() + b.len());
         out.extend_from_slice(a);
@@ -63,7 +63,7 @@ pub fn node_union(store: &mut NodeStore, a: &[NodeId], b: &[NodeId]) -> Vec<Node
 }
 
 /// Node-set difference (`except`): nodes of `a` not in `b`, in document order.
-pub fn node_except(store: &mut NodeStore, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+pub fn node_except(store: &NodeStore, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
     if a.len() + b.len() <= SPARSE_LIMIT {
         let filtered: Vec<NodeId> = a.iter().copied().filter(|n| !b.contains(n)).collect();
         return ddo(store, &filtered);
@@ -75,7 +75,7 @@ pub fn node_except(store: &mut NodeStore, a: &[NodeId], b: &[NodeId]) -> Vec<Nod
 
 /// Node-set intersection (`intersect`): nodes in both operands, in document
 /// order.
-pub fn intersect(store: &mut NodeStore, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+pub fn intersect(store: &NodeStore, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
     if a.len() + b.len() <= SPARSE_LIMIT {
         let filtered: Vec<NodeId> = a.iter().copied().filter(|n| b.contains(n)).collect();
         return ddo(store, &filtered);
@@ -116,14 +116,14 @@ pub mod baseline {
     use crate::store::NodeStore;
 
     /// Sort-based `fs:distinct-doc-order`.
-    pub fn ddo(store: &mut NodeStore, nodes: &[NodeId]) -> Vec<NodeId> {
+    pub fn ddo(store: &NodeStore, nodes: &[NodeId]) -> Vec<NodeId> {
         let mut out = nodes.to_vec();
         store.sort_distinct(&mut out);
         out
     }
 
     /// Concatenate-then-re-sort union.
-    pub fn node_union(store: &mut NodeStore, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    pub fn node_union(store: &NodeStore, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
         let mut out: Vec<NodeId> = Vec::with_capacity(a.len() + b.len());
         out.extend_from_slice(a);
         out.extend_from_slice(b);
@@ -132,14 +132,14 @@ pub mod baseline {
     }
 
     /// `HashSet`-filter difference with a `ddo` re-sort.
-    pub fn node_except(store: &mut NodeStore, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    pub fn node_except(store: &NodeStore, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
         let bset: HashSet<NodeId> = b.iter().copied().collect();
         let filtered: Vec<NodeId> = a.iter().copied().filter(|n| !bset.contains(n)).collect();
         ddo(store, &filtered)
     }
 
     /// Double-`ddo` set-equality.
-    pub fn set_equal(store: &mut NodeStore, a: &[NodeId], b: &[NodeId]) -> bool {
+    pub fn set_equal(store: &NodeStore, a: &[NodeId], b: &[NodeId]) -> bool {
         ddo(store, a) == ddo(store, b)
     }
 }
@@ -162,7 +162,7 @@ mod tests {
         let left = vec![kids[2], kids[0]];
         let right = vec![kids[1], kids[0]];
         assert_eq!(
-            node_union(&mut store, &left, &right),
+            node_union(&store, &left, &right),
             vec![kids[0], kids[1], kids[2]]
         );
     }
@@ -173,10 +173,7 @@ mod tests {
         let kids = fixture(&mut store);
         let left = vec![kids[3], kids[3], kids[1], kids[3], kids[1]];
         let right = vec![kids[1], kids[1], kids[1]];
-        assert_eq!(
-            node_union(&mut store, &left, &right),
-            vec![kids[1], kids[3]]
-        );
+        assert_eq!(node_union(&store, &left, &right), vec![kids[1], kids[3]]);
     }
 
     #[test]
@@ -184,12 +181,12 @@ mod tests {
         let mut store = NodeStore::new();
         let kids = fixture(&mut store);
         let some = vec![kids[2], kids[0]];
-        assert_eq!(node_union(&mut store, &some, &[]), vec![kids[0], kids[2]]);
-        assert_eq!(node_union(&mut store, &[], &some), vec![kids[0], kids[2]]);
-        assert!(node_union(&mut store, &[], &[]).is_empty());
-        assert_eq!(node_except(&mut store, &some, &[]), vec![kids[0], kids[2]]);
-        assert!(node_except(&mut store, &[], &some).is_empty());
-        assert!(intersect(&mut store, &some, &[]).is_empty());
+        assert_eq!(node_union(&store, &some, &[]), vec![kids[0], kids[2]]);
+        assert_eq!(node_union(&store, &[], &some), vec![kids[0], kids[2]]);
+        assert!(node_union(&store, &[], &[]).is_empty());
+        assert_eq!(node_except(&store, &some, &[]), vec![kids[0], kids[2]]);
+        assert!(node_except(&store, &[], &some).is_empty());
+        assert!(intersect(&store, &some, &[]).is_empty());
         assert!(set_equal(&[], &[]));
         assert!(!set_equal(&some, &[]));
     }
@@ -200,8 +197,8 @@ mod tests {
         let kids = fixture(&mut store);
         let all = kids.clone();
         let some = vec![kids[1], kids[3]];
-        assert_eq!(node_except(&mut store, &all, &some), vec![kids[0], kids[2]]);
-        assert!(node_except(&mut store, &some, &all).is_empty());
+        assert_eq!(node_except(&store, &all, &some), vec![kids[0], kids[2]]);
+        assert!(node_except(&store, &some, &all).is_empty());
     }
 
     #[test]
@@ -210,7 +207,7 @@ mod tests {
         let kids = fixture(&mut store);
         let left = vec![kids[3], kids[0], kids[1]];
         let right = vec![kids[1], kids[3]];
-        assert_eq!(intersect(&mut store, &left, &right), vec![kids[1], kids[3]]);
+        assert_eq!(intersect(&store, &left, &right), vec![kids[1], kids[3]]);
     }
 
     #[test]
@@ -231,8 +228,8 @@ mod tests {
         let mut store = NodeStore::new();
         let kids = fixture(&mut store);
         let mixed = vec![kids[3], kids[1], kids[3], kids[0]];
-        let once = ddo(&mut store, &mixed);
-        let twice = ddo(&mut store, &once);
+        let once = ddo(&store, &mixed);
+        let twice = ddo(&store, &once);
         assert_eq!(once, twice);
         assert_eq!(once, vec![kids[0], kids[1], kids[3]]);
     }
@@ -243,12 +240,9 @@ mod tests {
         let k1 = fixture(&mut store);
         let k2 = fixture(&mut store);
         let mixed = vec![k2[1], k1[2], k2[0], k1[0]];
-        assert_eq!(ddo(&mut store, &mixed), vec![k1[0], k1[2], k2[0], k2[1]]);
-        assert_eq!(
-            node_union(&mut store, &[k2[0]], &[k1[3]]),
-            vec![k1[3], k2[0]]
-        );
-        assert_eq!(node_except(&mut store, &mixed, &k2), vec![k1[0], k1[2]]);
+        assert_eq!(ddo(&store, &mixed), vec![k1[0], k1[2], k2[0], k2[1]]);
+        assert_eq!(node_union(&store, &[k2[0]], &[k1[3]]), vec![k1[3], k2[0]]);
+        assert_eq!(node_except(&store, &mixed, &k2), vec![k1[0], k1[2]]);
         assert!(!set_equal(&[k1[0]], &[k2[0]]));
     }
 
@@ -260,13 +254,13 @@ mod tests {
         let kids = fixture(&mut store);
         let mut acc: Vec<NodeId> = Vec::new();
         for &k in kids.iter().rev() {
-            acc = node_union(&mut store, &acc, &[k, k]);
-            let ordered = ddo(&mut store, &acc);
+            acc = node_union(&store, &acc, &[k, k]);
+            let ordered = ddo(&store, &acc);
             assert_eq!(acc, ordered, "union result left document order");
         }
-        let removed = node_except(&mut store, &acc, &[kids[1]]);
+        let removed = node_except(&store, &acc, &[kids[1]]);
         assert_eq!(removed, vec![kids[0], kids[2], kids[3]]);
-        let ordered = ddo(&mut store, &removed);
+        let ordered = ddo(&store, &removed);
         assert_eq!(removed, ordered, "except result left document order");
     }
 
@@ -279,11 +273,8 @@ mod tests {
         let child = store.create_element(frag, QName::local("child"));
         let parent = store.create_element(frag, QName::local("parent"));
         store.append_child(parent, child).unwrap();
-        assert_eq!(
-            node_union(&mut store, &[child], &[parent]),
-            vec![parent, child]
-        );
-        assert_eq!(ddo(&mut store, &[child, parent]), vec![parent, child]);
+        assert_eq!(node_union(&store, &[child], &[parent]), vec![parent, child]);
+        assert_eq!(ddo(&store, &[child, parent]), vec![parent, child]);
     }
 
     #[test]
@@ -304,26 +295,26 @@ mod tests {
             let a: Vec<NodeId> = all.iter().rev().step_by(2).take(size).copied().collect();
             let b: Vec<NodeId> = all.iter().skip(size / 2).take(size).copied().collect();
             assert_eq!(
-                node_union(&mut store, &a, &b),
-                baseline::node_union(&mut store, &a, &b),
+                node_union(&store, &a, &b),
+                baseline::node_union(&store, &a, &b),
                 "union at size {size}"
             );
             assert_eq!(
-                node_except(&mut store, &a, &b),
-                baseline::node_except(&mut store, &a, &b),
+                node_except(&store, &a, &b),
+                baseline::node_except(&store, &a, &b),
                 "except at size {size}"
             );
             assert_eq!(
                 set_equal(&a, &b),
-                baseline::set_equal(&mut store, &a, &b),
+                baseline::set_equal(&store, &a, &b),
                 "set_equal at size {size}"
             );
-            assert_eq!(ddo(&mut store, &a), baseline::ddo(&mut store, &a));
+            assert_eq!(ddo(&store, &a), baseline::ddo(&store, &a));
         }
         // The motivating case: tiny operands at the far end of a large
         // document stay on the sparse path and in document order.
         let (x, y) = (all[298], all[299]);
-        assert_eq!(node_union(&mut store, &[y], &[x]), vec![x, y]);
+        assert_eq!(node_union(&store, &[y], &[x]), vec![x, y]);
     }
 
     #[test]
@@ -333,18 +324,18 @@ mod tests {
         let a = vec![kids[3], kids[0], kids[3], kids[2]];
         let b = vec![kids[2], kids[1]];
         assert_eq!(
-            node_union(&mut store, &a, &b),
-            baseline::node_union(&mut store, &a, &b)
+            node_union(&store, &a, &b),
+            baseline::node_union(&store, &a, &b)
         );
         assert_eq!(
-            node_except(&mut store, &a, &b),
-            baseline::node_except(&mut store, &a, &b)
+            node_except(&store, &a, &b),
+            baseline::node_except(&store, &a, &b)
         );
-        assert_eq!(ddo(&mut store, &a), baseline::ddo(&mut store, &a));
-        assert_eq!(set_equal(&a, &b), baseline::set_equal(&mut store, &a, &b));
+        assert_eq!(ddo(&store, &a), baseline::ddo(&store, &a));
+        assert_eq!(set_equal(&a, &b), baseline::set_equal(&store, &a, &b));
         assert_eq!(
             set_equal(&a, &[kids[0], kids[2], kids[3]]),
-            baseline::set_equal(&mut store, &a, &[kids[0], kids[2], kids[3]])
+            baseline::set_equal(&store, &a, &[kids[0], kids[2], kids[3]])
         );
     }
 }

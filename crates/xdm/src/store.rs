@@ -14,9 +14,23 @@
 //! Trees are mutable while they are being built (constructors append children
 //! one by one); document-order ranks and the ID index are recomputed lazily
 //! whenever a document has been mutated since the last query.
+//!
+//! # Sharing a store across threads
+//!
+//! Node data itself (`NodeData`, parent/child links, attribute payloads) is
+//! only ever mutated through `&mut NodeStore`, so shared references never
+//! race on it.  The *derived* per-document state — document-order ranks and
+//! the ID index, which are rebuilt lazily on first access after a mutation —
+//! lives behind a per-document `RwLock`, and the `id()` probe memo behind a
+//! `Mutex`, so every read-only operation (document order, `sort_distinct`,
+//! ID lookup) works through `&NodeStore`.  `NodeStore` is therefore [`Sync`]
+//! and a frozen [`StoreSnapshot`] can be handed to a scoped thread pool; see
+//! [`NodeStore::pin`] / [`NodeStore::snapshot`] for the freeze protocol.
 
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
 
 use crate::error::XdmError;
 use crate::node::{Axis, NodeId, NodeKind, NodeTest, QName};
@@ -37,114 +51,191 @@ struct NodeData {
     attributes: Vec<u32>,
 }
 
-/// A single document (or constructed tree fragment) in the store.
+/// Lazily rebuilt per-document state: document-order ranks and the ID
+/// index.  Kept behind a `RwLock` so the rebuild can happen through a
+/// shared `&NodeStore` reference (readers of an up-to-date document take
+/// the read lock only).
 #[derive(Debug, Clone)]
-struct Document {
-    nodes: Vec<NodeData>,
-    /// `order[i]` is the document-order rank of node `i`; recomputed lazily.
+struct Derived {
+    /// `order[i]` is the document-order rank of node `i`.
     order: Vec<u32>,
-    /// Attribute names treated as ID-typed (in addition to `xml:id`/`id`).
-    id_attr_names: Vec<String>,
     /// Map from ID value to the first element carrying it.
     id_index: HashMap<String, u32>,
-    /// Set when the document has been mutated since `order`/`id_index` were
-    /// last rebuilt.
+    /// Set when the document has been mutated since the last rebuild.
     dirty: bool,
     /// `true` when arena index order coincides with document order (always
     /// the case for parsed documents; constructed fragments may diverge).
     /// Lets [`crate::NodeSet`] emit document order straight from its bitmaps.
     index_is_order: bool,
-    /// Bumped every time `refresh` actually rebuilds `order`/`id_index`.
-    /// Caches of per-document derived state (the store's `id()` probe memo)
-    /// compare this to detect that a rebuild happened — regardless of
-    /// *which* store operation triggered it.
+    /// Bumped every time a rebuild actually happens.  Caches of
+    /// per-document derived state (the store's `id()` probe memo) compare
+    /// this to detect that a rebuild happened — regardless of *which* store
+    /// operation triggered it.
     version: u64,
+}
+
+impl Derived {
+    fn new() -> Self {
+        Derived {
+            order: Vec::new(),
+            id_index: HashMap::new(),
+            dirty: true,
+            index_is_order: true,
+            version: 0,
+        }
+    }
+}
+
+/// Take a lock even if a previous holder panicked: the guarded data is
+/// rebuilt-from-scratch derived state (or a memo), so a half-finished
+/// update is repaired by the `dirty` / version protocol, not poisoned.
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn mutex_lock<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A single document (or constructed tree fragment) in the store.
+#[derive(Debug)]
+struct Document {
+    nodes: Vec<NodeData>,
+    /// Attribute names treated as ID-typed (in addition to `xml:id`/`id`).
+    id_attr_names: Vec<String>,
     /// Optional URI this document was loaded under (used by `fn:doc`).
     uri: Option<String>,
+    /// Lazily recomputed order ranks / ID index; see [`Derived`].
+    derived: RwLock<Derived>,
+}
+
+impl Clone for Document {
+    fn clone(&self) -> Self {
+        Document {
+            nodes: self.nodes.clone(),
+            id_attr_names: self.id_attr_names.clone(),
+            uri: self.uri.clone(),
+            derived: RwLock::new(read_lock(&self.derived).clone()),
+        }
+    }
 }
 
 impl Document {
     fn new() -> Self {
         Document {
             nodes: Vec::new(),
-            order: Vec::new(),
             id_attr_names: Vec::new(),
-            id_index: HashMap::new(),
-            dirty: true,
-            index_is_order: true,
-            version: 0,
             uri: None,
+            derived: RwLock::new(Derived::new()),
         }
     }
 
     fn push(&mut self, data: NodeData) -> u32 {
         let idx = self.nodes.len() as u32;
         self.nodes.push(data);
-        self.dirty = true;
+        self.mark_dirty();
         idx
     }
 
-    fn refresh(&mut self) {
-        if !self.dirty {
-            return;
-        }
-        self.version += 1;
-        self.order = vec![0; self.nodes.len()];
-        self.id_index.clear();
-        if !self.nodes.is_empty() {
-            let mut rank = 0u32;
-            // Every node that has no parent is a root of its own fragment;
-            // fragments are ordered by arena index of their roots.
-            let roots: Vec<u32> = (0..self.nodes.len() as u32)
-                .filter(|&i| self.nodes[i as usize].parent.is_none())
-                .collect();
-            for root in roots {
-                self.assign_order(root, &mut rank);
-            }
-        }
-        self.index_is_order = self.order.windows(2).all(|w| w[0] < w[1]);
-        self.rebuild_id_index();
-        self.dirty = false;
+    /// Flag the derived state as stale.  Only callable with exclusive
+    /// access, so this never contends with concurrent readers.
+    fn mark_dirty(&mut self) {
+        self.derived
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .dirty = true;
     }
 
-    fn assign_order(&mut self, node: u32, rank: &mut u32) {
-        self.order[node as usize] = *rank;
+    /// The up-to-date derived state, rebuilding it first if the document
+    /// was mutated since the last rebuild.  Works through `&self`: readers
+    /// of a clean document share a read lock; the first reader after a
+    /// mutation takes the write lock and rebuilds.  (std's `RwLock` cannot
+    /// downgrade a write guard, hence the re-acquire loop; a racing second
+    /// rebuild attempt sees `dirty == false` and skips.)
+    fn derived(&self) -> RwLockReadGuard<'_, Derived> {
+        loop {
+            let guard = read_lock(&self.derived);
+            if !guard.dirty {
+                return guard;
+            }
+            drop(guard);
+            let mut guard = self.derived.write().unwrap_or_else(|e| e.into_inner());
+            if guard.dirty {
+                rebuild_derived(&self.nodes, &self.id_attr_names, &mut guard);
+            }
+        }
+    }
+}
+
+/// Rebuild `derived` from the node arena (order ranks, `index_is_order`,
+/// ID index), bumping its version tag.
+fn rebuild_derived(nodes: &[NodeData], id_attr_names: &[String], derived: &mut Derived) {
+    derived.version += 1;
+    derived.order = vec![0; nodes.len()];
+    derived.id_index.clear();
+    if !nodes.is_empty() {
+        let mut rank = 0u32;
+        // Every node that has no parent is a root of its own fragment;
+        // fragments are ordered by arena index of their roots.
+        for root in 0..nodes.len() as u32 {
+            if nodes[root as usize].parent.is_none() {
+                assign_order(nodes, &mut derived.order, root, &mut rank);
+            }
+        }
+    }
+    derived.index_is_order = derived.order.windows(2).all(|w| w[0] < w[1]);
+    rebuild_id_index(nodes, id_attr_names, &mut derived.id_index);
+    derived.dirty = false;
+}
+
+fn assign_order(nodes: &[NodeData], order: &mut [u32], node: u32, rank: &mut u32) {
+    order[node as usize] = *rank;
+    *rank += 1;
+    for &a in &nodes[node as usize].attributes {
+        order[a as usize] = *rank;
         *rank += 1;
-        let attrs = self.nodes[node as usize].attributes.clone();
-        for a in attrs {
-            self.order[a as usize] = *rank;
-            *rank += 1;
-        }
-        let children = self.nodes[node as usize].children.clone();
-        for c in children {
-            self.assign_order(c, rank);
-        }
     }
+    for &c in &nodes[node as usize].children {
+        assign_order(nodes, order, c, rank);
+    }
+}
 
-    fn rebuild_id_index(&mut self) {
-        for idx in 0..self.nodes.len() {
-            if !self.nodes[idx].kind.is_element() {
-                continue;
-            }
-            for &attr in &self.nodes[idx].attributes {
-                if let NodeKind::Attribute(name, value) = &self.nodes[attr as usize].kind {
-                    // `id` matches both the unprefixed and the `xml:id`
-                    // spelling (prefixes are not significant here).
-                    let is_id =
-                        name.local == "id" || self.id_attr_names.iter().any(|n| n == &name.local);
-                    if is_id {
-                        self.id_index.entry(value.clone()).or_insert(idx as u32);
-                    }
+fn rebuild_id_index(
+    nodes: &[NodeData],
+    id_attr_names: &[String],
+    id_index: &mut HashMap<String, u32>,
+) {
+    for (idx, node) in nodes.iter().enumerate() {
+        if !node.kind.is_element() {
+            continue;
+        }
+        for &attr in &node.attributes {
+            if let NodeKind::Attribute(name, value) = &nodes[attr as usize].kind {
+                // `id` matches both the unprefixed and the `xml:id`
+                // spelling (prefixes are not significant here).
+                let is_id = name.local == "id" || id_attr_names.iter().any(|n| n == &name.local);
+                if is_id {
+                    id_index.entry(value.clone()).or_insert(idx as u32);
                 }
             }
         }
     }
 }
 
+/// Memo of [`NodeStore::lookup_id`] probes, one map per document, each
+/// tagged with the `Derived::version` it was built against; see the field
+/// documentation on [`NodeStore`].
+#[derive(Debug, Default, Clone)]
+struct IdProbeCache {
+    /// The [`NodeStore::load_epoch`] value the memo is valid for.
+    epoch: u64,
+    per_doc: HashMap<u32, (u64, HashMap<String, Option<NodeId>>)>,
+}
+
 /// The arena owning every document and node of a query run.
 ///
 /// See the [module documentation](self) for the design rationale.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub struct NodeStore {
     docs: Vec<Document>,
     /// URI → document index, for `fn:doc` stability (same URI, same nodes).
@@ -157,22 +248,48 @@ pub struct NodeStore {
     /// document contents (e.g. the algebraic executor's rec-independent
     /// static cache) compare this to decide staleness.
     load_epoch: u64,
+    /// Bumped by **every** mutating method (node construction, attachment,
+    /// parses, ID registrations).  Unlike `load_epoch` (which deliberately
+    /// ignores construction) and the per-document `Derived::version` (which
+    /// can move during a read-triggered lazy rebuild), this counter moves
+    /// exactly when the store's node data could have changed — it is the
+    /// staleness boundary the [`SnapshotPin`] / [`StoreSnapshot`] freeze
+    /// protocol validates against.
+    revision: u64,
     /// Memo of [`NodeStore::lookup_id`] probes, one map per document, each
-    /// tagged with the `Document::version` it was built against.  The
+    /// tagged with the `Derived::version` it was built against.  The
     /// fixpoint drivers probe the same handful of ID values once per
     /// iteration (and, in per-item workloads, once per seed); the memo
     /// answers repeats without re-touching the full `id_index`.
     /// Invalidation: the whole memo is dropped when
-    /// [`NodeStore::load_epoch`] moves (`id_probe_epoch` records the epoch
-    /// the memo was built under), and a single document's entries are
+    /// [`NodeStore::load_epoch`] moves (`IdProbeCache::epoch` records the
+    /// epoch the memo was built under), and a single document's entries are
     /// dropped when its version tag no longer matches — i.e. whenever a
-    /// refresh rebuilt the index, *whichever* store operation triggered it
+    /// rebuild happened, *whichever* store operation triggered it
     /// (doc-order queries refresh too, not just `lookup_id` itself).
-    id_probe_cache: HashMap<u32, (u64, HashMap<String, Option<NodeId>>)>,
-    /// The [`NodeStore::load_epoch`] value `id_probe_cache` is valid for.
-    id_probe_epoch: u64,
-    /// Lifetime count of probes answered from `id_probe_cache`.
-    id_probe_hits: u64,
+    /// Behind a `Mutex` so probes work from shared (snapshot) read paths.
+    id_probe: Mutex<IdProbeCache>,
+    /// Lifetime count of probes answered from the memo.  Atomic for the
+    /// same reason the memo is locked; the counter is monotonic telemetry,
+    /// so `Relaxed` ordering suffices.
+    id_probe_hits: AtomicU64,
+}
+
+impl Clone for NodeStore {
+    fn clone(&self) -> Self {
+        NodeStore {
+            docs: self.docs.clone(),
+            by_uri: self.by_uri.clone(),
+            nodes_created: self.nodes_created,
+            load_epoch: self.load_epoch,
+            revision: self.revision,
+            id_probe: Mutex::new(mutex_lock(&self.id_probe).clone()),
+            id_probe_hits: AtomicU64::new(
+                self.id_probe_hits
+                    .load(std::sync::atomic::Ordering::Relaxed),
+            ),
+        }
+    }
 }
 
 /// Process-wide source of [`NodeStore::load_epoch`] values.  Epochs being
@@ -181,7 +298,15 @@ pub struct NodeStore {
 /// *different* store that happens to have performed the same number of
 /// loads.  (Epoch 0 is shared by stores that never loaded anything, which
 /// all agree on the empty document set.)
-static NEXT_LOAD_EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+///
+/// Memory ordering: `Relaxed` is deliberate and load-bearing.  The counter
+/// provides *uniqueness only* — no thread ever reads another thread's epoch
+/// value through this atomic to synchronize with other memory.  An epoch
+/// becomes visible to other threads only as a plain field of a store (or a
+/// snapshot pinned from it), and whatever mechanism hands that store across
+/// threads (scoped-thread spawn, mutex, channel) supplies the
+/// happens-before edge.  Stronger orderings here would buy nothing.
+static NEXT_LOAD_EPOCH: AtomicU64 = AtomicU64::new(1);
 
 fn fresh_load_epoch() -> u64 {
     NEXT_LOAD_EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
@@ -216,6 +341,13 @@ impl NodeStore {
         self.load_epoch
     }
 
+    /// The store's mutation revision: bumped by every mutating method.
+    /// This is the staleness boundary of the snapshot freeze protocol —
+    /// see [`NodeStore::pin`].
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
     /// Number of documents (parsed or constructed fragments) in the store.
     pub fn document_count(&self) -> usize {
         self.docs.len()
@@ -235,6 +367,7 @@ impl NodeStore {
             attributes: Vec::new(),
         });
         self.nodes_created += 1;
+        self.revision += 1;
         self.docs.push(doc);
         DocId(self.docs.len() as u32 - 1)
     }
@@ -243,6 +376,7 @@ impl NodeStore {
     /// built by element constructors, whose roots are parentless elements.
     pub fn new_fragment(&mut self) -> DocId {
         self.docs.push(Document::new());
+        self.revision += 1;
         DocId(self.docs.len() as u32 - 1)
     }
 
@@ -250,6 +384,7 @@ impl NodeStore {
     pub fn parse_document(&mut self, text: &str) -> Result<DocId> {
         let doc = crate::parse::parse_into(self, text)?;
         self.load_epoch = fresh_load_epoch();
+        self.revision += 1;
         Ok(doc)
     }
 
@@ -263,6 +398,7 @@ impl NodeStore {
         self.docs[doc.0 as usize].uri = Some(uri.to_string());
         self.by_uri.insert(uri.to_string(), doc.0);
         self.load_epoch = fresh_load_epoch();
+        self.revision += 1;
         Ok(doc)
     }
 
@@ -300,8 +436,9 @@ impl NodeStore {
         if let Some(d) = self.docs.get_mut(doc.0 as usize) {
             if !d.id_attr_names.iter().any(|n| n == name) {
                 d.id_attr_names.push(name.to_string());
-                d.dirty = true;
+                d.mark_dirty();
                 self.load_epoch = fresh_load_epoch();
+                self.revision += 1;
             }
         }
     }
@@ -313,32 +450,36 @@ impl NodeStore {
     /// ([`NodeStore::id_probe_hits`] counts them), which is invalidated
     /// whenever [`NodeStore::load_epoch`] moves (new document, new ID
     /// attribute registration) and, per document, whenever the document is
-    /// refreshed after a mutation.
-    pub fn lookup_id(&mut self, doc: DocId, value: &str) -> Option<NodeId> {
-        if self.id_probe_epoch != self.load_epoch {
-            self.id_probe_cache.clear();
-            self.id_probe_epoch = self.load_epoch;
+    /// refreshed after a mutation.  The memo lives behind a `Mutex`, so
+    /// probes work from shared references — including snapshot reads from
+    /// multiple threads.
+    pub fn lookup_id(&self, doc: DocId, value: &str) -> Option<NodeId> {
+        let d = self.docs.get(doc.0 as usize)?;
+        let derived = d.derived();
+        let mut probe = mutex_lock(&self.id_probe);
+        if probe.epoch != self.load_epoch {
+            probe.per_doc.clear();
+            probe.epoch = self.load_epoch;
         }
-        let d = self.docs.get_mut(doc.0 as usize)?;
-        d.refresh();
         // The memo is valid only for the index-rebuild generation it was
         // filled under.  Comparing versions (instead of checking `dirty`
         // here) also catches rebuilds triggered by *other* store
         // operations — a doc-order query between a mutation and this probe
         // refreshes the document without passing through `lookup_id`.
-        let (version, memo) = self
-            .id_probe_cache
+        let (version, memo) = probe
+            .per_doc
             .entry(doc.0)
-            .or_insert_with(|| (d.version, HashMap::new()));
-        if *version != d.version {
-            *version = d.version;
+            .or_insert_with(|| (derived.version, HashMap::new()));
+        if *version != derived.version {
+            *version = derived.version;
             memo.clear();
         }
         if let Some(&hit) = memo.get(value) {
-            self.id_probe_hits += 1;
+            self.id_probe_hits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             return hit;
         }
-        let found = d.id_index.get(value).map(|&n| NodeId::new(doc.0, n));
+        let found = derived.id_index.get(value).map(|&n| NodeId::new(doc.0, n));
         memo.insert(value.to_string(), found);
         found
     }
@@ -347,6 +488,7 @@ impl NodeStore {
     /// per-epoch memo instead of the document index.
     pub fn id_probe_hits(&self) -> u64 {
         self.id_probe_hits
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     // ------------------------------------------------------------------
@@ -357,6 +499,7 @@ impl NodeStore {
         let d = &mut self.docs[doc.0 as usize];
         let idx = d.push(data);
         self.nodes_created += 1;
+        self.revision += 1;
         NodeId::new(doc.0, idx)
     }
 
@@ -442,7 +585,8 @@ impl NodeStore {
         }
         d.nodes[child.node as usize].parent = Some(parent.node);
         d.nodes[parent.node as usize].children.push(child.node);
-        d.dirty = true;
+        d.mark_dirty();
+        self.revision += 1;
         Ok(())
     }
 
@@ -472,7 +616,8 @@ impl NodeStore {
         );
         let d = &mut self.docs[element.doc as usize];
         d.nodes[element.node as usize].attributes.push(attr.node);
-        d.dirty = true;
+        d.mark_dirty();
+        self.revision += 1;
         Ok(attr)
     }
 
@@ -609,16 +754,16 @@ impl NodeStore {
     // Document order
     // ------------------------------------------------------------------
 
-    fn order_rank(&mut self, node: NodeId) -> (u32, u32) {
-        let d = &mut self.docs[node.doc as usize];
-        d.refresh();
-        (node.doc, d.order[node.node as usize])
+    fn order_rank(&self, node: NodeId) -> (u32, u32) {
+        let d = &self.docs[node.doc as usize];
+        let derived = d.derived();
+        (node.doc, derived.order[node.node as usize])
     }
 
     /// Compare two nodes in document order.  Nodes of different documents are
     /// ordered by document creation order, which yields the stable total
     /// order the XDM requires.
-    pub fn doc_order(&mut self, a: NodeId, b: NodeId) -> Ordering {
+    pub fn doc_order(&self, a: NodeId, b: NodeId) -> Ordering {
         if a == b {
             return Ordering::Equal;
         }
@@ -632,25 +777,31 @@ impl NodeStore {
     /// nodes in pre-order); constructed fragments may not, if children were
     /// created before their parents.  [`crate::NodeSet::to_vec`] uses this
     /// to skip rank sorting on the fast path.
-    pub fn index_order_is_document_order(&mut self, doc: DocId) -> bool {
-        match self.docs.get_mut(doc.0 as usize) {
-            Some(d) => {
-                d.refresh();
-                d.index_is_order
-            }
+    pub fn index_order_is_document_order(&self, doc: DocId) -> bool {
+        match self.docs.get(doc.0 as usize) {
+            Some(d) => d.derived().index_is_order,
             None => true,
         }
     }
 
     /// Sort `nodes` into document order and remove duplicates — the
     /// `fs:distinct-doc-order` operation of the XQuery Formal Semantics.
-    pub fn sort_distinct(&mut self, nodes: &mut Vec<NodeId>) {
+    pub fn sort_distinct(&self, nodes: &mut Vec<NodeId>) {
         if nodes.len() <= 1 {
             return;
         }
-        // Refresh every involved document once, then sort by cached ranks.
-        let mut keyed: Vec<((u32, u32), NodeId)> =
-            nodes.iter().map(|&n| (self.order_rank(n), n)).collect();
+        // Refresh every involved document once (one read guard per doc),
+        // then sort by the cached ranks.
+        let mut guards: HashMap<u32, RwLockReadGuard<'_, Derived>> = HashMap::new();
+        for &n in nodes.iter() {
+            guards
+                .entry(n.doc)
+                .or_insert_with(|| self.docs[n.doc as usize].derived());
+        }
+        let mut keyed: Vec<((u32, u32), NodeId)> = nodes
+            .iter()
+            .map(|&n| ((n.doc, guards[&n.doc].order[n.node as usize]), n))
+            .collect();
         keyed.sort_by_key(|a| a.0);
         keyed.dedup_by(|a, b| a.1 == b.1);
         nodes.clear();
@@ -800,7 +951,122 @@ impl NodeStore {
             self.collect_descendants(child, axis, test, out);
         }
     }
+
+    // ------------------------------------------------------------------
+    // Snapshots
+    // ------------------------------------------------------------------
+
+    /// Eagerly rebuild every document's derived state (order ranks, ID
+    /// indexes).  After this, read paths through a shared reference take
+    /// uncontended read locks only — no thread pays the rebuild inside a
+    /// parallel section.
+    pub fn refresh_all(&self) {
+        for d in &self.docs {
+            drop(d.derived());
+        }
+    }
+
+    /// Record the store's current mutation state (and eagerly refresh all
+    /// derived state) so a [`StoreSnapshot`] can later be frozen with
+    /// [`SnapshotPin::freeze`] — which fails if the store was mutated in
+    /// between, rather than silently reading moved data.
+    pub fn pin(&self) -> SnapshotPin {
+        self.refresh_all();
+        SnapshotPin {
+            epoch: self.load_epoch,
+            revision: self.revision,
+        }
+    }
+
+    /// Pin and freeze in one step.  Infallible: holding the returned
+    /// snapshot borrows the store shared, so no mutation can intervene.
+    pub fn snapshot(&self) -> StoreSnapshot<'_> {
+        let pin = self.pin();
+        StoreSnapshot {
+            store: self,
+            epoch: pin.epoch,
+            revision: pin.revision,
+        }
+    }
 }
+
+/// A recorded freeze point of a [`NodeStore`]: the `(load_epoch, revision)`
+/// pair at [`NodeStore::pin`] time.  Owning no borrow, a pin can outlive
+/// intervening code that mutates the store — [`SnapshotPin::freeze`] then
+/// *detects* the mutation and refuses to produce a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotPin {
+    epoch: u64,
+    revision: u64,
+}
+
+impl SnapshotPin {
+    /// Freeze `store` into a read-only snapshot, verifying it has not been
+    /// mutated since this pin was taken.  Returns
+    /// [`XdmError::StaleSnapshot`] if the load epoch or mutation revision
+    /// moved — a stale snapshot is rejected, never silently read.
+    pub fn freeze<'s>(&self, store: &'s NodeStore) -> Result<StoreSnapshot<'s>> {
+        if store.load_epoch != self.epoch || store.revision != self.revision {
+            return Err(XdmError::StaleSnapshot(format!(
+                "store moved since pin: epoch {} -> {}, revision {} -> {}",
+                self.epoch, store.load_epoch, self.revision, store.revision
+            )));
+        }
+        Ok(StoreSnapshot {
+            store,
+            epoch: self.epoch,
+            revision: self.revision,
+        })
+    }
+}
+
+/// A read-only, epoch-pinned view of a [`NodeStore`].
+///
+/// A snapshot `Deref`s to the store, exposing every `&self` read path
+/// (axes, document order, `sort_distinct`, `lookup_id`, …) while the borrow
+/// checker guarantees no mutation can happen for the snapshot's lifetime.
+/// `NodeStore` keeps all lazily-derived state behind internal locks, so a
+/// snapshot is [`Sync`]: the parallel fixpoint drivers hand one `&`
+/// reference to every shard of a scoped thread pool.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreSnapshot<'s> {
+    store: &'s NodeStore,
+    epoch: u64,
+    revision: u64,
+}
+
+impl<'s> StoreSnapshot<'s> {
+    /// The underlying store reference (with the snapshot's full lifetime).
+    pub fn store(&self) -> &'s NodeStore {
+        self.store
+    }
+
+    /// The [`NodeStore::load_epoch`] this snapshot was frozen at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The [`NodeStore::revision`] this snapshot was frozen at.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+}
+
+impl std::ops::Deref for StoreSnapshot<'_> {
+    type Target = NodeStore;
+
+    fn deref(&self) -> &NodeStore {
+        self.store
+    }
+}
+
+// `NodeStore` read paths must stay shareable across the scoped thread pool;
+// this fails to compile if a non-`Sync` field sneaks in.
+const _: fn() = || {
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<NodeStore>();
+    assert_sync::<StoreSnapshot<'_>>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -1074,5 +1340,71 @@ mod tests {
         store.append_child(p, r).unwrap();
         let p2 = store.create_element(f1, QName::local("p2"));
         assert!(store.append_child(p2, r).is_err());
+    }
+
+    #[test]
+    fn snapshot_freeze_rejects_interleaved_mutation() {
+        let mut store = NodeStore::new();
+        let doc = sample(&mut store);
+        let root = store.document_element(doc).unwrap();
+
+        // Clean pin → freeze succeeds and reads work.
+        let pin = store.pin();
+        {
+            let snap = pin.freeze(&store).expect("unmutated store freezes");
+            assert_eq!(snap.epoch(), store.load_epoch());
+            assert_eq!(snap.revision(), store.revision());
+            assert_eq!(snap.document_element(doc), Some(root));
+        }
+
+        // Structural mutation without node creation (append_child) must
+        // still invalidate the pin.
+        let pin = store.pin();
+        let fresh = store.create_element(doc, QName::local("z"));
+        store.append_child(root, fresh).unwrap();
+        let err = pin.freeze(&store).unwrap_err();
+        assert!(matches!(err, XdmError::StaleSnapshot(_)), "{err}");
+
+        // A parse (epoch move) invalidates too.
+        let pin = store.pin();
+        store.parse_document("<x/>").unwrap();
+        assert!(matches!(
+            pin.freeze(&store),
+            Err(XdmError::StaleSnapshot(_))
+        ));
+
+        // Re-pinning after the mutations freezes fine again.
+        let pin = store.pin();
+        assert!(pin.freeze(&store).is_ok());
+    }
+
+    #[test]
+    fn snapshot_reads_are_shareable_across_threads() {
+        let mut store = NodeStore::new();
+        let doc = sample(&mut store);
+        // Leave the derived state dirty on one fragment so the lazy
+        // rebuild happens under contention at least sometimes.
+        let frag = store.new_fragment();
+        let child = store.create_element(frag, QName::local("child"));
+        let parent = store.create_element(frag, QName::local("parent"));
+        store.append_child(parent, child).unwrap();
+
+        let snap = store.snapshot();
+        let root = snap.document_element(doc).unwrap();
+        let expected: Vec<NodeId> = snap.axis_nodes(root, Axis::Descendant, &NodeTest::AnyElement);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        let mut shuffled: Vec<NodeId> = expected.iter().rev().copied().collect();
+                        snap.sort_distinct(&mut shuffled);
+                        assert_eq!(shuffled, expected);
+                        assert_eq!(snap.lookup_id(doc, "a1"), Some(expected[0]));
+                        assert_eq!(snap.doc_order(parent, child), Ordering::Less);
+                        assert!(!snap.index_order_is_document_order(frag));
+                    }
+                });
+            }
+        });
     }
 }

@@ -122,7 +122,7 @@ proptest! {
         prop_assert_eq!(sa == sb, ma == mb);
         prop_assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
         // Materialization equals the model's sorted order on a parsed doc.
-        prop_assert_eq!(sa.to_vec(&mut store), ma.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(sa.to_vec(&store), ma.iter().copied().collect::<Vec<_>>());
     }
 }
 

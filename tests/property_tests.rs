@@ -119,20 +119,20 @@ proptest! {
         let b: Vec<_> = picks_b.iter().map(|&i| all[i % all.len()]).collect();
 
         // Union is commutative and idempotent; ddo is idempotent.
-        let ab = node_union(&mut store, &a, &b);
-        let ba = node_union(&mut store, &b, &a);
+        let ab = node_union(&store, &a, &b);
+        let ba = node_union(&store, &b, &a);
         prop_assert_eq!(&ab, &ba);
-        let ddo_a = ddo(&mut store, &a);
-        prop_assert_eq!(ddo(&mut store, &ddo_a), ddo_a.clone());
-        prop_assert_eq!(node_union(&mut store, &a, &a), ddo_a);
+        let ddo_a = ddo(&store, &a);
+        prop_assert_eq!(ddo(&store, &ddo_a), ddo_a.clone());
+        prop_assert_eq!(node_union(&store, &a, &a), ddo_a);
 
         // a \ b is disjoint from b and together with (a ∩ b) covers ddo(a).
-        let diff = node_except(&mut store, &a, &b);
+        let diff = node_except(&store, &a, &b);
         prop_assert!(diff.iter().all(|n| !b.contains(n)));
         prop_assert!(is_subset(&diff, &a));
         // (a \ b) ∪ b ⊇ a.
-        let rejoined = node_union(&mut store, &diff, &b);
-        prop_assert!(is_subset(&ddo(&mut store, &a), &rejoined));
+        let rejoined = node_union(&store, &diff, &b);
+        prop_assert!(is_subset(&ddo(&store, &a), &rejoined));
     }
 
     /// Soundness of the syntactic judgement (Definition 3.1): whenever
