@@ -16,6 +16,10 @@ pub enum AlgebraError {
         /// Iterations performed.
         iterations: usize,
     },
+    /// The cooperative deadline (`Executor::set_deadline`) passed while a
+    /// fixpoint was iterating.  Checked at the per-iteration barrier, so
+    /// the run aborts between iterations, never mid-mutation.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for AlgebraError {
@@ -32,6 +36,7 @@ impl fmt::Display for AlgebraError {
             AlgebraError::NoFixpoint { iterations } => {
                 write!(f, "fixpoint did not converge after {iterations} iterations")
             }
+            AlgebraError::DeadlineExceeded => write!(f, "query deadline exceeded"),
         }
     }
 }

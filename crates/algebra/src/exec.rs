@@ -49,8 +49,9 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Instant;
 
-use xqy_xdm::{shard, DocId, Interner, NodeId, NodeSet, NodeStore, StrId};
+use xqy_xdm::{shard, CowStore, DocId, Interner, NodeId, NodeSet, NodeStore, StoreMut, StrId};
 
 use crate::error::AlgebraError;
 use crate::plan::{FunKind, Operator, Plan, PlanNodeId, SEED_COLUMN};
@@ -389,18 +390,21 @@ pub struct ExecStats {
 
 /// Exclusive-or-shared access to the node store during plan evaluation.
 ///
-/// The executor's public entry points take `&mut NodeStore` and wrap it in
-/// [`StoreRef::Unique`]; the parallel batched driver instead hands each
+/// The executor's public entry points take any [`StoreMut`]-convertible
+/// handle (`&mut NodeStore` or a session's `&mut CowStore`) and wrap it in
+/// the matching variant; the parallel batched driver instead hands each
 /// worker executor a [`StoreRef::Shared`] view of the same store.  Every
 /// operator reads through [`StoreRef::read`]; only `Construct` — the one
 /// operator that mutates the store — goes through [`StoreRef::write`],
-/// which fails on a shared view.  The parallel path never reaches that
-/// error because it is gated on [`Plan::contains_construct`] being `false`,
-/// but the check turns a would-be data race into a reported error if the
-/// gate is ever bypassed.
+/// which fails on a shared view (and lazily clones a copy-on-write store).
+/// The parallel path never reaches that error because it is gated on
+/// [`Plan::contains_construct`] being `false`, but the check turns a
+/// would-be data race into a reported error if the gate is ever bypassed.
 enum StoreRef<'a> {
     /// Exclusive access — the sequential paths; construction allowed.
     Unique(&'a mut NodeStore),
+    /// A session's copy-on-write store — construction clones it privately.
+    Cow(&'a mut CowStore),
     /// Shared read-only access — one shard of a parallel batched run.
     Shared(&'a NodeStore),
 }
@@ -409,6 +413,7 @@ impl StoreRef<'_> {
     fn read(&self) -> &NodeStore {
         match self {
             StoreRef::Unique(store) => store,
+            StoreRef::Cow(cow) => cow.read(),
             StoreRef::Shared(store) => store,
         }
     }
@@ -416,11 +421,21 @@ impl StoreRef<'_> {
     fn write(&mut self) -> Result<&mut NodeStore> {
         match self {
             StoreRef::Unique(store) => Ok(store),
+            StoreRef::Cow(cow) => Ok(cow.write()),
             StoreRef::Shared(_) => Err(AlgebraError::Execution(
                 "node construction requires exclusive store access \
                  (parallel fixpoint shards evaluate construction-free plans only)"
                     .into(),
             )),
+        }
+    }
+}
+
+impl<'a> From<StoreMut<'a>> for StoreRef<'a> {
+    fn from(handle: StoreMut<'a>) -> Self {
+        match handle {
+            StoreMut::Exclusive(store) => StoreRef::Unique(store),
+            StoreMut::Cow(cow) => StoreRef::Cow(cow),
         }
     }
 }
@@ -484,6 +499,9 @@ pub struct Executor {
     static_plan_evals: u64,
     /// Maximum fixpoint iterations before reporting divergence.
     pub max_iterations: usize,
+    /// Cooperative deadline, checked at the same per-iteration barrier as
+    /// `max_iterations`; `None` never times out.
+    deadline: Option<Instant>,
     /// Shard count for batched fixpoint runs; `1` = sequential (default).
     threads: usize,
     /// Persistent worker executors for parallel batched runs, created
@@ -511,9 +529,29 @@ impl Executor {
             static_cache_hits: 0,
             static_plan_evals: 0,
             max_iterations: 100_000,
+            deadline: None,
             threads: 1,
             workers: Vec::new(),
         }
+    }
+
+    /// Install (or clear) the cooperative deadline.  Fixpoint drivers check
+    /// it once per iteration — at the same barrier as the `max_iterations`
+    /// guard — and abort with [`AlgebraError::DeadlineExceeded`] once the
+    /// instant has passed, so a timed-out run stops between iterations,
+    /// never mid-mutation.  The deadline persists across runs until reset.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Per-iteration deadline guard (see [`Executor::set_deadline`]).
+    fn check_deadline(&self) -> Result<()> {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(AlgebraError::DeadlineExceeded);
+            }
+        }
+        Ok(())
     }
 
     /// Set the shard count for [`Executor::run_fixpoint_batched`].  `1`
@@ -641,10 +679,16 @@ impl Executor {
     /// store afterwards resets the pool (alongside the caches keyed on the
     /// [load epoch](NodeStore::load_epoch)), invalidating symbols held from
     /// earlier results.  Decode string cells before mutating the store.
-    pub fn eval_plan(&mut self, store: &mut NodeStore, plan: &Plan, rec: &Table) -> Result<Table> {
+    pub fn eval_plan<'a>(
+        &mut self,
+        store: impl Into<StoreMut<'a>>,
+        plan: &Plan,
+        rec: &Table,
+    ) -> Result<Table> {
+        let mut store = StoreRef::from(store.into());
         self.plan_state.volatile_cache.clear();
-        self.prime_for_plan(store, plan);
-        self.eval_plan_in_run(&mut StoreRef::Unique(store), plan, rec)
+        self.prime_for_plan(store.read(), plan);
+        self.eval_plan_in_run(&mut store, plan, rec)
     }
 
     /// [`Executor::eval_plan`] without resetting the volatile scope or
@@ -1068,16 +1112,16 @@ impl Executor {
     /// With `seed_in_result = false` the accumulation starts from the body
     /// applied to the seed (Definition 2.1); with `true` it starts from the
     /// seed itself (the paper's Example 2.4 reading).
-    pub fn run_fixpoint(
+    pub fn run_fixpoint<'a>(
         &mut self,
-        store: &mut NodeStore,
+        store: impl Into<StoreMut<'a>>,
         body: &Plan,
         seed: &[NodeId],
         strategy: MuStrategy,
         seed_in_result: bool,
     ) -> Result<(Table, ExecStats)> {
         self.run_fixpoint_ref(
-            &mut StoreRef::Unique(store),
+            &mut StoreRef::from(store.into()),
             body,
             seed,
             strategy,
@@ -1131,6 +1175,7 @@ impl Executor {
             MuStrategy::MuDelta => (Vec::new(), res.clone()),
         };
         loop {
+            self.check_deadline()?;
             if stats.iterations >= self.max_iterations {
                 return Err(AlgebraError::NoFixpoint {
                     iterations: stats.iterations,
@@ -1189,15 +1234,17 @@ impl Executor {
     /// concatenation of the per-seed [`Executor::run_fixpoint`] results.
     /// [`ExecStats::iterations`] is the *maximum* per-seed depth and
     /// [`ExecStats::body_evaluations`] counts the shared iterations.
-    pub fn run_fixpoint_batched(
+    pub fn run_fixpoint_batched<'a>(
         &mut self,
-        store: &mut NodeStore,
+        store: impl Into<StoreMut<'a>>,
         body: &Plan,
         seeds: &[NodeId],
         strategy: MuStrategy,
         seed_in_result: bool,
         sharing: BatchSharing,
     ) -> Result<(Table, ExecStats)> {
+        let mut store_ref = StoreRef::from(store.into());
+        let store = &mut store_ref;
         let mut stats = ExecStats {
             batch_seeds: seeds.len(),
             ..ExecStats::default()
@@ -1223,7 +1270,7 @@ impl Executor {
             self.context_doc = seeds.first().map(|n| DocId(n.doc));
         }
         self.plan_state.volatile_cache.clear();
-        self.prime_for_plan(store, body);
+        self.prime_for_plan(store.read(), body);
 
         // Shard count for this run: >1 only when parallelism is requested,
         // there is more than one seed to spread, and the body is
@@ -1246,14 +1293,13 @@ impl Executor {
                 // re-derive exactly as the sequential run would), fresh
                 // volatile scope, caches primed for this plan and store.
                 worker.max_iterations = self.max_iterations;
+                worker.deadline = self.deadline;
                 worker.context_doc = self.context_doc;
                 worker.context_doc_explicit = self.context_doc_explicit;
                 worker.plan_state.volatile_cache.clear();
-                worker.prime_for_plan(store, body);
+                worker.prime_for_plan(store.read(), body);
             }
         }
-        let mut store = StoreRef::Unique(store);
-        let store = &mut store;
 
         let n = seeds.len();
 
@@ -1279,6 +1325,7 @@ impl Executor {
             MuStrategy::MuDelta => res.clone(),
         };
         loop {
+            self.check_deadline()?;
             if stats.iterations >= self.max_iterations {
                 return Err(AlgebraError::NoFixpoint {
                     iterations: stats.iterations,

@@ -1,0 +1,80 @@
+//! Criterion shim over the concurrent query service: a fixed batch of
+//! mixed curriculum queries executed by 1 and by N worker threads against
+//! one shared [`QueryService`] (warmed plan cache, one published
+//! snapshot).  The single-run load generator with percentile latencies is
+//! `cargo run --release -p xqy_bench --bin svc`; this bench exists so the
+//! service shows up next to the other criterion baselines.
+//!
+//! Run with `CRITERION_JSON=BENCH_service.json cargo bench -p xqy_bench
+//! --bench service` to record the artifact.
+
+use std::sync::Arc;
+use std::thread;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xqy_datagen::curriculum::{self, CurriculumConfig};
+use xqy_datagen::Scale;
+use xqy_ifp::Parallelism;
+use xqy_service::{QueryService, ServiceConfig};
+
+/// Mixed workload over the small curriculum (100 courses, codes c0…c99).
+const QUERIES: &[&str] = &[
+    "with $x seeded by doc('curriculum.xml')/curriculum/course[@code='c99'] \
+     recurse $x/id(./prerequisites/pre_code)",
+    "with $x seeded by doc('curriculum.xml')/curriculum/course[@code='c50'] \
+     recurse $x/id(./prerequisites/pre_code)",
+    "doc('curriculum.xml')/curriculum/course[@code='c33']/prerequisites/pre_code",
+];
+
+const QUERIES_PER_WORKER: usize = 8;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+
+    let cores = Parallelism::Auto.threads();
+    let mut worker_counts = vec![1usize];
+    if cores > 1 {
+        worker_counts.push(cores.min(4));
+    }
+
+    let xml = curriculum::generate(&CurriculumConfig::for_scale(Scale::Small));
+    for &workers in &worker_counts {
+        let service = Arc::new(QueryService::new(ServiceConfig {
+            max_concurrent: workers,
+            max_queue: workers,
+            ..ServiceConfig::default()
+        }));
+        service
+            .load_document_with_ids("curriculum.xml", &xml, &["code"])
+            .expect("curriculum loads");
+        service.publish();
+        for query in QUERIES {
+            service.execute(query).expect("warmup query runs");
+        }
+
+        group.bench_function(format!("mixed/t{workers}"), |b| {
+            b.iter(|| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|worker| {
+                        let service = Arc::clone(&service);
+                        thread::spawn(move || {
+                            for i in 0..QUERIES_PER_WORKER {
+                                let query = QUERIES[(worker + i) % QUERIES.len()];
+                                service.execute(query).expect("load query runs");
+                            }
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    handle.join().expect("worker thread finishes");
+                }
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! Load generator for the concurrent query service (PR 7).
+//!
+//! Drives M worker threads of mixed Table-2-style queries — deep and
+//! shallow prerequisite closures plus a plain path — against one shared
+//! [`QueryService`], and reports p50/p99 latency and sustained
+//! queries-per-second at each worker count, alongside the plan-cache
+//! counters.
+//!
+//! ```bash
+//! cargo run --release -p xqy_bench --bin svc             # quick scales
+//! cargo run --release -p xqy_bench --bin svc -- --quick  # same, explicit (CI smoke run)
+//! cargo run --release -p xqy_bench --bin svc -- --full   # bigger instance, more workers
+//! ```
+//!
+//! Results are written as JSON to `BENCH_service.json` (override the path
+//! with `SERVICE_BENCH_JSON`; set it empty to skip the file).  Absolute
+//! numbers depend on the machine; the quantities worth tracking are the
+//! scaling shape across worker counts and the cache hit rate (every
+//! worker but the first should hit the shared plan cache on every query).
+
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use xqy_datagen::curriculum::{self, CurriculumConfig};
+use xqy_datagen::Scale;
+use xqy_service::{QueryService, ServiceConfig};
+
+/// Mixed workload over the curriculum instance: a deep closure from the
+/// last course, a mid-depth closure, and a non-recursive path lookup.
+fn mixed_queries(courses: usize) -> Vec<String> {
+    vec![
+        format!(
+            "with $x seeded by doc('curriculum.xml')/curriculum/course[@code='c{}'] \
+             recurse $x/id(./prerequisites/pre_code)",
+            courses - 1
+        ),
+        format!(
+            "with $x seeded by doc('curriculum.xml')/curriculum/course[@code='c{}'] \
+             recurse $x/id(./prerequisites/pre_code)",
+            courses / 2
+        ),
+        format!(
+            "doc('curriculum.xml')/curriculum/course[@code='c{}']/prerequisites/pre_code",
+            courses / 3
+        ),
+    ]
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+struct Run {
+    workers: usize,
+    queries: usize,
+    wall: Duration,
+    p50: Duration,
+    p99: Duration,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl Run {
+    fn qps(&self) -> f64 {
+        self.queries as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+fn run_load(xml: &str, queries: &[String], workers: usize, per_worker: usize) -> Run {
+    let service = Arc::new(QueryService::new(ServiceConfig {
+        max_concurrent: workers,
+        max_queue: workers,
+        ..ServiceConfig::default()
+    }));
+    service
+        .load_document_with_ids("curriculum.xml", xml, &["code"])
+        .expect("curriculum loads");
+    service.publish();
+
+    // Warm the plan cache so the measured region times execution, not the
+    // one-off preparations.
+    for query in queries {
+        service.execute(query).expect("warmup query runs");
+    }
+    let warm = service.counters();
+
+    let latencies = Arc::new(Mutex::new(Vec::with_capacity(workers * per_worker)));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..workers)
+        .map(|worker| {
+            let service = Arc::clone(&service);
+            let queries = queries.to_vec();
+            let latencies = Arc::clone(&latencies);
+            thread::spawn(move || {
+                let mut local = Vec::with_capacity(per_worker);
+                for i in 0..per_worker {
+                    let query = &queries[(worker + i) % queries.len()];
+                    let t0 = Instant::now();
+                    service.execute(query).expect("load query runs");
+                    local.push(t0.elapsed());
+                }
+                latencies.lock().unwrap().extend(local);
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("worker thread finishes");
+    }
+    let wall = started.elapsed();
+
+    let mut latencies = Arc::try_unwrap(latencies).unwrap().into_inner().unwrap();
+    latencies.sort();
+    let counters = service.counters();
+    Run {
+        workers,
+        queries: latencies.len(),
+        wall,
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+        cache_hits: counters.cache.hits - warm.cache.hits,
+        cache_misses: counters.cache.misses - warm.cache.misses,
+    }
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let scale = if full { Scale::Medium } else { Scale::Small };
+    let per_worker = if full { 200 } else { 50 };
+    let worker_counts: &[usize] = if full { &[1, 2, 4, 8] } else { &[1, 4] };
+
+    let config = CurriculumConfig::for_scale(scale);
+    let xml = curriculum::generate(&config);
+    let queries = mixed_queries(config.courses);
+
+    println!(
+        "service load generator — curriculum {} ({} courses), {} queries/worker",
+        scale.name(),
+        config.courses,
+        per_worker
+    );
+    println!(
+        "{:<8} | {:>10} {:>12} {:>12} {:>12} | {:>10} {:>10}",
+        "workers", "queries", "p50", "p99", "qps", "hits", "misses"
+    );
+    println!("{}", "-".repeat(84));
+
+    let mut json_rows: Vec<String> = Vec::new();
+    for &workers in worker_counts {
+        let run = run_load(&xml, &queries, workers, per_worker);
+        println!(
+            "{:<8} | {:>10} {:>12.1?} {:>12.1?} {:>12.1} | {:>10} {:>10}",
+            run.workers,
+            run.queries,
+            run.p50,
+            run.p99,
+            run.qps(),
+            run.cache_hits,
+            run.cache_misses,
+        );
+        json_rows.push(format!(
+            "    {{\"workers\": {}, \"queries\": {}, \"wall_ns\": {}, \"p50_ns\": {}, \
+             \"p99_ns\": {}, \"qps\": {:.1}, \"cache_hits\": {}, \"cache_misses\": {}}}",
+            run.workers,
+            run.queries,
+            run.wall.as_nanos(),
+            run.p50.as_nanos(),
+            run.p99.as_nanos(),
+            run.qps(),
+            run.cache_hits,
+            run.cache_misses,
+        ));
+    }
+    println!();
+    println!("(each run uses a fresh service; the cache is warmed before the measured");
+    println!(" region, so 'misses' counts only epoch-movement re-preparations — 0 under");
+    println!(" this read-only load.)");
+
+    let path =
+        std::env::var("SERVICE_BENCH_JSON").unwrap_or_else(|_| "BENCH_service.json".to_string());
+    if !path.is_empty() {
+        let out = format!(
+            "{{\n  \"scale\": \"{}\",\n  \"queries_per_worker\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+            scale.name(),
+            per_worker,
+            json_rows.join(",\n")
+        );
+        if let Err(err) = std::fs::write(&path, out) {
+            eprintln!("svc: could not write {path}: {err}");
+        } else {
+            println!("wrote {path}");
+        }
+    }
+}

@@ -91,16 +91,42 @@ impl Parallelism {
     /// The policy named by the `XQY_FIXPOINT_THREADS` environment variable,
     /// if it is set and well-formed: `auto`, or a shard count (`0` and `1`
     /// both mean [`Parallelism::Sequential`]).
+    ///
+    /// A set-but-malformed value is **not** silently ignored: a warning is
+    /// printed to stderr (and the engine default applies), so a typo like
+    /// `XQY_FIXPOINT_THREADS=fourteen` is visible instead of quietly
+    /// running sequentially.
     pub fn from_env() -> Option<Parallelism> {
-        let value = std::env::var("XQY_FIXPOINT_THREADS").ok()?;
-        let value = value.trim();
-        if value.eq_ignore_ascii_case("auto") {
-            return Some(Parallelism::Auto);
+        let value = std::env::var("XQY_FIXPOINT_THREADS").ok();
+        let (policy, warning) = Parallelism::from_env_value(value.as_deref());
+        if let Some(warning) = warning {
+            eprintln!("warning: {warning}");
         }
-        match value.parse::<usize>() {
-            Ok(0) | Ok(1) => Some(Parallelism::Sequential),
-            Ok(n) => Some(Parallelism::Fixed(n)),
-            Err(_) => None,
+        policy
+    }
+
+    /// Pure parse of an `XQY_FIXPOINT_THREADS` value: the resolved policy
+    /// (if any) plus a warning message for a set-but-malformed value.
+    /// Factored out of [`Parallelism::from_env`] so the parse is unit
+    /// testable without mutating process environment.
+    pub fn from_env_value(value: Option<&str>) -> (Option<Parallelism>, Option<String>) {
+        let Some(value) = value else {
+            return (None, None);
+        };
+        let trimmed = value.trim();
+        if trimmed.eq_ignore_ascii_case("auto") {
+            return (Some(Parallelism::Auto), None);
+        }
+        match trimmed.parse::<usize>() {
+            Ok(0) | Ok(1) => (Some(Parallelism::Sequential), None),
+            Ok(n) => (Some(Parallelism::Fixed(n)), None),
+            Err(_) => (
+                None,
+                Some(format!(
+                    "ignoring invalid XQY_FIXPOINT_THREADS value {value:?}: \
+                     expected a shard count or \"auto\""
+                )),
+            ),
         }
     }
 }
@@ -464,6 +490,50 @@ mod tests {
         // Fixed(0) is clamped: there is always at least the caller thread.
         assert_eq!(Parallelism::Fixed(0).threads(), 1);
         assert!(Parallelism::Auto.threads() >= 1);
+    }
+
+    #[test]
+    fn auto_parallelism_uses_available_parallelism() {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(Parallelism::Auto.threads(), cores);
+    }
+
+    #[test]
+    fn env_parallelism_parses_valid_values_without_warning() {
+        assert_eq!(Parallelism::from_env_value(None), (None, None));
+        assert_eq!(
+            Parallelism::from_env_value(Some("auto")),
+            (Some(Parallelism::Auto), None)
+        );
+        assert_eq!(
+            Parallelism::from_env_value(Some(" AUTO ")),
+            (Some(Parallelism::Auto), None)
+        );
+        assert_eq!(
+            Parallelism::from_env_value(Some("0")),
+            (Some(Parallelism::Sequential), None)
+        );
+        assert_eq!(
+            Parallelism::from_env_value(Some("1")),
+            (Some(Parallelism::Sequential), None)
+        );
+        assert_eq!(
+            Parallelism::from_env_value(Some("8")),
+            (Some(Parallelism::Fixed(8)), None)
+        );
+    }
+
+    #[test]
+    fn env_parallelism_warns_on_invalid_values() {
+        for bad in ["fourteen", "-2", "4x", ""] {
+            let (policy, warning) = Parallelism::from_env_value(Some(bad));
+            assert_eq!(policy, None, "invalid value {bad:?} must not resolve");
+            let warning = warning.expect("invalid value must produce a warning");
+            assert!(warning.contains("XQY_FIXPOINT_THREADS"));
+            assert!(warning.contains(bad));
+        }
     }
 
     #[test]

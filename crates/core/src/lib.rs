@@ -72,7 +72,8 @@ pub mod syntactic;
 
 pub use engine::{DistributivityReport, Engine, Parallelism, QueryOutcome, Strategy};
 pub use prepared::{
-    Backend, BatchedOutcome, Bindings, OccurrencePlan, PreparedOccurrence, PreparedQuery,
+    Backend, BatchedOutcome, Bindings, ExecOptions, OccurrencePlan, PreparedOccurrence,
+    PreparedQuery,
 };
 pub use rewrite::{rewrite_fixpoints_to_functions, RewriteStyle};
 pub use syntactic::{distributivity_hint, is_distributivity_safe, DsJudgement};

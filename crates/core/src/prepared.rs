@@ -45,14 +45,18 @@
 //! ```
 
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
-use xqy_algebra::{compile_recursion_body, BatchSharing, CompiledBody, Executor, MuStrategy};
+use xqy_algebra::{
+    compile_recursion_body, AlgebraError, BatchSharing, CompiledBody, Executor, MuStrategy,
+};
 use xqy_eval::{
     EvalError, Evaluator, FixpointBackendTag, FixpointInterceptor, FixpointStats, FixpointStrategy,
     FixpointStrategyTag,
 };
 use xqy_parser::ast::{Expr, QueryModule};
-use xqy_xdm::{NodeId, NodeStore, Sequence};
+use xqy_parser::parse_query;
+use xqy_xdm::{NodeId, Sequence, StoreMut};
 
 use crate::engine::{DistributivityReport, Engine, Parallelism, QueryOutcome, Strategy};
 use crate::syntactic::is_distributivity_safe;
@@ -275,6 +279,23 @@ pub struct OccurrencePlan {
     pub static_plan_evals: u64,
 }
 
+/// Per-execution settings for [`PreparedQuery::execute_on`].
+///
+/// [`PreparedQuery::execute`] derives these from the engine (and never sets
+/// a deadline); engine-less callers — the concurrent query service — build
+/// them directly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Start each IFP accumulation from the seed itself (see
+    /// [`Engine::set_seed_in_result`]).
+    pub seed_in_result: bool,
+    /// Cooperative per-query deadline: fixpoint drivers — source-level and
+    /// algebraic — check it at every iteration barrier and abort with
+    /// [`EvalError::DeadlineExceeded`] once the instant has passed.
+    /// `None` never times out.
+    pub deadline: Option<Instant>,
+}
+
 /// A parsed, analysed and (where possible) compiled query, ready to be
 /// executed any number of times.  Create with [`Engine::prepare`]; see the
 /// [module docs](self) for the amortization story.
@@ -289,6 +310,27 @@ pub struct PreparedQuery {
 }
 
 impl PreparedQuery {
+    /// Parse and analyse `query` without an [`Engine`]: the standalone
+    /// entry point for callers that hold no engine — e.g. a concurrent
+    /// query service preparing plans into a shared cache.  Preparation is
+    /// purely static (no store is consulted), so the artifact can later be
+    /// executed against any store via
+    /// [`execute_on`](PreparedQuery::execute_on).
+    pub fn prepare(
+        query: &str,
+        strategy: Strategy,
+        backend: Backend,
+        parallelism: Parallelism,
+    ) -> Result<Self> {
+        let module = parse_query(query)?;
+        Ok(PreparedQuery::analyse_module(
+            module,
+            strategy,
+            backend,
+            parallelism,
+        ))
+    }
+
     /// Analyse `module`: collect its IFP occurrences, run both
     /// distributivity approximations on each, choose a per-occurrence
     /// strategy under `strategy`, and pre-compile the algebraic plans.
@@ -363,6 +405,35 @@ impl PreparedQuery {
     /// The parsed module.
     pub fn module(&self) -> &QueryModule {
         &self.module
+    }
+
+    /// The [fingerprint](xqy_algebra::Plan::fingerprint) of each
+    /// occurrence's compiled algebraic plan, in syntactic order; `None` for
+    /// occurrences outside the algebraic subset.  Two prepared queries
+    /// whose fingerprints coincide drive identical plans — the identity a
+    /// shared plan cache exposes for observability.
+    pub fn plan_fingerprints(&self) -> Vec<Option<u64>> {
+        self.occurrences
+            .iter()
+            .map(|occ| occ.compiled.as_ref().ok().map(|c| c.plan.fingerprint()))
+            .collect()
+    }
+
+    /// A copy of this prepared artifact with **fresh** persistent
+    /// executors, sharing the compiled plans (which are `Arc`s, so no
+    /// re-compilation happens).  A `clone()` shares the per-occurrence
+    /// executors, whose `Mutex` is held for a whole fixpoint run — sessions
+    /// that execute the *same* cached query concurrently would serialize on
+    /// it.  Forking gives each session its own executors at the cost of
+    /// re-warming their static caches; a plan cache keeps a pool of
+    /// released forks so the warm-up amortizes across queries.
+    pub fn fork_executors(&self) -> Self {
+        let mut forked = self.clone();
+        for occ in &mut forked.occurrences {
+            occ.executor = Arc::new(Mutex::new(Executor::new()));
+            occ.batched_executor = Arc::new(Mutex::new(Executor::new()));
+        }
+        forked
     }
 
     /// Resolve each occurrence against the back-end knob: the pre-compiled
@@ -450,6 +521,24 @@ impl PreparedQuery {
     /// — only evaluation.  Documents loaded into the engine *after*
     /// [`Engine::prepare`] are visible, since preparation is purely static.
     pub fn execute(&self, engine: &mut Engine, bindings: &Bindings) -> Result<QueryOutcome> {
+        let opts = ExecOptions {
+            seed_in_result: engine.seed_in_result,
+            deadline: None,
+        };
+        self.execute_on(&mut engine.store, bindings, &opts)
+    }
+
+    /// Execute against any store handle — a `&mut NodeStore` or a session's
+    /// `&mut CowStore` — without an [`Engine`].  This is the concurrent
+    /// service's entry point: N sessions execute one shared
+    /// `Arc<PreparedQuery>` simultaneously, each over its own copy-on-write
+    /// view of the published store, with a per-query deadline from `opts`.
+    pub fn execute_on<'s>(
+        &self,
+        store: impl Into<StoreMut<'s>>,
+        bindings: &Bindings,
+        opts: &ExecOptions,
+    ) -> Result<QueryOutcome> {
         for var in &self.external_vars {
             if bindings.get(var).is_none() {
                 return Err(IfpError::UnboundVariable(var.clone()));
@@ -457,11 +546,11 @@ impl PreparedQuery {
         }
         let plans = self.resolve_plans()?;
 
-        let seed_in_result = engine.seed_in_result;
         let threads = self.parallelism.threads();
-        let mut evaluator = Evaluator::new(&mut engine.store);
-        evaluator.options_mut().seed_in_result = seed_in_result;
+        let mut evaluator = Evaluator::new(store);
+        evaluator.options_mut().seed_in_result = opts.seed_in_result;
         evaluator.options_mut().fixpoint_threads = threads;
+        evaluator.options_mut().deadline = opts.deadline;
         evaluator.set_fixpoint_strategy(self.default_strategy);
         for (name, value) in bindings.iter() {
             evaluator.bind_global(name, value.clone());
@@ -474,7 +563,11 @@ impl PreparedQuery {
         // the persistent executors' lifetime totals.
         let cache_before = self.cache_totals();
         if !entries.is_empty() {
-            evaluator.set_fixpoint_interceptor(Box::new(PlanDriver { entries, threads }));
+            evaluator.set_fixpoint_interceptor(Box::new(PlanDriver {
+                entries,
+                threads,
+                deadline: opts.deadline,
+            }));
         }
 
         let result = evaluator.eval_module(&self.module)?;
@@ -677,7 +770,11 @@ impl PreparedQuery {
         let entries = self.plan_entries(&plans);
         let cache_before = self.cache_totals();
         if !entries.is_empty() {
-            evaluator.set_fixpoint_interceptor(Box::new(PlanDriver { entries, threads }));
+            evaluator.set_fixpoint_interceptor(Box::new(PlanDriver {
+                entries,
+                threads,
+                deadline: None,
+            }));
         }
 
         let (groups, batched) = evaluator.run_fixpoint_batched(&occ.var, &occ.body, &unique)?;
@@ -749,12 +846,26 @@ struct PlanDriver {
     /// Shard count for batched runs (from the prepared query's
     /// [`Parallelism`] policy); per-seed runs are always sequential.
     threads: usize,
+    /// Per-query deadline, installed on the entry's executor before each
+    /// run so the algebraic iteration barrier enforces it too.
+    deadline: Option<Instant>,
+}
+
+/// Map an executor failure to the eval-layer error the interceptor
+/// contract reports: the deadline stays **typed** (so the service can
+/// distinguish a timeout from a genuine back-end failure); everything else
+/// is carried as an opaque back-end message.
+fn backend_error(err: AlgebraError) -> EvalError {
+    match err {
+        AlgebraError::DeadlineExceeded => EvalError::DeadlineExceeded,
+        other => EvalError::Backend(other.to_string()),
+    }
 }
 
 impl FixpointInterceptor for PlanDriver {
     fn run_fixpoint(
         &mut self,
-        store: &mut NodeStore,
+        store: StoreMut<'_>,
         var: &str,
         body: &Expr,
         seed: &[NodeId],
@@ -765,6 +876,7 @@ impl FixpointInterceptor for PlanDriver {
             .iter()
             .find(|e| e.var == var && *e.body == *body)?;
         let mut executor = entry.executor.lock().expect("executor lock");
+        executor.set_deadline(self.deadline);
         let hits_before = executor.static_cache_hits();
         let evals_before = executor.static_plan_evals();
         Some(
@@ -789,14 +901,14 @@ impl FixpointInterceptor for PlanDriver {
                         batch_seeds: 0,
                     },
                 )),
-                Err(err) => Err(EvalError::Backend(err.to_string())),
+                Err(err) => Err(backend_error(err)),
             },
         )
     }
 
     fn run_fixpoint_batched(
         &mut self,
-        store: &mut NodeStore,
+        store: StoreMut<'_>,
         var: &str,
         body: &Expr,
         seeds: &[NodeId],
@@ -831,6 +943,7 @@ impl FixpointInterceptor for PlanDriver {
         };
         let mut executor = entry.batched_executor.lock().expect("executor lock");
         executor.set_threads(self.threads);
+        executor.set_deadline(self.deadline);
         let hits_before = executor.static_cache_hits();
         let evals_before = executor.static_plan_evals();
         Some(
@@ -872,7 +985,7 @@ impl FixpointInterceptor for PlanDriver {
                         },
                     ))
                 }
-                Err(err) => Err(EvalError::Backend(err.to_string())),
+                Err(err) => Err(backend_error(err)),
             },
         )
     }

@@ -434,7 +434,7 @@ pub fn call_builtin(
             if !args[0].all_nodes() {
                 return Err(EvalError::Type("ddo(): argument must be nodes".into()));
             }
-            let ordered = ddo(eval.store, &args[0].nodes());
+            let ordered = ddo(&eval.store, &args[0].nodes());
             Ok(Sequence::from_nodes(ordered))
         }
         _ => Err(EvalError::UndefinedFunction {

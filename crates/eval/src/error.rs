@@ -42,6 +42,11 @@ pub enum EvalError {
     /// A fixpoint interceptor (an alternative fixpoint back-end installed by
     /// a higher layer, e.g. the algebraic executor) failed.
     Backend(String),
+    /// The cooperative deadline (`EvalOptions::deadline`) passed while a
+    /// fixpoint driver was iterating.  Deadlines are checked at the same
+    /// iteration barrier as the iteration / node-count limits, so a
+    /// timed-out query aborts between iterations, never mid-mutation.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for EvalError {
@@ -64,6 +69,7 @@ impl fmt::Display for EvalError {
                 write!(f, "user-defined function recursion exceeded depth {depth}")
             }
             EvalError::Backend(msg) => write!(f, "fixpoint back-end error: {msg}"),
+            EvalError::DeadlineExceeded => write!(f, "query deadline exceeded"),
         }
     }
 }

@@ -9,7 +9,7 @@ use xqy_parser::ast::{
 use xqy_parser::{parse_query, BinaryOp};
 use xqy_xdm::{
     ddo, intersect, node_except, node_union, AtomicValue, Interner, Item, NodeId, NodeKind,
-    NodeStore, Sequence, StrId,
+    NodeStore, Sequence, StoreMut, StrId,
 };
 
 use crate::compare::{arithmetic, effective_boolean_value, general_pair_compare, value_compare};
@@ -47,6 +47,11 @@ pub struct EvalOptions {
     /// evaluator holds the store mutably); the algebraic back-end is where
     /// body-level parallelism lives.
     pub fixpoint_threads: usize,
+    /// Cooperative deadline: fixpoint drivers check it at every iteration
+    /// barrier (the same place the iteration / node-count limits are
+    /// enforced) and abort with [`EvalError::DeadlineExceeded`] once the
+    /// instant has passed.  `None` (the default) never times out.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for EvalOptions {
@@ -58,17 +63,21 @@ impl Default for EvalOptions {
             max_fixpoint_nodes: 50_000_000,
             max_recursion_depth: 4_096,
             fixpoint_threads: 1,
+            deadline: None,
         }
     }
 }
 
 /// The XQuery interpreter.
 ///
-/// An `Evaluator` borrows the [`NodeStore`] mutably for the duration of a
-/// query run: node constructors add new trees to the store, and document
-/// order / ID indexes are refreshed lazily on access.
+/// An `Evaluator` holds a [`StoreMut`] handle for the duration of a query
+/// run: either exclusive access to a [`NodeStore`] (the classic single-query
+/// path) or a session's [copy-on-write store](xqy_xdm::CowStore) (the
+/// concurrent service path, where node constructors clone the shared store
+/// privately instead of mutating it).  Document order / ID indexes are
+/// refreshed lazily on access either way.
 pub struct Evaluator<'s> {
-    pub(crate) store: &'s mut NodeStore,
+    pub(crate) store: StoreMut<'s>,
     /// Name pool: every variable, parameter and function name the evaluator
     /// touches is interned once, so environments and the function registry
     /// key on `Copy` [`StrId`] symbols instead of `String`s.
@@ -107,9 +116,13 @@ struct OccurrenceOverrides {
 
 impl<'s> Evaluator<'s> {
     /// Create an evaluator over `store` with default options.
-    pub fn new(store: &'s mut NodeStore) -> Self {
+    ///
+    /// Accepts anything convertible into a [`StoreMut`] handle: a classic
+    /// `&mut NodeStore`, or a `&mut CowStore` for copy-on-write execution
+    /// over a shared store.
+    pub fn new(store: impl Into<StoreMut<'s>>) -> Self {
         Evaluator {
-            store,
+            store: store.into(),
             names: Interner::new(),
             functions: HashMap::new(),
             globals: Vec::new(),
@@ -121,9 +134,15 @@ impl<'s> Evaluator<'s> {
         }
     }
 
-    /// Borrow the underlying node store.
+    /// Borrow the underlying node store mutably (a copy-on-write handle
+    /// clones the shared store on first use — see [`xqy_xdm::CowStore`]).
     pub fn store(&mut self) -> &mut NodeStore {
-        self.store
+        self.store.write()
+    }
+
+    /// Borrow the underlying node store for reading (never copies).
+    pub fn store_ref(&self) -> &NodeStore {
+        self.store.read()
     }
 
     /// Current options.
@@ -299,7 +318,7 @@ impl<'s> Evaluator<'s> {
         }
         if let Some(mut interceptor) = self.interceptor.take() {
             let outcome = interceptor.run_fixpoint_batched(
-                self.store,
+                self.store.reborrow(),
                 var,
                 body,
                 seeds,
@@ -318,7 +337,7 @@ impl<'s> Evaluator<'s> {
             let mut handled = None;
             if let Some(mut interceptor) = self.interceptor.take() {
                 let outcome = interceptor.run_fixpoint(
-                    self.store,
+                    self.store.reborrow(),
                     var,
                     body,
                     &[seed],
@@ -622,7 +641,7 @@ impl<'s> Evaluator<'s> {
                 for pred in predicates {
                     seq = self.apply_predicate(seq, pred, env)?;
                 }
-                let ordered = ddo(self.store, &seq.nodes());
+                let ordered = ddo(&self.store, &seq.nodes());
                 Ok(Sequence::from_nodes(ordered))
             }
             Expr::Filter { input, predicates } => {
@@ -647,7 +666,7 @@ impl<'s> Evaluator<'s> {
                 if seed_value.all_nodes() {
                     if let Some(mut interceptor) = self.interceptor.take() {
                         let outcome = interceptor.run_fixpoint(
-                            self.store,
+                            self.store.reborrow(),
                             var,
                             body,
                             &seed_value.nodes(),
@@ -706,10 +725,10 @@ impl<'s> Evaluator<'s> {
             }
         }
         if let Some(ids) = out.node_ids() {
-            let ordered = ddo(self.store, ids);
+            let ordered = ddo(&self.store, ids);
             Ok(Sequence::from_nodes(ordered))
         } else if out.all_nodes() {
-            let ordered = ddo(self.store, &out.nodes());
+            let ordered = ddo(&self.store, &out.nodes());
             Ok(Sequence::from_nodes(ordered))
         } else if out.nodes().is_empty() {
             Ok(out)
@@ -814,9 +833,9 @@ impl<'s> Evaluator<'s> {
                     }
                 };
                 let result = match op {
-                    BinaryOp::Union => node_union(self.store, ln, rn),
-                    BinaryOp::Intersect => intersect(self.store, ln, rn),
-                    BinaryOp::Except => node_except(self.store, ln, rn),
+                    BinaryOp::Union => node_union(&self.store, ln, rn),
+                    BinaryOp::Intersect => intersect(&self.store, ln, rn),
+                    BinaryOp::Except => node_except(&self.store, ln, rn),
                     _ => unreachable!(),
                 };
                 Ok(Sequence::from_nodes(result))
@@ -1093,7 +1112,7 @@ impl<'s> Evaluator<'s> {
                 }
             }
         }
-        ddo(self.store, &out)
+        ddo(&self.store, &out)
     }
 
     /// Evaluate the recursion body of an IFP with `var` bound to `value`

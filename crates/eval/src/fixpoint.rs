@@ -89,9 +89,13 @@ impl FixpointBackendTag {
 /// relational back-end, without re-entering the interpreter per iteration.
 pub trait FixpointInterceptor {
     /// Attempt to run the fixpoint for `(var, body)` seeded by `seed`.
+    ///
+    /// `store` is the evaluator's store handle — exclusive or copy-on-write
+    /// (see [`StoreMut`](xqy_xdm::StoreMut)); implementors that construct
+    /// nodes write through it like a `&mut NodeStore`.
     fn run_fixpoint(
         &mut self,
-        store: &mut xqy_xdm::NodeStore,
+        store: xqy_xdm::StoreMut<'_>,
         var: &str,
         body: &Expr,
         seed: &[NodeId],
@@ -117,7 +121,7 @@ pub trait FixpointInterceptor {
     /// seeds span documents.
     fn run_fixpoint_batched(
         &mut self,
-        store: &mut xqy_xdm::NodeStore,
+        store: xqy_xdm::StoreMut<'_>,
         var: &str,
         body: &Expr,
         seeds: &[NodeId],
@@ -255,6 +259,11 @@ fn call_payload(
 
 fn check_limits(eval: &Evaluator<'_>, stats: &FixpointStats, result_len: usize) -> Result<()> {
     let options = eval.options();
+    if let Some(deadline) = options.deadline {
+        if std::time::Instant::now() >= deadline {
+            return Err(EvalError::DeadlineExceeded);
+        }
+    }
     if stats.iterations >= options.max_fixpoint_iterations {
         return Err(EvalError::NoFixpoint {
             iterations: stats.iterations,
@@ -288,7 +297,7 @@ fn naive(
     stats: &mut FixpointStats,
 ) -> Result<Vec<NodeId>> {
     let mut res = NodeSet::from_nodes(initial.iter().copied());
-    let mut res_vec = res.to_vec(eval.store);
+    let mut res_vec = res.to_vec(&eval.store);
     loop {
         check_limits(eval, stats, res.len())?;
         stats.iterations += 1;
@@ -299,7 +308,7 @@ fn naive(
             return Ok(res_vec);
         }
         res.union_in_place(&fresh);
-        res_vec = res.to_vec(eval.store);
+        res_vec = res.to_vec(&eval.store);
     }
 }
 
@@ -323,12 +332,12 @@ fn delta(
     loop {
         check_limits(eval, stats, res.len())?;
         stats.iterations += 1;
-        let delta_vec = delta.to_vec(eval.store);
+        let delta_vec = delta.to_vec(&eval.store);
         let step = call_payload(eval, var, &delta_vec, body, env, stats)?;
         delta = NodeSet::from_nodes(step);
         delta.except_in_place(&res);
         if delta.is_empty() {
-            return Ok(res.to_vec(eval.store));
+            return Ok(res.to_vec(&eval.store));
         }
         res.union_in_place(&delta);
     }
@@ -499,7 +508,7 @@ fn batched_shared(
 
     Ok(materialize_states(
         eval.options().fixpoint_threads,
-        eval.store,
+        &eval.store,
         states.iter().map(|s| &s.res),
     ))
 }
@@ -546,7 +555,7 @@ fn batched_grouped(
             call_payload(eval, var, &[seed], body, env, stats)?
         };
         let res = NodeSet::from_nodes(initial.iter().copied());
-        let frontier = res.to_vec(eval.store);
+        let frontier = res.to_vec(&eval.store);
         states.push(SeedState {
             res,
             frontier,
@@ -573,15 +582,15 @@ fn batched_grouped(
             }
             state.res.union_in_place(&fresh);
             state.frontier = match strategy {
-                FixpointStrategy::Naive => state.res.to_vec(eval.store),
-                FixpointStrategy::Delta => fresh.to_vec(eval.store),
+                FixpointStrategy::Naive => state.res.to_vec(&eval.store),
+                FixpointStrategy::Delta => fresh.to_vec(&eval.store),
             };
         }
     }
 
     Ok(materialize_states(
         eval.options().fixpoint_threads,
-        eval.store,
+        &eval.store,
         states.iter().map(|s| &s.res),
     ))
 }

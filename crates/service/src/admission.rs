@@ -1,0 +1,190 @@
+//! Admission control: a bounded, deadline-aware counting semaphore.
+//!
+//! The service admits at most `max_concurrent` queries into execution at a
+//! time; up to `max_queue` more may wait.  A request that arrives with both
+//! limits exhausted is rejected **immediately** with
+//! [`ServiceError::Saturated`] — it never queues, so overload turns into
+//! fast, typed rejections instead of unbounded latency.  A request that is
+//! queued but whose deadline passes before a permit frees up is rejected
+//! with [`ServiceError::DeadlineExceeded`].
+//!
+//! Built on `Mutex` + `Condvar` only (the workspace is `std`-only).  Lock
+//! poisoning is deliberately ignored (`unwrap_or_else(PoisonError::
+//! into_inner)`): the guarded state is two counters whose invariants are
+//! re-established on every transition, so a panic elsewhere must not wedge
+//! the whole service.
+
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::error::ServiceError;
+
+#[derive(Debug, Default)]
+struct Counts {
+    /// Permits currently held (queries executing).
+    active: usize,
+    /// Requests blocked in [`Admission::acquire`] waiting for a permit.
+    queued: usize,
+}
+
+/// Bounded counting semaphore guarding query execution slots.
+#[derive(Debug)]
+pub(crate) struct Admission {
+    counts: Mutex<Counts>,
+    freed: Condvar,
+    max_concurrent: usize,
+    max_queue: usize,
+}
+
+impl Admission {
+    pub(crate) fn new(max_concurrent: usize, max_queue: usize) -> Self {
+        Admission {
+            counts: Mutex::new(Counts::default()),
+            freed: Condvar::new(),
+            max_concurrent: max_concurrent.max(1),
+            max_queue,
+        }
+    }
+
+    /// Acquire an execution permit, waiting until `deadline` (forever when
+    /// `None`).  Returns a RAII [`Permit`] that releases the slot on drop.
+    pub(crate) fn acquire(
+        &self,
+        deadline: Option<Instant>,
+        timeout: Duration,
+    ) -> Result<Permit<'_>, ServiceError> {
+        let mut counts = self.counts.lock().unwrap_or_else(PoisonError::into_inner);
+        if counts.active < self.max_concurrent {
+            counts.active += 1;
+            return Ok(Permit { admission: self });
+        }
+        if counts.queued >= self.max_queue {
+            return Err(ServiceError::Saturated {
+                active: counts.active,
+                queued: counts.queued,
+            });
+        }
+        counts.queued += 1;
+        loop {
+            match deadline {
+                None => {
+                    counts = self
+                        .freed
+                        .wait(counts)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        counts.queued -= 1;
+                        return Err(ServiceError::DeadlineExceeded { timeout });
+                    }
+                    let (guard, _timed_out) = self
+                        .freed
+                        .wait_timeout(counts, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    counts = guard;
+                }
+            }
+            if counts.active < self.max_concurrent {
+                counts.queued -= 1;
+                counts.active += 1;
+                return Ok(Permit { admission: self });
+            }
+        }
+    }
+
+    fn release(&self) {
+        let mut counts = self.counts.lock().unwrap_or_else(PoisonError::into_inner);
+        counts.active -= 1;
+        drop(counts);
+        self.freed.notify_one();
+    }
+
+    /// Current (active, queued) counts — for stats reporting.
+    pub(crate) fn load(&self) -> (usize, usize) {
+        let counts = self.counts.lock().unwrap_or_else(PoisonError::into_inner);
+        (counts.active, counts.queued)
+    }
+}
+
+/// RAII execution permit; dropping it frees the slot and wakes one waiter.
+#[derive(Debug)]
+pub(crate) struct Permit<'a> {
+    admission: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.admission.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn grants_up_to_max_concurrent() {
+        let admission = Admission::new(2, 0);
+        let p1 = admission.acquire(None, Duration::ZERO).unwrap();
+        let _p2 = admission.acquire(None, Duration::ZERO).unwrap();
+        assert_eq!(admission.load(), (2, 0));
+        drop(p1);
+        let _p3 = admission.acquire(None, Duration::ZERO).unwrap();
+        assert_eq!(admission.load(), (2, 0));
+    }
+
+    #[test]
+    fn rejects_saturated_without_queueing() {
+        let admission = Admission::new(1, 0);
+        let _held = admission.acquire(None, Duration::ZERO).unwrap();
+        let err = admission
+            .acquire(None, Duration::ZERO)
+            .expect_err("queue of 0 must reject immediately");
+        assert_eq!(
+            err,
+            ServiceError::Saturated {
+                active: 1,
+                queued: 0
+            }
+        );
+    }
+
+    #[test]
+    fn queued_request_times_out_with_deadline_exceeded() {
+        let admission = Admission::new(1, 4);
+        let _held = admission.acquire(None, Duration::ZERO).unwrap();
+        let timeout = Duration::from_millis(20);
+        let err = admission
+            .acquire(Some(Instant::now() + timeout), timeout)
+            .expect_err("permit never frees, deadline must fire");
+        assert_eq!(err, ServiceError::DeadlineExceeded { timeout });
+        // The queue slot was returned on the error path.
+        assert_eq!(admission.load(), (1, 0));
+    }
+
+    #[test]
+    fn queued_request_proceeds_when_permit_frees() {
+        let admission = Arc::new(Admission::new(1, 4));
+        let held = admission.acquire(None, Duration::ZERO).unwrap();
+        let waiter = {
+            let admission = Arc::clone(&admission);
+            thread::spawn(move || {
+                admission
+                    .acquire(
+                        Some(Instant::now() + Duration::from_secs(10)),
+                        Duration::ZERO,
+                    )
+                    .map(|_p| ())
+            })
+        };
+        // Give the waiter time to enqueue, then free the permit.
+        thread::sleep(Duration::from_millis(20));
+        drop(held);
+        waiter.join().unwrap().expect("waiter should be admitted");
+        assert_eq!(admission.load(), (0, 0));
+    }
+}

@@ -1,0 +1,418 @@
+//! Cross-session prepared-plan cache.
+//!
+//! Preparation (parse → distributivity analysis → algebraic compilation)
+//! is the expensive, *store-independent* half of query processing: a
+//! [`PreparedQuery`] captures the analysed module and its compiled plans
+//! but pins no documents, so one prepared artifact can serve every session
+//! and every snapshot.  The cache keys on the query *text* plus the knobs
+//! that change the prepared artifact (backend, strategy, parallelism), and
+//! is invalidated wholesale whenever the published snapshot's load epoch
+//! moves — document identity may have changed, so compiled plans that
+//! embedded `doc(...)` resolutions must be rebuilt.  Revision-only motion
+//! (constructed nodes) keeps the cache warm.
+//!
+//! # Leases and the executor pool
+//!
+//! A prepared query's persistent plan executors live behind a `Mutex` held
+//! for a whole fixpoint run, so handing every session the *same* artifact
+//! would serialize concurrent executions of a popular query.  Instead the
+//! cache hands out **leases**: each entry keeps a pool of executor forks
+//! ([`PreparedQuery::fork_executors`] — shared compiled plans, private
+//! executors), [`acquire`](PlanCache::acquire) pops an idle fork (or mints
+//! one when all are in flight), and dropping the [`PlanLease`] returns the
+//! fork — with its now-warm static caches — to the pool.  N sessions thus
+//! run N truly concurrent executions of one cached query, while the
+//! expensive preparation still happens exactly once per distinct text.
+//!
+//! Eviction is least-recently-used via a monotone tick stamped on every
+//! hit; capacity is fixed at construction.  All counters
+//! ([`CacheCounters`]) are cumulative over the service lifetime.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use xqy_ifp::{Backend, Parallelism, PreparedQuery, Strategy};
+
+/// How the cache answered a single query's lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The prepared plan was found in the cache (no parse/analyse work).
+    Hit,
+    /// The query was prepared from scratch and inserted.
+    Miss,
+}
+
+/// Cumulative cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required a fresh preparation.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure (LRU).
+    pub evictions: u64,
+    /// Entries dropped because the snapshot's load epoch moved.
+    pub invalidations: u64,
+    /// Executor forks minted because every pooled fork was in flight.
+    pub forks: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// Cache key: the query text plus every knob that changes the prepared
+/// artifact.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    query: String,
+    backend: Backend,
+    strategy: Strategy,
+    parallelism: Parallelism,
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// The canonical artifact forks are minted from (also the first lease's
+    /// artifact, returned to the pool when released).
+    master: Arc<PreparedQuery>,
+    /// Released forks, warm and ready for the next session.
+    idle: Vec<Arc<PreparedQuery>>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<Key, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+    forks: u64,
+}
+
+impl Inner {
+    /// Pop an idle fork of `key`'s entry, or mint a fresh one.
+    fn lease_artifact(&mut self, key: &Key, tick: u64) -> Option<Arc<PreparedQuery>> {
+        let entry = self.entries.get_mut(key)?;
+        entry.last_used = tick;
+        Some(match entry.idle.pop() {
+            Some(fork) => fork,
+            None => {
+                self.forks += 1;
+                Arc::new(entry.master.fork_executors())
+            }
+        })
+    }
+}
+
+/// Thread-safe LRU cache of [`PreparedQuery`] artifacts shared by all
+/// sessions of one [`QueryService`](crate::QueryService).
+#[derive(Debug)]
+pub(crate) struct PlanCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+/// Caps how many released forks an entry retains; concurrency beyond this
+/// mints throw-away forks instead of growing the pool without bound.
+const MAX_IDLE_FORKS: usize = 64;
+
+impl PlanCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Lease a prepared plan for one execution; records a hit (refreshing
+    /// recency) or a miss.  On a miss the caller prepares *outside* the
+    /// cache lock and calls [`PlanCache::insert`].
+    pub(crate) fn acquire(
+        &self,
+        query: &str,
+        backend: Backend,
+        strategy: Strategy,
+        parallelism: Parallelism,
+    ) -> Option<PlanLease<'_>> {
+        let key = Key {
+            query: query.to_owned(),
+            backend,
+            strategy,
+            parallelism,
+        };
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.lease_artifact(&key, tick) {
+            Some(prepared) => {
+                inner.hits += 1;
+                Some(PlanLease {
+                    cache: self,
+                    key,
+                    prepared: Some(prepared),
+                    outcome: CacheOutcome::Hit,
+                })
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly prepared plan (after an [`acquire`]
+    /// (PlanCache::acquire) miss) and lease it, evicting the
+    /// least-recently-used entry if the cache is full.  If another session
+    /// raced us and inserted the same key first, its entry wins and the
+    /// lease comes from its pool, so all sessions share one preparation.
+    pub(crate) fn insert(
+        &self,
+        query: &str,
+        backend: Backend,
+        strategy: Strategy,
+        parallelism: Parallelism,
+        prepared: Arc<PreparedQuery>,
+    ) -> PlanLease<'_> {
+        let key = Key {
+            query: query.to_owned(),
+            backend,
+            strategy,
+            parallelism,
+        };
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let artifact = match inner.lease_artifact(&key, tick) {
+            Some(artifact) => artifact,
+            None => {
+                if inner.entries.len() >= self.capacity {
+                    if let Some(victim) = inner
+                        .entries
+                        .iter()
+                        .min_by_key(|(_, entry)| entry.last_used)
+                        .map(|(key, _)| key.clone())
+                    {
+                        inner.entries.remove(&victim);
+                        inner.evictions += 1;
+                    }
+                }
+                inner.entries.insert(
+                    key.clone(),
+                    Entry {
+                        master: Arc::clone(&prepared),
+                        idle: Vec::new(),
+                        last_used: tick,
+                    },
+                );
+                prepared
+            }
+        };
+        PlanLease {
+            cache: self,
+            key,
+            prepared: Some(artifact),
+            outcome: CacheOutcome::Miss,
+        }
+    }
+
+    /// Return a lease's artifact to its entry's pool (no-op when the entry
+    /// was evicted or invalidated in the meantime — the artifact is simply
+    /// dropped).
+    fn release(&self, key: &Key, prepared: Arc<PreparedQuery>) {
+        let mut inner = self.lock();
+        if let Some(entry) = inner.entries.get_mut(key) {
+            if entry.idle.len() < MAX_IDLE_FORKS {
+                entry.idle.push(prepared);
+            }
+        }
+    }
+
+    /// Drop every entry — called when the published snapshot's load epoch
+    /// moves and compiled document references may be stale.  In-flight
+    /// leases are unaffected (their artifacts are dropped on release).
+    pub(crate) fn invalidate_all(&self) {
+        let mut inner = self.lock();
+        let dropped = inner.entries.len() as u64;
+        inner.entries.clear();
+        inner.invalidations += dropped;
+    }
+
+    /// Cumulative counters plus current occupancy.
+    pub(crate) fn counters(&self) -> CacheCounters {
+        let inner = self.lock();
+        CacheCounters {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            invalidations: inner.invalidations,
+            forks: inner.forks,
+            entries: inner.entries.len(),
+        }
+    }
+}
+
+/// One session's exclusive hold on a prepared artifact: executors are
+/// private to the lease for its lifetime, and dropping it returns them —
+/// warm — to the entry's pool.
+#[derive(Debug)]
+pub(crate) struct PlanLease<'c> {
+    cache: &'c PlanCache,
+    key: Key,
+    prepared: Option<Arc<PreparedQuery>>,
+    /// Whether this lease came from the cache or a fresh preparation.
+    pub(crate) outcome: CacheOutcome,
+}
+
+impl PlanLease<'_> {
+    pub(crate) fn prepared(&self) -> &PreparedQuery {
+        self.prepared
+            .as_ref()
+            .expect("lease artifact present until drop")
+    }
+
+    #[cfg(test)]
+    fn artifact(&self) -> &Arc<PreparedQuery> {
+        self.prepared
+            .as_ref()
+            .expect("lease artifact present until drop")
+    }
+}
+
+impl Drop for PlanLease<'_> {
+    fn drop(&mut self) {
+        if let Some(prepared) = self.prepared.take() {
+            self.cache.release(&self.key, prepared);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prepared(query: &str) -> Arc<PreparedQuery> {
+        Arc::new(
+            PreparedQuery::prepare(
+                query,
+                Strategy::Auto,
+                Backend::SourceLevel,
+                Parallelism::Sequential,
+            )
+            .expect("test query prepares"),
+        )
+    }
+
+    const Q1: &str = "1 + 1";
+    const Q2: &str = "2 + 2";
+    const Q3: &str = "3 + 3";
+
+    fn get<'c>(cache: &'c PlanCache, q: &str) -> Option<PlanLease<'c>> {
+        cache.acquire(q, Backend::Auto, Strategy::Auto, Parallelism::Sequential)
+    }
+
+    fn put<'c>(cache: &'c PlanCache, q: &str) -> PlanLease<'c> {
+        cache.insert(
+            q,
+            Backend::Auto,
+            Strategy::Auto,
+            Parallelism::Sequential,
+            prepared(q),
+        )
+    }
+
+    #[test]
+    fn hit_miss_and_lru_eviction() {
+        let cache = PlanCache::new(2);
+        assert!(get(&cache, Q1).is_none());
+        put(&cache, Q1);
+        put(&cache, Q2);
+        assert!(get(&cache, Q1).is_some()); // refreshes Q1's recency
+        put(&cache, Q3); // evicts Q2 (least recently used)
+        assert!(get(&cache, Q1).is_some());
+        assert!(get(&cache, Q2).is_none());
+        assert!(get(&cache, Q3).is_some());
+        let counters = cache.counters();
+        assert_eq!(counters.evictions, 1);
+        assert_eq!(counters.entries, 2);
+        assert_eq!(counters.hits, 3);
+        assert_eq!(counters.misses, 2);
+    }
+
+    #[test]
+    fn key_includes_backend_and_strategy() {
+        let cache = PlanCache::new(8);
+        cache.insert(
+            Q1,
+            Backend::SourceLevel,
+            Strategy::Naive,
+            Parallelism::Sequential,
+            prepared(Q1),
+        );
+        assert!(cache
+            .get_for_test(Q1, Backend::Auto, Strategy::Naive)
+            .is_none());
+        assert!(cache
+            .get_for_test(Q1, Backend::SourceLevel, Strategy::Delta)
+            .is_none());
+        assert!(cache
+            .get_for_test(Q1, Backend::SourceLevel, Strategy::Naive)
+            .is_some());
+    }
+
+    impl PlanCache {
+        fn get_for_test(
+            &self,
+            q: &str,
+            backend: Backend,
+            strategy: Strategy,
+        ) -> Option<PlanLease<'_>> {
+            self.acquire(q, backend, strategy, Parallelism::Sequential)
+        }
+    }
+
+    #[test]
+    fn invalidation_drops_all_entries_and_counts_them() {
+        let cache = PlanCache::new(8);
+        put(&cache, Q1);
+        put(&cache, Q2);
+        cache.invalidate_all();
+        assert!(get(&cache, Q1).is_none());
+        assert_eq!(cache.counters().invalidations, 2);
+        assert_eq!(cache.counters().entries, 0);
+    }
+
+    #[test]
+    fn racing_insert_shares_the_first_entry() {
+        let cache = PlanCache::new(8);
+        let first = put(&cache, Q1);
+        // A racing second insert leases from the existing entry instead of
+        // replacing it; with the master out on `first`'s lease, it gets a
+        // fork.
+        let second = put(&cache, Q1);
+        assert!(!Arc::ptr_eq(first.artifact(), second.artifact()));
+        assert_eq!(cache.counters().entries, 1);
+        assert_eq!(cache.counters().forks, 1);
+    }
+
+    #[test]
+    fn concurrent_leases_fork_and_pool_on_release() {
+        let cache = PlanCache::new(8);
+        put(&cache, Q1); // master returns to the pool on drop
+        let a = get(&cache, Q1).unwrap();
+        let b = get(&cache, Q1).unwrap(); // pool empty → fork
+        assert!(!Arc::ptr_eq(a.artifact(), b.artifact()));
+        assert_eq!(cache.counters().forks, 1);
+        let b_ptr = Arc::as_ptr(b.artifact());
+        drop(a);
+        drop(b);
+        // Released forks are reused (LIFO), not re-minted.
+        let c = get(&cache, Q1).unwrap();
+        assert_eq!(Arc::as_ptr(c.artifact()), b_ptr);
+        assert_eq!(cache.counters().forks, 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Typed errors of the query service front-end.
+
+use std::fmt;
+use std::time::Duration;
+
+use xqy_ifp::IfpError;
+
+/// Errors a [`QueryService`](crate::QueryService) call can return.
+///
+/// Admission and deadline failures are **typed** (not stringly wrapped) so
+/// load-shedding clients can distinguish "retry later"
+/// ([`ServiceError::Saturated`]) from "this query is too expensive for
+/// its budget" ([`ServiceError::DeadlineExceeded`]) from a genuine query
+/// failure.  None of them poison the service: every error
+/// path releases its admission permit and leaves the published snapshot,
+/// the plan cache and the writer store untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The admission queue was full: `max_concurrent` queries were
+    /// executing and `max_queue` more were already waiting.  The query was
+    /// rejected without queueing — retry later or shed load.
+    Saturated {
+        /// Queries executing when the request was rejected.
+        active: usize,
+        /// Queries queued when the request was rejected.
+        queued: usize,
+    },
+    /// The per-query deadline passed — while waiting for admission, or at
+    /// a fixpoint iteration barrier during execution.  The service remains
+    /// fully operational; only this query was aborted.
+    DeadlineExceeded {
+        /// The timeout budget the query ran under.
+        timeout: Duration,
+    },
+    /// Query preparation or execution failed (parse error, unbound
+    /// variable, missing document, diverging fixpoint, …).
+    Query(IfpError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Saturated { active, queued } => write!(
+                f,
+                "service saturated: {active} queries executing, {queued} queued"
+            ),
+            ServiceError::DeadlineExceeded { timeout } => {
+                write!(f, "query deadline exceeded (timeout {timeout:?})")
+            }
+            ServiceError::Query(err) => write!(f, "query failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<IfpError> for ServiceError {
+    fn from(err: IfpError) -> Self {
+        ServiceError::Query(err)
+    }
+}
+
+/// Result alias for the service crate.
+pub type Result<T> = std::result::Result<T, ServiceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = ServiceError::Saturated {
+            active: 8,
+            queued: 16,
+        };
+        assert!(err.to_string().contains('8'));
+        assert!(err.to_string().contains("16"));
+        let err = ServiceError::DeadlineExceeded {
+            timeout: Duration::from_millis(250),
+        };
+        assert!(err.to_string().contains("deadline"));
+    }
+}

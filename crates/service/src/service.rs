@@ -1,0 +1,519 @@
+//! The concurrent query service itself.
+//!
+//! # Snapshot publication
+//!
+//! The service owns two stores-worth of state:
+//!
+//! * a **writer master** (`Mutex<NodeStore>`) that [`load_document`]
+//!   (QueryService::load_document) and friends mutate, and
+//! * the **published snapshot** (`RwLock<Arc<Published>>`): an immutable,
+//!   eagerly refreshed clone of the master that queries read.
+//!
+//! [`publish`](QueryService::publish) clones the master under the writer
+//! lock, pre-builds its derived state ([`NodeStore::refresh_all`]) and
+//! atomically swaps the `Arc` in.  A query pins the `Arc` current at its
+//! start and keeps it for its whole execution — a concurrent republish
+//! never changes data under a running query, and dropping the last pin
+//! frees the superseded snapshot.  Because the swap replaces a whole
+//! `Arc<Published>` (store + epoch + revision built before the swap), no
+//! reader can observe a half-published store.
+//!
+//! Queries whose bodies *construct* nodes never write to the shared
+//! snapshot: each execution wraps its pinned `Arc<NodeStore>` in a
+//! [`CowStore`], so the first construction clones the store privately and
+//! all other sessions keep reading the shared copy unblocked.
+//!
+//! # Plan cache and deadlines
+//!
+//! See [`crate::cache`] for the cross-session prepared-plan cache and
+//! [`crate::admission`] for the bounded admission front-end.  The
+//! per-query deadline is enforced cooperatively: it is handed down as
+//! [`ExecOptions::deadline`] and checked by both fixpoint drivers at every
+//! iteration barrier, so an over-budget query aborts between iterations
+//! with a typed error and the service keeps serving.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::time::{Duration, Instant};
+
+use xqy_ifp::xdm::{CowStore, NodeStore};
+use xqy_ifp::{
+    Backend, Bindings, ExecOptions, IfpError, Parallelism, PreparedQuery, QueryOutcome, Strategy,
+};
+
+use crate::admission::Admission;
+use crate::cache::{CacheCounters, CacheOutcome, PlanCache, PlanLease};
+use crate::error::{Result, ServiceError};
+
+/// Construction-time knobs of a [`QueryService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Queries allowed to execute simultaneously (≥ 1).
+    pub max_concurrent: usize,
+    /// Additional queries allowed to wait for a slot before new arrivals
+    /// are rejected with [`ServiceError::Saturated`].
+    pub max_queue: usize,
+    /// Prepared-plan cache capacity (entries, ≥ 1).
+    pub plan_cache_capacity: usize,
+    /// Default per-query timeout; `None` means queries never time out
+    /// unless [`execute_with`](QueryService::execute_with) passes one.
+    pub default_timeout: Option<Duration>,
+    /// Fixpoint strategy queries are prepared under.
+    pub strategy: Strategy,
+    /// Back-end queries are prepared under.
+    pub backend: Backend,
+    /// Thread policy for batched fixpoint executions.
+    pub parallelism: Parallelism,
+    /// Start IFP accumulations from the seed itself.
+    pub seed_in_result: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_concurrent: 8,
+            max_queue: 32,
+            plan_cache_capacity: 64,
+            default_timeout: None,
+            strategy: Strategy::Auto,
+            backend: Backend::Auto,
+            parallelism: Parallelism::Sequential,
+            seed_in_result: false,
+        }
+    }
+}
+
+/// One published store version: the frozen snapshot queries execute
+/// against, plus the identity (`load_epoch`, `revision`) it was published
+/// at.
+#[derive(Debug, Clone)]
+pub struct PublishedSnapshot {
+    /// The frozen store.  Shared — executions that construct nodes get a
+    /// private copy-on-write divergence instead of mutating this.
+    pub store: Arc<NodeStore>,
+    /// [`NodeStore::load_epoch`] at publication.
+    pub epoch: u64,
+    /// [`NodeStore::revision`] at publication.
+    pub revision: u64,
+}
+
+/// Per-query execution statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceStats {
+    /// Time spent waiting for an admission slot.
+    pub queue_wait: Duration,
+    /// Time spent preparing (or fetching) the plan and executing.
+    pub execute_time: Duration,
+    /// `load_epoch` of the snapshot the query ran against.
+    pub snapshot_epoch: u64,
+    /// `revision` of the snapshot the query ran against.
+    pub snapshot_revision: u64,
+    /// Whether the plan came from the cross-session cache.
+    pub cache: CacheOutcome,
+}
+
+/// A successful query execution: the engine outcome, the service-level
+/// stats, and the store the result's nodes live in.
+#[derive(Debug, Clone)]
+pub struct ServiceOutcome {
+    /// The engine-level outcome (result sequence, distributivity reports,
+    /// per-occurrence decisions, fixpoint statistics).
+    pub outcome: QueryOutcome,
+    /// Service-level statistics for this query.
+    pub stats: ServiceStats,
+    /// The store the result nodes reference: the pinned published snapshot,
+    /// or this execution's private copy-on-write divergence if the query
+    /// constructed nodes.
+    pub store: Arc<NodeStore>,
+}
+
+impl ServiceOutcome {
+    /// Serialize the result sequence against [`ServiceOutcome::store`].
+    pub fn display(&self) -> String {
+        self.outcome.result.display(&self.store)
+    }
+}
+
+/// Cumulative service counters (all monotone over the service lifetime,
+/// except the instantaneous `active`/`queued` pair).
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceCounters {
+    /// Queries that completed successfully.
+    pub succeeded: u64,
+    /// Queries rejected or aborted by their deadline.
+    pub deadline_exceeded: u64,
+    /// Queries rejected because the service was saturated.
+    pub saturated: u64,
+    /// Queries that failed with a query error.
+    pub failed: u64,
+    /// Plan-cache counters.
+    pub cache: CacheCounters,
+    /// Queries executing right now.
+    pub active: usize,
+    /// Queries queued for admission right now.
+    pub queued: usize,
+}
+
+/// A thread-safe, in-process query service: many sessions execute
+/// concurrently against one published snapshot, sharing prepared plans
+/// through a cross-session cache, under bounded admission and per-query
+/// deadlines.  See the crate docs for the architecture.
+#[derive(Debug)]
+pub struct QueryService {
+    config: ServiceConfig,
+    /// The mutable master copy: loads apply here, invisible to queries
+    /// until [`publish`](QueryService::publish).
+    writer: Mutex<NodeStore>,
+    published: RwLock<Arc<PublishedSnapshot>>,
+    cache: PlanCache,
+    admission: Admission,
+    succeeded: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    saturated: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl Default for QueryService {
+    fn default() -> Self {
+        QueryService::new(ServiceConfig::default())
+    }
+}
+
+impl QueryService {
+    /// Create a service with an empty store (already published).
+    pub fn new(config: ServiceConfig) -> Self {
+        let master = NodeStore::new();
+        let published = publish_clone(&master);
+        QueryService {
+            admission: Admission::new(config.max_concurrent, config.max_queue),
+            cache: PlanCache::new(config.plan_cache_capacity),
+            writer: Mutex::new(master),
+            published: RwLock::new(Arc::new(published)),
+            config,
+            succeeded: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            saturated: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration the service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Parse `xml` into the writer master under `uri`.  Invisible to
+    /// queries until the next [`publish`](QueryService::publish).
+    pub fn load_document(&self, uri: &str, xml: &str) -> Result<()> {
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        writer
+            .parse_document_with_uri(uri, xml)
+            .map(|_| ())
+            .map_err(|e| ServiceError::Query(IfpError::Document(e.to_string())))
+    }
+
+    /// Like [`load_document`](QueryService::load_document), and declare the
+    /// attributes named in `id_attributes` ID-typed (so `id(...)` lookups
+    /// work, mirroring a DTD `#ID` declaration).
+    pub fn load_document_with_ids(
+        &self,
+        uri: &str,
+        xml: &str,
+        id_attributes: &[&str],
+    ) -> Result<()> {
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let doc = writer
+            .parse_document_with_uri(uri, xml)
+            .map_err(|e| ServiceError::Query(IfpError::Document(e.to_string())))?;
+        for attr in id_attributes {
+            writer.register_id_attribute(doc, attr);
+        }
+        Ok(())
+    }
+
+    /// Atomically publish the writer master's current state: clone it,
+    /// eagerly rebuild its derived state, and swap it in as the snapshot
+    /// new queries pin.  In-flight queries keep the snapshot they pinned.
+    /// If the load epoch moved since the previous publication (documents
+    /// or ID registrations changed), the plan cache is invalidated.
+    ///
+    /// Returns the published snapshot.
+    pub fn publish(&self) -> PublishedSnapshot {
+        let writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let fresh = publish_clone(&writer);
+        let mut slot = self
+            .published
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let previous_epoch = slot.epoch;
+        *slot = Arc::new(fresh.clone());
+        drop(slot);
+        drop(writer);
+        if previous_epoch != fresh.epoch {
+            self.cache.invalidate_all();
+        }
+        fresh
+    }
+
+    /// The snapshot new queries currently pin.
+    pub fn published(&self) -> PublishedSnapshot {
+        let slot = self
+            .published
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        (**slot).clone()
+    }
+
+    /// Execute `query` with no external bindings and the default timeout.
+    pub fn execute(&self, query: &str) -> Result<ServiceOutcome> {
+        self.execute_with(query, &Bindings::new(), None)
+    }
+
+    /// Execute `query` with `bindings`; `timeout` overrides
+    /// [`ServiceConfig::default_timeout`] when `Some`.
+    ///
+    /// The full flow: admission (bounded, deadline-aware) → pin the
+    /// published snapshot → fetch or prepare the plan through the shared
+    /// cache → execute over a copy-on-write view of the pinned store with
+    /// the deadline propagated to every fixpoint iteration barrier.
+    pub fn execute_with(
+        &self,
+        query: &str,
+        bindings: &Bindings,
+        timeout: Option<Duration>,
+    ) -> Result<ServiceOutcome> {
+        let submitted = Instant::now();
+        let timeout = timeout.or(self.config.default_timeout);
+        let deadline = timeout.map(|t| submitted + t);
+        let result = self.execute_admitted(query, bindings, submitted, timeout, deadline);
+        match &result {
+            Ok(_) => self.succeeded.fetch_add(1, Ordering::Relaxed),
+            Err(ServiceError::DeadlineExceeded { .. }) => {
+                self.deadline_exceeded.fetch_add(1, Ordering::Relaxed)
+            }
+            Err(ServiceError::Saturated { .. }) => self.saturated.fetch_add(1, Ordering::Relaxed),
+            Err(ServiceError::Query(_)) => self.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    fn execute_admitted(
+        &self,
+        query: &str,
+        bindings: &Bindings,
+        submitted: Instant,
+        timeout: Option<Duration>,
+        deadline: Option<Instant>,
+    ) -> Result<ServiceOutcome> {
+        // RAII permit: released on every exit path below, so a failed (or
+        // timed-out) query never leaks its slot.
+        let _permit = self
+            .admission
+            .acquire(deadline, timeout.unwrap_or_default())?;
+        let queue_wait = submitted.elapsed();
+
+        // Pin the snapshot current *now*; a concurrent publish after this
+        // point has no effect on this query.
+        let pinned = self.published();
+
+        // The lease holds this session's private executor fork; dropping it
+        // (on every exit path) returns the fork, warm, to the cache's pool.
+        let lease = self.prepared_plan(query)?;
+        let cache_outcome = lease.outcome;
+
+        // Copy-on-write view: reads are served by the shared snapshot; a
+        // construction body diverges privately instead of blocking anyone.
+        let started = Instant::now();
+        let mut cow = CowStore::new(Arc::clone(&pinned.store));
+        let opts = ExecOptions {
+            seed_in_result: self.config.seed_in_result,
+            deadline,
+        };
+        let outcome = lease
+            .prepared()
+            .execute_on(&mut cow, bindings, &opts)
+            .map_err(|err| match err {
+                IfpError::Eval(xqy_ifp::eval::EvalError::DeadlineExceeded) => {
+                    ServiceError::DeadlineExceeded {
+                        timeout: timeout.unwrap_or_default(),
+                    }
+                }
+                other => ServiceError::Query(other),
+            })?;
+        let execute_time = started.elapsed();
+
+        Ok(ServiceOutcome {
+            outcome,
+            stats: ServiceStats {
+                queue_wait,
+                execute_time,
+                snapshot_epoch: pinned.epoch,
+                snapshot_revision: pinned.revision,
+                cache: cache_outcome,
+            },
+            store: cow.into_arc(),
+        })
+    }
+
+    /// Lease `query`'s prepared plan from the cache, or prepare it (outside
+    /// the cache lock) and insert it for the next session.
+    fn prepared_plan(&self, query: &str) -> Result<PlanLease<'_>> {
+        let (backend, strategy, parallelism) = (
+            self.config.backend,
+            self.config.strategy,
+            self.config.parallelism,
+        );
+        if let Some(lease) = self.cache.acquire(query, backend, strategy, parallelism) {
+            return Ok(lease);
+        }
+        let prepared = Arc::new(
+            PreparedQuery::prepare(query, strategy, backend, parallelism)
+                .map_err(ServiceError::Query)?,
+        );
+        Ok(self
+            .cache
+            .insert(query, backend, strategy, parallelism, prepared))
+    }
+
+    /// Cumulative counters plus the instantaneous admission load.
+    pub fn counters(&self) -> ServiceCounters {
+        let (active, queued) = self.admission.load();
+        ServiceCounters {
+            succeeded: self.succeeded.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            saturated: self.saturated.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            cache: self.cache.counters(),
+            active,
+            queued,
+        }
+    }
+}
+
+/// Clone `master` into a fresh, eagerly refreshed published snapshot.
+fn publish_clone(master: &NodeStore) -> PublishedSnapshot {
+    let clone = master.clone();
+    clone.refresh_all();
+    PublishedSnapshot {
+        epoch: clone.load_epoch(),
+        revision: clone.revision(),
+        store: Arc::new(clone),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CURRICULUM: &str = r#"<curriculum>
+        <course code="c1"><prerequisites><pre_code>c2</pre_code></prerequisites></course>
+        <course code="c2"><prerequisites><pre_code>c3</pre_code></prerequisites></course>
+        <course code="c3"><prerequisites/></course>
+    </curriculum>"#;
+
+    const CLOSURE_QUERY: &str = "with $x seeded by \
+        doc('curriculum.xml')/curriculum/course[@code='c1'] \
+        recurse $x/id(./prerequisites/pre_code)";
+
+    fn service_with_curriculum() -> QueryService {
+        let service = QueryService::default();
+        service
+            .load_document_with_ids("curriculum.xml", CURRICULUM, &["code"])
+            .unwrap();
+        service.publish();
+        service
+    }
+
+    #[test]
+    fn loads_are_invisible_until_publish() {
+        let service = QueryService::default();
+        service
+            .load_document_with_ids("curriculum.xml", CURRICULUM, &["code"])
+            .unwrap();
+        // Not yet published: doc() fails against the (empty) snapshot.
+        assert!(matches!(
+            service.execute(CLOSURE_QUERY),
+            Err(ServiceError::Query(_))
+        ));
+        service.publish();
+        let outcome = service.execute(CLOSURE_QUERY).unwrap();
+        assert_eq!(outcome.outcome.result.len(), 2); // c2, c3
+    }
+
+    #[test]
+    fn cross_session_cache_hit_and_stats() {
+        let service = service_with_curriculum();
+        let first = service.execute(CLOSURE_QUERY).unwrap();
+        assert_eq!(first.stats.cache, CacheOutcome::Miss);
+        let second = service.execute(CLOSURE_QUERY).unwrap();
+        assert_eq!(second.stats.cache, CacheOutcome::Hit);
+        assert_eq!(
+            first.stats.snapshot_revision,
+            second.stats.snapshot_revision
+        );
+        let counters = service.counters();
+        assert_eq!(counters.succeeded, 2);
+        assert!(counters.cache.hits >= 1);
+    }
+
+    #[test]
+    fn publish_same_epoch_keeps_cache_epoch_move_invalidates() {
+        let service = service_with_curriculum();
+        service.execute(CLOSURE_QUERY).unwrap();
+        assert_eq!(service.counters().cache.entries, 1);
+        // Republishing unchanged data keeps the cache warm.
+        service.publish();
+        assert_eq!(service.counters().cache.entries, 1);
+        // Loading a new document moves the load epoch → invalidation.
+        service.load_document("other.xml", "<r/>").unwrap();
+        service.publish();
+        assert_eq!(service.counters().cache.entries, 0);
+        assert!(service.counters().cache.invalidations >= 1);
+    }
+
+    #[test]
+    fn construction_diverges_privately() {
+        let service = service_with_curriculum();
+        let before = service.published();
+        let outcome = service
+            .execute("with $x seeded by <a/> recurse $x")
+            .unwrap();
+        // The construction ran on a private copy …
+        assert!(outcome.store.revision() > before.revision);
+        // … and the published snapshot is untouched.
+        assert_eq!(service.published().revision, before.revision);
+        assert_eq!(outcome.outcome.result.len(), 1);
+    }
+
+    #[test]
+    fn deadline_exceeded_is_typed_and_does_not_poison() {
+        let service = service_with_curriculum();
+        // A diverging fixpoint: the constructor is rec-*dependent* (ranges
+        // over $x), so every iteration mints fresh nodes — the accumulation
+        // never stabilises (until the iteration/node caps, far beyond this
+        // budget) and the deadline is what stops it.  A bare `recurse <b/>`
+        // would NOT diverge: the rec-independent constructor is hoisted and
+        // evaluated once, so the same node comes back every iteration.
+        let diverging = "with $x seeded by <a/> recurse (for $y in $x return <b/>)";
+        let err = service
+            .execute_with(diverging, &Bindings::new(), Some(Duration::from_millis(5)))
+            .expect_err("diverging query must hit its deadline");
+        assert!(matches!(err, ServiceError::DeadlineExceeded { .. }));
+        // The service keeps serving normal queries afterwards.
+        let outcome = service.execute(CLOSURE_QUERY).unwrap();
+        assert_eq!(outcome.outcome.result.len(), 2);
+        let counters = service.counters();
+        assert_eq!(counters.deadline_exceeded, 1);
+        assert_eq!(counters.active, 0);
+    }
+
+    #[test]
+    fn display_serializes_against_the_outcome_store() {
+        let service = service_with_curriculum();
+        let outcome = service
+            .execute("doc('curriculum.xml')/curriculum/course[@code='c3']")
+            .unwrap();
+        let shown = outcome.display();
+        assert!(shown.contains("c3"), "got: {shown}");
+    }
+}

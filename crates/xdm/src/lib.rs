@@ -34,6 +34,7 @@
 //! assert_eq!(store.string_value(kids[1]), "text");
 //! ```
 
+pub mod cow;
 pub mod error;
 pub mod intern;
 pub mod node;
@@ -46,6 +47,7 @@ pub mod shard;
 pub mod store;
 pub mod value;
 
+pub use cow::{CowStore, StoreMut};
 pub use error::XdmError;
 pub use intern::{Interner, StrId};
 pub use node::{Axis, NodeId, NodeKind, NodeTest, QName};

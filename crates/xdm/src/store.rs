@@ -456,7 +456,18 @@ impl NodeStore {
     pub fn lookup_id(&self, doc: DocId, value: &str) -> Option<NodeId> {
         let d = self.docs.get(doc.0 as usize)?;
         let derived = d.derived();
-        let mut probe = mutex_lock(&self.id_probe);
+        // Under concurrent snapshot readers the memo's mutex would be a
+        // store-wide serialization point; the derived ID index answers in
+        // O(1) anyway, so a contended probe skips the memo instead of
+        // queueing on it.  Single-threaded probes (and their hit counter)
+        // are unaffected.
+        let mut probe = match self.id_probe.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                return derived.id_index.get(value).map(|&n| NodeId::new(doc.0, n));
+            }
+        };
         if probe.epoch != self.load_epoch {
             probe.per_doc.clear();
             probe.epoch = self.load_epoch;
@@ -1001,6 +1012,31 @@ pub struct SnapshotPin {
 }
 
 impl SnapshotPin {
+    /// The [`NodeStore::load_epoch`] recorded when the pin was taken.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The [`NodeStore::revision`] recorded when the pin was taken.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// How many mutations `store` has seen since this pin was taken
+    /// (`0` means [`freeze`](SnapshotPin::freeze) would still succeed,
+    /// provided the load epoch also matches).  Saturates at zero if the
+    /// pin belongs to a different (younger) store.
+    pub fn age(&self, store: &NodeStore) -> u64 {
+        store.revision.saturating_sub(self.revision)
+    }
+
+    /// `true` iff `store` has not been mutated since this pin was taken —
+    /// i.e. both the load epoch and the mutation revision still match, and
+    /// [`freeze`](SnapshotPin::freeze) would succeed.
+    pub fn is_current(&self, store: &NodeStore) -> bool {
+        store.load_epoch == self.epoch && store.revision == self.revision
+    }
+
     /// Freeze `store` into a read-only snapshot, verifying it has not been
     /// mutated since this pin was taken.  Returns
     /// [`XdmError::StaleSnapshot`] if the load epoch or mutation revision
