@@ -8,6 +8,18 @@
 //! queued but whose deadline passes before a permit frees up is rejected
 //! with [`ServiceError::DeadlineExceeded`].
 //!
+//! Two liveness rules keep freed slots flowing to the queue:
+//!
+//! * **No barging** — an arrival is granted immediately only when the
+//!   queue is empty; while anyone waits, a freed slot belongs to the
+//!   waiters, so sustained new traffic cannot overtake a queued request
+//!   until its deadline.  (Waiters racing *each other* for a freed slot
+//!   is still unordered.)
+//! * **Wakeup hand-off** — `release` wakes one waiter; a woken waiter
+//!   that declines the slot (its deadline passed) re-notifies before
+//!   returning, so the wakeup it consumed is handed to the next waiter
+//!   instead of stranding a free slot under a sleeping queue.
+//!
 //! Built on `Mutex` + `Condvar` only (the workspace is `std`-only).  Lock
 //! poisoning is deliberately ignored (`unwrap_or_else(PoisonError::
 //! into_inner)`): the guarded state is two counters whose invariants are
@@ -54,7 +66,10 @@ impl Admission {
         timeout: Duration,
     ) -> Result<Permit<'_>, ServiceError> {
         let mut counts = self.counts.lock().unwrap_or_else(PoisonError::into_inner);
-        if counts.active < self.max_concurrent {
+        // Grant immediately only when nobody is queued: a freed slot belongs
+        // to the waiters first, so a steady stream of new arrivals cannot
+        // overtake (and starve out) a request that queued before them.
+        if counts.queued == 0 && counts.active < self.max_concurrent {
             counts.active += 1;
             return Ok(Permit { admission: self });
         }
@@ -77,6 +92,11 @@ impl Admission {
                     let now = Instant::now();
                     if now >= deadline {
                         counts.queued -= 1;
+                        drop(counts);
+                        // A release may have woken *us* with a freed slot we
+                        // no longer want; pass the wakeup on so the slot is
+                        // not stranded while other waiters sleep forever.
+                        self.freed.notify_one();
                         return Err(ServiceError::DeadlineExceeded { timeout });
                     }
                     let (guard, _timed_out) = self
@@ -164,6 +184,86 @@ mod tests {
         assert_eq!(err, ServiceError::DeadlineExceeded { timeout });
         // The queue slot was returned on the error path.
         assert_eq!(admission.load(), (1, 0));
+    }
+
+    /// Regression: a woken waiter whose deadline has passed must hand the
+    /// wakeup on.  Expirers and a patient (no-deadline) waiter contend for
+    /// one slot released right around the expirers' deadline; if an expirer
+    /// swallows the release's notification, the patient sleeps forever on a
+    /// free slot and the `recv_timeout` below trips.
+    #[test]
+    fn freed_slot_is_never_stranded_by_expiring_waiters() {
+        for _ in 0..50 {
+            let admission = Arc::new(Admission::new(1, 8));
+            let held = admission.acquire(None, Duration::ZERO).unwrap();
+            let timeout = Duration::from_millis(5);
+            let expirers: Vec<_> = (0..4)
+                .map(|_| {
+                    let admission = Arc::clone(&admission);
+                    thread::spawn(move || {
+                        admission
+                            .acquire(Some(Instant::now() + timeout), timeout)
+                            .map(|_p| ())
+                    })
+                })
+                .collect();
+            thread::sleep(Duration::from_millis(1));
+            let (tx, rx) = std::sync::mpsc::channel();
+            let patient = {
+                let admission = Arc::clone(&admission);
+                thread::spawn(move || {
+                    let permit = admission.acquire(None, Duration::ZERO).unwrap();
+                    tx.send(()).unwrap();
+                    drop(permit);
+                })
+            };
+            thread::sleep(Duration::from_millis(5));
+            drop(held);
+            rx.recv_timeout(Duration::from_secs(5))
+                .expect("lost wakeup: slot free but the patient waiter never admitted");
+            for expirer in expirers {
+                let _ = expirer.join().unwrap();
+            }
+            patient.join().unwrap();
+            assert_eq!(admission.load(), (0, 0));
+        }
+    }
+
+    /// While anyone is queued, a freed slot belongs to the queue: an
+    /// arrival with an already-lapsed deadline is turned away even if
+    /// `active` is momentarily below the limit.
+    #[test]
+    fn arrivals_queue_behind_existing_waiters() {
+        let admission = Arc::new(Admission::new(1, 4));
+        let held = admission.acquire(None, Duration::ZERO).unwrap();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let waiter = {
+            let admission = Arc::clone(&admission);
+            thread::spawn(move || {
+                let permit = admission.acquire(None, Duration::ZERO).unwrap();
+                release_rx.recv().unwrap();
+                drop(permit);
+            })
+        };
+        while admission.load().1 != 1 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        drop(held);
+        // The waiter either still queues (arrival is gated behind it) or
+        // already claimed the slot (arrival finds it taken) — admitted it
+        // is not, in either interleaving.
+        let err = admission
+            .acquire(Some(Instant::now()), Duration::ZERO)
+            .expect_err("freed slot must go to the queued waiter, not a late arrival");
+        assert_eq!(
+            err,
+            ServiceError::DeadlineExceeded {
+                timeout: Duration::ZERO
+            }
+        );
+        release_tx.send(()).unwrap();
+        waiter.join().unwrap();
+        assert_eq!(admission.load(), (0, 0));
     }
 
     #[test]

@@ -77,12 +77,20 @@ struct Entry {
     /// Released forks, warm and ready for the next session.
     idle: Vec<Arc<PreparedQuery>>,
     last_used: u64,
+    /// Unique id of this entry *incarnation*.  Every lease carries the id
+    /// of the entry it came from, and release only pools a fork whose id
+    /// matches the resident entry's — so a fork leased before an
+    /// invalidation or eviction is dropped on release instead of being
+    /// resurrected into a newer entry for the same query text.
+    generation: u64,
 }
 
 #[derive(Debug, Default)]
 struct Inner {
     entries: HashMap<Key, Entry>,
     tick: u64,
+    /// Source of unique [`Entry::generation`] ids (bumped per insertion).
+    next_generation: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -91,17 +99,20 @@ struct Inner {
 }
 
 impl Inner {
-    /// Pop an idle fork of `key`'s entry, or mint a fresh one.
-    fn lease_artifact(&mut self, key: &Key, tick: u64) -> Option<Arc<PreparedQuery>> {
+    /// Pop an idle fork of `key`'s entry (or mint a fresh one), returning
+    /// it with the entry's generation.
+    fn lease_artifact(&mut self, key: &Key, tick: u64) -> Option<(Arc<PreparedQuery>, u64)> {
         let entry = self.entries.get_mut(key)?;
         entry.last_used = tick;
-        Some(match entry.idle.pop() {
+        let generation = entry.generation;
+        let artifact = match entry.idle.pop() {
             Some(fork) => fork,
             None => {
                 self.forks += 1;
                 Arc::new(entry.master.fork_executors())
             }
-        })
+        };
+        Some((artifact, generation))
     }
 }
 
@@ -149,12 +160,13 @@ impl PlanCache {
         inner.tick += 1;
         let tick = inner.tick;
         match inner.lease_artifact(&key, tick) {
-            Some(prepared) => {
+            Some((prepared, generation)) => {
                 inner.hits += 1;
                 Some(PlanLease {
                     cache: self,
                     key,
                     prepared: Some(prepared),
+                    generation,
                     outcome: CacheOutcome::Hit,
                 })
             }
@@ -187,8 +199,8 @@ impl PlanCache {
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        let artifact = match inner.lease_artifact(&key, tick) {
-            Some(artifact) => artifact,
+        let (artifact, generation) = match inner.lease_artifact(&key, tick) {
+            Some(leased) => leased,
             None => {
                 if inner.entries.len() >= self.capacity {
                     if let Some(victim) = inner
@@ -201,32 +213,38 @@ impl PlanCache {
                         inner.evictions += 1;
                     }
                 }
+                inner.next_generation += 1;
+                let generation = inner.next_generation;
                 inner.entries.insert(
                     key.clone(),
                     Entry {
                         master: Arc::clone(&prepared),
                         idle: Vec::new(),
                         last_used: tick,
+                        generation,
                     },
                 );
-                prepared
+                (prepared, generation)
             }
         };
         PlanLease {
             cache: self,
             key,
             prepared: Some(artifact),
+            generation,
             outcome: CacheOutcome::Miss,
         }
     }
 
-    /// Return a lease's artifact to its entry's pool (no-op when the entry
-    /// was evicted or invalidated in the meantime — the artifact is simply
-    /// dropped).
-    fn release(&self, key: &Key, prepared: Arc<PreparedQuery>) {
+    /// Return a lease's artifact to its entry's pool.  The fork is dropped
+    /// instead when the entry it was leased from is gone — evicted,
+    /// invalidated, or (generation mismatch) replaced by a newer
+    /// incarnation under the same key — so stale artifacts never
+    /// resurface after [`invalidate_all`](PlanCache::invalidate_all).
+    fn release(&self, key: &Key, prepared: Arc<PreparedQuery>, generation: u64) {
         let mut inner = self.lock();
         if let Some(entry) = inner.entries.get_mut(key) {
-            if entry.idle.len() < MAX_IDLE_FORKS {
+            if entry.generation == generation && entry.idle.len() < MAX_IDLE_FORKS {
                 entry.idle.push(prepared);
             }
         }
@@ -264,6 +282,9 @@ pub(crate) struct PlanLease<'c> {
     cache: &'c PlanCache,
     key: Key,
     prepared: Option<Arc<PreparedQuery>>,
+    /// [`Entry::generation`] of the entry this lease came from; the fork
+    /// is only pooled on drop while that incarnation is still resident.
+    generation: u64,
     /// Whether this lease came from the cache or a fresh preparation.
     pub(crate) outcome: CacheOutcome,
 }
@@ -286,7 +307,7 @@ impl PlanLease<'_> {
 impl Drop for PlanLease<'_> {
     fn drop(&mut self) {
         if let Some(prepared) = self.prepared.take() {
-            self.cache.release(&self.key, prepared);
+            self.cache.release(&self.key, prepared, self.generation);
         }
     }
 }
@@ -384,6 +405,38 @@ mod tests {
         assert!(get(&cache, Q1).is_none());
         assert_eq!(cache.counters().invalidations, 2);
         assert_eq!(cache.counters().entries, 0);
+    }
+
+    /// Regression: a fork leased *before* `invalidate_all` must not be
+    /// pooled into a re-inserted entry for the same query text — that
+    /// would resurrect exactly the artifacts the invalidation purged.
+    #[test]
+    fn stale_lease_is_not_pooled_into_a_reinserted_entry() {
+        let cache = PlanCache::new(8);
+        let stale = put(&cache, Q1); // pre-invalidation fork, in flight
+        cache.invalidate_all();
+        let fresh = put(&cache, Q1); // same key, new incarnation
+        let fresh_ptr = Arc::as_ptr(fresh.artifact());
+        drop(fresh); // new master back to the new entry's pool
+        drop(stale); // must be dropped, not pushed onto that pool
+                     // The pool is LIFO: had the stale fork been pooled, we'd get it.
+        let next = get(&cache, Q1).unwrap();
+        assert_eq!(Arc::as_ptr(next.artifact()), fresh_ptr);
+    }
+
+    /// Same contract across LRU eviction: a lease from an evicted entry
+    /// is dropped on release even if the key has since been re-inserted.
+    #[test]
+    fn lease_from_an_evicted_entry_is_dropped_on_release() {
+        let cache = PlanCache::new(1);
+        let stale = put(&cache, Q1);
+        put(&cache, Q2); // evicts Q1
+        let fresh = put(&cache, Q1); // evicts Q2, new Q1 incarnation
+        let fresh_ptr = Arc::as_ptr(fresh.artifact());
+        drop(fresh);
+        drop(stale);
+        let next = get(&cache, Q1).unwrap();
+        assert_eq!(Arc::as_ptr(next.artifact()), fresh_ptr);
     }
 
     #[test]

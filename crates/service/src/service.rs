@@ -235,7 +235,10 @@ impl QueryService {
     /// eagerly rebuild its derived state, and swap it in as the snapshot
     /// new queries pin.  In-flight queries keep the snapshot they pinned.
     /// If the load epoch moved since the previous publication (documents
-    /// or ID registrations changed), the plan cache is invalidated.
+    /// or ID registrations changed), the plan cache is invalidated
+    /// *before* the swap becomes visible: pinning the new snapshot
+    /// requires the read lock we hold for writing here, so no query can
+    /// pair the new epoch with a plan cached under the old one.
     ///
     /// Returns the published snapshot.
     pub fn publish(&self) -> PublishedSnapshot {
@@ -245,13 +248,12 @@ impl QueryService {
             .published
             .write()
             .unwrap_or_else(PoisonError::into_inner);
-        let previous_epoch = slot.epoch;
+        if slot.epoch != fresh.epoch {
+            self.cache.invalidate_all();
+        }
         *slot = Arc::new(fresh.clone());
         drop(slot);
         drop(writer);
-        if previous_epoch != fresh.epoch {
-            self.cache.invalidate_all();
-        }
         fresh
     }
 
