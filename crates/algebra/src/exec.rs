@@ -489,6 +489,16 @@ pub struct Executor {
     context_doc_explicit: bool,
     /// The string pool backing every `Key::Sym` this executor produced.
     interner: Interner,
+    /// Identity of the store text pool `sym_xlat` translates from (`0` is
+    /// never a real pool id, so it doubles as "no cache built yet").
+    sym_xlat_pool: u64,
+    /// Dense store-symbol → executor-symbol translation table, indexed by
+    /// the store `StrId`'s raw value, `u32::MAX` marking an untranslated
+    /// slot.  A hit turns `intern(store.resolve_text(sym))` — a hash over
+    /// the payload bytes — into one array load: sound because a pool id
+    /// names one linear growth history, so a store symbol's string can
+    /// never change under an unchanged `sym_xlat_pool`.
+    sym_xlat: Vec<u32>,
     /// Caches and bitmaps for the plan currently (or last) evaluated.
     plan_state: PlanState,
     /// The store load epoch the static cache was built at.
@@ -524,6 +534,8 @@ impl Executor {
             context_doc: None,
             context_doc_explicit: false,
             interner: Interner::new(),
+            sym_xlat_pool: 0,
+            sym_xlat: Vec::new(),
             plan_state: PlanState::default(),
             store_epoch: 0,
             static_cache_hits: 0,
@@ -542,6 +554,32 @@ impl Executor {
     /// never mid-mutation.  The deadline persists across runs until reset.
     pub fn set_deadline(&mut self, deadline: Option<Instant>) {
         self.deadline = deadline;
+    }
+
+    /// Map a store text-pool symbol to this executor's interner through
+    /// the dense per-pool cache.  On a hit this skips both the payload
+    /// render and the hash — equality of pool ids guarantees the cached
+    /// executor symbol is exactly what `intern(resolve_text(sym))` would
+    /// return.  A pool-id change (store swapped, or its pool diverged by
+    /// growing while shared) drops only the translation table; executor
+    /// symbols handed out earlier stay valid because the interner is
+    /// untouched.
+    fn translate_sym(&mut self, store: &NodeStore, sym: StrId) -> StrId {
+        let pool = store.text_pool_id();
+        if self.sym_xlat_pool != pool {
+            self.sym_xlat.clear();
+            self.sym_xlat_pool = pool;
+        }
+        let idx = sym.0 as usize;
+        if idx >= self.sym_xlat.len() {
+            self.sym_xlat.resize(idx + 1, u32::MAX);
+        }
+        if self.sym_xlat[idx] != u32::MAX {
+            return StrId(self.sym_xlat[idx]);
+        }
+        let exec_sym = self.interner.intern(store.resolve_text(sym));
+        self.sym_xlat[idx] = exec_sym.0;
+        exec_sym
     }
 
     /// Per-iteration deadline guard (see [`Executor::set_deadline`]).
@@ -637,6 +675,10 @@ impl Executor {
             // across a document load would see its symbols invalidated —
             // see the `eval_plan` docs.)
             self.interner = Interner::new();
+            // Cached executor symbols die with the interner they point
+            // into; the translation table must go with them.
+            self.sym_xlat.clear();
+            self.sym_xlat_pool = 0;
             self.store_epoch = store.load_epoch();
         }
         let fingerprint = plan.fingerprint();
@@ -997,9 +1039,9 @@ impl Executor {
                     let Some(node) = key.as_node() else {
                         continue;
                     };
-                    if let Some(value) = store.attribute_value(node, name) {
+                    if let Some(sym) = store.attribute_value_sym(node, name) {
                         src.push(r);
-                        items.push(Key::Sym(self.interner.intern(value)));
+                        items.push(Key::Sym(self.translate_sym(store, sym)));
                     }
                 }
                 Ok(replace_item_column(&input, idx, src, items))
@@ -1013,7 +1055,15 @@ impl Executor {
                 let items: Vec<Key> = input.cols[idx]
                     .iter()
                     .map(|&key| match key.as_node() {
-                        Some(node) => Key::Sym(self.interner.intern(&store.string_value(node))),
+                        Some(node) => match store.string_value_sym(node) {
+                            // Leaf payload: store symbol → executor symbol
+                            // through the per-pool cache, no render.
+                            Some(sym) => Key::Sym(self.translate_sym(store, sym)),
+                            // Element/document concatenation: borrow the
+                            // store's memoized render instead of building
+                            // a fresh String per row.
+                            None => Key::Sym(self.interner.intern(&store.string_value_ref(node))),
+                        },
                         None => key,
                     })
                     .collect();

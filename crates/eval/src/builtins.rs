@@ -244,7 +244,9 @@ pub fn call_builtin(
                             q.to_string()
                         }
                     }
-                    NodeKind::ProcessingInstruction(t, _) => t.clone(),
+                    NodeKind::ProcessingInstruction(t, _) => {
+                        eval.store.resolve_text(*t).to_string()
+                    }
                     _ => String::new(),
                 },
                 None => {
@@ -517,11 +519,13 @@ fn deep_equal_nodes(eval: &Evaluator<'_>, a: xqy_xdm::NodeId, b: xqy_xdm::NodeId
             if attrs_a.len() != attrs_b.len() {
                 return false;
             }
-            // Attribute order is irrelevant for deep equality.
+            // Attribute order is irrelevant for deep equality.  Both nodes
+            // live in the evaluator's store, so payload symbols compare
+            // directly: equal syms ⇔ equal strings within one pool.
             for attr in &attrs_a {
                 if let NodeKind::Attribute(name, value) = eval.store.kind(*attr) {
-                    match eval.store.attribute_value(b, &name.local) {
-                        Some(v) if v == value => {}
+                    match eval.store.attribute_value_sym(b, &name.local) {
+                        Some(v) if v == *value => {}
                         _ => return false,
                     }
                 }

@@ -107,7 +107,10 @@ fn append_content(eval: &mut Evaluator<'_>, element: NodeId, value: &Sequence) -
                 if !pending_text.is_empty() {
                     pending_text.push(' ');
                 }
-                pending_text.push_str(&a.string_value());
+                match a.as_str() {
+                    Some(s) => pending_text.push_str(s),
+                    None => pending_text.push_str(&a.string_value()),
+                }
             }
             Item::Node(n) => {
                 if !pending_text.is_empty() {
@@ -118,7 +121,10 @@ fn append_content(eval: &mut Evaluator<'_>, element: NodeId, value: &Sequence) -
                 }
                 match eval.store.kind(*n).clone() {
                     NodeKind::Attribute(name, attr_value) => {
-                        eval.store.add_attribute(element, name, attr_value)?;
+                        // The payload symbol already lives in this store's
+                        // pool — re-attach it without resolving.
+                        eval.store
+                            .add_attribute_interned(element, name, attr_value)?;
                     }
                     NodeKind::Document => {
                         for child in eval.store.children(*n) {

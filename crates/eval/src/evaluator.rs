@@ -700,6 +700,31 @@ impl<'s> Evaluator<'s> {
         env: &mut Environment,
     ) -> Result<Sequence> {
         let size = input.len();
+        // Fused fast path: a predicate-free axis step over a node-backed
+        // focus sequence needs neither per-focus `Focus` frames nor a
+        // per-focus result `Sequence` — every axis traversal appends into
+        // one buffer and a single `ddo` orders the union.  (Equivalent to
+        // the general path: for predicate-free steps, `ddo` of the
+        // concatenation equals `ddo` of concatenated per-focus `ddo`s —
+        // `ddo` is idempotent and the outer pass fixes order either way.)
+        if let (
+            Expr::AxisStep {
+                axis,
+                test,
+                predicates,
+            },
+            Some(ids),
+        ) = (step, input.node_ids())
+        {
+            if predicates.is_empty() {
+                let mut raw = Vec::new();
+                for &node in ids {
+                    self.store.axis_nodes_into(node, *axis, test, &mut raw);
+                }
+                let ordered = ddo(&self.store, &raw);
+                return Ok(Sequence::from_nodes(ordered));
+            }
+        }
         let mut out = Sequence::empty();
         if let Some(ids) = input.node_ids() {
             // Node-backed input: iterate the id buffer directly, never
@@ -1006,12 +1031,15 @@ impl<'s> Evaluator<'s> {
     // ------------------------------------------------------------------
 
     /// Atomize a sequence: nodes become `xs:untypedAtomic` of their string
-    /// value, atomic items pass through.
+    /// value, atomic items pass through.  Node values are zero-copy: leaf
+    /// payloads and memoized element concatenations come out as shared
+    /// handles on the store's text pool, so repeated probes of the same
+    /// node allocate nothing (see [`NodeStore::untyped_value`]).
     pub(crate) fn atomize(&self, seq: &Sequence) -> Vec<AtomicValue> {
         seq.iter()
             .map(|item| match item {
                 Item::Atomic(a) => a.clone(),
-                Item::Node(n) => AtomicValue::Untyped(self.store.string_value(*n)),
+                Item::Node(n) => AtomicValue::Untyped(self.store.untyped_value(*n)),
             })
             .collect()
     }
@@ -1099,10 +1127,10 @@ impl<'s> Evaluator<'s> {
             // Borrow string-shaped values directly — atomized node values
             // already own their text; re-rendering would clone per probe.
             let rendered;
-            let text: &str = match value {
-                AtomicValue::String(s) | AtomicValue::Untyped(s) => s,
-                other => {
-                    rendered = other.string_value();
+            let text: &str = match value.as_str() {
+                Some(s) => s,
+                None => {
+                    rendered = value.string_value();
                     &rendered
                 }
             };

@@ -1,0 +1,289 @@
+//! Property tests for the interned text plane (PR 8).
+//!
+//! The store interns every text-shaped payload (text, attribute, comment,
+//! PI content) into a shared pool and hands out borrowed / `Arc`-shared
+//! views instead of freshly rendered `String`s.  These tests pin the
+//! observable semantics to what the pre-interning representation gave:
+//!
+//! * every string-value accessor (`string_value`, `string_value_ref`,
+//!   `untyped_value`) agrees with an independently computed reference
+//!   concatenation, byte for byte;
+//! * `Untyped` atoms backed by shared pool handles behave exactly like
+//!   plain `String` atoms under comparison, general equality and EBV —
+//!   including the numeric coercion path for numeric-looking payloads;
+//! * serialize → reparse over interned payloads is a fixpoint, and a
+//!   reparsed store answers string-shaped queries identically.
+//!
+//! Randomness is a deterministic splitmix64 stream — failures reproduce.
+
+use xqy_eval::Evaluator;
+use xqy_xdm::serialize::serialize_node;
+use xqy_xdm::{AtomicValue, Axis, Item, NodeId, NodeKind, NodeStore, NodeTest};
+
+/// Deterministic splitmix64 stream; good enough to drive test-case shapes.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn pick<'a>(&mut self, choices: &[&'a str]) -> &'a str {
+        choices[self.below(choices.len())]
+    }
+}
+
+/// Payload vocabulary: numeric-looking strings (exercising the untyped →
+/// double coercion), markup-significant characters (exercising escaping),
+/// whitespace shapes, and repeats (exercising pool sharing).
+const TEXTS: &[&str] = &[
+    "10",
+    "3.5",
+    "-2",
+    "0",
+    "NaN-ish",
+    "alpha",
+    "beta",
+    "alpha",
+    "v1",
+    "a &amp; b",
+    "x &lt; y",
+    "  spaced  ",
+];
+const ATTR_VALUES: &[&str] = &["v1", "v2", "10", "3.5", "", "a &amp; b", "alpha"];
+const ELEMENT_NAMES: &[&str] = &["a", "b", "c"];
+
+fn gen_element(rng: &mut Rng, depth: usize, out: &mut String) {
+    let name = rng.pick(ELEMENT_NAMES);
+    out.push('<');
+    out.push_str(name);
+    if rng.below(2) == 0 {
+        out.push_str(" k=\"");
+        out.push_str(rng.pick(ATTR_VALUES));
+        out.push('"');
+    }
+    if rng.below(4) == 0 {
+        out.push_str(" m=\"");
+        out.push_str(rng.pick(ATTR_VALUES));
+        out.push('"');
+    }
+    let children = if depth >= 3 { 0 } else { rng.below(4) };
+    if children == 0 && rng.below(2) == 0 {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for _ in 0..children {
+        match rng.below(6) {
+            0 | 1 => gen_element(rng, depth + 1, out),
+            2 | 3 => out.push_str(rng.pick(TEXTS)),
+            4 => {
+                out.push_str("<!-- ");
+                out.push_str(rng.pick(&["note", "10", "alpha"]));
+                out.push_str(" -->");
+            }
+            _ => {
+                out.push_str("<?pi ");
+                out.push_str(rng.pick(&["data", "10"]));
+                out.push_str("?>");
+            }
+        }
+    }
+    out.push_str("</");
+    out.push_str(name);
+    out.push('>');
+}
+
+fn gen_doc(rng: &mut Rng) -> String {
+    let mut out = String::new();
+    gen_element(rng, 0, &mut out);
+    out
+}
+
+/// The string value computed the slow, obviously-correct way: leaves give
+/// their payload, containers the concatenation of descendant *text* nodes.
+fn reference_string_value(store: &NodeStore, node: NodeId) -> String {
+    fn texts(store: &NodeStore, node: NodeId, out: &mut String) {
+        for child in store.children(node) {
+            match store.kind(child) {
+                NodeKind::Text(t) => out.push_str(store.resolve_text(*t)),
+                NodeKind::Element(_) => texts(store, child, out),
+                _ => {}
+            }
+        }
+    }
+    match store.kind(node) {
+        NodeKind::Attribute(_, v)
+        | NodeKind::Text(v)
+        | NodeKind::Comment(v)
+        | NodeKind::ProcessingInstruction(_, v) => store.resolve_text(*v).to_string(),
+        NodeKind::Element(_) | NodeKind::Document => {
+            let mut out = String::new();
+            texts(store, node, &mut out);
+            out
+        }
+    }
+}
+
+/// Every node of `doc`'s tree, attributes included.
+fn all_nodes(store: &NodeStore, root: NodeId) -> Vec<NodeId> {
+    let mut nodes = store.axis_nodes(root, Axis::DescendantOrSelf, &NodeTest::AnyNode);
+    let elements: Vec<NodeId> = nodes
+        .iter()
+        .copied()
+        .filter(|&n| matches!(store.kind(n), NodeKind::Element(_)))
+        .collect();
+    for e in elements {
+        nodes.extend(store.axis_nodes(e, Axis::Attribute, &NodeTest::Attribute(None)));
+    }
+    nodes
+}
+
+#[test]
+fn interned_string_values_match_reference_concatenation() {
+    let mut rng = Rng(0x5eed);
+    for _ in 0..40 {
+        let xml = gen_doc(&mut rng);
+        let mut store = NodeStore::new();
+        let doc = store.parse_document(&xml).unwrap();
+        let docnode = store.document_node(doc).unwrap();
+        for node in all_nodes(&store, docnode) {
+            let expect = reference_string_value(&store, node);
+            let rendered = store.string_value(node);
+            assert_eq!(rendered, expect, "string_value diverged in {xml}");
+            let view = store.string_value_ref(node);
+            assert_eq!(view.as_str(), expect, "string_value_ref diverged");
+            assert_eq!(view.len(), expect.len());
+            assert_eq!(format!("{view}"), expect, "Display diverged");
+            let untyped = store.untyped_value(node);
+            assert_eq!(untyped.as_str(), expect, "untyped_value diverged");
+        }
+    }
+}
+
+#[test]
+fn untyped_atoms_are_indistinguishable_from_string_atoms() {
+    let mut rng = Rng(0xca11ab1e);
+    for _ in 0..40 {
+        let xml = gen_doc(&mut rng);
+        let mut store = NodeStore::new();
+        let doc = store.parse_document(&xml).unwrap();
+        let docnode = store.document_node(doc).unwrap();
+        let nodes = all_nodes(&store, docnode);
+        for &node in &nodes {
+            let untyped = AtomicValue::Untyped(store.untyped_value(node));
+            let string = AtomicValue::String(store.string_value(node));
+            assert_eq!(untyped.string_value(), string.string_value());
+            assert_eq!(untyped.as_str(), string.as_str());
+            assert_eq!(untyped.effective_boolean(), string.effective_boolean());
+            // to_double is NaN for non-numeric payloads; compare bitwise
+            // through the NaN case.
+            assert_eq!(
+                untyped.to_double().to_bits(),
+                string.to_double().to_bits(),
+                "numeric view diverged for {:?}",
+                untyped.as_str()
+            );
+            // Untyped coerces numerically against numeric operands — same
+            // outcome whether the payload is pool-shared or owned.
+            for operand in [AtomicValue::Integer(10), AtomicValue::Double(3.5)] {
+                assert_eq!(untyped.compare(&operand), string.compare(&operand));
+                assert_eq!(untyped.general_eq(&operand), string.general_eq(&operand));
+            }
+            // And another random node's value as the other operand.
+            let other = nodes[rng.below(nodes.len())];
+            let other_untyped = AtomicValue::Untyped(store.untyped_value(other));
+            let other_string = AtomicValue::String(store.string_value(other));
+            assert_eq!(
+                untyped.compare(&other_untyped),
+                string.compare(&other_string)
+            );
+            assert_eq!(
+                untyped.general_eq(&other_untyped),
+                string.general_eq(&other_string)
+            );
+        }
+    }
+}
+
+#[test]
+fn serialize_reparse_roundtrip_over_interned_payloads() {
+    let mut rng = Rng(0x0dd5eed);
+    for _ in 0..40 {
+        let xml = gen_doc(&mut rng);
+        let mut store = NodeStore::new();
+        let doc = store.parse_document(&xml).unwrap();
+        let docnode = store.document_node(doc).unwrap();
+        let once = serialize_node(&store, docnode);
+
+        let mut store2 = NodeStore::new();
+        let doc2 = store2.parse_document(&once).unwrap();
+        let docnode2 = store2.document_node(doc2).unwrap();
+        let twice = serialize_node(&store2, docnode2);
+        assert_eq!(once, twice, "serialize → reparse not a fixpoint for {xml}");
+
+        // The reparsed tree has fresh identities and its own pool, but the
+        // same shape and string values node for node.
+        let a = all_nodes(&store, docnode);
+        let b = all_nodes(&store2, docnode2);
+        assert_eq!(a.len(), b.len());
+        for (&x, &y) in a.iter().zip(&b) {
+            assert_eq!(store.string_value(x), store2.string_value(y));
+        }
+    }
+}
+
+#[test]
+fn reparsed_store_answers_string_queries_identically() {
+    const QUERIES: &[&str] = &[
+        "string(doc('g.xml'))",
+        "count(doc('g.xml')//a[@k = 'v1'])",
+        "count(doc('g.xml')//*[@k])",
+        "doc('g.xml')//b = '10'",
+        "doc('g.xml')//b = 10",
+        "count(doc('g.xml')//a[. = .//text()])",
+        "string-length(string(doc('g.xml')))",
+    ];
+
+    fn rendered_answers(xml: &str) -> Vec<String> {
+        let mut store = NodeStore::new();
+        store.parse_document_with_uri("g.xml", xml).unwrap();
+        let mut evaluator = Evaluator::new(&mut store);
+        QUERIES
+            .iter()
+            .map(|q| {
+                let result = evaluator.eval_query_str(q).unwrap();
+                result
+                    .items()
+                    .iter()
+                    .map(|item| match item {
+                        Item::Atomic(a) => a.string_value(),
+                        Item::Node(_) => unreachable!("queries return atomics"),
+                    })
+                    .collect::<Vec<_>>()
+                    .join("|")
+            })
+            .collect()
+    }
+
+    let mut rng = Rng(0xf00d);
+    for _ in 0..15 {
+        let xml = gen_doc(&mut rng);
+        let original = rendered_answers(&xml);
+
+        // Round-trip the document through serialize → reparse and re-ask.
+        let mut store = NodeStore::new();
+        let doc = store.parse_document(&xml).unwrap();
+        let docnode = store.document_node(doc).unwrap();
+        let roundtripped = serialize_node(&store, docnode);
+        assert_eq!(original, rendered_answers(&roundtripped), "for {xml}");
+    }
+}

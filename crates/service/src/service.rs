@@ -474,6 +474,32 @@ mod tests {
     }
 
     #[test]
+    fn published_snapshots_share_the_text_pool() {
+        let service = service_with_curriculum();
+        let first = service.published();
+        // Publishing an unchanged master is O(1) on the text plane: the
+        // clone shares the writer's payload table, so consecutive
+        // snapshots point at one storage.
+        let second = service.publish();
+        assert!(first.store.shares_text_pool(&second.store));
+        assert_eq!(first.store.text_pool_id(), second.store.text_pool_id());
+        // Loading a document grows the writer's pool; because the storage
+        // was shared with live snapshots, the writer deep-copies and takes
+        // a fresh identity — the old snapshots keep theirs untouched.
+        service.load_document("p.xml", "<r>payload</r>").unwrap();
+        let third = service.publish();
+        assert!(!first.store.shares_text_pool(&third.store));
+        assert_ne!(first.store.text_pool_id(), third.store.text_pool_id());
+        // And the diverged snapshots still resolve their own payloads.
+        assert_eq!(
+            third
+                .store
+                .resolve_text(third.store.text_pool_get("payload").unwrap()),
+            "payload"
+        );
+    }
+
+    #[test]
     fn construction_diverges_privately() {
         let service = service_with_curriculum();
         let before = service.published();

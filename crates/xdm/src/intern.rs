@@ -13,14 +13,136 @@
 //! and already cached — for every later seed of a per-item loop.
 
 use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 /// A symbol: the dense id of an interned string.
 ///
-/// Only meaningful together with the [`Interner`] that produced it; two
-/// `StrId`s from the same interner are equal iff their strings are.
+/// Only meaningful together with the [`Interner`] (or [`TextPool`]) that
+/// produced it; two `StrId`s from the same pool are equal iff their strings
+/// are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StrId(pub u32);
+
+/// Process-wide source of [`TextPool::pool_id`] values.  Pool ids being
+/// globally unique means equal ids imply one linear growth history: a cache
+/// translating another pool's symbols can never be fooled by a different
+/// pool that happens to have interned the same number of strings.
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_pool_id() -> u64 {
+    NEXT_POOL_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// A grow-only, `Arc`-shared string pool for node text payloads.
+///
+/// This is the store-owned variant of [`Interner`]: cloning a `TextPool` is
+/// O(1) (the clone shares the backing storage), which is what makes cloning
+/// a whole [`NodeStore`](crate::NodeStore) — the service layer's
+/// `publish()` — cheap even when documents carry megabytes of text.  The
+/// first `intern` *after* a shared clone deep-copies the storage once
+/// (`Arc::make_mut`), so diverging copies pay for their own growth and only
+/// they do.
+///
+/// # Pool identity
+///
+/// Every pool carries a globally unique [`pool_id`](TextPool::pool_id).
+/// The id is kept across private growth but **replaced** whenever an intern
+/// grows the pool while its storage is still shared: the id therefore names
+/// one linear growth history, so for two pools with equal ids every symbol
+/// they both know resolves to the same string.  Consumers caching per-pool
+/// symbol translations (the algebraic executor) key on the id and compare
+/// it to detect divergence.
+#[derive(Debug, Clone)]
+pub struct TextPool {
+    /// Lookup map; shares the `Arc<str>` storage with `strings`.
+    map: Arc<HashMap<Arc<str>, u32>>,
+    /// `strings[id]` is the string of `StrId(id)`.
+    strings: Arc<Vec<Arc<str>>>,
+    /// Globally unique identity of this pool's growth history.
+    pool_id: u64,
+}
+
+impl Default for TextPool {
+    fn default() -> Self {
+        TextPool::new()
+    }
+}
+
+impl TextPool {
+    /// An empty pool with a fresh identity.
+    pub fn new() -> Self {
+        TextPool {
+            map: Arc::new(HashMap::new()),
+            strings: Arc::new(Vec::new()),
+            pool_id: fresh_pool_id(),
+        }
+    }
+
+    /// The pool's globally unique identity (see the type docs).
+    pub fn pool_id(&self) -> u64 {
+        self.pool_id
+    }
+
+    /// `true` when `self` and `other` share the same backing storage
+    /// (i.e. one is an O(1) clone of the other and neither has grown).
+    pub fn shares_storage_with(&self, other: &TextPool) -> bool {
+        Arc::ptr_eq(&self.strings, &other.strings)
+    }
+
+    /// Intern `s`, returning its symbol (allocating only on first sight).
+    ///
+    /// Growing a pool whose storage is still shared with clones first
+    /// deep-copies the storage and takes a fresh [`pool_id`](TextPool::pool_id)
+    /// — the clones keep the old identity, this pool starts a new one.
+    pub fn intern(&mut self, s: &str) -> StrId {
+        if let Some(&id) = self.map.get(s) {
+            return StrId(id);
+        }
+        if Arc::strong_count(&self.strings) > 1 || Arc::strong_count(&self.map) > 1 {
+            self.pool_id = fresh_pool_id();
+        }
+        let strings = Arc::make_mut(&mut self.strings);
+        let map = Arc::make_mut(&mut self.map);
+        let id = strings.len() as u32;
+        let owned: Arc<str> = Arc::from(s);
+        strings.push(owned.clone());
+        map.insert(owned, id);
+        StrId(id)
+    }
+
+    /// The symbol of `s`, if it has been interned (never allocates).
+    pub fn get(&self, s: &str) -> Option<StrId> {
+        self.map.get(s).map(|&id| StrId(id))
+    }
+
+    /// The string behind `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this pool (or a clone of it).
+    pub fn resolve(&self, id: StrId) -> &str {
+        &self.strings[id.0 as usize]
+    }
+
+    /// The shared `Arc<str>` behind `id` — the zero-copy handle atomized
+    /// values carry.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this pool (or a clone of it).
+    pub fn resolve_arc(&self, id: StrId) -> &Arc<str> {
+        &self.strings[id.0 as usize]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// `true` when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
 
 /// A grow-only string pool assigning each distinct string one [`StrId`].
 #[derive(Debug, Clone, Default)]
@@ -105,5 +227,59 @@ mod tests {
         let empty = pool.intern("");
         assert_eq!(pool.resolve(empty), "");
         assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn text_pool_clone_is_shared_until_growth() {
+        let mut pool = TextPool::new();
+        let a = pool.intern("alpha");
+        assert_eq!(pool.intern("alpha"), a);
+
+        let clone = pool.clone();
+        assert!(clone.shares_storage_with(&pool));
+        assert_eq!(clone.pool_id(), pool.pool_id());
+        assert_eq!(clone.resolve(a), "alpha");
+
+        // Re-interning an existing string never diverges.
+        let mut clone2 = clone.clone();
+        assert_eq!(clone2.intern("alpha"), a);
+        assert!(clone2.shares_storage_with(&pool));
+        assert_eq!(clone2.pool_id(), pool.pool_id());
+
+        // Growing while shared deep-copies and takes a fresh identity; the
+        // original keeps its storage, id and symbols.
+        let old_id = pool.pool_id();
+        let b = clone2.intern("beta");
+        assert!(!clone2.shares_storage_with(&pool));
+        assert_ne!(clone2.pool_id(), old_id);
+        assert_eq!(pool.pool_id(), old_id);
+        assert_eq!(pool.get("beta"), None);
+        assert_eq!(clone2.resolve(a), "alpha");
+        assert_eq!(clone2.resolve(b), "beta");
+    }
+
+    #[test]
+    fn text_pool_private_growth_keeps_identity() {
+        let mut pool = TextPool::new();
+        let id = pool.pool_id();
+        pool.intern("x");
+        pool.intern("y");
+        assert_eq!(pool.pool_id(), id, "sole owner keeps its linear history");
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn distinct_pools_have_distinct_identities() {
+        assert_ne!(TextPool::new().pool_id(), TextPool::new().pool_id());
+    }
+
+    #[test]
+    fn resolve_arc_is_the_shared_payload() {
+        let mut pool = TextPool::new();
+        let a = pool.intern("payload");
+        let arc1 = pool.resolve_arc(a).clone();
+        let arc2 = pool.resolve_arc(a).clone();
+        assert!(Arc::ptr_eq(&arc1, &arc2));
+        assert_eq!(&*arc1, "payload");
     }
 }

@@ -49,13 +49,13 @@ pub mod value;
 
 pub use cow::{CowStore, StoreMut};
 pub use error::XdmError;
-pub use intern::{Interner, StrId};
+pub use intern::{Interner, StrId, TextPool};
 pub use node::{Axis, NodeId, NodeKind, NodeTest, QName};
 pub use nodeset::NodeSet;
 pub use ops::{ddo, intersect, is_subset, node_except, node_union, set_equal};
 pub use sequence::Sequence;
-pub use store::{DocId, NodeStore, SnapshotPin, StoreSnapshot};
-pub use value::{AtomicValue, Item};
+pub use store::{DocId, NodeStore, SnapshotPin, StoreSnapshot, StrView};
+pub use value::{AtomicValue, Item, UText};
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, XdmError>;

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::intern::StrId;
+
 /// A (possibly prefixed) XML name.
 ///
 /// Namespace support in this engine is intentionally minimal — the queries of
@@ -79,20 +81,27 @@ impl fmt::Display for NodeId {
 }
 
 /// The kind of a node, together with kind-specific payload.
+///
+/// Text-shaped payloads (attribute values, text/comment content, PI targets
+/// and content) are interned into the owning store's text pool at creation
+/// time and carried here as [`StrId`] symbols — resolve them through
+/// [`NodeStore::resolve_text`](crate::NodeStore::resolve_text) (or the
+/// higher-level `string_value_ref` / `attribute_value` accessors).  This is
+/// what makes `string_value` of leaf nodes a borrow instead of a clone.
 #[derive(Debug, Clone, PartialEq)]
 pub enum NodeKind {
     /// The document node (root of a parsed document).
     Document,
     /// An element node with its name.
     Element(QName),
-    /// An attribute node with name and string value.
-    Attribute(QName, String),
-    /// A text node.
-    Text(String),
-    /// A comment node.
-    Comment(String),
-    /// A processing instruction with target and content.
-    ProcessingInstruction(String, String),
+    /// An attribute node with name and interned string value.
+    Attribute(QName, StrId),
+    /// A text node (interned content).
+    Text(StrId),
+    /// A comment node (interned content).
+    Comment(StrId),
+    /// A processing instruction with interned target and content.
+    ProcessingInstruction(StrId, StrId),
 }
 
 impl NodeKind {
@@ -366,7 +375,7 @@ mod tests {
     #[test]
     fn name_test_respects_principal_node_kind() {
         let elem = NodeKind::Element(QName::local("id"));
-        let attr = NodeKind::Attribute(QName::local("id"), "x".into());
+        let attr = NodeKind::Attribute(QName::local("id"), StrId(0));
         let test = NodeTest::Name("id".into());
         assert!(test.matches(Axis::Child, &elem));
         assert!(!test.matches(Axis::Child, &attr));
@@ -377,7 +386,7 @@ mod tests {
     #[test]
     fn wildcard_matches_elements_only_on_child_axis() {
         let elem = NodeKind::Element(QName::local("a"));
-        let text = NodeKind::Text("hello".into());
+        let text = NodeKind::Text(StrId(0));
         assert!(NodeTest::AnyElement.matches(Axis::Child, &elem));
         assert!(!NodeTest::AnyElement.matches(Axis::Child, &text));
         assert!(NodeTest::AnyNode.matches(Axis::Child, &text));
@@ -385,8 +394,8 @@ mod tests {
 
     #[test]
     fn kind_tests_match_their_kinds() {
-        assert!(NodeTest::Text.matches(Axis::Child, &NodeKind::Text("t".into())));
-        assert!(NodeTest::Comment.matches(Axis::Child, &NodeKind::Comment("c".into())));
+        assert!(NodeTest::Text.matches(Axis::Child, &NodeKind::Text(StrId(0))));
+        assert!(NodeTest::Comment.matches(Axis::Child, &NodeKind::Comment(StrId(0))));
         assert!(NodeTest::Document.matches(Axis::SelfAxis, &NodeKind::Document));
         assert!(NodeTest::Element(Some("a".into()))
             .matches(Axis::Child, &NodeKind::Element(QName::local("a"))));
@@ -394,7 +403,7 @@ mod tests {
             .matches(Axis::Child, &NodeKind::Element(QName::local("b"))));
         assert!(NodeTest::Attribute(None).matches(
             Axis::Attribute,
-            &NodeKind::Attribute(QName::local("x"), "1".into())
+            &NodeKind::Attribute(QName::local("x"), StrId(0))
         ));
     }
 }

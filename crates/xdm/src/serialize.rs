@@ -28,7 +28,7 @@ fn write_node(store: &NodeStore, node: NodeId, out: &mut String) {
                     out.push(' ');
                     out.push_str(&aname.to_string());
                     out.push_str("=\"");
-                    out.push_str(&escape_attribute(value));
+                    out.push_str(&escape_attribute(store.resolve_text(*value)));
                     out.push('"');
                 }
             }
@@ -49,18 +49,19 @@ fn write_node(store: &NodeStore, node: NodeId, out: &mut String) {
             // A bare attribute node serializes as name="value".
             out.push_str(&name.to_string());
             out.push_str("=\"");
-            out.push_str(&escape_attribute(value));
+            out.push_str(&escape_attribute(store.resolve_text(*value)));
             out.push('"');
         }
-        NodeKind::Text(text) => out.push_str(&escape_text(text)),
+        NodeKind::Text(text) => out.push_str(&escape_text(store.resolve_text(*text))),
         NodeKind::Comment(text) => {
             out.push_str("<!--");
-            out.push_str(text);
+            out.push_str(store.resolve_text(*text));
             out.push_str("-->");
         }
         NodeKind::ProcessingInstruction(target, content) => {
+            let content = store.resolve_text(*content);
             out.push_str("<?");
-            out.push_str(target);
+            out.push_str(store.resolve_text(*target));
             if !content.is_empty() {
                 out.push(' ');
                 out.push_str(content);

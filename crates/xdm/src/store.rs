@@ -30,10 +30,12 @@
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::sync::atomic::AtomicU64;
-use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard};
 
 use crate::error::XdmError;
+use crate::intern::{StrId, TextPool};
 use crate::node::{Axis, NodeId, NodeKind, NodeTest, QName};
+use crate::value::UText;
 use crate::Result;
 
 /// Identifier of a document inside a [`NodeStore`].
@@ -59,8 +61,10 @@ struct NodeData {
 struct Derived {
     /// `order[i]` is the document-order rank of node `i`.
     order: Vec<u32>,
-    /// Map from ID value to the first element carrying it.
-    id_index: HashMap<String, u32>,
+    /// Map from ID value (as its text-pool symbol) to the first element
+    /// carrying it.  Keying on [`StrId`] makes the rebuild allocation-free:
+    /// attribute payloads already carry their symbols.
+    id_index: HashMap<StrId, u32>,
     /// Set when the document has been mutated since the last rebuild.
     dirty: bool,
     /// `true` when arena index order coincides with document order (always
@@ -104,7 +108,8 @@ struct Document {
     /// Attribute names treated as ID-typed (in addition to `xml:id`/`id`).
     id_attr_names: Vec<String>,
     /// Optional URI this document was loaded under (used by `fn:doc`).
-    uri: Option<String>,
+    /// Shares one allocation with the store's `by_uri` key.
+    uri: Option<Arc<str>>,
     /// Lazily recomputed order ranks / ID index; see [`Derived`].
     derived: RwLock<Derived>,
 }
@@ -203,7 +208,7 @@ fn assign_order(nodes: &[NodeData], order: &mut [u32], node: u32, rank: &mut u32
 fn rebuild_id_index(
     nodes: &[NodeData],
     id_attr_names: &[String],
-    id_index: &mut HashMap<String, u32>,
+    id_index: &mut HashMap<StrId, u32>,
 ) {
     for (idx, node) in nodes.iter().enumerate() {
         if !node.kind.is_element() {
@@ -215,7 +220,7 @@ fn rebuild_id_index(
                 // spelling (prefixes are not significant here).
                 let is_id = name.local == "id" || id_attr_names.iter().any(|n| n == &name.local);
                 if is_id {
-                    id_index.entry(value.clone()).or_insert(idx as u32);
+                    id_index.entry(*value).or_insert(idx as u32);
                 }
             }
         }
@@ -229,7 +234,82 @@ fn rebuild_id_index(
 struct IdProbeCache {
     /// The [`NodeStore::load_epoch`] value the memo is valid for.
     epoch: u64,
-    per_doc: HashMap<u32, (u64, HashMap<String, Option<NodeId>>)>,
+    /// Keyed on the probed value's text-pool symbol, so a repeated probe
+    /// neither allocates on hit *nor* on miss.
+    per_doc: HashMap<u32, (u64, HashMap<StrId, Option<NodeId>>)>,
+}
+
+/// Memo of element/document `string_value` concatenations, one map per
+/// document, each tagged with the `Derived::version` it was built against —
+/// the same invalidation protocol as [`IdProbeCache`]: entries survive
+/// exactly as long as the document's derived state, whichever store
+/// operation triggered the rebuild.
+#[derive(Debug, Default, Clone)]
+struct TextMemoCache {
+    per_doc: HashMap<u32, (u64, HashMap<u32, Arc<str>>)>,
+}
+
+/// A node's string value without a forced render: borrowed straight from
+/// the store's text pool (leaf payloads, single-text-child elements), or a
+/// shared handle on a memoized element/document concatenation.
+///
+/// Derefs to `str`; call [`into_string`](StrView::into_string) when an
+/// owned `String` is genuinely required.
+#[derive(Debug, Clone)]
+pub enum StrView<'s> {
+    /// Borrowed from the store (text pool entry, or the static `""`).
+    Borrowed(&'s str),
+    /// A shared handle on a memoized concatenation.
+    Shared(Arc<str>),
+}
+
+impl StrView<'_> {
+    /// The text as a borrowed slice.
+    pub fn as_str(&self) -> &str {
+        match self {
+            StrView::Borrowed(s) => s,
+            StrView::Shared(s) => s,
+        }
+    }
+
+    /// Render to an owned `String` (the one place a copy happens).
+    pub fn into_string(self) -> String {
+        match self {
+            StrView::Borrowed(s) => s.to_string(),
+            StrView::Shared(s) => s.as_ref().to_string(),
+        }
+    }
+}
+
+impl std::ops::Deref for StrView<'_> {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq<str> for StrView<'_> {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl std::fmt::Display for StrView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Internal classification of an element/document string value; the public
+/// views ([`StrView`], [`UText`]) are cut from this.
+enum ContainerText {
+    /// No text descendants at all.
+    Empty,
+    /// Exactly one text child — its pool symbol, no concatenation needed.
+    Sym(StrId),
+    /// A genuine concatenation (usually from the per-document memo).
+    Concat(Arc<str>),
 }
 
 /// The arena owning every document and node of a query run.
@@ -239,7 +319,14 @@ struct IdProbeCache {
 pub struct NodeStore {
     docs: Vec<Document>,
     /// URI → document index, for `fn:doc` stability (same URI, same nodes).
-    by_uri: HashMap<String, u32>,
+    /// Keys share their allocation with `Document::uri`.
+    by_uri: HashMap<Arc<str>, u32>,
+    /// The store-owned text payload pool: every text-shaped payload
+    /// (attribute values, text/comment content, PI targets and content) is
+    /// interned here at creation time and carried in [`NodeKind`] as a
+    /// [`StrId`].  `Arc`-shared, so cloning the store (the service layer's
+    /// `publish()`) shares the table instead of copying every string.
+    text: TextPool,
     /// Count of nodes ever created, across all documents.
     nodes_created: u64,
     /// Set to a *globally unique* value (process-wide counter) whenever the
@@ -273,6 +360,12 @@ pub struct NodeStore {
     /// same reason the memo is locked; the counter is monotonic telemetry,
     /// so `Relaxed` ordering suffices.
     id_probe_hits: AtomicU64,
+    /// Memo of element/document `string_value` concatenations — atomizing
+    /// the same element across fixpoint iterations re-renders nothing.
+    /// Invalidated per document by the `Derived::version` tag (see
+    /// [`TextMemoCache`]); behind a `Mutex` for the same reason as
+    /// `id_probe`.
+    text_memo: Mutex<TextMemoCache>,
 }
 
 impl Clone for NodeStore {
@@ -280,6 +373,9 @@ impl Clone for NodeStore {
         NodeStore {
             docs: self.docs.clone(),
             by_uri: self.by_uri.clone(),
+            // O(1): the clone shares the payload table until either side
+            // interns a new string (see [`TextPool`]).
+            text: self.text.clone(),
             nodes_created: self.nodes_created,
             load_epoch: self.load_epoch,
             revision: self.revision,
@@ -288,6 +384,7 @@ impl Clone for NodeStore {
                 self.id_probe_hits
                     .load(std::sync::atomic::Ordering::Relaxed),
             ),
+            text_memo: Mutex::new(mutex_lock(&self.text_memo).clone()),
         }
     }
 }
@@ -395,8 +492,10 @@ impl NodeStore {
             return Ok(DocId(idx));
         }
         let doc = crate::parse::parse_into(self, text)?;
-        self.docs[doc.0 as usize].uri = Some(uri.to_string());
-        self.by_uri.insert(uri.to_string(), doc.0);
+        // One allocation, shared by the document record and the URI index.
+        let uri: Arc<str> = Arc::from(uri);
+        self.docs[doc.0 as usize].uri = Some(uri.clone());
+        self.by_uri.insert(uri, doc.0);
         self.load_epoch = fresh_load_epoch();
         self.revision += 1;
         Ok(doc)
@@ -456,6 +555,11 @@ impl NodeStore {
     pub fn lookup_id(&self, doc: DocId, value: &str) -> Option<NodeId> {
         let d = self.docs.get(doc.0 as usize)?;
         let derived = d.derived();
+        // Every `id_index` key is an attribute payload, and every attribute
+        // payload lives in the text pool — so a value the pool has never
+        // seen cannot match, and the whole probe (memo included) can key on
+        // the pool symbol instead of allocating the probed string.
+        let sym = self.text.get(value)?;
         // Under concurrent snapshot readers the memo's mutex would be a
         // store-wide serialization point; the derived ID index answers in
         // O(1) anyway, so a contended probe skips the memo instead of
@@ -465,7 +569,7 @@ impl NodeStore {
             Ok(guard) => guard,
             Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
             Err(std::sync::TryLockError::WouldBlock) => {
-                return derived.id_index.get(value).map(|&n| NodeId::new(doc.0, n));
+                return derived.id_index.get(&sym).map(|&n| NodeId::new(doc.0, n));
             }
         };
         if probe.epoch != self.load_epoch {
@@ -485,13 +589,13 @@ impl NodeStore {
             *version = derived.version;
             memo.clear();
         }
-        if let Some(&hit) = memo.get(value) {
+        if let Some(&hit) = memo.get(&sym) {
             self.id_probe_hits
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             return hit;
         }
-        let found = derived.id_index.get(value).map(|&n| NodeId::new(doc.0, n));
-        memo.insert(value.to_string(), found);
+        let found = derived.id_index.get(&sym).map(|&n| NodeId::new(doc.0, n));
+        memo.insert(sym, found);
         found
     }
 
@@ -527,12 +631,14 @@ impl NodeStore {
         )
     }
 
-    /// Create an unattached text node in `doc`.
-    pub fn create_text(&mut self, doc: DocId, text: impl Into<String>) -> NodeId {
+    /// Create an unattached text node in `doc` (the content is interned
+    /// into the store's text pool).
+    pub fn create_text(&mut self, doc: DocId, text: impl AsRef<str>) -> NodeId {
+        let sym = self.text.intern(text.as_ref());
         self.push_node(
             doc,
             NodeData {
-                kind: NodeKind::Text(text.into()),
+                kind: NodeKind::Text(sym),
                 parent: None,
                 children: Vec::new(),
                 attributes: Vec::new(),
@@ -541,11 +647,12 @@ impl NodeStore {
     }
 
     /// Create an unattached comment node in `doc`.
-    pub fn create_comment(&mut self, doc: DocId, text: impl Into<String>) -> NodeId {
+    pub fn create_comment(&mut self, doc: DocId, text: impl AsRef<str>) -> NodeId {
+        let sym = self.text.intern(text.as_ref());
         self.push_node(
             doc,
             NodeData {
-                kind: NodeKind::Comment(text.into()),
+                kind: NodeKind::Comment(sym),
                 parent: None,
                 children: Vec::new(),
                 attributes: Vec::new(),
@@ -557,13 +664,15 @@ impl NodeStore {
     pub fn create_pi(
         &mut self,
         doc: DocId,
-        target: impl Into<String>,
-        content: impl Into<String>,
+        target: impl AsRef<str>,
+        content: impl AsRef<str>,
     ) -> NodeId {
+        let target = self.text.intern(target.as_ref());
+        let content = self.text.intern(content.as_ref());
         self.push_node(
             doc,
             NodeData {
-                kind: NodeKind::ProcessingInstruction(target.into(), content.into()),
+                kind: NodeKind::ProcessingInstruction(target, content),
                 parent: None,
                 children: Vec::new(),
                 attributes: Vec::new(),
@@ -601,12 +710,26 @@ impl NodeStore {
         Ok(())
     }
 
-    /// Add an attribute `name="value"` to element `element`.
+    /// Add an attribute `name="value"` to element `element` (the value is
+    /// interned into the store's text pool).
     pub fn add_attribute(
         &mut self,
         element: NodeId,
         name: QName,
-        value: impl Into<String>,
+        value: impl AsRef<str>,
+    ) -> Result<NodeId> {
+        let sym = self.text.intern(value.as_ref());
+        self.add_attribute_interned(element, name, sym)
+    }
+
+    /// Add an attribute whose value is already a symbol of this store's
+    /// text pool — the allocation-free path `deep_copy` and constructor
+    /// re-attachment take.
+    pub fn add_attribute_interned(
+        &mut self,
+        element: NodeId,
+        name: QName,
+        value: StrId,
     ) -> Result<NodeId> {
         {
             let d = &self.docs[element.doc as usize];
@@ -619,7 +742,7 @@ impl NodeStore {
         let attr = self.push_node(
             DocId(element.doc),
             NodeData {
-                kind: NodeKind::Attribute(name, value.into()),
+                kind: NodeKind::Attribute(name, value),
                 parent: Some(element.node),
                 children: Vec::new(),
                 attributes: Vec::new(),
@@ -650,7 +773,9 @@ impl NodeStore {
             if let NodeKind::Attribute(name, value) = self.kind(attr).clone() {
                 // The copy's root is always an element here; ignore errors on
                 // non-element kinds (they have no attributes to begin with).
-                let _ = self.add_attribute(copy, name, value);
+                // The payload symbol belongs to this store's pool already —
+                // no re-interning, no allocation.
+                let _ = self.add_attribute_interned(copy, name, value);
             }
         }
         for child in self.children(node) {
@@ -711,12 +836,20 @@ impl NodeStore {
 
     /// The value of attribute `name` on element `node`, if present.
     pub fn attribute_value(&self, node: NodeId, name: &str) -> Option<&str> {
+        self.attribute_value_sym(node, name)
+            .map(|sym| self.text.resolve(sym))
+    }
+
+    /// The text-pool symbol of attribute `name` on element `node`, if
+    /// present.  The allocation-free form consumers with their own
+    /// per-pool caches (the algebraic executor) build on.
+    pub fn attribute_value_sym(&self, node: NodeId, name: &str) -> Option<StrId> {
         for &a in &self.data(node).attributes {
             if let NodeKind::Attribute(qname, value) =
                 &self.docs[node.doc as usize].nodes[a as usize].kind
             {
                 if qname.matches_local(name) {
-                    return Some(value);
+                    return Some(*value);
                 }
             }
         }
@@ -732,26 +865,155 @@ impl NodeStore {
         cur
     }
 
+    /// The string behind a text-pool symbol carried by this store's nodes.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this store's pool.
+    pub fn resolve_text(&self, id: StrId) -> &str {
+        self.text.resolve(id)
+    }
+
+    /// The text-pool symbol of `s`, if any node payload has interned it
+    /// (never allocates).  Useful as a cheap membership prefilter: a string
+    /// the pool has never seen cannot be any node's payload.
+    pub fn text_pool_get(&self, s: &str) -> Option<StrId> {
+        self.text.get(s)
+    }
+
+    /// The globally unique identity of this store's text pool — the key
+    /// external per-pool symbol caches compare to detect divergence (see
+    /// [`TextPool::pool_id`](crate::intern::TextPool::pool_id)).
+    pub fn text_pool_id(&self) -> u64 {
+        self.text.pool_id()
+    }
+
+    /// `true` when `self` and `other` still share one text-pool storage —
+    /// i.e. one is a clone of the other and neither has interned a new
+    /// string since.  What makes the service layer's publish-clone cheap.
+    pub fn shares_text_pool(&self, other: &NodeStore) -> bool {
+        self.text.shares_storage_with(&other.text)
+    }
+
+    /// The text-pool symbol of a *leaf-shaped* node's string value
+    /// (attributes, text, comments, PIs); `None` for elements and
+    /// documents, whose value is a concatenation.
+    pub fn string_value_sym(&self, node: NodeId) -> Option<StrId> {
+        match self.kind(node) {
+            NodeKind::Attribute(_, v) => Some(*v),
+            NodeKind::Text(t) => Some(*t),
+            NodeKind::Comment(c) => Some(*c),
+            NodeKind::ProcessingInstruction(_, c) => Some(*c),
+            NodeKind::Element(_) | NodeKind::Document => None,
+        }
+    }
+
     /// The typed/string value of a node: for elements and documents the
     /// concatenation of all descendant text nodes, for attributes and text
     /// nodes their content, for comments and PIs their text.
     pub fn string_value(&self, node: NodeId) -> String {
+        self.string_value_ref(node).into_string()
+    }
+
+    /// The string value of a node without rendering a fresh `String`:
+    /// leaf-shaped nodes borrow straight from the text pool; element and
+    /// document concatenations come from the per-document memo as a shared
+    /// `Arc<str>` (rendered at most once per document revision).
+    pub fn string_value_ref(&self, node: NodeId) -> StrView<'_> {
         match self.kind(node) {
-            NodeKind::Attribute(_, v) => v.clone(),
-            NodeKind::Text(t) => t.clone(),
-            NodeKind::Comment(c) => c.clone(),
-            NodeKind::ProcessingInstruction(_, c) => c.clone(),
-            NodeKind::Element(_) | NodeKind::Document => {
+            NodeKind::Attribute(_, v) => StrView::Borrowed(self.text.resolve(*v)),
+            NodeKind::Text(t) => StrView::Borrowed(self.text.resolve(*t)),
+            NodeKind::Comment(c) => StrView::Borrowed(self.text.resolve(*c)),
+            NodeKind::ProcessingInstruction(_, c) => StrView::Borrowed(self.text.resolve(*c)),
+            NodeKind::Element(_) | NodeKind::Document => match self.container_text(node) {
+                ContainerText::Empty => StrView::Borrowed(""),
+                ContainerText::Sym(sym) => StrView::Borrowed(self.text.resolve(sym)),
+                ContainerText::Concat(arc) => StrView::Shared(arc),
+            },
+        }
+    }
+
+    /// The string value of a node as an atomization payload: a shared
+    /// `Arc<str>` handle wherever one exists (leaf payloads, memoized
+    /// concatenations), an owned `String` only when the memo could not be
+    /// consulted.  This is what `Evaluator::atomize` hands out.
+    pub fn untyped_value(&self, node: NodeId) -> UText {
+        match self.kind(node) {
+            NodeKind::Attribute(_, v)
+            | NodeKind::Text(v)
+            | NodeKind::Comment(v)
+            | NodeKind::ProcessingInstruction(_, v) => {
+                UText::shared(self.text.resolve_arc(*v).clone())
+            }
+            NodeKind::Element(_) | NodeKind::Document => match self.container_text(node) {
+                ContainerText::Empty => UText::from(String::new()),
+                ContainerText::Sym(sym) => UText::shared(self.text.resolve_arc(sym).clone()),
+                ContainerText::Concat(arc) => UText::shared(arc),
+            },
+        }
+    }
+
+    /// The concatenated text of an element/document node, memoized per
+    /// document behind the derived-state version tag.  `O(1)` fast paths
+    /// skip the memo for childless nodes and single-text-child elements —
+    /// the dominant shapes in data-oriented documents.
+    fn container_text(&self, node: NodeId) -> ContainerText {
+        let data = self.data(node);
+        match data.children.as_slice() {
+            [] => return ContainerText::Empty,
+            &[only] => {
+                if let NodeKind::Text(t) = &self.docs[node.doc as usize].nodes[only as usize].kind {
+                    return ContainerText::Sym(*t);
+                }
+            }
+            _ => {}
+        }
+        // Force the derived state current *before* consulting the memo: a
+        // mutation only marks the document dirty — the version tag the memo
+        // is validated against moves on rebuild.
+        let version = self.docs[node.doc as usize].derived().version;
+        let mut memo = match self.text_memo.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                // Contended (concurrent snapshot readers): render without
+                // memoizing rather than serializing every reader here.
                 let mut out = String::new();
                 self.collect_text(node, &mut out);
-                out
+                return ContainerText::Concat(Arc::from(out));
             }
+        };
+        let (tag, map) = memo
+            .per_doc
+            .entry(node.doc)
+            .or_insert_with(|| (version, HashMap::new()));
+        if *tag != version {
+            *tag = version;
+            map.clear();
         }
+        if let Some(arc) = map.get(&node.node) {
+            return ContainerText::Concat(arc.clone());
+        }
+        drop(memo);
+        // Render outside the lock; `version` cannot move while we hold
+        // `&self` (mutation needs `&mut self`, and our `derived()` call
+        // above already cleared `dirty`).
+        let mut out = String::new();
+        self.collect_text(node, &mut out);
+        let arc: Arc<str> = Arc::from(out);
+        let mut memo = mutex_lock(&self.text_memo);
+        let (tag, map) = memo
+            .per_doc
+            .entry(node.doc)
+            .or_insert_with(|| (version, HashMap::new()));
+        if *tag == version {
+            map.insert(node.node, arc.clone());
+        }
+        ContainerText::Concat(arc)
     }
 
     fn collect_text(&self, node: NodeId, out: &mut String) {
         match self.kind(node) {
-            NodeKind::Text(t) => out.push_str(t),
+            NodeKind::Text(t) => out.push_str(self.text.resolve(*t)),
             NodeKind::Element(_) | NodeKind::Document => {
                 for &c in &self.data(node).children {
                     self.collect_text(NodeId::new(node.doc, c), out);
@@ -828,36 +1090,50 @@ impl NodeStore {
     /// reverse document order for reverse axes).
     pub fn axis_nodes(&self, node: NodeId, axis: Axis, test: &NodeTest) -> Vec<NodeId> {
         let mut out = Vec::new();
+        self.axis_nodes_into(node, axis, test, &mut out);
+        out
+    }
+
+    /// [`axis_nodes`](NodeStore::axis_nodes) appending into a caller-owned
+    /// buffer — the fused form path evaluation uses to run a whole
+    /// focus sequence through one step without a `Vec` per focus item.
+    pub fn axis_nodes_into(
+        &self,
+        node: NodeId,
+        axis: Axis,
+        test: &NodeTest,
+        out: &mut Vec<NodeId>,
+    ) {
         match axis {
             Axis::Child => {
                 // Iterate the arena's child list directly — no intermediate
                 // `children()` vector on the hottest axis.
                 for &c in &self.data(node).children {
-                    self.push_if(NodeId::new(node.doc, c), axis, test, &mut out);
+                    self.push_if(NodeId::new(node.doc, c), axis, test, out);
                 }
             }
-            Axis::Descendant => self.collect_descendants(node, axis, test, &mut out),
+            Axis::Descendant => self.collect_descendants(node, axis, test, out),
             Axis::DescendantOrSelf => {
-                self.push_if(node, axis, test, &mut out);
-                self.collect_descendants(node, axis, test, &mut out);
+                self.push_if(node, axis, test, out);
+                self.collect_descendants(node, axis, test, out);
             }
             Axis::Parent => {
                 if let Some(p) = self.parent(node) {
-                    self.push_if(p, axis, test, &mut out);
+                    self.push_if(p, axis, test, out);
                 }
             }
             Axis::Ancestor => {
                 let mut cur = self.parent(node);
                 while let Some(p) = cur {
-                    self.push_if(p, axis, test, &mut out);
+                    self.push_if(p, axis, test, out);
                     cur = self.parent(p);
                 }
             }
             Axis::AncestorOrSelf => {
-                self.push_if(node, axis, test, &mut out);
+                self.push_if(node, axis, test, out);
                 let mut cur = self.parent(node);
                 while let Some(p) = cur {
-                    self.push_if(p, axis, test, &mut out);
+                    self.push_if(p, axis, test, out);
                     cur = self.parent(p);
                 }
             }
@@ -869,7 +1145,7 @@ impl NodeStore {
                         if s == node {
                             seen_self = true;
                         } else if seen_self {
-                            self.push_if(s, axis, test, &mut out);
+                            self.push_if(s, axis, test, out);
                         }
                     }
                 }
@@ -885,7 +1161,7 @@ impl NodeStore {
                         before.push(s);
                     }
                     for s in before.into_iter().rev() {
-                        self.push_if(s, axis, test, &mut out);
+                        self.push_if(s, axis, test, out);
                     }
                 }
             }
@@ -933,14 +1209,13 @@ impl NodeStore {
             }
             Axis::Attribute => {
                 for &a in &self.data(node).attributes {
-                    self.push_if(NodeId::new(node.doc, a), axis, test, &mut out);
+                    self.push_if(NodeId::new(node.doc, a), axis, test, out);
                 }
             }
             Axis::SelfAxis => {
-                self.push_if(node, axis, test, &mut out);
+                self.push_if(node, axis, test, out);
             }
         }
-        out
     }
 
     fn push_if(&self, node: NodeId, axis: Axis, test: &NodeTest, out: &mut Vec<NodeId>) {

@@ -2,10 +2,92 @@
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
 
 use crate::error::XdmError;
 use crate::node::NodeId;
 use crate::Result;
+
+/// The payload of an `xs:untypedAtomic` value: either an owned string or a
+/// zero-copy handle on a store's shared text pool.
+///
+/// Atomizing a leaf node (or a memoized element concatenation) hands out the
+/// pool's `Arc<str>` instead of rendering a fresh `String`; owned payloads
+/// only appear for computed strings.  `UText` derefs to `str`, so consumers
+/// treat it exactly like the `String` it replaced.  Equality first checks
+/// `Arc` pointer identity — two atoms cut from the same pool entry (the
+/// common case inside one store: interning guarantees one entry per distinct
+/// string) compare in O(1) without touching the bytes — and falls back to
+/// content comparison across pools or against owned payloads.
+#[derive(Debug, Clone)]
+pub struct UText(UTextRepr);
+
+#[derive(Debug, Clone)]
+enum UTextRepr {
+    Owned(String),
+    Shared(Arc<str>),
+}
+
+impl UText {
+    /// Wrap a shared pool payload (zero-copy).
+    pub fn shared(s: Arc<str>) -> Self {
+        UText(UTextRepr::Shared(s))
+    }
+
+    /// The text as a borrowed slice.
+    pub fn as_str(&self) -> &str {
+        match &self.0 {
+            UTextRepr::Owned(s) => s,
+            UTextRepr::Shared(s) => s,
+        }
+    }
+
+    /// `true` when this payload is a shared pool handle (no private
+    /// allocation happened to produce it).
+    pub fn is_shared(&self) -> bool {
+        matches!(&self.0, UTextRepr::Shared(_))
+    }
+}
+
+impl Deref for UText {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<String> for UText {
+    fn from(s: String) -> Self {
+        UText(UTextRepr::Owned(s))
+    }
+}
+
+impl From<&str> for UText {
+    fn from(s: &str) -> Self {
+        UText(UTextRepr::Owned(s.to_string()))
+    }
+}
+
+impl PartialEq for UText {
+    fn eq(&self, other: &Self) -> bool {
+        if let (UTextRepr::Shared(a), UTextRepr::Shared(b)) = (&self.0, &other.0) {
+            // Same pool entry ⇒ equal without reading bytes.  Distinct
+            // pointers prove nothing (other pool, memo entry), fall through.
+            if Arc::ptr_eq(a, b) {
+                return true;
+            }
+        }
+        self.as_str() == other.as_str()
+    }
+}
+
+impl fmt::Display for UText {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// An atomic value.
 ///
@@ -16,24 +98,38 @@ use crate::Result;
 pub enum AtomicValue {
     /// `xs:string`
     String(String),
+    /// `xs:untypedAtomic` — the result of atomizing a node.  Carries a
+    /// [`UText`] so atomized pool text stays zero-copy.
+    Untyped(UText),
     /// `xs:integer`
     Integer(i64),
     /// `xs:double`
     Double(f64),
     /// `xs:boolean`
     Boolean(bool),
-    /// `xs:untypedAtomic` — the result of atomizing a node.
-    Untyped(String),
 }
 
 impl AtomicValue {
     /// The lexical/string form of the value (the `fn:string` view).
     pub fn string_value(&self) -> String {
         match self {
-            AtomicValue::String(s) | AtomicValue::Untyped(s) => s.clone(),
+            AtomicValue::String(s) => s.clone(),
+            AtomicValue::Untyped(s) => s.as_str().to_string(),
             AtomicValue::Integer(i) => i.to_string(),
             AtomicValue::Double(d) => format_double(*d),
             AtomicValue::Boolean(b) => b.to_string(),
+        }
+    }
+
+    /// The text of a string-shaped value (`xs:string` / `xs:untypedAtomic`)
+    /// as a borrow; `None` for numerics and booleans (whose lexical form
+    /// must be rendered).  The allocation-free half of
+    /// [`string_value`](AtomicValue::string_value).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AtomicValue::String(s) => Some(s),
+            AtomicValue::Untyped(s) => Some(s.as_str()),
+            _ => None,
         }
     }
 
@@ -49,9 +145,8 @@ impl AtomicValue {
                     0.0
                 }
             }
-            AtomicValue::String(s) | AtomicValue::Untyped(s) => {
-                s.trim().parse::<f64>().unwrap_or(f64::NAN)
-            }
+            AtomicValue::String(s) => s.trim().parse::<f64>().unwrap_or(f64::NAN),
+            AtomicValue::Untyped(s) => s.trim().parse::<f64>().unwrap_or(f64::NAN),
         }
     }
 
@@ -60,10 +155,12 @@ impl AtomicValue {
         match self {
             AtomicValue::Integer(i) => Ok(*i),
             AtomicValue::Double(d) if d.fract() == 0.0 && d.is_finite() => Ok(*d as i64),
-            AtomicValue::String(s) | AtomicValue::Untyped(s) => s
-                .trim()
-                .parse::<i64>()
-                .map_err(|_| XdmError::InvalidCast(format!("cannot cast '{s}' to xs:integer"))),
+            AtomicValue::String(_) | AtomicValue::Untyped(_) => {
+                let s = self.as_str().expect("string-shaped");
+                s.trim()
+                    .parse::<i64>()
+                    .map_err(|_| XdmError::InvalidCast(format!("cannot cast '{s}' to xs:integer")))
+            }
             other => Err(XdmError::InvalidCast(format!(
                 "cannot cast {other:?} to xs:integer"
             ))),
@@ -76,7 +173,8 @@ impl AtomicValue {
             AtomicValue::Boolean(b) => *b,
             AtomicValue::Integer(i) => *i != 0,
             AtomicValue::Double(d) => *d != 0.0 && !d.is_nan(),
-            AtomicValue::String(s) | AtomicValue::Untyped(s) => !s.is_empty(),
+            AtomicValue::String(s) => !s.is_empty(),
+            AtomicValue::Untyped(s) => !s.is_empty(),
         }
     }
 
@@ -93,7 +191,11 @@ impl AtomicValue {
         match (self, other) {
             (Boolean(a), Boolean(b)) => Some(a.cmp(b)),
             (a, b) if a.is_numeric() || b.is_numeric() => a.to_double().partial_cmp(&b.to_double()),
-            (a, b) => Some(a.string_value().cmp(&b.string_value())),
+            (a, b) => match (a.as_str(), b.as_str()) {
+                // Both string-shaped: compare borrowed, no rendering.
+                (Some(x), Some(y)) => Some(x.cmp(y)),
+                _ => Some(a.string_value().cmp(&b.string_value())),
+            },
         }
     }
 
@@ -107,7 +209,12 @@ impl AtomicValue {
                 let (x, y) = (a.to_double(), b.to_double());
                 x == y
             }
-            (a, b) => a.string_value() == b.string_value(),
+            // Untyped × Untyped takes UText's pointer-identity fast path.
+            (Untyped(a), Untyped(b)) => a == b,
+            (a, b) => match (a.as_str(), b.as_str()) {
+                (Some(x), Some(y)) => x == y,
+                _ => a.string_value() == b.string_value(),
+            },
         }
     }
 }
@@ -251,6 +358,41 @@ mod tests {
             AtomicValue::Untyped("10".into()).compare(&AtomicValue::String("9".into())),
             Some(Ordering::Less)
         );
+    }
+
+    #[test]
+    fn utext_equality_and_views() {
+        let shared: Arc<str> = Arc::from("hello");
+        let a = UText::shared(shared.clone());
+        let b = UText::shared(shared);
+        let owned = UText::from("hello".to_string());
+        assert!(a.is_shared());
+        assert!(!owned.is_shared());
+        // Pointer-identical, content-equal and cross-repr comparisons all
+        // agree.
+        assert_eq!(a, b);
+        assert_eq!(a, owned);
+        assert_eq!(owned, a);
+        assert_ne!(a, UText::from("other"));
+        assert_eq!(a.as_str(), "hello");
+        assert_eq!(&*a, "hello"); // Deref
+        assert_eq!(a.to_string(), "hello");
+
+        // Distinct Arcs with equal content still compare equal.
+        let c = UText::shared(Arc::from("hello"));
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn untyped_atoms_behave_like_strings() {
+        let shared = AtomicValue::Untyped(UText::shared(Arc::from("10")));
+        assert_eq!(shared.string_value(), "10");
+        assert_eq!(shared.as_str(), Some("10"));
+        assert_eq!(shared.to_double(), 10.0);
+        assert_eq!(shared.to_integer().unwrap(), 10);
+        assert!(shared.effective_boolean());
+        assert!(shared.general_eq(&AtomicValue::Untyped("10".into())));
+        assert_eq!(AtomicValue::Integer(5).as_str(), None);
     }
 
     #[test]
