@@ -369,7 +369,7 @@ impl BatchSharing {
 }
 
 /// Statistics of one fixpoint execution.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, Eq)]
 pub struct ExecStats {
     /// Iterations of the do-while loop.  For a batched run this is the
     /// *maximum* per-seed recursion depth — the shared loop runs until the
@@ -386,6 +386,26 @@ pub struct ExecStats {
     /// Number of seeds evaluated together by
     /// [`Executor::run_fixpoint_batched`]; `0` for a plain per-seed run.
     pub batch_seeds: usize,
+    /// Rows fed into each body evaluation, in evaluation order — the
+    /// frontier-growth curve the cost model's feedback loop consumes.
+    /// Deterministic for a given (plan, store, seeds) input, so it takes
+    /// part in equality.
+    pub frontier_curve: Vec<u64>,
+    /// Wall time of the run in microseconds.  **Excluded from equality**:
+    /// the parallel ≡ sequential property tests compare whole stats
+    /// structs, and wall time legitimately differs between runs.
+    pub wall_micros: u64,
+}
+
+impl PartialEq for ExecStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.iterations == other.iterations
+            && self.rows_fed_back == other.rows_fed_back
+            && self.body_evaluations == other.body_evaluations
+            && self.result_rows == other.result_rows
+            && self.batch_seeds == other.batch_seeds
+            && self.frontier_curve == other.frontier_curve
+    }
 }
 
 /// Exclusive-or-shared access to the node store during plan evaluation.
@@ -1205,6 +1225,7 @@ impl Executor {
         // plan nor the store epoch can change between iterations.
         self.plan_state.volatile_cache.clear();
         self.prime_for_plan(store.read(), body);
+        let started = Instant::now();
         let mut stats = ExecStats::default();
         // The accumulator lives as a NodeSet bitset for the whole run:
         // union/except are word-parallel and the termination tests are
@@ -1257,6 +1278,7 @@ impl Executor {
             }
         }
         stats.result_rows = res.len();
+        stats.wall_micros = started.elapsed().as_micros() as u64;
         Ok((Table::from_nodes(&res_vec), stats))
     }
 
@@ -1295,6 +1317,7 @@ impl Executor {
     ) -> Result<(Table, ExecStats)> {
         let mut store_ref = StoreRef::from(store.into());
         let store = &mut store_ref;
+        let started = Instant::now();
         let mut stats = ExecStats {
             batch_seeds: seeds.len(),
             ..ExecStats::default()
@@ -1478,6 +1501,7 @@ impl Executor {
             }
         }
         stats.result_rows = item_col.len();
+        stats.wall_micros = started.elapsed().as_micros() as u64;
         Ok((Table::from_columns(schema, vec![seed_col, item_col]), stats))
     }
 
@@ -1560,6 +1584,7 @@ impl Executor {
     ) -> Result<Vec<Vec<NodeId>>> {
         let total_rows: usize = tagged.iter().map(|(_, nodes)| nodes.len()).sum();
         stats.rows_fed_back += total_rows as u64;
+        stats.frontier_curve.push(total_rows as u64);
         // One *logical* body evaluation per iteration regardless of shard
         // count, so batched statistics stay comparable across thread
         // settings (the whole point of the stat is counting shared
@@ -1648,6 +1673,7 @@ impl Executor {
         stats: &mut ExecStats,
     ) -> Result<Vec<NodeId>> {
         stats.rows_fed_back += input.len() as u64;
+        stats.frontier_curve.push(input.len() as u64);
         stats.body_evaluations += 1;
         let rec = Table::from_nodes(input);
         let out = self.eval_plan_in_run(store, body, &rec)?;

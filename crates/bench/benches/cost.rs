@@ -1,0 +1,190 @@
+//! Cost-based plan selection benchmark (PR 9).
+//!
+//! For each quick Table-2 cell this bench measures every *forced* point of
+//! the valid plan grid (`{Naïve, Delta} × {source-level, algebraic}`, the
+//! batched route where the workload has one) and then the `Auto` knobs,
+//! which route through the cost model and its per-occurrence feedback
+//! loop.  The acceptance bar is printed and asserted at the end: Auto's
+//! steady-state mean must stay within 1.25× of the best forced grid point
+//! — i.e. the model (plus one exploration run corrected by feedback) may
+//! not settle on a meaningfully wrong plan.
+//!
+//! Run with `CRITERION_JSON=BENCH_cost.json cargo bench -p xqy_bench
+//! --bench cost` to record the baseline; CI records the same cells as
+//! `BENCH_cost_ci.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use xqy_bench::{curriculum_workload, engine_for, hospital_workload, Backend, Workload};
+use xqy_datagen::Scale;
+use xqy_ifp::xdm::Sequence;
+use xqy_ifp::{Bindings, Engine, PreparedQuery, Strategy};
+
+/// Ratio bar: Auto may cost at most this much of the best forced point.
+const AUTO_BUDGET: f64 = 1.25;
+
+struct Cell {
+    name: &'static str,
+    workload: Workload,
+    /// `true`: the seed set runs through `execute_batched` (the per-item
+    /// workloads); `false`: one fixpoint seeded with the whole sequence.
+    batched: bool,
+}
+
+fn quick_cells() -> Vec<Cell> {
+    vec![
+        Cell {
+            name: "curriculum_small",
+            workload: curriculum_workload(Scale::Small),
+            batched: true,
+        },
+        Cell {
+            name: "hospital_small",
+            workload: hospital_workload(Scale::Small),
+            batched: false,
+        },
+    ]
+}
+
+/// Prepare the cell's batched-form query under explicit knobs.
+fn prepare(
+    workload: &Workload,
+    strategy: Strategy,
+    backend: Backend,
+) -> (Engine, PreparedQuery, Sequence) {
+    let mut engine = engine_for(workload);
+    engine.set_strategy(strategy);
+    let prepared = engine
+        .prepare(&workload.batched_query())
+        .expect("workload query prepares")
+        .with_backend(backend);
+    let seeds = engine
+        .run(&workload.seed_query)
+        .expect("seed query runs")
+        .result;
+    (engine, prepared, seeds)
+}
+
+fn run_point(c: &mut Criterion, cell: &Cell, label: &str, strategy: Strategy, backend: Backend) {
+    let (mut engine, prepared, seeds) = prepare(&cell.workload, strategy, backend);
+    // Warm-up, outside the measured region: lets Auto's feedback loop
+    // converge (the first run follows the static estimate, the second may
+    // explore a corrected champion) and the executors fill their static
+    // caches — the measured quantity is the steady-state plan.
+    for _ in 0..3 {
+        if cell.batched {
+            prepared
+                .execute_batched(&mut engine, "seed", &seeds, &Bindings::new())
+                .expect("warm-up executes");
+        } else {
+            let bindings = Bindings::new().with("seed", seeds.clone());
+            prepared
+                .execute(&mut engine, &bindings)
+                .expect("warm-up executes");
+        }
+    }
+    let mut group = c.benchmark_group("cost");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new(cell.name, label), &seeds, |b, seeds| {
+        if cell.batched {
+            b.iter(|| {
+                black_box(
+                    prepared
+                        .execute_batched(&mut engine, "seed", seeds, &Bindings::new())
+                        .expect("cell executes")
+                        .outcome
+                        .result
+                        .len(),
+                )
+            })
+        } else {
+            let bindings = Bindings::new().with("seed", seeds.clone());
+            b.iter(|| {
+                black_box(
+                    prepared
+                        .execute(&mut engine, &bindings)
+                        .expect("cell executes")
+                        .result
+                        .len(),
+                )
+            })
+        }
+    });
+    group.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    let cells = quick_cells();
+    for cell in &cells {
+        // The valid grid for this body: Delta only with a distributivity
+        // certificate, the algebraic back-end only when the body compiles.
+        let analysis = {
+            let mut engine = engine_for(&cell.workload);
+            engine.set_strategy(Strategy::Auto);
+            engine
+                .prepare(&cell.workload.batched_query())
+                .expect("workload query prepares")
+        };
+        let distributive = analysis.distributivity()[0].is_distributive();
+        let algebraic = analysis.occurrences()[0].is_algebraic_capable();
+
+        let mut strategies = vec![("naive", Strategy::Naive)];
+        if distributive {
+            strategies.push(("delta", Strategy::Delta));
+        }
+        let mut backends = vec![("source", Backend::SourceLevel)];
+        if algebraic {
+            backends.push(("algebraic", Backend::Algebraic));
+        }
+        for &(sname, strategy) in &strategies {
+            for &(bname, backend) in &backends {
+                let label = format!("{sname}_{bname}");
+                run_point(c, cell, &label, strategy, backend);
+            }
+        }
+        run_point(c, cell, "auto", Strategy::Auto, Backend::Auto);
+    }
+
+    // The acceptance bar: per cell, Auto within AUTO_BUDGET of the best
+    // forced grid point.
+    let mut failures = Vec::new();
+    for cell in &cells {
+        let prefix = format!("cost/{}/", cell.name);
+        let auto_id = format!("{prefix}auto");
+        // Compare on the fastest sample: robust against scheduler outliers
+        // in a 10-sample smoke run, and the right quantity anyway — the
+        // question is which *plan* each route settles on, not how noisy
+        // the host is.
+        let auto = c
+            .measurements()
+            .iter()
+            .find(|m| m.id == auto_id)
+            .map(|m| m.min_ns)
+            .expect("auto cell measured");
+        let (best_id, best) = c
+            .measurements()
+            .iter()
+            .filter(|m| m.id.starts_with(&prefix) && m.id != auto_id)
+            .map(|m| (m.id.clone(), m.min_ns))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("grid cells measured");
+        let ratio = auto / best;
+        println!(
+            "cost/{}: auto at {ratio:.2}x of best-of-grid ({best_id}) — budget {AUTO_BUDGET}x",
+            cell.name
+        );
+        if ratio > AUTO_BUDGET {
+            failures.push(format!(
+                "{}: auto {auto:.0}ns is {ratio:.2}x best-of-grid {best_id} ({best:.0}ns)",
+                cell.name
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "Auto exceeded its {AUTO_BUDGET}x budget:\n{}",
+        failures.join("\n")
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,834 @@
+//! Cost-based plan selection for IFP occurrences (PR 9).
+//!
+//! Under the `Auto` knobs ([`Backend::Auto`](crate::Backend) /
+//! [`Strategy::Auto`](crate::Strategy)) an IFP occurrence can run at any
+//! point of the plan grid
+//!
+//! ```text
+//! {Naïve, Delta} × {source-level, algebraic} × {per-seed, batched}
+//! ```
+//!
+//! (restricted by soundness — Delta needs a distributivity certificate —
+//! and by capability — the algebraic routes need a compiled plan).  Earlier
+//! revisions picked a point statically: Delta whenever distributive,
+//! algebraic whenever compiled, batched whenever a seed-carried plan
+//! existed.  Those defaults are right *most* of the time, which is exactly
+//! the problem: Table 2 of the paper shows the ranking between the cells
+//! flipping with the workload (recursion depth, result size) and the scale
+//! of the data.
+//!
+//! This module replaces the static defaults with a small cost model:
+//!
+//! 1. **Statistics** — [`StoreStatistics`] summarizes the store (node
+//!    counts, average fanout, depth, ID-index density) and is memoized per
+//!    revision; [`OccurrenceFeatures`] summarizes the occurrence (the
+//!    distributivity verdict, body size, constructor presence, `id()`
+//!    usage).
+//! 2. **Estimation** — [`static_params`] turns the two into workload
+//!    parameters: the expected iteration count and per-seed result size.
+//! 3. **Costing** — [`cost`] prices every [`PlanAlternative`] in abstract
+//!    microseconds; [`decide`] picks the cheapest candidate.
+//! 4. **Feedback** — a per-occurrence [`FeedbackCell`] observes the real
+//!    [`FixpointStats`] of every run (iterations, frontier curve, wall
+//!    time).  The next [`decide`] re-costs the grid with *observed*
+//!    parameters, and once the model's champion has itself been measured,
+//!    measured wall times settle the ranking.  The cell is keyed on the
+//!    statistics [fingerprint](StoreStatistics::fingerprint): when the data
+//!    materially changes, the observations are discarded and selection
+//!    falls back to the static estimate.
+//!
+//! The decision made for each occurrence is reported per execution in
+//! [`OccurrencePlan`](crate::OccurrencePlan): the chosen alternative, who
+//! chose it ([`DecisionSource`]), and the estimated vs. observed cost.
+
+use std::sync::Mutex;
+
+use xqy_eval::{
+    FixpointBackendTag, FixpointObserver, FixpointStats, FixpointStrategy, FixpointStrategyTag,
+};
+use xqy_xdm::StoreStatistics;
+
+/// One point of the `{strategy} × {backend} × {batching}` plan grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanAlternative {
+    /// The iteration algorithm (Figure 3): Naïve or Delta.
+    pub strategy: FixpointStrategy,
+    /// Who drives the iterations: the source-level interpreter or the
+    /// relational executor.
+    pub backend: FixpointBackendTag,
+    /// `true` for the batched multi-source route (all seeds in one shared
+    /// fixpoint), `false` for one fixpoint per seed.
+    pub batched: bool,
+}
+
+impl PlanAlternative {
+    /// A compact display name, e.g. `delta/algebraic/batched`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            match self.strategy {
+                FixpointStrategy::Naive => "naive",
+                FixpointStrategy::Delta => "delta",
+            },
+            match self.backend {
+                FixpointBackendTag::Interpreted => "source-level",
+                FixpointBackendTag::Algebraic => "algebraic",
+            },
+            if self.batched { "batched" } else { "per-seed" },
+        )
+    }
+}
+
+/// Who settled an occurrence's plan for one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecisionSource {
+    /// The knobs left a single candidate (forced strategy *and* backend,
+    /// or an occurrence with only one sound/capable alternative).
+    Forced,
+    /// The static cost model chose among several candidates using store
+    /// statistics alone — no observations were available.
+    Estimated,
+    /// Observed statistics from earlier runs on the *same* data (same
+    /// statistics fingerprint) corrected the estimate.
+    Adapted,
+}
+
+/// Static, store-independent features of one IFP occurrence, extracted at
+/// prepare time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccurrenceFeatures {
+    /// Either distributivity approximation certified the body, so Delta is
+    /// sound (and the batched drivers may share frontier evaluations).
+    pub distributive: bool,
+    /// The body compiled into the algebraic subset.
+    pub algebraic: bool,
+    /// A seed-carried batched plan exists (implies `algebraic`).
+    pub batch_capable: bool,
+    /// The body performs `fn:id(·)` lookups: recursion hops along ID edges,
+    /// so tree depth does **not** bound the iteration count.
+    pub uses_id: bool,
+    /// The body contains node constructors (fresh identities per call).
+    pub constructs: bool,
+    /// AST size of the recursion body, a proxy for per-node evaluation
+    /// work.
+    pub body_size: usize,
+}
+
+/// Workload parameters an alternative is priced under: either estimated
+/// from [`StoreStatistics`] or corrected by a [`FeedbackCell`] observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Expected fixpoint iterations until stabilization.
+    pub depth: f64,
+    /// Expected result size per seed (nodes in the closure).
+    pub result: f64,
+    /// Seeds of the call: 1 for `execute`, the seed-set size for
+    /// `execute_batched`.
+    pub seeds: f64,
+    /// Total nodes in the store, capping how many *distinct* frontier
+    /// nodes a shared batched run can ever touch.
+    pub store_nodes: f64,
+}
+
+/// Estimate workload parameters from store statistics alone.
+///
+/// The iteration count is modeled as the depth at which a
+/// fanout-`F` expansion exhausts the store: `log_F(N)`.  High fanout
+/// therefore predicts a *shallow* recursion — the misprediction the
+/// feedback loop exists to correct (a deep chain hanging off a wide root
+/// looks shallow to this estimate).  For purely structural bodies the tree
+/// depth bounds the iterations and clamps the estimate; `id()`-using
+/// bodies hop across the tree, so no such bound applies.  On an empty or
+/// near-empty store (queries over constructed data) a moderate default
+/// depth keeps Delta the distributive default.
+pub fn static_params(
+    stats: &StoreStatistics,
+    features: &OccurrenceFeatures,
+    seeds: f64,
+) -> CostParams {
+    let n = stats.totals.nodes.max(1) as f64;
+    let fanout = stats.avg_fanout().max(1.25);
+    let mut depth = if stats.totals.nodes <= 1 {
+        4.0
+    } else {
+        (n.ln() / fanout.ln()).clamp(1.0, 64.0)
+    };
+    if !features.uses_id && stats.totals.max_depth > 0 {
+        depth = depth.min(stats.totals.max_depth as f64 + 1.0);
+    }
+    let result = (fanout * depth).min(n).max(1.0);
+    CostParams {
+        depth,
+        result,
+        seeds: seeds.max(1.0),
+        store_nodes: n,
+    }
+}
+
+/// Price one alternative under `params`, in abstract microseconds.
+///
+/// The formulas capture the first-order terms of each route:
+///
+/// * **Naïve vs. Delta** — Naïve re-feeds the whole growing accumulator
+///   every iteration (`I × R/2` body inputs), Delta feeds each discovered
+///   node once (`R + I`).  Naïve wins only when the recursion is very
+///   shallow (estimated depth below ~2), where Delta's per-iteration
+///   difference bookkeeping has nothing to amortize against.
+/// * **Source-level vs. algebraic** — the interpreter pays a much higher
+///   per-node constant (environment frames, tree walking) while the
+///   relational executor pays more per iteration (table materialization)
+///   and per run (seed-table setup).  Per seed, algebraic wins at any
+///   non-trivial result size; the interesting flip is batched:
+/// * **Batched** — the shared source-level driver memoizes each distinct
+///   frontier node's image *once per run* for distributive bodies, so its
+///   feed term is `~distinct` total; the algebraic batched driver
+///   re-evaluates the distinct frontier every iteration.  At depth the
+///   source route therefore overtakes the algebraic one — the Table-2
+///   reversal between small and medium scale.  A batched run can always
+///   degenerate to the grouped per-seed loop (sharing only setup), so its
+///   static cost is capped just below the per-seed loop's.
+pub fn cost(alt: PlanAlternative, params: &CostParams, features: &OccurrenceFeatures) -> f64 {
+    let i = params.depth.max(1.0);
+    let r = params.result.max(1.0);
+    let s = params.seeds.max(1.0);
+    // Nodes fed through the body per seed over the whole run.
+    let fed = match alt.strategy {
+        FixpointStrategy::Naive => i * (0.5 * r + 1.0),
+        FixpointStrategy::Delta => r + i,
+    };
+    // Per-node body application cost, scaled by body complexity;
+    // constructors allocate fresh nodes on every call.
+    let body_scale =
+        1.0 + features.body_size as f64 / 32.0 + if features.constructs { 0.5 } else { 0.0 };
+    let (per_node, per_iter, setup) = match alt.backend {
+        FixpointBackendTag::Interpreted => (0.6 * body_scale, 0.5, 1.0),
+        FixpointBackendTag::Algebraic => (0.12 * body_scale, 0.8, 2.5),
+    };
+    // Per-run work that scales with the data, paid once per fixpoint run:
+    // context setup, document-table touches, result materialization.  This
+    // is what makes a per-seed loop lose to a batched run at scale — the
+    // batched routes pay it once for the whole seed set.
+    let scan = match alt.backend {
+        FixpointBackendTag::Interpreted => 0.003 * params.store_nodes,
+        FixpointBackendTag::Algebraic => 0.002 * params.store_nodes,
+    };
+    let per_seed_loop = s * (setup + scan + per_iter * i + per_node * fed);
+    if !alt.batched {
+        return per_seed_loop;
+    }
+    // Distinct frontier nodes a shared run touches in total: seeds'
+    // closures overlap, and the store bounds them.
+    let distinct = (0.7 * s * r).min(params.store_nodes).max(1.0);
+    let batched = match alt.backend {
+        FixpointBackendTag::Algebraic => {
+            let feed = if features.distributive {
+                // Shared distinct-frontier mode, re-evaluated per iteration.
+                0.6 * i * distinct
+            } else {
+                // Strict per-seed rows in one shared loop.
+                s * fed
+            };
+            setup + per_iter * i + per_node * feed + 0.05 * i * s
+        }
+        FixpointBackendTag::Interpreted => {
+            if features.distributive {
+                // Shared mode memoizes each distinct node's image once per
+                // run; the per-iteration work left is cheap set folding.
+                setup + per_iter * i + per_node * distinct + 0.02 * i * s
+            } else {
+                // Grouped lockstep: the same evaluations as the per-seed
+                // loop, sharing only the setup.
+                setup + per_iter * i + per_node * s * fed
+            }
+        }
+    };
+    batched.min(0.95 * per_seed_loop)
+}
+
+/// What one completed execution of an occurrence looked like: the
+/// alternative that actually ran and the observed workload parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunObservation {
+    /// The grid point the run used (reconstructed from [`FixpointStats`]).
+    pub alternative: PlanAlternative,
+    /// Maximum iteration count observed.
+    pub depth: u64,
+    /// Total result nodes across all runs folded into this observation.
+    pub result: u64,
+    /// Total seeds served (one per `execute`, the batch size for a batched
+    /// run).
+    pub seeds: u64,
+    /// Total wall-clock microseconds.
+    pub wall_micros: u64,
+    /// Fixpoint runs folded into this observation.
+    pub runs: u64,
+}
+
+impl RunObservation {
+    fn from_stats(stats: &FixpointStats) -> Option<Self> {
+        let strategy = match stats.strategy? {
+            FixpointStrategyTag::Naive => FixpointStrategy::Naive,
+            FixpointStrategyTag::Delta => FixpointStrategy::Delta,
+        };
+        Some(RunObservation {
+            alternative: PlanAlternative {
+                strategy,
+                backend: stats.backend,
+                batched: stats.batch_seeds > 0,
+            },
+            depth: stats.iterations as u64,
+            result: stats.result_size as u64,
+            seeds: stats.batch_seeds.max(1) as u64,
+            wall_micros: stats.wall_micros,
+            runs: 1,
+        })
+    }
+
+    fn absorb(&mut self, other: &RunObservation) {
+        self.depth = self.depth.max(other.depth);
+        self.result += other.result;
+        self.seeds += other.seeds;
+        self.wall_micros += other.wall_micros;
+        self.runs += other.runs;
+    }
+}
+
+#[derive(Debug, Default)]
+struct FeedbackInner {
+    /// The statistics fingerprint the observations were taken under.
+    fingerprint: Option<u64>,
+    /// Accumulator for the execution currently in flight (an `execute`
+    /// call, or every per-seed run of one batch), per alternative.
+    current: Vec<RunObservation>,
+    /// One (latest) completed observation per alternative tried.
+    observed: Vec<RunObservation>,
+    /// The most recently completed observation — the freshest workload
+    /// parameters.
+    recent: Option<RunObservation>,
+}
+
+/// The per-occurrence feedback loop: observes every fixpoint run's
+/// [`FixpointStats`] (as the occurrence's [`FixpointObserver`]), rolls
+/// them up per execution, and advises the next [`decide`] call.
+///
+/// Lifecycle per execution: the prepared query installs the cell as the
+/// occurrence's observer, the eval layer calls [`observe`](Self::observe)
+/// once per fixpoint run, and after evaluation the prepared query calls
+/// [`finish_run`](Self::finish_run) with the store's statistics
+/// fingerprint.  A fingerprint change (the data materially changed)
+/// discards all accumulated observations.
+#[derive(Debug, Default)]
+pub struct FeedbackCell {
+    inner: Mutex<FeedbackInner>,
+}
+
+impl FeedbackCell {
+    /// A fresh cell with no observations.
+    pub fn new() -> Self {
+        FeedbackCell::default()
+    }
+
+    /// Roll the in-flight accumulation into the observation table under
+    /// `fingerprint`, returning the execution's aggregate (the dominant
+    /// alternative by wall time).  Returns `None` when nothing ran.
+    pub fn finish_run(&self, fingerprint: u64) -> Option<RunObservation> {
+        let mut inner = self.inner.lock().expect("feedback lock");
+        if inner.fingerprint != Some(fingerprint) {
+            inner.observed.clear();
+            inner.recent = None;
+            inner.fingerprint = Some(fingerprint);
+        }
+        let current = std::mem::take(&mut inner.current);
+        if current.is_empty() {
+            return None;
+        }
+        let mut dominant: Option<RunObservation> = None;
+        for obs in current {
+            if let Some(slot) = inner
+                .observed
+                .iter_mut()
+                .find(|o| o.alternative == obs.alternative)
+            {
+                *slot = obs;
+            } else {
+                inner.observed.push(obs);
+            }
+            inner.recent = Some(obs);
+            match &mut dominant {
+                Some(d) if d.wall_micros >= obs.wall_micros => {}
+                _ => dominant = Some(obs),
+            }
+        }
+        dominant
+    }
+
+    /// The corrected workload parameters and measured wall times for the
+    /// next decision, if observations exist for this `fingerprint`.
+    fn advise(&self, fingerprint: u64) -> Option<Advice> {
+        let inner = self.inner.lock().expect("feedback lock");
+        if inner.fingerprint != Some(fingerprint) {
+            return None;
+        }
+        let recent = inner.recent?;
+        Some(Advice {
+            recent,
+            walls: inner
+                .observed
+                .iter()
+                .map(|o| (o.alternative, o.wall_micros as f64, o.seeds.max(1) as f64))
+                .collect(),
+        })
+    }
+
+    /// Number of distinct alternatives observed under the current
+    /// fingerprint (diagnostic).
+    pub fn observed_alternatives(&self) -> usize {
+        self.inner.lock().expect("feedback lock").observed.len()
+    }
+}
+
+impl FixpointObserver for FeedbackCell {
+    fn observe(&self, stats: &FixpointStats) {
+        let Some(obs) = RunObservation::from_stats(stats) else {
+            return;
+        };
+        let mut inner = self.inner.lock().expect("feedback lock");
+        if let Some(slot) = inner
+            .current
+            .iter_mut()
+            .find(|o| o.alternative == obs.alternative)
+        {
+            slot.absorb(&obs);
+        } else {
+            inner.current.push(obs);
+        }
+    }
+}
+
+/// Observed guidance for one decision.
+struct Advice {
+    recent: RunObservation,
+    /// `(alternative, total wall µs, seeds it served)` per alternative
+    /// measured under the current fingerprint.
+    walls: Vec<(PlanAlternative, f64, f64)>,
+}
+
+impl Advice {
+    fn params(&self, seeds: f64, store_nodes: f64) -> CostParams {
+        let per_seed = self.recent.result as f64 / self.recent.seeds.max(1) as f64;
+        CostParams {
+            depth: (self.recent.depth as f64).max(1.0),
+            result: per_seed.max(1.0),
+            seeds: seeds.max(1.0),
+            store_nodes: store_nodes.max(1.0),
+        }
+    }
+
+    /// The measured wall time of `alt`, linearly rescaled from the seed
+    /// count it was measured under to the current one.
+    fn observed_micros(&self, alt: PlanAlternative, seeds: f64) -> Option<f64> {
+        self.walls
+            .iter()
+            .find(|(a, _, _)| *a == alt)
+            .map(|(_, wall, obs_seeds)| wall * seeds.max(1.0) / obs_seeds.max(1.0))
+    }
+}
+
+/// The outcome of costing one occurrence's candidate grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostDecision {
+    /// The chosen grid point.
+    pub alternative: PlanAlternative,
+    /// The cost the winner was selected at: the model estimate, or the
+    /// rescaled measured wall time once the winner has been measured.
+    pub estimated_micros: u64,
+    /// Who settled the choice.
+    pub source: DecisionSource,
+}
+
+/// Pick the cheapest of `candidates` for an occurrence with `features`
+/// over a store summarized by `stats`, consulting (and preferring)
+/// `feedback` observations taken under the same statistics fingerprint.
+///
+/// Candidate order is the tie-break: the first of equal-cost candidates
+/// wins, so callers list preferred routes (batched, algebraic, Delta)
+/// first.  Selection is a two-step rule that mixes model estimates and
+/// measurements without ever comparing the two directly (their units are
+/// not calibrated against each other):
+///
+/// 1. the model — with feedback-corrected parameters when available —
+///    picks a champion;
+/// 2. if that champion has itself been measured, the measured wall times
+///    settle the ranking among all *measured* candidates.
+///
+/// Step 2 makes the loop converge: a model champion that measures worse
+/// than a previously tried alternative is demoted on the next run, while
+/// an unmeasured champion gets explored exactly once.
+pub fn decide(
+    candidates: &[PlanAlternative],
+    features: &OccurrenceFeatures,
+    stats: &StoreStatistics,
+    feedback: &FeedbackCell,
+    seeds: usize,
+) -> CostDecision {
+    debug_assert!(
+        !candidates.is_empty(),
+        "decide() needs at least one candidate"
+    );
+    let seeds = seeds.max(1) as f64;
+    let fingerprint = stats.fingerprint();
+    let advice = feedback.advise(fingerprint);
+    let (params, source) = match &advice {
+        Some(a) => (
+            a.params(seeds, stats.totals.nodes.max(1) as f64),
+            DecisionSource::Adapted,
+        ),
+        None => (
+            static_params(stats, features, seeds),
+            DecisionSource::Estimated,
+        ),
+    };
+
+    let mut champion = candidates[0];
+    let mut champion_cost = cost(champion, &params, features);
+    for &alt in &candidates[1..] {
+        let c = cost(alt, &params, features);
+        if c < champion_cost {
+            champion = alt;
+            champion_cost = c;
+        }
+    }
+
+    let mut chosen = champion;
+    let mut chosen_cost = champion_cost;
+    if let Some(advice) = &advice {
+        if let Some(champion_wall) = advice.observed_micros(champion, seeds) {
+            // The champion has been measured: trust measurements among all
+            // measured candidates, with 10% hysteresis so measurement noise
+            // cannot flap the plan between runs.
+            chosen_cost = champion_wall;
+            for &alt in candidates {
+                if alt == chosen {
+                    continue;
+                }
+                if let Some(wall) = advice.observed_micros(alt, seeds) {
+                    if wall < 0.9 * chosen_cost {
+                        chosen = alt;
+                        chosen_cost = wall;
+                    }
+                }
+            }
+        }
+    }
+
+    CostDecision {
+        alternative: chosen,
+        estimated_micros: chosen_cost.round() as u64,
+        source: if candidates.len() == 1 {
+            DecisionSource::Forced
+        } else {
+            source
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqy_xdm::DocumentStatistics;
+
+    fn features(distributive: bool) -> OccurrenceFeatures {
+        OccurrenceFeatures {
+            distributive,
+            algebraic: true,
+            batch_capable: true,
+            uses_id: true,
+            constructs: false,
+            body_size: 8,
+        }
+    }
+
+    fn stats(nodes: u64, parents: u64, child_links: u64) -> StoreStatistics {
+        StoreStatistics {
+            revision: 1,
+            documents: 1,
+            totals: DocumentStatistics {
+                nodes,
+                elements: nodes,
+                parents,
+                child_links,
+                max_depth: 64,
+                ..DocumentStatistics::default()
+            },
+            per_document: Vec::new(),
+            text_pool_strings: 0,
+        }
+    }
+
+    fn alt(
+        strategy: FixpointStrategy,
+        backend: FixpointBackendTag,
+        batched: bool,
+    ) -> PlanAlternative {
+        PlanAlternative {
+            strategy,
+            backend,
+            batched,
+        }
+    }
+
+    #[test]
+    fn empty_store_defaults_prefer_delta() {
+        let st = stats(0, 0, 0);
+        let f = features(true);
+        let p = static_params(&st, &f, 1.0);
+        assert!(
+            p.depth >= 3.0,
+            "empty-store depth default too shallow: {}",
+            p.depth
+        );
+        let delta = cost(
+            alt(
+                FixpointStrategy::Delta,
+                FixpointBackendTag::Interpreted,
+                false,
+            ),
+            &p,
+            &f,
+        );
+        let naive = cost(
+            alt(
+                FixpointStrategy::Naive,
+                FixpointBackendTag::Interpreted,
+                false,
+            ),
+            &p,
+            &f,
+        );
+        assert!(delta < naive, "delta {delta} should beat naive {naive}");
+    }
+
+    #[test]
+    fn high_fanout_shallow_estimate_prefers_naive() {
+        // A 4000-child root: fanout ≈ N, so the estimated depth is < 2 and
+        // Naïve's re-feeding never materializes.
+        let st = stats(4030, 31, 4029);
+        let f = features(true);
+        let p = static_params(&st, &f, 1.0);
+        assert!(p.depth < 2.0, "estimated depth {} should be < 2", p.depth);
+        let delta = cost(
+            alt(
+                FixpointStrategy::Delta,
+                FixpointBackendTag::Interpreted,
+                false,
+            ),
+            &p,
+            &f,
+        );
+        let naive = cost(
+            alt(
+                FixpointStrategy::Naive,
+                FixpointBackendTag::Interpreted,
+                false,
+            ),
+            &p,
+            &f,
+        );
+        assert!(naive < delta, "naive {naive} should beat delta {delta}");
+    }
+
+    #[test]
+    fn batched_never_costs_more_than_per_seed_statically() {
+        for &(n, parents, links) in &[
+            (30u64, 10u64, 29u64),
+            (5000, 1200, 4999),
+            (200_000, 60_000, 199_999),
+        ] {
+            let st = stats(n, parents, links);
+            for &distributive in &[true, false] {
+                let f = features(distributive);
+                for seeds in [1usize, 4, 64] {
+                    let p = static_params(&st, &f, seeds as f64);
+                    for strategy in [FixpointStrategy::Naive, FixpointStrategy::Delta] {
+                        for backend in [
+                            FixpointBackendTag::Interpreted,
+                            FixpointBackendTag::Algebraic,
+                        ] {
+                            let b = cost(alt(strategy, backend, true), &p, &f);
+                            let s = cost(alt(strategy, backend, false), &p, &f);
+                            assert!(
+                                b < s,
+                                "batched {b} ≥ per-seed {s} at n={n} seeds={seeds} {strategy:?} {backend:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_backend_ranking_flips_with_depth() {
+        let f = features(true);
+        // Shallow: the algebraic batched route's per-iteration re-evaluation
+        // has few iterations to pay for and wins.
+        let shallow = CostParams {
+            depth: 3.0,
+            result: 40.0,
+            seeds: 50.0,
+            store_nodes: 2000.0,
+        };
+        let alg = cost(
+            alt(FixpointStrategy::Delta, FixpointBackendTag::Algebraic, true),
+            &shallow,
+            &f,
+        );
+        let src = cost(
+            alt(
+                FixpointStrategy::Delta,
+                FixpointBackendTag::Interpreted,
+                true,
+            ),
+            &shallow,
+            &f,
+        );
+        assert!(
+            alg < src,
+            "shallow: algebraic {alg} should beat source {src}"
+        );
+        // Deep: the source-level shared driver's once-per-run memoization wins.
+        let deep = CostParams {
+            depth: 30.0,
+            result: 40.0,
+            seeds: 50.0,
+            store_nodes: 2000.0,
+        };
+        let alg = cost(
+            alt(FixpointStrategy::Delta, FixpointBackendTag::Algebraic, true),
+            &deep,
+            &f,
+        );
+        let src = cost(
+            alt(
+                FixpointStrategy::Delta,
+                FixpointBackendTag::Interpreted,
+                true,
+            ),
+            &deep,
+            &f,
+        );
+        assert!(src < alg, "deep: source {src} should beat algebraic {alg}");
+    }
+
+    #[test]
+    fn feedback_corrects_a_shallow_misprediction() {
+        // Static estimate says depth < 2 → Naïve; the observed run reveals a
+        // 30-deep chain and the next decision flips to Delta.
+        let st = stats(4030, 31, 4029);
+        let f = OccurrenceFeatures {
+            algebraic: false,
+            batch_capable: false,
+            ..features(true)
+        };
+        let cell = FeedbackCell::new();
+        let grid = [
+            alt(
+                FixpointStrategy::Delta,
+                FixpointBackendTag::Interpreted,
+                false,
+            ),
+            alt(
+                FixpointStrategy::Naive,
+                FixpointBackendTag::Interpreted,
+                false,
+            ),
+        ];
+        let first = decide(&grid, &f, &st, &cell, 1);
+        assert_eq!(first.alternative.strategy, FixpointStrategy::Naive);
+        assert_eq!(first.source, DecisionSource::Estimated);
+
+        cell.observe(&FixpointStats {
+            strategy: Some(FixpointStrategyTag::Naive),
+            backend: FixpointBackendTag::Interpreted,
+            iterations: 31,
+            result_size: 30,
+            wall_micros: 900,
+            ..FixpointStats::default()
+        });
+        assert!(cell.finish_run(st.fingerprint()).is_some());
+
+        let second = decide(&grid, &f, &st, &cell, 1);
+        assert_eq!(second.alternative.strategy, FixpointStrategy::Delta);
+        assert_eq!(second.source, DecisionSource::Adapted);
+
+        // Once Delta has been measured too, wall times settle the ranking.
+        cell.observe(&FixpointStats {
+            strategy: Some(FixpointStrategyTag::Delta),
+            backend: FixpointBackendTag::Interpreted,
+            iterations: 31,
+            result_size: 30,
+            wall_micros: 120,
+            ..FixpointStats::default()
+        });
+        cell.finish_run(st.fingerprint());
+        let third = decide(&grid, &f, &st, &cell, 1);
+        assert_eq!(third.alternative.strategy, FixpointStrategy::Delta);
+        assert_eq!(third.estimated_micros, 120);
+    }
+
+    #[test]
+    fn fingerprint_change_discards_observations() {
+        let st = stats(4030, 31, 4029);
+        let cell = FeedbackCell::new();
+        cell.observe(&FixpointStats {
+            strategy: Some(FixpointStrategyTag::Naive),
+            backend: FixpointBackendTag::Interpreted,
+            iterations: 31,
+            result_size: 30,
+            wall_micros: 900,
+            ..FixpointStats::default()
+        });
+        cell.finish_run(st.fingerprint());
+        assert_eq!(cell.observed_alternatives(), 1);
+
+        // Materially different data → different fingerprint → observations
+        // are dropped and the decision is Estimated again.
+        let grown = stats(1_000_000, 400_000, 999_999);
+        assert_ne!(st.fingerprint(), grown.fingerprint());
+        let grid = [
+            alt(
+                FixpointStrategy::Delta,
+                FixpointBackendTag::Interpreted,
+                false,
+            ),
+            alt(
+                FixpointStrategy::Naive,
+                FixpointBackendTag::Interpreted,
+                false,
+            ),
+        ];
+        let d = decide(&grid, &features(true), &grown, &cell, 1);
+        assert_eq!(d.source, DecisionSource::Estimated);
+        cell.finish_run(grown.fingerprint());
+        assert_eq!(cell.observed_alternatives(), 0);
+    }
+
+    #[test]
+    fn forced_single_candidate_reports_forced() {
+        let st = stats(100, 40, 99);
+        let cell = FeedbackCell::new();
+        let d = decide(
+            &[alt(
+                FixpointStrategy::Delta,
+                FixpointBackendTag::Algebraic,
+                false,
+            )],
+            &features(true),
+            &st,
+            &cell,
+            1,
+        );
+        assert_eq!(d.source, DecisionSource::Forced);
+        assert_eq!(d.alternative.backend, FixpointBackendTag::Algebraic);
+    }
+}

@@ -65,11 +65,13 @@
 //! ```
 
 pub mod closure;
+pub mod cost;
 pub mod engine;
 pub mod prepared;
 pub mod rewrite;
 pub mod syntactic;
 
+pub use cost::{CostDecision, DecisionSource, FeedbackCell, OccurrenceFeatures, PlanAlternative};
 pub use engine::{DistributivityReport, Engine, Parallelism, QueryOutcome, Strategy};
 pub use prepared::{
     Backend, BatchedOutcome, Bindings, ExecOptions, OccurrencePlan, PreparedOccurrence,

@@ -56,8 +56,11 @@ use xqy_eval::{
 };
 use xqy_parser::ast::{Expr, QueryModule};
 use xqy_parser::parse_query;
-use xqy_xdm::{NodeId, Sequence, StoreMut};
+use xqy_xdm::{NodeId, Sequence, StoreMut, StoreStatistics};
 
+use crate::cost::{
+    self, DecisionSource, FeedbackCell, OccurrenceFeatures, PlanAlternative, RunObservation,
+};
 use crate::engine::{DistributivityReport, Engine, Parallelism, QueryOutcome, Strategy};
 use crate::syntactic::is_distributivity_safe;
 use crate::{IfpError, Result};
@@ -178,6 +181,15 @@ pub struct PreparedOccurrence {
     report: DistributivityReport,
     strategy: FixpointStrategy,
     compiled: std::result::Result<Arc<CompiledBody>, String>,
+    /// Static features feeding the cost model (body size, `id()` usage,
+    /// constructor presence, capability flags).
+    features: OccurrenceFeatures,
+    /// The occurrence's feedback loop: observed run statistics keyed on the
+    /// store-statistics fingerprint, consulted by every plan decision.
+    /// Shared across clones *and* forks — observations describe the data,
+    /// not an executor, and the cell self-invalidates when the data
+    /// materially changes.
+    feedback: Arc<FeedbackCell>,
     /// The occurrence's *persistent* plan executor: its interner and its
     /// rec-independent static cache survive across `execute()` calls (and
     /// across every seed of a per-item loop).  Shared — clones of the
@@ -230,6 +242,11 @@ impl PreparedOccurrence {
             .unwrap_or(false)
     }
 
+    /// The static features the cost model prices this occurrence under.
+    pub fn features(&self) -> &OccurrenceFeatures {
+        &self.features
+    }
+
     /// Lifetime totals of the occurrence's persistent executors (per-seed
     /// and batched combined): `(static_cache_hits, static_plan_evals)`.
     /// Per-execute deltas are reported in [`OccurrencePlan`].
@@ -259,16 +276,34 @@ fn strategy_tag(strategy: FixpointStrategy) -> FixpointStrategyTag {
 }
 
 /// The per-occurrence execution decision recorded in a [`QueryOutcome`]:
-/// which algorithm and which back-end ran each `with … recurse` occurrence,
-/// in syntactic order (index-aligned with `QueryOutcome::distributivity`).
+/// which algorithm, back-end and batching ran each `with … recurse`
+/// occurrence, who decided (knobs, static cost model, or feedback), and at
+/// what estimated vs. observed cost — in syntactic order (index-aligned
+/// with `QueryOutcome::distributivity`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OccurrencePlan {
     /// The recursion variable of the occurrence.
     pub variable: String,
-    /// The algorithm chosen for the occurrence.
+    /// The algorithm that ran the occurrence.
     pub strategy: FixpointStrategy,
-    /// The back-end that drives the occurrence.
+    /// The back-end that drove the occurrence.
     pub backend: FixpointBackendTag,
+    /// `true` when the occurrence ran as a single batched multi-source
+    /// fixpoint (only possible under
+    /// [`execute_batched`](PreparedQuery::execute_batched)).
+    pub batched: bool,
+    /// Who settled the plan: the knobs ([`DecisionSource::Forced`]), the
+    /// static cost estimate, or feedback from earlier runs on the same
+    /// data.
+    pub decided_by: DecisionSource,
+    /// The cost the winning alternative was selected at, in the model's
+    /// abstract microseconds (a rescaled measured wall time once the
+    /// winner has been observed).
+    pub estimated_cost_micros: u64,
+    /// The observed wall time of this execution's fixpoint runs for the
+    /// occurrence, in microseconds; `None` when the occurrence did not run
+    /// (dead code, empty seed set).
+    pub observed_cost_micros: Option<u64>,
     /// Static-cache hits of the occurrence's persistent executor during
     /// *this* `execute()` call: rec-independent plan tables that came back
     /// as shared handles.  Always zero on the interpreted back-end.
@@ -303,6 +338,10 @@ pub struct ExecOptions {
 pub struct PreparedQuery {
     module: QueryModule,
     backend: Backend,
+    /// The strategy knob as given: [`Strategy::Auto`] widens the
+    /// per-occurrence candidate grid to both sound algorithms, a forced
+    /// strategy collapses it.
+    strategy: Strategy,
     default_strategy: FixpointStrategy,
     parallelism: Parallelism,
     occurrences: Vec<PreparedOccurrence>,
@@ -346,6 +385,7 @@ impl PreparedQuery {
         PreparedQuery {
             module,
             backend,
+            strategy,
             default_strategy,
             parallelism,
             occurrences,
@@ -436,44 +476,137 @@ impl PreparedQuery {
         forked
     }
 
-    /// Resolve each occurrence against the back-end knob: the pre-compiled
-    /// plan the occurrence will run on, or `None` for the interpreter.
-    fn resolve_plans(&self) -> Result<Vec<Option<Arc<CompiledBody>>>> {
-        let mut plans: Vec<Option<Arc<CompiledBody>>> = Vec::with_capacity(self.occurrences.len());
-        for occ in &self.occurrences {
-            let plan = match (self.backend, &occ.compiled) {
-                (Backend::SourceLevel, _) => None,
-                (Backend::Algebraic, Ok(compiled)) => Some(compiled.clone()),
-                (Backend::Algebraic, Err(reason)) => {
-                    return Err(IfpError::Algebra(xqy_algebra::AlgebraError::Unsupported(
-                        format!(
-                            "recursion body of ${} is outside the algebraic subset: {reason}",
-                            occ.var
-                        ),
-                    )))
+    /// The grid of plan alternatives the knobs leave open for `occ`,
+    /// ordered so preferred routes come first (the tie-break of
+    /// [`cost::decide`]): batched before per-seed, algebraic before
+    /// source-level, Delta before Naïve.
+    ///
+    /// Soundness and capability prune the grid: Delta only enters under
+    /// [`Strategy::Auto`] when a distributivity approximation certified the
+    /// body (a *forced* Delta is kept as-is — the engine does not stop you
+    /// from shooting your own foot); the algebraic routes need a compiled
+    /// plan, the batched algebraic route a seed-carried one.  A forced
+    /// [`Backend::Algebraic`] over an uncompilable body is an error, as
+    /// before.
+    fn candidate_grid(
+        &self,
+        occ: &PreparedOccurrence,
+        batch: bool,
+    ) -> Result<Vec<PlanAlternative>> {
+        let strategies: &[FixpointStrategy] = match self.strategy.forced() {
+            Some(FixpointStrategy::Delta) => &[FixpointStrategy::Delta],
+            Some(FixpointStrategy::Naive) => &[FixpointStrategy::Naive],
+            None if occ.report.is_distributive() => {
+                &[FixpointStrategy::Delta, FixpointStrategy::Naive]
+            }
+            None => &[FixpointStrategy::Naive],
+        };
+        let backends: &[FixpointBackendTag] = match (self.backend, &occ.compiled) {
+            (Backend::SourceLevel, _) => &[FixpointBackendTag::Interpreted],
+            (Backend::Algebraic, Ok(_)) => &[FixpointBackendTag::Algebraic],
+            (Backend::Algebraic, Err(reason)) => {
+                return Err(IfpError::Algebra(xqy_algebra::AlgebraError::Unsupported(
+                    format!(
+                        "recursion body of ${} is outside the algebraic subset: {reason}",
+                        occ.var
+                    ),
+                )))
+            }
+            (Backend::Auto, Ok(_)) => &[
+                FixpointBackendTag::Algebraic,
+                FixpointBackendTag::Interpreted,
+            ],
+            (Backend::Auto, Err(_)) => &[FixpointBackendTag::Interpreted],
+        };
+        let mut grid = Vec::new();
+        if batch {
+            for &backend in backends {
+                if backend == FixpointBackendTag::Algebraic && !occ.is_batch_capable() {
+                    continue;
                 }
-                (Backend::Auto, compiled) => compiled.as_ref().ok().cloned(),
-            };
-            plans.push(plan);
+                for &strategy in strategies {
+                    grid.push(PlanAlternative {
+                        strategy,
+                        backend,
+                        batched: true,
+                    });
+                }
+            }
         }
-        Ok(plans)
+        for &backend in backends {
+            for &strategy in strategies {
+                grid.push(PlanAlternative {
+                    strategy,
+                    backend,
+                    batched: false,
+                });
+            }
+        }
+        Ok(grid)
     }
 
-    /// The interceptor entries for the occurrences that resolved to a plan.
-    fn plan_entries(&self, plans: &[Option<Arc<CompiledBody>>]) -> Vec<PlanEntry> {
+    /// Cost every occurrence's candidate grid against the store statistics
+    /// (and any feedback taken under the same statistics fingerprint) and
+    /// pick a plan each.  `batch_seeds` is `Some(n)` for an
+    /// `execute_batched` call over `n` seeds, which adds the batched routes
+    /// to the grid.
+    fn decide_plans(
+        &self,
+        stats: &StoreStatistics,
+        batch_seeds: Option<usize>,
+    ) -> Result<Vec<PlanDecision>> {
+        let mut decisions = Vec::with_capacity(self.occurrences.len());
+        for occ in &self.occurrences {
+            let candidates = self.candidate_grid(occ, batch_seeds.is_some())?;
+            let decision = cost::decide(
+                &candidates,
+                &occ.features,
+                stats,
+                &occ.feedback,
+                batch_seeds.unwrap_or(1),
+            );
+            let plan = if decision.alternative.backend == FixpointBackendTag::Algebraic {
+                occ.compiled.as_ref().ok().cloned()
+            } else {
+                None
+            };
+            decisions.push(PlanDecision {
+                alternative: decision.alternative,
+                source: decision.source,
+                estimated_micros: decision.estimated_micros,
+                plan,
+            });
+        }
+        Ok(decisions)
+    }
+
+    /// The interceptor entries for the occurrences whose decision routes
+    /// through the relational executor.
+    fn plan_entries(&self, decisions: &[PlanDecision]) -> Vec<PlanEntry> {
         self.occurrences
             .iter()
-            .zip(plans)
-            .filter_map(|(occ, plan)| {
-                plan.as_ref().map(|compiled| PlanEntry {
+            .zip(decisions)
+            .filter_map(|(occ, decision)| {
+                decision.plan.as_ref().map(|compiled| PlanEntry {
                     var: occ.var.clone(),
                     body: occ.body.clone(),
                     compiled: compiled.clone(),
-                    strategy: occ.strategy,
+                    strategy: decision.alternative.strategy,
+                    batched: decision.alternative.batched,
                     executor: occ.executor.clone(),
                     batched_executor: occ.batched_executor.clone(),
                 })
             })
+            .collect()
+    }
+
+    /// Roll every occurrence's in-flight feedback into its observation
+    /// table (keyed on `fingerprint`) and return the per-occurrence run
+    /// summaries of the execution that just finished.
+    fn finish_feedback(&self, fingerprint: u64) -> Vec<Option<RunObservation>> {
+        self.occurrences
+            .iter()
+            .map(|occ| occ.feedback.finish_run(fingerprint))
             .collect()
     }
 
@@ -486,27 +619,40 @@ impl PreparedQuery {
             .collect()
     }
 
-    /// The per-occurrence decisions of one execution: strategy, back-end,
-    /// and the executor-counter deltas since `cache_before`.
+    /// The per-occurrence decisions of one execution: the decided
+    /// alternative — corrected by what *actually* ran when the runtime had
+    /// to fall back (e.g. a batched algebraic route declining a cross-
+    /// document `id()` seed set) — the decision provenance and costs, and
+    /// the executor-counter deltas since `cache_before`.
     fn occurrence_plans(
         &self,
-        plans: &[Option<Arc<CompiledBody>>],
+        decisions: &[PlanDecision],
+        summaries: &[Option<RunObservation>],
         cache_before: &[(u64, u64)],
     ) -> Vec<OccurrencePlan> {
         self.occurrences
             .iter()
-            .zip(plans)
+            .zip(decisions)
             .zip(cache_before)
-            .map(|((occ, plan), &(hits_before, evals_before))| {
+            .enumerate()
+            .map(|(i, ((occ, decision), &(hits_before, evals_before)))| {
                 let (hits_after, evals_after) = occ.executor_cache_totals();
+                let summary = summaries.get(i).copied().flatten();
+                let ran = summary.map(|s| s.alternative);
                 OccurrencePlan {
                     variable: occ.var.clone(),
-                    strategy: occ.strategy,
-                    backend: if plan.is_some() {
-                        FixpointBackendTag::Algebraic
-                    } else {
-                        FixpointBackendTag::Interpreted
-                    },
+                    strategy: ran
+                        .map(|a| a.strategy)
+                        .unwrap_or(decision.alternative.strategy),
+                    backend: ran
+                        .map(|a| a.backend)
+                        .unwrap_or(decision.alternative.backend),
+                    batched: ran
+                        .map(|a| a.batched)
+                        .unwrap_or(decision.alternative.batched),
+                    decided_by: decision.source,
+                    estimated_cost_micros: decision.estimated_micros,
+                    observed_cost_micros: summary.map(|s| s.wall_micros),
                     static_cache_hits: hits_after - hits_before,
                     static_plan_evals: evals_after - evals_before,
                 }
@@ -544,7 +690,11 @@ impl PreparedQuery {
                 return Err(IfpError::UnboundVariable(var.clone()));
             }
         }
-        let plans = self.resolve_plans()?;
+        let store: StoreMut<'s> = store.into();
+        // Cost-based selection: summarize the store (memoized per
+        // revision), price each occurrence's candidate grid, pick a plan.
+        let stats = store.read().statistics();
+        let decisions = self.decide_plans(&stats, None)?;
 
         let threads = self.parallelism.threads();
         let mut evaluator = Evaluator::new(store);
@@ -555,10 +705,15 @@ impl PreparedQuery {
         for (name, value) in bindings.iter() {
             evaluator.bind_global(name, value.clone());
         }
-        for occ in &self.occurrences {
-            evaluator.set_fixpoint_strategy_for(&occ.var, occ.body.clone(), occ.strategy);
+        for (occ, decision) in self.occurrences.iter().zip(&decisions) {
+            evaluator.set_fixpoint_strategy_for(
+                &occ.var,
+                occ.body.clone(),
+                decision.alternative.strategy,
+            );
+            evaluator.set_fixpoint_observer_for(&occ.var, occ.body.clone(), occ.feedback.clone());
         }
-        let entries = self.plan_entries(&plans);
+        let entries = self.plan_entries(&decisions);
         // Counter snapshot, so the outcome reports per-*execute* deltas of
         // the persistent executors' lifetime totals.
         let cache_before = self.cache_totals();
@@ -572,7 +727,8 @@ impl PreparedQuery {
 
         let result = evaluator.eval_module(&self.module)?;
         let fixpoints = evaluator.fixpoint_runs().to_vec();
-        let occurrences = self.occurrence_plans(&plans, &cache_before);
+        let summaries = self.finish_feedback(stats.fingerprint());
+        let occurrences = self.occurrence_plans(&decisions, &summaries, &cache_before);
         Ok(QueryOutcome {
             result,
             distributivity: self.distributivity(),
@@ -681,14 +837,25 @@ impl PreparedQuery {
         }
         if seeds.all_nodes() {
             if let Some(occ) = self.batched_occurrence(seed_var) {
-                return self.execute_batched_fixpoint(engine, occ, seed_var, seeds, bindings);
+                let stats = engine.store.statistics();
+                let decisions = self.decide_plans(&stats, Some(seeds.len().max(1)))?;
+                // The eval-layer route can honor any decision except a
+                // measured preference for the *interpreted per-seed* loop
+                // (its batched source driver always folds the seeds): for
+                // that one, fall through to the general per-seed loop.
+                if decisions[0].alternative.batched || decisions[0].plan.is_some() {
+                    return self.execute_batched_fixpoint(
+                        engine, occ, seed_var, seeds, bindings, &stats, decisions,
+                    );
+                }
             }
         }
         // General fallback: the query is not a bare fixpoint over
         // `$seed_var` (or the seeds are not all nodes, and the per-seed
         // execution must surface the evaluator's type error) — run the
         // module once per seed item, exactly as the contract reads.
-        let plans = self.resolve_plans()?;
+        let stats = engine.store.statistics();
+        let decisions = self.decide_plans(&stats, None)?;
         let cache_before = self.cache_totals();
         let mut result = Sequence::empty();
         let mut per_seed = Vec::with_capacity(seeds.len());
@@ -702,11 +869,15 @@ impl PreparedQuery {
             per_seed.push(outcome.result);
             fixpoints.extend(outcome.fixpoints);
         }
+        // The inner `execute` calls rolled their own feedback up; the
+        // outer summaries are empty and the report falls back to the
+        // per-execute decisions.
+        let summaries = vec![None; self.occurrences.len()];
         Ok(BatchedOutcome {
             outcome: QueryOutcome {
                 result,
                 distributivity: self.distributivity(),
-                occurrences: self.occurrence_plans(&plans, &cache_before),
+                occurrences: self.occurrence_plans(&decisions, &summaries, &cache_before),
                 fixpoints,
             },
             per_seed,
@@ -719,6 +890,7 @@ impl PreparedQuery {
     /// [`Evaluator::run_fixpoint_batched`], which tries the batched
     /// interceptor first and falls back per seed (algebraic, then
     /// source-level) when the occurrence declines.
+    #[allow(clippy::too_many_arguments)]
     fn execute_batched_fixpoint(
         &self,
         engine: &mut Engine,
@@ -726,8 +898,9 @@ impl PreparedQuery {
         seed_var: &str,
         seeds: &Sequence,
         bindings: &Bindings,
+        stats: &StoreStatistics,
+        decisions: Vec<PlanDecision>,
     ) -> Result<BatchedOutcome> {
-        let plans = self.resolve_plans()?;
         // Duplicate seeds fold onto one fixpoint each; remember where each
         // input position points so the per-seed results expand back.
         let items = seeds.nodes();
@@ -756,8 +929,12 @@ impl PreparedQuery {
                 evaluator.bind_global(name, value.clone());
             }
         }
-        for o in &self.occurrences {
-            evaluator.set_fixpoint_strategy_for(&o.var, o.body.clone(), o.strategy);
+        for (o, decision) in self.occurrences.iter().zip(&decisions) {
+            evaluator.set_fixpoint_strategy_for(
+                &o.var,
+                o.body.clone(),
+                decision.alternative.strategy,
+            );
             // Distributive occurrences may share per-node body evaluations
             // across seeds in the batched source-level driver (the
             // source-level analogue of `BatchSharing::DistinctNodes`).
@@ -766,8 +943,9 @@ impl PreparedQuery {
                 o.body.clone(),
                 o.report.is_distributive(),
             );
+            evaluator.set_fixpoint_observer_for(&o.var, o.body.clone(), o.feedback.clone());
         }
-        let entries = self.plan_entries(&plans);
+        let entries = self.plan_entries(&decisions);
         let cache_before = self.cache_totals();
         if !entries.is_empty() {
             evaluator.set_fixpoint_interceptor(Box::new(PlanDriver {
@@ -787,11 +965,12 @@ impl PreparedQuery {
         for seq in &per_seed {
             result.extend(seq.clone());
         }
+        let summaries = self.finish_feedback(stats.fingerprint());
         Ok(BatchedOutcome {
             outcome: QueryOutcome {
                 result,
                 distributivity: self.distributivity(),
-                occurrences: self.occurrence_plans(&plans, &cache_before),
+                occurrences: self.occurrence_plans(&decisions, &summaries, &cache_before),
                 fixpoints,
             },
             per_seed,
@@ -822,6 +1001,17 @@ pub struct BatchedOutcome {
     pub batched: bool,
 }
 
+/// The plan one execution decided for one occurrence: the grid point, its
+/// provenance and estimated cost, and (for the algebraic routes) the
+/// compiled plan to drive.
+struct PlanDecision {
+    alternative: PlanAlternative,
+    source: DecisionSource,
+    estimated_micros: u64,
+    /// `Some` iff `alternative.backend` is algebraic.
+    plan: Option<Arc<CompiledBody>>,
+}
+
 /// One interceptor entry: an occurrence with a pre-compiled plan and its
 /// persistent executors (per-seed and batched).
 struct PlanEntry {
@@ -829,6 +1019,10 @@ struct PlanEntry {
     body: Arc<Expr>,
     compiled: Arc<CompiledBody>,
     strategy: FixpointStrategy,
+    /// `false` when the cost decision picked the per-seed algebraic route
+    /// inside a batched execution: the batched hook declines so the
+    /// evaluator falls back to one (algebraic) fixpoint per seed.
+    batched: bool,
     executor: Arc<Mutex<Executor>>,
     batched_executor: Arc<Mutex<Executor>>,
 }
@@ -899,6 +1093,8 @@ impl FixpointInterceptor for PlanDriver {
                         static_cache_hits: executor.static_cache_hits() - hits_before,
                         static_plan_evals: executor.static_plan_evals() - evals_before,
                         batch_seeds: 0,
+                        frontier_curve: stats.frontier_curve,
+                        wall_micros: stats.wall_micros,
                     },
                 )),
                 Err(err) => Err(backend_error(err)),
@@ -918,6 +1114,13 @@ impl FixpointInterceptor for PlanDriver {
             .entries
             .iter()
             .find(|e| e.var == var && *e.body == *body)?;
+        // The cost decision may prefer the per-seed algebraic route over
+        // the batched one (observed wall times): decline here so the
+        // evaluator falls back to one fixpoint per seed through
+        // `run_fixpoint` above.
+        if !entry.batched {
+            return None;
+        }
         // Bodies outside the seed-local subset have no seed-carried plan:
         // decline, so the evaluator falls back to one fixpoint per seed.
         let batched_plan = entry.compiled.batched_plan.as_ref()?;
@@ -982,6 +1185,8 @@ impl FixpointInterceptor for PlanDriver {
                             static_cache_hits: executor.static_cache_hits() - hits_before,
                             static_plan_evals: executor.static_plan_evals() - evals_before,
                             batch_seeds: stats.batch_seeds,
+                            frontier_curve: stats.frontier_curve,
+                            wall_micros: stats.wall_micros,
                         },
                     ))
                 }
@@ -1023,17 +1228,60 @@ pub(crate) fn analyse_occurrences(
         } else {
             FixpointStrategy::Naive
         });
+        let features = occurrence_features(&body, &report, &compiled);
+        // Identical occurrences share one feedback cell, so the evaluator's
+        // single observer slot per (var, body) pair feeds them all.
+        let feedback = occurrences
+            .iter()
+            .find(|o: &&PreparedOccurrence| o.var == var && *o.body == body)
+            .map(|o| o.feedback.clone())
+            .unwrap_or_else(|| Arc::new(FeedbackCell::new()));
         occurrences.push(PreparedOccurrence {
             var,
             body: Arc::new(body),
             report,
             strategy: chosen,
             compiled,
+            features,
+            feedback,
             executor: Arc::new(Mutex::new(Executor::new())),
             batched_executor: Arc::new(Mutex::new(Executor::new())),
         });
     }
     occurrences
+}
+
+/// Extract the static cost-model features of one recursion body.
+fn occurrence_features(
+    body: &Expr,
+    report: &DistributivityReport,
+    compiled: &std::result::Result<Arc<CompiledBody>, String>,
+) -> OccurrenceFeatures {
+    let mut body_size = 0usize;
+    let mut uses_id = false;
+    let mut constructs = false;
+    body.walk(&mut |e| {
+        body_size += 1;
+        match e {
+            Expr::FunctionCall { name, .. } if name == "id" || name == "fn:id" => uses_id = true,
+            Expr::DirectElement { .. }
+            | Expr::ComputedElement { .. }
+            | Expr::ComputedAttribute { .. }
+            | Expr::ComputedText { .. } => constructs = true,
+            _ => {}
+        }
+    });
+    OccurrenceFeatures {
+        distributive: report.is_distributive(),
+        algebraic: compiled.is_ok(),
+        batch_capable: compiled
+            .as_ref()
+            .map(|c| c.batched_plan.is_some())
+            .unwrap_or(false),
+        uses_id,
+        constructs,
+        body_size,
+    }
 }
 
 /// Collect the `(recursion variable, body)` of every IFP occurrence in the

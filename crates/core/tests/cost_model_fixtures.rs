@@ -1,0 +1,387 @@
+//! Cost-model regression fixtures (PR 9).
+//!
+//! Part 1 pins the plan the cost model must choose for each (workload,
+//! scale) cell of the paper's Table-2 grid, under *committed* synthetic
+//! store statistics — so a formula change that silently flips a cell fails
+//! loudly here rather than in a benchmark.
+//!
+//! Part 2 exercises the feedback loop end to end on a live engine: a
+//! document engineered so the static estimate mispredicts (a deep chain
+//! hiding behind a wide root looks shallow to the fanout model), where the
+//! second execution of the same prepared query must re-route using the
+//! observed statistics of the first.
+
+use xqy_ifp::cost::{self, DecisionSource, FeedbackCell, OccurrenceFeatures, PlanAlternative};
+use xqy_ifp::eval::{FixpointBackendTag, FixpointStrategy};
+use xqy_ifp::xdm::{DocumentStatistics, Sequence, StoreStatistics};
+use xqy_ifp::{Backend, Bindings, Engine, Strategy};
+
+/// Committed statistics for one scale of the curriculum workload: `fanout`
+/// ≈ 10/3 per parent, so estimated recursion depth grows with the log of
+/// the node count (≈6.3 / ≈9.0 / ≈10.9 for the three scales).
+fn curriculum_stats(nodes: u64, parents: u64, child_links: u64) -> StoreStatistics {
+    StoreStatistics {
+        revision: 1,
+        documents: 1,
+        totals: DocumentStatistics {
+            nodes,
+            elements: nodes,
+            parents,
+            child_links,
+            max_fanout: 40,
+            max_depth: 64,
+            id_entries: parents,
+            ..DocumentStatistics::default()
+        },
+        per_document: Vec::new(),
+        text_pool_strings: nodes / 4,
+    }
+}
+
+fn small() -> StoreStatistics {
+    curriculum_stats(2_000, 600, 1_999)
+}
+
+fn medium() -> StoreStatistics {
+    curriculum_stats(50_000, 15_000, 49_999)
+}
+
+fn large() -> StoreStatistics {
+    curriculum_stats(500_000, 150_000, 499_999)
+}
+
+/// Q1: the prerequisite-closure query — distributive, inside the algebraic
+/// subset, batch-capable, hops the `id()` space.
+fn q1() -> OccurrenceFeatures {
+    OccurrenceFeatures {
+        distributive: true,
+        algebraic: true,
+        batch_capable: true,
+        uses_id: true,
+        constructs: false,
+        body_size: 8,
+    }
+}
+
+/// Q2: a guarded accumulator inspection — non-distributive (Delta unsound)
+/// and outside the algebraic subset, so only the source-level Naïve routes
+/// remain.
+fn q2() -> OccurrenceFeatures {
+    OccurrenceFeatures {
+        distributive: false,
+        algebraic: false,
+        batch_capable: false,
+        uses_id: true,
+        constructs: false,
+        body_size: 24,
+    }
+}
+
+fn alt(strategy: FixpointStrategy, backend: FixpointBackendTag, batched: bool) -> PlanAlternative {
+    PlanAlternative {
+        strategy,
+        backend,
+        batched,
+    }
+}
+
+/// The full valid grid for `features`, in the preference order the
+/// prepared-query layer uses: batched points first, Delta before Naïve,
+/// algebraic before source-level.
+fn grid(features: &OccurrenceFeatures, batched_context: bool) -> Vec<PlanAlternative> {
+    let strategies: &[FixpointStrategy] = if features.distributive {
+        &[FixpointStrategy::Delta, FixpointStrategy::Naive]
+    } else {
+        &[FixpointStrategy::Naive]
+    };
+    let backends: &[FixpointBackendTag] = if features.algebraic {
+        &[
+            FixpointBackendTag::Algebraic,
+            FixpointBackendTag::Interpreted,
+        ]
+    } else {
+        &[FixpointBackendTag::Interpreted]
+    };
+    let mut out = Vec::new();
+    if batched_context {
+        for &s in strategies {
+            for &b in backends {
+                if b == FixpointBackendTag::Algebraic && !features.batch_capable {
+                    continue;
+                }
+                out.push(alt(s, b, true));
+            }
+        }
+    }
+    for &s in strategies {
+        for &b in backends {
+            out.push(alt(s, b, false));
+        }
+    }
+    out
+}
+
+fn pin(
+    name: &str,
+    stats: &StoreStatistics,
+    features: &OccurrenceFeatures,
+    batched_context: bool,
+    seeds: usize,
+    expect: PlanAlternative,
+) {
+    let candidates = grid(features, batched_context);
+    let decision = cost::decide(&candidates, features, stats, &FeedbackCell::new(), seeds);
+    assert_eq!(
+        decision.alternative,
+        expect,
+        "{name}: expected {}, cost model chose {}",
+        expect.label(),
+        decision.alternative.label()
+    );
+    let expected_source = if candidates.len() == 1 {
+        DecisionSource::Forced
+    } else {
+        DecisionSource::Estimated
+    };
+    assert_eq!(decision.source, expected_source, "{name}");
+    assert!(decision.estimated_micros > 0, "{name}: zero estimate");
+    // The pin must agree with the raw formulas: the chosen point prices at
+    // the minimum over the whole candidate grid.
+    let params = cost::static_params(stats, features, seeds as f64);
+    let chosen = cost::cost(decision.alternative, &params, features);
+    for &c in &candidates {
+        assert!(
+            chosen <= cost::cost(c, &params, features),
+            "{name}: {} is not the cost minimum",
+            decision.alternative.label()
+        );
+    }
+}
+
+/// Table-2 pins: which grid point wins each (workload, scale) cell.
+#[test]
+fn table2_cell_choices_are_pinned() {
+    // Q1, one seed per execution: the algebraic Delta loop wins at every
+    // scale (the interpreter's per-node constant dominates it).
+    for (name, st) in [
+        ("q1/small/execute", small()),
+        ("q1/medium/execute", medium()),
+        ("q1/large/execute", large()),
+    ] {
+        pin(
+            name,
+            &st,
+            &q1(),
+            false,
+            1,
+            alt(
+                FixpointStrategy::Delta,
+                FixpointBackendTag::Algebraic,
+                false,
+            ),
+        );
+    }
+
+    // Q1 batched, small scale: shallow recursion — the algebraic batched
+    // route's per-iteration re-evaluation has little depth to pay for.
+    pin(
+        "q1/small/batched",
+        &small(),
+        &q1(),
+        true,
+        32,
+        alt(FixpointStrategy::Delta, FixpointBackendTag::Algebraic, true),
+    );
+
+    // Q1 batched, medium and large scale: the Table-2 reversal.  Deeper
+    // recursion favors the shared source-level driver, which memoizes each
+    // distinct frontier node's image once per run.
+    for (name, st) in [
+        ("q1/medium/batched", medium()),
+        ("q1/large/batched", large()),
+    ] {
+        pin(
+            name,
+            &st,
+            &q1(),
+            true,
+            128,
+            alt(
+                FixpointStrategy::Delta,
+                FixpointBackendTag::Interpreted,
+                true,
+            ),
+        );
+    }
+
+    // Q2 (non-distributive, interpreter-only): Naïve source-level, batched
+    // when a batch context exists — grouping still shares per-run setup.
+    pin(
+        "q2/medium/batched",
+        &medium(),
+        &q2(),
+        true,
+        128,
+        alt(
+            FixpointStrategy::Naive,
+            FixpointBackendTag::Interpreted,
+            true,
+        ),
+    );
+    pin(
+        "q2/medium/execute",
+        &medium(),
+        &q2(),
+        false,
+        1,
+        alt(
+            FixpointStrategy::Naive,
+            FixpointBackendTag::Interpreted,
+            false,
+        ),
+    );
+
+    // A wide, flat store: estimated depth < 2, so Naïve's re-feeding never
+    // materializes and Delta's difference bookkeeping is pure overhead.
+    let wide = curriculum_stats(4_030, 31, 4_029);
+    pin(
+        "wide/shallow/execute",
+        &wide,
+        &q1(),
+        false,
+        1,
+        alt(
+            FixpointStrategy::Naive,
+            FixpointBackendTag::Algebraic,
+            false,
+        ),
+    );
+}
+
+/// A single-candidate grid is reported as [`DecisionSource::Forced`].
+#[test]
+fn forced_knobs_bypass_the_model() {
+    let only = alt(
+        FixpointStrategy::Delta,
+        FixpointBackendTag::Interpreted,
+        false,
+    );
+    let d = cost::decide(&[only], &q1(), &small(), &FeedbackCell::new(), 1);
+    assert_eq!(d.source, DecisionSource::Forced);
+    assert_eq!(d.alternative, only);
+}
+
+/// The misprediction document: 4000 leaves under the root make the store
+/// look wide-and-shallow (estimated depth ≈ 1.7), while the query's seed
+/// sits at the head of a `depth`-deep chain the estimate cannot see.
+fn trap_document(leaves: usize, depth: usize) -> String {
+    let mut xml = String::from("<r>");
+    for _ in 0..leaves {
+        xml.push_str("<w/>");
+    }
+    for _ in 0..depth {
+        xml.push_str("<d>");
+    }
+    for _ in 0..depth {
+        xml.push_str("</d>");
+    }
+    xml.push_str("</r>");
+    xml
+}
+
+/// End-to-end feedback re-route: run 1 follows the (wrong) static estimate
+/// and reports `Estimated`; run 2 of the *same prepared query* sees the
+/// observed iteration count and switches algorithms, reporting `Adapted`.
+#[test]
+fn second_execution_reroutes_a_mispredicted_occurrence() {
+    let mut engine = Engine::new();
+    engine
+        .load_document("trap.xml", &trap_document(4_000, 30))
+        .unwrap();
+    engine.set_strategy(Strategy::Auto);
+
+    // Forcing the source-level back-end isolates the strategy decision:
+    // the candidate grid is exactly {Naïve, Delta} × {interpreted}.
+    let prepared = engine
+        .prepare("with $x seeded by $seed recurse $x/*")
+        .unwrap()
+        .with_backend(Backend::SourceLevel);
+
+    // Seed at the head of the chain: the true recursion is 30 deep.
+    let head = engine.run("doc('trap.xml')/r/d").unwrap().result;
+    assert_eq!(head.len(), 1);
+    let bindings = Bindings::new().with("seed", head.clone());
+
+    let first = prepared.execute(&mut engine, &bindings).unwrap();
+    let plan = &first.occurrences[0];
+    assert_eq!(
+        plan.strategy,
+        FixpointStrategy::Naive,
+        "the static estimate must fall into the trap (estimated depth < 2)"
+    );
+    assert_eq!(plan.decided_by, DecisionSource::Estimated);
+    assert!(plan.observed_cost_micros.is_some());
+    let deep_iterations = first.fixpoints[0].iterations;
+    assert!(
+        deep_iterations >= 29,
+        "the chain walk must actually be deep, got {deep_iterations} iterations"
+    );
+
+    let second = prepared.execute(&mut engine, &bindings).unwrap();
+    let plan = &second.occurrences[0];
+    assert_eq!(
+        plan.strategy,
+        FixpointStrategy::Delta,
+        "observed depth {deep_iterations} must re-route the second run to Delta"
+    );
+    assert_eq!(plan.decided_by, DecisionSource::Adapted);
+    // Same algorithm change, same answer.
+    assert_eq!(first.result.nodes(), second.result.nodes());
+
+    // The re-route sticks: with both alternatives measured, wall times keep
+    // the cheaper algorithm in place on every later run.
+    let third = prepared.execute(&mut engine, &bindings).unwrap();
+    assert_eq!(third.occurrences[0].strategy, FixpointStrategy::Delta);
+    assert_eq!(third.occurrences[0].decided_by, DecisionSource::Adapted);
+    assert_eq!(first.result.nodes(), third.result.nodes());
+}
+
+/// The adapted choice is invisible to correctness: Auto with feedback must
+/// keep matching a forced-Naïve oracle on the trap document, including
+/// under batched execution.
+#[test]
+fn adapted_plans_preserve_the_oracle_answer() {
+    let xml = trap_document(200, 12);
+    let mut oracle_engine = Engine::new();
+    oracle_engine.load_document("trap.xml", &xml).unwrap();
+    oracle_engine.set_strategy(Strategy::Naive);
+    let mut auto_engine = Engine::new();
+    auto_engine.load_document("trap.xml", &xml).unwrap();
+    auto_engine.set_strategy(Strategy::Auto);
+
+    let query = "with $x seeded by $seed recurse $x/*";
+    let oracle_prepared = oracle_engine
+        .prepare(query)
+        .unwrap()
+        .with_backend(Backend::SourceLevel);
+    let auto_prepared = auto_engine.prepare(query).unwrap();
+
+    let seeds = auto_engine.run("doc('trap.xml')/r/d").unwrap().result;
+    let oracle_seeds = oracle_engine.run("doc('trap.xml')/r/d").unwrap().result;
+    let seeds = Sequence::from_nodes(vec![seeds.nodes()[0], seeds.nodes()[0]]);
+    let oracle_seeds = Sequence::from_nodes(vec![oracle_seeds.nodes()[0], oracle_seeds.nodes()[0]]);
+
+    for _ in 0..3 {
+        let auto = auto_prepared
+            .execute_batched(&mut auto_engine, "seed", &seeds, &Bindings::new())
+            .unwrap();
+        let oracle = oracle_prepared
+            .execute_batched(&mut oracle_engine, "seed", &oracle_seeds, &Bindings::new())
+            .unwrap();
+        assert_eq!(auto.per_seed.len(), oracle.per_seed.len());
+        for (a, o) in auto.per_seed.iter().zip(oracle.per_seed.iter()) {
+            assert_eq!(a.len(), o.len());
+        }
+        assert_eq!(auto.outcome.result.len(), oracle.outcome.result.len());
+    }
+}

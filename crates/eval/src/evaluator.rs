@@ -103,15 +103,29 @@ pub struct Evaluator<'s> {
 
 /// The per-occurrence settings a higher layer can install on an evaluator
 /// (one record per `(var, body)` pair; see
-/// [`Evaluator::set_fixpoint_strategy_for`] and
-/// [`Evaluator::set_fixpoint_batch_sharing_for`]).
-#[derive(Debug, Clone, Copy, Default)]
+/// [`Evaluator::set_fixpoint_strategy_for`],
+/// [`Evaluator::set_fixpoint_batch_sharing_for`] and
+/// [`Evaluator::set_fixpoint_observer_for`]).
+#[derive(Clone, Default)]
 struct OccurrenceOverrides {
     /// Algorithm override; `None` falls back to the global
     /// [`EvalOptions::fixpoint_strategy`].
     strategy: Option<FixpointStrategy>,
     /// Batch-sharing grant for the batched source-level driver.
     share: bool,
+    /// Observer notified with the [`FixpointStats`] of every recorded run
+    /// of this occurrence (the cost model's feedback channel).
+    observer: Option<Arc<dyn crate::fixpoint::FixpointObserver>>,
+}
+
+impl std::fmt::Debug for OccurrenceOverrides {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OccurrenceOverrides")
+            .field("strategy", &self.strategy)
+            .field("share", &self.share)
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
 }
 
 impl<'s> Evaluator<'s> {
@@ -213,6 +227,20 @@ impl<'s> Evaluator<'s> {
             .unwrap_or(false)
     }
 
+    /// Attach an observer to the occurrence `(var, body)`: it is handed the
+    /// [`FixpointStats`] of every run of that occurrence right after the
+    /// run is recorded — whichever back-end (interpreted or intercepted)
+    /// produced it.  The prepared-query layer installs its cost-model
+    /// feedback cells through this.
+    pub fn set_fixpoint_observer_for(
+        &mut self,
+        var: &str,
+        body: Arc<Expr>,
+        observer: Arc<dyn crate::fixpoint::FixpointObserver>,
+    ) {
+        self.occurrence_overrides_for(var, body).observer = Some(observer);
+    }
+
     /// Install a [`FixpointInterceptor`] that may take over the evaluation
     /// of IFP occurrences (see the trait docs).
     pub fn set_fixpoint_interceptor(&mut self, interceptor: Box<dyn FixpointInterceptor>) {
@@ -239,7 +267,17 @@ impl<'s> Evaluator<'s> {
         self.fixpoint_runs.last()
     }
 
-    pub(crate) fn record_fixpoint_run(&mut self, stats: FixpointStats) {
+    /// Record a run attributed to the occurrence `(var, body)`, notifying
+    /// the occurrence's observer (if any) first.
+    pub(crate) fn record_fixpoint_run_for(&mut self, var: &str, body: &Expr, stats: FixpointStats) {
+        if let Some(observer) = self
+            .occurrence_overrides
+            .iter()
+            .find(|((v, b), _)| v == var && b.as_ref() == body)
+            .and_then(|(_, o)| o.observer.clone())
+        {
+            observer.observe(&stats);
+        }
         self.fixpoint_runs.push(stats);
     }
 
@@ -328,7 +366,7 @@ impl<'s> Evaluator<'s> {
             if let Some(result) = outcome {
                 let (groups, stats) = result?;
                 debug_assert_eq!(groups.len(), seeds.len());
-                self.record_fixpoint_run(stats);
+                self.record_fixpoint_run_for(var, body, stats);
                 return Ok((groups, true));
             }
         }
@@ -346,7 +384,7 @@ impl<'s> Evaluator<'s> {
                 self.interceptor = Some(interceptor);
                 if let Some(result) = outcome {
                     let (nodes, stats) = result?;
-                    self.record_fixpoint_run(stats);
+                    self.record_fixpoint_run_for(var, body, stats);
                     handled = Some(nodes);
                 }
             }
@@ -675,7 +713,7 @@ impl<'s> Evaluator<'s> {
                         self.interceptor = Some(interceptor);
                         if let Some(result) = outcome {
                             let (nodes, stats) = result?;
-                            self.record_fixpoint_run(stats);
+                            self.record_fixpoint_run_for(var, body, stats);
                             return Ok(Sequence::from_nodes(nodes));
                         }
                     }

@@ -57,7 +57,7 @@ impl FixpointStrategy {
 /// prepared-query machinery) may instead drive a pre-compiled algebraic plan
 /// through the relational back-end.  The tag records which one happened so
 /// per-occurrence statistics stay attributable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum FixpointBackendTag {
     /// The source-level interpreter evaluated the recursion body per
     /// iteration (the paper's "Saxon role").
@@ -132,8 +132,19 @@ pub trait FixpointInterceptor {
     }
 }
 
+/// An observer a higher layer may attach to a fixpoint occurrence (see
+/// [`Evaluator::set_fixpoint_observer_for`](crate::Evaluator::set_fixpoint_observer_for)):
+/// it receives every recorded [`FixpointStats`] for that occurrence —
+/// whichever back-end produced it — right after the run finishes.  The
+/// `xqy_ifp` cost model uses this to feed observed iteration depth, result
+/// size and wall time back into its per-occurrence feedback cells.
+pub trait FixpointObserver: Send + Sync {
+    /// Called once per recorded fixpoint run of the observed occurrence.
+    fn observe(&self, stats: &FixpointStats);
+}
+
 /// Statistics of one fixed point computation.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Eq, Default)]
 pub struct FixpointStats {
     /// The strategy that was used.
     pub strategy: Option<FixpointStrategyTag>,
@@ -165,10 +176,33 @@ pub struct FixpointStats {
     /// and `payload_calls` counts the *shared* body evaluations (one per
     /// batched iteration, however many seeds are still iterating).
     pub batch_seeds: usize,
+    /// Nodes fed into each recursion-body call, in call order — the
+    /// frontier-growth curve.  Deterministic for a given (query, store,
+    /// seed) input at any thread count, so it takes part in equality.
+    pub frontier_curve: Vec<u64>,
+    /// Wall time of the run in microseconds.  **Excluded from equality**:
+    /// the parallel ≡ sequential property tests compare whole stats
+    /// structs, and wall time legitimately differs between runs.
+    pub wall_micros: u64,
+}
+
+impl PartialEq for FixpointStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.strategy == other.strategy
+            && self.backend == other.backend
+            && self.iterations == other.iterations
+            && self.nodes_fed_back == other.nodes_fed_back
+            && self.payload_calls == other.payload_calls
+            && self.result_size == other.result_size
+            && self.static_cache_hits == other.static_cache_hits
+            && self.static_plan_evals == other.static_plan_evals
+            && self.batch_seeds == other.batch_seeds
+            && self.frontier_curve == other.frontier_curve
+    }
 }
 
 /// A copyable tag mirroring [`FixpointStrategy`] for inclusion in stats.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FixpointStrategyTag {
     /// Naïve algorithm.
     Naive,
@@ -200,6 +234,7 @@ pub fn evaluate_fixpoint(
             "the seed of an inflationary fixed point must be a node sequence".into(),
         ));
     }
+    let started = std::time::Instant::now();
     let mut stats = FixpointStats {
         strategy: Some(strategy.into()),
         ..FixpointStats::default()
@@ -213,7 +248,8 @@ pub fn evaluate_fixpoint(
         match call_payload(eval, var, &seed.nodes(), body, env, &mut stats) {
             Ok(nodes) => nodes,
             Err(err) => {
-                eval.record_fixpoint_run(stats);
+                stats.wall_micros = started.elapsed().as_micros() as u64;
+                eval.record_fixpoint_run_for(var, body, stats);
                 return Err(err);
             }
         }
@@ -225,11 +261,13 @@ pub fn evaluate_fixpoint(
     match result {
         Ok(nodes) => {
             stats.result_size = nodes.len();
-            eval.record_fixpoint_run(stats);
+            stats.wall_micros = started.elapsed().as_micros() as u64;
+            eval.record_fixpoint_run_for(var, body, stats);
             Ok(Sequence::from_nodes(nodes))
         }
         Err(err) => {
-            eval.record_fixpoint_run(stats);
+            stats.wall_micros = started.elapsed().as_micros() as u64;
+            eval.record_fixpoint_run_for(var, body, stats);
             Err(err)
         }
     }
@@ -246,6 +284,7 @@ fn call_payload(
     stats: &mut FixpointStats,
 ) -> Result<Vec<NodeId>> {
     stats.nodes_fed_back += input.len() as u64;
+    stats.frontier_curve.push(input.len() as u64);
     stats.payload_calls += 1;
     let value =
         eval.eval_with_binding(body, env, var, Sequence::from_nodes(input.iter().copied()))?;
@@ -385,6 +424,7 @@ pub fn evaluate_fixpoint_batched(
     strategy: FixpointStrategy,
     share_frontiers: bool,
 ) -> Result<Vec<Vec<NodeId>>> {
+    let started = std::time::Instant::now();
     let mut stats = FixpointStats {
         strategy: Some(strategy.into()),
         backend: FixpointBackendTag::Interpreted,
@@ -399,11 +439,13 @@ pub fn evaluate_fixpoint_batched(
     match result {
         Ok(groups) => {
             stats.result_size = groups.iter().map(Vec::len).sum();
-            eval.record_fixpoint_run(stats);
+            stats.wall_micros = started.elapsed().as_micros() as u64;
+            eval.record_fixpoint_run_for(var, body, stats);
             Ok(groups)
         }
         Err(err) => {
-            eval.record_fixpoint_run(stats);
+            stats.wall_micros = started.elapsed().as_micros() as u64;
+            eval.record_fixpoint_run_for(var, body, stats);
             Err(err)
         }
     }

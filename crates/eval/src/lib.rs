@@ -74,7 +74,8 @@ pub use context::{Environment, Focus};
 pub use error::EvalError;
 pub use evaluator::{EvalOptions, Evaluator};
 pub use fixpoint::{
-    FixpointBackendTag, FixpointInterceptor, FixpointStats, FixpointStrategy, FixpointStrategyTag,
+    FixpointBackendTag, FixpointInterceptor, FixpointObserver, FixpointStats, FixpointStrategy,
+    FixpointStrategyTag,
 };
 
 /// Result alias for evaluation.

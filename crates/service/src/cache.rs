@@ -60,13 +60,20 @@ pub struct CacheCounters {
 }
 
 /// Cache key: the query text plus every knob that changes the prepared
-/// artifact.
+/// artifact, plus the store-statistics fingerprint of the published
+/// snapshot the plan was costed against.  The fingerprint keeps cost-based
+/// decisions honest across republishes: when the data changes *materially*
+/// (any power-of-two bucket of the shape statistics moves) the key no
+/// longer matches, so the query re-costs from fresh estimates instead of
+/// reusing a plan — and warm feedback observations — taken under data that
+/// no longer exists.  Immaterial republishes keep hitting the same entry.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct Key {
     query: String,
     backend: Backend,
     strategy: Strategy,
     parallelism: Parallelism,
+    stats_fingerprint: u64,
 }
 
 #[derive(Debug)]
@@ -149,12 +156,14 @@ impl PlanCache {
         backend: Backend,
         strategy: Strategy,
         parallelism: Parallelism,
+        stats_fingerprint: u64,
     ) -> Option<PlanLease<'_>> {
         let key = Key {
             query: query.to_owned(),
             backend,
             strategy,
             parallelism,
+            stats_fingerprint,
         };
         let mut inner = self.lock();
         inner.tick += 1;
@@ -188,6 +197,7 @@ impl PlanCache {
         backend: Backend,
         strategy: Strategy,
         parallelism: Parallelism,
+        stats_fingerprint: u64,
         prepared: Arc<PreparedQuery>,
     ) -> PlanLease<'_> {
         let key = Key {
@@ -195,6 +205,7 @@ impl PlanCache {
             backend,
             strategy,
             parallelism,
+            stats_fingerprint,
         };
         let mut inner = self.lock();
         inner.tick += 1;
@@ -332,8 +343,17 @@ mod tests {
     const Q2: &str = "2 + 2";
     const Q3: &str = "3 + 3";
 
+    /// The fingerprint tests key on unless they probe it explicitly.
+    const FP: u64 = 0xfeed;
+
     fn get<'c>(cache: &'c PlanCache, q: &str) -> Option<PlanLease<'c>> {
-        cache.acquire(q, Backend::Auto, Strategy::Auto, Parallelism::Sequential)
+        cache.acquire(
+            q,
+            Backend::Auto,
+            Strategy::Auto,
+            Parallelism::Sequential,
+            FP,
+        )
     }
 
     fn put<'c>(cache: &'c PlanCache, q: &str) -> PlanLease<'c> {
@@ -342,6 +362,7 @@ mod tests {
             Backend::Auto,
             Strategy::Auto,
             Parallelism::Sequential,
+            FP,
             prepared(q),
         )
     }
@@ -372,6 +393,7 @@ mod tests {
             Backend::SourceLevel,
             Strategy::Naive,
             Parallelism::Sequential,
+            FP,
             prepared(Q1),
         );
         assert!(cache
@@ -385,6 +407,33 @@ mod tests {
             .is_some());
     }
 
+    /// A materially different snapshot (different statistics fingerprint)
+    /// must miss, so the query re-costs; the same fingerprint keeps
+    /// hitting.
+    #[test]
+    fn key_includes_stats_fingerprint() {
+        let cache = PlanCache::new(8);
+        put(&cache, Q1); // keyed under FP
+        assert!(cache
+            .acquire(
+                Q1,
+                Backend::Auto,
+                Strategy::Auto,
+                Parallelism::Sequential,
+                FP
+            )
+            .is_some());
+        assert!(cache
+            .acquire(
+                Q1,
+                Backend::Auto,
+                Strategy::Auto,
+                Parallelism::Sequential,
+                FP ^ 1,
+            )
+            .is_none());
+    }
+
     impl PlanCache {
         fn get_for_test(
             &self,
@@ -392,7 +441,7 @@ mod tests {
             backend: Backend,
             strategy: Strategy,
         ) -> Option<PlanLease<'_>> {
-            self.acquire(q, backend, strategy, Parallelism::Sequential)
+            self.acquire(q, backend, strategy, Parallelism::Sequential, FP)
         }
     }
 

@@ -95,6 +95,11 @@ pub struct PublishedSnapshot {
     pub epoch: u64,
     /// [`NodeStore::revision`] at publication.
     pub revision: u64,
+    /// [`StoreStatistics::fingerprint`](xqy_ifp::xdm::StoreStatistics::fingerprint)
+    /// of the store at publication.  Folded into plan-cache keys so a
+    /// republish with materially different data re-costs its plans instead
+    /// of reusing decisions taken under the old shape.
+    pub stats_fingerprint: u64,
 }
 
 /// Per-query execution statistics.
@@ -320,7 +325,9 @@ impl QueryService {
 
         // The lease holds this session's private executor fork; dropping it
         // (on every exit path) returns the fork, warm, to the cache's pool.
-        let lease = self.prepared_plan(query)?;
+        // Keyed on the pinned snapshot's statistics fingerprint: a
+        // materially different republish re-costs instead of hitting.
+        let lease = self.prepared_plan(query, pinned.stats_fingerprint)?;
         let cache_outcome = lease.outcome;
 
         // Copy-on-write view: reads are served by the shared snapshot; a
@@ -359,22 +366,30 @@ impl QueryService {
 
     /// Lease `query`'s prepared plan from the cache, or prepare it (outside
     /// the cache lock) and insert it for the next session.
-    fn prepared_plan(&self, query: &str) -> Result<PlanLease<'_>> {
+    fn prepared_plan(&self, query: &str, stats_fingerprint: u64) -> Result<PlanLease<'_>> {
         let (backend, strategy, parallelism) = (
             self.config.backend,
             self.config.strategy,
             self.config.parallelism,
         );
-        if let Some(lease) = self.cache.acquire(query, backend, strategy, parallelism) {
+        if let Some(lease) =
+            self.cache
+                .acquire(query, backend, strategy, parallelism, stats_fingerprint)
+        {
             return Ok(lease);
         }
         let prepared = Arc::new(
             PreparedQuery::prepare(query, strategy, backend, parallelism)
                 .map_err(ServiceError::Query)?,
         );
-        Ok(self
-            .cache
-            .insert(query, backend, strategy, parallelism, prepared))
+        Ok(self.cache.insert(
+            query,
+            backend,
+            strategy,
+            parallelism,
+            stats_fingerprint,
+            prepared,
+        ))
     }
 
     /// Cumulative counters plus the instantaneous admission load.
@@ -399,6 +414,7 @@ fn publish_clone(master: &NodeStore) -> PublishedSnapshot {
     PublishedSnapshot {
         epoch: clone.load_epoch(),
         revision: clone.revision(),
+        stats_fingerprint: clone.statistics().fingerprint(),
         store: Arc::new(clone),
     }
 }
@@ -471,6 +487,52 @@ mod tests {
         service.publish();
         assert_eq!(service.counters().cache.entries, 0);
         assert!(service.counters().cache.invalidations >= 1);
+    }
+
+    /// PR 9: plan-cache keys carry the published snapshot's statistics
+    /// fingerprint.  A republish with *materially* different data (bucket
+    /// shifts in the shape statistics) must miss the cache and re-cost the
+    /// plan from fresh estimates; an unchanged republish keeps hitting.
+    #[test]
+    fn republish_with_materially_changed_data_recosts() {
+        let service = service_with_curriculum();
+        let first = service.execute(CLOSURE_QUERY).unwrap();
+        assert_eq!(first.stats.cache, CacheOutcome::Miss);
+        assert_eq!(
+            first.outcome.occurrences[0].decided_by,
+            xqy_ifp::DecisionSource::Estimated
+        );
+        let before = service.published().stats_fingerprint;
+
+        // An unchanged republish keeps the same fingerprint and the plan
+        // stays cached.
+        service.publish();
+        assert_eq!(service.published().stats_fingerprint, before);
+        assert_eq!(
+            service.execute(CLOSURE_QUERY).unwrap().stats.cache,
+            CacheOutcome::Hit
+        );
+
+        // Grow the data by orders of magnitude: several statistics buckets
+        // move, so the fingerprint must change and the next execution must
+        // re-cost (a fresh preparation, decided from fresh estimates).
+        let mut big = String::from("<bulk>");
+        for i in 0..5_000 {
+            big.push_str(&format!("<row n=\"{i}\"><cell/></row>"));
+        }
+        big.push_str("</bulk>");
+        service.load_document("bulk.xml", &big).unwrap();
+        service.publish();
+        assert_ne!(service.published().stats_fingerprint, before);
+
+        let recosted = service.execute(CLOSURE_QUERY).unwrap();
+        assert_eq!(recosted.stats.cache, CacheOutcome::Miss);
+        assert_eq!(
+            recosted.outcome.occurrences[0].decided_by,
+            xqy_ifp::DecisionSource::Estimated
+        );
+        // The answer is untouched by the re-cost.
+        assert_eq!(recosted.outcome.result.len(), first.outcome.result.len());
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod parse;
 pub mod sequence;
 pub mod serialize;
 pub mod shard;
+pub mod stats;
 pub mod store;
 pub mod value;
 
@@ -54,6 +55,7 @@ pub use node::{Axis, NodeId, NodeKind, NodeTest, QName};
 pub use nodeset::NodeSet;
 pub use ops::{ddo, intersect, is_subset, node_except, node_union, set_equal};
 pub use sequence::Sequence;
+pub use stats::{DocumentStatistics, StoreStatistics};
 pub use store::{DocId, NodeStore, SnapshotPin, StoreSnapshot, StrView};
 pub use value::{AtomicValue, Item, UText};
 

@@ -366,6 +366,10 @@ pub struct NodeStore {
     /// [`TextMemoCache`]); behind a `Mutex` for the same reason as
     /// `id_probe`.
     text_memo: Mutex<TextMemoCache>,
+    /// Memo of [`NodeStore::statistics`], keyed on the revision it was
+    /// computed at (`StoreStatistics::revision`).  Behind a `Mutex` so the
+    /// cost model can pull statistics through shared (snapshot) reads.
+    stats_memo: Mutex<Option<Arc<crate::stats::StoreStatistics>>>,
 }
 
 impl Clone for NodeStore {
@@ -385,6 +389,7 @@ impl Clone for NodeStore {
                     .load(std::sync::atomic::Ordering::Relaxed),
             ),
             text_memo: Mutex::new(mutex_lock(&self.text_memo).clone()),
+            stats_memo: Mutex::new(mutex_lock(&self.stats_memo).clone()),
         }
     }
 }
@@ -604,6 +609,77 @@ impl NodeStore {
     pub fn id_probe_hits(&self) -> u64 {
         self.id_probe_hits
             .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    // ------------------------------------------------------------------
+    // Statistics
+    // ------------------------------------------------------------------
+
+    /// Shape statistics over every document in the store: node counts per
+    /// kind, child-axis fanout, tree depth, `id()` index density and
+    /// text-pool size.  Computed once per [`NodeStore::revision`] and
+    /// memoized (the walk is `O(nodes)`), so the cost model can call this
+    /// on every execution.  Works through `&self` — snapshot readers share
+    /// the memo.
+    pub fn statistics(&self) -> Arc<crate::stats::StoreStatistics> {
+        {
+            let memo = mutex_lock(&self.stats_memo);
+            if let Some(stats) = memo.as_ref() {
+                if stats.revision == self.revision {
+                    return Arc::clone(stats);
+                }
+            }
+        }
+        let stats = Arc::new(self.compute_statistics());
+        *mutex_lock(&self.stats_memo) = Some(Arc::clone(&stats));
+        stats
+    }
+
+    fn compute_statistics(&self) -> crate::stats::StoreStatistics {
+        use crate::stats::{DocumentStatistics, StoreStatistics};
+        let mut out = StoreStatistics {
+            revision: self.revision,
+            documents: self.docs.len() as u64,
+            per_document: Vec::with_capacity(self.docs.len()),
+            totals: DocumentStatistics::default(),
+            text_pool_strings: self.text.len() as u64,
+        };
+        for doc in &self.docs {
+            let mut d = DocumentStatistics {
+                nodes: doc.nodes.len() as u64,
+                id_entries: doc.derived().id_index.len() as u64,
+                ..Default::default()
+            };
+            for node in &doc.nodes {
+                match node.kind {
+                    NodeKind::Element(_) => d.elements += 1,
+                    NodeKind::Attribute(..) => d.attributes += 1,
+                    NodeKind::Text(_) => d.text_nodes += 1,
+                    _ => {}
+                }
+                let fanout = node.children.len() as u64;
+                if fanout > 0 {
+                    d.parents += 1;
+                    d.child_links += fanout;
+                    d.max_fanout = d.max_fanout.max(fanout);
+                }
+            }
+            // Depth via DFS along child links from each parentless root;
+            // attributes count as nodes but not as depth.
+            let mut stack: Vec<(u32, u64)> = (0..doc.nodes.len() as u32)
+                .filter(|&i| doc.nodes[i as usize].parent.is_none())
+                .map(|i| (i, 0))
+                .collect();
+            while let Some((idx, depth)) = stack.pop() {
+                d.max_depth = d.max_depth.max(depth);
+                for &c in &doc.nodes[idx as usize].children {
+                    stack.push((c, depth + 1));
+                }
+            }
+            out.totals.absorb(&d);
+            out.per_document.push(d);
+        }
+        out
     }
 
     // ------------------------------------------------------------------

@@ -104,8 +104,17 @@ proptest! {
                 .unwrap();
 
             for threads in [2usize, 8] {
-                let parallel = prepared
-                    .clone()
+                // Re-prepare instead of cloning: a clone shares the
+                // occurrence's cost-feedback cell, so the observations of
+                // the sequential baseline would legitimately re-route the
+                // parallel run (a different algorithm reports different
+                // logical stats).  A fresh prepare makes both runs decide
+                // from the same blank slate, isolating the sharding knob —
+                // which is what this property pins.
+                let parallel = engine
+                    .prepare(&query)
+                    .unwrap()
+                    .with_backend(backend)
                     .with_parallelism(Parallelism::Fixed(threads))
                     .execute_batched(&mut engine, "seed", &seeds, &Bindings::new())
                     .unwrap();
