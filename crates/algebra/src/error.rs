@@ -19,7 +19,22 @@ pub enum AlgebraError {
     /// The cooperative deadline (`Executor::set_deadline`) passed while a
     /// fixpoint was iterating.  Checked at the per-iteration barrier, so
     /// the run aborts between iterations, never mid-mutation.
-    DeadlineExceeded,
+    DeadlineExceeded {
+        /// Iterations completed when the deadline was detected.
+        iterations: usize,
+    },
+    /// A per-query resource budget was exhausted at the iteration barrier
+    /// (after one round of graceful degradation for the memory budget).
+    BudgetExceeded {
+        /// Which budget: `"memory"` or `"iterations"`.
+        budget: String,
+        /// Approximate usage when the check failed.
+        used: u64,
+        /// The configured limit.
+        limit: u64,
+        /// Iterations completed when the budget tripped.
+        iterations: usize,
+    },
 }
 
 impl fmt::Display for AlgebraError {
@@ -36,7 +51,18 @@ impl fmt::Display for AlgebraError {
             AlgebraError::NoFixpoint { iterations } => {
                 write!(f, "fixpoint did not converge after {iterations} iterations")
             }
-            AlgebraError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            AlgebraError::DeadlineExceeded { iterations } => {
+                write!(f, "query deadline exceeded after {iterations} iterations")
+            }
+            AlgebraError::BudgetExceeded {
+                budget,
+                used,
+                limit,
+                iterations,
+            } => write!(
+                f,
+                "{budget} budget exceeded ({used} used, limit {limit}) after {iterations} iterations"
+            ),
         }
     }
 }

@@ -177,6 +177,10 @@ impl Table {
         debug_assert_eq!(columns.len(), cols.len());
         let rows = cols.first().map_or(0, Vec::len);
         debug_assert!(cols.iter().all(|c| c.len() == rows));
+        // Fresh column-major materialization: the relational `Table` growth
+        // point of the per-query memory accounting (shared-handle reuse via
+        // `with_schema` charges nothing).
+        xqy_xdm::budget::charge((rows * cols.len() * std::mem::size_of::<Key>()) as u64);
         Table {
             names: Arc::new(columns),
             cols: cols.into_iter().map(Arc::new).collect(),
@@ -529,6 +533,10 @@ pub struct Executor {
     static_plan_evals: u64,
     /// Maximum fixpoint iterations before reporting divergence.
     pub max_iterations: usize,
+    /// Per-query iteration *budget* (`ResourceLimits::max_iterations`),
+    /// checked at the same barrier but reported as
+    /// [`AlgebraError::BudgetExceeded`] instead of divergence.
+    budget_iterations: Option<usize>,
     /// Cooperative deadline, checked at the same per-iteration barrier as
     /// `max_iterations`; `None` never times out.
     deadline: Option<Instant>,
@@ -561,6 +569,7 @@ impl Executor {
             static_cache_hits: 0,
             static_plan_evals: 0,
             max_iterations: 100_000,
+            budget_iterations: None,
             deadline: None,
             threads: 1,
             workers: Vec::new(),
@@ -574,6 +583,15 @@ impl Executor {
     /// never mid-mutation.  The deadline persists across runs until reset.
     pub fn set_deadline(&mut self, deadline: Option<Instant>) {
         self.deadline = deadline;
+    }
+
+    /// Install (or clear) the per-query iteration budget.  Unlike
+    /// `max_iterations` (whose breach means "the fixpoint diverged"),
+    /// exceeding this caller-supplied cap is a resource verdict:
+    /// [`AlgebraError::BudgetExceeded`] with `budget = "iterations"`.
+    /// Persists across runs until reset, like the deadline.
+    pub fn set_budget_iterations(&mut self, budget: Option<usize>) {
+        self.budget_iterations = budget;
     }
 
     /// Map a store text-pool symbol to this executor's interner through
@@ -602,14 +620,71 @@ impl Executor {
         exec_sym
     }
 
-    /// Per-iteration deadline guard (see [`Executor::set_deadline`]).
-    fn check_deadline(&self) -> Result<()> {
+    /// Per-iteration barrier guard: failpoint, deadline, iteration caps and
+    /// the approximate memory budget (see [`Executor::set_deadline`],
+    /// [`Executor::set_budget_iterations`], [`xqy_xdm::budget`]).
+    ///
+    /// On first memory-budget breach the executor *degrades* instead of
+    /// failing: it releases its static/volatile table caches (recomputable
+    /// at re-evaluation cost), credits the freed estimate back, and drops
+    /// to sequential sharding; only a re-breach after relief is fatal.
+    fn check_limits(&mut self, iterations: usize) -> Result<()> {
+        xqy_xdm::fail::point("fixpoint.barrier")
+            .map_err(|e| AlgebraError::Execution(e.to_string()))?;
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
-                return Err(AlgebraError::DeadlineExceeded);
+                return Err(AlgebraError::DeadlineExceeded { iterations });
+            }
+        }
+        if let Some(max) = self.budget_iterations {
+            if iterations >= max {
+                return Err(AlgebraError::BudgetExceeded {
+                    budget: "iterations".into(),
+                    used: iterations as u64,
+                    limit: max as u64,
+                    iterations,
+                });
+            }
+        }
+        if iterations >= self.max_iterations {
+            return Err(AlgebraError::NoFixpoint { iterations });
+        }
+        if let Some(budget) = xqy_xdm::budget::current() {
+            if budget.over_limit().is_some() {
+                if budget.try_relieve() {
+                    budget.credit(self.release_static_memory());
+                    self.threads = 1;
+                }
+                if let Some(used) = budget.over_limit() {
+                    return Err(AlgebraError::BudgetExceeded {
+                        budget: "memory".into(),
+                        used,
+                        limit: budget.limit(),
+                        iterations,
+                    });
+                }
             }
         }
         Ok(())
+    }
+
+    /// Drop the executor's recomputable table caches (static and volatile,
+    /// workers included), returning an estimate of the bytes freed — the
+    /// relational side of budget relief.
+    fn release_static_memory(&mut self) -> u64 {
+        fn drain(state: &mut PlanState) -> u64 {
+            let bytes = |t: &Table| (t.rows * t.cols.len() * std::mem::size_of::<Key>()) as u64;
+            let freed = state.static_cache.values().map(bytes).sum::<u64>()
+                + state.volatile_cache.values().map(bytes).sum::<u64>();
+            state.static_cache.clear();
+            state.volatile_cache.clear();
+            freed
+        }
+        let mut freed = drain(&mut self.plan_state);
+        for worker in &mut self.workers {
+            freed += drain(&mut worker.plan_state);
+        }
+        freed
     }
 
     /// Set the shard count for [`Executor::run_fixpoint_batched`].  `1`
@@ -1246,12 +1321,7 @@ impl Executor {
             MuStrategy::MuDelta => (Vec::new(), res.clone()),
         };
         loop {
-            self.check_deadline()?;
-            if stats.iterations >= self.max_iterations {
-                return Err(AlgebraError::NoFixpoint {
-                    iterations: stats.iterations,
-                });
-            }
+            self.check_limits(stats.iterations)?;
             stats.iterations += 1;
             match strategy {
                 MuStrategy::Mu => {
@@ -1366,6 +1436,7 @@ impl Executor {
                 // re-derive exactly as the sequential run would), fresh
                 // volatile scope, caches primed for this plan and store.
                 worker.max_iterations = self.max_iterations;
+                worker.budget_iterations = self.budget_iterations;
                 worker.deadline = self.deadline;
                 worker.context_doc = self.context_doc;
                 worker.context_doc_explicit = self.context_doc_explicit;
@@ -1398,12 +1469,7 @@ impl Executor {
             MuStrategy::MuDelta => res.clone(),
         };
         loop {
-            self.check_deadline()?;
-            if stats.iterations >= self.max_iterations {
-                return Err(AlgebraError::NoFixpoint {
-                    iterations: stats.iterations,
-                });
-            }
+            self.check_limits(stats.iterations)?;
             stats.iterations += 1;
             let grew;
             match strategy {
@@ -1675,6 +1741,7 @@ impl Executor {
         stats.rows_fed_back += input.len() as u64;
         stats.frontier_curve.push(input.len() as u64);
         stats.body_evaluations += 1;
+        xqy_xdm::fail::point("alloc.table").map_err(|e| AlgebraError::Execution(e.to_string()))?;
         let rec = Table::from_nodes(input);
         let out = self.eval_plan_in_run(store, body, &rec)?;
         Ok(out.item_nodes())

@@ -48,7 +48,7 @@ fn bench(c: &mut Criterion) {
         service
             .load_document_with_ids("curriculum.xml", &xml, &["code"])
             .expect("curriculum loads");
-        service.publish();
+        service.publish().expect("publish succeeds");
         for query in QUERIES {
             service.execute(query).expect("warmup query runs");
         }

@@ -80,7 +80,7 @@ fn run_load(xml: &str, queries: &[String], workers: usize, per_worker: usize) ->
     service
         .load_document_with_ids("curriculum.xml", xml, &["code"])
         .expect("curriculum loads");
-    service.publish();
+    service.publish().expect("publish succeeds");
 
     // Warm the plan cache so the measured region times execution, not the
     // one-off preparations.

@@ -322,6 +322,23 @@ pub struct FeedbackCell {
     inner: Mutex<FeedbackInner>,
 }
 
+/// Take the cell's lock even if a previous holder panicked (the cell is
+/// shared across every clone and fork of a prepared query, so one
+/// contained panic must not poison cost feedback for the whole service).
+/// The in-flight accumulation of the panicked run may be half-recorded, so
+/// it is discarded; completed observations are append-only and stay valid.
+fn feedback_lock(lock: &Mutex<FeedbackInner>) -> std::sync::MutexGuard<'_, FeedbackInner> {
+    match lock.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            lock.clear_poison();
+            let mut guard = poisoned.into_inner();
+            guard.current.clear();
+            guard
+        }
+    }
+}
+
 impl FeedbackCell {
     /// A fresh cell with no observations.
     pub fn new() -> Self {
@@ -332,7 +349,7 @@ impl FeedbackCell {
     /// `fingerprint`, returning the execution's aggregate (the dominant
     /// alternative by wall time).  Returns `None` when nothing ran.
     pub fn finish_run(&self, fingerprint: u64) -> Option<RunObservation> {
-        let mut inner = self.inner.lock().expect("feedback lock");
+        let mut inner = feedback_lock(&self.inner);
         if inner.fingerprint != Some(fingerprint) {
             inner.observed.clear();
             inner.recent = None;
@@ -365,7 +382,7 @@ impl FeedbackCell {
     /// The corrected workload parameters and measured wall times for the
     /// next decision, if observations exist for this `fingerprint`.
     fn advise(&self, fingerprint: u64) -> Option<Advice> {
-        let inner = self.inner.lock().expect("feedback lock");
+        let inner = feedback_lock(&self.inner);
         if inner.fingerprint != Some(fingerprint) {
             return None;
         }
@@ -383,7 +400,7 @@ impl FeedbackCell {
     /// Number of distinct alternatives observed under the current
     /// fingerprint (diagnostic).
     pub fn observed_alternatives(&self) -> usize {
-        self.inner.lock().expect("feedback lock").observed.len()
+        feedback_lock(&self.inner).observed.len()
     }
 }
 
@@ -392,7 +409,7 @@ impl FixpointObserver for FeedbackCell {
         let Some(obs) = RunObservation::from_stats(stats) else {
             return;
         };
-        let mut inner = self.inner.lock().expect("feedback lock");
+        let mut inner = feedback_lock(&self.inner);
         if let Some(slot) = inner
             .current
             .iter_mut()

@@ -75,7 +75,7 @@ pub use cost::{CostDecision, DecisionSource, FeedbackCell, OccurrenceFeatures, P
 pub use engine::{DistributivityReport, Engine, Parallelism, QueryOutcome, Strategy};
 pub use prepared::{
     Backend, BatchedOutcome, Bindings, ExecOptions, OccurrencePlan, PreparedOccurrence,
-    PreparedQuery,
+    PreparedQuery, ResourceLimits,
 };
 pub use rewrite::{rewrite_fixpoints_to_functions, RewriteStyle};
 pub use syntactic::{distributivity_hint, is_distributivity_safe, DsJudgement};

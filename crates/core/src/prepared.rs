@@ -56,7 +56,7 @@ use xqy_eval::{
 };
 use xqy_parser::ast::{Expr, QueryModule};
 use xqy_parser::parse_query;
-use xqy_xdm::{NodeId, Sequence, StoreMut, StoreStatistics};
+use xqy_xdm::{NodeId, QueryBudget, Sequence, StoreMut, StoreStatistics};
 
 use crate::cost::{
     self, DecisionSource, FeedbackCell, OccurrenceFeatures, PlanAlternative, RunObservation,
@@ -251,8 +251,8 @@ impl PreparedOccurrence {
     /// and batched combined): `(static_cache_hits, static_plan_evals)`.
     /// Per-execute deltas are reported in [`OccurrencePlan`].
     pub fn executor_cache_totals(&self) -> (u64, u64) {
-        let exec = self.executor.lock().expect("executor lock");
-        let batched = self.batched_executor.lock().expect("executor lock");
+        let exec = lock_executor(&self.executor);
+        let batched = lock_executor(&self.batched_executor);
         (
             exec.static_cache_hits() + batched.static_cache_hits(),
             exec.static_plan_evals() + batched.static_plan_evals(),
@@ -314,21 +314,56 @@ pub struct OccurrencePlan {
     pub static_plan_evals: u64,
 }
 
+/// Per-query resource budgets, enforced cooperatively at the fixpoint
+/// iteration barriers of both back-ends (the same places the engine's own
+/// divergence limits are checked), so a query over budget aborts between
+/// iterations, never mid-mutation.
+///
+/// Unlike the engine-wide safety nets (`max_fixpoint_iterations` /
+/// `max_fixpoint_nodes`, whose breach means "the IFP is undefined"),
+/// exceeding a caller-supplied limit here is a *resource* verdict: a typed
+/// [`EvalError::BudgetExceeded`] (or `DeadlineExceeded`) carrying the
+/// occurrence and iteration count, which the query service maps to
+/// `ServiceError::ResourceExhausted` / `DeadlineExceeded`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResourceLimits {
+    /// Cap on any single fixpoint accumulator's size, in nodes.
+    pub max_result_nodes: Option<usize>,
+    /// Approximate cap on bytes materialized on behalf of the query
+    /// (charged at `TextPool` / `Sequence` / store-arena / `Table` growth
+    /// points, see [`xqy_xdm::budget`]).  Before failing, the drivers
+    /// degrade once: store memos and executor static caches are dropped
+    /// (and credited back), and sharded evaluation falls back to
+    /// sequential.
+    pub max_memory_bytes: Option<u64>,
+    /// Cap on any single fixpoint occurrence's iteration count.
+    pub max_iterations: Option<usize>,
+    /// Cooperative per-query deadline: fixpoint drivers — source-level and
+    /// algebraic — check it at every iteration barrier and abort with
+    /// [`EvalError::DeadlineExceeded`] once the instant has passed.
+    /// `None` never times out.
+    pub deadline: Option<Instant>,
+}
+
+impl ResourceLimits {
+    /// `true` when no limit is set (the default).
+    pub fn is_unlimited(&self) -> bool {
+        *self == ResourceLimits::default()
+    }
+}
+
 /// Per-execution settings for [`PreparedQuery::execute_on`].
 ///
 /// [`PreparedQuery::execute`] derives these from the engine (and never sets
-/// a deadline); engine-less callers — the concurrent query service — build
+/// limits); engine-less callers — the concurrent query service — build
 /// them directly.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExecOptions {
     /// Start each IFP accumulation from the seed itself (see
     /// [`Engine::set_seed_in_result`]).
     pub seed_in_result: bool,
-    /// Cooperative per-query deadline: fixpoint drivers — source-level and
-    /// algebraic — check it at every iteration barrier and abort with
-    /// [`EvalError::DeadlineExceeded`] once the instant has passed.
-    /// `None` never times out.
-    pub deadline: Option<Instant>,
+    /// Per-query resource budgets (deadline included).
+    pub limits: ResourceLimits,
 }
 
 /// A parsed, analysed and (where possible) compiled query, ready to be
@@ -669,7 +704,7 @@ impl PreparedQuery {
     pub fn execute(&self, engine: &mut Engine, bindings: &Bindings) -> Result<QueryOutcome> {
         let opts = ExecOptions {
             seed_in_result: engine.seed_in_result,
-            deadline: None,
+            limits: ResourceLimits::default(),
         };
         self.execute_on(&mut engine.store, bindings, &opts)
     }
@@ -697,10 +732,19 @@ impl PreparedQuery {
         let decisions = self.decide_plans(&stats, None)?;
 
         let threads = self.parallelism.threads();
+        // Per-query memory budget: the growth points of the data model and
+        // the relational executor charge the thread-installed cell (shard
+        // workers re-install it, see `xqy_xdm::shard`), and both drivers
+        // check it at their iteration barriers.
+        let memory_budget = opts.limits.max_memory_bytes.map(QueryBudget::new);
+        let _budget_scope = memory_budget.clone().map(xqy_xdm::budget::install);
         let mut evaluator = Evaluator::new(store);
         evaluator.options_mut().seed_in_result = opts.seed_in_result;
         evaluator.options_mut().fixpoint_threads = threads;
-        evaluator.options_mut().deadline = opts.deadline;
+        evaluator.options_mut().deadline = opts.limits.deadline;
+        evaluator.options_mut().max_result_nodes = opts.limits.max_result_nodes;
+        evaluator.options_mut().budget_iterations = opts.limits.max_iterations;
+        evaluator.options_mut().memory_budget = memory_budget;
         evaluator.set_fixpoint_strategy(self.default_strategy);
         for (name, value) in bindings.iter() {
             evaluator.bind_global(name, value.clone());
@@ -721,7 +765,7 @@ impl PreparedQuery {
             evaluator.set_fixpoint_interceptor(Box::new(PlanDriver {
                 entries,
                 threads,
-                deadline: opts.deadline,
+                limits: opts.limits,
             }));
         }
 
@@ -951,7 +995,7 @@ impl PreparedQuery {
             evaluator.set_fixpoint_interceptor(Box::new(PlanDriver {
                 entries,
                 threads,
-                deadline: None,
+                limits: ResourceLimits::default(),
             }));
         }
 
@@ -1040,18 +1084,54 @@ struct PlanDriver {
     /// Shard count for batched runs (from the prepared query's
     /// [`Parallelism`] policy); per-seed runs are always sequential.
     threads: usize,
-    /// Per-query deadline, installed on the entry's executor before each
-    /// run so the algebraic iteration barrier enforces it too.
-    deadline: Option<Instant>,
+    /// Per-query limits (deadline and budgets), installed on the entry's
+    /// executor before each run so the algebraic iteration barrier enforces
+    /// them too.
+    limits: ResourceLimits,
+}
+
+/// Take an occurrence's persistent-executor lock even if a previous holder
+/// panicked.  The executor behind it may have been left mid-run, so rather
+/// than trusting its caches we reset it to a fresh state: every invariant
+/// (interner, sym-translation, static cache) is rebuilt lazily at
+/// re-evaluation cost, which a recovery path gladly pays.  The service
+/// additionally drops the whole plan-cache fork a panic was caught on, so
+/// this path only runs for panics that escaped outside a fork's lifetime.
+fn lock_executor(lock: &Mutex<Executor>) -> std::sync::MutexGuard<'_, Executor> {
+    match lock.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            lock.clear_poison();
+            let mut guard = poisoned.into_inner();
+            *guard = Executor::new();
+            guard
+        }
+    }
 }
 
 /// Map an executor failure to the eval-layer error the interceptor
-/// contract reports: the deadline stays **typed** (so the service can
-/// distinguish a timeout from a genuine back-end failure); everything else
-/// is carried as an opaque back-end message.
-fn backend_error(err: AlgebraError) -> EvalError {
+/// contract reports: deadline and budget verdicts stay **typed** — and gain
+/// the occurrence variable — so the service can distinguish (and attribute)
+/// a timeout or an exhausted budget; everything else is carried as an
+/// opaque back-end message.
+fn backend_error(var: &str, err: AlgebraError) -> EvalError {
     match err {
-        AlgebraError::DeadlineExceeded => EvalError::DeadlineExceeded,
+        AlgebraError::DeadlineExceeded { iterations } => EvalError::DeadlineExceeded {
+            occurrence: var.to_string(),
+            iterations,
+        },
+        AlgebraError::BudgetExceeded {
+            budget,
+            used,
+            limit,
+            iterations,
+        } => EvalError::BudgetExceeded {
+            budget,
+            used,
+            limit,
+            occurrence: var.to_string(),
+            iterations,
+        },
         other => EvalError::Backend(other.to_string()),
     }
 }
@@ -1069,8 +1149,9 @@ impl FixpointInterceptor for PlanDriver {
             .entries
             .iter()
             .find(|e| e.var == var && *e.body == *body)?;
-        let mut executor = entry.executor.lock().expect("executor lock");
-        executor.set_deadline(self.deadline);
+        let mut executor = lock_executor(&entry.executor);
+        executor.set_deadline(self.limits.deadline);
+        executor.set_budget_iterations(self.limits.max_iterations);
         let hits_before = executor.static_cache_hits();
         let evals_before = executor.static_plan_evals();
         Some(
@@ -1097,7 +1178,7 @@ impl FixpointInterceptor for PlanDriver {
                         wall_micros: stats.wall_micros,
                     },
                 )),
-                Err(err) => Err(backend_error(err)),
+                Err(err) => Err(backend_error(var, err)),
             },
         )
     }
@@ -1144,9 +1225,10 @@ impl FixpointInterceptor for PlanDriver {
         } else {
             BatchSharing::PerSeed
         };
-        let mut executor = entry.batched_executor.lock().expect("executor lock");
+        let mut executor = lock_executor(&entry.batched_executor);
         executor.set_threads(self.threads);
-        executor.set_deadline(self.deadline);
+        executor.set_deadline(self.limits.deadline);
+        executor.set_budget_iterations(self.limits.max_iterations);
         let hits_before = executor.static_cache_hits();
         let evals_before = executor.static_plan_evals();
         Some(
@@ -1190,7 +1272,7 @@ impl FixpointInterceptor for PlanDriver {
                         },
                     ))
                 }
-                Err(err) => Err(backend_error(err)),
+                Err(err) => Err(backend_error(var, err)),
             },
         )
     }

@@ -46,7 +46,30 @@ pub enum EvalError {
     /// fixpoint driver was iterating.  Deadlines are checked at the same
     /// iteration barrier as the iteration / node-count limits, so a
     /// timed-out query aborts between iterations, never mid-mutation.
-    DeadlineExceeded,
+    DeadlineExceeded {
+        /// Recursion variable of the fixpoint occurrence that hit the
+        /// deadline (empty when the deadline fired outside any occurrence).
+        occurrence: String,
+        /// Iterations that occurrence had completed when the deadline hit.
+        iterations: usize,
+    },
+    /// A per-query resource budget (`ResourceLimits`) was exhausted at an
+    /// iteration barrier: approximate memory accounting, the result-node
+    /// cap, or the budgeted iteration cap.  Raised only after graceful
+    /// degradation (memo/cache release, sequential fallback) failed to
+    /// bring usage back under the limit.
+    BudgetExceeded {
+        /// Which budget: `"memory"`, `"result-nodes"` or `"iterations"`.
+        budget: String,
+        /// Approximate usage when the check failed.
+        used: u64,
+        /// The configured limit.
+        limit: u64,
+        /// Recursion variable of the occurrence whose barrier tripped.
+        occurrence: String,
+        /// Iterations that occurrence had completed.
+        iterations: usize,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -69,7 +92,29 @@ impl fmt::Display for EvalError {
                 write!(f, "user-defined function recursion exceeded depth {depth}")
             }
             EvalError::Backend(msg) => write!(f, "fixpoint back-end error: {msg}"),
-            EvalError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            EvalError::DeadlineExceeded {
+                occurrence,
+                iterations,
+            } => {
+                write!(f, "query deadline exceeded")?;
+                if !occurrence.is_empty() {
+                    write!(f, " in fixpoint of ${occurrence} after {iterations} iterations")?;
+                }
+                Ok(())
+            }
+            EvalError::BudgetExceeded {
+                budget,
+                used,
+                limit,
+                occurrence,
+                iterations,
+            } => {
+                write!(f, "{budget} budget exceeded ({used} used, limit {limit})")?;
+                if !occurrence.is_empty() {
+                    write!(f, " in fixpoint of ${occurrence} after {iterations} iterations")?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -52,6 +52,22 @@ pub struct EvalOptions {
     /// enforced) and abort with [`EvalError::DeadlineExceeded`] once the
     /// instant has passed.  `None` (the default) never times out.
     pub deadline: Option<std::time::Instant>,
+    /// Per-query result-size budget (`ResourceLimits::max_result_nodes`):
+    /// unlike the engine-wide `max_fixpoint_nodes` safety net (whose breach
+    /// means "the IFP is undefined", [`EvalError::NoFixpoint`]), exceeding
+    /// this caller-supplied cap is a *resource* verdict —
+    /// [`EvalError::BudgetExceeded`] with `budget = "result-nodes"`.
+    pub max_result_nodes: Option<usize>,
+    /// Per-query iteration budget (`ResourceLimits::max_iterations`),
+    /// checked before the engine-wide `max_fixpoint_iterations`; breach is
+    /// [`EvalError::BudgetExceeded`] with `budget = "iterations"`.
+    pub budget_iterations: Option<usize>,
+    /// Per-query approximate memory budget.  Growth points in the data
+    /// model charge it (see [`xqy_xdm::budget`]); the fixpoint drivers
+    /// check it at the iteration barrier, degrade once (drop store memos,
+    /// fall back to sequential sharding) and then fail with
+    /// [`EvalError::BudgetExceeded`] (`budget = "memory"`).
+    pub memory_budget: Option<std::sync::Arc<xqy_xdm::QueryBudget>>,
 }
 
 impl Default for EvalOptions {
@@ -64,6 +80,9 @@ impl Default for EvalOptions {
             max_recursion_depth: 4_096,
             fixpoint_threads: 1,
             deadline: None,
+            max_result_nodes: None,
+            budget_iterations: None,
+            memory_budget: None,
         }
     }
 }

@@ -286,6 +286,7 @@ fn call_payload(
     stats.nodes_fed_back += input.len() as u64;
     stats.frontier_curve.push(input.len() as u64);
     stats.payload_calls += 1;
+    xqy_xdm::fail::point("alloc.sequence").map_err(|e| EvalError::Xdm(e.to_string()))?;
     let value =
         eval.eval_with_binding(body, env, var, Sequence::from_nodes(input.iter().copied()))?;
     if !value.all_nodes() {
@@ -296,11 +297,31 @@ fn call_payload(
     Ok(value.nodes())
 }
 
-fn check_limits(eval: &Evaluator<'_>, stats: &FixpointStats, result_len: usize) -> Result<()> {
+fn check_limits(
+    eval: &mut Evaluator<'_>,
+    var: &str,
+    stats: &FixpointStats,
+    result_len: usize,
+) -> Result<()> {
+    xqy_xdm::fail::point("fixpoint.barrier").map_err(|e| EvalError::Backend(e.to_string()))?;
     let options = eval.options();
     if let Some(deadline) = options.deadline {
         if std::time::Instant::now() >= deadline {
-            return Err(EvalError::DeadlineExceeded);
+            return Err(EvalError::DeadlineExceeded {
+                occurrence: var.to_string(),
+                iterations: stats.iterations,
+            });
+        }
+    }
+    if let Some(max) = options.budget_iterations {
+        if stats.iterations >= max {
+            return Err(EvalError::BudgetExceeded {
+                budget: "iterations".into(),
+                used: stats.iterations as u64,
+                limit: max as u64,
+                occurrence: var.to_string(),
+                iterations: stats.iterations,
+            });
         }
     }
     if stats.iterations >= options.max_fixpoint_iterations {
@@ -309,11 +330,43 @@ fn check_limits(eval: &Evaluator<'_>, stats: &FixpointStats, result_len: usize) 
             limit: "iteration".into(),
         });
     }
+    if let Some(max) = options.max_result_nodes {
+        if result_len > max {
+            return Err(EvalError::BudgetExceeded {
+                budget: "result-nodes".into(),
+                used: result_len as u64,
+                limit: max as u64,
+                occurrence: var.to_string(),
+                iterations: stats.iterations,
+            });
+        }
+    }
     if result_len > options.max_fixpoint_nodes {
         return Err(EvalError::NoFixpoint {
             iterations: stats.iterations,
             limit: "node".into(),
         });
+    }
+    if let Some(budget) = options.memory_budget.clone() {
+        if budget.over_limit().is_some() {
+            // Graceful degradation before failing (once per budget): trade
+            // the store's recomputable memos for headroom and drop to
+            // sequential sharding, then re-check.
+            if budget.try_relieve() {
+                let freed = eval.store_ref().release_memory();
+                budget.credit(freed);
+                eval.options_mut().fixpoint_threads = 1;
+            }
+            if let Some(used) = budget.over_limit() {
+                return Err(EvalError::BudgetExceeded {
+                    budget: "memory".into(),
+                    used,
+                    limit: budget.limit(),
+                    occurrence: var.to_string(),
+                    iterations: stats.iterations,
+                });
+            }
+        }
     }
     Ok(())
 }
@@ -338,7 +391,7 @@ fn naive(
     let mut res = NodeSet::from_nodes(initial.iter().copied());
     let mut res_vec = res.to_vec(&eval.store);
     loop {
-        check_limits(eval, stats, res.len())?;
+        check_limits(eval, var, stats, res.len())?;
         stats.iterations += 1;
         let step = call_payload(eval, var, &res_vec, body, env, stats)?;
         let mut fresh = NodeSet::from_nodes(step);
@@ -369,7 +422,7 @@ fn delta(
     let mut res = NodeSet::from_nodes(initial.iter().copied());
     let mut delta = res.clone();
     loop {
-        check_limits(eval, stats, res.len())?;
+        check_limits(eval, var, stats, res.len())?;
         stats.iterations += 1;
         let delta_vec = delta.to_vec(&eval.store);
         let step = call_payload(eval, var, &delta_vec, body, env, stats)?;
@@ -517,7 +570,7 @@ fn batched_shared(
         // ≤ the rounds executed); the node limit applies to each seed's
         // accumulator individually — both as the per-seed loop enforces.
         let max_len = states.iter().map(|s| s.res.len()).max().unwrap_or(0);
-        check_limits(eval, stats, max_len)?;
+        check_limits(eval, var, stats, max_len)?;
         stats.iterations += 1;
         // Evaluate every distinct frontier node not yet memoized, once.
         for &i in &active {
@@ -612,7 +665,7 @@ fn batched_grouped(
         // Same limit conventions as the shared mode: rounds stand in for
         // per-seed iterations, node limit per seed accumulator.
         let max_len = states.iter().map(|s| s.res.len()).max().unwrap_or(0);
-        check_limits(eval, stats, max_len)?;
+        check_limits(eval, var, stats, max_len)?;
         stats.iterations += 1;
         for state in states.iter_mut().filter(|s| !s.done) {
             let step = call_payload(eval, var, &state.frontier, body, env, stats)?;

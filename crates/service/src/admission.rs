@@ -60,10 +60,14 @@ impl Admission {
 
     /// Acquire an execution permit, waiting until `deadline` (forever when
     /// `None`).  Returns a RAII [`Permit`] that releases the slot on drop.
+    /// `retry_after` is the backoff hint embedded in a
+    /// [`ServiceError::Saturated`] rejection — the caller computes it from
+    /// observed execution times; admission itself only reports it.
     pub(crate) fn acquire(
         &self,
         deadline: Option<Instant>,
         timeout: Duration,
+        retry_after: Duration,
     ) -> Result<Permit<'_>, ServiceError> {
         let mut counts = self.counts.lock().unwrap_or_else(PoisonError::into_inner);
         // Grant immediately only when nobody is queued: a freed slot belongs
@@ -77,6 +81,7 @@ impl Admission {
             return Err(ServiceError::Saturated {
                 active: counts.active,
                 queued: counts.queued,
+                retry_after,
             });
         }
         counts.queued += 1;
@@ -97,7 +102,11 @@ impl Admission {
                         // no longer want; pass the wakeup on so the slot is
                         // not stranded while other waiters sleep forever.
                         self.freed.notify_one();
-                        return Err(ServiceError::DeadlineExceeded { timeout });
+                        return Err(ServiceError::DeadlineExceeded {
+                            timeout,
+                            occurrence: None,
+                            iterations: None,
+                        });
                     }
                     let (guard, _timed_out) = self
                         .freed
@@ -149,26 +158,35 @@ mod tests {
     #[test]
     fn grants_up_to_max_concurrent() {
         let admission = Admission::new(2, 0);
-        let p1 = admission.acquire(None, Duration::ZERO).unwrap();
-        let _p2 = admission.acquire(None, Duration::ZERO).unwrap();
+        let p1 = admission
+            .acquire(None, Duration::ZERO, Duration::ZERO)
+            .unwrap();
+        let _p2 = admission
+            .acquire(None, Duration::ZERO, Duration::ZERO)
+            .unwrap();
         assert_eq!(admission.load(), (2, 0));
         drop(p1);
-        let _p3 = admission.acquire(None, Duration::ZERO).unwrap();
+        let _p3 = admission
+            .acquire(None, Duration::ZERO, Duration::ZERO)
+            .unwrap();
         assert_eq!(admission.load(), (2, 0));
     }
 
     #[test]
     fn rejects_saturated_without_queueing() {
         let admission = Admission::new(1, 0);
-        let _held = admission.acquire(None, Duration::ZERO).unwrap();
+        let _held = admission
+            .acquire(None, Duration::ZERO, Duration::ZERO)
+            .unwrap();
         let err = admission
-            .acquire(None, Duration::ZERO)
+            .acquire(None, Duration::ZERO, Duration::ZERO)
             .expect_err("queue of 0 must reject immediately");
         assert_eq!(
             err,
             ServiceError::Saturated {
                 active: 1,
-                queued: 0
+                queued: 0,
+                retry_after: Duration::ZERO,
             }
         );
     }
@@ -176,12 +194,21 @@ mod tests {
     #[test]
     fn queued_request_times_out_with_deadline_exceeded() {
         let admission = Admission::new(1, 4);
-        let _held = admission.acquire(None, Duration::ZERO).unwrap();
+        let _held = admission
+            .acquire(None, Duration::ZERO, Duration::ZERO)
+            .unwrap();
         let timeout = Duration::from_millis(20);
         let err = admission
-            .acquire(Some(Instant::now() + timeout), timeout)
+            .acquire(Some(Instant::now() + timeout), timeout, Duration::ZERO)
             .expect_err("permit never frees, deadline must fire");
-        assert_eq!(err, ServiceError::DeadlineExceeded { timeout });
+        assert_eq!(
+            err,
+            ServiceError::DeadlineExceeded {
+                timeout,
+                occurrence: None,
+                iterations: None,
+            }
+        );
         // The queue slot was returned on the error path.
         assert_eq!(admission.load(), (1, 0));
     }
@@ -195,14 +222,16 @@ mod tests {
     fn freed_slot_is_never_stranded_by_expiring_waiters() {
         for _ in 0..50 {
             let admission = Arc::new(Admission::new(1, 8));
-            let held = admission.acquire(None, Duration::ZERO).unwrap();
+            let held = admission
+                .acquire(None, Duration::ZERO, Duration::ZERO)
+                .unwrap();
             let timeout = Duration::from_millis(5);
             let expirers: Vec<_> = (0..4)
                 .map(|_| {
                     let admission = Arc::clone(&admission);
                     thread::spawn(move || {
                         admission
-                            .acquire(Some(Instant::now() + timeout), timeout)
+                            .acquire(Some(Instant::now() + timeout), timeout, Duration::ZERO)
                             .map(|_p| ())
                     })
                 })
@@ -212,7 +241,9 @@ mod tests {
             let patient = {
                 let admission = Arc::clone(&admission);
                 thread::spawn(move || {
-                    let permit = admission.acquire(None, Duration::ZERO).unwrap();
+                    let permit = admission
+                        .acquire(None, Duration::ZERO, Duration::ZERO)
+                        .unwrap();
                     tx.send(()).unwrap();
                     drop(permit);
                 })
@@ -235,12 +266,16 @@ mod tests {
     #[test]
     fn arrivals_queue_behind_existing_waiters() {
         let admission = Arc::new(Admission::new(1, 4));
-        let held = admission.acquire(None, Duration::ZERO).unwrap();
+        let held = admission
+            .acquire(None, Duration::ZERO, Duration::ZERO)
+            .unwrap();
         let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
         let waiter = {
             let admission = Arc::clone(&admission);
             thread::spawn(move || {
-                let permit = admission.acquire(None, Duration::ZERO).unwrap();
+                let permit = admission
+                    .acquire(None, Duration::ZERO, Duration::ZERO)
+                    .unwrap();
                 release_rx.recv().unwrap();
                 drop(permit);
             })
@@ -253,12 +288,14 @@ mod tests {
         // already claimed the slot (arrival finds it taken) — admitted it
         // is not, in either interleaving.
         let err = admission
-            .acquire(Some(Instant::now()), Duration::ZERO)
+            .acquire(Some(Instant::now()), Duration::ZERO, Duration::ZERO)
             .expect_err("freed slot must go to the queued waiter, not a late arrival");
         assert_eq!(
             err,
             ServiceError::DeadlineExceeded {
-                timeout: Duration::ZERO
+                timeout: Duration::ZERO,
+                occurrence: None,
+                iterations: None,
             }
         );
         release_tx.send(()).unwrap();
@@ -269,13 +306,16 @@ mod tests {
     #[test]
     fn queued_request_proceeds_when_permit_frees() {
         let admission = Arc::new(Admission::new(1, 4));
-        let held = admission.acquire(None, Duration::ZERO).unwrap();
+        let held = admission
+            .acquire(None, Duration::ZERO, Duration::ZERO)
+            .unwrap();
         let waiter = {
             let admission = Arc::clone(&admission);
             thread::spawn(move || {
                 admission
                     .acquire(
                         Some(Instant::now() + Duration::from_secs(10)),
+                        Duration::ZERO,
                         Duration::ZERO,
                     )
                     .map(|_p| ())

@@ -176,6 +176,7 @@ impl PlanCache {
                     key,
                     prepared: Some(prepared),
                     generation,
+                    corrupt: false,
                     outcome: CacheOutcome::Hit,
                 })
             }
@@ -243,6 +244,7 @@ impl PlanCache {
             key,
             prepared: Some(artifact),
             generation,
+            corrupt: false,
             outcome: CacheOutcome::Miss,
         }
     }
@@ -288,6 +290,14 @@ impl PlanCache {
 /// One session's exclusive hold on a prepared artifact: executors are
 /// private to the lease for its lifetime, and dropping it returns them —
 /// warm — to the entry's pool.
+///
+/// A lease whose execution panicked is [`poison`](PlanLease::poison)ed
+/// first: its fork's executors may hold half-applied state (a fixpoint
+/// aborted mid-iteration, caches in an unknown state), so pooling it would
+/// hand corruption to the next session.  A poisoned lease — and any lease
+/// dropped while its thread is unwinding — discards the fork instead; the
+/// entry stays resident and the next session simply mints a fresh fork
+/// from the untouched master.
 #[derive(Debug)]
 pub(crate) struct PlanLease<'c> {
     cache: &'c PlanCache,
@@ -296,6 +306,9 @@ pub(crate) struct PlanLease<'c> {
     /// [`Entry::generation`] of the entry this lease came from; the fork
     /// is only pooled on drop while that incarnation is still resident.
     generation: u64,
+    /// Set when the execution this lease served panicked: the fork is
+    /// dropped on release instead of being pooled.
+    corrupt: bool,
     /// Whether this lease came from the cache or a fresh preparation.
     pub(crate) outcome: CacheOutcome,
 }
@@ -305,6 +318,12 @@ impl PlanLease<'_> {
         self.prepared
             .as_ref()
             .expect("lease artifact present until drop")
+    }
+
+    /// Mark this lease's fork possibly corrupt (its execution panicked);
+    /// on drop it is discarded instead of returned to the pool.
+    pub(crate) fn poison(&mut self) {
+        self.corrupt = true;
     }
 
     #[cfg(test)]
@@ -318,7 +337,14 @@ impl PlanLease<'_> {
 impl Drop for PlanLease<'_> {
     fn drop(&mut self) {
         if let Some(prepared) = self.prepared.take() {
-            self.cache.release(&self.key, prepared, self.generation);
+            // `thread::panicking()` covers unwinds that drop the lease
+            // before the service boundary could mark it: either way the
+            // fork never reaches the pool.
+            if self.corrupt || std::thread::panicking() {
+                drop(prepared);
+            } else {
+                self.cache.release(&self.key, prepared, self.generation);
+            }
         }
     }
 }
@@ -499,6 +525,43 @@ mod tests {
         assert!(!Arc::ptr_eq(first.artifact(), second.artifact()));
         assert_eq!(cache.counters().entries, 1);
         assert_eq!(cache.counters().forks, 1);
+    }
+
+    /// PR 10: a lease whose execution panicked must drop its fork on
+    /// release, not pool it — the next session gets a fresh fork from the
+    /// master, never the possibly-corrupt one.
+    #[test]
+    fn poisoned_lease_drops_its_fork_instead_of_pooling() {
+        let cache = PlanCache::new(8);
+        put(&cache, Q1); // master returns to the pool on drop
+        let mut poisoned = get(&cache, Q1).unwrap();
+        let poisoned_ptr = Arc::as_ptr(poisoned.artifact());
+        poisoned.poison();
+        drop(poisoned);
+        // The pool is LIFO: had the poisoned fork been pooled, we'd get it.
+        let next = get(&cache, Q1).unwrap();
+        assert_ne!(Arc::as_ptr(next.artifact()), poisoned_ptr);
+        assert_eq!(cache.counters().entries, 1, "entry itself stays resident");
+    }
+
+    /// Same contract when the lease is dropped by an unwinding thread
+    /// (a panic between acquire and the service boundary).
+    #[test]
+    fn lease_dropped_during_unwind_is_not_pooled() {
+        let cache = Arc::new(PlanCache::new(8));
+        put(&cache, Q1);
+        let leaked = {
+            let lease = get(&cache, Q1).unwrap();
+            let ptr = Arc::as_ptr(lease.artifact());
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _held = lease;
+                panic!("mid-query panic");
+            }));
+            assert!(result.is_err());
+            ptr
+        };
+        let next = get(&cache, Q1).unwrap();
+        assert_ne!(Arc::as_ptr(next.artifact()), leaked);
     }
 
     #[test]

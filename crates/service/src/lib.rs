@@ -19,11 +19,20 @@
 //!   text; every other session gets the shared [`xqy_ifp::PreparedQuery`]
 //!   artifact.  LRU eviction, hit/miss/eviction counters, and wholesale
 //!   invalidation when a publication moves the store's load epoch.
-//! * **Admission and deadlines** — a bounded semaphore caps concurrent
-//!   executions (typed [`ServiceError::Saturated`] on overload) and a
-//!   per-query deadline propagates down to every fixpoint iteration
-//!   barrier (typed [`ServiceError::DeadlineExceeded`]), so one runaway
-//!   recursion cannot take the service down.
+//! * **Admission, deadlines and budgets** — a bounded semaphore caps
+//!   concurrent executions (typed [`ServiceError::Saturated`], carrying a
+//!   `retry_after` hint consumed by
+//!   [`execute_with_retry`](QueryService::execute_with_retry)) and
+//!   per-query [`ResourceLimits`] (deadline, memory, iterations, result
+//!   nodes) propagate down to every fixpoint iteration barrier (typed
+//!   [`ServiceError::DeadlineExceeded`] /
+//!   [`ServiceError::ResourceExhausted`]), so one runaway recursion
+//!   cannot take the service down.
+//! * **Failure-domain isolation** — each query is its own failure
+//!   domain: an engine panic is caught at the service boundary and
+//!   surfaced as the typed [`ServiceError::Internal`]; the possibly
+//!   corrupt executor fork is discarded instead of pooled, the admission
+//!   slot is released, and every other session continues undisturbed.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -41,7 +50,7 @@
 //!         &["code"],
 //!     )
 //!     .unwrap();
-//! service.publish();
+//! service.publish().unwrap();
 //!
 //! let query = "with $x seeded by doc('curriculum.xml')/curriculum/course[@code='c1'] \
 //!              recurse $x/id(./prerequisites/pre_code)";
@@ -68,11 +77,12 @@ mod service;
 pub use cache::{CacheCounters, CacheOutcome};
 pub use error::{Result, ServiceError};
 pub use service::{
-    PublishedSnapshot, QueryService, ServiceConfig, ServiceCounters, ServiceOutcome, ServiceStats,
+    PublishedSnapshot, QueryService, RetryPolicy, ServiceConfig, ServiceCounters, ServiceOutcome,
+    ServiceStats,
 };
 
 // Convenience re-exports so service users need only this crate.
-pub use xqy_ifp::{Backend, Bindings, Parallelism, Strategy};
+pub use xqy_ifp::{Backend, Bindings, Parallelism, ResourceLimits, Strategy};
 
 // The whole point of the crate: the service (and its outcomes) cross
 // threads freely.

@@ -16,29 +16,49 @@
 //! never changes data under a running query, and dropping the last pin
 //! frees the superseded snapshot.  Because the swap replaces a whole
 //! `Arc<Published>` (store + epoch + revision built before the swap), no
-//! reader can observe a half-published store.
+//! reader can observe a half-published store.  Publication is also
+//! **all-or-nothing under failure**: the fresh snapshot is built fully
+//! before the published slot is touched, so a panic or injected fault
+//! mid-clone or mid-refresh leaves the previous snapshot installed and
+//! the plan cache un-invalidated.
 //!
 //! Queries whose bodies *construct* nodes never write to the shared
 //! snapshot: each execution wraps its pinned `Arc<NodeStore>` in a
 //! [`CowStore`], so the first construction clones the store privately and
 //! all other sessions keep reading the shared copy unblocked.
 //!
-//! # Plan cache and deadlines
+//! # Failure domains
+//!
+//! Each query execution is a failure domain of its own.  A panic inside
+//! the engine — an evaluator bug, a shard worker, an injected fault — is
+//! caught at the service boundary (`catch_unwind`), converted to the
+//! typed [`ServiceError::Internal`], and contained: the admission permit
+//! is released by RAII, the possibly-corrupt executor fork is *dropped*
+//! instead of returned to the plan-cache pool (see [`crate::cache`]), and
+//! the published snapshot and writer master are untouched.  Subsequent
+//! queries observe nothing.
+//!
+//! # Plan cache, deadlines and budgets
 //!
 //! See [`crate::cache`] for the cross-session prepared-plan cache and
-//! [`crate::admission`] for the bounded admission front-end.  The
-//! per-query deadline is enforced cooperatively: it is handed down as
-//! [`ExecOptions::deadline`] and checked by both fixpoint drivers at every
+//! [`crate::admission`] for the bounded admission front-end.  Per-query
+//! resource budgets ([`ResourceLimits`]: deadline, memory, iterations,
+//! result nodes) are enforced cooperatively: they are handed down as
+//! [`ExecOptions::limits`] and checked by both fixpoint drivers at every
 //! iteration barrier, so an over-budget query aborts between iterations
 //! with a typed error and the service keeps serving.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
-use xqy_ifp::xdm::{CowStore, NodeStore};
+use xqy_ifp::algebra::AlgebraError;
+use xqy_ifp::eval::EvalError;
+use xqy_ifp::xdm::{fail, CowStore, NodeStore};
 use xqy_ifp::{
-    Backend, Bindings, ExecOptions, IfpError, Parallelism, PreparedQuery, QueryOutcome, Strategy,
+    Backend, Bindings, ExecOptions, IfpError, Parallelism, PreparedQuery, QueryOutcome,
+    ResourceLimits, Strategy,
 };
 
 use crate::admission::Admission;
@@ -58,6 +78,10 @@ pub struct ServiceConfig {
     /// Default per-query timeout; `None` means queries never time out
     /// unless [`execute_with`](QueryService::execute_with) passes one.
     pub default_timeout: Option<Duration>,
+    /// Default per-query resource budgets (memory, iterations, result
+    /// nodes).  The per-call deadline derived from the timeout is merged
+    /// in on top; [`ResourceLimits::default`] leaves everything unlimited.
+    pub limits: ResourceLimits,
     /// Fixpoint strategy queries are prepared under.
     pub strategy: Strategy,
     /// Back-end queries are prepared under.
@@ -75,10 +99,43 @@ impl Default for ServiceConfig {
             max_queue: 32,
             plan_cache_capacity: 64,
             default_timeout: None,
+            limits: ResourceLimits::default(),
             strategy: Strategy::Auto,
             backend: Backend::Auto,
             parallelism: Parallelism::Sequential,
             seed_in_result: false,
+        }
+    }
+}
+
+/// Bounded exponential backoff for
+/// [`execute_with_retry`](QueryService::execute_with_retry).  Only
+/// [`ServiceError::Saturated`] is retried — every other error (including
+/// deadline and budget rejections) is definitive for the query as
+/// submitted.  The wait before retry *n* is the larger of the service's
+/// [`retry_after`](ServiceError::Saturated::retry_after) hint and
+/// `base · 2ⁿ` (capped at `cap`), scaled by a deterministic jitter in
+/// [0.5, 1.0) derived from `jitter_seed` so colliding clients spread out
+/// reproducibly.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single wait.
+    pub cap: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(5),
+            cap: Duration::from_secs(1),
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
         }
     }
 }
@@ -147,10 +204,14 @@ pub struct ServiceCounters {
     pub succeeded: u64,
     /// Queries rejected or aborted by their deadline.
     pub deadline_exceeded: u64,
+    /// Queries aborted because a resource budget was exhausted.
+    pub resource_exhausted: u64,
     /// Queries rejected because the service was saturated.
     pub saturated: u64,
     /// Queries that failed with a query error.
     pub failed: u64,
+    /// Engine panics caught and contained at the service boundary.
+    pub contained_panics: u64,
     /// Plan-cache counters.
     pub cache: CacheCounters,
     /// Queries executing right now.
@@ -161,8 +222,9 @@ pub struct ServiceCounters {
 
 /// A thread-safe, in-process query service: many sessions execute
 /// concurrently against one published snapshot, sharing prepared plans
-/// through a cross-session cache, under bounded admission and per-query
-/// deadlines.  See the crate docs for the architecture.
+/// through a cross-session cache, under bounded admission, per-query
+/// deadlines and resource budgets, with engine panics contained per
+/// query.  See the crate docs for the architecture.
 #[derive(Debug)]
 pub struct QueryService {
     config: ServiceConfig,
@@ -174,8 +236,13 @@ pub struct QueryService {
     admission: Admission,
     succeeded: AtomicU64,
     deadline_exceeded: AtomicU64,
+    resource_exhausted: AtomicU64,
     saturated: AtomicU64,
     failed: AtomicU64,
+    contained_panics: AtomicU64,
+    /// Exponential moving average of execution times (µs), feeding the
+    /// [`retry_after`](ServiceError::Saturated::retry_after) hint.
+    avg_execute_micros: AtomicU64,
 }
 
 impl Default for QueryService {
@@ -197,8 +264,11 @@ impl QueryService {
             config,
             succeeded: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
+            resource_exhausted: AtomicU64::new(0),
             saturated: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            contained_panics: AtomicU64::new(0),
+            avg_execute_micros: AtomicU64::new(0),
         }
     }
 
@@ -245,10 +315,39 @@ impl QueryService {
     /// requires the read lock we hold for writing here, so no query can
     /// pair the new epoch with a plan cached under the old one.
     ///
+    /// Publication is all-or-nothing under failure: the fresh snapshot is
+    /// built *fully* before the published slot is touched, so a panic (or
+    /// an injected `publish.clone` / `publish.refresh` fault) surfaces as
+    /// a typed error with the previous snapshot still installed and the
+    /// plan cache un-invalidated.
+    ///
     /// Returns the published snapshot.
-    pub fn publish(&self) -> PublishedSnapshot {
+    pub fn publish(&self) -> Result<PublishedSnapshot> {
         let writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
-        let fresh = publish_clone(&writer);
+        let built = catch_unwind(AssertUnwindSafe(|| -> Result<PublishedSnapshot> {
+            fail::point("publish.clone").map_err(|e| fault_internal(e, "publish (clone)"))?;
+            let clone = writer.clone();
+            fail::point("publish.refresh").map_err(|e| fault_internal(e, "publish (refresh)"))?;
+            clone.refresh_all();
+            Ok(PublishedSnapshot {
+                epoch: clone.load_epoch(),
+                revision: clone.revision(),
+                stats_fingerprint: clone.statistics().fingerprint(),
+                store: Arc::new(clone),
+            })
+        }));
+        // The unwind was caught before the writer guard dropped, so the
+        // lock is not poisoned, and cloning only *read* the master.  Only
+        // a fully built snapshot reaches the swap below.
+        let fresh = match built {
+            Ok(result) => result?,
+            Err(payload) => {
+                return Err(ServiceError::Internal {
+                    message: panic_message(payload),
+                    context: "publish".into(),
+                })
+            }
+        };
         let mut slot = self
             .published
             .write()
@@ -259,7 +358,7 @@ impl QueryService {
         *slot = Arc::new(fresh.clone());
         drop(slot);
         drop(writer);
-        fresh
+        Ok(fresh)
     }
 
     /// The snapshot new queries currently pin.
@@ -282,7 +381,9 @@ impl QueryService {
     /// The full flow: admission (bounded, deadline-aware) → pin the
     /// published snapshot → fetch or prepare the plan through the shared
     /// cache → execute over a copy-on-write view of the pinned store with
-    /// the deadline propagated to every fixpoint iteration barrier.
+    /// the deadline and resource budgets propagated to every fixpoint
+    /// iteration barrier.  An engine panic is contained here and returned
+    /// as [`ServiceError::Internal`]; the service stays fully operational.
     pub fn execute_with(
         &self,
         query: &str,
@@ -292,16 +393,66 @@ impl QueryService {
         let submitted = Instant::now();
         let timeout = timeout.or(self.config.default_timeout);
         let deadline = timeout.map(|t| submitted + t);
-        let result = self.execute_admitted(query, bindings, submitted, timeout, deadline);
+        // Outer containment: anything that unwinds outside the inner
+        // execution boundary (e.g. an injected panic during plan-cache
+        // insertion) is still converted to a typed error.  RAII cleans up
+        // on the unwind path: the admission permit releases its slot and
+        // an in-flight lease drops (not pools) its fork.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.execute_admitted(query, bindings, submitted, timeout, deadline)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(ServiceError::Internal {
+                message: panic_message(payload),
+                context: "query dispatch".into(),
+            })
+        });
         match &result {
             Ok(_) => self.succeeded.fetch_add(1, Ordering::Relaxed),
             Err(ServiceError::DeadlineExceeded { .. }) => {
                 self.deadline_exceeded.fetch_add(1, Ordering::Relaxed)
             }
+            Err(ServiceError::ResourceExhausted { .. }) => {
+                self.resource_exhausted.fetch_add(1, Ordering::Relaxed)
+            }
             Err(ServiceError::Saturated { .. }) => self.saturated.fetch_add(1, Ordering::Relaxed),
             Err(ServiceError::Query(_)) => self.failed.fetch_add(1, Ordering::Relaxed),
+            Err(ServiceError::Internal { .. }) => {
+                self.contained_panics.fetch_add(1, Ordering::Relaxed)
+            }
         };
         result
+    }
+
+    /// Like [`execute_with`](QueryService::execute_with), retrying
+    /// [`ServiceError::Saturated`] rejections under `policy`'s bounded
+    /// exponential backoff.  Every other outcome — success, query error,
+    /// deadline, budget, contained panic — is returned as-is on the
+    /// attempt that produced it.
+    pub fn execute_with_retry(
+        &self,
+        query: &str,
+        bindings: &Bindings,
+        timeout: Option<Duration>,
+        policy: &RetryPolicy,
+    ) -> Result<ServiceOutcome> {
+        let max_attempts = policy.max_attempts.max(1);
+        let mut jitter = policy.jitter_seed;
+        let mut attempt = 0;
+        loop {
+            match self.execute_with(query, bindings, timeout) {
+                Err(ServiceError::Saturated { retry_after, .. }) if attempt + 1 < max_attempts => {
+                    let backoff = policy
+                        .base
+                        .saturating_mul(1u32 << attempt.min(16))
+                        .min(policy.cap);
+                    let delay = backoff.max(retry_after).min(policy.cap);
+                    std::thread::sleep(jittered(delay, &mut jitter));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
     }
 
     fn execute_admitted(
@@ -312,11 +463,12 @@ impl QueryService {
         timeout: Option<Duration>,
         deadline: Option<Instant>,
     ) -> Result<ServiceOutcome> {
-        // RAII permit: released on every exit path below, so a failed (or
-        // timed-out) query never leaks its slot.
-        let _permit = self
-            .admission
-            .acquire(deadline, timeout.unwrap_or_default())?;
+        // RAII permit: released on every exit path below — including an
+        // unwind — so a failed, timed-out or panicking query never leaks
+        // its slot.
+        let _permit =
+            self.admission
+                .acquire(deadline, timeout.unwrap_or_default(), self.retry_hint())?;
         let queue_wait = submitted.elapsed();
 
         // Pin the snapshot current *now*; a concurrent publish after this
@@ -324,32 +476,53 @@ impl QueryService {
         let pinned = self.published();
 
         // The lease holds this session's private executor fork; dropping it
-        // (on every exit path) returns the fork, warm, to the cache's pool.
-        // Keyed on the pinned snapshot's statistics fingerprint: a
-        // materially different republish re-costs instead of hitting.
-        let lease = self.prepared_plan(query, pinned.stats_fingerprint)?;
+        // (on every exit path) returns the fork, warm, to the cache's pool
+        // — unless the execution panicked, in which case the fork is
+        // poisoned below and discarded instead.  Keyed on the pinned
+        // snapshot's statistics fingerprint: a materially different
+        // republish re-costs instead of hitting.
+        let mut lease = self.prepared_plan(query, pinned.stats_fingerprint)?;
         let cache_outcome = lease.outcome;
 
         // Copy-on-write view: reads are served by the shared snapshot; a
         // construction body diverges privately instead of blocking anyone.
         let started = Instant::now();
         let mut cow = CowStore::new(Arc::clone(&pinned.store));
+        let mut limits = self.config.limits;
+        limits.deadline = match (limits.deadline, deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => b.or(a),
+        };
         let opts = ExecOptions {
             seed_in_result: self.config.seed_in_result,
-            deadline,
+            limits,
         };
-        let outcome = lease
-            .prepared()
-            .execute_on(&mut cow, bindings, &opts)
-            .map_err(|err| match err {
-                IfpError::Eval(xqy_ifp::eval::EvalError::DeadlineExceeded) => {
-                    ServiceError::DeadlineExceeded {
-                        timeout: timeout.unwrap_or_default(),
-                    }
-                }
-                other => ServiceError::Query(other),
-            })?;
+        // Containment boundary.  `AssertUnwindSafe` is justified by what
+        // happens to each captured value when the closure panics:
+        //   * `cow` is private to this query and never used again — the
+        //     shared snapshot behind it is only read;
+        //   * the lease's executor fork may hold half-applied state, so it
+        //     is poisoned and discarded (never pooled) below;
+        //   * executor-internal mutexes poisoned by the unwind are reset
+        //     on next use (`lock_executor` in xqy_ifp replaces a poisoned
+        //     executor with a fresh one);
+        //   * the budget scope and shard-worker state are thread-local and
+        //     unwound by RAII.
+        let executed = catch_unwind(AssertUnwindSafe(|| {
+            lease.prepared().execute_on(&mut cow, bindings, &opts)
+        }));
+        let outcome = match executed {
+            Ok(result) => result.map_err(|err| map_engine_error(err, timeout))?,
+            Err(payload) => {
+                lease.poison();
+                return Err(ServiceError::Internal {
+                    message: panic_message(payload),
+                    context: "query execution".into(),
+                });
+            }
+        };
         let execute_time = started.elapsed();
+        self.observe_execute(execute_time);
 
         Ok(ServiceOutcome {
             outcome,
@@ -382,6 +555,7 @@ impl QueryService {
             PreparedQuery::prepare(query, strategy, backend, parallelism)
                 .map_err(ServiceError::Query)?,
         );
+        fail::point("cache.insert").map_err(|e| fault_internal(e, "plan-cache insert"))?;
         Ok(self.cache.insert(
             query,
             backend,
@@ -392,19 +566,134 @@ impl QueryService {
         ))
     }
 
+    /// Fold one observed execution time into the moving average behind
+    /// the [`retry_after`](ServiceError::Saturated::retry_after) hint.
+    fn observe_execute(&self, took: Duration) {
+        let sample = took.as_micros().min(u128::from(u64::MAX)) as u64;
+        let old = self.avg_execute_micros.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            sample
+        } else {
+            // EWMA with α = 1/8; a racing store loses an update, which is
+            // acceptable for a hint.
+            old - old / 8 + sample / 8
+        };
+        self.avg_execute_micros.store(new, Ordering::Relaxed);
+    }
+
+    /// How long a rejected client should wait before retrying: roughly
+    /// the time for the current queue to drain through the execution
+    /// slots at the observed average execution time, clamped to
+    /// [1 ms, 5 s].
+    fn retry_hint(&self) -> Duration {
+        let avg = match self.avg_execute_micros.load(Ordering::Relaxed) {
+            0 => 10_000, // no observations yet: assume 10 ms
+            observed => observed,
+        };
+        let (_, queued) = self.admission.load();
+        let slots = self.config.max_concurrent.max(1) as u64;
+        let micros = avg.saturating_mul(queued as u64 + 1) / slots;
+        Duration::from_micros(micros.clamp(1_000, 5_000_000))
+    }
+
     /// Cumulative counters plus the instantaneous admission load.
     pub fn counters(&self) -> ServiceCounters {
         let (active, queued) = self.admission.load();
         ServiceCounters {
             succeeded: self.succeeded.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            resource_exhausted: self.resource_exhausted.load(Ordering::Relaxed),
             saturated: self.saturated.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            contained_panics: self.contained_panics.load(Ordering::Relaxed),
             cache: self.cache.counters(),
             active,
             queued,
         }
     }
+}
+
+/// Map an engine error to its service-level form, enriching deadline and
+/// budget aborts with the fixpoint occurrence and iteration count they
+/// carry.
+fn map_engine_error(err: IfpError, timeout: Option<Duration>) -> ServiceError {
+    match err {
+        IfpError::Eval(EvalError::DeadlineExceeded {
+            occurrence,
+            iterations,
+        }) => ServiceError::DeadlineExceeded {
+            timeout: timeout.unwrap_or_default(),
+            occurrence: (!occurrence.is_empty()).then_some(occurrence),
+            iterations: Some(iterations as u64),
+        },
+        IfpError::Eval(EvalError::BudgetExceeded {
+            budget,
+            used,
+            limit,
+            occurrence,
+            iterations,
+        }) => ServiceError::ResourceExhausted {
+            budget,
+            used,
+            limit,
+            occurrence: (!occurrence.is_empty()).then_some(occurrence),
+            iterations: Some(iterations as u64),
+        },
+        // Algebra aborts outside a fixpoint driver reach us unmapped (the
+        // drivers convert them to the eval variants above, adding the
+        // occurrence); carry what they know.
+        IfpError::Algebra(AlgebraError::DeadlineExceeded { iterations }) => {
+            ServiceError::DeadlineExceeded {
+                timeout: timeout.unwrap_or_default(),
+                occurrence: None,
+                iterations: Some(iterations as u64),
+            }
+        }
+        IfpError::Algebra(AlgebraError::BudgetExceeded {
+            budget,
+            used,
+            limit,
+            iterations,
+        }) => ServiceError::ResourceExhausted {
+            budget,
+            used,
+            limit,
+            occurrence: None,
+            iterations: Some(iterations as u64),
+        },
+        other => ServiceError::Query(other),
+    }
+}
+
+/// An `Error`-action failpoint surfaced outside the engine: report it as
+/// the contained internal failure it simulates.
+fn fault_internal(err: fail::FaultError, context: &str) -> ServiceError {
+    ServiceError::Internal {
+        message: err.to_string(),
+        context: context.to_string(),
+    }
+}
+
+/// Render a caught panic payload (`&str` and `String` payloads verbatim).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Deterministic jitter: scale `delay` by [0.5, 1.0) drawn from a
+/// splitmix64 stream over `state`.
+fn jittered(delay: Duration, state: &mut u64) -> Duration {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    delay.mul_f64(0.5 + (z % 1024) as f64 / 2048.0)
 }
 
 /// Clone `master` into a fresh, eagerly refreshed published snapshot.
@@ -438,7 +727,7 @@ mod tests {
         service
             .load_document_with_ids("curriculum.xml", CURRICULUM, &["code"])
             .unwrap();
-        service.publish();
+        service.publish().unwrap();
         service
     }
 
@@ -453,7 +742,7 @@ mod tests {
             service.execute(CLOSURE_QUERY),
             Err(ServiceError::Query(_))
         ));
-        service.publish();
+        service.publish().unwrap();
         let outcome = service.execute(CLOSURE_QUERY).unwrap();
         assert_eq!(outcome.outcome.result.len(), 2); // c2, c3
     }
@@ -480,11 +769,11 @@ mod tests {
         service.execute(CLOSURE_QUERY).unwrap();
         assert_eq!(service.counters().cache.entries, 1);
         // Republishing unchanged data keeps the cache warm.
-        service.publish();
+        service.publish().unwrap();
         assert_eq!(service.counters().cache.entries, 1);
         // Loading a new document moves the load epoch → invalidation.
         service.load_document("other.xml", "<r/>").unwrap();
-        service.publish();
+        service.publish().unwrap();
         assert_eq!(service.counters().cache.entries, 0);
         assert!(service.counters().cache.invalidations >= 1);
     }
@@ -506,7 +795,7 @@ mod tests {
 
         // An unchanged republish keeps the same fingerprint and the plan
         // stays cached.
-        service.publish();
+        service.publish().unwrap();
         assert_eq!(service.published().stats_fingerprint, before);
         assert_eq!(
             service.execute(CLOSURE_QUERY).unwrap().stats.cache,
@@ -522,7 +811,7 @@ mod tests {
         }
         big.push_str("</bulk>");
         service.load_document("bulk.xml", &big).unwrap();
-        service.publish();
+        service.publish().unwrap();
         assert_ne!(service.published().stats_fingerprint, before);
 
         let recosted = service.execute(CLOSURE_QUERY).unwrap();
@@ -542,14 +831,14 @@ mod tests {
         // Publishing an unchanged master is O(1) on the text plane: the
         // clone shares the writer's payload table, so consecutive
         // snapshots point at one storage.
-        let second = service.publish();
+        let second = service.publish().unwrap();
         assert!(first.store.shares_text_pool(&second.store));
         assert_eq!(first.store.text_pool_id(), second.store.text_pool_id());
         // Loading a document grows the writer's pool; because the storage
         // was shared with live snapshots, the writer deep-copies and takes
         // a fresh identity — the old snapshots keep theirs untouched.
         service.load_document("p.xml", "<r>payload</r>").unwrap();
-        let third = service.publish();
+        let third = service.publish().unwrap();
         assert!(!first.store.shares_text_pool(&third.store));
         assert_ne!(first.store.text_pool_id(), third.store.text_pool_id());
         // And the diverged snapshots still resolve their own payloads.
@@ -589,12 +878,60 @@ mod tests {
             .execute_with(diverging, &Bindings::new(), Some(Duration::from_millis(5)))
             .expect_err("diverging query must hit its deadline");
         assert!(matches!(err, ServiceError::DeadlineExceeded { .. }));
+        // PR 10: a deadline that fires at a fixpoint barrier carries the
+        // occurrence and iteration count into the service-level error.
+        if let ServiceError::DeadlineExceeded {
+            occurrence,
+            iterations,
+            ..
+        } = &err
+        {
+            assert_eq!(occurrence.as_deref(), Some("x"));
+            assert!(iterations.is_some());
+        }
         // The service keeps serving normal queries afterwards.
         let outcome = service.execute(CLOSURE_QUERY).unwrap();
         assert_eq!(outcome.outcome.result.len(), 2);
         let counters = service.counters();
         assert_eq!(counters.deadline_exceeded, 1);
         assert_eq!(counters.active, 0);
+    }
+
+    /// PR 10: an iteration budget aborts a diverging fixpoint with a
+    /// typed, occurrence-carrying error, without needing a deadline.
+    #[test]
+    fn iteration_budget_is_typed_resource_exhaustion() {
+        let config = ServiceConfig {
+            limits: ResourceLimits {
+                max_iterations: Some(3),
+                ..ResourceLimits::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let service = QueryService::new(config);
+        service
+            .load_document_with_ids("curriculum.xml", CURRICULUM, &["code"])
+            .unwrap();
+        service.publish().unwrap();
+        let diverging = "with $x seeded by <a/> recurse (for $y in $x return <b/>)";
+        let err = service
+            .execute(diverging)
+            .expect_err("3-iteration budget must trip");
+        match &err {
+            ServiceError::ResourceExhausted {
+                budget, iterations, ..
+            } => {
+                assert_eq!(budget, "iterations");
+                assert!(iterations.is_some());
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+        // Within-budget queries still run, and the counter moved.
+        assert_eq!(
+            service.execute(CLOSURE_QUERY).unwrap().outcome.result.len(),
+            2
+        );
+        assert_eq!(service.counters().resource_exhausted, 1);
     }
 
     #[test]

@@ -64,7 +64,7 @@ fn concurrent_sessions_match_sequential_execution_per_revision() {
     // Retain every published snapshot, keyed by revision, for the
     // sequential re-check.
     let snapshots = Arc::new(Mutex::new(BTreeMap::new()));
-    let initial = service.publish();
+    let initial = service.publish().unwrap();
     snapshots
         .lock()
         .unwrap()
@@ -82,7 +82,7 @@ fn concurrent_sessions_match_sequential_execution_per_revision() {
                 service
                     .load_document(&format!("extra_{i}.xml"), &format!("<extra n=\"{i}\"/>"))
                     .unwrap();
-                let published = service.publish();
+                let published = service.publish().unwrap();
                 snapshots
                     .lock()
                     .unwrap()

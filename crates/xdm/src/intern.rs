@@ -105,6 +105,9 @@ impl TextPool {
         let strings = Arc::make_mut(&mut self.strings);
         let map = Arc::make_mut(&mut self.map);
         let id = strings.len() as u32;
+        // First sight of this payload: charge the bytes plus the map/vec
+        // entry overhead against any installed per-query budget.
+        crate::budget::charge(s.len() as u64 + 48);
         let owned: Arc<str> = Arc::from(s);
         strings.push(owned.clone());
         map.insert(owned, id);

@@ -34,8 +34,10 @@
 //! assert_eq!(store.string_value(kids[1]), "text");
 //! ```
 
+pub mod budget;
 pub mod cow;
 pub mod error;
+pub mod fail;
 pub mod intern;
 pub mod node;
 pub mod nodeset;
@@ -48,8 +50,10 @@ pub mod stats;
 pub mod store;
 pub mod value;
 
+pub use budget::QueryBudget;
 pub use cow::{CowStore, StoreMut};
 pub use error::XdmError;
+pub use fail::{FaultAction, FaultError, FaultTrigger};
 pub use intern::{Interner, StrId, TextPool};
 pub use node::{Axis, NodeId, NodeKind, NodeTest, QName};
 pub use nodeset::NodeSet;

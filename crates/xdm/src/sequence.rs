@@ -126,6 +126,7 @@ impl Sequence {
 
     /// Build a sequence from items.
     pub fn from_items(items: Vec<Item>) -> Self {
+        crate::budget::charge((items.len() * std::mem::size_of::<Item>()) as u64);
         Sequence {
             repr: Repr::Items(items),
         }
@@ -134,8 +135,10 @@ impl Sequence {
     /// Build a sequence of node items (kept in the node-backed fast-path
     /// representation; no `Item` is materialized until a consumer asks).
     pub fn from_nodes(nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        let ids: Vec<NodeId> = nodes.into_iter().collect();
+        crate::budget::charge((ids.len() * std::mem::size_of::<NodeId>()) as u64);
         Sequence {
-            repr: Repr::Nodes(NodeSeq::from_vec(nodes.into_iter().collect())),
+            repr: Repr::Nodes(NodeSeq::from_vec(ids)),
         }
     }
 
@@ -208,6 +211,11 @@ impl Sequence {
         if other.is_empty() {
             return;
         }
+        // Budget note: accumulation (`out.extend(step)`) copies `other`'s
+        // elements into `self`'s buffer — a real allocation on top of the
+        // charge `other` already paid at construction, mirroring the 2×
+        // peak such loops actually reach.  The empty-`self` adoption below
+        // moves a handle instead, so it charges nothing new.
         if self.is_empty() {
             // Adopt the other representation wholesale — the common shape of
             // accumulation loops (`out` starts empty, first step fills it)
@@ -215,6 +223,7 @@ impl Sequence {
             *self = other;
             return;
         }
+        crate::budget::charge((other.len() * std::mem::size_of::<Item>()) as u64);
         match (&mut self.repr, other.repr) {
             (Repr::Nodes(ns), Repr::Nodes(o)) => ns.ids_mut().extend(o.ids.iter().copied()),
             (Repr::Nodes(_), Repr::Items(o)) => {

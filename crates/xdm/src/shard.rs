@@ -32,12 +32,20 @@ pub fn for_each_shard<T: Send, R: Send>(
         return vec![f(0, items)];
     }
     let chunk = items.len().div_ceil(shards);
+    let budget = crate::budget::current();
     std::thread::scope(|scope| {
         let f = &f;
+        let budget = &budget;
         let handles: Vec<_> = items
             .chunks_mut(chunk)
             .enumerate()
-            .map(|(idx, shard)| scope.spawn(move || f(idx, shard)))
+            .map(|(idx, shard)| {
+                scope.spawn(move || {
+                    let _budget = budget.clone().map(crate::budget::install);
+                    crate::fail::point_panic("shard.worker");
+                    f(idx, shard)
+                })
+            })
             .collect();
         handles.into_iter().map(join_shard).collect()
     })
@@ -58,11 +66,19 @@ pub fn map_sharded<T: Sync, R: Send>(
         return items.iter().map(f).collect();
     }
     let chunk = items.len().div_ceil(shards);
+    let budget = crate::budget::current();
     std::thread::scope(|scope| {
         let f = &f;
+        let budget = &budget;
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|shard| scope.spawn(move || shard.iter().map(f).collect::<Vec<R>>()))
+            .map(|shard| {
+                scope.spawn(move || {
+                    let _budget = budget.clone().map(crate::budget::install);
+                    crate::fail::point_panic("shard.worker");
+                    shard.iter().map(f).collect::<Vec<R>>()
+                })
+            })
             .collect();
         handles.into_iter().flat_map(|h| join_shard(h)).collect()
     })
@@ -85,12 +101,20 @@ pub fn zip_shards<A: Send, B: Sync, R: Send>(
         return vec![f(left, right)];
     }
     let chunk = left.len().div_ceil(shards);
+    let budget = crate::budget::current();
     std::thread::scope(|scope| {
         let f = &f;
+        let budget = &budget;
         let handles: Vec<_> = left
             .chunks_mut(chunk)
             .zip(right.chunks(chunk))
-            .map(|(a, b)| scope.spawn(move || f(a, b)))
+            .map(|(a, b)| {
+                scope.spawn(move || {
+                    let _budget = budget.clone().map(crate::budget::install);
+                    crate::fail::point_panic("shard.worker");
+                    f(a, b)
+                })
+            })
             .collect();
         handles.into_iter().map(join_shard).collect()
     })
@@ -98,7 +122,10 @@ pub fn zip_shards<A: Send, B: Sync, R: Send>(
 
 /// Join a shard, re-raising a shard panic on the calling thread so a
 /// failed parallel phase aborts the whole fixpoint run instead of
-/// silently dropping a shard's contribution.
+/// silently dropping a shard's contribution.  The re-raised panic then
+/// unwinds to the nearest containment boundary — in the service, the
+/// `catch_unwind` wrapping per-query execution, which converts it into a
+/// typed `ServiceError::Internal` instead of letting it cross the API.
 fn join_shard<R>(handle: std::thread::ScopedJoinHandle<'_, R>) -> R {
     match handle.join() {
         Ok(result) => result,

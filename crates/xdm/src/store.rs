@@ -611,6 +611,35 @@ impl NodeStore {
             .load(std::sync::atomic::Ordering::Relaxed)
     }
 
+    /// Drop the store's recomputable memos (string-value concatenations and
+    /// `id()` probe entries), returning an estimate of the bytes freed.
+    ///
+    /// This is the store's contribution to budget *relief* (see
+    /// [`crate::budget`]): under memory pressure a driver trades these
+    /// caches — repopulated lazily, at recompute cost — for headroom before
+    /// failing the query.  Works through `&self`; concurrent readers simply
+    /// see cold memos afterwards.
+    pub fn release_memory(&self) -> u64 {
+        let mut freed = 0u64;
+        {
+            let mut memo = mutex_lock(&self.text_memo);
+            for (_, (_, map)) in memo.per_doc.iter() {
+                for arc in map.values() {
+                    freed += arc.len() as u64 + 64;
+                }
+            }
+            memo.per_doc.clear();
+        }
+        {
+            let mut probe = mutex_lock(&self.id_probe);
+            for (_, (_, map)) in probe.per_doc.iter() {
+                freed += map.len() as u64 * 64;
+            }
+            probe.per_doc.clear();
+        }
+        freed
+    }
+
     // ------------------------------------------------------------------
     // Statistics
     // ------------------------------------------------------------------
@@ -687,6 +716,10 @@ impl NodeStore {
     // ------------------------------------------------------------------
 
     fn push_node(&mut self, doc: DocId, data: NodeData) -> NodeId {
+        // Node construction is the arena growth point: charge the per-node
+        // footprint (arena slot + parent-children backlink) against any
+        // installed per-query budget.
+        crate::budget::charge(std::mem::size_of::<NodeData>() as u64 + 8);
         let d = &mut self.docs[doc.0 as usize];
         let idx = d.push(data);
         self.nodes_created += 1;
